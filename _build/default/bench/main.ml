@@ -1,0 +1,169 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation by
+   running the corresponding simulation experiments (quick mode: reduced
+   durations/volumes, same mechanisms and shapes; see EXPERIMENTS.md for
+   the paper-vs-measured comparison).
+
+   Part 2 runs Bechamel microbenchmarks — one Test.make per hot data
+   structure of the simulator substrate — so that regressions in the
+   engine itself are visible independently of the modelled systems. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: paper tables and figures *)
+
+let run_experiments () =
+  print_endline "==============================================================";
+  print_endline " Danaus reproduction: paper tables and figures (quick mode)";
+  print_endline "==============================================================";
+  List.iter
+    (fun e ->
+      Printf.printf "\n# %s\n%!" e.Danaus_experiments.Registry.title;
+      let t0 = Unix.gettimeofday () in
+      let reports = e.Danaus_experiments.Registry.run ~quick:true in
+      List.iter (fun r -> print_string (Danaus_experiments.Report.render r)) reports;
+      Printf.printf "(completed in %.1fs wall time)\n%!" (Unix.gettimeofday () -. t0))
+    Danaus_experiments.Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel microbenchmarks of the simulator substrate *)
+
+open Danaus_sim
+open Danaus_hw
+open Danaus_kernel
+open Danaus_ceph
+
+let bench_engine_events =
+  Test.make ~name:"sim.engine: 1k sleep events"
+    (Staged.stage (fun () ->
+         let e = Engine.create () in
+         Engine.spawn e (fun () ->
+             for _ = 1 to 1000 do
+               Engine.sleep 0.001
+             done);
+         Engine.run e))
+
+let bench_mutex_handoff =
+  Test.make ~name:"sim.mutex: 100 contended handoffs"
+    (Staged.stage (fun () ->
+         let e = Engine.create () in
+         let m = Mutex_sim.create e ~name:"bench" in
+         for _ = 1 to 10 do
+           Engine.spawn e (fun () ->
+               for _ = 1 to 10 do
+                 Mutex_sim.with_lock m (fun () -> Engine.sleep 1e-6)
+               done)
+         done;
+         Engine.run e))
+
+let bench_ring =
+  Test.make ~name:"ipc.ring: 1k enqueue/dequeue"
+    (Staged.stage (fun () ->
+         let e = Engine.create () in
+         let r = Danaus_ipc.Ring.create e ~slots:64 in
+         Engine.spawn e (fun () ->
+             for i = 1 to 1000 do
+               Danaus_ipc.Ring.enqueue r i
+             done);
+         Engine.spawn e (fun () ->
+             for _ = 1 to 1000 do
+               ignore (Danaus_ipc.Ring.dequeue r)
+             done);
+         Engine.run e))
+
+let bench_page_cache =
+  Test.make ~name:"kernel.page_cache: write+read 64MB"
+    (Staged.stage (fun () ->
+         let e = Engine.create () in
+         let mem = Memory.create ~name:"bench" () in
+         let pc = Page_cache.create e ~mem ~limit:(1 lsl 30) ~block:65536 in
+         let m = Page_cache.add_mount pc ~name:"bench" ~max_dirty:(1 lsl 29) () in
+         let f = Page_cache.file pc m ~key:"f" ~flush:(fun ~bytes:_ -> ()) in
+         Engine.spawn e (fun () ->
+             Page_cache.write f ~off:0 ~len:(64 * 1024 * 1024);
+             ignore (Page_cache.missing f ~off:0 ~len:(64 * 1024 * 1024));
+             Page_cache.discard_dirty f;
+             Page_cache.invalidate f);
+         Engine.run e))
+
+let bench_crush =
+  Test.make ~name:"ceph.crush: 1k placements"
+    (Staged.stage (fun () ->
+         for i = 0 to 999 do
+           ignore (Crush.place ~osds:6 ~replicas:3 (string_of_int i))
+         done))
+
+let bench_striper =
+  Test.make ~name:"ceph.striper: 1k range splits"
+    (Staged.stage (fun () ->
+         for i = 0 to 999 do
+           ignore
+             (Striper.objects ~object_size:(4 * 1024 * 1024) ~ino:i
+                ~off:(i * 4096) ~len:(10 * 1024 * 1024))
+         done))
+
+let bench_namespace =
+  Test.make ~name:"ceph.namespace: create+lookup 1k files"
+    (Staged.stage (fun () ->
+         let ns = Namespace.create () in
+         for i = 0 to 999 do
+           ignore (Namespace.create_file ns (Printf.sprintf "/f%d" i))
+         done;
+         for i = 0 to 999 do
+           ignore (Namespace.lookup ns (Printf.sprintf "/f%d" i))
+         done))
+
+let bench_stats =
+  Test.make ~name:"sim.stats: 10k add + percentiles"
+    (Staged.stage (fun () ->
+         let s = Stats.create () in
+         for i = 1 to 10_000 do
+           Stats.add s (float_of_int (i * 7919 mod 1000))
+         done;
+         ignore (Stats.percentile s 50.0);
+         ignore (Stats.percentile s 99.0)))
+
+let microbenchmarks () =
+  print_endline "";
+  print_endline "==============================================================";
+  print_endline " Bechamel microbenchmarks: simulator substrate";
+  print_endline "==============================================================";
+  let tests =
+    [
+      bench_engine_events;
+      bench_mutex_handoff;
+      bench_ring;
+      bench_page_cache;
+      bench_crush;
+      bench_striper;
+      bench_namespace;
+      bench_stats;
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ])
+      in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+          Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some (t :: _) ->
+              Printf.printf "%-48s %12.1f ns/run\n%!" name t
+          | Some [] | None -> Printf.printf "%-48s (no estimate)\n%!" name)
+        ols)
+    tests
+
+let () =
+  run_experiments ();
+  microbenchmarks ()

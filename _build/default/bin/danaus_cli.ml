@@ -1,0 +1,137 @@
+(* Command-line driver for the Danaus reproduction: list the paper's
+   experiments, run one (or all), and print the reproduced tables. *)
+
+open Cmdliner
+
+let run_experiment ?csv_dir ~quick id =
+  match Danaus_experiments.Registry.find id with
+  | None ->
+      Printf.eprintf "unknown experiment %S; try `danaus-cli list`\n" id;
+      exit 1
+  | Some e ->
+      Printf.printf "# %s\n%!" e.Danaus_experiments.Registry.title;
+      let t0 = Unix.gettimeofday () in
+      let reports = e.Danaus_experiments.Registry.run ~quick in
+      List.iter
+        (fun r ->
+          print_string (Danaus_experiments.Report.render r);
+          match csv_dir with
+          | None -> ()
+          | Some dir ->
+              let file =
+                Filename.concat dir (r.Danaus_experiments.Report.id ^ ".csv")
+              in
+              Out_channel.with_open_text file (fun oc ->
+                  Out_channel.output_string oc
+                    (Danaus_experiments.Report.to_csv r));
+              Printf.printf "(csv written to %s)\n" file)
+        reports;
+      Printf.printf "(completed in %.1fs wall time)\n\n%!"
+        (Unix.gettimeofday () -. t0)
+
+let list_cmd =
+  let doc = "List the reproducible tables and figures" in
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-8s %s\n" e.Danaus_experiments.Registry.id
+          e.Danaus_experiments.Registry.title)
+      Danaus_experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let quick_flag =
+  let doc =
+    "Run with reduced durations and dataset sizes (same shapes, minutes \
+     instead of hours)."
+  in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let csv_dir_flag =
+  let doc = "Also write each table to DIR/<id>.csv." in
+  Arg.(value & opt (some dir) None & info [ "csv" ] ~doc ~docv:"DIR")
+
+let run_cmd =
+  let doc = "Run one experiment by id (e.g. fig6a)" in
+  let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
+  let run quick csv_dir id = run_experiment ?csv_dir ~quick id in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ quick_flag $ csv_dir_flag $ id)
+
+let all_cmd =
+  let doc = "Run every experiment in sequence" in
+  let run quick =
+    List.iter
+      (fun e -> run_experiment ~quick e.Danaus_experiments.Registry.id)
+      Danaus_experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ quick_flag)
+
+let replay_cmd =
+  let doc = "Replay an operation trace file against a Table 1 configuration" in
+  let file =
+    Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"TRACE")
+  in
+  let config =
+    let doc = "Client configuration (D, K, F, FP, K/K, F/K, F/F, FP/FP)." in
+    Arg.(value & opt string "D" & info [ "config" ] ~doc ~docv:"CFG")
+  in
+  let threads =
+    Arg.(value & opt int 4 & info [ "threads" ] ~doc:"Replay thread count.")
+  in
+  let run file config threads =
+    let config =
+      match Danaus.Config.of_label config with
+      | Some c -> c
+      | None ->
+          Printf.eprintf "unknown configuration %S\n" config;
+          exit 1
+    in
+    let text = In_channel.with_open_text file In_channel.input_all in
+    let trace =
+      match Danaus_workloads.Trace.parse text with
+      | Ok t -> t
+      | Error bad ->
+          Printf.eprintf "trace parse error at: %s\n" bad;
+          exit 1
+    in
+    let open Danaus_experiments in
+    let tb = Testbed.create ~activated:4 () in
+    let pool = Testbed.pool tb 0 in
+    let ct =
+      Danaus.Container_engine.launch tb.Testbed.containers ~config ~pool
+        ~id:"replay" ()
+    in
+    let result = ref None in
+    Danaus_sim.Engine.spawn tb.Testbed.engine (fun () ->
+        let ctx = Testbed.ctx tb ~pool ~seed:1 in
+        result :=
+          Some
+            (Danaus_workloads.Trace.replay ctx
+               ~view:ct.Danaus.Container_engine.view ~threads trace));
+    Testbed.drive tb ~stop:(fun () -> !result <> None);
+    match !result with
+    | Some (stats, elapsed, errors) ->
+        Printf.printf
+          "%d ops in %.3f simulated seconds (%.1f MB read, %.1f MB written, %d errors)\n"
+          stats.Danaus_workloads.Workload.ops elapsed
+          (stats.Danaus_workloads.Workload.bytes_read /. 1e6)
+          (stats.Danaus_workloads.Workload.bytes_written /. 1e6)
+          errors
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file $ config $ threads)
+
+let table1_cmd =
+  let doc = "Print Table 1 (the configuration matrix)" in
+  let run () = print_string (Danaus.Config.table1 ()) in
+  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ const ())
+
+let main =
+  let doc =
+    "Danaus reproduction: isolation and efficiency of container I/O at the \
+     client side of network storage (Middleware '21)"
+  in
+  Cmd.group (Cmd.info "danaus-cli" ~version:"1.0.0" ~doc)
+    [ list_cmd; run_cmd; all_cmd; table1_cmd; replay_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/central_admin.ml: Client_intf Config Container_engine Danaus Danaus_ceph Danaus_client Danaus_experiments Danaus_kernel Danaus_sim Engine Fspath Kernel Lib_client List Printf Result Testbed

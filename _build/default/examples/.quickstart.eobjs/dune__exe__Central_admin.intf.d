@@ -1,0 +1,1 @@
+examples/central_admin.mli:

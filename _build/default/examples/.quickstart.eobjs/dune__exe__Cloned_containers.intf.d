@@ -1,0 +1,1 @@
+examples/cloned_containers.mli:

@@ -1,0 +1,1 @@
+examples/kvstore_on_danaus.ml: Config Container_engine Danaus Danaus_experiments Danaus_sim Danaus_workloads Engine Kvstore Printf Stats Testbed Workload

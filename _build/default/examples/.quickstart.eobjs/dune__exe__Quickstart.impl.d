@@ -1,0 +1,1 @@
+examples/quickstart.ml: Client_intf Config Container_engine Danaus Danaus_ceph Danaus_client Danaus_experiments Danaus_sim Engine Printf Testbed

@@ -1,0 +1,50 @@
+(* A log-structured key-value store on a Danaus container root: puts
+   stream through the WAL and memtable flushes, compaction churns in the
+   background, and out-of-core gets read SSTs over the network.
+
+     dune exec examples/kvstore_on_danaus.exe *)
+
+open Danaus_sim
+open Danaus
+open Danaus_workloads
+open Danaus_experiments
+
+let mib n = n * 1024 * 1024
+
+let () =
+  let tb = Testbed.create ~activated:4 () in
+  let pool = Testbed.pool tb 0 in
+  let ct =
+    Container_engine.launch tb.Testbed.containers ~config:Config.d ~pool ~id:"kv"
+      ~cache_bytes:(mib 256) ()
+  in
+  let done_ = ref false in
+  Engine.spawn tb.Testbed.engine (fun () ->
+      let ctx = Testbed.ctx tb ~pool ~seed:7 in
+      let kv =
+        Kvstore.create ctx ~view:ct.Container_engine.view
+          { Kvstore.default_params with Kvstore.memtable_bytes = mib 16 }
+      in
+      Printf.printf "inserting 512 MiB of 128 KiB values...\n%!";
+      Kvstore.populate kv ~thread:1 ~bytes:(mib 512);
+      let puts = Kvstore.put_stats kv in
+      Printf.printf "  %d puts, mean %.2f ms, p99 %.2f ms, %d write stalls\n"
+        puts.Workload.ops
+        (Stats.mean puts.Workload.op_latency *. 1e3)
+        (Stats.percentile puts.Workload.op_latency 99.0 *. 1e3)
+        (Kvstore.stalls kv);
+      Printf.printf "reading 1000 random keys (dataset >> cache)...\n%!";
+      for _ = 1 to 1000 do
+        Kvstore.get kv ~thread:1
+      done;
+      let gets = Kvstore.get_stats kv in
+      Printf.printf "  mean get %.2f ms, p99 %.2f ms\n"
+        (Stats.mean gets.Workload.op_latency *. 1e3)
+        (Stats.percentile gets.Workload.op_latency 99.0 *. 1e3);
+      Printf.printf "  store holds %d MiB across L0 depth %d\n"
+        (Kvstore.db_bytes kv / mib 1)
+        (Kvstore.l0_depth kv);
+      Kvstore.shutdown kv;
+      done_ := true);
+  Testbed.drive tb ~stop:(fun () -> !done_);
+  print_endline "kvstore_on_danaus: done"

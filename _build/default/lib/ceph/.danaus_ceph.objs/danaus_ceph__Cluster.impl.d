@@ -1,0 +1,1 @@
+lib/ceph/cluster.ml: Array Crush Danaus_hw Danaus_sim Engine List Mds Namespace Net Osd Striper Waitgroup

@@ -1,0 +1,1 @@
+lib/ceph/cluster.mli: Danaus_hw Danaus_sim Engine Mds Namespace Net Osd

@@ -1,0 +1,1 @@
+lib/ceph/crush.ml: Char Int Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/ceph/mds.ml: Danaus_sim Engine Namespace Semaphore_sim

@@ -1,0 +1,1 @@
+lib/ceph/mds.mli: Danaus_sim Engine Namespace

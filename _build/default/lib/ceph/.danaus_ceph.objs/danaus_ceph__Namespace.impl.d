@@ -1,0 +1,1 @@
+lib/ceph/namespace.ml: Fspath Hashtbl List Option String

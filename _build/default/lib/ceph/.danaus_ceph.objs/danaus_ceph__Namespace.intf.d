@@ -1,0 +1,1 @@
+lib/ceph/namespace.mli:

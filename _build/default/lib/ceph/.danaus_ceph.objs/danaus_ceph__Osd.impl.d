@@ -1,0 +1,1 @@
+lib/ceph/osd.ml: Danaus_hw Danaus_sim Disk Engine Hashtbl Option Semaphore_sim Stdlib

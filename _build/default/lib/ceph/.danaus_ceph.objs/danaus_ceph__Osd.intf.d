@@ -1,0 +1,1 @@
+lib/ceph/osd.mli: Danaus_hw Danaus_sim Disk Engine

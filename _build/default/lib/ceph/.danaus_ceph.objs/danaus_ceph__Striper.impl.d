@@ -1,0 +1,1 @@
+lib/ceph/striper.ml: List Printf Stdlib

@@ -1,0 +1,116 @@
+open Danaus_sim
+open Danaus_hw
+
+type t = {
+  engine : Engine.t;
+  net : Net.t;
+  client_node : Net.node;
+  server_node : Net.node;
+  cluster_osds : Osd.t array;
+  cluster_mds : Mds.t;
+  replicas : int;
+  obj_size : int;
+}
+
+let message_bytes = 256
+
+let create engine ~net ~client_node ~server_node ~osds ~mds ~replicas
+    ~object_size =
+  assert (Array.length osds >= replicas && replicas >= 1 && object_size > 0);
+  {
+    engine;
+    net;
+    client_node;
+    server_node;
+    cluster_osds = osds;
+    cluster_mds = mds;
+    replicas;
+    obj_size = object_size;
+  }
+
+(* A second client machine's view of the same cluster: shares the OSDs,
+   MDS and namespace, but enters the network through its own link. *)
+let for_host t ~client_node = { t with client_node }
+
+let osds t = t.cluster_osds
+let mds t = t.cluster_mds
+let object_size t = t.obj_size
+
+let to_server t ~bytes =
+  Net.transfer t.net ~src:t.client_node ~dst:t.server_node ~bytes
+
+let to_client t ~bytes =
+  Net.transfer t.net ~src:t.server_node ~dst:t.client_node ~bytes
+
+let placement t obj =
+  Crush.place ~osds:(Array.length t.cluster_osds) ~replicas:t.replicas obj
+
+let write_object t ~obj ~bytes =
+  to_server t ~bytes:(bytes + message_bytes);
+  let targets =
+    List.filter (fun i -> Osd.is_up t.cluster_osds.(i)) (placement t obj)
+  in
+  if targets = [] then
+    failwith ("Cluster.write_object: no replica of " ^ obj ^ " is up");
+  let wg = Waitgroup.create t.engine in
+  List.iter
+    (fun i ->
+      Waitgroup.add wg;
+      Engine.fork (fun () ->
+          Osd.write t.cluster_osds.(i) ~obj ~bytes;
+          Waitgroup.finish wg))
+    targets;
+  Waitgroup.wait wg;
+  to_client t ~bytes:message_bytes
+
+let read_object t ~obj ~bytes =
+  to_server t ~bytes:message_bytes;
+  (* primary first; fail over to the next up replica in CRUSH order *)
+  match List.find_opt (fun i -> Osd.is_up t.cluster_osds.(i)) (placement t obj) with
+  | None -> failwith ("Cluster.read_object: no replica of " ^ obj ^ " is up")
+  | Some target ->
+      Osd.read t.cluster_osds.(target) ~obj ~bytes;
+      to_client t ~bytes:(bytes + message_bytes)
+
+let over_objects t ~ino ~off ~len ~io =
+  let parts = Striper.objects ~object_size:t.obj_size ~ino ~off ~len in
+  match parts with
+  | [] -> ()
+  | [ (obj, bytes) ] -> io ~obj ~bytes
+  | parts ->
+      let wg = Waitgroup.create t.engine in
+      List.iter
+        (fun (obj, bytes) ->
+          Waitgroup.add wg;
+          Engine.fork (fun () ->
+              io ~obj ~bytes;
+              Waitgroup.finish wg))
+        parts;
+      Waitgroup.wait wg
+
+let write_range t ~ino ~off ~len =
+  over_objects t ~ino ~off ~len ~io:(fun ~obj ~bytes -> write_object t ~obj ~bytes)
+
+let read_range t ~ino ~off ~len =
+  over_objects t ~ino ~off ~len ~io:(fun ~obj ~bytes -> read_object t ~obj ~bytes)
+
+let delete_range t ~ino ~size =
+  List.iter
+    (fun (obj, _) ->
+      Array.iter (fun osd -> Osd.delete osd ~obj) t.cluster_osds)
+    (Striper.objects ~object_size:t.obj_size ~ino ~off:0 ~len:size)
+
+let meta t f =
+  to_server t ~bytes:message_bytes;
+  let r = Mds.perform t.cluster_mds f in
+  to_client t ~bytes:message_bytes;
+  r
+
+let lookup t path = meta t (fun ns -> Namespace.lookup ns path)
+let create_file t path = meta t (fun ns -> Namespace.create_file ns path)
+let mkdir_p t path = meta t (fun ns -> Namespace.mkdir_p ns path)
+let readdir t path = meta t (fun ns -> Namespace.readdir ns path)
+let unlink t path = meta t (fun ns -> Namespace.unlink ns path)
+let rename t ~src ~dst = meta t (fun ns -> Namespace.rename ns ~src ~dst)
+let set_size t path size = meta t (fun ns -> Namespace.set_size ns path size)
+let namespace t = Mds.namespace t.cluster_mds

@@ -1,0 +1,63 @@
+open Danaus_sim
+open Danaus_hw
+
+(** The assembled storage cluster: OSDs + MDS behind the network.
+
+    Every operation is called from a client-host process and blocks for
+    the full round trip: client-host TX link, server-host RX link, OSD or
+    MDS service, and the reply path.  Data is striped over
+    {!Striper.default_object_size} objects and placed by {!Crush}. *)
+
+type t
+
+(** [create engine ~net ~client_node ~server_node ~osds ~mds ~replicas
+    ~object_size] wires the cluster.  [client_node]/[server_node] are the
+    two machines' network attachments (the 20 Gbps bonded links of the
+    paper's testbed). *)
+val create :
+  Engine.t ->
+  net:Net.t ->
+  client_node:Net.node ->
+  server_node:Net.node ->
+  osds:Osd.t array ->
+  mds:Mds.t ->
+  replicas:int ->
+  object_size:int ->
+  t
+
+(** [for_host t ~client_node] is the same cluster as seen from another
+    client machine: identical OSDs, MDS and namespace, but data and
+    metadata traffic uses [client_node]'s network link.  This is what
+    makes cross-host data sharing — and container migration — work over
+    the shared filesystem (§5, §9). *)
+val for_host : t -> client_node:Net.node -> t
+
+val osds : t -> Osd.t array
+val mds : t -> Mds.t
+val object_size : t -> int
+
+(** {1 Data path} *)
+
+(** Write [len] bytes of inode [ino] starting at [off]: striped into
+    objects, each sent over the network and committed on [replicas]
+    OSDs. *)
+val write_range : t -> ino:int -> off:int -> len:int -> unit
+
+(** Read [len] bytes of inode [ino] from the primary OSDs. *)
+val read_range : t -> ino:int -> off:int -> len:int -> unit
+
+(** Drop all objects of inode [ino] up to [size] bytes. *)
+val delete_range : t -> ino:int -> size:int -> unit
+
+(** {1 Metadata path (one network round trip + MDS service each)} *)
+
+val lookup : t -> string -> Namespace.attr option
+val create_file : t -> string -> (Namespace.attr, Namespace.error) result
+val mkdir_p : t -> string -> (Namespace.attr, Namespace.error) result
+val readdir : t -> string -> (string list, Namespace.error) result
+val unlink : t -> string -> (unit, Namespace.error) result
+val rename : t -> src:string -> dst:string -> (unit, Namespace.error) result
+val set_size : t -> string -> int -> (unit, Namespace.error) result
+
+(** Cost-free namespace access for dataset setup (no simulated time). *)
+val namespace : t -> Namespace.t

@@ -1,0 +1,35 @@
+(* Rendezvous hashing with a 64-bit FNV-1a base hash. *)
+
+let fnv1a64 s =
+  let prime = 0x100000001B3L in
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+(* SplitMix64 finaliser: FNV alone leaves consecutive "#<i>" suffixes
+   correlated (the last step is a multiply by a constant), which skews
+   rendezvous ordering. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let weight name osd =
+  let mixed = mix64 (fnv1a64 (Printf.sprintf "%s#%d" name osd)) in
+  (* fold to a non-negative int for easy comparison *)
+  Int64.to_int (Int64.logand mixed 0x3FFFFFFFFFFFFFFFL)
+
+let place ~osds ~replicas name =
+  if replicas < 1 || replicas > osds then invalid_arg "Crush.place: bad replicas";
+  let scored = List.init osds (fun i -> (weight name i, i)) in
+  let sorted = List.sort (fun (a, _) (b, _) -> Int.compare b a) scored in
+  List.filteri (fun i _ -> i < replicas) sorted |> List.map snd
+
+let primary ~osds name =
+  match place ~osds ~replicas:1 name with
+  | [ i ] -> i
+  | _ -> assert false

@@ -1,0 +1,13 @@
+(** Deterministic pseudo-random object placement (CRUSH-like).
+
+    Maps an object name to an ordered list of distinct OSDs using
+    rendezvous (highest-random-weight) hashing, so placement is stable
+    under the same cluster size and spreads uniformly. *)
+
+(** [place ~osds ~replicas name] returns [replicas] distinct OSD indices
+    in [\[0, osds)] for the object [name].  Requires
+    [1 <= replicas <= osds]. *)
+val place : osds:int -> replicas:int -> string -> int list
+
+(** [primary ~osds name] is the first placement target. *)
+val primary : osds:int -> string -> int

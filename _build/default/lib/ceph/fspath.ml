@@ -1,0 +1,23 @@
+let normalize p =
+  let parts = String.split_on_char '/' p |> List.filter (fun s -> s <> "") in
+  "/" ^ String.concat "/" parts
+
+let parent p =
+  let p = normalize p in
+  match String.rindex_opt p '/' with
+  | None | Some 0 -> "/"
+  | Some i -> String.sub p 0 i
+
+let basename p =
+  let p = normalize p in
+  if p = "/" then ""
+  else
+    match String.rindex_opt p '/' with
+    | None -> p
+    | Some i -> String.sub p (i + 1) (String.length p - i - 1)
+
+let join dir name =
+  let dir = normalize dir in
+  if dir = "/" then "/" ^ name else dir ^ "/" ^ name
+
+let is_root p = normalize p = "/"

@@ -1,0 +1,18 @@
+(** Slash-separated absolute path manipulation shared by the metadata
+    server, the clients and the union filesystem. *)
+
+(** Normalise: collapse duplicate slashes, drop trailing slash (except
+    root), ensure a leading slash. *)
+val normalize : string -> string
+
+(** Parent directory ("/" is its own parent). *)
+val parent : string -> string
+
+(** Last component ("" for root). *)
+val basename : string -> string
+
+(** [join dir name] appends a component. *)
+val join : string -> string -> string
+
+(** [is_root p] holds for "/". *)
+val is_root : string -> bool

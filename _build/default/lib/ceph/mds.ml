@@ -1,0 +1,30 @@
+open Danaus_sim
+
+type t = {
+  engine : Engine.t;
+  ns : Namespace.t;
+  gate : Semaphore_sim.t;
+  op_cost : float;
+  mutable served : int;
+}
+
+let create engine ~concurrency ~op_cost =
+  assert (concurrency >= 1 && op_cost >= 0.0);
+  {
+    engine;
+    ns = Namespace.create ();
+    gate = Semaphore_sim.create engine ~value:concurrency;
+    op_cost;
+    served = 0;
+  }
+
+let perform t f =
+  Semaphore_sim.acquire t.gate;
+  Engine.sleep t.op_cost;
+  let r = f t.ns in
+  t.served <- t.served + 1;
+  Semaphore_sim.release t.gate;
+  r
+
+let namespace t = t.ns
+let ops t = t.served

@@ -1,0 +1,18 @@
+open Danaus_sim
+
+(** Metadata server: wraps the authoritative {!Namespace} with service
+    costs (bounded concurrency and per-op CPU). *)
+
+type t
+
+val create : Engine.t -> concurrency:int -> op_cost:float -> t
+
+(** Run a namespace operation under the MDS service discipline
+    (blocking). *)
+val perform : t -> (Namespace.t -> 'a) -> 'a
+
+(** Direct, cost-free namespace access for cluster setup and tests. *)
+val namespace : t -> Namespace.t
+
+(** Operations served so far. *)
+val ops : t -> int

@@ -1,0 +1,165 @@
+type attr = { ino : int; size : int; is_dir : bool }
+
+type entry = { mutable e_size : int; e_ino : int; e_is_dir : bool }
+
+type t = {
+  entries : (string, entry) Hashtbl.t;
+  children : (string, (string, unit) Hashtbl.t) Hashtbl.t;
+  mutable next_ino : int;
+}
+
+type error = No_entry | Exists | Not_dir | Is_dir | Not_empty | No_parent
+
+let error_to_string = function
+  | No_entry -> "no such file or directory"
+  | Exists -> "file exists"
+  | Not_dir -> "not a directory"
+  | Is_dir -> "is a directory"
+  | Not_empty -> "directory not empty"
+  | No_parent -> "parent does not exist"
+
+let create () =
+  let t = { entries = Hashtbl.create 1024; children = Hashtbl.create 256; next_ino = 2 } in
+  Hashtbl.add t.entries "/" { e_size = 0; e_ino = 1; e_is_dir = true };
+  Hashtbl.add t.children "/" (Hashtbl.create 16);
+  t
+
+let attr_of e = { ino = e.e_ino; size = e.e_size; is_dir = e.e_is_dir }
+
+let lookup t path =
+  Option.map attr_of (Hashtbl.find_opt t.entries (Fspath.normalize path))
+
+let child_table t dir =
+  match Hashtbl.find_opt t.children dir with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 8 in
+      Hashtbl.add t.children dir tbl;
+      tbl
+
+let add_entry t path ~is_dir =
+  let path = Fspath.normalize path in
+  match Hashtbl.find_opt t.entries path with
+  | Some _ -> Error Exists
+  | None -> begin
+      let parent = Fspath.parent path in
+      match Hashtbl.find_opt t.entries parent with
+      | None -> Error No_parent
+      | Some p when not p.e_is_dir -> Error Not_dir
+      | Some _ ->
+          let e = { e_size = 0; e_ino = t.next_ino; e_is_dir = is_dir } in
+          t.next_ino <- t.next_ino + 1;
+          Hashtbl.add t.entries path e;
+          Hashtbl.replace (child_table t parent) (Fspath.basename path) ();
+          if is_dir then Hashtbl.add t.children path (Hashtbl.create 8);
+          Ok (attr_of e)
+    end
+
+let create_file t path = add_entry t path ~is_dir:false
+let mkdir t path = add_entry t path ~is_dir:true
+
+let rec mkdir_p t path =
+  let path = Fspath.normalize path in
+  match Hashtbl.find_opt t.entries path with
+  | Some e when e.e_is_dir -> Ok (attr_of e)
+  | Some _ -> Error Not_dir
+  | None -> begin
+      if Fspath.is_root path then Error No_parent
+      else
+        match mkdir_p t (Fspath.parent path) with
+        | Error _ as err -> err
+        | Ok _ -> mkdir t path
+    end
+
+let readdir t path =
+  let path = Fspath.normalize path in
+  match Hashtbl.find_opt t.entries path with
+  | None -> Error No_entry
+  | Some e when not e.e_is_dir -> Error Not_dir
+  | Some _ ->
+      let tbl = child_table t path in
+      Ok (Hashtbl.fold (fun name () acc -> name :: acc) tbl [] |> List.sort String.compare)
+
+let remove_from_parent t path =
+  let parent = Fspath.parent path in
+  match Hashtbl.find_opt t.children parent with
+  | Some tbl -> Hashtbl.remove tbl (Fspath.basename path)
+  | None -> ()
+
+let unlink t path =
+  let path = Fspath.normalize path in
+  match Hashtbl.find_opt t.entries path with
+  | None -> Error No_entry
+  | Some e when e.e_is_dir -> Error Is_dir
+  | Some _ ->
+      Hashtbl.remove t.entries path;
+      remove_from_parent t path;
+      Ok ()
+
+let rmdir t path =
+  let path = Fspath.normalize path in
+  match Hashtbl.find_opt t.entries path with
+  | None -> Error No_entry
+  | Some e when not e.e_is_dir -> Error Not_dir
+  | Some _ ->
+      let tbl = child_table t path in
+      if Hashtbl.length tbl > 0 then Error Not_empty
+      else begin
+        Hashtbl.remove t.entries path;
+        Hashtbl.remove t.children path;
+        remove_from_parent t path;
+        Ok ()
+      end
+
+let rename t ~src ~dst =
+  let src = Fspath.normalize src and dst = Fspath.normalize dst in
+  match Hashtbl.find_opt t.entries src with
+  | None -> Error No_entry
+  | Some _ when Hashtbl.mem t.entries dst -> Error Exists
+  | Some e -> begin
+      match Hashtbl.find_opt t.entries (Fspath.parent dst) with
+      | None -> Error No_parent
+      | Some p when not p.e_is_dir -> Error Not_dir
+      | Some _ ->
+          (* move the entry and, for directories, every descendant *)
+          let moves = ref [ (src, dst) ] in
+          if e.e_is_dir then begin
+            let prefix = src ^ "/" in
+            Hashtbl.iter
+              (fun path _ ->
+                if String.length path > String.length prefix
+                   && String.starts_with ~prefix path then
+                  moves :=
+                    ( path,
+                      dst
+                      ^ String.sub path (String.length src)
+                          (String.length path - String.length src) )
+                    :: !moves)
+              t.entries
+          end;
+          List.iter
+            (fun (old_path, new_path) ->
+              let entry = Hashtbl.find t.entries old_path in
+              Hashtbl.remove t.entries old_path;
+              Hashtbl.replace t.entries new_path entry;
+              (match Hashtbl.find_opt t.children old_path with
+              | Some tbl ->
+                  Hashtbl.remove t.children old_path;
+                  Hashtbl.replace t.children new_path tbl
+              | None -> ()))
+            !moves;
+          remove_from_parent t src;
+          Hashtbl.replace (child_table t (Fspath.parent dst)) (Fspath.basename dst) ();
+          Ok ()
+    end
+
+let set_size t path size =
+  let path = Fspath.normalize path in
+  match Hashtbl.find_opt t.entries path with
+  | None -> Error No_entry
+  | Some e when e.e_is_dir -> Error Is_dir
+  | Some e ->
+      e.e_size <- size;
+      Ok ()
+
+let entry_count t = Hashtbl.length t.entries

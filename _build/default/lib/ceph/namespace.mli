@@ -1,0 +1,43 @@
+(** Authoritative filesystem namespace held by the metadata server:
+    the inode table and directory tree of the distributed filesystem. *)
+
+type t
+
+type attr = { ino : int; size : int; is_dir : bool }
+
+type error = No_entry | Exists | Not_dir | Is_dir | Not_empty | No_parent
+
+val error_to_string : error -> string
+
+(** Fresh namespace containing only the root directory "/". *)
+val create : unit -> t
+
+val lookup : t -> string -> attr option
+
+(** Create a regular file of size 0; the parent must exist and be a
+    directory. *)
+val create_file : t -> string -> (attr, error) result
+
+val mkdir : t -> string -> (attr, error) result
+
+(** Create the directory and any missing ancestors. *)
+val mkdir_p : t -> string -> (attr, error) result
+
+(** Child names of a directory, sorted. *)
+val readdir : t -> string -> (string list, error) result
+
+(** Remove a file. *)
+val unlink : t -> string -> (unit, error) result
+
+(** Remove an empty directory. *)
+val rmdir : t -> string -> (unit, error) result
+
+(** Move a file or (sub)tree; the destination must not exist and the
+    destination parent must be a directory. *)
+val rename : t -> src:string -> dst:string -> (unit, error) result
+
+(** Grow/shrink a file's recorded size. *)
+val set_size : t -> string -> int -> (unit, error) result
+
+(** Number of entries (including "/"). *)
+val entry_count : t -> int

@@ -1,0 +1,75 @@
+open Danaus_sim
+open Danaus_hw
+
+type t = {
+  engine : Engine.t;
+  osd_name : string;
+  data : Disk.t;
+  journal : Disk.t;
+  gate : Semaphore_sim.t;
+  op_cost : float;
+  cpu_per_byte : float;
+  objects : (string, int) Hashtbl.t;
+  mutable written : float;
+  mutable read_bytes : float;
+  mutable up : bool;
+}
+
+let create engine ~name ~data ~journal ~concurrency ~op_cost ~cpu_per_byte =
+  assert (concurrency >= 1 && op_cost >= 0.0 && cpu_per_byte >= 0.0);
+  {
+    engine;
+    osd_name = name;
+    data;
+    journal;
+    gate = Semaphore_sim.create engine ~value:concurrency;
+    op_cost;
+    cpu_per_byte;
+    objects = Hashtbl.create 4096;
+    written = 0.0;
+    read_bytes = 0.0;
+    up = true;
+  }
+
+let name t = t.osd_name
+let is_up t = t.up
+let set_up t up = t.up <- up
+
+let with_gate t f =
+  Semaphore_sim.acquire t.gate;
+  match f () with
+  | v ->
+      Semaphore_sim.release t.gate;
+      v
+  | exception exn ->
+      Semaphore_sim.release t.gate;
+      raise exn
+
+let cpu_time t bytes = t.op_cost +. (float_of_int bytes *. t.cpu_per_byte)
+
+let write t ~obj ~bytes =
+  assert (bytes >= 0);
+  with_gate t (fun () ->
+      Engine.sleep (cpu_time t bytes);
+      Disk.write t.journal ~bytes ~random:false;
+      Disk.write t.data ~bytes ~random:false;
+      let prev = Option.value ~default:0 (Hashtbl.find_opt t.objects obj) in
+      Hashtbl.replace t.objects obj (Stdlib.max prev bytes);
+      t.written <- t.written +. float_of_int bytes)
+
+let read t ~obj ~bytes =
+  assert (bytes >= 0);
+  ignore obj;
+  with_gate t (fun () ->
+      Engine.sleep (cpu_time t bytes);
+      Disk.read t.data ~bytes ~random:false;
+      t.read_bytes <- t.read_bytes +. float_of_int bytes)
+
+let delete t ~obj = Hashtbl.remove t.objects obj
+
+let object_size t ~obj =
+  Option.value ~default:0 (Hashtbl.find_opt t.objects obj)
+
+let objects_stored t = Hashtbl.length t.objects
+let bytes_written t = t.written
+let bytes_read t = t.read_bytes

@@ -1,0 +1,47 @@
+open Danaus_sim
+open Danaus_hw
+
+(** Object storage device: one storage server of the cluster.
+
+    Serves object reads/writes with bounded concurrency; a write hits the
+    journal and then the backing store (FileStore-style), a read only the
+    backing store.  Devices are the paper's ramdisk-backed OSDs. *)
+
+type t
+
+(** [create engine ~name ~data ~journal ~concurrency ~op_cost
+    ~cpu_per_byte] builds an OSD.  [op_cost] is fixed CPU per request;
+    [cpu_per_byte] covers checksum/dispatch per payload byte. *)
+val create :
+  Engine.t ->
+  name:string ->
+  data:Disk.t ->
+  journal:Disk.t ->
+  concurrency:int ->
+  op_cost:float ->
+  cpu_per_byte:float ->
+  t
+
+val name : t -> string
+
+(** Availability: a down OSD is skipped by the cluster's data path
+    (replica failover); initially up. *)
+val is_up : t -> bool
+
+val set_up : t -> bool -> unit
+
+(** Service a write of [bytes] to object [obj] (blocking). *)
+val write : t -> obj:string -> bytes:int -> unit
+
+(** Service a read (blocking). *)
+val read : t -> obj:string -> bytes:int -> unit
+
+(** Remove an object (namespace-only bookkeeping). *)
+val delete : t -> obj:string -> unit
+
+(** Highest byte written to the object so far (0 if absent). *)
+val object_size : t -> obj:string -> int
+
+val objects_stored : t -> int
+val bytes_written : t -> float
+val bytes_read : t -> float

@@ -1,0 +1,20 @@
+let default_object_size = 4 * 1024 * 1024
+
+let name ~ino ~index = Printf.sprintf "%x.%08x" ino index
+
+let objects ~object_size ~ino ~off ~len =
+  assert (object_size > 0 && off >= 0);
+  if len <= 0 then []
+  else begin
+    let first = off / object_size and last = (off + len - 1) / object_size in
+    List.init
+      (last - first + 1)
+      (fun i ->
+        let index = first + i in
+        let obj_start = index * object_size in
+        let obj_end = obj_start + object_size in
+        let lo = Stdlib.max off obj_start and hi = Stdlib.min (off + len) obj_end in
+        (name ~ino ~index, hi - lo))
+  end
+
+let object_of ~object_size ~ino ~off = name ~ino ~index:(off / object_size)

@@ -1,0 +1,1 @@
+lib/client/client_intf.ml: Cgroup Danaus_ceph Danaus_kernel Namespace

@@ -1,0 +1,1 @@
+lib/client/fd_table.ml: Client_intf Danaus_ceph Hashtbl Namespace

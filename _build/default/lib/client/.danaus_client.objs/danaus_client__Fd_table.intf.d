@@ -1,0 +1,1 @@
+lib/client/fd_table.mli: Client_intf Danaus_ceph Namespace

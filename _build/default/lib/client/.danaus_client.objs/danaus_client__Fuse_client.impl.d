@@ -1,0 +1,1 @@
+lib/client/fuse_client.ml: Cgroup Client_intf Danaus_kernel Fuse Kernel Lib_client Pagecache_wrap

@@ -1,0 +1,1 @@
+lib/client/fuse_client.mli: Cgroup Client_intf Cluster Danaus_ceph Danaus_kernel Kernel Lib_client

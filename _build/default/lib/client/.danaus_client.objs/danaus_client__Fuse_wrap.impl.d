@@ -1,0 +1,1 @@
+lib/client/fuse_wrap.ml: Client_intf Danaus_kernel Fuse

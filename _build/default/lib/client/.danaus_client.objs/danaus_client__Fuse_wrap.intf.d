@@ -1,0 +1,1 @@
+lib/client/fuse_wrap.mli: Cgroup Client_intf Danaus_kernel Kernel

@@ -1,0 +1,1 @@
+lib/client/kernel_client.ml: Client_intf Cluster Danaus_ceph Danaus_kernel Danaus_sim Engine Fd_table Fspath Hashtbl Kernel Mutex_sim Namespace Page_cache Stdlib

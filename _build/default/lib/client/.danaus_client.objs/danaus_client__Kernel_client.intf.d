@@ -1,0 +1,1 @@
+lib/client/kernel_client.mli: Client_intf Cluster Danaus_ceph Danaus_kernel Kernel

@@ -1,0 +1,1 @@
+lib/client/lib_client.mli: Cgroup Client_intf Cluster Costs Counters Cpu Danaus_ceph Danaus_hw Danaus_kernel Danaus_sim Engine Mutex_sim

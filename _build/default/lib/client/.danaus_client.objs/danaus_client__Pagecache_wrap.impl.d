@@ -1,0 +1,1 @@
+lib/client/pagecache_wrap.ml: Client_intf Danaus_ceph Danaus_kernel Fspath Hashtbl Kernel Page_cache Result Stdlib

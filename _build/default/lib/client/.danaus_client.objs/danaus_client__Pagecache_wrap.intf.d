@@ -1,0 +1,1 @@
+lib/client/pagecache_wrap.mli: Client_intf Danaus_kernel Kernel

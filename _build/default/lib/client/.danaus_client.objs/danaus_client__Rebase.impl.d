@@ -1,0 +1,1 @@
+lib/client/rebase.ml: Client_intf Danaus_ceph Fspath

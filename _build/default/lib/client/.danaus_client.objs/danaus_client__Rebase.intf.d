@@ -1,0 +1,1 @@
+lib/client/rebase.mli: Client_intf

@@ -1,0 +1,55 @@
+open Danaus_ceph
+
+type entry = {
+  path : string;
+  ino : int;
+  flags : Client_intf.flags;
+  mutable written : bool;
+  mutable last_end : int; (* end offset of the previous read (readahead) *)
+}
+
+type t = {
+  fds : (int, entry) Hashtbl.t;
+  sizes : (int, int ref) Hashtbl.t;
+  cursors : (int, int ref) Hashtbl.t;
+  attrs : (string, Namespace.attr option * float) Hashtbl.t;
+  mutable next_fd : int;
+}
+
+let create () =
+  {
+    fds = Hashtbl.create 64;
+    sizes = Hashtbl.create 1024;
+    cursors = Hashtbl.create 1024;
+    attrs = Hashtbl.create 1024;
+    next_fd = 3;
+  }
+
+let insert t ~path ~ino ~flags =
+  let fd = t.next_fd in
+  t.next_fd <- t.next_fd + 1;
+  Hashtbl.add t.fds fd { path; ino; flags; written = false; last_end = 0 };
+  fd
+
+let find t fd = Hashtbl.find_opt t.fds fd
+let remove t fd = Hashtbl.remove t.fds fd
+
+let cell tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add tbl key r;
+      r
+
+let size_ref t ino = cell t.sizes ino
+let cursor_ref t ino = cell t.cursors ino
+let put_attr t path attr ~now = Hashtbl.replace t.attrs path (attr, now)
+
+let get_attr t path ~now ~lease =
+  match Hashtbl.find_opt t.attrs path with
+  | Some (attr, at) when now -. at <= lease -> Some attr
+  | Some _ | None -> None
+
+let drop_attr t path = Hashtbl.remove t.attrs path
+let open_count t = Hashtbl.length t.fds

@@ -1,0 +1,43 @@
+open Danaus_ceph
+
+(** Per-client open-file table shared by the client implementations:
+    descriptor allocation plus the client-local view of file sizes and
+    writeback cursors. *)
+
+type entry = {
+  path : string;
+  ino : int;
+  flags : Client_intf.flags;
+  mutable written : bool;
+  mutable last_end : int;
+      (** end offset of the previous read, for sequential detection *)
+}
+
+type t
+
+val create : unit -> t
+
+(** Allocate a descriptor for a new open file. *)
+val insert : t -> path:string -> ino:int -> flags:Client_intf.flags -> Client_intf.fd
+
+val find : t -> Client_intf.fd -> entry option
+val remove : t -> Client_intf.fd -> unit
+
+(** Client-local authoritative size of an inode (shared across opens). *)
+val size_ref : t -> int -> int ref
+
+(** Monotonic writeback offset cursor of an inode. *)
+val cursor_ref : t -> int -> int ref
+
+(** Record an attribute-cache entry at time [now] ([None] caches a
+    negative lookup). *)
+val put_attr : t -> string -> Namespace.attr option -> now:float -> unit
+
+(** Cached attribute, if the path was looked up within the [lease]
+    window ending at [now] (the client's metadata consistency lease,
+    §3.4: changes by other clients become visible once the lease
+    expires). *)
+val get_attr : t -> string -> now:float -> lease:float -> Namespace.attr option option
+
+val drop_attr : t -> string -> unit
+val open_count : t -> int

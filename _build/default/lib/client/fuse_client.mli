@@ -1,0 +1,33 @@
+open Danaus_kernel
+open Danaus_ceph
+
+(** FUSE-based Ceph client (ceph-fuse): a {!Lib_client} running as a
+    user-level daemon reached through the kernel's FUSE transport.
+
+    Two variants (Table 1):
+    - "F": direct I/O — every operation crosses FUSE; only the daemon's
+      user-level object cache holds data.
+    - "FP": the kernel page cache is kept on top, so reads hit it without
+      crossing FUSE but every cached byte is held twice (double caching,
+      the memory blow-up of Fig. 11b). *)
+
+type t
+
+(** [create kernel ~cluster ~pool ~config ~name ~page_cache ~threads ()]
+    builds the daemon inside [pool] and starts its FUSE worker threads
+    and writeback thread. *)
+val create :
+  Kernel.t ->
+  cluster:Cluster.t ->
+  pool:Cgroup.t ->
+  config:Lib_client.config ->
+  name:string ->
+  page_cache:bool ->
+  ?threads:int ->
+  unit ->
+  t
+
+val iface : t -> Client_intf.t
+
+(** The wrapped user-level client. *)
+val inner : t -> Lib_client.t

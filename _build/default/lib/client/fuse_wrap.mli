@@ -1,0 +1,22 @@
+open Danaus_kernel
+
+(** Generic FUSE-ification of a filesystem instance: every operation of
+    the wrapped interface is routed through the kernel's FUSE transport
+    to daemon threads running in [pool].
+
+    Used for unionfs-fuse (the F/K, F/F and FP/FP configurations of
+    Table 1): the union logic itself stays transport-free and the
+    crossings are added here.  When the wrapped instance is itself a
+    {!Fuse_client}, an operation pays *two* FUSE round trips — the double
+    crossing that makes F/F an order of magnitude slower than Danaus in
+    the paper's container-startup experiment (Fig. 8). *)
+
+(** [wrap kernel ~pool ~name ~threads iface] returns the FUSE-mediated
+    view of [iface]. *)
+val wrap :
+  Kernel.t ->
+  pool:Cgroup.t ->
+  name:string ->
+  ?threads:int ->
+  Client_intf.t ->
+  Client_intf.t

@@ -1,0 +1,497 @@
+open Danaus_sim
+open Danaus_hw
+open Danaus_kernel
+open Danaus_ceph
+
+type config = {
+  cache_bytes : int;
+  dirty_ratio : float;
+  readahead : int;
+  writeback_interval : float;
+  expire_interval : float;
+  fine_grained_locking : bool;
+  attr_lease : float;
+  write_through : bool;
+}
+
+let default_config ~cache_bytes =
+  {
+    cache_bytes;
+    dirty_ratio = 0.5;
+    readahead = 4 * 1024 * 1024;
+    writeback_interval = 1.0;
+    expire_interval = 5.0;
+    fine_grained_locking = false;
+    attr_lease = 1.0;
+    write_through = false;
+  }
+
+type t = {
+  engine : Engine.t;
+  cpu : Cpu.t;
+  costs : Costs.t;
+  cluster : Cluster.t;
+  pool : Cgroup.t;
+  counters : Counters.t;
+  config : config;
+  name : string;
+  lock : Mutex_sim.t;
+  cache : Page_cache.t;
+  cache_mount : Page_cache.mount;
+  cache_mem : Memory.t;
+  table : Fd_table.t;
+  flush_window : Semaphore_sim.t;
+  (* per-inode fetch locks: concurrent readers of the same file fetch a
+     missing range once (page-lock single-flight semantics) *)
+  fetch_locks : (int, Mutex_sim.t) Hashtbl.t;
+  (* per-inode cache locks, used instead of the global client_lock when
+     fine-grained locking is enabled (the refactoring the paper leaves as
+     future work, S6.3.2/S9) *)
+  ino_locks : (int, Mutex_sim.t) Hashtbl.t;
+  mutable started : bool;
+}
+
+let flush_chunk = 4 * 1024 * 1024
+
+let create engine ~cpu ~costs ~cluster ~pool ~counters ~config ~name =
+  let cache_mem = Memory.create ~name:(name ^ ".ulcc") () in
+  let cache =
+    Page_cache.create engine ~mem:cache_mem ~limit:config.cache_bytes
+      ~block:(64 * 1024)
+  in
+  let cache_mount =
+    Page_cache.add_mount cache ~name:(name ^ ".data")
+      ~max_dirty:
+        (Stdlib.max 1
+           (int_of_float (config.dirty_ratio *. float_of_int config.cache_bytes)))
+      ()
+  in
+  {
+    engine;
+    cpu;
+    costs;
+    cluster;
+    pool;
+    counters;
+    config;
+    name;
+    lock = Mutex_sim.create engine ~name:(name ^ ".client_lock");
+    cache;
+    cache_mount;
+    cache_mem;
+    table = Fd_table.create ();
+    flush_window = Semaphore_sim.create engine ~value:8;
+    fetch_locks = Hashtbl.create 64;
+    ino_locks = Hashtbl.create 64;
+    started = false;
+  }
+
+let client_lock t = t.lock
+let cache_used t = Memory.used t.cache_mem
+let dirty_bytes t = Page_cache.dirty_bytes t.cache t.cache_mount
+
+(* User-level CPU on the owning pool's reserved cores. *)
+let user_cpu t dt =
+  if dt > 0.0 then
+    Cpu.compute t.cpu ~tenant:(Cgroup.name t.pool) ~eligible:(Cgroup.cores t.pool) dt
+
+(* Network operations go through kernel sockets: two mode switches to
+   send/receive plus a blocking context-switch pair. *)
+let net_op t f =
+  user_cpu t ((2.0 *. t.costs.mode_switch) +. (2.0 *. t.costs.context_switch));
+  Counters.add t.counters ~metric:"context_switches" ~key:(Cgroup.name t.pool) 2.0;
+  f ()
+
+let size_ref t ino = Fd_table.size_ref t.table ino
+
+let fetch_lock t ino =
+  match Hashtbl.find_opt t.fetch_locks ino with
+  | Some m -> m
+  | None ->
+      let m = Mutex_sim.create t.engine ~name:(t.name ^ ".fetch") in
+      Hashtbl.add t.fetch_locks ino m;
+      m
+
+(* The lock guarding cache operations on [ino]: the coarse global
+   client_lock of libcephfs by default, a per-inode lock when the client
+   is configured with fine-grained locking. *)
+let cache_lock t ino =
+  if not t.config.fine_grained_locking then t.lock
+  else
+    match Hashtbl.find_opt t.ino_locks ino with
+    | Some m -> m
+    | None ->
+        let m = Mutex_sim.create t.engine ~name:(t.name ^ ".ino_lock") in
+        Hashtbl.add t.ino_locks ino m;
+        m
+let cursor_ref t ino = Fd_table.cursor_ref t.table ino
+
+let cache_file t ino =
+  let cur = cursor_ref t ino in
+  Page_cache.file t.cache t.cache_mount ~key:(string_of_int ino)
+    ~flush:(fun ~bytes ->
+      let off = !cur in
+      cur := !cur + bytes;
+      net_op t (fun () -> Cluster.write_range t.cluster ~ino ~off ~len:bytes))
+
+(* Flush dirty work selected by the caller: writeback CPU is charged to
+   the pool serially, but the network round trips of the 4 MB chunks are
+   pipelined within a bounded in-flight window.  [wait] makes the call
+   return only once every chunk reached the backend (fsync and
+   write-through semantics); without it the flush is fire-and-forget
+   (background writeback). *)
+let do_flush ?(wait = false) t work =
+  let wg = Waitgroup.create t.engine in
+  List.iter
+    (fun (file, bytes) ->
+      let rec submit remaining =
+        if remaining > 0 then begin
+          let n = Stdlib.min flush_chunk remaining in
+          user_cpu t (float_of_int n *. t.costs.user_flush_per_byte);
+          Semaphore_sim.acquire t.flush_window;
+          Waitgroup.add wg;
+          Engine.fork ~name:(t.name ^ ".flush-io") (fun () ->
+              Page_cache.run_flush file ~bytes:n;
+              Page_cache.writeback_complete t.cache t.cache_mount ~bytes:n;
+              Semaphore_sim.release t.flush_window;
+              Waitgroup.finish wg);
+          submit (remaining - n)
+        end
+      in
+      submit bytes)
+    work;
+  if wait then Waitgroup.wait wg
+
+(* Writer-side throttling: once over the dirty limit, the writer itself
+   flushes chunks until the cache is back under it. *)
+let throttle_writeback t =
+  let max_dirty =
+    Stdlib.max 1
+      (int_of_float (t.config.dirty_ratio *. float_of_int t.config.cache_bytes))
+  in
+  while Page_cache.dirty_bytes t.cache t.cache_mount > max_dirty do
+    let work =
+      Page_cache.take_dirty t.cache t.cache_mount
+        ~older_than:(Engine.now t.engine) ~max_bytes:flush_chunk
+    in
+    match work with
+    | [] ->
+        (* everything is already under writeback: wait for completions *)
+        Page_cache.throttle_mount t.cache t.cache_mount
+    | work -> do_flush t work
+  done
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    Engine.spawn t.engine ~name:(t.name ^ ".writeback") (fun () ->
+        while true do
+          Engine.sleep t.config.writeback_interval;
+          let now = Engine.now t.engine in
+          let work =
+            Page_cache.take_dirty t.cache t.cache_mount
+              ~older_than:(now -. t.config.expire_interval) ~max_bytes:max_int
+          in
+          do_flush t work
+        done)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Metadata *)
+
+let put_attr t path attr =
+  Fd_table.put_attr t.table path attr ~now:(Engine.now t.engine)
+
+(* The MDS resolves lookups component-wise: a miss tells the client the
+   deepest missing ancestor, and that single negative dentry answers
+   every path beneath it until it expires or something is created. *)
+let cache_negative_ancestor t path =
+  let ns = Cluster.namespace t.cluster in
+  let rec first_missing p =
+    let parent = Fspath.parent p in
+    if Fspath.is_root p || Namespace.lookup ns parent <> None then p
+    else first_missing parent
+  in
+  put_attr t (first_missing path) None
+
+let rec has_negative_ancestor t ~now ~lease path =
+  if Fspath.is_root path then false
+  else
+    match Fd_table.get_attr t.table path ~now ~lease with
+    | Some None -> true
+    | Some (Some _) -> false
+    | None -> has_negative_ancestor t ~now ~lease (Fspath.parent path)
+
+(* A successful create makes every cached ancestor negative stale. *)
+let rec drop_negative_ancestors t path =
+  if not (Fspath.is_root path) then begin
+    (match
+       Fd_table.get_attr t.table path ~now:(Engine.now t.engine)
+         ~lease:t.config.attr_lease
+     with
+    | Some None -> Fd_table.drop_attr t.table path
+    | Some (Some _) | None -> ());
+    drop_negative_ancestors t (Fspath.parent path)
+  end
+
+let stat_uncached t path =
+  let attr = net_op t (fun () -> Cluster.lookup t.cluster path) in
+  put_attr t path attr;
+  (match attr with
+  | Some a when not a.Namespace.is_dir ->
+      (* never shrink below the locally-written size: our own buffered
+         writes are ahead of the MDS until they are flushed *)
+      let r = size_ref t a.Namespace.ino in
+      r := Stdlib.max !r a.Namespace.size
+  | Some _ -> ()
+  | None -> cache_negative_ancestor t path);
+  attr
+
+let stat_cached t path =
+  user_cpu t t.costs.page_cache_op;
+  let now = Engine.now t.engine in
+  let lease = t.config.attr_lease in
+  match Fd_table.get_attr t.table path ~now ~lease with
+  | Some cached -> cached
+  | None ->
+      if has_negative_ancestor t ~now ~lease (Fspath.parent path) then None
+      else stat_uncached t path
+
+(* ------------------------------------------------------------------ *)
+(* File operations *)
+
+let lookup_fd t fd = Fd_table.find t.table fd
+
+let do_create t path =
+  match net_op t (fun () -> Cluster.create_file t.cluster path) with
+  | Ok attr ->
+      put_attr t path (Some attr);
+      drop_negative_ancestors t (Fspath.parent path);
+      size_ref t attr.Namespace.ino := 0;
+      Ok attr
+  | Error Namespace.Exists -> begin
+      (* lost a create race with another thread: adopt the winner's file *)
+      match stat_uncached t path with
+      | Some attr -> Ok attr
+      | None -> Error Namespace.Exists
+    end
+  | Error Namespace.No_parent -> begin
+      (* create missing ancestors, then retry once *)
+      match net_op t (fun () -> Cluster.mkdir_p t.cluster (Fspath.parent path)) with
+      | Error e -> Error e
+      | Ok _ -> begin
+          match net_op t (fun () -> Cluster.create_file t.cluster path) with
+          | Ok attr ->
+              put_attr t path (Some attr);
+              drop_negative_ancestors t (Fspath.parent path);
+              size_ref t attr.Namespace.ino := 0;
+              Ok attr
+          | Error _ as e -> e
+        end
+    end
+  | Error _ as e -> e
+
+let truncate_file t ino =
+  (* cached contents are obsolete: discard dirty data and drop blocks *)
+  let file = cache_file t ino in
+  Page_cache.discard_dirty file;
+  Page_cache.invalidate file;
+  size_ref t ino := 0
+
+let open_file t ~pool:_ path (flags : Client_intf.flags) =
+  user_cpu t t.costs.vfs_op;
+  let path = Fspath.normalize path in
+  match stat_cached t path with
+  | Some a when a.Namespace.is_dir -> Error (Client_intf.Fs Namespace.Is_dir)
+  | Some a ->
+      if flags.trunc then truncate_file t a.Namespace.ino;
+      Ok (Fd_table.insert t.table ~path ~ino:a.Namespace.ino ~flags)
+  | None ->
+      if not flags.create then Error (Client_intf.Fs Namespace.No_entry)
+      else begin
+        match do_create t path with
+        | Error e -> Error (Client_intf.Fs e)
+        | Ok attr ->
+            Ok (Fd_table.insert t.table ~path ~ino:attr.Namespace.ino ~flags)
+      end
+
+let push_size t of_ =
+  if of_.Fd_table.written then begin
+    let size = !(size_ref t of_.Fd_table.ino) in
+    ignore (net_op t (fun () -> Cluster.set_size t.cluster of_.Fd_table.path size));
+    put_attr t of_.Fd_table.path
+      (Some { Namespace.ino = of_.Fd_table.ino; size; is_dir = false })
+  end
+
+let close t ~pool:_ fd =
+  match lookup_fd t fd with
+  | None -> ()
+  | Some of_ ->
+      push_size t of_;
+      Fd_table.remove t.table fd
+
+let read t ~pool:_ fd ~off ~len =
+  match lookup_fd t fd with
+  | None -> Error Client_intf.Bad_fd
+  | Some of_ ->
+      let size = !(size_ref t of_.Fd_table.ino) in
+      let len = Stdlib.max 0 (Stdlib.min len (size - off)) in
+      if len = 0 then Ok 0
+      else begin
+        user_cpu t t.costs.vfs_op;
+        (* with fine-grained locking, cached reads traverse the object
+           cache lock-free (per-block granularity); the stock client
+           serialises the lookup and the copy under client_lock *)
+        let lk = if t.config.fine_grained_locking then None else Some t.lock in
+        Option.iter Mutex_sim.lock lk;
+        user_cpu t t.costs.page_cache_op;
+        let file = cache_file t of_.Fd_table.ino in
+        let miss = Page_cache.missing file ~off ~len in
+        if miss > 0 then begin
+          (* fetch misses with the client lock released; the per-inode
+             fetch lock makes concurrent readers of the same range fetch
+             it once; readahead only for sequential patterns *)
+          Option.iter Mutex_sim.unlock lk;
+          let fl = fetch_lock t of_.Fd_table.ino in
+          Mutex_sim.lock fl;
+          let miss = Page_cache.missing file ~off ~len in
+          if miss > 0 then begin
+            let sequential = off = of_.Fd_table.last_end in
+            let ra =
+              if sequential then
+                Stdlib.min t.config.readahead (Stdlib.max 0 (size - (off + len)))
+              else 0
+            in
+            net_op t (fun () ->
+                Cluster.read_range t.cluster ~ino:of_.Fd_table.ino ~off
+                  ~len:(miss + ra));
+            Page_cache.insert_clean file ~off ~len:(len + ra)
+          end;
+          Mutex_sim.unlock fl;
+          Option.iter Mutex_sim.lock lk
+        end;
+        (* copy out of the cache (under client_lock in the stock client) *)
+        user_cpu t (float_of_int len *. t.costs.copy_per_byte);
+        Option.iter Mutex_sim.unlock lk;
+        of_.Fd_table.last_end <- off + len;
+        Ok len
+      end
+
+let write t ~pool:_ fd ~off ~len =
+  match lookup_fd t fd with
+  | None -> Error Client_intf.Bad_fd
+  | Some of_ ->
+      if not of_.Fd_table.flags.wr then Error Client_intf.Bad_fd
+      else begin
+        user_cpu t t.costs.vfs_op;
+        let lk = cache_lock t of_.Fd_table.ino in
+        Mutex_sim.lock lk;
+        user_cpu t (float_of_int len *. t.costs.copy_per_byte);
+        let file = cache_file t of_.Fd_table.ino in
+        Page_cache.write file ~off ~len;
+        Mutex_sim.unlock lk;
+        let size = size_ref t of_.Fd_table.ino in
+        if off + len > !size then size := off + len;
+        of_.Fd_table.written <- true;
+        if t.config.write_through then
+          (* per-service consistency setting (§5): push this write's data
+             to the backend before returning *)
+          do_flush ~wait:true t (Page_cache.flush_file file)
+        else throttle_writeback t;
+        Ok ()
+      end
+
+let append t ~pool fd ~len =
+  match lookup_fd t fd with
+  | None -> Error Client_intf.Bad_fd
+  | Some of_ ->
+      let off = !(size_ref t of_.Fd_table.ino) in
+      write t ~pool fd ~off ~len
+
+let fsync t ~pool:_ fd =
+  match lookup_fd t fd with
+  | None -> Error Client_intf.Bad_fd
+  | Some of_ ->
+      let file = cache_file t of_.Fd_table.ino in
+      do_flush ~wait:true t (Page_cache.flush_file file);
+      push_size t of_;
+      Ok ()
+
+let fd_size t fd =
+  match lookup_fd t fd with
+  | None -> Error Client_intf.Bad_fd
+  | Some of_ -> Ok !(size_ref t of_.Fd_table.ino)
+
+let stat t ~pool:_ path =
+  user_cpu t t.costs.vfs_op;
+  match stat_cached t (Fspath.normalize path) with
+  | Some a -> Ok a
+  | None -> Error (Client_intf.Fs Namespace.No_entry)
+
+let mkdir_p t ~pool:_ path =
+  user_cpu t t.costs.vfs_op;
+  let path = Fspath.normalize path in
+  match net_op t (fun () -> Cluster.mkdir_p t.cluster path) with
+  | Ok attr ->
+      put_attr t path (Some attr);
+      drop_negative_ancestors t path;
+      Ok ()
+  | Error e -> Error (Client_intf.Fs e)
+
+let readdir t ~pool:_ path =
+  user_cpu t t.costs.vfs_op;
+  match net_op t (fun () -> Cluster.readdir t.cluster path) with
+  | Ok names -> Ok names
+  | Error e -> Error (Client_intf.Fs e)
+
+let unlink t ~pool:_ path =
+  user_cpu t t.costs.vfs_op;
+  let path = Fspath.normalize path in
+  match stat_cached t path with
+  | None -> Error (Client_intf.Fs Namespace.No_entry)
+  | Some a -> begin
+      match net_op t (fun () -> Cluster.unlink t.cluster path) with
+      | Ok () ->
+          put_attr t path None;
+          if not a.Namespace.is_dir then begin
+            truncate_file t a.Namespace.ino;
+            net_op t (fun () ->
+                Cluster.delete_range t.cluster ~ino:a.Namespace.ino
+                  ~size:a.Namespace.size)
+          end;
+          Ok ()
+      | Error e -> Error (Client_intf.Fs e)
+    end
+
+let rename t ~pool:_ ~src ~dst =
+  user_cpu t t.costs.vfs_op;
+  let src = Fspath.normalize src and dst = Fspath.normalize dst in
+  match net_op t (fun () -> Cluster.rename t.cluster ~src ~dst) with
+  | Ok () ->
+      (match
+         Fd_table.get_attr t.table src ~now:(Engine.now t.engine)
+           ~lease:t.config.attr_lease
+       with
+      | Some attr -> put_attr t dst attr
+      | None -> ());
+      put_attr t src None;
+      Ok ()
+  | Error e -> Error (Client_intf.Fs e)
+
+let iface t =
+  {
+    Client_intf.name = t.name;
+    open_file = (fun ~pool path flags -> open_file t ~pool path flags);
+    close = (fun ~pool fd -> close t ~pool fd);
+    read = (fun ~pool fd ~off ~len -> read t ~pool fd ~off ~len);
+    write = (fun ~pool fd ~off ~len -> write t ~pool fd ~off ~len);
+    append = (fun ~pool fd ~len -> append t ~pool fd ~len);
+    fsync = (fun ~pool fd -> fsync t ~pool fd);
+    fd_size = (fun fd -> fd_size t fd);
+    stat = (fun ~pool path -> stat t ~pool path);
+    mkdir_p = (fun ~pool path -> mkdir_p t ~pool path);
+    readdir = (fun ~pool path -> readdir t ~pool path);
+    unlink = (fun ~pool path -> unlink t ~pool path);
+    rename = (fun ~pool ~src ~dst -> rename t ~pool ~src ~dst);
+    memory_used = (fun () -> cache_used t);
+  }

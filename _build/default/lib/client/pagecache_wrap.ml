@@ -1,0 +1,81 @@
+open Danaus_kernel
+open Danaus_ceph
+
+type state = {
+  kernel : Kernel.t;
+  inner : Client_intf.t;
+  mount : Page_cache.mount;
+  pw_name : string;
+  fd_paths : (Client_intf.fd, string) Hashtbl.t;
+}
+
+let pc_file st path =
+  Page_cache.file (Kernel.page_cache st.kernel) st.mount ~key:(st.pw_name ^ ":" ^ path)
+    ~flush:(fun ~bytes:_ -> ())
+
+let wrap kernel ~name ~max_dirty (inner : Client_intf.t) =
+  let st =
+    {
+      kernel;
+      inner;
+      mount = Page_cache.add_mount (Kernel.page_cache kernel) ~name ~max_dirty ();
+      pw_name = name;
+      fd_paths = Hashtbl.create 64;
+    }
+  in
+  let open_file ~pool path flags =
+    match inner.Client_intf.open_file ~pool path flags with
+    | Ok fd as ok ->
+        let path = Fspath.normalize path in
+        Hashtbl.replace st.fd_paths fd path;
+        if flags.Client_intf.trunc then Page_cache.invalidate (pc_file st path);
+        ok
+    | Error _ as e -> e
+  in
+  let read ~pool fd ~off ~len =
+    match Hashtbl.find_opt st.fd_paths fd with
+    | None -> inner.Client_intf.read ~pool fd ~off ~len
+    | Some path ->
+        let file = pc_file st path in
+        Kernel.syscall kernel ~pool (fun () ->
+            Kernel.pool_cpu kernel ~pool (Kernel.costs kernel).page_cache_op;
+            if Page_cache.missing file ~off ~len = 0 then begin
+              Kernel.copy kernel ~pool ~bytes:len;
+              let size =
+                match inner.Client_intf.fd_size fd with Ok s -> s | Error _ -> 0
+              in
+              Ok (Stdlib.max 0 (Stdlib.min len (size - off)))
+            end
+            else begin
+              match inner.Client_intf.read ~pool fd ~off ~len with
+              | Ok n as ok ->
+                  if n > 0 then Page_cache.insert_clean file ~off ~len:n;
+                  Kernel.copy kernel ~pool ~bytes:n;
+                  ok
+              | Error _ as e -> e
+            end)
+  in
+  let write ~pool fd ~off ~len =
+    let r = inner.Client_intf.write ~pool fd ~off ~len in
+    (match (r, Hashtbl.find_opt st.fd_paths fd) with
+    | Ok (), Some path -> Page_cache.insert_clean (pc_file st path) ~off ~len
+    | (Ok () | Error _), _ -> ());
+    r
+  in
+  let append ~pool fd ~len =
+    match inner.Client_intf.fd_size fd with
+    | Error _ as e -> Result.bind e (fun _ -> Ok ())
+    | Ok size -> write ~pool fd ~off:size ~len
+  in
+  {
+    inner with
+    Client_intf.name = name;
+    open_file;
+    close =
+      (fun ~pool fd ->
+        Hashtbl.remove st.fd_paths fd;
+        inner.Client_intf.close ~pool fd);
+    read;
+    write;
+    append;
+  }

@@ -1,0 +1,14 @@
+open Danaus_kernel
+
+(** Kernel page cache stacked on top of any filesystem instance.
+
+    Models mounting a FUSE filesystem *without* direct I/O: reads are
+    served from the page cache when possible (no crossing of the wrapped
+    transport), and writes go through the instance and leave a second
+    clean copy behind — the double caching whose memory cost Fig. 11b
+    quantifies (FP and FP/FP configurations). *)
+
+(** [wrap kernel ~name ~max_dirty iface].  [max_dirty] sizes the mount's
+    dirty limit; this layer only ever holds clean data, so it matters
+    only for completeness. *)
+val wrap : Kernel.t -> name:string -> max_dirty:int -> Client_intf.t -> Client_intf.t

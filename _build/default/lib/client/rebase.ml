@@ -1,0 +1,18 @@
+open Danaus_ceph
+
+let rebase ~prefix path =
+  if Fspath.is_root prefix then Fspath.normalize path
+  else Fspath.normalize (prefix ^ Fspath.normalize path)
+
+let wrap ~prefix (inner : Client_intf.t) =
+  let rb = rebase ~prefix in
+  {
+    inner with
+    Client_intf.name = inner.Client_intf.name ^ "@" ^ prefix;
+    open_file = (fun ~pool path flags -> inner.Client_intf.open_file ~pool (rb path) flags);
+    stat = (fun ~pool path -> inner.Client_intf.stat ~pool (rb path));
+    mkdir_p = (fun ~pool path -> inner.Client_intf.mkdir_p ~pool (rb path));
+    readdir = (fun ~pool path -> inner.Client_intf.readdir ~pool (rb path));
+    unlink = (fun ~pool path -> inner.Client_intf.unlink ~pool (rb path));
+    rename = (fun ~pool ~src ~dst -> inner.Client_intf.rename ~pool ~src:(rb src) ~dst:(rb dst));
+  }

@@ -1,0 +1,11 @@
+(** Path-rebasing view of a filesystem instance: every path-taking
+    operation is prefixed with a fixed directory.  Used to give each
+    container a private subtree of a shared namespace, and to route a
+    container's legacy requests into its filesystem service. *)
+
+(** [wrap ~prefix iface] maps path [p] to [prefix ^ p]; descriptor
+    operations pass through unchanged. *)
+val wrap : prefix:string -> Client_intf.t -> Client_intf.t
+
+(** The rebased form of a path (exposed for tests). *)
+val rebase : prefix:string -> string -> string

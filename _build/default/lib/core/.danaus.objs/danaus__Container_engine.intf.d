@@ -1,0 +1,1 @@
+lib/core/container_engine.mli: Cgroup Client_intf Cluster Config Danaus_ceph Danaus_client Danaus_hw Danaus_kernel Fs_service Kernel Topology

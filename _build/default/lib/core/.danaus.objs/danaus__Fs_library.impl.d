@@ -1,0 +1,1 @@
+lib/core/fs_library.ml: Client_intf Danaus_ceph Danaus_client Fs_service Hashtbl List Mount_table

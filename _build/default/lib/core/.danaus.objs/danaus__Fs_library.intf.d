@@ -1,0 +1,1 @@
+lib/core/fs_library.mli: Client_intf Danaus_client Fs_service

@@ -1,0 +1,1 @@
+lib/core/fs_service.ml: Cgroup Client_intf Danaus_ceph Danaus_client Danaus_ipc Danaus_kernel Fuse_wrap Hashtbl Kernel Mount_table Namespace Transport

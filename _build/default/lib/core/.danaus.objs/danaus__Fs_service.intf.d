@@ -1,0 +1,1 @@
+lib/core/fs_service.mli: Cgroup Client_intf Danaus_client Danaus_hw Danaus_ipc Danaus_kernel Kernel Topology

@@ -1,0 +1,1 @@
+lib/core/libservice.ml: Client_intf Danaus_client Danaus_union Fuse_wrap List Pagecache_wrap Rebase Union_fs

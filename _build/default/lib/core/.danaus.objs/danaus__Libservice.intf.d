@@ -1,0 +1,1 @@
+lib/core/libservice.mli: Cgroup Client_intf Danaus_client Danaus_kernel Kernel

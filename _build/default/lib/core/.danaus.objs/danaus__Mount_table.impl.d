@@ -1,0 +1,1 @@
+lib/core/mount_table.ml: Danaus_ceph Fspath Int List String

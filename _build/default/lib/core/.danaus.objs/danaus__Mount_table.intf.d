@@ -1,0 +1,1 @@
+lib/core/mount_table.mli:

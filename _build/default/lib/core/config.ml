@@ -1,0 +1,51 @@
+type client_kind = Danaus_lib | Kernel_cephfs | Ceph_fuse | Ceph_fuse_pagecache
+type union_transport = Direct | Fuse_u | Fuse_pagecache_u
+
+type t = { label : string; client : client_kind; union_transport : union_transport }
+
+let d = { label = "D"; client = Danaus_lib; union_transport = Direct }
+let k = { label = "K"; client = Kernel_cephfs; union_transport = Direct }
+let f = { label = "F"; client = Ceph_fuse; union_transport = Direct }
+let fp = { label = "FP"; client = Ceph_fuse_pagecache; union_transport = Direct }
+let kk = { label = "K/K"; client = Kernel_cephfs; union_transport = Direct }
+let fk = { label = "F/K"; client = Kernel_cephfs; union_transport = Fuse_u }
+let ff = { label = "F/F"; client = Ceph_fuse; union_transport = Fuse_u }
+
+let fpfp =
+  { label = "FP/FP"; client = Ceph_fuse_pagecache; union_transport = Fuse_pagecache_u }
+
+let all = [ d; k; f; fp; kk; fk; ff; fpfp ]
+
+let of_label label = List.find_opt (fun c -> String.equal c.label label) all
+
+let describe c =
+  let union =
+    match (c.label, c.union_transport) with
+    | ("D" | "K" | "F" | "FP"), _ -> if c.label = "D" then "Danaus (opt.)" else "-"
+    | "K/K", _ -> "AUFS (PagC)"
+    | _, Fuse_u -> "unionfs-fuse"
+    | _, Fuse_pagecache_u -> "unionfs-fuse (PagC)"
+    | _, Direct -> "-"
+  in
+  let client =
+    match c.client with
+    | Danaus_lib -> "Danaus (UlcC)"
+    | Kernel_cephfs -> "CephFS (PagC)"
+    | Ceph_fuse -> "ceph-fuse (UlcC)"
+    | Ceph_fuse_pagecache -> "ceph-fuse (UlcC+PagC)"
+  in
+  (union, client)
+
+let table1 () =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "%-6s | %-20s | %-22s\n" "Symbol" "Union Filesystem"
+       "Backend Client");
+  Buffer.add_string b (String.make 54 '-');
+  Buffer.add_char b '\n';
+  List.iter
+    (fun c ->
+      let union, client = describe c in
+      Buffer.add_string b (Printf.sprintf "%-6s | %-20s | %-22s\n" c.label union client))
+    all;
+  Buffer.contents b

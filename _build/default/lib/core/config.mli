@@ -1,0 +1,40 @@
+(** Table 1 of the paper: the client system configurations compared in
+    the evaluation. *)
+
+(** Which Ceph client implementation serves the backend. *)
+type client_kind =
+  | Danaus_lib  (** libcephfs-style client inside a Danaus filesystem service *)
+  | Kernel_cephfs  (** kernel CephFS client (page cache) *)
+  | Ceph_fuse  (** ceph-fuse with direct I/O (user-level cache only) *)
+  | Ceph_fuse_pagecache  (** ceph-fuse plus the kernel page cache *)
+
+(** How the union filesystem (if any) is reached. *)
+type union_transport =
+  | Direct  (** function calls: Danaus' integrated union, or kernel AUFS *)
+  | Fuse_u  (** unionfs-fuse *)
+  | Fuse_pagecache_u  (** unionfs-fuse with the page cache on top *)
+
+type t = { label : string; client : client_kind; union_transport : union_transport }
+
+val d : t  (** D: Danaus (optional union, user-level client cache) *)
+
+val k : t  (** K: kernel CephFS *)
+
+val f : t  (** F: ceph-fuse, direct I/O *)
+
+val fp : t  (** FP: ceph-fuse with page cache *)
+
+val kk : t  (** K/K: AUFS over kernel CephFS *)
+
+val fk : t  (** F/K: unionfs-fuse over kernel CephFS *)
+
+val ff : t  (** F/F: unionfs-fuse over ceph-fuse (least memory) *)
+
+val fpfp : t  (** FP/FP: unionfs-fuse + page cache over ceph-fuse + page cache *)
+
+val all : t list
+
+val of_label : string -> t option
+
+(** Render Table 1 (for the bench harness). *)
+val table1 : unit -> string

@@ -1,0 +1,192 @@
+open Danaus_hw
+open Danaus_kernel
+open Danaus_ceph
+open Danaus_client
+open Danaus_union
+
+type shared = {
+  sh_client : Client_intf.t;
+  sh_service : Fs_service.t option;
+  sh_memory : unit -> int;
+}
+
+type t = {
+  kernel : Kernel.t;
+  cluster : Cluster.t;
+  topology : Topology.t;
+  shared : (string, shared) Hashtbl.t;
+}
+
+type container = {
+  ct_id : string;
+  ct_pool : Cgroup.t;
+  ct_config : Config.t;
+  view : thread:int -> Client_intf.t;
+  legacy : Client_intf.t;
+  instance : Client_intf.t;
+  user_memory : unit -> int;
+}
+
+let create ~kernel ~cluster ~topology =
+  Kernel.start_flushers kernel;
+  { kernel; cluster; topology; shared = Hashtbl.create 16 }
+
+let user_charge t ~pool dt =
+  if dt > 0.0 then
+    Cpu.compute (Kernel.cpu t.kernel) ~tenant:(Cgroup.name pool)
+      ~eligible:(Cgroup.cores pool) dt
+
+let shared_key ~fine_grained pool (config : Config.t) =
+  Cgroup.name pool ^ "#" ^ config.label ^ if fine_grained then "+fg" else ""
+
+let build_shared t ~(config : Config.t) ~pool ~cache_bytes ~fine_grained =
+  let key = shared_key ~fine_grained pool config in
+  let lib_config =
+    {
+      (Lib_client.default_config ~cache_bytes) with
+      Lib_client.fine_grained_locking = fine_grained;
+    }
+  in
+  match config.client with
+  | Config.Danaus_lib ->
+      let lib =
+        Lib_client.create (Kernel.engine t.kernel) ~cpu:(Kernel.cpu t.kernel)
+          ~costs:(Kernel.costs t.kernel) ~cluster:t.cluster ~pool
+          ~counters:(Kernel.counters t.kernel) ~config:lib_config
+          ~name:(key ^ ".client")
+      in
+      Lib_client.start lib;
+      let service =
+        Fs_service.create t.kernel ~pool ~topology:t.topology ~name:(key ^ ".svc")
+      in
+      {
+        sh_client = Lib_client.iface lib;
+        sh_service = Some service;
+        sh_memory = (fun () -> Lib_client.cache_used lib);
+      }
+  | Config.Kernel_cephfs ->
+      (* paper §6.1: the kernel client's max dirty bytes are 50% of the
+         pool RAM; its page cache is bounded by the pool's cgroup memory
+         limit (kept proportional to the user clients' cache parameter so
+         quick-mode runs stay comparable) *)
+      let kc =
+        Kernel_client.create t.kernel ~cluster:t.cluster ~name:(key ^ ".cephfs")
+          ~max_dirty:(Cgroup.mem_limit pool / 2)
+          ~mem_limit:(Stdlib.min (Cgroup.mem_limit pool) (2 * cache_bytes))
+          ()
+      in
+      {
+        sh_client = Kernel_client.iface kc;
+        sh_service = None;
+        sh_memory = (fun () -> 0);
+      }
+  | Config.Ceph_fuse | Config.Ceph_fuse_pagecache ->
+      let page_cache = config.client = Config.Ceph_fuse_pagecache in
+      let fc =
+        Fuse_client.create t.kernel ~cluster:t.cluster ~pool ~config:lib_config
+          ~name:(key ^ ".ceph-fuse") ~page_cache ()
+      in
+      let iface = Fuse_client.iface fc in
+      {
+        sh_client = iface;
+        sh_service = None;
+        sh_memory = (fun () -> Lib_client.cache_used (Fuse_client.inner fc));
+      }
+
+let shared_for t ~config ~pool ~cache_bytes ~fine_grained =
+  let key = shared_key ~fine_grained pool config in
+  match Hashtbl.find_opt t.shared key with
+  | Some s -> s
+  | None ->
+      let s = build_shared t ~config ~pool ~cache_bytes ~fine_grained in
+      Hashtbl.add t.shared key s;
+      s
+
+let service_of t ~pool ~config =
+  Option.bind
+    (Hashtbl.find_opt t.shared (shared_key ~fine_grained:false pool config))
+    (fun s -> s.sh_service)
+
+let client_of t ~pool ~config =
+  Option.map
+    (fun s -> s.sh_client)
+    (Hashtbl.find_opt t.shared (shared_key ~fine_grained:false pool config))
+
+let install_image t ~name ~files =
+  let ns = Cluster.namespace t.cluster in
+  let dir = "/images/" ^ name in
+  ignore (Namespace.mkdir_p ns dir);
+  List.iter
+    (fun (path, bytes) ->
+      let full = Fspath.normalize (dir ^ Fspath.normalize path) in
+      ignore (Namespace.mkdir_p ns (Fspath.parent full));
+      (match Namespace.create_file ns full with
+      | Ok _ | Error Namespace.Exists -> ()
+      | Error e -> invalid_arg ("install_image: " ^ Namespace.error_to_string e));
+      ignore (Namespace.set_size ns full bytes))
+    files
+
+let launch t ~config ~pool ~id ?image ?(layers = []) ?cache_bytes
+    ?(fine_grained_locking = false) ?block_cow () =
+  let cache_bytes =
+    match cache_bytes with Some b -> b | None -> Cgroup.mem_limit pool / 2
+  in
+  let shared =
+    shared_for t ~config ~pool ~cache_bytes ~fine_grained:fine_grained_locking
+  in
+  (* branch directories live in the shared backend namespace *)
+  let upper_prefix = Printf.sprintf "/pools/%s/%s" (Cgroup.name pool) id in
+  ignore (Namespace.mkdir_p (Cluster.namespace t.cluster) upper_prefix);
+  let lower_layers =
+    (match image with Some img -> [ img ] | None -> []) @ layers
+  in
+  let branches =
+    { Union_fs.client = shared.sh_client; prefix = upper_prefix; writable = true }
+    :: List.map
+         (fun img ->
+           {
+             Union_fs.client = shared.sh_client;
+             prefix = "/images/" ^ img;
+             writable = false;
+           })
+         lower_layers
+  in
+  let union =
+    Union_fs.create
+      ~name:(shared_key ~fine_grained:fine_grained_locking pool config ^ ".union." ^ id)
+      ~branches
+      ~charge:(fun ~pool dt -> user_charge t ~pool dt)
+      ?block_cow ()
+  in
+  let view, legacy =
+    match shared.sh_service with
+    | Some service ->
+        (* Danaus: default path over shared-memory IPC; legacy path over
+           the service's FUSE mount *)
+        Fs_service.add_instance service ~mount_point:("/" ^ id) union;
+        ( (fun ~thread -> Fs_service.view service ~instance:union ~thread),
+          Rebase.wrap ~prefix:("/" ^ id) (Fs_service.legacy_iface service) )
+    | None ->
+        let stacked =
+          match config.Config.union_transport with
+          | Config.Direct -> union
+          | Config.Fuse_u ->
+              Fuse_wrap.wrap t.kernel ~pool ~name:(id ^ ".unionfs-fuse") ~threads:8
+                union
+          | Config.Fuse_pagecache_u ->
+              Pagecache_wrap.wrap t.kernel ~name:(id ^ ".union-pc")
+                ~max_dirty:(Cgroup.mem_limit pool / 2)
+                (Fuse_wrap.wrap t.kernel ~pool ~name:(id ^ ".unionfs-fuse")
+                   ~threads:8 union)
+        in
+        ((fun ~thread:_ -> stacked), stacked)
+  in
+  {
+    ct_id = id;
+    ct_pool = pool;
+    ct_config = config;
+    view;
+    legacy;
+    instance = union;
+    user_memory = shared.sh_memory;
+  }

@@ -1,0 +1,65 @@
+open Danaus_hw
+open Danaus_kernel
+open Danaus_ceph
+open Danaus_client
+
+(** Container engine: the per-host daemon that manages container pools
+    and mounts container filesystems (§4.3).
+
+    [launch] builds the full storage stack of one container under any
+    Table 1 configuration: the backend client (shared per pool), the
+    union filesystem over a private writable branch (plus an optional
+    shared read-only image branch), and the transport — Danaus
+    service + IPC, plain kernel calls, or FUSE. *)
+
+type t
+
+type container = {
+  ct_id : string;
+  ct_pool : Cgroup.t;
+  ct_config : Config.t;
+  view : thread:int -> Client_intf.t;
+      (** default data path of the container's root filesystem *)
+  legacy : Client_intf.t;
+      (** kernel-mediated path (exec/mmap, statically linked binaries) *)
+  instance : Client_intf.t;  (** the raw filesystem instance (union stack) *)
+  user_memory : unit -> int;
+      (** user-level cache bytes of the pool's backend client *)
+}
+
+val create : kernel:Kernel.t -> cluster:Cluster.t -> topology:Topology.t -> t
+
+(** [launch t ~config ~pool ~id ?image ?cache_bytes ()] mounts a
+    container root.  [image] names a read-only lower branch under
+    "/images/<image>" shared by all clones; [layers] appends further
+    read-only branches below it (a stacked image, §2.2, topmost first).
+    The writable upper branch is "/pools/<pool>/<id>".  [cache_bytes] sizes the user-level client
+    cache (default: half the pool memory, as in §6.1);
+    [fine_grained_locking] enables the per-inode-lock client variant and
+    [block_cow] block-level copy-on-write in the union (both ablations of
+    the paper's §9 future work).  Containers of the same
+    pool and configuration share one backend client (and, for Danaus,
+    one filesystem service). *)
+val launch :
+  t ->
+  config:Config.t ->
+  pool:Cgroup.t ->
+  id:string ->
+  ?image:string ->
+  ?layers:string list ->
+  ?cache_bytes:int ->
+  ?fine_grained_locking:bool ->
+  ?block_cow:int ->
+  unit ->
+  container
+
+(** The Danaus filesystem service of a pool, if one was created. *)
+val service_of : t -> pool:Cgroup.t -> config:Config.t -> Fs_service.t option
+
+(** The shared backend client of (pool, config), if created. *)
+val client_of : t -> pool:Cgroup.t -> config:Config.t -> Client_intf.t option
+
+(** Populate "/images/<name>" with [files] (path within image, bytes)
+    directly in the backend namespace — the image-registry push that
+    happens before the experiment starts (no simulated cost). *)
+val install_image : t -> name:string -> files:(string * int) list -> unit

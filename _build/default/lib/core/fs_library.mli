@@ -1,0 +1,28 @@
+open Danaus_client
+
+(** Filesystem library: the front driver preloaded into each application
+    process (§3.2, §4.1-4.2).
+
+    Keeps the process-private library state: the mount table (mount point
+    -> filesystem service + instance) and the library file table mapping
+    private descriptors to either a service-side open file or a legacy
+    kernel descriptor.  Paths outside every mount, and processes without
+    the library, fall through to the [legacy] interface. *)
+
+type t
+
+(** [create ~mounts ~legacy] builds the library state of one process;
+    each mount names the filesystem service and the instance it serves at
+    that mount point. *)
+val create :
+  mounts:(string * (Fs_service.t * Client_intf.t)) list ->
+  legacy:Client_intf.t ->
+  t
+
+(** [iface t ~thread] is the POSIX-like view for one application thread
+    ([thread] identifies the IPC queue pinning; the library file table is
+    shared by all threads of the process). *)
+val iface : t -> thread:int -> Client_intf.t
+
+(** Descriptors currently open through the library. *)
+val open_files : t -> int

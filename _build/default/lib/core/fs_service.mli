@@ -1,0 +1,48 @@
+open Danaus_hw
+open Danaus_kernel
+open Danaus_client
+
+(** Filesystem service: the standalone user-level process of a container
+    pool that runs its filesystem instances (§3.1).
+
+    Applications reach it two ways:
+    - the *default* path: {!view}, calling through the pool's
+      shared-memory {!Danaus_ipc.Transport} — never entering the kernel;
+    - the *legacy* path: {!legacy_iface}, a FUSE mount into the same
+      service, used for statically-linked symbols and kernel-initiated
+      I/O such as [exec]/[mmap] (§3.2). *)
+
+type t
+
+val create :
+  Kernel.t -> pool:Cgroup.t -> topology:Topology.t -> name:string -> t
+
+val name : t -> string
+val pool : t -> Cgroup.t
+val transport : t -> Danaus_ipc.Transport.t
+
+(** Register a filesystem instance in the service's filesystem table. *)
+val add_instance : t -> mount_point:string -> Client_intf.t -> unit
+
+(** [view t ~instance ~thread] is the default-path interface to one
+    instance for application thread [thread] (used for IPC queue
+    pinning). *)
+val view : t -> instance:Client_intf.t -> thread:int -> Client_intf.t
+
+(** The FUSE-mediated view of the whole service: paths are resolved
+    through the filesystem table ("/mnt/etc/x" reaches the instance
+    mounted at "/mnt" as "/etc/x"). *)
+val legacy_iface : t -> Client_intf.t
+
+(** Requests served over the default path. *)
+val requests : t -> int
+
+(** {1 Fault injection} *)
+
+(** Kill the service process: every subsequent request through any of its
+    views fails with [Crashed].  Other pools' services — and the host
+    kernel — are unaffected (the paper's fault-containment property,
+    §5). *)
+val crash : t -> unit
+
+val crashed : t -> bool

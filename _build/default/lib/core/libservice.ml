@@ -1,0 +1,20 @@
+open Danaus_client
+open Danaus_union
+
+type t = Client_intf.t
+
+let of_client c = c
+
+let union_over ~name ~branches ~charge () =
+  Union_fs.create ~name
+    ~branches:
+      (List.map
+         (fun (client, prefix, writable) -> { Union_fs.client; prefix; writable })
+         branches)
+    ~charge ()
+
+let subtree ~prefix inner = Rebase.wrap ~prefix inner
+let fuse_transport kernel ~pool ~name inner = Fuse_wrap.wrap kernel ~pool ~name inner
+
+let pagecache_layer kernel ~name ~max_dirty inner =
+  Pagecache_wrap.wrap kernel ~name ~max_dirty inner

@@ -1,0 +1,37 @@
+open Danaus_kernel
+open Danaus_client
+
+(** Libservices: stackable user-level storage subsystems accessed through
+    a POSIX-like interface (Kappes & Anastasiadis, APSys'20; §3.1 of the
+    Danaus paper).
+
+    A libservice is represented by a {!Client_intf.t}; this module is the
+    facade for composing them.  A Danaus filesystem instance is typically
+    [union_over ~branches (of_client backend)]; transports are layered
+    with {!fuse_transport} and {!pagecache_layer}, and never appear
+    between two libservices of the same instance — those interact through
+    plain function calls. *)
+
+type t = Client_intf.t
+
+(** A backend client as the bottom libservice of a stack. *)
+val of_client : Client_intf.t -> t
+
+(** Union libservice over branch subtrees of [lower] services.  The
+    first branch is writable.  [charge] attributes the union's own CPU. *)
+val union_over :
+  name:string ->
+  branches:(t * string * bool) list ->
+  charge:(pool:Cgroup.t -> float -> unit) ->
+  unit ->
+  t
+
+(** Restrict a stack to a subtree. *)
+val subtree : prefix:string -> t -> t
+
+(** Put the kernel FUSE transport in front of a stack (legacy path /
+    unionfs-fuse style deployment). *)
+val fuse_transport : Kernel.t -> pool:Cgroup.t -> name:string -> t -> t
+
+(** Stack the kernel page cache on top (FP-style double caching). *)
+val pagecache_layer : Kernel.t -> name:string -> max_dirty:int -> t -> t

@@ -1,0 +1,33 @@
+open Danaus_ceph
+
+type 'a t = { mutable entries : (string * 'a) list (* longest prefix first *) }
+
+let create () = { entries = [] }
+
+let add t ~mount_point v =
+  let mount_point = Fspath.normalize mount_point in
+  t.entries <-
+    List.sort
+      (fun (a, _) (b, _) -> Int.compare (String.length b) (String.length a))
+      ((mount_point, v) :: List.remove_assoc mount_point t.entries)
+
+let resolve t path =
+  let path = Fspath.normalize path in
+  let matches mount =
+    if Fspath.is_root mount then Some path
+    else if String.equal path mount then Some "/"
+    else if String.starts_with ~prefix:(mount ^ "/") path then
+      Some (String.sub path (String.length mount) (String.length path - String.length mount))
+    else None
+  in
+  let rec walk = function
+    | [] -> None
+    | (mount, v) :: rest -> begin
+        match matches mount with
+        | Some remainder -> Some (v, remainder)
+        | None -> walk rest
+      end
+  in
+  walk t.entries
+
+let mounts t = t.entries

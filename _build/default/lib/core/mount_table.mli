@@ -1,0 +1,17 @@
+(** Longest-prefix mount point resolution, shared by the filesystem
+    library (mount point -> filesystem service) and the filesystem
+    service (mount point -> filesystem instance). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [add t ~mount_point v]; mount points are normalised. *)
+val add : 'a t -> mount_point:string -> 'a -> unit
+
+(** [resolve t path] returns the value of the longest mount point that
+    prefixes [path], together with the path remainder (always starting
+    with "/"). *)
+val resolve : 'a t -> string -> ('a * string) option
+
+val mounts : 'a t -> (string * 'a) list

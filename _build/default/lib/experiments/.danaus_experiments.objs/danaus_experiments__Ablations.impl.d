@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Config Container_engine Danaus Danaus_sim Danaus_workloads Engine Filerw Fileserver List Params Printf Report Seqio Testbed

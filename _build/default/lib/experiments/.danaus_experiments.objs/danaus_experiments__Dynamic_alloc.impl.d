@@ -1,0 +1,1 @@
+lib/experiments/dynamic_alloc.ml: Cgroup Config Container_engine Danaus Danaus_kernel Danaus_sim Danaus_workloads Engine Fileserver List Printf Report Stats Sysbench Testbed

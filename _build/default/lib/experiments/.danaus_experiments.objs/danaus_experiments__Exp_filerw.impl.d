@@ -1,0 +1,1 @@
+lib/experiments/exp_filerw.ml: Array Config Container_engine Danaus Danaus_kernel Danaus_sim Danaus_workloads Engine Filerw Kernel List Page_cache Params Printf Report Stdlib Testbed

@@ -1,0 +1,1 @@
+lib/experiments/exp_fileserver.ml: Array Config Container_engine Counters Danaus Danaus_kernel Danaus_sim Danaus_workloads Engine Fileserver Kernel List Params Printf Report Stdlib Testbed

@@ -1,0 +1,1 @@
+lib/experiments/exp_rocksdb.ml: Array Config Container_engine Danaus Danaus_sim Danaus_workloads Engine Kvstore List Params Printf Report Stats Stdlib Testbed Workload

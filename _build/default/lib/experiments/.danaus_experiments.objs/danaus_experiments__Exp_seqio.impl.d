@@ -1,0 +1,1 @@
+lib/experiments/exp_seqio.ml: Array Config Container_engine Counters Danaus Danaus_kernel Danaus_sim Danaus_workloads Engine Kernel List Params Printf Report Seqio Stdlib Testbed

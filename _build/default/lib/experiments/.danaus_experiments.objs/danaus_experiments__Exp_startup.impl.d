@@ -1,0 +1,1 @@
+lib/experiments/exp_startup.ml: Array Cgroup Config Container_engine Counters Danaus Danaus_kernel Danaus_sim Danaus_workloads Engine Kernel List Params Printf Report Startup Testbed

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablations Config Contention Danaus Dynamic_alloc Exp_filerw Exp_fileserver Exp_rocksdb Exp_seqio Exp_startup List Migration Report String

@@ -1,0 +1,1 @@
+lib/experiments/repeat.ml: Danaus_sim Float Printf Stats

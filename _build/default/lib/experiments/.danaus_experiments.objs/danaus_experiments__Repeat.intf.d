@@ -1,0 +1,1 @@
+lib/experiments/repeat.mli: Danaus_sim Stats

@@ -1,0 +1,1 @@
+lib/experiments/testbed.mli: Cgroup Cluster Container_engine Cpu Danaus Danaus_ceph Danaus_hw Danaus_kernel Danaus_sim Danaus_workloads Disk Engine Kernel Local_fs Net Topology

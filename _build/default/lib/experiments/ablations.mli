@@ -1,0 +1,18 @@
+(** Ablations of Danaus design choices called out in DESIGN.md:
+
+    - [lock]: the global libcephfs [client_lock] vs the per-inode
+      refactoring the paper leaves as future work (§6.3.2/§9), measured
+      on the cached sequential read that exposes it.
+    - [dual]: the default shared-memory path vs the legacy FUSE path for
+      the same workload (why the dual interface matters, §3.2).
+    - [union]: the integrated (function-call) union layer's overhead on
+      a data-intensive workload (§3.1 "filesystem integration"). *)
+
+val ablation_lock : quick:bool -> Report.t list
+val ablation_dual : quick:bool -> Report.t list
+val ablation_union : quick:bool -> Report.t list
+
+(** Block-level vs whole-file copy-on-write on the Fileappend scale-up
+    scenario (the §9 extension; removes Fig. 11a's 50/50 read/write
+    amplification). *)
+val ablation_block_cow : quick:bool -> Report.t list

@@ -1,0 +1,259 @@
+open Danaus_sim
+open Danaus_hw
+open Danaus_kernel
+open Danaus
+open Danaus_workloads
+
+type fls_system = D | K
+type neighbor = No_neighbor | Rnd | Wbs | Ssb
+
+type outcome = {
+  fls_throughput : float;
+  fls_latency : float;
+  stolen_util_pct : float;
+  neighbor_metric : float;
+  lock_avg_wait : float;
+  lock_avg_hold : float;
+}
+
+let gib n = n * 1024 * 1024 * 1024
+
+let fls_params ~quick =
+  (* the dataset keeps the paper's shape (5 GB spread over the files) so
+     that background writeback stays continuously active; quick mode only
+     shortens the run and thins the thread count *)
+  if quick then { Fileserver.default_params with Fileserver.duration = 15.0 }
+  else Fileserver.default_params
+
+let duration_of ~quick = (fls_params ~quick).Fileserver.duration
+
+let config_of = function D -> Config.d | K -> Config.k
+
+let run ~quick ~fls_count ~system ~neighbor =
+  let activated = if fls_count = 1 then 4 else 16 in
+  let tb = Testbed.create ~activated () in
+  let duration = duration_of ~quick in
+  let fpars = fls_params ~quick in
+  (* Fileserver pools 0..n-1; the neighbour takes the last activated pair *)
+  let fls_pools = List.init fls_count (fun i -> Testbed.pool tb i) in
+  let nb_pool = Testbed.pool tb ((activated / 2) - 1) in
+  let containers =
+    List.mapi
+      (fun i pool ->
+        ( pool,
+          Container_engine.launch tb.Testbed.containers ~config:(config_of system)
+            ~pool
+            ~id:(Printf.sprintf "fls%d" i)
+            ~cache_bytes:(gib 5) () ))
+      fls_pools
+  in
+  (* phase A: prepopulate every Fileserver dataset concurrently *)
+  let setup_done = ref false in
+  Engine.spawn tb.Testbed.engine ~name:"setup" (fun () ->
+      let wg = Waitgroup.create tb.Testbed.engine in
+      List.iteri
+        (fun i (pool, ct) ->
+          Waitgroup.add wg;
+          Engine.fork (fun () ->
+              let ctx = Testbed.ctx tb ~pool ~seed:(100 + i) in
+              Fileserver.prepopulate ctx ~view:ct.Container_engine.view fpars;
+              Waitgroup.finish wg))
+        containers;
+      Waitgroup.wait wg;
+      (* let the writeback settle before measuring *)
+      Engine.sleep (Params.expire_interval +. 2.0);
+      setup_done := true);
+  Testbed.drive tb ~stop:(fun () -> !setup_done);
+  Testbed.reset_metrics tb;
+  (* phase B: measured run of every Fileserver next to the neighbour *)
+  let fls_results = Array.make fls_count None in
+  let rnd_result = ref None in
+  let wbs_result = ref None in
+  let ssb_result = ref None in
+  let all_done = ref false in
+  let started = Engine.now tb.Testbed.engine in
+  Engine.spawn tb.Testbed.engine ~name:"measure" (fun () ->
+      let wg = Waitgroup.create tb.Testbed.engine in
+      List.iteri
+        (fun i (pool, ct) ->
+          Waitgroup.add wg;
+          Engine.fork (fun () ->
+              let ctx = Testbed.ctx tb ~pool ~seed:(200 + i) in
+              fls_results.(i) <- Some (Fileserver.run ctx ~view:ct.Container_engine.view fpars);
+              Waitgroup.finish wg))
+        containers;
+      (match neighbor with
+      | No_neighbor -> ()
+      | Rnd ->
+          Waitgroup.add wg;
+          Engine.fork (fun () ->
+              let fs = Testbed.local_fs tb ~name:"ext4-rnd" in
+              let ctx = Testbed.ctx tb ~pool:nb_pool ~seed:300 in
+              rnd_result :=
+                Some (Randomio.run ctx ~fs { Randomio.default_params with Randomio.duration });
+              Waitgroup.finish wg)
+      | Wbs ->
+          Waitgroup.add wg;
+          Engine.fork (fun () ->
+              let fs = Testbed.local_fs tb ~name:"ext4-wbs" in
+              let ctx = Testbed.ctx tb ~pool:nb_pool ~seed:301 in
+              let p =
+                if quick then
+                  { Webserver.default_params with Webserver.files = 5000; threads = 16; duration }
+                else { Webserver.default_params with Webserver.duration = duration }
+              in
+              wbs_result := Some (Webserver.run ctx ~fs p);
+              Waitgroup.finish wg)
+      | Ssb ->
+          Waitgroup.add wg;
+          Engine.fork (fun () ->
+              let ctx = Testbed.ctx tb ~pool:nb_pool ~seed:302 in
+              ssb_result :=
+                Some (Sysbench.run ctx { Sysbench.default_params with Sysbench.duration });
+              Waitgroup.finish wg));
+      Waitgroup.wait wg;
+      all_done := true);
+  Testbed.drive tb ~stop:(fun () -> !all_done);
+  let elapsed = Engine.now tb.Testbed.engine -. started in
+  let fls =
+    Array.to_list fls_results
+    |> List.map (function Some r -> r | None -> failwith "missing FLS result")
+  in
+  let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+  let fls_throughput = mean (List.map (fun r -> r.Fileserver.throughput_mbps) fls) in
+  let fls_latency =
+    mean (List.map (fun r -> Stats.mean r.Fileserver.stats.Workload.op_latency) fls)
+  in
+  (* how much of the neighbour's reservation everyone else consumed *)
+  let nb_cores = Cgroup.cores nb_pool in
+  let total = Cpu.busy_seconds tb.Testbed.cpu ~cores:nb_cores in
+  let own =
+    Cpu.busy_seconds_by tb.Testbed.cpu ~cores:nb_cores ~tenant:(Cgroup.name nb_pool)
+  in
+  let stolen_util_pct =
+    if elapsed > 0.0 then 100.0 *. (total -. own) /. elapsed else 0.0
+  in
+  let neighbor_metric =
+    match neighbor with
+    | No_neighbor -> 0.0
+    | Rnd -> (match !rnd_result with Some r -> r.Randomio.ops_per_sec | None -> 0.0)
+    | Wbs -> (match !wbs_result with Some r -> r.Webserver.throughput_mbps | None -> 0.0)
+    | Ssb ->
+        (match !ssb_result with
+        | Some r -> Stats.percentile r.Sysbench.latency 99.0
+        | None -> 0.0)
+  in
+  let lock_avg_wait, lock_avg_hold, _ = Kernel.lock_request_stats tb.Testbed.kernel in
+  { fls_throughput; fls_latency; stolen_util_pct; neighbor_metric; lock_avg_wait; lock_avg_hold }
+
+let table2 () =
+  [
+    Report.make ~id:"tab2" ~title:"Contention workloads (Table 2)"
+      ~header:[ "Symbol"; "Description" ]
+      [
+        [ "FLS"; "Fileserver (Filebench) on Ceph" ];
+        [ "RND"; "Random I/O with readahead (Stress-ng) on ext4/RAID0" ];
+        [ "SSB"; "CPU benchmark (Sysbench)" ];
+        [ "WBS"; "Webserver (Filebench) on ext4/RAID0" ];
+        [ "1FLS/D"; "1x Fileserver on user-level Danaus/Ceph cluster" ];
+        [ "7FLS/D"; "7x Fileserver on user-level Danaus/Ceph cluster" ];
+        [ "1FLS/K"; "1x Fileserver on kernel CephFS/Ceph cluster" ];
+        [ "7FLS/K"; "7x Fileserver on kernel CephFS/Ceph cluster" ];
+        [ "X+Y"; "X next to Y, X=(1|7)FLS/(D|K), Y=(RND|SSB|WBS)" ];
+      ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure assembly *)
+
+let label system count nb =
+  let base = Printf.sprintf "%dFLS/%s" count (match system with D -> "D" | K -> "K") in
+  match nb with
+  | No_neighbor -> base
+  | Rnd -> base ^ "+1RND"
+  | Wbs -> base ^ "+1WBS"
+  | Ssb -> base ^ "+1SSB"
+
+let interference_figure ~id ~title ~quick ~systems ~nb ~nb_name ~nb_unit =
+  let cells =
+    List.concat_map
+      (fun system ->
+        List.concat_map
+          (fun count ->
+            List.map
+              (fun neighbor -> (system, count, neighbor))
+              [ No_neighbor; nb ])
+          [ 1; 7 ])
+      systems
+  in
+  let rows =
+    List.map
+      (fun (system, count, neighbor) ->
+        let o = run ~quick ~fls_count:count ~system ~neighbor in
+        [
+          label system count neighbor;
+          Report.mbps o.fls_throughput;
+          Report.f1 o.stolen_util_pct;
+          (if neighbor = No_neighbor then "-"
+           else
+             match nb with
+             | Ssb -> Report.ms o.neighbor_metric
+             | _ -> Report.f1 o.neighbor_metric);
+          Printf.sprintf "%.1f" (o.lock_avg_wait *. 1e6);
+          Printf.sprintf "%.1f" (o.lock_avg_hold *. 1e6);
+        ])
+      cells
+  in
+  Report.make ~id ~title
+    ~header:
+      [
+        "workload";
+        "FLS MB/s";
+        "stolen core util %";
+        nb_name ^ " " ^ nb_unit;
+        "lock wait us/req";
+        "lock hold us/req";
+      ]
+    rows
+
+let fig1 ~quick =
+  [
+    interference_figure ~id:"fig1"
+      ~title:"Fileserver collapse from kernel core and lock contention (K only)"
+      ~quick ~systems:[ K ] ~nb:Rnd ~nb_name:"RND" ~nb_unit:"ops/s";
+  ]
+
+let fig6a ~quick =
+  [
+    interference_figure ~id:"fig6a" ~title:"Fileserver x RandomIO interference"
+      ~quick ~systems:[ K; D ] ~nb:Rnd ~nb_name:"RND" ~nb_unit:"ops/s";
+  ]
+
+let fig6b ~quick =
+  [
+    interference_figure ~id:"fig6b" ~title:"Fileserver x Webserver interference"
+      ~quick ~systems:[ K; D ] ~nb:Wbs ~nb_name:"WBS" ~nb_unit:"MB/s";
+  ]
+
+let fig6c ~quick =
+  (* latency-oriented: 1 FLS instance only, as in the paper *)
+  let rows =
+    List.concat_map
+      (fun system ->
+        List.map
+          (fun neighbor ->
+            let o = run ~quick ~fls_count:1 ~system ~neighbor in
+            [
+              label system 1 neighbor;
+              Report.ms o.fls_latency;
+              (if neighbor = Ssb then Report.ms o.neighbor_metric else "-");
+              Report.f1 o.stolen_util_pct;
+            ])
+          [ No_neighbor; Ssb ])
+      [ K; D ]
+  in
+  [
+    Report.make ~id:"fig6c" ~title:"Fileserver x Sysbench latency interference"
+      ~header:[ "workload"; "FLS mean latency"; "SSB p99 latency"; "stolen core util %" ]
+      rows;
+  ]

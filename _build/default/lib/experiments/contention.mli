@@ -1,0 +1,35 @@
+(** Workload interference experiments: the motivation figure (Fig. 1) and
+    the isolation evaluation (Fig. 6a/6b/6c, Table 2 workloads).
+
+    1 or 7 Filebench Fileserver instances run over Ceph through D or K,
+    each in its own 2-core/8 GB pool, optionally next to one neighbour —
+    Stress-ng RandomIO or Filebench Webserver on local ext4/RAID-0, or
+    the Sysbench CPU benchmark.  4 or 16 host cores are activated. *)
+
+type fls_system = D | K
+
+type neighbor = No_neighbor | Rnd | Wbs | Ssb
+
+type outcome = {
+  fls_throughput : float;  (** mean per-instance Fileserver MB/s *)
+  fls_latency : float;  (** mean Fileserver op latency, seconds *)
+  stolen_util_pct : float;
+      (** utilisation of the neighbour pool's cores by everyone else
+          (kernel + Fileserver pools), % of one core *)
+  neighbor_metric : float;
+      (** RND: ops/s; WBS: MB/s; SSB: 99th-pct event latency (s) *)
+  lock_avg_wait : float;  (** kernel locks: avg wait per request *)
+  lock_avg_hold : float;
+}
+
+(** One cell of the figure. *)
+val run :
+  quick:bool -> fls_count:int -> system:fls_system -> neighbor:neighbor -> outcome
+
+(** Render Table 2 (the contention workload symbols). *)
+val table2 : unit -> Report.t list
+
+val fig1 : quick:bool -> Report.t list
+val fig6a : quick:bool -> Report.t list
+val fig6b : quick:bool -> Report.t list
+val fig6c : quick:bool -> Report.t list

@@ -1,0 +1,77 @@
+open Danaus_sim
+open Danaus_kernel
+open Danaus
+open Danaus_workloads
+
+let fig_dynamic ~quick =
+  let window = if quick then 8.0 else 60.0 in
+  let fls_params =
+    {
+      Fileserver.default_params with
+      Fileserver.files = 300;
+      mean_file_size = 1024 * 1024;
+      threads = 16;
+      duration = window;
+    }
+  in
+  let tb = Testbed.create ~activated:4 () in
+  let pool_a = Testbed.pool tb 0 in
+  let pool_b = Testbed.pool tb 1 in
+  let ct =
+    Container_engine.launch tb.Testbed.containers ~config:Config.d ~pool:pool_a
+      ~id:"busy" ()
+  in
+  let phases = ref [] in
+  let ssb_lent = ref None in
+  let ssb_restored = ref None in
+  let done_ = ref false in
+  Engine.spawn tb.Testbed.engine (fun () ->
+      let ctx = Testbed.ctx tb ~pool:pool_a ~seed:3100 in
+      Fileserver.prepopulate ctx ~view:ct.Container_engine.view fls_params;
+      let measure label =
+        let r = Fileserver.run ctx ~view:ct.Container_engine.view fls_params in
+        phases := (label, r.Fileserver.throughput_mbps) :: !phases
+      in
+      (* phase 1: static reservation, neighbour idle *)
+      measure "static (2 cores, neighbour idle)";
+      (* phase 2: lend the idle neighbour's cores to the busy pool *)
+      Cgroup.set_cores pool_a [| 0; 1; 2; 3 |];
+      measure "lent 2 extra cores";
+      (* phase 3: the neighbour wakes while its cores are still lent *)
+      Engine.fork (fun () ->
+          let ctx_b = Testbed.ctx tb ~pool:pool_b ~seed:3200 in
+          ssb_lent :=
+            Some
+              (Sysbench.run ctx_b
+                 { Sysbench.default_params with Sysbench.duration = window }));
+      measure "lent cores, neighbour active";
+      (* phase 4: revoke the loan — isolation restored *)
+      Cgroup.set_cores pool_a [| 0; 1 |];
+      Engine.fork (fun () ->
+          let ctx_b = Testbed.ctx tb ~pool:pool_b ~seed:3300 in
+          ssb_restored :=
+            Some
+              (Sysbench.run ctx_b
+                 { Sysbench.default_params with Sysbench.duration = window }));
+      measure "reservation restored";
+      done_ := true);
+  Testbed.drive tb ~stop:(fun () -> !done_ && !ssb_restored <> None);
+  let p99 = function
+    | Some r -> Report.ms (Stats.percentile r.Sysbench.latency 99.0)
+    | None -> "-"
+  in
+  [
+    Report.make ~id:"dyn"
+      ~title:"Dynamic core reallocation (Fileserver MB/s per phase)"
+      ~header:[ "phase"; "FLS MB/s" ]
+      ~notes:
+        [
+          Printf.sprintf
+            "neighbour Sysbench p99 while its cores were lent: %s; after \
+             the reservation was restored: %s"
+            (p99 !ssb_lent) (p99 !ssb_restored);
+          "Danaus service threads stay pinned to their original queues; \
+           the lent cores serve the client and union work";
+        ]
+      (List.rev_map (fun (l, t) -> [ l; Report.mbps t ]) !phases);
+  ]

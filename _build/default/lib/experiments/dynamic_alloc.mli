@@ -1,0 +1,8 @@
+(** Dynamic reallocation of underutilised resources (§9 future work).
+
+    A Fileserver pool runs next to an idle neighbour; the engine grants
+    the neighbour's cores to the busy pool and later revokes them when
+    the neighbour wakes up.  Shows both the utilisation win and the
+    isolation price of lending reserved cores. *)
+
+val fig_dynamic : quick:bool -> Report.t list

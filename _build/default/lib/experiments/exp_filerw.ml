@@ -1,0 +1,103 @@
+open Danaus_sim
+open Danaus_kernel
+open Danaus
+open Danaus_workloads
+
+let mib n = n * 1024 * 1024
+let gib n = n * 1024 * 1024 * 1024
+
+type mode = Append | Read
+
+let file_bytes ~quick = if quick then mib 256 else Filerw.default_file_bytes
+
+(* One run: N clones in a single big pool, each with a private union over
+   the shared image branch, all running Fileappend or Fileread on the
+   image's 2 GB file.  Returns (timespan, max memory bytes). *)
+let run_cell ~quick ~config ~clones ~mode =
+  let tb = Testbed.create ~activated:Params.client_cores () in
+  (* quick mode shrinks the files 8x, so the pool memory shrinks too:
+     the paper's dirty-pressure ratio (32 x 2 GB of copy-up writes vs a
+     100 GB dirty limit) is what drives the Fig. 11a timespans *)
+  let pool_mem =
+    if quick then 24 * 1024 * 1024 * 1024 else 200 * 1024 * 1024 * 1024
+  in
+  let pool =
+    Testbed.custom_pool tb ~name:"bigpool"
+      ~cores:(Array.init Params.client_cores (fun i -> i))
+      ~mem:pool_mem
+  in
+  let fsize = file_bytes ~quick in
+  Container_engine.install_image tb.Testbed.containers ~name:"dataset"
+    ~files:[ ("/big", fsize) ];
+  let containers =
+    List.init clones (fun i ->
+        Container_engine.launch tb.Testbed.containers ~config ~pool
+          ~id:(Printf.sprintf "rw%d" i) ~image:"dataset"
+          ~cache_bytes:(if quick then gib 12 else gib 100)
+          ())
+  in
+  let host_mem_before =
+    Page_cache.used_bytes (Kernel.page_cache tb.Testbed.kernel)
+  in
+  let started = Engine.now tb.Testbed.engine in
+  let finished = ref 0 in
+  let last_finish = ref started in
+  List.iteri
+    (fun i ct ->
+      Engine.spawn tb.Testbed.engine ~name:(Printf.sprintf "filerw-%d" i) (fun () ->
+          let ctx = Testbed.ctx tb ~pool ~seed:(1500 + i) in
+          let view = ct.Container_engine.view ~thread:i in
+          (match mode with
+          | Append ->
+              Filerw.fileappend ctx ~view ~path:"/big" ~append_bytes:(mib 1)
+                ~chunk:(mib 1)
+          | Read -> Filerw.fileread ctx ~view ~path:"/big" ~chunk:(mib 1));
+          last_finish := Engine.now tb.Testbed.engine;
+          incr finished))
+    containers;
+  Testbed.drive tb ~stop:(fun () -> !finished = clones);
+  let timespan = !last_finish -. started in
+  let user_mem =
+    match containers with ct :: _ -> ct.Container_engine.user_memory () | [] -> 0
+  in
+  let host_mem =
+    Page_cache.used_bytes (Kernel.page_cache tb.Testbed.kernel) - host_mem_before
+  in
+  (timespan, user_mem + Stdlib.max 0 host_mem)
+
+let figure ~id ~title ~quick ~mode =
+  let clone_counts = if quick then [ 1; 8; 32 ] else [ 1; 2; 4; 8; 16; 32 ] in
+  let configs = [ Config.d; Config.kk; Config.ff; Config.fpfp ] in
+  let cells =
+    List.map
+      (fun clones ->
+        (clones, List.map (fun c -> run_cell ~quick ~config:c ~clones ~mode) configs))
+      clone_counts
+  in
+  let header = "clones" :: List.map (fun c -> c.Config.label) configs in
+  let time_rows =
+    List.map
+      (fun (clones, results) ->
+        string_of_int clones :: List.map (fun (t, _) -> Report.f2 t) results)
+      cells
+  in
+  let mem_rows =
+    List.map
+      (fun (clones, results) ->
+        string_of_int clones
+        :: List.map
+             (fun (_, m) -> Printf.sprintf "%.0f" (float_of_int m /. 1048576.0))
+             results)
+      cells
+  in
+  [
+    Report.make ~id:(id ^ "-time") ~title:(title ^ ": timespan (s)") ~header time_rows;
+    Report.make ~id:(id ^ "-mem") ~title:(title ^ ": max memory (MiB)") ~header
+      mem_rows;
+  ]
+
+let fig11a ~quick =
+  figure ~id:"fig11a" ~title:"Fileappend scaleup (copy-up 50/50 r/w)" ~quick
+    ~mode:Append
+
+let fig11b ~quick = figure ~id:"fig11b" ~title:"Fileread scaleup" ~quick ~mode:Read

@@ -1,0 +1,6 @@
+(** Fileappend / Fileread scaleup (Fig. 11): timespan to run N cloned
+    containers over union + shared client, and the maximum memory the
+    client stacks consume (the FP/FP double-caching blow-up). *)
+
+val fig11a : quick:bool -> Report.t list
+val fig11b : quick:bool -> Report.t list

@@ -1,0 +1,75 @@
+open Danaus_sim
+open Danaus_kernel
+open Danaus
+open Danaus_workloads
+
+let gib n = n * 1024 * 1024 * 1024
+
+let fls_params ~quick =
+  (* the full 5 GB dataset is kept even in quick mode: it must exceed
+     the background writeback threshold or the kernel client never pays
+     its flushing bill *)
+  if quick then
+    { Fileserver.default_params with Fileserver.threads = 16; duration = 10.0 }
+  else Fileserver.default_params
+
+let run_cell ~quick ~config ~pools =
+  let p = fls_params ~quick in
+  let activated = Stdlib.min Params.client_cores (2 * pools) in
+  let tb = Testbed.create ~activated () in
+  let containers =
+    List.init pools (fun i ->
+        let pool = Testbed.pool tb i in
+        ( pool,
+          Container_engine.launch tb.Testbed.containers ~config ~pool
+            ~id:(Printf.sprintf "fls%d" i) ~cache_bytes:(gib 5) () ))
+  in
+  let warmed = ref 0 in
+  List.iteri
+    (fun i (pool, ct) ->
+      Engine.spawn tb.Testbed.engine (fun () ->
+          let ctx = Testbed.ctx tb ~pool ~seed:(1300 + i) in
+          Fileserver.prepopulate ctx ~view:ct.Container_engine.view p;
+          incr warmed))
+    containers;
+  Testbed.drive tb ~stop:(fun () -> !warmed = pools);
+  Testbed.reset_metrics tb;
+  let results = Array.make pools None in
+  let done_count = ref 0 in
+  List.iteri
+    (fun i (pool, ct) ->
+      Engine.spawn tb.Testbed.engine (fun () ->
+          let ctx = Testbed.ctx tb ~pool ~seed:(1400 + i) in
+          results.(i) <- Some (Fileserver.run ctx ~view:ct.Container_engine.view p);
+          incr done_count))
+    containers;
+  Testbed.drive tb ~stop:(fun () -> !done_count = pools);
+  let total =
+    Array.fold_left
+      (fun acc r ->
+        match r with Some r -> acc +. r.Fileserver.throughput_mbps | None -> acc)
+      0.0 results
+  in
+  let io_wait =
+    Counters.total (Kernel.counters tb.Testbed.kernel) ~metric:"io_wait"
+  in
+  (total, io_wait)
+
+let fig10 ~quick =
+  let pool_counts = if quick then [ 1; 8 ] else [ 1; 2; 4; 8; 16 ] in
+  let configs = [ Config.d; Config.f; Config.k ] in
+  let rows =
+    List.map
+      (fun pools ->
+        let cells = List.map (fun c -> run_cell ~quick ~config:c ~pools) configs in
+        string_of_int pools
+        :: (List.map (fun (t, _) -> Report.mbps t) cells
+           @ List.map (fun (_, w) -> Report.f1 w) cells))
+      pool_counts
+  in
+  let header =
+    "pools"
+    :: (List.map (fun c -> c.Config.label ^ " MB/s") configs
+       @ List.map (fun c -> c.Config.label ^ " iowait s") configs)
+  in
+  [ Report.make ~id:"fig10" ~title:"Fileserver scaleout (total MB/s)" ~header rows ]

@@ -1,0 +1,178 @@
+open Danaus_sim
+open Danaus
+open Danaus_workloads
+
+let mib n = n * 1024 * 1024
+let gib n = n * 1024 * 1024 * 1024
+
+(* Store sizing: quick mode shrinks the data volumes but keeps every
+   structural ratio (dataset >> cache for the out-of-core reads). *)
+type sizing = {
+  put_bytes : int;
+  populate_bytes : int;
+  gets : int;
+  cache_bytes : int;
+  scaleup_put_bytes : int;
+  scaleup_populate : int;
+  scaleup_cache : int;
+  scaleup_gets : int;
+}
+
+let sizing ~quick =
+  if quick then
+    {
+      put_bytes = mib 256;
+      populate_bytes = mib 1536;
+      gets = 2000;
+      cache_bytes = mib 512;
+      scaleup_put_bytes = mib 128;
+      scaleup_populate = mib 512;
+      scaleup_cache = gib 1;
+      scaleup_gets = 1000;
+    }
+  else
+    {
+      put_bytes = gib 1;
+      populate_bytes = gib 8;
+      gets = 65536;
+      cache_bytes = gib 4;
+      scaleup_put_bytes = gib 1;
+      scaleup_populate = gib 8;
+      scaleup_cache = gib 100;
+      scaleup_gets = 65536;
+    }
+
+let kv_params = { Kvstore.default_params with Kvstore.dir = "/db" }
+
+type mode = Put | Get
+
+let mode_name = function Put -> "put" | Get -> "get"
+
+(* ------------------------------------------------------------------ *)
+(* Scaleout: one pool + private client per store *)
+
+let scaleout_cell ~quick ~config ~pools ~mode =
+  let sz = sizing ~quick in
+  let activated = Stdlib.min Params.client_cores (2 * pools) in
+  let tb = Testbed.create ~activated () in
+  let latencies = Array.make pools nan in
+  let done_count = ref 0 in
+  for i = 0 to pools - 1 do
+    let pool = Testbed.pool tb i in
+    let cache_bytes = match mode with Put -> gib 4 | Get -> sz.cache_bytes in
+    let ct =
+      Container_engine.launch tb.Testbed.containers ~config ~pool
+        ~id:(Printf.sprintf "kv%d" i) ~cache_bytes ()
+    in
+    Engine.spawn tb.Testbed.engine ~name:(Printf.sprintf "rocksdb-%d" i) (fun () ->
+        let ctx = Testbed.ctx tb ~pool ~seed:(500 + i) in
+        let kv = Kvstore.create ctx ~view:ct.Container_engine.view kv_params in
+        (match mode with
+        | Put ->
+            Kvstore.populate kv ~thread:1 ~bytes:sz.put_bytes;
+            latencies.(i) <- Stats.mean (Kvstore.put_stats kv).Workload.op_latency
+        | Get ->
+            Kvstore.populate kv ~thread:1 ~bytes:sz.populate_bytes;
+            for _ = 1 to sz.gets do
+              Kvstore.get kv ~thread:1
+            done;
+            latencies.(i) <- Stats.mean (Kvstore.get_stats kv).Workload.op_latency);
+        Kvstore.shutdown kv;
+        incr done_count)
+  done;
+  Testbed.drive tb ~stop:(fun () -> !done_count = pools);
+  Array.fold_left ( +. ) 0.0 latencies /. float_of_int pools
+
+let scaleout_figure ~id ~title ~quick ~mode =
+  let pool_counts = if quick then [ 1; 8; 32 ] else [ 1; 2; 4; 8; 16; 32 ] in
+  let configs = [ Config.d; Config.f; Config.k ] in
+  let rows =
+    List.map
+      (fun pools ->
+        string_of_int pools
+        :: List.map
+             (fun config ->
+               Report.ms (scaleout_cell ~quick ~config ~pools ~mode))
+             configs)
+      pool_counts
+  in
+  [
+    Report.make ~id ~title
+      ~header:("pools" :: List.map (fun c -> c.Config.label ^ " " ^ mode_name mode) configs)
+      rows;
+  ]
+
+let fig7a ~quick =
+  scaleout_figure ~id:"fig7a" ~title:"RocksDB put scaleout (mean latency)" ~quick
+    ~mode:Put
+
+let fig7b ~quick =
+  scaleout_figure ~id:"fig7b"
+    ~title:"RocksDB out-of-core get scaleout (mean latency)" ~quick ~mode:Get
+
+(* ------------------------------------------------------------------ *)
+(* Scaleup: cloned containers in one big pool over a shared client *)
+
+let scaleup_cell ~quick ~config ~clones ~mode =
+  let sz = sizing ~quick in
+  let tb = Testbed.create ~activated:Params.client_cores () in
+  let pool =
+    Testbed.custom_pool tb ~name:"bigpool"
+      ~cores:(Array.init Params.client_cores (fun i -> i))
+      ~mem:(200 * 1024 * 1024 * 1024)
+  in
+  Container_engine.install_image tb.Testbed.containers ~name:"rocksdb"
+    ~files:[ ("/usr/bin/rocksdb", mib 20); ("/etc/rocksdb.conf", 4096) ];
+  let latencies = Array.make clones nan in
+  let done_count = ref 0 in
+  for i = 0 to clones - 1 do
+    let ct =
+      Container_engine.launch tb.Testbed.containers ~config ~pool
+        ~id:(Printf.sprintf "clone%d" i) ~image:"rocksdb"
+        ~cache_bytes:sz.scaleup_cache ()
+    in
+    Engine.spawn tb.Testbed.engine ~name:(Printf.sprintf "rocksdb-up-%d" i)
+      (fun () ->
+        let ctx = Testbed.ctx tb ~pool ~seed:(700 + i) in
+        let kv = Kvstore.create ctx ~view:ct.Container_engine.view kv_params in
+        (match mode with
+        | Put ->
+            Kvstore.populate kv ~thread:(2 * i) ~bytes:sz.scaleup_put_bytes;
+            latencies.(i) <- Stats.mean (Kvstore.put_stats kv).Workload.op_latency
+        | Get ->
+            Kvstore.populate kv ~thread:(2 * i) ~bytes:sz.scaleup_populate;
+            for _ = 1 to sz.scaleup_gets do
+              Kvstore.get kv ~thread:(2 * i)
+            done;
+            latencies.(i) <- Stats.mean (Kvstore.get_stats kv).Workload.op_latency);
+        Kvstore.shutdown kv;
+        incr done_count)
+  done;
+  Testbed.drive tb ~stop:(fun () -> !done_count = clones);
+  Array.fold_left ( +. ) 0.0 latencies /. float_of_int clones
+
+let scaleup_figure ~id ~title ~quick ~mode =
+  let clone_counts = if quick then [ 1; 8; 32 ] else [ 1; 2; 4; 8; 16; 32 ] in
+  let configs = [ Config.d; Config.ff; Config.fk; Config.kk ] in
+  let rows =
+    List.map
+      (fun clones ->
+        string_of_int clones
+        :: List.map
+             (fun config -> Report.ms (scaleup_cell ~quick ~config ~clones ~mode))
+             configs)
+      clone_counts
+  in
+  [
+    Report.make ~id ~title
+      ~header:("clones" :: List.map (fun c -> c.Config.label) configs)
+      rows;
+  ]
+
+let fig7c ~quick =
+  scaleup_figure ~id:"fig7c" ~title:"RocksDB put scaleup (mean latency)" ~quick
+    ~mode:Put
+
+let fig7d ~quick =
+  scaleup_figure ~id:"fig7d" ~title:"RocksDB get scaleup (mean latency)" ~quick
+    ~mode:Get

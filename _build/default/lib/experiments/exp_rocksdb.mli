@@ -1,0 +1,12 @@
+(** RocksDB-analogue experiments (Fig. 7).
+
+    - scaleout put (7a): 1-32 pools, each with a private client (D/F/K)
+      and its own store; 1 GB of 128 KB-value puts per pool.
+    - scaleout get (7b): populate out-of-core, then random gets.
+    - scaleup put/get (7c/7d): 1-32 cloned containers in one big pool
+      sharing one client (D, F/F, F/K, K/K). *)
+
+val fig7a : quick:bool -> Report.t list
+val fig7b : quick:bool -> Report.t list
+val fig7c : quick:bool -> Report.t list
+val fig7d : quick:bool -> Report.t list

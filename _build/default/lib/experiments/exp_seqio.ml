@@ -1,0 +1,90 @@
+open Danaus_sim
+open Danaus_kernel
+open Danaus
+open Danaus_workloads
+
+let mib n = n * 1024 * 1024
+
+let seq_params ~quick =
+  if quick then
+    (* 20 s so that every config reaches writeback steady state within
+       the measurement window *)
+    { Seqio.default_params with Seqio.file_size = mib 256; duration = 15.0 }
+  else Seqio.default_params
+
+type mode = Write | Read
+
+let run_cell ~quick ~config ~pools ~mode =
+  let p = seq_params ~quick in
+  let activated = Stdlib.min Params.client_cores (2 * pools) in
+  let tb = Testbed.create ~activated () in
+  let containers =
+    List.init pools (fun i ->
+        let pool = Testbed.pool tb i in
+        ( pool,
+          Container_engine.launch tb.Testbed.containers ~config ~pool
+            ~id:(Printf.sprintf "seq%d" i) () ))
+  in
+  (* reads run over a warm file *)
+  (if mode = Read then begin
+     let warmed = ref 0 in
+     List.iteri
+       (fun i (pool, ct) ->
+         Engine.spawn tb.Testbed.engine (fun () ->
+             let ctx = Testbed.ctx tb ~pool ~seed:(1100 + i) in
+             Seqio.prepopulate ctx ~view:ct.Container_engine.view p;
+             incr warmed))
+       containers;
+     Testbed.drive tb ~stop:(fun () -> !warmed = pools)
+   end);
+  Testbed.reset_metrics tb;
+  let results = Array.make pools None in
+  let done_count = ref 0 in
+  List.iteri
+    (fun i (pool, ct) ->
+      Engine.spawn tb.Testbed.engine (fun () ->
+          let ctx = Testbed.ctx tb ~pool ~seed:(1200 + i) in
+          let r =
+            match mode with
+            | Write -> Seqio.run_write ctx ~view:ct.Container_engine.view p
+            | Read -> Seqio.run_read ctx ~view:ct.Container_engine.view p
+          in
+          results.(i) <- Some r;
+          incr done_count))
+    containers;
+  Testbed.drive tb ~stop:(fun () -> !done_count = pools);
+  let total =
+    Array.fold_left
+      (fun acc r ->
+        match r with Some r -> acc +. r.Seqio.throughput_mbps | None -> acc)
+      0.0 results
+  in
+  let io_wait =
+    Counters.total (Kernel.counters tb.Testbed.kernel) ~metric:"io_wait"
+  in
+  (total, io_wait)
+
+let figure ~quick ~mode =
+  let pool_counts = if quick then [ 1; 8 ] else [ 1; 4; 8; 16; 32 ] in
+  let configs = [ Config.d; Config.f; Config.k ] in
+  List.map
+    (fun pools ->
+      let cells = List.map (fun c -> run_cell ~quick ~config:c ~pools ~mode) configs in
+      string_of_int pools
+      :: (List.map (fun (t, _) -> Report.mbps t) cells
+         @ List.map (fun (_, w) -> Report.f1 w) cells))
+    pool_counts
+
+let fig9 ~quick =
+  let configs = [ "D"; "F"; "K" ] in
+  let header =
+    "pools"
+    :: (List.map (fun c -> c ^ " MB/s") configs
+       @ List.map (fun c -> c ^ " iowait s") configs)
+  in
+  [
+    Report.make ~id:"fig9w" ~title:"Seqwrite scaleout (total MB/s)" ~header
+      (figure ~quick ~mode:Write);
+    Report.make ~id:"fig9r" ~title:"Seqread scaleout (total MB/s, warm cache)"
+      ~header (figure ~quick ~mode:Read);
+  ]

@@ -1,0 +1,5 @@
+(** Sequential I/O scaleout (Fig. 9): Filebench Seqwrite / Seqread at 1-32
+    pools over D, F and K, with the client-side I/O-wait CPU that exposes
+    the kernel client's blocking behaviour. *)
+
+val fig9 : quick:bool -> Report.t list

@@ -1,0 +1,70 @@
+open Danaus_sim
+open Danaus_kernel
+open Danaus
+open Danaus_workloads
+
+let run_cell ~config ~clones =
+  let tb = Testbed.create ~activated:Params.client_cores () in
+  let pool =
+    Testbed.custom_pool tb ~name:"webpool"
+      ~cores:(Array.init Params.client_cores (fun i -> i))
+      ~mem:(200 * 1024 * 1024 * 1024)
+  in
+  let p = Startup.default_params in
+  Container_engine.install_image tb.Testbed.containers ~name:"lighttpd"
+    ~files:(Startup.image_files p);
+  let containers =
+    List.init clones (fun i ->
+        Container_engine.launch tb.Testbed.containers ~config ~pool
+          ~id:(Printf.sprintf "web%d" i) ~image:"lighttpd" ())
+  in
+  Testbed.reset_metrics tb;
+  let started = Engine.now tb.Testbed.engine in
+  let finished = ref 0 in
+  let last_finish = ref started in
+  List.iteri
+    (fun i ct ->
+      Engine.spawn tb.Testbed.engine ~name:(Printf.sprintf "start-%d" i) (fun () ->
+          let ctx = Testbed.ctx tb ~pool ~seed:(900 + i) in
+          Startup.start_container ctx
+            ~view:(ct.Container_engine.view ~thread:i)
+            ~legacy:ct.Container_engine.legacy p;
+          last_finish := Engine.now tb.Testbed.engine;
+          incr finished))
+    containers;
+  Testbed.drive tb ~stop:(fun () -> !finished = clones);
+  let elapsed = !last_finish -. started in
+  let ctx_switches =
+    Counters.get (Kernel.counters tb.Testbed.kernel) ~metric:"context_switches"
+      ~key:(Cgroup.name pool)
+  in
+  (elapsed, ctx_switches)
+
+let fig8 ~quick =
+  let clone_counts = if quick then [ 1; 16; 64 ] else [ 1; 4; 16; 64; 256 ] in
+  let configs = [ Config.d; Config.kk; Config.fk; Config.ff ] in
+  let cells =
+    List.map
+      (fun clones -> (clones, List.map (fun c -> run_cell ~config:c ~clones) configs))
+      clone_counts
+  in
+  let time_rows =
+    List.map
+      (fun (clones, results) ->
+        string_of_int clones :: List.map (fun (t, _) -> Report.f2 t) results)
+      cells
+  in
+  let ctx_rows =
+    List.map
+      (fun (clones, results) ->
+        string_of_int clones
+        :: List.map (fun (_, c) -> Printf.sprintf "%.0f" c) results)
+      cells
+  in
+  let header = "clones" :: List.map (fun c -> c.Config.label) configs in
+  [
+    Report.make ~id:"fig8a" ~title:"Lighttpd container startup time (s)" ~header
+      time_rows;
+    Report.make ~id:"fig8b" ~title:"Context switches during startup" ~header
+      ctx_rows;
+  ]

@@ -1,0 +1,8 @@
+(** Container startup scaleup (Fig. 8): real time to start 1-256 cloned
+    Lighttpd containers in a single pool over a shared client, plus the
+    context switches of the run (Fig. 8b). *)
+
+val fig8 : quick:bool -> Report.t list
+
+(** One cell: (time to start all clones, context switches). *)
+val run_cell : config:Danaus.Config.t -> clones:int -> float * float

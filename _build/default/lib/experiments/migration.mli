@@ -1,0 +1,14 @@
+(** Container migration between client hosts over the shared filesystem
+    (§9 future work; also the §5 flexibility claim and [80]).
+
+    Two simulated client machines mount the same Ceph cluster.  Migrating
+    a container with Danaus is: flush its dirty state, drop it on the
+    source, and relaunch on the destination — the root filesystem is
+    already visible there, so only the warm-up reads cross the network.
+    The baseline copies the container's root filesystem to the
+    destination host first (image-download-style migration). *)
+
+(** Time to migrate a Lighttpd container with [state_mib] MiB of private
+    writable state, for both strategies.  Returns
+    (shared-fs seconds, copy-based seconds) per state size. *)
+val fig_migration : quick:bool -> Report.t list

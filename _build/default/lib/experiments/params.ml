@@ -1,0 +1,33 @@
+open Danaus_kernel
+
+let client_cores = 64
+let client_mem = 256 * 1024 * 1024 * 1024
+let pool_cores = 2
+let pool_mem = 8 * 1024 * 1024 * 1024
+let net_bandwidth = 2.5e9
+let net_latency = 20e-6
+let osd_count = 6
+let osd_disk_bandwidth = 2.0e9
+let osd_concurrency = 8
+let osd_op_cost = 30e-6
+let osd_cpu_per_byte = 1.0 /. 4.0e9
+let mds_concurrency = 8
+let mds_op_cost = 50e-6
+let replicas = 1
+let object_size = 4 * 1024 * 1024
+let local_disk_bandwidth = 160.0e6
+let local_disk_latency = 1.0e-3
+let local_disk_seek = 4.0e-3
+let local_disks = 4
+
+let costs =
+  {
+    Costs.default with
+    (* writeback path calibrated so that one write-intensive Fileserver
+       keeps ~1.2 foreign cores busy flushing (Fig. 1a line chart) *)
+    Costs.flush_per_byte = 1.0 /. 0.8e9;
+    user_flush_per_byte = 1.0 /. 1.2e9;
+  }
+
+let writeback_interval = 1.0
+let expire_interval = 5.0

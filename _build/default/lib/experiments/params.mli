@@ -1,0 +1,47 @@
+open Danaus_kernel
+
+(** Calibrated simulation parameters (single source of truth).
+
+    The machine constants mirror the paper's testbed (§6.1): two 64-core
+    machines, 256 GB RAM, 20 Gbps bonded links, a 6-OSD + 1-MDS Ceph
+    cluster on ramdisks, and 4-disk local RAID-0 arrays.  The CPU cost
+    constants are calibrated so that the relative shapes of the paper's
+    figures emerge (see DESIGN.md §1). *)
+
+val client_cores : int
+val client_mem : int
+
+(** Per container pool (§6.2): 2 cores, 8 GB. *)
+val pool_cores : int
+
+val pool_mem : int
+
+(** Network: 20 Gbps per machine, ~20 us switch latency. *)
+val net_bandwidth : float
+
+val net_latency : float
+
+val osd_count : int
+val osd_disk_bandwidth : float
+val osd_concurrency : int
+val osd_op_cost : float
+val osd_cpu_per_byte : float
+val mds_concurrency : int
+val mds_op_cost : float
+val replicas : int
+val object_size : int
+
+(** Local direct-attached disks (125-204 MB/s HDDs, 4-way RAID-0). *)
+val local_disk_bandwidth : float
+
+val local_disk_latency : float
+val local_disk_seek : float
+val local_disks : int
+
+(** Kernel/client CPU cost model. *)
+val costs : Costs.t
+
+(** Dirty page flushing defaults (§6.1): 1 s writeback, 5 s expire. *)
+val writeback_interval : float
+
+val expire_interval : float

@@ -1,0 +1,118 @@
+open Danaus
+
+type exp = { id : string; title : string; run : quick:bool -> Report.t list }
+
+let tab1 ~quick:_ =
+  [
+    Report.make ~id:"tab1" ~title:"Client system components"
+      ~header:[ "" ]
+      (List.map (fun l -> [ l ]) (String.split_on_char '\n' (Config.table1 ())));
+  ]
+
+let all =
+  [
+    { id = "tab1"; title = "Table 1: configuration matrix"; run = tab1 };
+    {
+      id = "tab2";
+      title = "Table 2: contention workload symbols";
+      run = (fun ~quick:_ -> Contention.table2 ());
+    };
+    {
+      id = "fig1";
+      title = "Fig 1: Fileserver collapse in the shared kernel";
+      run = (fun ~quick -> Contention.fig1 ~quick);
+    };
+    {
+      id = "fig6a";
+      title = "Fig 6a: Fileserver x RandomIO interference";
+      run = (fun ~quick -> Contention.fig6a ~quick);
+    };
+    {
+      id = "fig6b";
+      title = "Fig 6b: Fileserver x Webserver interference";
+      run = (fun ~quick -> Contention.fig6b ~quick);
+    };
+    {
+      id = "fig6c";
+      title = "Fig 6c: Fileserver x Sysbench latency interference";
+      run = (fun ~quick -> Contention.fig6c ~quick);
+    };
+    {
+      id = "fig7a";
+      title = "Fig 7a: RocksDB put scaleout";
+      run = (fun ~quick -> Exp_rocksdb.fig7a ~quick);
+    };
+    {
+      id = "fig7b";
+      title = "Fig 7b: RocksDB get scaleout (out of core)";
+      run = (fun ~quick -> Exp_rocksdb.fig7b ~quick);
+    };
+    {
+      id = "fig7c";
+      title = "Fig 7c: RocksDB put scaleup";
+      run = (fun ~quick -> Exp_rocksdb.fig7c ~quick);
+    };
+    {
+      id = "fig7d";
+      title = "Fig 7d: RocksDB get scaleup";
+      run = (fun ~quick -> Exp_rocksdb.fig7d ~quick);
+    };
+    {
+      id = "fig8";
+      title = "Fig 8: Lighttpd container startup scaleup";
+      run = (fun ~quick -> Exp_startup.fig8 ~quick);
+    };
+    {
+      id = "fig9";
+      title = "Fig 9: Seqwrite/Seqread scaleout";
+      run = (fun ~quick -> Exp_seqio.fig9 ~quick);
+    };
+    {
+      id = "fig10";
+      title = "Fig 10: Fileserver scaleout";
+      run = (fun ~quick -> Exp_fileserver.fig10 ~quick);
+    };
+    {
+      id = "fig11a";
+      title = "Fig 11a: Fileappend scaleup";
+      run = (fun ~quick -> Exp_filerw.fig11a ~quick);
+    };
+    {
+      id = "fig11b";
+      title = "Fig 11b: Fileread scaleup";
+      run = (fun ~quick -> Exp_filerw.fig11b ~quick);
+    };
+    {
+      id = "abl-lock";
+      title = "Ablation: client_lock granularity (paper S9 future work)";
+      run = (fun ~quick -> Ablations.ablation_lock ~quick);
+    };
+    {
+      id = "abl-dual";
+      title = "Ablation: dual interface (default IPC vs legacy FUSE path)";
+      run = (fun ~quick -> Ablations.ablation_dual ~quick);
+    };
+    {
+      id = "dyn";
+      title = "Extension (S9): dynamic reallocation of underutilised cores";
+      run = (fun ~quick -> Dynamic_alloc.fig_dynamic ~quick);
+    };
+    {
+      id = "abl-cow";
+      title = "Extension (S9): block-level copy-on-write in the union";
+      run = (fun ~quick -> Ablations.ablation_block_cow ~quick);
+    };
+    {
+      id = "mig";
+      title = "Extension (S9): container migration over the shared filesystem";
+      run = (fun ~quick -> Migration.fig_migration ~quick);
+    };
+    {
+      id = "abl-union";
+      title = "Ablation: integrated union branch-probing cost";
+      run = (fun ~quick -> Ablations.ablation_union ~quick);
+    };
+  ]
+
+let find id = List.find_opt (fun e -> String.equal e.id id) all
+let ids () = List.map (fun e -> e.id) all

@@ -1,0 +1,15 @@
+(** Experiment registry: every table and figure of the paper's
+    evaluation, addressable by id (used by the CLI and the bench
+    harness). *)
+
+type exp = {
+  id : string;
+  title : string;
+  run : quick:bool -> Report.t list;
+}
+
+val all : exp list
+
+val find : string -> exp option
+
+val ids : unit -> string list

@@ -1,0 +1,32 @@
+open Danaus_sim
+
+type outcome = {
+  mean : float;
+  ci95 : float;
+  runs : int;
+  converged : bool;
+  samples : Stats.t;
+}
+
+let until_stable ?(min_runs = 3) ?(max_runs = 10) ?(tolerance = 0.05) f =
+  assert (min_runs >= 1 && max_runs >= min_runs && tolerance > 0.0);
+  let samples = Stats.create () in
+  let stable () =
+    let n = Stats.count samples in
+    n >= min_runs
+    && Stats.ci95_halfwidth samples <= tolerance *. Float.abs (Stats.mean samples)
+  in
+  let seed = ref 0 in
+  while (not (stable ())) && Stats.count samples < max_runs do
+    incr seed;
+    Stats.add samples (f ~seed:!seed)
+  done;
+  {
+    mean = Stats.mean samples;
+    ci95 = Stats.ci95_halfwidth samples;
+    runs = Stats.count samples;
+    converged = stable ();
+    samples;
+  }
+
+let to_string o = Printf.sprintf "%.1f ±%.1f (n=%d)" o.mean o.ci95 o.runs

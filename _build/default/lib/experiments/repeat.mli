@@ -1,0 +1,27 @@
+open Danaus_sim
+
+(** The paper's §6.1 stopping rule: repeat an experiment (up to 10
+    times, fresh seed each time) until the half-length of the 95%
+    confidence interval of the primary metric is within 5% of the mean. *)
+
+type outcome = {
+  mean : float;
+  ci95 : float;  (** half-length of the 95% confidence interval *)
+  runs : int;
+  converged : bool;  (** CI within the tolerance before [max_runs] *)
+  samples : Stats.t;
+}
+
+(** [until_stable ?min_runs ?max_runs ?tolerance f] calls [f ~seed] with
+    seeds 1, 2, ... and stops once the CI criterion holds (after at
+    least [min_runs], default 3) or [max_runs] (default 10) is reached.
+    [tolerance] is the CI/mean bound (default 0.05). *)
+val until_stable :
+  ?min_runs:int ->
+  ?max_runs:int ->
+  ?tolerance:float ->
+  (seed:int -> float) ->
+  outcome
+
+(** Render as "123.4 ±5.6 (n=4)". *)
+val to_string : outcome -> string

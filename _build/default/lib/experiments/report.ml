@@ -1,0 +1,57 @@
+type t = {
+  id : string;
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~id ~title ~header ?(notes = []) rows = { id; title; header; rows; notes }
+
+let render t =
+  let all = t.header :: t.rows in
+  let cols =
+    List.fold_left (fun acc row -> Stdlib.max acc (List.length row)) 0 all
+  in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> Stdlib.max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun c w ->
+           let cell = Option.value ~default:"" (List.nth_opt row c) in
+           cell ^ String.make (Stdlib.max 0 (w - String.length cell)) ' ')
+         widths)
+    |> String.trim
+    |> fun s -> s ^ "\n"
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "== %s: %s ==\n" t.id t.title);
+  Buffer.add_string buf (render_row t.header);
+  Buffer.add_string buf
+    (String.make (List.fold_left ( + ) (2 * (cols - 1)) widths) '-' ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (render_row row)) t.rows;
+  List.iter (fun n -> Buffer.add_string buf ("note: " ^ n ^ "\n")) t.notes;
+  Buffer.contents buf
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let ms v = Printf.sprintf "%.2fms" (v *. 1e3)
+let mbps v = Printf.sprintf "%.1f" v
+let ratio v = Printf.sprintf "%.1fx" v
+
+let csv_cell cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let row cells = String.concat "," (List.map csv_cell cells) ^ "\n" in
+  String.concat "" (List.map row (t.header :: t.rows))

@@ -1,0 +1,34 @@
+(** Plain-text tables for the benchmark harness output and
+    EXPERIMENTS.md. *)
+
+type t = {
+  id : string;  (** e.g. "fig6a" *)
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make :
+  id:string -> title:string -> header:string list -> ?notes:string list ->
+  string list list -> t
+
+(** Render as an aligned text table. *)
+val render : t -> string
+
+(** Render as CSV (header row first; cells quoted when needed). *)
+val to_csv : t -> string
+
+(** Formatting helpers. *)
+val f1 : float -> string
+
+val f2 : float -> string
+
+(** Milliseconds with 2 decimals. *)
+val ms : float -> string
+
+(** MB/s with one decimal. *)
+val mbps : float -> string
+
+(** Ratio like "3.7x". *)
+val ratio : float -> string

@@ -1,0 +1,109 @@
+open Danaus_sim
+open Danaus_hw
+open Danaus_kernel
+open Danaus_ceph
+open Danaus
+
+type t = {
+  engine : Engine.t;
+  base_seed : int;
+  topology : Topology.t;
+  cpu : Cpu.t;
+  kernel : Kernel.t;
+  net : Net.t;
+  cluster : Cluster.t;
+  local_disk : Disk.t;
+  containers : Container_engine.t;
+}
+
+let create ?(seed = 1) ~activated () =
+  let engine = Engine.create () in
+  let topology = Topology.paper_machine () in
+  let cpu = Cpu.create engine ~cores:Params.client_cores in
+  let kernel =
+    Kernel.create ~costs:Params.costs ~writeback:Params.writeback_interval
+      ~expire:Params.expire_interval engine ~cpu
+      ~activated:(Array.init activated (fun i -> i))
+      ~page_cache_limit:Params.client_mem
+  in
+  let net = Net.create engine in
+  let client_node =
+    Net.add_node net ~name:"client-host" ~bandwidth:Params.net_bandwidth
+      ~latency:Params.net_latency
+  in
+  let server_node =
+    Net.add_node net ~name:"server-host" ~bandwidth:Params.net_bandwidth
+      ~latency:Params.net_latency
+  in
+  let osds =
+    Array.init Params.osd_count (fun i ->
+        let data =
+          Disk.create engine
+            ~name:(Printf.sprintf "osd%d-data" i)
+            ~bandwidth:Params.osd_disk_bandwidth ~latency:5e-6 ~seek:0.0
+        in
+        let journal =
+          Disk.create engine
+            ~name:(Printf.sprintf "osd%d-journal" i)
+            ~bandwidth:Params.osd_disk_bandwidth ~latency:5e-6 ~seek:0.0
+        in
+        Osd.create engine
+          ~name:(Printf.sprintf "osd%d" i)
+          ~data ~journal ~concurrency:Params.osd_concurrency
+          ~op_cost:Params.osd_op_cost ~cpu_per_byte:Params.osd_cpu_per_byte)
+  in
+  let mds =
+    Mds.create engine ~concurrency:Params.mds_concurrency ~op_cost:Params.mds_op_cost
+  in
+  let cluster =
+    Cluster.create engine ~net ~client_node ~server_node ~osds ~mds
+      ~replicas:Params.replicas ~object_size:Params.object_size
+  in
+  let local_disk =
+    Disk.raid0
+      (Array.init Params.local_disks (fun i ->
+           Disk.create engine
+             ~name:(Printf.sprintf "sd%c" (Char.chr (Char.code 'a' + i)))
+             ~bandwidth:Params.local_disk_bandwidth
+             ~latency:Params.local_disk_latency ~seek:Params.local_disk_seek))
+  in
+  let containers = Container_engine.create ~kernel ~cluster ~topology in
+  { engine; base_seed = seed; topology; cpu; kernel; net; cluster; local_disk; containers }
+
+let pool t i =
+  ignore t;
+  Cgroup.create
+    ~name:(Printf.sprintf "pool%d" i)
+    ~cores:[| 2 * i; (2 * i) + 1 |]
+    ~mem_limit:Params.pool_mem
+
+let custom_pool t ~name ~cores ~mem =
+  ignore t;
+  Cgroup.create ~name ~cores ~mem_limit:mem
+
+let drive ?(limit = 100_000.0) t ~stop =
+  let rec go () =
+    if stop () then ()
+    else if Engine.now t.engine > limit then
+      failwith "Testbed.drive: simulation did not converge before the limit"
+    else begin
+      Engine.run_until t.engine (Engine.now t.engine +. 0.25);
+      go ()
+    end
+  in
+  go ()
+
+let reset_metrics t =
+  Cpu.reset_usage t.cpu;
+  Kernel.reset_lock_stats t.kernel;
+  Counters.reset (Kernel.counters t.kernel)
+
+let ctx t ~pool ~seed =
+  (* derive from the testbed's base seed so that repeated runs with
+     different seeds draw independent workload streams (§6.1 repeats) *)
+  Danaus_workloads.Workload.make_ctx t.engine ~cpu:t.cpu ~pool
+    ~seed:(seed + (t.base_seed * 1_000_003))
+
+let local_fs t ~name =
+  Local_fs.create t.kernel ~name ~disk:t.local_disk
+    ~max_dirty:(Params.pool_mem / 2) ()

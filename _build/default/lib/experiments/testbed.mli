@@ -1,0 +1,46 @@
+open Danaus_sim
+open Danaus_hw
+open Danaus_kernel
+open Danaus_ceph
+open Danaus
+
+(** The paper's testbed (Fig. 5), assembled from {!Params}: a 64-core
+    client machine with a host kernel, local RAID-0 disks and a network
+    link, plus a 6-OSD/1-MDS Ceph cluster on the server machine. *)
+
+type t = {
+  engine : Engine.t;
+  base_seed : int;  (** mixed into every workload RNG stream *)
+  topology : Topology.t;
+  cpu : Cpu.t;
+  kernel : Kernel.t;
+  net : Net.t;
+  cluster : Cluster.t;
+  local_disk : Disk.t;  (** 4-disk RAID-0 of direct-attached storage *)
+  containers : Container_engine.t;
+}
+
+(** [create ~activated ()] boots the testbed with host cores
+    [0 .. activated-1] enabled (the paper enables 4-16). *)
+val create : ?seed:int -> activated:int -> unit -> t
+
+(** Pool [i] of the standard layout: cores [2i, 2i+1], 8 GB. *)
+val pool : t -> int -> Cgroup.t
+
+(** A pool with an explicit shape (scale-up experiments). *)
+val custom_pool : t -> name:string -> cores:int array -> mem:int -> Cgroup.t
+
+(** Drive the simulation until [stop ()] becomes true (checked every
+    0.25 simulated seconds) or [limit] simulated seconds elapse; raises
+    [Failure] on timeout. *)
+val drive : ?limit:float -> t -> stop:(unit -> bool) -> unit
+
+(** Reset every measurement (CPU usage, lock stats, counters) — call
+    between the warm-up and the measured phase. *)
+val reset_metrics : t -> unit
+
+(** A fresh workload context bound to a pool. *)
+val ctx : t -> pool:Cgroup.t -> seed:int -> Danaus_workloads.Workload.ctx
+
+(** A local ext4-like filesystem over the RAID-0 array. *)
+val local_fs : t -> name:string -> Local_fs.t

@@ -1,0 +1,1 @@
+lib/hw/cpu.ml: Array Danaus_sim Engine Float Hashtbl List String

@@ -1,0 +1,1 @@
+lib/hw/disk.ml: Array Danaus_sim Engine Semaphore_sim Waitgroup

@@ -1,0 +1,1 @@
+lib/hw/net.ml: Danaus_sim Engine Float Semaphore_sim

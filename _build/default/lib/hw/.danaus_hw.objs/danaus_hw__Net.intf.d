@@ -1,0 +1,1 @@
+lib/hw/net.mli: Danaus_sim Engine

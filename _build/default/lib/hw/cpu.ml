@@ -1,0 +1,174 @@
+open Danaus_sim
+
+type core = {
+  id : int;
+  mutable busy : bool;
+  mutable total_busy : float;
+  usage : (string, float ref) Hashtbl.t;
+}
+
+type waiter = { eligible : int array; grant : int -> unit }
+
+type t = {
+  engine : Engine.t;
+  quantum : float;
+  cores : core array;
+  mutable queue : waiter list; (* FIFO; head is the oldest *)
+  mutable rotor : int; (* rotating start point for idle-core search *)
+}
+
+let create ?(quantum = 500e-6) engine ~cores =
+  assert (cores >= 1 && quantum > 0.0);
+  {
+    engine;
+    quantum;
+    cores =
+      Array.init cores (fun id ->
+          { id; busy = false; total_busy = 0.0; usage = Hashtbl.create 8 });
+    queue = [];
+    rotor = 0;
+  }
+
+let core_count t = Array.length t.cores
+let waiting t = List.length t.queue
+
+let eligible_contains eligible id = Array.exists (fun c -> c = id) eligible
+
+(* Rotating search so that background work spreads over the eligible
+   cores instead of clustering on the lowest ids. *)
+let find_idle t eligible =
+  let n = Array.length eligible in
+  let start = t.rotor mod n in
+  t.rotor <- t.rotor + 1;
+  let found = ref None in
+  for i = 0 to n - 1 do
+    let id = eligible.((start + i) mod n) in
+    if !found = None && not t.cores.(id).busy then found := Some id
+  done;
+  !found
+
+let acquire t ~eligible =
+  match find_idle t eligible with
+  | Some id ->
+      t.cores.(id).busy <- true;
+      id
+  | None ->
+      let granted = ref (-1) in
+      Engine.suspend (fun wake ->
+          let grant id =
+            granted := id;
+            wake ()
+          in
+          t.queue <- t.queue @ [ { eligible; grant } ]);
+      !granted
+
+(* Remove and return the oldest waiter eligible to run on [id]. *)
+let take_waiter t id =
+  let rec go acc = function
+    | [] -> None
+    | w :: rest ->
+        if eligible_contains w.eligible id then begin
+          t.queue <- List.rev_append acc rest;
+          Some w
+        end
+        else go (w :: acc) rest
+  in
+  go [] t.queue
+
+let release t id =
+  match take_waiter t id with
+  | Some w -> w.grant id (* core stays busy, handed to the waiter *)
+  | None -> t.cores.(id).busy <- false
+
+let attribute core ~tenant dt =
+  core.total_busy <- core.total_busy +. dt;
+  let r =
+    match Hashtbl.find_opt core.usage tenant with
+    | Some r -> r
+    | None ->
+        let r = ref 0.0 in
+        Hashtbl.add core.usage tenant r;
+        r
+  in
+  r := !r +. dt
+
+let compute t ~tenant ~eligible seconds =
+  assert (Array.length eligible > 0);
+  assert (seconds >= 0.0);
+  let remaining = ref seconds in
+  while !remaining > 0.0 do
+    let burst = Float.min !remaining t.quantum in
+    let id = acquire t ~eligible in
+    Engine.sleep burst;
+    attribute t.cores.(id) ~tenant burst;
+    release t id;
+    remaining := !remaining -. burst
+  done
+
+(* Background (kworker-style) execution: only ever starts a burst on a
+   core that is idle at that instant, and backs off whenever it either
+   finds no idle core or displaced foreground work (a waiter queued up
+   during the burst).  This models writeback threads living off idle
+   time: plentiful when the neighbours' cores are unused, nearly nothing
+   when every reserved core is busy (the paper's Fig. 1a mechanism). *)
+let compute_background t ~tenant ~eligible ~backoff seconds =
+  assert (Array.length eligible > 0);
+  assert (seconds >= 0.0 && backoff > 0.0);
+  let remaining = ref seconds in
+  while !remaining > 0.0 do
+    match find_idle t eligible with
+    | None -> Engine.sleep backoff
+    | Some id ->
+        t.cores.(id).busy <- true;
+        let burst = Float.min !remaining (t.quantum /. 2.0) in
+        Engine.sleep burst;
+        attribute t.cores.(id) ~tenant burst;
+        let displaced =
+          List.exists (fun w -> eligible_contains w.eligible id) t.queue
+        in
+        release t id;
+        remaining := !remaining -. burst;
+        if displaced then Engine.sleep backoff
+  done
+
+let busy_seconds t ~cores =
+  Array.fold_left (fun acc id -> acc +. t.cores.(id).total_busy) 0.0 cores
+
+let busy_seconds_by t ~cores ~tenant =
+  Array.fold_left
+    (fun acc id ->
+      match Hashtbl.find_opt t.cores.(id).usage tenant with
+      | Some r -> acc +. !r
+      | None -> acc)
+    0.0 cores
+
+let utilization_pct t ~cores ~tenant ~elapsed =
+  if elapsed <= 0.0 then 0.0
+  else 100.0 *. busy_seconds_by t ~cores ~tenant /. elapsed
+
+let usage_breakdown t ~cores =
+  let table = Hashtbl.create 8 in
+  Array.iter
+    (fun id ->
+      Hashtbl.iter
+        (fun tenant r ->
+          let cell =
+            match Hashtbl.find_opt table tenant with
+            | Some c -> c
+            | None ->
+                let c = ref 0.0 in
+                Hashtbl.add table tenant c;
+                c
+          in
+          cell := !cell +. !r)
+        t.cores.(id).usage)
+    cores;
+  Hashtbl.fold (fun tenant r acc -> (tenant, !r) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset_usage t =
+  Array.iter
+    (fun core ->
+      core.total_busy <- 0.0;
+      Hashtbl.reset core.usage)
+    t.cores

@@ -1,0 +1,57 @@
+open Danaus_sim
+
+(** Simulated multicore processor.
+
+    Each core is a FIFO-served resource.  [compute] grabs any idle core of
+    an eligible set (queueing when all are busy), holds it for the
+    requested amount of simulated CPU time, and attributes the busy time
+    to a tenant label.  Long bursts are transparently sliced into small
+    quanta so that FIFO service approximates a time-sharing scheduler.
+
+    The per-(core, tenant) accounting is what exposes the paper's central
+    motivation result: the kernel flusher threads of a shared kernel run
+    on *any activated core*, so their busy time lands on cores reserved by
+    other tenants (Fig. 1a / 6a-b line charts). *)
+
+type t
+
+(** [create engine ~cores] makes a processor with core ids
+    [0 .. cores-1].  [quantum] (default [500e-6] s) bounds the length of
+    an uninterrupted burst on a core. *)
+val create : ?quantum:float -> Engine.t -> cores:int -> t
+
+val core_count : t -> int
+
+(** [compute t ~tenant ~eligible seconds] consumes [seconds] of CPU time
+    on cores drawn from [eligible], blocking while none is idle.  Must be
+    called from a simulated process.  [eligible] must be non-empty. *)
+val compute : t -> tenant:string -> eligible:int array -> float -> unit
+
+(** Background (kworker-style) execution of [seconds] of work: bursts
+    start only on momentarily idle cores, and the caller sleeps [backoff]
+    after finding no idle core or displacing foreground work.  Background
+    throughput therefore tracks the idle capacity of [eligible]. *)
+val compute_background :
+  t -> tenant:string -> eligible:int array -> backoff:float -> float -> unit
+
+(** Number of compute requests currently queued (all core sets). *)
+val waiting : t -> int
+
+(** {1 Accounting} *)
+
+(** Total busy seconds accumulated on the given cores since the last
+    {!reset_usage}. *)
+val busy_seconds : t -> cores:int array -> float
+
+(** Portion of {!busy_seconds} attributed to [tenant]. *)
+val busy_seconds_by : t -> cores:int array -> tenant:string -> float
+
+(** [utilization_pct t ~cores ~tenant ~elapsed] is the busy time of
+    [tenant] on [cores] as a percentage of a single core's capacity over
+    [elapsed] seconds (so 2 fully-used cores report 200%). *)
+val utilization_pct : t -> cores:int array -> tenant:string -> elapsed:float -> float
+
+(** Tenants that have used the given cores, with their busy seconds. *)
+val usage_breakdown : t -> cores:int array -> (string * float) list
+
+val reset_usage : t -> unit

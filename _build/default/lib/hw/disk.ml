@@ -1,0 +1,100 @@
+open Danaus_sim
+
+type device = {
+  engine : Engine.t;
+  dev_name : string;
+  bandwidth : float;
+  latency : float;
+  seek : float;
+  gate : Semaphore_sim.t;
+  mutable bytes : float;
+  mutable busy : float;
+}
+
+type t = Device of device | Raid0 of { chunk : int; members : t array }
+
+let create engine ~name ~bandwidth ~latency ~seek =
+  assert (bandwidth > 0.0 && latency >= 0.0 && seek >= 0.0);
+  Device
+    {
+      engine;
+      dev_name = name;
+      bandwidth;
+      latency;
+      seek;
+      gate = Semaphore_sim.create engine ~value:1;
+      bytes = 0.0;
+      busy = 0.0;
+    }
+
+let raid0 ?(chunk = 64 * 1024) members =
+  assert (Array.length members > 0 && chunk > 0);
+  Raid0 { chunk; members }
+
+let rec name = function
+  | Device d -> d.dev_name
+  | Raid0 { members; _ } -> "raid0(" ^ name members.(0) ^ "...)"
+
+let service d ~bytes ~random =
+  Semaphore_sim.acquire d.gate;
+  let duration =
+    d.latency
+    +. (if random then d.seek else 0.0)
+    +. (float_of_int bytes /. d.bandwidth)
+  in
+  Engine.sleep duration;
+  d.bytes <- d.bytes +. float_of_int bytes;
+  d.busy <- d.busy +. duration;
+  Semaphore_sim.release d.gate
+
+(* Stripe a request across members; members are exercised concurrently
+   and the request completes when the slowest stripe completes. *)
+let striped members chunk ~bytes ~io =
+  let n = Array.length members in
+  let full_stripes = bytes / chunk in
+  let tail = bytes mod chunk in
+  let share = Array.make n 0 in
+  for i = 0 to full_stripes - 1 do
+    share.(i mod n) <- share.(i mod n) + chunk
+  done;
+  if tail > 0 then share.(full_stripes mod n) <- share.(full_stripes mod n) + tail;
+  let engine =
+    match members.(0) with
+    | Device d -> d.engine
+    | Raid0 _ -> invalid_arg "Disk.raid0: nested arrays unsupported"
+  in
+  let wg = Waitgroup.create engine in
+  Array.iteri
+    (fun i b ->
+      if b > 0 then begin
+        Waitgroup.add wg;
+        Engine.fork (fun () ->
+            io members.(i) b;
+            Waitgroup.finish wg)
+      end)
+    share;
+  Waitgroup.wait wg
+
+let rec read t ~bytes ~random =
+  assert (bytes >= 0);
+  match t with
+  | Device d -> service d ~bytes ~random
+  | Raid0 { chunk; members } ->
+      striped members chunk ~bytes ~io:(fun m b -> read m ~bytes:b ~random)
+
+let rec write t ~bytes ~random =
+  assert (bytes >= 0);
+  match t with
+  | Device d -> service d ~bytes ~random
+  | Raid0 { chunk; members } ->
+      striped members chunk ~bytes ~io:(fun m b -> write m ~bytes:b ~random)
+
+let rec bytes_transferred = function
+  | Device d -> d.bytes
+  | Raid0 { members; _ } ->
+      Array.fold_left (fun acc m -> acc +. bytes_transferred m) 0.0 members
+
+let rec busy_seconds = function
+  | Device d -> d.busy
+  | Raid0 { members; _ } ->
+      Array.fold_left (fun acc m -> acc +. busy_seconds m) 0.0 members

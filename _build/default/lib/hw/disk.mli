@@ -1,0 +1,31 @@
+open Danaus_sim
+
+(** Simulated block device with FIFO service.
+
+    A request occupies the device for [latency + bytes / bandwidth]
+    simulated seconds.  Random-access requests pay [seek] extra.  RAID-0
+    arrays are built with {!raid0}, which stripes a request over member
+    devices and completes when the slowest member finishes. *)
+
+type t
+
+(** [create engine ~name ~bandwidth ~latency ~seek] describes one device;
+    [bandwidth] in bytes/second. *)
+val create :
+  Engine.t -> name:string -> bandwidth:float -> latency:float -> seek:float -> t
+
+(** A striped array over the given members (chunk size in bytes). *)
+val raid0 : ?chunk:int -> t array -> t
+
+val name : t -> string
+
+(** [read t ~bytes ~random] blocks for the service time of the request. *)
+val read : t -> bytes:int -> random:bool -> unit
+
+val write : t -> bytes:int -> random:bool -> unit
+
+(** Total bytes transferred (reads + writes) since creation. *)
+val bytes_transferred : t -> float
+
+(** Total simulated seconds the device was busy. *)
+val busy_seconds : t -> float

@@ -1,0 +1,34 @@
+type t = {
+  name : string;
+  limit : int option;
+  mutable used : int;
+  mutable high_water : int;
+}
+
+let create ~name ?limit () =
+  (match limit with Some l -> assert (l >= 0) | None -> ());
+  { name; limit; used = 0; high_water = 0 }
+
+let name t = t.name
+let limit t = t.limit
+
+let alloc t bytes =
+  assert (bytes >= 0);
+  t.used <- t.used + bytes;
+  if t.used > t.high_water then t.high_water <- t.used
+
+let free t bytes =
+  assert (bytes >= 0);
+  if bytes > t.used then
+    invalid_arg (Printf.sprintf "Memory.free: %s: freeing %d of %d" t.name bytes t.used);
+  t.used <- t.used - bytes
+
+let used t = t.used
+let high_water t = t.high_water
+
+let over_limit t =
+  match t.limit with
+  | None -> 0
+  | Some l -> if t.used > l then t.used - l else 0
+
+let reset_high_water t = t.high_water <- t.used

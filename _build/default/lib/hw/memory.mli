@@ -1,0 +1,31 @@
+(** Byte-granular memory accounting domain.
+
+    A domain is either a pool's reserved memory, the host kernel's page
+    cache, or a user-level cache.  The simulator charges allocations to a
+    domain and tracks the high-water mark, which is what the paper's
+    Fig. 11 (maximum memory) reports. *)
+
+type t
+
+(** [create ~name ?limit ()] makes an empty domain.  [limit], when given,
+    is advisory: {!alloc} never fails, but {!over_limit} reports
+    pressure so that caches can trigger eviction. *)
+val create : name:string -> ?limit:int -> unit -> t
+
+val name : t -> string
+val limit : t -> int option
+
+(** Charge [bytes] (>= 0) to the domain. *)
+val alloc : t -> int -> unit
+
+(** Return [bytes] to the domain.  Raises [Invalid_argument] when more is
+    freed than is in use. *)
+val free : t -> int -> unit
+
+val used : t -> int
+val high_water : t -> int
+
+(** Bytes above the limit (0 when unlimited or under it). *)
+val over_limit : t -> int
+
+val reset_high_water : t -> unit

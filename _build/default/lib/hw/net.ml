@@ -1,0 +1,48 @@
+open Danaus_sim
+
+type node = {
+  name : string;
+  bandwidth : float;
+  latency : float;
+  tx : Semaphore_sim.t;
+  rx : Semaphore_sim.t;
+  mutable sent : float;
+}
+
+type t = { engine : Engine.t; mutable nodes : node list }
+
+let create engine = { engine; nodes = [] }
+
+let add_node t ~name ~bandwidth ~latency =
+  assert (bandwidth > 0.0 && latency >= 0.0);
+  let node =
+    {
+      name;
+      bandwidth;
+      latency;
+      tx = Semaphore_sim.create t.engine ~value:1;
+      rx = Semaphore_sim.create t.engine ~value:1;
+      sent = 0.0;
+    }
+  in
+  t.nodes <- node :: t.nodes;
+  node
+
+let node_name n = n.name
+
+let transfer (_ : t) ~src ~dst ~bytes =
+  assert (bytes >= 0);
+  let payload = float_of_int bytes in
+  (* Serialise out of the sender... *)
+  Semaphore_sim.acquire src.tx;
+  Engine.sleep (payload /. src.bandwidth);
+  src.sent <- src.sent +. payload;
+  Semaphore_sim.release src.tx;
+  (* ...propagate... *)
+  Engine.sleep (Float.max src.latency dst.latency);
+  (* ...and serialise into the receiver. *)
+  Semaphore_sim.acquire dst.rx;
+  Engine.sleep (payload /. dst.bandwidth);
+  Semaphore_sim.release dst.rx
+
+let bytes_sent n = n.sent

@@ -1,0 +1,27 @@
+open Danaus_sim
+
+(** Simulated network: nodes joined by full-duplex links through an ideal
+    switch.  A transfer serialises on the sender's TX side and the
+    receiver's RX side, so incast congestion at a busy receiver queues
+    naturally. *)
+
+type t
+
+type node
+
+(** [create engine] makes an empty network. *)
+val create : Engine.t -> t
+
+(** [add_node t ~name ~bandwidth ~latency] attaches a node whose duplex
+    link carries [bandwidth] bytes/second each way with [latency] seconds
+    propagation delay. *)
+val add_node : t -> name:string -> bandwidth:float -> latency:float -> node
+
+val node_name : node -> string
+
+(** [transfer t ~src ~dst ~bytes] moves a message, blocking the calling
+    process for queueing + serialisation + propagation. *)
+val transfer : t -> src:node -> dst:node -> bytes:int -> unit
+
+(** Bytes sent from the node since creation. *)
+val bytes_sent : node -> float

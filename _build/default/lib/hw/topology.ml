@@ -1,0 +1,22 @@
+type t = { sockets : int; cores_per_socket : int; cores_per_group : int }
+
+let create ~sockets ~cores_per_socket ~cores_per_group =
+  assert (sockets >= 1 && cores_per_socket >= 1 && cores_per_group >= 1);
+  assert (cores_per_socket mod cores_per_group = 0);
+  { sockets; cores_per_socket; cores_per_group }
+
+let paper_machine () = create ~sockets:4 ~cores_per_socket:16 ~cores_per_group:2
+let total_cores t = t.sockets * t.cores_per_socket
+let sockets t = t.sockets
+let cores_per_socket t = t.cores_per_socket
+let group_of_core t core = core / t.cores_per_group
+
+let cores_of_group t group =
+  Array.init t.cores_per_group (fun i -> (group * t.cores_per_group) + i)
+
+let group_count t = total_cores t / t.cores_per_group
+
+let core_range t ~first ~count =
+  if first < 0 || count < 0 || first + count > total_cores t then
+    invalid_arg "Topology.core_range: outside machine";
+  Array.init count (fun i -> first + i)

@@ -1,0 +1,32 @@
+(** Static description of a host machine: sockets, cores and core groups.
+
+    Mirrors the paper's testbed (§6.1): 4 sockets x 16 cores, where each
+    adjacent core pair shares an L2 cache.  Core groups matter because the
+    Danaus IPC layer maintains one request queue per core group (§3.5). *)
+
+type t
+
+(** [create ~sockets ~cores_per_socket ~cores_per_group] describes a
+    machine.  [cores_per_group] is the number of cores sharing the
+    same-level cache (2 on the paper's Opterons). *)
+val create : sockets:int -> cores_per_socket:int -> cores_per_group:int -> t
+
+(** The paper's client/server machine: 4 sockets x 16 cores, pairs. *)
+val paper_machine : unit -> t
+
+val total_cores : t -> int
+val sockets : t -> int
+val cores_per_socket : t -> int
+
+(** Group id of a core. *)
+val group_of_core : t -> int -> int
+
+(** Cores belonging to a group. *)
+val cores_of_group : t -> int -> int array
+
+(** Number of core groups on the machine. *)
+val group_count : t -> int
+
+(** [core_range t ~first ~count] returns [count] consecutive core ids
+    starting at [first]; raises [Invalid_argument] past the machine. *)
+val core_range : t -> first:int -> count:int -> int array

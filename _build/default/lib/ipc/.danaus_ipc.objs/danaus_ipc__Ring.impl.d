@@ -1,0 +1,1 @@
+lib/ipc/ring.ml: Array Danaus_sim Engine Option Queue

@@ -1,0 +1,1 @@
+lib/ipc/ring.mli: Danaus_sim Engine

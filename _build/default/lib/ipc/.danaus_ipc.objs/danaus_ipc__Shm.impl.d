@@ -1,0 +1,1 @@
+lib/ipc/shm.ml: Cgroup Danaus_hw Danaus_kernel Memory

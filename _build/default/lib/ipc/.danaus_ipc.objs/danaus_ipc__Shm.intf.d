@@ -1,0 +1,1 @@
+lib/ipc/shm.mli: Cgroup Danaus_kernel

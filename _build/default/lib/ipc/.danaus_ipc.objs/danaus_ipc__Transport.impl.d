@@ -1,0 +1,1 @@
+lib/ipc/transport.ml: Array Cgroup Counters Cpu Danaus_hw Danaus_kernel Danaus_sim Engine Hashtbl Int Kernel List Option Printf Ring Shm Topology

@@ -1,0 +1,1 @@
+lib/ipc/transport.mli: Cgroup Danaus_hw Danaus_kernel Kernel Topology

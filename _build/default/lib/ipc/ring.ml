@@ -1,0 +1,67 @@
+open Danaus_sim
+
+type slot_state = Empty | Writing | Valid
+
+type 'a slot = { mutable state : slot_state; mutable payload : 'a option }
+
+type 'a t = {
+  ring : 'a slot array;
+  mutable head : int; (* next slot to consume *)
+  mutable tail : int; (* next slot to fill *)
+  mutable occupancy : int;
+  mutable high : int;
+  mutable enqueued : int;
+  producers : (unit -> unit) Queue.t;
+  consumers : (unit -> unit) Queue.t;
+}
+
+let create (_ : Engine.t) ~slots =
+  assert (slots >= 1);
+  {
+    ring = Array.init slots (fun _ -> { state = Empty; payload = None });
+    head = 0;
+    tail = 0;
+    occupancy = 0;
+    high = 0;
+    enqueued = 0;
+    producers = Queue.create ();
+    consumers = Queue.create ();
+  }
+
+let wake_one q = match Queue.take_opt q with Some w -> w () | None -> ()
+
+let rec enqueue t x =
+  let slot = t.ring.(t.tail) in
+  match slot.state with
+  | Empty ->
+      slot.state <- Writing;
+      slot.payload <- Some x;
+      slot.state <- Valid;
+      t.tail <- (t.tail + 1) mod Array.length t.ring;
+      t.occupancy <- t.occupancy + 1;
+      t.enqueued <- t.enqueued + 1;
+      if t.occupancy > t.high then t.high <- t.occupancy;
+      wake_one t.consumers
+  | Writing | Valid ->
+      Engine.suspend (fun wake -> Queue.add wake t.producers);
+      enqueue t x
+
+let rec dequeue t =
+  let slot = t.ring.(t.head) in
+  match slot.state with
+  | Valid ->
+      let x = Option.get slot.payload in
+      slot.payload <- None;
+      slot.state <- Empty;
+      t.head <- (t.head + 1) mod Array.length t.ring;
+      t.occupancy <- t.occupancy - 1;
+      wake_one t.producers;
+      x
+  | Empty | Writing ->
+      Engine.suspend (fun wake -> Queue.add wake t.consumers);
+      dequeue t
+
+let length t = t.occupancy
+let slots t = Array.length t.ring
+let high_water t = t.high
+let total_enqueued t = t.enqueued

@@ -1,0 +1,26 @@
+open Danaus_sim
+
+(** Fixed-size circular request queue in shared memory (§3.5).
+
+    Each slot carries a state ([Empty] / [Writing] / [Valid]) mirroring
+    the paper's entry state field; producers block while the ring is
+    full, consumers while it is empty.  Multi-producer/multi-consumer. *)
+
+type 'a t
+
+val create : Engine.t -> slots:int -> 'a t
+
+(** Enqueue, blocking while no slot is [Empty]. *)
+val enqueue : 'a t -> 'a -> unit
+
+(** Dequeue the oldest [Valid] entry, blocking while none exists. *)
+val dequeue : 'a t -> 'a
+
+val length : 'a t -> int
+val slots : 'a t -> int
+
+(** Highest occupancy observed (for the back driver's scaling policy). *)
+val high_water : 'a t -> int
+
+(** Total entries ever enqueued. *)
+val total_enqueued : 'a t -> int

@@ -1,0 +1,24 @@
+open Danaus_hw
+open Danaus_kernel
+
+type t = {
+  seg_name : string;
+  seg_bytes : int;
+  seg_pool : Cgroup.t;
+  mutable live : bool;
+}
+
+let create ~pool ~name ~bytes =
+  assert (bytes >= 0);
+  Memory.alloc (Cgroup.memory pool) bytes;
+  { seg_name = name; seg_bytes = bytes; seg_pool = pool; live = true }
+
+let name t = t.seg_name
+let bytes t = t.seg_bytes
+let pool t = t.seg_pool
+
+let destroy t =
+  if t.live then begin
+    t.live <- false;
+    Memory.free (Cgroup.memory t.seg_pool) t.seg_bytes
+  end

@@ -1,0 +1,17 @@
+open Danaus_kernel
+
+(** Shared-memory segment inside a pool's private IPC namespace
+    (System V style, §3.2): accounted against the pool's memory. *)
+
+type t
+
+(** [create ~pool ~name ~bytes] allocates a segment charged to the
+    pool. *)
+val create : pool:Cgroup.t -> name:string -> bytes:int -> t
+
+val name : t -> string
+val bytes : t -> int
+val pool : t -> Cgroup.t
+
+(** Release the segment's memory.  Idempotent. *)
+val destroy : t -> unit

@@ -1,0 +1,163 @@
+open Danaus_sim
+open Danaus_hw
+open Danaus_kernel
+
+type request = { bytes : int; exec : unit -> unit }
+
+type queue = {
+  q_index : int;
+  q_cores : int array;
+  q_ring : request Ring.t;
+  mutable q_threads : int;
+  mutable q_pinned : int; (* app threads pinned here *)
+}
+
+type t = {
+  kernel : Kernel.t;
+  pool : Cgroup.t;
+  name : string;
+  queues : queue array;
+  pins : (int, int) Hashtbl.t; (* app thread -> queue index *)
+  buffers : (int, Shm.t) Hashtbl.t; (* app thread -> request buffer *)
+  scale_threshold : int;
+  max_threads_per_queue : int;
+  mutable served : int;
+  mutable started : bool;
+}
+
+let request_buffer_bytes = 1024 * 1024
+let enqueue_cpu = 0.5e-6
+let dispatch_cpu = 0.5e-6
+
+let group_partition topology cores =
+  let groups = Hashtbl.create 8 in
+  Array.iter
+    (fun core ->
+      let g = Topology.group_of_core topology core in
+      let members =
+        match Hashtbl.find_opt groups g with Some l -> l | None -> []
+      in
+      Hashtbl.replace groups g (core :: members))
+    cores;
+  Hashtbl.fold (fun g members acc -> (g, Array.of_list (List.rev members)) :: acc) groups []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map snd
+
+let create kernel ~pool ~topology ~name ?(slots = 64) ?(scale_threshold = 8)
+    ?(max_threads_per_queue = 4) () =
+  let engine = Kernel.engine kernel in
+  let partitions = group_partition topology (Cgroup.cores pool) in
+  let queues =
+    List.mapi
+      (fun i cores ->
+        {
+          q_index = i;
+          q_cores = cores;
+          q_ring = Ring.create engine ~slots;
+          q_threads = 0;
+          q_pinned = 0;
+        })
+      partitions
+    |> Array.of_list
+  in
+  (* the rings themselves live in shared memory *)
+  ignore
+    (Shm.create ~pool ~name:(name ^ ".rings")
+       ~bytes:(Array.length queues * slots * 256));
+  {
+    kernel;
+    pool;
+    name;
+    queues;
+    pins = Hashtbl.create 64;
+    buffers = Hashtbl.create 64;
+    scale_threshold;
+    max_threads_per_queue;
+    served = 0;
+    started = false;
+  }
+
+let queue_count t = Array.length t.queues
+let requests t = t.served
+
+let service_threads t =
+  Array.fold_left (fun acc q -> acc + q.q_threads) 0 t.queues
+
+let service_cpu t q dt =
+  if dt > 0.0 then
+    Cpu.compute (Kernel.cpu t.kernel) ~tenant:(Cgroup.name t.pool) ~eligible:q.q_cores dt
+
+let spawn_service_thread t q =
+  q.q_threads <- q.q_threads + 1;
+  Engine.spawn (Kernel.engine t.kernel)
+    ~name:(Printf.sprintf "%s.svc%d-%d" t.name q.q_index q.q_threads)
+    (fun () ->
+      while true do
+        let req = Ring.dequeue q.q_ring in
+        (* the payload stays in the shared request buffer: the service
+           reads it in place (the single boundary copy is charged on the
+           front-driver side) *)
+        service_cpu t q dispatch_cpu;
+        req.exec ();
+        t.served <- t.served + 1
+      done)
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    Array.iter (fun q -> spawn_service_thread t q) t.queues
+  end
+
+(* Pin an application thread to the least-loaded queue on first use. *)
+let queue_of_thread t ~thread =
+  match Hashtbl.find_opt t.pins thread with
+  | Some i -> t.queues.(i)
+  | None ->
+      let best = ref t.queues.(0) in
+      Array.iter
+        (fun q -> if q.q_pinned < !best.q_pinned then best := q)
+        t.queues;
+      !best.q_pinned <- !best.q_pinned + 1;
+      Hashtbl.replace t.pins thread !best.q_index;
+      ignore
+        (match Hashtbl.find_opt t.buffers thread with
+        | Some _ -> ()
+        | None ->
+            Hashtbl.replace t.buffers thread
+              (Shm.create ~pool:t.pool
+                 ~name:(Printf.sprintf "%s.buf%d" t.name thread)
+                 ~bytes:request_buffer_bytes));
+      !best
+
+let pinned_cores t ~thread =
+  Option.map (fun i -> t.queues.(i).q_cores) (Hashtbl.find_opt t.pins thread)
+
+let call t ~thread ~bytes f =
+  if not t.started then start t;
+  let q = queue_of_thread t ~thread in
+  let caller_cpu dt =
+    Cpu.compute (Kernel.cpu t.kernel) ~tenant:(Cgroup.name t.pool) ~eligible:q.q_cores dt
+  in
+  Counters.incr (Kernel.counters t.kernel) ~metric:"ipc_requests"
+    ~key:(Cgroup.name t.pool);
+  (* front driver: fill the request buffer and the ring entry *)
+  caller_cpu (enqueue_cpu +. (float_of_int bytes *. (Kernel.costs t.kernel).copy_per_byte));
+  let cell = ref None in
+  let waiter = ref None in
+  let exec () =
+    cell := Some (f ());
+    match !waiter with Some wake -> wake () | None -> ()
+  in
+  (* back-driver scaling: grow the queue's thread pool under backlog *)
+  if
+    Ring.length q.q_ring >= t.scale_threshold
+    && q.q_threads < t.max_threads_per_queue
+  then spawn_service_thread t q;
+  Ring.enqueue q.q_ring { bytes; exec };
+  match !cell with
+  | Some v -> v
+  | None ->
+      Engine.suspend (fun wake -> waiter := Some wake);
+      (match !cell with
+      | Some v -> v
+      | None -> failwith "Transport.call: woken without a result")

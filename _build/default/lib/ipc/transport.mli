@@ -1,0 +1,53 @@
+open Danaus_hw
+open Danaus_kernel
+
+(** Danaus user-level IPC: the front driver (filesystem library) and back
+    driver (filesystem service) connected by per-core-group request
+    queues in shared memory (§3.5).
+
+    Calls never enter the kernel: the caller writes a request descriptor
+    into the ring of its core group, the pinned service thread of that
+    group executes the handler on the same cores, and the caller resumes.
+    A thread is pinned to the core group that receives its first request;
+    extra service threads are added to a queue whose backlog exceeds the
+    scaling threshold. *)
+
+type t
+
+(** [create kernel ~pool ~topology ~name ()] builds a transport for
+    [pool] with one request queue per core group of the pool's cpuset.
+    [slots] (default 64) is the ring size; [scale_threshold] (default 8)
+    is the backlog that triggers an extra service thread per queue, up to
+    [max_threads_per_queue] (default 4). *)
+val create :
+  Kernel.t ->
+  pool:Cgroup.t ->
+  topology:Topology.t ->
+  name:string ->
+  ?slots:int ->
+  ?scale_threshold:int ->
+  ?max_threads_per_queue:int ->
+  unit ->
+  t
+
+(** Spawn the initial service threads (one per queue). *)
+val start : t -> unit
+
+(** [call t ~thread ~bytes f] sends one request from application thread
+    [thread] (an arbitrary stable identifier used for pinning), carrying
+    [bytes] of payload through the per-thread request buffer; the handler
+    [f] runs in a service thread on the queue's core group and may
+    block.  Returns [f]'s result. *)
+val call : t -> thread:int -> bytes:int -> (unit -> 'a) -> 'a
+
+(** Number of request queues (= pool core groups). *)
+val queue_count : t -> int
+
+(** Service threads currently running. *)
+val service_threads : t -> int
+
+(** Requests served so far. *)
+val requests : t -> int
+
+(** Cores of the group that [thread] is pinned to, once pinned. *)
+val pinned_cores : t -> thread:int -> int array option

@@ -1,0 +1,1 @@
+lib/kernel/cgroup.ml: Array Danaus_hw Memory

@@ -1,0 +1,1 @@
+lib/kernel/fuse.ml: Cgroup Channel Counters Danaus_sim Engine Kernel Printf

@@ -1,0 +1,1 @@
+lib/kernel/fuse.mli: Cgroup Kernel

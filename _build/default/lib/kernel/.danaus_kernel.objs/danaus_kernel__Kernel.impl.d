@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Array Cgroup Channel Costs Counters Cpu Danaus_hw Danaus_sim Engine Float Hashtbl List Memory Mutex_sim Page_cache Printf Semaphore_sim

@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Cgroup Costs Counters Cpu Danaus_hw Danaus_sim Engine Mutex_sim Page_cache

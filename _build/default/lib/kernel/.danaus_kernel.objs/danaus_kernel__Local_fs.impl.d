@@ -1,0 +1,1 @@
+lib/kernel/local_fs.ml: Danaus_hw Danaus_sim Disk Engine Kernel Mutex_sim Page_cache

@@ -1,0 +1,1 @@
+lib/kernel/local_fs.mli: Cgroup Danaus_hw Disk Kernel

@@ -1,0 +1,1 @@
+lib/kernel/page_cache.ml: Danaus_hw Danaus_sim Engine Float Hashtbl List Memory Option

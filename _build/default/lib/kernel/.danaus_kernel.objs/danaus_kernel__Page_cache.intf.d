@@ -1,0 +1,1 @@
+lib/kernel/page_cache.mli: Danaus_hw Danaus_sim Engine Memory

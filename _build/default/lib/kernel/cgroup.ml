@@ -1,0 +1,26 @@
+open Danaus_hw
+
+type t = {
+  name : string;
+  mutable cores : int array;
+  mem : Memory.t;
+  mem_limit : int;
+}
+
+let create ~name ~cores ~mem_limit =
+  assert (Array.length cores > 0 && mem_limit > 0);
+  {
+    name;
+    cores;
+    mem = Memory.create ~name:(name ^ ".mem") ~limit:mem_limit ();
+    mem_limit;
+  }
+
+let name t = t.name
+let cores t = t.cores
+
+let set_cores t cores =
+  assert (Array.length cores > 0);
+  t.cores <- cores
+let memory t = t.mem
+let mem_limit t = t.mem_limit

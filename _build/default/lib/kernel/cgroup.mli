@@ -1,0 +1,26 @@
+open Danaus_hw
+
+(** Container pool: the resource reservation of one tenant on a host —
+    a cpuset (reserved cores) plus a memory domain (cgroup v1 cpuset +
+    cgroup v2 memory, §4.3 of the paper). *)
+
+type t
+
+(** [create ~name ~cores ~mem_limit] reserves [cores] and [mem_limit]
+    bytes for the pool. *)
+val create : name:string -> cores:int array -> mem_limit:int -> t
+
+val name : t -> string
+
+(** Reserved core ids; threads of the pool are eligible on these only. *)
+val cores : t -> int array
+
+(** Re-write the cpuset (the paper's §9 dynamic reallocation of
+    underutilised resources).  Takes effect on the next CPU request of
+    each thread; running bursts finish on their current core. *)
+val set_cores : t -> int array -> unit
+
+(** The pool's memory accounting domain. *)
+val memory : t -> Memory.t
+
+val mem_limit : t -> int

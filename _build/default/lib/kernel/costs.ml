@@ -1,0 +1,29 @@
+type t = {
+  mode_switch : float;
+  context_switch : float;
+  copy_per_byte : float;
+  vfs_op : float;
+  page_cache_op : float;
+  lock_hold : float;
+  flush_per_byte : float;
+  user_flush_per_byte : float;
+  fuse_dispatch : float;
+  sched_wakeup : float;
+}
+
+let default =
+  {
+    mode_switch = 0.3e-6;
+    context_switch = 3.0e-6;
+    copy_per_byte = 1.0 /. 4e9;
+    (* ~4 GB/s single-threaded memcpy *)
+    vfs_op = 1.0e-6;
+    page_cache_op = 0.3e-6;
+    lock_hold = 0.5e-6;
+    flush_per_byte = 1.0 /. 1.5e9;
+    (* writeback path ~1.5 GB/s per core *)
+    user_flush_per_byte = 1.0 /. 1.2e9;
+    (* user-level writeback: the client sends straight from its cache *)
+    fuse_dispatch = 8.0e-6;
+    sched_wakeup = 1.0e-6;
+  }

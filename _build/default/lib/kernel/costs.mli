@@ -1,0 +1,25 @@
+(** CPU cost model of kernel-mediated operations.
+
+    All values are simulated seconds (or seconds per byte).  A single
+    record instance is shared by a whole simulated host so experiments
+    can be calibrated in one place ({!Danaus_experiments.Params}). *)
+
+type t = {
+  mode_switch : float;  (** one user/kernel mode transition *)
+  context_switch : float;
+      (** one thread context switch, including indirect cache costs *)
+  copy_per_byte : float;  (** memcpy through the kernel, per byte *)
+  vfs_op : float;  (** base CPU of a VFS operation (lookup, perms, ...) *)
+  page_cache_op : float;  (** radix-tree lookup/insert per block *)
+  lock_hold : float;  (** CPU burned inside a short kernel lock *)
+  flush_per_byte : float;
+      (** kernel writeback CPU per byte (checksums, bio setup, net stack) *)
+  user_flush_per_byte : float;
+      (** user-level client writeback per byte: sends straight from the
+          object cache, skipping the page/bio machinery *)
+  fuse_dispatch : float;  (** FUSE daemon request dispatch CPU *)
+  sched_wakeup : float;  (** waking a blocked thread *)
+}
+
+(** Calibrated defaults (see DESIGN.md §1 and Params). *)
+val default : t

@@ -1,0 +1,60 @@
+open Danaus_sim
+
+type t = {
+  kernel : Kernel.t;
+  name : string;
+  pool : Cgroup.t;
+  queue : (unit -> unit) Channel.t;
+  mutable served : int;
+}
+
+let create kernel ~name ~pool =
+  {
+    kernel;
+    name;
+    pool;
+    queue = Channel.create (Kernel.engine kernel) ~capacity:1024;
+    served = 0;
+  }
+
+let start t ~threads =
+  assert (threads >= 1);
+  for i = 1 to threads do
+    Engine.spawn (Kernel.engine t.kernel)
+      ~name:(Printf.sprintf "%s/fuse-%d" t.name i)
+      (fun () ->
+        while true do
+          let job = Channel.get t.queue in
+          job ()
+        done)
+  done
+
+let call t ~caller ~bytes f =
+  let k = t.kernel in
+  let costs = Kernel.costs k in
+  Kernel.syscall k ~pool:caller (fun () ->
+      Counters.incr (Kernel.counters k) ~metric:"fuse_requests"
+        ~key:(Cgroup.name caller);
+      Kernel.copy k ~pool:caller ~bytes;
+      Kernel.context_switches k ~pool:caller 2;
+      let cell = ref None in
+      let waiter = ref None in
+      let job () =
+        Kernel.context_switches k ~pool:t.pool 2;
+        Kernel.pool_cpu k ~pool:t.pool costs.fuse_dispatch;
+        Kernel.copy k ~pool:t.pool ~bytes;
+        cell := Some (f ());
+        t.served <- t.served + 1;
+        match !waiter with Some wake -> wake () | None -> ()
+      in
+      Channel.put t.queue job;
+      match !cell with
+      | Some v -> v
+      | None ->
+          Engine.suspend (fun wake -> waiter := Some wake);
+          (match !cell with
+          | Some v -> v
+          | None -> failwith "Fuse.call: woken without a result"))
+
+let requests t = t.served
+let queue_depth t = Channel.length t.queue

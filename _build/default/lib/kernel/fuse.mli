@@ -1,0 +1,31 @@
+
+(** FUSE transport: the kernel/userspace crossing of a user-level
+    filesystem daemon.
+
+    A request enters the kernel from the caller (syscall + copy), blocks
+    the caller (2 context switches), is dispatched to a daemon thread
+    running on the daemon pool's cores (2 more context switches +
+    dispatch CPU + copy), executes the user-level handler, then wakes the
+    caller.  These modelled crossings are what make F/FP slower and
+    hungrier than Danaus' shared-memory path (paper Fig. 8b). *)
+
+type t
+
+(** [create kernel ~name ~pool] makes a FUSE connection whose daemon
+    threads run in [pool]. *)
+val create : Kernel.t -> name:string -> pool:Cgroup.t -> t
+
+(** Spawn [threads] daemon worker threads.  Idempotent per call count —
+    call once. *)
+val start : t -> threads:int -> unit
+
+(** [call t ~caller ~bytes f] performs one FUSE round trip from pool
+    [caller] carrying [bytes] of payload; the handler [f] runs in a
+    daemon thread and may block.  Returns [f]'s result. *)
+val call : t -> caller:Cgroup.t -> bytes:int -> (unit -> 'a) -> 'a
+
+(** Number of requests served so far. *)
+val requests : t -> int
+
+(** Current queue depth (for tests). *)
+val queue_depth : t -> int

@@ -1,0 +1,65 @@
+open Danaus_sim
+open Danaus_hw
+
+type t = {
+  kernel : Kernel.t;
+  fs_name : string;
+  disk : Disk.t;
+  mount : Page_cache.mount;
+  readahead : int;
+}
+
+let create kernel ~name ~disk ~max_dirty ?(readahead = 128 * 1024) () =
+  let mount = Page_cache.add_mount (Kernel.page_cache kernel) ~name ~max_dirty () in
+  { kernel; fs_name = name; disk; mount; readahead }
+
+let name t = t.fs_name
+
+let pc_file t path =
+  Page_cache.file (Kernel.page_cache t.kernel) t.mount
+    ~key:(t.fs_name ^ ":" ^ path)
+    ~flush:(fun ~bytes -> Disk.write t.disk ~bytes ~random:true)
+
+let read t ~pool ~path ~off ~len =
+  let k = t.kernel in
+  let costs = Kernel.costs k in
+  Kernel.syscall k ~pool (fun () ->
+      let vfs = Kernel.lock k "vfs:dcache" in
+      Kernel.pool_cpu k ~pool costs.lock_hold;
+      Mutex_sim.with_lock vfs (fun () -> Engine.sleep costs.lock_hold);
+      Kernel.pool_cpu k ~pool (costs.vfs_op +. costs.page_cache_op);
+      let file = pc_file t path in
+      let miss = Page_cache.missing file ~off ~len in
+      if miss > 0 then begin
+        let fetch = miss + t.readahead in
+        Kernel.blocking_io k ~pool (fun () ->
+            Disk.read t.disk ~bytes:fetch ~random:true);
+        Page_cache.insert_clean file ~off ~len:(len + t.readahead)
+      end;
+      Kernel.copy k ~pool ~bytes:len)
+
+let write t ~pool ~path ~off ~len =
+  let k = t.kernel in
+  let costs = Kernel.costs k in
+  Kernel.syscall k ~pool (fun () ->
+      let vfs = Kernel.lock k "vfs:dcache" in
+      Kernel.pool_cpu k ~pool costs.lock_hold;
+      Mutex_sim.with_lock vfs (fun () -> Engine.sleep costs.lock_hold);
+      Kernel.pool_cpu k ~pool costs.vfs_op;
+      let file = pc_file t path in
+      let inode = Kernel.lock k ("i_mutex:" ^ t.fs_name ^ ":" ^ path) in
+      Mutex_sim.with_lock inode (fun () ->
+          Kernel.copy k ~pool ~bytes:len;
+          Kernel.pool_cpu k ~pool costs.page_cache_op;
+          Page_cache.write file ~off ~len);
+      Page_cache.throttle file)
+
+let fsync t ~pool ~path =
+  let k = t.kernel in
+  Kernel.syscall k ~pool (fun () ->
+      let file = pc_file t path in
+      Kernel.fsync_file k ~pool file)
+
+let warm t ~path ~off ~len =
+  let file = pc_file t path in
+  Page_cache.insert_clean file ~off ~len

@@ -1,0 +1,41 @@
+open Danaus_hw
+
+(** Kernel-based local filesystem (ext4-like) over a simulated disk,
+    integrated with the shared page cache.
+
+    Used by the contention workloads of §2.1/§6.2 (Stress-ng RandomIO and
+    Filebench Webserver run on ext4 over local RAID-0).  Files exist
+    implicitly; only data-path costs are modelled: VFS entry, per-inode
+    mutex on writes, page-cache lookups, disk I/O with readahead on
+    misses, dirty throttling, and kernel writeback via the shared
+    flushers. *)
+
+type t
+
+(** [create kernel ~name ~disk ~max_dirty ()] mounts the filesystem.
+    [readahead] (default 128 KiB) is applied to cache-miss reads. *)
+val create :
+  Kernel.t ->
+  name:string ->
+  disk:Disk.t ->
+  max_dirty:int ->
+  ?readahead:int ->
+  unit ->
+  t
+
+val name : t -> string
+
+(** [read t ~pool ~path ~off ~len] serves a read through the page cache,
+    fetching misses (plus readahead) from the disk. *)
+val read : t -> pool:Cgroup.t -> path:string -> off:int -> len:int -> unit
+
+(** Buffered write: copies into the page cache, marks dirty, throttles
+    when the mount exceeds its dirty limit. *)
+val write : t -> pool:Cgroup.t -> path:string -> off:int -> len:int -> unit
+
+(** Synchronous flush of one file's dirty data. *)
+val fsync : t -> pool:Cgroup.t -> path:string -> unit
+
+(** Preload a file's range into the cache without any cost (test/setup
+    helper). *)
+val warm : t -> path:string -> off:int -> len:int -> unit

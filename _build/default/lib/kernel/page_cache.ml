@@ -1,0 +1,302 @@
+open Danaus_sim
+open Danaus_hw
+
+type mount = {
+  m_name : string;
+  max_dirty : int;
+  m_limit : int; (* cgroup memory limit covering this mount's cache *)
+  mutable m_used : int;
+  mutable m_dirty : int;
+  mutable throttled : (unit -> unit) list;
+  mutable m_files : file list;
+}
+
+and file = {
+  key : string;
+  mnt : mount;
+  cache : t;
+  present : (int, unit) Hashtbl.t;
+  dirty : (int, float) Hashtbl.t; (* block -> dirtied-at *)
+  mutable last_access : float;
+  flush : bytes:int -> unit;
+}
+
+and t = {
+  engine : Engine.t;
+  mem : Memory.t;
+  limit : int;
+  block : int;
+  mutable all_mounts : mount list;
+  files_by_key : (string, file) Hashtbl.t;
+  mutable grand_dirty : int;
+}
+
+let create engine ~mem ~limit ~block =
+  assert (limit > 0 && block > 0);
+  {
+    engine;
+    mem;
+    limit;
+    block;
+    all_mounts = [];
+    files_by_key = Hashtbl.create 1024;
+    grand_dirty = 0;
+  }
+
+let add_mount t ~name ~max_dirty ?mem_limit () =
+  assert (max_dirty > 0);
+  let m =
+    {
+      m_name = name;
+      max_dirty;
+      m_limit = Option.value ~default:max_int mem_limit;
+      m_used = 0;
+      m_dirty = 0;
+      throttled = [];
+      m_files = [];
+    }
+  in
+  t.all_mounts <- m :: t.all_mounts;
+  m
+
+let mount_name m = m.m_name
+let background_threshold m = m.max_dirty / 2
+
+let blocks_of t ~off ~len =
+  if len <= 0 then []
+  else begin
+    let first = off / t.block and last = (off + len - 1) / t.block in
+    List.init (last - first + 1) (fun i -> first + i)
+  end
+
+(* Evict clean blocks, least-recently-accessed files first, once the
+   cache exceeds its limit.  Eviction proceeds down to 90% of the limit
+   (hysteresis) so that the scan is amortised over many inserts.  Dirty
+   blocks are never dropped. *)
+let evict_if_needed t =
+  if Memory.used t.mem > t.limit then begin
+    let files =
+      Hashtbl.fold (fun _ f acc -> f :: acc) t.files_by_key []
+      |> List.sort (fun a b -> Float.compare a.last_access b.last_access)
+    in
+    let target = t.limit / 10 * 9 in
+    let excess = ref (Memory.used t.mem - target) in
+    List.iter
+      (fun f ->
+        if !excess > 0 then begin
+          let victims =
+            Hashtbl.fold
+              (fun b () acc -> if Hashtbl.mem f.dirty b then acc else b :: acc)
+              f.present []
+          in
+          List.iter
+            (fun b ->
+              if !excess > 0 then begin
+                Hashtbl.remove f.present b;
+                f.mnt.m_used <- f.mnt.m_used - t.block;
+                Memory.free t.mem t.block;
+                excess := !excess - t.block
+              end)
+            victims
+        end)
+      files
+  end
+
+let file t mnt ~key ~flush =
+  match Hashtbl.find_opt t.files_by_key key with
+  | Some f -> f
+  | None ->
+      let f =
+        {
+          key;
+          mnt;
+          cache = t;
+          present = Hashtbl.create 16;
+          dirty = Hashtbl.create 16;
+          last_access = Engine.now t.engine;
+          flush;
+        }
+      in
+      Hashtbl.add t.files_by_key key f;
+      mnt.m_files <- f :: mnt.m_files;
+      f
+
+let missing f ~off ~len =
+  f.last_access <- Engine.now f.cache.engine;
+  let t = f.cache in
+  List.fold_left
+    (fun acc b -> if Hashtbl.mem f.present b then acc else acc + t.block)
+    0
+    (blocks_of t ~off ~len)
+
+(* Per-mount (cgroup v2 memory) eviction: drop clean LRU blocks of the
+   mount once its cached bytes exceed the pool's memory limit. *)
+let evict_mount_if_needed m =
+  if m.m_used > m.m_limit then begin
+    let files =
+      List.sort (fun a b -> Float.compare a.last_access b.last_access) m.m_files
+    in
+    let target = m.m_limit / 10 * 9 in
+    let excess = ref (m.m_used - target) in
+    List.iter
+      (fun f ->
+        if !excess > 0 then begin
+          let t = f.cache in
+          let victims =
+            Hashtbl.fold
+              (fun b () acc -> if Hashtbl.mem f.dirty b then acc else b :: acc)
+              f.present []
+          in
+          List.iter
+            (fun b ->
+              if !excess > 0 then begin
+                Hashtbl.remove f.present b;
+                Memory.free t.mem t.block;
+                m.m_used <- m.m_used - t.block;
+                excess := !excess - t.block
+              end)
+            victims
+        end)
+      files
+  end
+
+let insert_clean f ~off ~len =
+  let t = f.cache in
+  f.last_access <- Engine.now t.engine;
+  List.iter
+    (fun b ->
+      if not (Hashtbl.mem f.present b) then begin
+        Hashtbl.add f.present b ();
+        f.mnt.m_used <- f.mnt.m_used + t.block;
+        Memory.alloc t.mem t.block
+      end)
+    (blocks_of t ~off ~len);
+  evict_mount_if_needed f.mnt;
+  evict_if_needed t
+
+let write f ~off ~len =
+  let t = f.cache in
+  let now = Engine.now t.engine in
+  f.last_access <- now;
+  List.iter
+    (fun b ->
+      if not (Hashtbl.mem f.present b) then begin
+        Hashtbl.add f.present b ();
+        f.mnt.m_used <- f.mnt.m_used + t.block;
+        Memory.alloc t.mem t.block
+      end;
+      if not (Hashtbl.mem f.dirty b) then begin
+        Hashtbl.add f.dirty b now;
+        f.mnt.m_dirty <- f.mnt.m_dirty + t.block;
+        t.grand_dirty <- t.grand_dirty + t.block
+      end)
+    (blocks_of t ~off ~len);
+  evict_mount_if_needed f.mnt;
+  evict_if_needed t
+
+let dirty_bytes_of f = Hashtbl.length f.dirty * f.cache.block
+
+let invalidate f =
+  let t = f.cache in
+  if Hashtbl.length f.dirty > 0 then
+    invalid_arg ("Page_cache.invalidate: dirty file " ^ f.key);
+  let bytes = Hashtbl.length f.present * t.block in
+  Memory.free t.mem bytes;
+  f.mnt.m_used <- f.mnt.m_used - bytes;
+  Hashtbl.reset f.present
+
+(* Writers over the dirty limit sleep and are released one at a time:
+   each writeback completion wakes one, and a writer that gets through
+   pulls the next along (chained wakeup).  Batch wakeups would create
+   synchronized dirty/sleep cycles with long idle windows — Linux paces
+   each dirtier individually. *)
+let wake_one m =
+  match m.throttled with
+  | [] -> ()
+  | w :: rest ->
+      m.throttled <- rest;
+      w ()
+
+let throttle_mount (_ : t) m =
+  while m.m_dirty > m.max_dirty do
+    Engine.suspend (fun wake -> m.throttled <- m.throttled @ [ wake ])
+  done;
+  if m.m_dirty <= m.max_dirty then wake_one m
+
+let throttle f = throttle_mount f.cache f.mnt
+
+let wake_throttled m = if m.m_dirty <= m.max_dirty then wake_one m
+
+(* Move dirty blocks of [f] into the under-writeback state, oldest
+   first: they leave the file's dirty table (so they are not selected
+   twice) but keep counting against the mount's dirty total until
+   {!writeback_complete} — Linux's balance_dirty_pages throttles on
+   dirty + writeback together, which is what closes the feedback loop
+   between writers and the (possibly starved) flusher threads. *)
+let select_blocks f ~older_than ~budget =
+  let candidates =
+    Hashtbl.fold
+      (fun b at acc -> if at <= older_than then (b, at) :: acc else acc)
+      f.dirty []
+    |> List.sort (fun (_, a) (_, b) -> Float.compare a b)
+  in
+  let taken = ref 0 in
+  List.iter
+    (fun (b, _) ->
+      if !taken < budget then begin
+        Hashtbl.remove f.dirty b;
+        taken := !taken + f.cache.block
+      end)
+    candidates;
+  !taken
+
+let take_dirty (_ : t) m ~older_than ~max_bytes =
+  let budget = ref max_bytes in
+  let out = ref [] in
+  List.iter
+    (fun f ->
+      if !budget > 0 && Hashtbl.length f.dirty > 0 then begin
+        let got = select_blocks f ~older_than ~budget:!budget in
+        if got > 0 then begin
+          budget := !budget - got;
+          out := (f, got) :: !out
+        end
+      end)
+    m.m_files;
+  !out
+
+let flush_file f =
+  let got = select_blocks f ~older_than:infinity ~budget:max_int in
+  if got > 0 then [ (f, got) ] else []
+
+let writeback_complete t m ~bytes =
+  assert (bytes >= 0);
+  m.m_dirty <- m.m_dirty - bytes;
+  t.grand_dirty <- t.grand_dirty - bytes;
+  assert (m.m_dirty >= 0 && t.grand_dirty >= 0);
+  wake_throttled m;
+  evict_if_needed t
+
+(* Throw away dirty data without writing it back (truncate/unlink). *)
+let discard_dirty f =
+  let got = select_blocks f ~older_than:infinity ~budget:max_int in
+  writeback_complete f.cache f.mnt ~bytes:got
+
+let mount_of f = f.mnt
+let mount_used m = m.m_used
+let run_flush f ~bytes = f.flush ~bytes
+let dirty_bytes (_ : t) m = m.m_dirty
+let total_dirty t = t.grand_dirty
+let mounts t = t.all_mounts
+let used_bytes t = Memory.used t.mem
+
+let oldest_dirty (_ : t) m =
+  List.fold_left
+    (fun acc f ->
+      Hashtbl.fold
+        (fun _ at acc ->
+          match acc with
+          | None -> Some at
+          | Some best -> if at < best then Some at else acc)
+        f.dirty acc)
+    None m.m_files

@@ -1,0 +1,1 @@
+lib/sim/condition_sim.ml: Engine Mutex_sim Queue

@@ -1,0 +1,1 @@
+lib/sim/condition_sim.mli: Engine Mutex_sim

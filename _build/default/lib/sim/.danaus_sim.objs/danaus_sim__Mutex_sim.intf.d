@@ -1,0 +1,1 @@
+lib/sim/mutex_sim.mli: Engine

@@ -1,0 +1,1 @@
+lib/sim/semaphore_sim.ml: Engine Queue

@@ -1,0 +1,54 @@
+type 'a t = {
+  capacity : int;
+  items : 'a Queue.t;
+  producers : (unit -> unit) Queue.t;
+  consumers : (unit -> unit) Queue.t;
+}
+
+let create (_ : Engine.t) ~capacity =
+  assert (capacity >= 1);
+  {
+    capacity;
+    items = Queue.create ();
+    producers = Queue.create ();
+    consumers = Queue.create ();
+  }
+
+let wake_one q = match Queue.take_opt q with Some wake -> wake () | None -> ()
+
+let rec put t x =
+  if Queue.length t.items < t.capacity then begin
+    Queue.add x t.items;
+    wake_one t.consumers
+  end
+  else begin
+    Engine.suspend (fun wake -> Queue.add wake t.producers);
+    put t x
+  end
+
+let try_put t x =
+  if Queue.length t.items < t.capacity then begin
+    Queue.add x t.items;
+    wake_one t.consumers;
+    true
+  end
+  else false
+
+let rec get t =
+  match Queue.take_opt t.items with
+  | Some x ->
+      wake_one t.producers;
+      x
+  | None ->
+      Engine.suspend (fun wake -> Queue.add wake t.consumers);
+      get t
+
+let try_get t =
+  match Queue.take_opt t.items with
+  | Some x ->
+      wake_one t.producers;
+      Some x
+  | None -> None
+
+let length t = Queue.length t.items
+let capacity t = t.capacity

@@ -1,0 +1,22 @@
+(** Bounded FIFO channel between simulated processes. *)
+
+type 'a t
+
+(** [create engine ~capacity] returns an empty channel holding at most
+    [capacity >= 1] elements. *)
+val create : Engine.t -> capacity:int -> 'a t
+
+(** Enqueue, blocking while the channel is full. *)
+val put : 'a t -> 'a -> unit
+
+(** Enqueue without blocking; [false] when full. *)
+val try_put : 'a t -> 'a -> bool
+
+(** Dequeue, blocking while the channel is empty. *)
+val get : 'a t -> 'a
+
+(** Dequeue without blocking. *)
+val try_get : 'a t -> 'a option
+
+val length : 'a t -> int
+val capacity : 'a t -> int

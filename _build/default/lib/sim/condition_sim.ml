@@ -1,0 +1,19 @@
+type t = { waiting : (unit -> unit) Queue.t }
+
+let create (_ : Engine.t) = { waiting = Queue.create () }
+
+let wait t m =
+  Mutex_sim.unlock m;
+  Engine.suspend (fun wake -> Queue.add wake t.waiting);
+  Mutex_sim.lock m
+
+let signal t =
+  match Queue.take_opt t.waiting with Some wake -> wake () | None -> ()
+
+let broadcast t =
+  let pending = Queue.length t.waiting in
+  for _ = 1 to pending do
+    match Queue.take_opt t.waiting with Some wake -> wake () | None -> ()
+  done
+
+let waiters t = Queue.length t.waiting

@@ -1,0 +1,19 @@
+(** Simulated condition variable, used with {!Mutex_sim}. *)
+
+type t
+
+val create : Engine.t -> t
+
+(** [wait t m] atomically releases [m], blocks until signalled, then
+    re-acquires [m] before returning.  Spurious wakeups do not occur, but
+    callers should still re-check their predicate because another process
+    may run between the signal and the re-acquisition. *)
+val wait : t -> Mutex_sim.t -> unit
+
+(** Wake one waiter (no-op when none). *)
+val signal : t -> unit
+
+(** Wake every waiter. *)
+val broadcast : t -> unit
+
+val waiters : t -> int

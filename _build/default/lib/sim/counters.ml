@@ -1,0 +1,35 @@
+type t = (string * string, float ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let cell t ~metric ~key =
+  match Hashtbl.find_opt t (metric, key) with
+  | Some r -> r
+  | None ->
+      let r = ref 0.0 in
+      Hashtbl.add t (metric, key) r;
+      r
+
+let add t ~metric ~key v =
+  let r = cell t ~metric ~key in
+  r := !r +. v
+
+let incr t ~metric ~key = add t ~metric ~key 1.0
+
+let get t ~metric ~key =
+  match Hashtbl.find_opt t (metric, key) with Some r -> !r | None -> 0.0
+
+let total t ~metric =
+  Hashtbl.fold (fun (m, _) r acc -> if String.equal m metric then acc +. !r else acc) t 0.0
+
+let by_key t ~metric =
+  Hashtbl.fold
+    (fun (m, k) r acc -> if String.equal m metric then (k, !r) :: acc else acc)
+    t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let metrics t =
+  Hashtbl.fold (fun (m, _) _ acc -> if List.mem m acc then acc else m :: acc) t []
+  |> List.sort String.compare
+
+let reset t = Hashtbl.reset t

@@ -1,0 +1,29 @@
+(** Registry of named, per-key accumulating counters.
+
+    Used throughout the simulator for metrics that are naturally grouped
+    by a string key (tenant, pool, device): context switches, mode
+    switches, I/O-wait seconds, bytes flushed, ... *)
+
+type t
+
+val create : unit -> t
+
+(** [add t ~metric ~key v] accumulates [v] onto counter [(metric, key)]. *)
+val add : t -> metric:string -> key:string -> float -> unit
+
+(** [incr t ~metric ~key] is [add t ~metric ~key 1.0]. *)
+val incr : t -> metric:string -> key:string -> unit
+
+(** Current value of [(metric, key)]; 0 when never written. *)
+val get : t -> metric:string -> key:string -> float
+
+(** Sum over all keys of [metric]. *)
+val total : t -> metric:string -> float
+
+(** All [(key, value)] pairs of [metric], sorted by key. *)
+val by_key : t -> metric:string -> (string * float) list
+
+(** All metric names seen so far, sorted. *)
+val metrics : t -> string list
+
+val reset : t -> unit

@@ -1,0 +1,112 @@
+type event = { at : float; seq : int; run : unit -> unit }
+
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  events : event Pheap.t;
+  mutable live : int;
+}
+
+exception Deadlock of string
+
+type _ Effect.t +=
+  | Sleep : float -> unit Effect.t
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+  | Fork : (string option * (unit -> unit)) -> unit Effect.t
+  | Self : (t * string) Effect.t
+
+let compare_events a b =
+  let c = Float.compare a.at b.at in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () =
+  { clock = 0.0; seq = 0; events = Pheap.create ~cmp:compare_events; live = 0 }
+
+let now t = t.clock
+let live_processes t = t.live
+
+let schedule t ?(delay = 0.0) run =
+  assert (delay >= 0.0);
+  let ev = { at = t.clock +. delay; seq = t.seq; run } in
+  t.seq <- t.seq + 1;
+  Pheap.push t.events ev
+
+(* Each process body runs under a deep effect handler that translates the
+   blocking effects into event-queue manipulation.  Continuations are
+   one-shot; wake functions guard against double resumption. *)
+let rec exec t name body =
+  let open Effect.Deep in
+  match_with body ()
+    {
+      retc = (fun () -> t.live <- t.live - 1);
+      exnc =
+        (fun exn ->
+          t.live <- t.live - 1;
+          raise exn);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sleep d ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  assert (d >= 0.0);
+                  schedule t ~delay:d (fun () -> continue k ()))
+          | Suspend register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let woken = ref false in
+                  let wake () =
+                    if not !woken then begin
+                      woken := true;
+                      schedule t (fun () -> continue k ())
+                    end
+                  in
+                  register wake)
+          | Fork (child_name, f) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  spawn t ?name:child_name f;
+                  continue k ())
+          | Self ->
+              Some (fun (k : (a, unit) continuation) -> continue k (t, name))
+          | _ -> None);
+    }
+
+and spawn t ?(name = "proc") body =
+  t.live <- t.live + 1;
+  schedule t (fun () -> exec t name body)
+
+let run t =
+  let rec loop () =
+    match Pheap.pop t.events with
+    | None ->
+        if t.live > 0 then
+          raise (Deadlock (Printf.sprintf "%d process(es) blocked forever" t.live))
+    | Some ev ->
+        t.clock <- ev.at;
+        ev.run ();
+        loop ()
+  in
+  loop ()
+
+let run_until t horizon =
+  let rec loop () =
+    match Pheap.peek t.events with
+    | Some ev when ev.at <= horizon ->
+        ignore (Pheap.pop t.events);
+        t.clock <- ev.at;
+        ev.run ();
+        loop ()
+    | Some _ | None -> t.clock <- horizon
+  in
+  loop ()
+
+let sleep d = Effect.perform (Sleep d)
+let suspend register = Effect.perform (Suspend register)
+let fork ?name f = Effect.perform (Fork (name, f))
+let self () = Effect.perform Self
+
+let self_engine () = fst (self ())
+let self_name () = snd (self ())
+let time () = now (self_engine ())
+let yield () = sleep 0.0

@@ -1,0 +1,70 @@
+(** Deterministic discrete-event simulation engine.
+
+    Simulated activities are written as ordinary OCaml functions
+    ("processes") that may call the blocking operations of this module
+    ([sleep], [suspend], ...) and of the synchronisation primitives built
+    on top of it ({!Mutex_sim}, {!Condition_sim}, ...).  Blocking is
+    implemented with OCaml 5 effect handlers, so process code is direct
+    style with no monads.
+
+    Events with equal timestamps fire in scheduling order, which makes
+    every run fully deterministic. *)
+
+type t
+
+exception Deadlock of string
+(** Raised by {!run} when live processes remain but no event is pending. *)
+
+(** [create ()] returns a fresh engine at simulated time 0. *)
+val create : unit -> t
+
+(** Current simulated time, in seconds. *)
+val now : t -> float
+
+(** [schedule t ~delay f] runs the callback [f] (not a process: it must
+    not block) [delay] seconds from now.  [delay] defaults to [0.] and
+    must be non-negative. *)
+val schedule : t -> ?delay:float -> (unit -> unit) -> unit
+
+(** [spawn t ~name f] creates a process running [f], started at the
+    current simulated time.  Exceptions escaping [f] abort the whole
+    simulation. *)
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+
+(** Run until no event remains.  Raises {!Deadlock} if blocked processes
+    remain with an empty event queue. *)
+val run : t -> unit
+
+(** [run_until t horizon] runs events with timestamps [<= horizon] and
+    then sets the clock to [horizon].  Remaining events stay queued. *)
+val run_until : t -> float -> unit
+
+(** Number of processes spawned and not yet terminated. *)
+val live_processes : t -> int
+
+(** {1 Operations available inside a process} *)
+
+(** Sleep for the given amount of simulated seconds ([>= 0.]). *)
+val sleep : float -> unit
+
+(** Current simulated time, callable only from within a process. *)
+val time : unit -> float
+
+(** The engine driving the calling process. *)
+val self_engine : unit -> t
+
+(** Name of the calling process. *)
+val self_name : unit -> string
+
+(** [suspend register] blocks the calling process.  [register] is called
+    immediately with a [wake] function; storing it somewhere and invoking
+    it later (at most once; later calls are ignored) resumes the
+    process at the simulated time of the call. *)
+val suspend : ((unit -> unit) -> unit) -> unit
+
+(** Spawn a child process from within a process. *)
+val fork : ?name:string -> (unit -> unit) -> unit
+
+(** Let every other runnable process scheduled at the current instant run
+    before continuing. *)
+val yield : unit -> unit

@@ -1,0 +1,79 @@
+type t = {
+  engine : Engine.t;
+  name : string;
+  mutable is_locked : bool;
+  waiters : (unit -> unit) Queue.t;
+  mutable acquired_at : float;
+  mutable total_wait : float;
+  mutable total_hold : float;
+  mutable acquisitions : int;
+  mutable contended : int;
+}
+
+let create engine ~name =
+  {
+    engine;
+    name;
+    is_locked = false;
+    waiters = Queue.create ();
+    acquired_at = 0.0;
+    total_wait = 0.0;
+    total_hold = 0.0;
+    acquisitions = 0;
+    contended = 0;
+  }
+
+let name t = t.name
+let locked t = t.is_locked
+
+let lock t =
+  if not t.is_locked then begin
+    t.is_locked <- true;
+    t.acquired_at <- Engine.now t.engine;
+    t.acquisitions <- t.acquisitions + 1
+  end
+  else begin
+    let started = Engine.now t.engine in
+    t.contended <- t.contended + 1;
+    Engine.suspend (fun wake -> Queue.add wake t.waiters);
+    (* Ownership was passed to us by [unlock]; the mutex is still marked
+       locked on our behalf. *)
+    let now = Engine.now t.engine in
+    t.total_wait <- t.total_wait +. (now -. started);
+    t.acquired_at <- now;
+    t.acquisitions <- t.acquisitions + 1
+  end
+
+let unlock t =
+  if not t.is_locked then invalid_arg ("Mutex_sim.unlock: not locked: " ^ t.name);
+  t.total_hold <- t.total_hold +. (Engine.now t.engine -. t.acquired_at);
+  match Queue.take_opt t.waiters with
+  | Some wake -> wake ()
+  | None -> t.is_locked <- false
+
+let with_lock t f =
+  lock t;
+  match f () with
+  | v ->
+      unlock t;
+      v
+  | exception exn ->
+      unlock t;
+      raise exn
+
+let acquisitions t = t.acquisitions
+let contended t = t.contended
+let total_wait t = t.total_wait
+let total_hold t = t.total_hold
+
+let avg_wait t =
+  if t.acquisitions = 0 then 0.0 else t.total_wait /. float_of_int t.acquisitions
+
+let avg_hold t =
+  if t.acquisitions = 0 then 0.0 else t.total_hold /. float_of_int t.acquisitions
+
+let reset_stats t =
+  t.total_wait <- 0.0;
+  t.total_hold <- 0.0;
+  t.acquisitions <- 0;
+  t.contended <- 0

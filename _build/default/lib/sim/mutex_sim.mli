@@ -1,0 +1,48 @@
+(** Simulated mutex with wait-time and hold-time accounting.
+
+    The per-lock statistics are the instrument behind the paper's Fig. 1b
+    (average wait and hold time per lock request): every simulated kernel
+    or user-level lock in the system is one of these. *)
+
+type t
+
+(** [create engine ~name] returns an unlocked mutex. *)
+val create : Engine.t -> name:string -> t
+
+val name : t -> string
+
+(** Acquire, blocking the calling process while another holds it.
+    Ownership is passed FIFO to waiters. *)
+val lock : t -> unit
+
+(** Release.  Raises [Invalid_argument] if the mutex is not locked. *)
+val unlock : t -> unit
+
+(** [with_lock t f] runs [f ()] with the mutex held, releasing it even if
+    [f] raises. *)
+val with_lock : t -> (unit -> 'a) -> 'a
+
+val locked : t -> bool
+
+(** {1 Statistics} *)
+
+(** Number of completed acquisitions. *)
+val acquisitions : t -> int
+
+(** Number of acquisitions that had to wait. *)
+val contended : t -> int
+
+(** Total simulated seconds spent waiting for the lock. *)
+val total_wait : t -> float
+
+(** Total simulated seconds the lock was held. *)
+val total_hold : t -> float
+
+(** Average wait per lock request (0 if never acquired). *)
+val avg_wait : t -> float
+
+(** Average hold per lock request (0 if never acquired). *)
+val avg_hold : t -> float
+
+(** Reset the statistics counters (not the lock state). *)
+val reset_stats : t -> unit

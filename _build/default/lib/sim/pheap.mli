@@ -1,0 +1,27 @@
+(** Growable binary min-heap used as the event queue of the simulation
+    engine.  Elements are ordered by a user-supplied total order supplied
+    at creation time; ties must be broken by the caller (the engine uses a
+    monotonically increasing sequence number) so that extraction order is
+    deterministic. *)
+
+type 'a t
+
+(** [create ~cmp] returns an empty heap ordered by [cmp]. *)
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+(** Number of elements currently stored. *)
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** Insert an element; O(log n). *)
+val push : 'a t -> 'a -> unit
+
+(** Smallest element, if any, without removing it. *)
+val peek : 'a t -> 'a option
+
+(** Remove and return the smallest element; O(log n). *)
+val pop : 'a t -> 'a option
+
+(** Remove every element. *)
+val clear : 'a t -> unit

@@ -1,0 +1,40 @@
+(** Deterministic splittable pseudo-random number generator (SplitMix64).
+
+    Every stochastic decision in the simulator draws from an [Rng.t] so
+    that a run is fully reproducible from its seed, and [split] provides
+    statistically independent streams for concurrently created workloads
+    without any draw-order coupling between them. *)
+
+type t
+
+(** [create seed] returns a generator seeded from [seed]. *)
+val create : int -> t
+
+(** An independent generator derived from (and advancing) [t]. *)
+val split : t -> t
+
+(** Next raw 64-bit output. *)
+val bits64 : t -> int64
+
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+val int : t -> int -> int
+
+(** Uniform float in [\[0, 1)]. *)
+val float : t -> float
+
+(** [uniform t a b] is uniform in [\[a, b)]. *)
+val uniform : t -> float -> float -> float
+
+(** Exponentially distributed with the given mean. *)
+val exponential : t -> mean:float -> float
+
+(** [gamma_like t ~mean ~shape] draws from an Erlang-style distribution
+    with integer [shape] (sum of [shape] exponentials), handy for file
+    size distributions with a mode away from zero. *)
+val gamma_like : t -> mean:float -> shape:int -> float
+
+(** [pick t arr] is a uniformly chosen element of the non-empty [arr]. *)
+val pick : t -> 'a array -> 'a
+
+(** [shuffle t arr] permutes [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit

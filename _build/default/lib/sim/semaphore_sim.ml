@@ -1,0 +1,24 @@
+type t = { mutable permits : int; waiting : (unit -> unit) Queue.t }
+
+let create (_ : Engine.t) ~value =
+  assert (value >= 0);
+  { permits = value; waiting = Queue.create () }
+
+let acquire t =
+  if t.permits > 0 then t.permits <- t.permits - 1
+  else Engine.suspend (fun wake -> Queue.add wake t.waiting)
+
+let release t =
+  match Queue.take_opt t.waiting with
+  | Some wake -> wake () (* the permit is handed over directly *)
+  | None -> t.permits <- t.permits + 1
+
+let try_acquire t =
+  if t.permits > 0 then begin
+    t.permits <- t.permits - 1;
+    true
+  end
+  else false
+
+let value t = t.permits
+let waiters t = Queue.length t.waiting

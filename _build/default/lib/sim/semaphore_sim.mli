@@ -1,0 +1,20 @@
+(** Simulated counting semaphore with FIFO wakeup. *)
+
+type t
+
+(** [create engine ~value] returns a semaphore with [value >= 0] permits. *)
+val create : Engine.t -> value:int -> t
+
+(** Take one permit, blocking while none is available. *)
+val acquire : t -> unit
+
+(** Return one permit, waking the longest waiter if any. *)
+val release : t -> unit
+
+(** Take a permit without blocking; [false] when none is available. *)
+val try_acquire : t -> bool
+
+(** Currently available permits. *)
+val value : t -> int
+
+val waiters : t -> int

@@ -1,0 +1,79 @@
+type t = {
+  mutable data : float array;
+  mutable size : int;
+  mutable sorted : bool;
+}
+
+let create () = { data = [||]; size = 0; sorted = false }
+
+let add t x =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let data = Array.make ncap 0.0 in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  t.sorted <- false
+
+let count t = t.size
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let total t = fold ( +. ) 0.0 t
+let mean t = if t.size = 0 then 0.0 else total t /. float_of_int t.size
+
+let stddev t =
+  if t.size < 2 then 0.0
+  else begin
+    let m = mean t in
+    let ss = fold (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 t in
+    sqrt (ss /. float_of_int (t.size - 1))
+  end
+
+let min t = if t.size = 0 then 0.0 else fold Float.min infinity t
+let max t = if t.size = 0 then 0.0 else fold Float.max neg_infinity t
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let view = Array.sub t.data 0 t.size in
+    Array.sort Float.compare view;
+    Array.blit view 0 t.data 0 t.size;
+    t.sorted <- true
+  end
+
+let percentile t p =
+  assert (p >= 0.0 && p <= 100.0);
+  if t.size = 0 then 0.0
+  else begin
+    ensure_sorted t;
+    let rank = p /. 100.0 *. float_of_int (t.size - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then t.data.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      (t.data.(lo) *. (1.0 -. frac)) +. (t.data.(hi) *. frac)
+    end
+  end
+
+let ci95_halfwidth t =
+  if t.size < 2 then 0.0
+  else 1.96 *. stddev t /. sqrt (float_of_int t.size)
+
+let merge_into ~dst ~src =
+  for i = 0 to src.size - 1 do
+    add dst src.data.(i)
+  done
+
+let clear t =
+  t.data <- [||];
+  t.size <- 0;
+  t.sorted <- false

@@ -1,0 +1,39 @@
+(** Sample collection and summary statistics for experiment metrics. *)
+
+type t
+
+(** Fresh, empty sample set. *)
+val create : unit -> t
+
+(** Record one observation. *)
+val add : t -> float -> unit
+
+val count : t -> int
+
+(** Sum of all observations. *)
+val total : t -> float
+
+(** Arithmetic mean; 0 when empty. *)
+val mean : t -> float
+
+(** Sample standard deviation (n-1 denominator); 0 for fewer than two
+    samples. *)
+val stddev : t -> float
+
+val min : t -> float
+val max : t -> float
+
+(** [percentile t p] for [p] in [\[0, 100\]], by linear interpolation
+    between closest ranks.  0 when empty. *)
+val percentile : t -> float -> float
+
+(** Half-length of the 95% confidence interval of the mean
+    (1.96 sigma / sqrt n); the paper's §6.1 stopping criterion compares
+    this against 5% of the mean. *)
+val ci95_halfwidth : t -> float
+
+(** Merge the samples of [src] into [dst]. *)
+val merge_into : dst:t -> src:t -> unit
+
+(** Remove all samples. *)
+val clear : t -> unit

@@ -1,0 +1,22 @@
+type t = { mutable count : int; mutable waiting : (unit -> unit) list }
+
+let create (_ : Engine.t) = { count = 0; waiting = [] }
+
+let add ?(n = 1) t =
+  assert (n >= 0);
+  t.count <- t.count + n
+
+let finish t =
+  if t.count <= 0 then invalid_arg "Waitgroup.finish: count already zero";
+  t.count <- t.count - 1;
+  if t.count = 0 then begin
+    let to_wake = t.waiting in
+    t.waiting <- [];
+    List.iter (fun wake -> wake ()) to_wake
+  end
+
+let wait t =
+  if t.count > 0 then
+    Engine.suspend (fun wake -> t.waiting <- wake :: t.waiting)
+
+let pending t = t.count

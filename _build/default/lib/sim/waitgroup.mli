@@ -1,0 +1,17 @@
+(** Join point for a dynamic set of simulated processes. *)
+
+type t
+
+val create : Engine.t -> t
+
+(** Register [n] (default 1) more activities to wait for. *)
+val add : ?n:int -> t -> unit
+
+(** Mark one activity finished; wakes waiters when the count hits 0. *)
+val finish : t -> unit
+
+(** Block until the activity count is 0 (returns immediately if it
+    already is). *)
+val wait : t -> unit
+
+val pending : t -> int

@@ -1,0 +1,1 @@
+lib/union/union_fs.ml: Cgroup Client_intf Danaus_ceph Danaus_client Danaus_kernel Fspath Hashtbl List Namespace Option Result Stdlib String Whiteout

@@ -1,0 +1,1 @@
+lib/union/union_fs.mli: Cgroup Client_intf Danaus_client Danaus_kernel

@@ -1,0 +1,1 @@
+lib/union/whiteout.ml: Danaus_ceph Fspath String

@@ -1,0 +1,1 @@
+lib/union/whiteout.mli:

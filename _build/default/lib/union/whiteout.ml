@@ -1,0 +1,14 @@
+open Danaus_ceph
+
+let prefix = ".wh."
+
+let of_path path =
+  let dir = Fspath.parent path and name = Fspath.basename path in
+  Fspath.join dir (prefix ^ name)
+
+let is_whiteout name = String.starts_with ~prefix name
+
+let hidden_name name =
+  if is_whiteout name then
+    Some (String.sub name (String.length prefix) (String.length name - String.length prefix))
+  else None

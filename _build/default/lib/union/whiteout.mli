@@ -1,0 +1,10 @@
+(** Whiteout entry naming (unionfs/AUFS convention: ".wh.<name>"). *)
+
+(** Whiteout path covering [path] (same directory, mangled name). *)
+val of_path : string -> string
+
+(** [is_whiteout name] holds for a ".wh."-prefixed directory entry. *)
+val is_whiteout : string -> bool
+
+(** Original entry name hidden by a whiteout entry name. *)
+val hidden_name : string -> string option

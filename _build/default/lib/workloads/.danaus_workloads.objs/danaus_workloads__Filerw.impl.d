@@ -1,0 +1,1 @@
+lib/workloads/filerw.ml: Client_intf Danaus_client Workload

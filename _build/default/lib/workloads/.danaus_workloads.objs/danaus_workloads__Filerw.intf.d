@@ -1,0 +1,1 @@
+lib/workloads/filerw.mli: Client_intf Danaus_client Workload

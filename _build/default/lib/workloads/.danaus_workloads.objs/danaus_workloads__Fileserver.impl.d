@@ -1,0 +1,1 @@
+lib/workloads/fileserver.ml: Client_intf Danaus_client Danaus_sim Engine Printf Result Rng Stdlib Waitgroup Workload

@@ -1,0 +1,1 @@
+lib/workloads/fileserver.mli: Danaus_sim Waitgroup Workload

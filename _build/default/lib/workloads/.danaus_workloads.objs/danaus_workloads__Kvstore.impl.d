@@ -1,0 +1,1 @@
+lib/workloads/kvstore.ml: Client_intf Condition_sim Danaus_client Danaus_sim Engine List Mutex_sim Printf Rng Workload

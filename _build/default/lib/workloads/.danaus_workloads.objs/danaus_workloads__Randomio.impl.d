@@ -1,0 +1,1 @@
+lib/workloads/randomio.ml: Danaus_kernel Danaus_sim Engine Local_fs Printf Rng Waitgroup Workload

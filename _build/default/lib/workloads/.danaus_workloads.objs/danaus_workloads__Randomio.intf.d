@@ -1,0 +1,1 @@
+lib/workloads/randomio.mli: Danaus_kernel Local_fs Workload

@@ -1,0 +1,1 @@
+lib/workloads/seqio.ml: Client_intf Danaus_client Danaus_sim Engine Printf Stdlib Waitgroup Workload

@@ -1,0 +1,1 @@
+lib/workloads/seqio.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/startup.ml: Client_intf Danaus_client List Printf Workload

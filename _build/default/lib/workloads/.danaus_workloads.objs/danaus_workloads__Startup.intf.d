@@ -1,0 +1,1 @@
+lib/workloads/startup.mli: Client_intf Danaus_client Workload

@@ -1,0 +1,1 @@
+lib/workloads/sysbench.ml: Danaus_sim Engine Printf Stats Waitgroup Workload

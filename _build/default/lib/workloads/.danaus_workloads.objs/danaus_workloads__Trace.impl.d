@@ -1,0 +1,1 @@
+lib/workloads/trace.ml: Array Client_intf Danaus_client Danaus_sim Engine Hashtbl List Printf Rng Stdlib String Waitgroup Workload

@@ -1,0 +1,1 @@
+lib/workloads/webserver.ml: Danaus_kernel Danaus_sim Engine Local_fs Printf Rng Stdlib Waitgroup Workload

@@ -1,0 +1,1 @@
+lib/workloads/webserver.mli: Danaus_kernel Local_fs Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Cgroup Client_intf Cpu Danaus_client Danaus_hw Danaus_kernel Danaus_sim Engine Printf Rng Stats Stdlib

@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Cgroup Client_intf Cpu Danaus_client Danaus_hw Danaus_kernel Danaus_sim Engine Rng Stats

@@ -1,0 +1,25 @@
+open Danaus_client
+
+let default_file_bytes = 2 * 1024 * 1024 * 1024
+
+let fileappend ctx ~view ~path ~append_bytes ~chunk =
+  let pool = ctx.Workload.pool in
+  let fd =
+    Workload.exn_on_error "fileappend: open"
+      (view.Client_intf.open_file ~pool path Client_intf.flags_append)
+  in
+  Workload.chunked ~chunk ~total:append_bytes (fun ~off:_ ~len ->
+      Workload.exn_on_error "fileappend: append" (view.Client_intf.append ~pool fd ~len));
+  view.Client_intf.close ~pool fd
+
+let fileread ctx ~view ~path ~chunk =
+  let pool = ctx.Workload.pool in
+  let fd =
+    Workload.exn_on_error "fileread: open"
+      (view.Client_intf.open_file ~pool path Client_intf.flags_ro)
+  in
+  let size = match view.Client_intf.fd_size fd with Ok s -> s | Error _ -> 0 in
+  Workload.chunked ~chunk ~total:size (fun ~off ~len ->
+      ignore
+        (Workload.exn_on_error "fileread: read" (view.Client_intf.read ~pool fd ~off ~len)));
+  view.Client_intf.close ~pool fd

@@ -1,0 +1,18 @@
+open Danaus_client
+
+(** Fileappend / Fileread (§6.3.2, Fig. 11): sequential single-file
+    write and read with minimal metadata activity, over cloned container
+    roots.  Fileappend opens a 2 GB lower-branch file O_APPEND — which
+    copies the whole file up — and writes 1 MB; Fileread scans the file
+    in 1 MB blocks. *)
+
+val default_file_bytes : int
+(** 2 GiB *)
+
+(** [fileappend ctx ~view ~path ~append_bytes ~chunk] runs one container's
+    Fileappend. *)
+val fileappend :
+  Workload.ctx -> view:Client_intf.t -> path:string -> append_bytes:int -> chunk:int -> unit
+
+(** [fileread ctx ~view ~path ~chunk] reads the whole file. *)
+val fileread : Workload.ctx -> view:Client_intf.t -> path:string -> chunk:int -> unit

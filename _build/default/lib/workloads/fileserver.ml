@@ -1,0 +1,163 @@
+open Danaus_sim
+open Danaus_client
+
+type params = {
+  files : int;
+  mean_file_size : int;
+  threads : int;
+  duration : float;
+  append_size : int;
+  io_chunk : int;
+  dir : string;
+  think_cpu : float;
+}
+
+let default_params =
+  {
+    files = 1000;
+    mean_file_size = 5 * 1024 * 1024;
+    threads = 50;
+    duration = 120.0;
+    append_size = 16 * 1024;
+    io_chunk = 1024 * 1024;
+    dir = "/flsdata";
+    think_cpu = 5.0e-6;
+  }
+
+type result = {
+  stats : Workload.io_stats;
+  elapsed : float;
+  throughput_mbps : float;
+  errors : int;
+}
+
+(* Filebench filesets spread files over a directory tree (meandirwidth
+   ~20); a flat directory would serialise every create/unlink on one
+   directory mutex. *)
+let file_path p idx = Printf.sprintf "%s/d%02d/f%05d" p.dir (idx mod 20) idx
+
+let draw_size ctx p =
+  Stdlib.max 4096 (int_of_float (Rng.gamma_like ctx.Workload.rng ~mean:(float_of_int p.mean_file_size) ~shape:2))
+
+let write_whole iface ~pool p ~path ~size =
+  match iface.Client_intf.open_file ~pool path Client_intf.flags_wo with
+  | Error _ as e -> e
+  | Ok fd ->
+      let failed = ref None in
+      Workload.chunked ~chunk:p.io_chunk ~total:size (fun ~off ~len ->
+          if !failed = None then
+            match iface.Client_intf.write ~pool fd ~off ~len with
+            | Ok () -> ()
+            | Error e -> failed := Some e);
+      iface.Client_intf.close ~pool fd;
+      (match !failed with Some e -> Error e | None -> Ok fd)
+
+let read_whole iface ~pool p ~path =
+  match iface.Client_intf.open_file ~pool path Client_intf.flags_ro with
+  | Error _ as e -> Result.bind e (fun _ -> Ok 0)
+  | Ok fd ->
+      let size = match iface.Client_intf.fd_size fd with Ok s -> s | Error _ -> 0 in
+      let got = ref 0 in
+      let failed = ref None in
+      Workload.chunked ~chunk:p.io_chunk ~total:size (fun ~off ~len ->
+          if !failed = None then
+            match iface.Client_intf.read ~pool fd ~off ~len with
+            | Ok n -> got := !got + n
+            | Error e -> failed := Some e);
+      iface.Client_intf.close ~pool fd;
+      (match !failed with Some e -> Error e | None -> Ok !got)
+
+let prepopulate ctx ~view p =
+  let pool = ctx.Workload.pool in
+  let iface = view ~thread:0 in
+  Workload.exn_on_error "fileserver: mkdir" (iface.Client_intf.mkdir_p ~pool p.dir);
+  for idx = 0 to p.files - 1 do
+    let size = draw_size ctx p in
+    ignore (write_whole iface ~pool p ~path:(file_path p idx) ~size)
+  done
+
+(* One iteration of the Fileserver personality over a random file of the
+   thread's partition (Filebench threads draw distinct files from the
+   fileset, so writers do not collide on one inode). *)
+let iteration ctx iface ~pool ~thread ~threads p stats errors =
+  let now () = Engine.now ctx.Workload.engine in
+  let span = Stdlib.max 1 (p.files / threads) in
+  let base = (thread - 1) mod threads * span in
+  let idx = Stdlib.min (p.files - 1) (base + Rng.int ctx.Workload.rng span) in
+  let path = file_path p idx in
+  let step f = match f () with Ok () -> () | Error (_ : Client_intf.error) -> incr errors in
+  (* delete + create + whole-file write *)
+  step (fun () ->
+      let t0 = now () in
+      ignore (iface.Client_intf.unlink ~pool path);
+      let size = draw_size ctx p in
+      match write_whole iface ~pool p ~path ~size with
+      | Error e -> Error e
+      | Ok _ ->
+          Workload.record stats ~started:t0 ~now:(now ()) ~read:0 ~written:size;
+          Ok ());
+  Workload.app_cpu ctx p.think_cpu;
+  (* append *)
+  step (fun () ->
+      let t0 = now () in
+      match iface.Client_intf.open_file ~pool path Client_intf.flags_append with
+      | Error e -> Error e
+      | Ok fd ->
+          let r = iface.Client_intf.append ~pool fd ~len:p.append_size in
+          iface.Client_intf.close ~pool fd;
+          Result.map
+            (fun () ->
+              Workload.record stats ~started:t0 ~now:(now ()) ~read:0
+                ~written:p.append_size)
+            r);
+  Workload.app_cpu ctx p.think_cpu;
+  (* whole-file read *)
+  step (fun () ->
+      let t0 = now () in
+      match read_whole iface ~pool p ~path with
+      | Error e -> Error e
+      | Ok n ->
+          Workload.record stats ~started:t0 ~now:(now ()) ~read:n ~written:0;
+          Ok ());
+  Workload.app_cpu ctx p.think_cpu;
+  (* stat *)
+  step (fun () ->
+      let t0 = now () in
+      match iface.Client_intf.stat ~pool path with
+      | Error e -> Error e
+      | Ok _ ->
+          Workload.record stats ~started:t0 ~now:(now ()) ~read:0 ~written:0;
+          Ok ())
+
+let run ctx ~view p =
+  let engine = ctx.Workload.engine in
+  let pool = ctx.Workload.pool in
+  let stats = Workload.fresh_stats () in
+  let errors = ref 0 in
+  let started = Engine.now engine in
+  let deadline = started +. p.duration in
+  let wg = Waitgroup.create engine in
+  for thread = 1 to p.threads do
+    Waitgroup.add wg;
+    let iface = view ~thread in
+    Engine.fork ~name:(Printf.sprintf "fls-%d" thread) (fun () ->
+        while Engine.time () < deadline do
+          iteration ctx iface ~pool ~thread ~threads:p.threads p stats errors
+        done;
+        Waitgroup.finish wg)
+  done;
+  Waitgroup.wait wg;
+  let elapsed = Engine.now engine -. started in
+  {
+    stats;
+    elapsed;
+    throughput_mbps = Workload.throughput_mbps stats ~elapsed;
+    errors = !errors;
+  }
+
+let spawn ctx ~view p ~cell ~done_ =
+  Waitgroup.add done_;
+  Engine.spawn ctx.Workload.engine ~name:"fileserver" (fun () ->
+      prepopulate ctx ~view p;
+      cell := Some (run ctx ~view p);
+      Waitgroup.finish done_)

@@ -1,0 +1,47 @@
+open Danaus_sim
+
+(** Filebench Fileserver (FLS) emulation: per thread, a loop of
+    delete/create/whole-file-write, open/append, open/whole-file-read and
+    stat over a shared fileset (§6.1 workload 1).
+
+    Runs against any filesystem view, so the same generator drives D, K,
+    F and the union stacks. *)
+
+type params = {
+  files : int;
+  mean_file_size : int;
+  threads : int;
+  duration : float;
+  append_size : int;
+  io_chunk : int;
+  dir : string;
+  think_cpu : float;  (** app CPU between operations *)
+}
+
+(** Paper §6.2: 1000 files, 5 MB mean, 120 s. *)
+val default_params : params
+
+type result = {
+  stats : Workload.io_stats;
+  elapsed : float;
+  throughput_mbps : float;
+  errors : int;
+}
+
+(** Create the fileset through the filesystem (setup phase; time passes
+    but the caller should reset metrics afterwards). *)
+val prepopulate : Workload.ctx -> view:Workload.view -> params -> unit
+
+(** Run the measured phase; returns when [duration] has elapsed and all
+    threads have stopped. *)
+val run : Workload.ctx -> view:Workload.view -> params -> result
+
+(** Convenience: spawn [prepopulate] + [run] as a process, storing the
+    result in [cell] and signalling [done_] at the end. *)
+val spawn :
+  Workload.ctx ->
+  view:Workload.view ->
+  params ->
+  cell:result option ref ->
+  done_:Waitgroup.t ->
+  unit

@@ -1,0 +1,252 @@
+open Danaus_sim
+open Danaus_client
+
+type params = {
+  memtable_bytes : int;
+  compaction_threads : int;
+  key_bytes : int;
+  value_bytes : int;
+  dir : string;
+  l0_compaction_trigger : int;
+  l0_stall_trigger : int;
+  io_chunk : int;
+  index_read_bytes : int;
+  insert_cpu : float;
+  merge_cpu_per_byte : float;
+}
+
+let default_params =
+  {
+    memtable_bytes = 64 * 1024 * 1024;
+    compaction_threads = 2;
+    key_bytes = 9;
+    value_bytes = 128 * 1024;
+    dir = "/db";
+    l0_compaction_trigger = 4;
+    l0_stall_trigger = 8;
+    io_chunk = 1024 * 1024;
+    index_read_bytes = 4096;
+    insert_cpu = 2.0e-6;
+    merge_cpu_per_byte = 1.0 /. 2.0e9;
+  }
+
+type sst = {
+  sst_path : string;
+  sst_size : int;
+  sst_fd : Client_intf.fd;
+  mutable sst_busy : bool; (* input of an in-flight compaction *)
+}
+
+type t = {
+  ctx : Workload.ctx;
+  view : Workload.view;
+  p : params;
+  puts : Workload.io_stats;
+  gets : Workload.io_stats;
+  mutable memtable_used : int;
+  mutable wal_fd : Client_intf.fd;
+  mutable wal_seq : int;
+  mutable sst_seq : int;
+  mutable l0 : sst list;
+  mutable l1 : sst list;
+  mutable data_bytes : int;
+  mutable stall_count : int;
+  mutable running : bool;
+  mutable flushing : bool;
+  compaction_kick : Condition_sim.t;
+  compaction_lock : Mutex_sim.t;
+}
+
+let iface0 t = t.view ~thread:0
+let pool t = t.ctx.Workload.pool
+
+let wal_path t seq = Printf.sprintf "%s/wal-%06d" t.p.dir seq
+let sst_path t seq = Printf.sprintf "%s/sst-%06d" t.p.dir seq
+
+let open_wal t =
+  let i = iface0 t in
+  Workload.exn_on_error "kv: wal open"
+    (i.Client_intf.open_file ~pool:(pool t) (wal_path t t.wal_seq)
+       Client_intf.flags_wo)
+
+let rec create ctx ~view p =
+  let t =
+    {
+      ctx;
+      view;
+      p;
+      puts = Workload.fresh_stats ();
+      gets = Workload.fresh_stats ();
+      memtable_used = 0;
+      wal_fd = -1;
+      wal_seq = 0;
+      sst_seq = 0;
+      l0 = [];
+      l1 = [];
+      data_bytes = 0;
+      stall_count = 0;
+      running = true;
+      flushing = false;
+      compaction_kick = Condition_sim.create ctx.Workload.engine;
+      compaction_lock = Mutex_sim.create ctx.Workload.engine ~name:"kv.compact";
+    }
+  in
+  let i = view ~thread:0 in
+  Workload.exn_on_error "kv: mkdir" (i.Client_intf.mkdir_p ~pool:(pool t) p.dir);
+  t.wal_fd <- open_wal t;
+  for c = 1 to p.compaction_threads do
+    Engine.fork ~name:(Printf.sprintf "kv-compact-%d" c) (fun () -> compactor t)
+  done;
+  t
+
+(* Write [bytes] to a fresh SST file and return its handle. *)
+and write_sst t ~thread ~bytes =
+  let i = t.view ~thread in
+  let seq = t.sst_seq in
+  t.sst_seq <- t.sst_seq + 1;
+  let path = sst_path t seq in
+  let fd =
+    Workload.exn_on_error "kv: sst create"
+      (i.Client_intf.open_file ~pool:(pool t) path Client_intf.flags_wo)
+  in
+  Workload.chunked ~chunk:t.p.io_chunk ~total:bytes (fun ~off ~len ->
+      Workload.exn_on_error "kv: sst write"
+        (i.Client_intf.write ~pool:(pool t) fd ~off ~len));
+  Workload.exn_on_error "kv: sst fsync" (i.Client_intf.fsync ~pool:(pool t) fd);
+  { sst_path = path; sst_size = bytes; sst_fd = fd; sst_busy = false }
+
+and drop_sst t ~thread sst =
+  let i = t.view ~thread in
+  i.Client_intf.close ~pool:(pool t) sst.sst_fd;
+  ignore (i.Client_intf.unlink ~pool:(pool t) sst.sst_path)
+
+(* Flush the current memtable to a new L0 SST and rotate the WAL. *)
+and flush_memtable t ~thread =
+  let bytes = t.memtable_used in
+  if bytes > 0 && not t.flushing then begin
+    t.flushing <- true;
+    t.memtable_used <- 0;
+    let i = t.view ~thread in
+    let sst = write_sst t ~thread ~bytes in
+    t.l0 <- sst :: t.l0;
+    (* the flushed entries are durable: retire the old WAL *)
+    i.Client_intf.close ~pool:(pool t) t.wal_fd;
+    ignore (i.Client_intf.unlink ~pool:(pool t) (wal_path t t.wal_seq));
+    t.wal_seq <- t.wal_seq + 1;
+    t.wal_fd <- open_wal t;
+    t.flushing <- false;
+    Condition_sim.broadcast t.compaction_kick
+  end
+
+(* Merge every (idle) L0 file plus as many L1 files into a new L1 file:
+   read inputs, burn merge CPU, write output, delete inputs.  The inputs
+   stay visible to readers until the merge completes. *)
+and compact_once t =
+  let inputs_l0 = List.filter (fun s -> not s.sst_busy) t.l0 in
+  let inputs_l1 =
+    List.filteri (fun i _ -> i < List.length inputs_l0)
+      (List.filter (fun s -> not s.sst_busy) t.l1)
+  in
+  let inputs = inputs_l0 @ inputs_l1 in
+  List.iter (fun s -> s.sst_busy <- true) inputs;
+  let i = t.view ~thread:0 in
+  let total = List.fold_left (fun acc s -> acc + s.sst_size) 0 inputs in
+  List.iter
+    (fun sst ->
+      Workload.chunked ~chunk:t.p.io_chunk ~total:sst.sst_size (fun ~off ~len ->
+          ignore
+            (Workload.exn_on_error "kv: compact read"
+               (i.Client_intf.read ~pool:(pool t) sst.sst_fd ~off ~len))))
+    inputs;
+  Workload.app_cpu t.ctx (float_of_int total *. t.p.merge_cpu_per_byte);
+  let merged = write_sst t ~thread:0 ~bytes:total in
+  t.l0 <- List.filter (fun s -> not (List.memq s inputs)) t.l0;
+  t.l1 <- merged :: List.filter (fun s -> not (List.memq s inputs)) t.l1;
+  List.iter (fun sst -> drop_sst t ~thread:0 sst) inputs
+
+and compactor t =
+  while t.running do
+    Mutex_sim.lock t.compaction_lock;
+    let idle_l0 () = List.length (List.filter (fun s -> not s.sst_busy) t.l0) in
+    while t.running && idle_l0 () < t.p.l0_compaction_trigger do
+      Condition_sim.wait t.compaction_kick t.compaction_lock
+    done;
+    if t.running && idle_l0 () >= t.p.l0_compaction_trigger then begin
+      (* claim the work while holding the lock, merge outside it *)
+      let work () = compact_once t in
+      Mutex_sim.unlock t.compaction_lock;
+      work ()
+    end
+    else Mutex_sim.unlock t.compaction_lock
+  done
+
+let entry_bytes t = t.p.key_bytes + t.p.value_bytes
+
+let put t ~thread =
+  let i = t.view ~thread in
+  let t0 = Engine.now t.ctx.Workload.engine in
+  (* write stall: too many L0 files *)
+  while List.length t.l0 >= t.p.l0_stall_trigger do
+    t.stall_count <- t.stall_count + 1;
+    Condition_sim.broadcast t.compaction_kick;
+    Engine.sleep 0.01
+  done;
+  let bytes = entry_bytes t in
+  Workload.exn_on_error "kv: wal append"
+    (i.Client_intf.append ~pool:(pool t) t.wal_fd ~len:bytes);
+  Workload.app_cpu t.ctx t.p.insert_cpu;
+  t.memtable_used <- t.memtable_used + bytes;
+  t.data_bytes <- t.data_bytes + bytes;
+  if t.memtable_used >= t.p.memtable_bytes then flush_memtable t ~thread;
+  Workload.record t.puts ~started:t0 ~now:(Engine.now t.ctx.Workload.engine)
+    ~read:0 ~written:bytes
+
+let get t ~thread =
+  let i = t.view ~thread in
+  let rng = t.ctx.Workload.rng in
+  let t0 = Engine.now t.ctx.Workload.engine in
+  Workload.app_cpu t.ctx t.p.insert_cpu;
+  let memtable_share =
+    if t.data_bytes = 0 then 1.0
+    else float_of_int t.memtable_used /. float_of_int t.data_bytes
+  in
+  let ssts = t.l0 @ t.l1 in
+  (if Rng.float rng >= memtable_share && ssts <> [] then begin
+     let sst = List.nth ssts (Rng.int rng (List.length ssts)) in
+     let value_off =
+       if sst.sst_size <= t.p.value_bytes then 0
+       else Rng.int rng (sst.sst_size - t.p.value_bytes)
+     in
+     (* index/filter block, then the value; the SST may be retired by a
+        completing compaction while we block, in which case the engine
+        retries against the new files -- modelled as a skip *)
+     match
+       i.Client_intf.read ~pool:(pool t) sst.sst_fd ~off:0
+         ~len:t.p.index_read_bytes
+     with
+     | Error _ -> ()
+     | Ok _ ->
+         (match
+            i.Client_intf.read ~pool:(pool t) sst.sst_fd ~off:value_off
+              ~len:t.p.value_bytes
+          with
+         | Ok _ | Error _ -> ())
+   end);
+  Workload.record t.gets ~started:t0 ~now:(Engine.now t.ctx.Workload.engine)
+    ~read:(entry_bytes t) ~written:0
+
+let populate t ~thread ~bytes =
+  while t.data_bytes < bytes do
+    put t ~thread
+  done
+
+let put_stats t = t.puts
+let get_stats t = t.gets
+let db_bytes t = t.data_bytes
+let l0_depth t = List.length t.l0
+let stalls t = t.stall_count
+
+let shutdown t =
+  t.running <- false;
+  flush_memtable t ~thread:0;
+  Condition_sim.broadcast t.compaction_kick

@@ -1,0 +1,56 @@
+(** LSM-tree key-value store (RocksDB analogue, §6.3.1).
+
+    A real log-structured engine running its I/O through the filesystem
+    under test: puts append to a WAL and fill a memtable; full memtables
+    flush to L0 SST files; background compaction threads merge L0 into
+    L1; too many L0 files stall writers.  Gets hit the memtable with
+    probability proportional to its share of the data and otherwise read
+    an index block plus the value from a random SST (out-of-core reads
+    once the dataset outgrows the cache). *)
+
+type params = {
+  memtable_bytes : int;  (** 64 MB in the paper *)
+  compaction_threads : int;  (** 2 in the paper *)
+  key_bytes : int;  (** 9 B *)
+  value_bytes : int;  (** 128 KB *)
+  dir : string;
+  l0_compaction_trigger : int;
+  l0_stall_trigger : int;
+  io_chunk : int;
+  index_read_bytes : int;
+  insert_cpu : float;  (** memtable/app CPU per operation *)
+  merge_cpu_per_byte : float;
+}
+
+val default_params : params
+
+type t
+
+(** [create ctx ~view params] opens the store (creates its directory and
+    WAL) and starts the compaction threads.  Call {!shutdown} to let the
+    simulation drain. *)
+val create : Workload.ctx -> view:Workload.view -> params -> t
+
+(** One put of a random key (records put latency). *)
+val put : t -> thread:int -> unit
+
+(** One get of a random key (records get latency). *)
+val get : t -> thread:int -> unit
+
+(** Issue puts until the store holds [bytes] of data. *)
+val populate : t -> thread:int -> bytes:int -> unit
+
+val put_stats : t -> Workload.io_stats
+val get_stats : t -> Workload.io_stats
+
+(** Bytes of user data inserted so far. *)
+val db_bytes : t -> int
+
+(** Current L0 depth (tests: stall behaviour). *)
+val l0_depth : t -> int
+
+(** Number of write stalls writers experienced. *)
+val stalls : t -> int
+
+(** Stop the compaction threads and flush the memtable. *)
+val shutdown : t -> unit

@@ -1,0 +1,67 @@
+open Danaus_sim
+open Danaus_kernel
+
+type params = {
+  file_size : int;
+  threads : int;
+  duration : float;
+  io_size : int;
+  path : string;
+  write_fraction : float;
+  verify_cpu : float;
+}
+
+let default_params =
+  {
+    file_size = 1024 * 1024 * 1024;
+    threads = 2;
+    duration = 120.0;
+    io_size = 512;
+    path = "/rnd.dat";
+    write_fraction = 0.5;
+    (* stress-ng verifies buffers: per-op CPU that keeps the pool's own
+       cores busy *)
+    verify_cpu = 3.0e-6;
+  }
+
+type result = { stats : Workload.io_stats; elapsed : float; ops_per_sec : float }
+
+let run ctx ~fs p =
+  let engine = ctx.Workload.engine in
+  let pool = ctx.Workload.pool in
+  (* the target file is written once before measurement; with readahead
+     most accesses hit the page cache and the workload is CPU-hungry *)
+  Local_fs.warm fs ~path:p.path ~off:0 ~len:p.file_size;
+  let stats = Workload.fresh_stats () in
+  let started = Engine.now engine in
+  let deadline = started +. p.duration in
+  let wg = Waitgroup.create engine in
+  for thread = 1 to p.threads do
+    Waitgroup.add wg;
+    let rng = Rng.split ctx.Workload.rng in
+    Engine.fork ~name:(Printf.sprintf "rnd-%d" thread) (fun () ->
+        while Engine.time () < deadline do
+          let off = Rng.int rng (p.file_size - p.io_size) in
+          let t0 = Engine.time () in
+          Workload.app_cpu ctx p.verify_cpu;
+          if Rng.float rng < p.write_fraction then begin
+            Local_fs.write fs ~pool ~path:p.path ~off ~len:p.io_size;
+            Workload.record stats ~started:t0 ~now:(Engine.time ()) ~read:0
+              ~written:p.io_size
+          end
+          else begin
+            Local_fs.read fs ~pool ~path:p.path ~off ~len:p.io_size;
+            Workload.record stats ~started:t0 ~now:(Engine.time ()) ~read:p.io_size
+              ~written:0
+          end
+        done;
+        Waitgroup.finish wg)
+  done;
+  Waitgroup.wait wg;
+  let elapsed = Engine.now engine -. started in
+  {
+    stats;
+    elapsed;
+    ops_per_sec =
+      (if elapsed > 0.0 then float_of_int stats.Workload.ops /. elapsed else 0.0);
+  }

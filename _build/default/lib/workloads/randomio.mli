@@ -1,0 +1,23 @@
+open Danaus_kernel
+
+(** Stress-ng RandomIO (RND): random 512 B reads/writes with readahead
+    over a file on a local kernel filesystem (§2.1, §6.2).  The I/O-bound
+    neighbour that keeps its own cores busy and feeds the kernel
+    writeback machinery. *)
+
+type params = {
+  file_size : int;
+  threads : int;
+  duration : float;
+  io_size : int;
+  path : string;
+  write_fraction : float;
+  verify_cpu : float;  (** stress-ng buffer verification CPU per op *)
+}
+
+(** Paper: 1 GB file, 2 threads, 512 B requests. *)
+val default_params : params
+
+type result = { stats : Workload.io_stats; elapsed : float; ops_per_sec : float }
+
+val run : Workload.ctx -> fs:Local_fs.t -> params -> result

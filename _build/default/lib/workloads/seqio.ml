@@ -1,0 +1,99 @@
+open Danaus_sim
+open Danaus_client
+
+type params = {
+  file_size : int;
+  threads : int;
+  duration : float;
+  io_chunk : int;
+  path : string;
+}
+
+let default_params =
+  {
+    file_size = 1024 * 1024 * 1024;
+    threads = 16;
+    duration = 120.0;
+    io_chunk = 1024 * 1024;
+    path = "/stream";
+  }
+
+type result = {
+  stats : Workload.io_stats;
+  elapsed : float;
+  throughput_mbps : float;
+}
+
+let prepopulate ctx ~view p =
+  let pool = ctx.Workload.pool in
+  let iface = view ~thread:0 in
+  let fd =
+    Workload.exn_on_error "seqio: create"
+      (iface.Client_intf.open_file ~pool p.path Client_intf.flags_wo)
+  in
+  Workload.chunked ~chunk:p.io_chunk ~total:p.file_size (fun ~off ~len ->
+      Workload.exn_on_error "seqio: prewrite"
+        (iface.Client_intf.write ~pool fd ~off ~len));
+  Workload.exn_on_error "seqio: fsync" (iface.Client_intf.fsync ~pool fd);
+  iface.Client_intf.close ~pool fd
+
+(* Each thread streams over its own region of the shared file,
+   wrapping around until the deadline. *)
+let stream ctx ~view p ~write =
+  let engine = ctx.Workload.engine in
+  let pool = ctx.Workload.pool in
+  let stats = Workload.fresh_stats () in
+  let started = Engine.now engine in
+  let deadline = started +. p.duration in
+  let region = p.file_size / p.threads in
+  let wg = Waitgroup.create engine in
+  for thread = 1 to p.threads do
+    Waitgroup.add wg;
+    let iface = view ~thread in
+    Engine.fork ~name:(Printf.sprintf "seq-%d" thread) (fun () ->
+        let flags = if write then Client_intf.flags_append else Client_intf.flags_ro in
+        let flags = { flags with Client_intf.create = write; trunc = false; append = false; wr = write } in
+        let fd =
+          Workload.exn_on_error "seqio: open"
+            (iface.Client_intf.open_file ~pool p.path flags)
+        in
+        (* writers append fresh data forever (every byte must reach the
+           backend); readers re-scan their region of the warm file *)
+        let base =
+          if write then (thread - 1) * (1 lsl 34) else (thread - 1) * region
+        in
+        let pos = ref 0 in
+        while Engine.time () < deadline do
+          let off = base + !pos in
+          let len =
+            if write then p.io_chunk else Stdlib.min p.io_chunk (region - !pos)
+          in
+          let t0 = Engine.time () in
+          if write then begin
+            Workload.exn_on_error "seqio: write"
+              (iface.Client_intf.write ~pool fd ~off ~len);
+            Workload.record stats ~started:t0 ~now:(Engine.time ()) ~read:0
+              ~written:len
+          end
+          else begin
+            let n =
+              Workload.exn_on_error "seqio: read"
+                (iface.Client_intf.read ~pool fd ~off ~len)
+            in
+            Workload.record stats ~started:t0 ~now:(Engine.time ()) ~read:n
+              ~written:0
+          end;
+          pos :=
+            if write then !pos + len
+            else if !pos + len >= region then 0
+            else !pos + len
+        done;
+        iface.Client_intf.close ~pool fd;
+        Waitgroup.finish wg)
+  done;
+  Waitgroup.wait wg;
+  let elapsed = Engine.now engine -. started in
+  { stats; elapsed; throughput_mbps = Workload.throughput_mbps stats ~elapsed }
+
+let run_write ctx ~view p = stream ctx ~view p ~write:true
+let run_read ctx ~view p = stream ctx ~view p ~write:false

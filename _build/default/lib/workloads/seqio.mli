@@ -1,0 +1,32 @@
+(** Filebench Singlestreamwrite / Singlestreamread (Seqwrite / Seqread):
+    [threads] threads streaming sequential 1 MB I/O over one shared file
+    (§6.3.2).  Writers own disjoint regions; readers re-scan the same
+    cached file, which is what exposes the libcephfs [client_lock]
+    serialisation on D and the kernel's finer-grained page locking on
+    K. *)
+
+type params = {
+  file_size : int;
+  threads : int;
+  duration : float;
+  io_chunk : int;
+  path : string;
+}
+
+(** Paper: 1 GB file, 16 threads, 120 s. *)
+val default_params : params
+
+type result = {
+  stats : Workload.io_stats;
+  elapsed : float;
+  throughput_mbps : float;
+}
+
+(** Sequential write workload. *)
+val run_write : Workload.ctx -> view:Workload.view -> params -> result
+
+(** Sequential read over a pre-written (cached) file. *)
+val run_read : Workload.ctx -> view:Workload.view -> params -> result
+
+(** Write the file once so that reads start warm. *)
+val prepopulate : Workload.ctx -> view:Workload.view -> params -> unit

@@ -1,0 +1,64 @@
+open Danaus_client
+
+type params = {
+  binary : string * int;
+  libraries : (string * int) list;
+  config_files : (string * int) list;
+  pid_bytes : int;
+  log_bytes : int;
+  page_in_chunk : int;
+}
+
+let kib n = n * 1024
+
+let default_params =
+  {
+    binary = ("/usr/sbin/lighttpd", kib 1024);
+    libraries =
+      List.init 20 (fun i -> (Printf.sprintf "/usr/lib/lib%02d.so" i, kib 200));
+    config_files =
+      [ ("/etc/lighttpd/lighttpd.conf", kib 8); ("/etc/lighttpd/modules.conf", kib 4) ];
+    pid_bytes = 64;
+    log_bytes = kib 4;
+    page_in_chunk = kib 128;
+  }
+
+let image_files p = (p.binary :: p.libraries) @ p.config_files
+
+let read_fully ctx iface ~path ~chunk =
+  let pool = ctx.Workload.pool in
+  let fd =
+    Workload.exn_on_error ("startup: open " ^ path)
+      (iface.Client_intf.open_file ~pool path Client_intf.flags_ro)
+  in
+  let size =
+    match iface.Client_intf.fd_size fd with Ok s -> s | Error _ -> 0
+  in
+  Workload.chunked ~chunk ~total:size (fun ~off ~len ->
+      ignore
+        (Workload.exn_on_error "startup: read"
+           (iface.Client_intf.read ~pool fd ~off ~len)));
+  iface.Client_intf.close ~pool fd
+
+let write_small ctx iface ~path ~bytes =
+  let pool = ctx.Workload.pool in
+  let fd =
+    Workload.exn_on_error ("startup: create " ^ path)
+      (iface.Client_intf.open_file ~pool path Client_intf.flags_wo)
+  in
+  Workload.exn_on_error "startup: write" (iface.Client_intf.write ~pool fd ~off:0 ~len:bytes);
+  iface.Client_intf.close ~pool fd
+
+let start_container ctx ~view ~legacy p =
+  (* exec: the kernel pages the binary in through the legacy path *)
+  read_fully ctx legacy ~path:(fst p.binary) ~chunk:p.page_in_chunk;
+  (* mmap of the dynamic libraries: also kernel-initiated *)
+  List.iter
+    (fun (path, _) -> read_fully ctx legacy ~path ~chunk:p.page_in_chunk)
+    p.libraries;
+  (* user-level preparation: configs, pid file, first log write *)
+  List.iter
+    (fun (path, _) -> read_fully ctx view ~path ~chunk:p.page_in_chunk)
+    p.config_files;
+  write_small ctx view ~path:"/run/lighttpd.pid" ~bytes:p.pid_bytes;
+  write_small ctx view ~path:"/var/log/access.log" ~bytes:p.log_bytes

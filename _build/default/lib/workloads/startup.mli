@@ -1,0 +1,31 @@
+open Danaus_client
+
+(** Container startup with a Lighttpd-style webserver (§6.3.1, Fig. 8).
+
+    Starting the initial command generates I/O on the *legacy* kernel
+    path — [exec] of the binary and [mmap] of the shared libraries —
+    while preparing the application files (config reads, pid/log writes)
+    uses the default user-level path.  On Danaus the legacy part crosses
+    the service's FUSE mount; on the kernel stacks both parts take the
+    same route. *)
+
+type params = {
+  binary : string * int;
+  libraries : (string * int) list;
+  config_files : (string * int) list;
+  pid_bytes : int;
+  log_bytes : int;
+  page_in_chunk : int;  (** mmap fault granularity *)
+}
+
+(** A lighttpd-ish footprint: ~1 MB binary, 20 shared libraries,
+    2 config files. *)
+val default_params : params
+
+(** The files the container image must provide (feed to
+    [Container_engine.install_image]). *)
+val image_files : params -> (string * int) list
+
+(** Run one container's startup sequence to readiness (blocking). *)
+val start_container :
+  Workload.ctx -> view:Client_intf.t -> legacy:Client_intf.t -> params -> unit

@@ -1,0 +1,28 @@
+open Danaus_sim
+
+type params = { threads : int; duration : float; event_cpu : float }
+
+let default_params = { threads = 2; duration = 120.0; event_cpu = 1.0e-3 }
+
+type result = { events : int; elapsed : float; latency : Stats.t }
+
+let run ctx p =
+  let engine = ctx.Workload.engine in
+  let events = ref 0 in
+  let latency = Stats.create () in
+  let started = Engine.now engine in
+  let deadline = started +. p.duration in
+  let wg = Waitgroup.create engine in
+  for thread = 1 to p.threads do
+    Waitgroup.add wg;
+    Engine.fork ~name:(Printf.sprintf "ssb-%d" thread) (fun () ->
+        while Engine.time () < deadline do
+          let t0 = Engine.time () in
+          Workload.app_cpu ctx p.event_cpu;
+          incr events;
+          Stats.add latency (Engine.time () -. t0)
+        done;
+        Waitgroup.finish wg)
+  done;
+  Waitgroup.wait wg;
+  { events = !events; elapsed = Engine.now engine -. started; latency }

@@ -1,0 +1,17 @@
+(** Sysbench CPU benchmark (SSB): threads computing prime-search events
+    of fixed CPU cost; purely user-level computation on the pool's
+    reserved cores (§6.2).  Its event latency measures how much the
+    neighbours (or the kernel serving them) steal the pool's cores. *)
+
+type params = { threads : int; duration : float; event_cpu : float }
+
+(** Paper: 2 threads; one event is ~1 ms of 64-bit prime checking. *)
+val default_params : params
+
+type result = {
+  events : int;
+  elapsed : float;
+  latency : Danaus_sim.Stats.t;  (** per-event latency *)
+}
+
+val run : Workload.ctx -> params -> result

@@ -1,0 +1,178 @@
+open Danaus_sim
+open Danaus_client
+
+type event =
+  | Open of { file : string; write : bool }
+  | Read of { file : string; off : int; len : int }
+  | Write of { file : string; off : int; len : int }
+  | Stat of string
+  | Unlink of string
+  | Sleep of float
+
+type t = event array
+
+(* ------------------------------------------------------------------ *)
+(* Text format *)
+
+let event_to_string = function
+  | Open { file; write = false } -> "open " ^ file
+  | Open { file; write = true } -> "openw " ^ file
+  | Read { file; off; len } -> Printf.sprintf "read %s %d %d" file off len
+  | Write { file; off; len } -> Printf.sprintf "write %s %d %d" file off len
+  | Stat file -> "stat " ^ file
+  | Unlink file -> "unlink " ^ file
+  | Sleep s -> Printf.sprintf "sleep %g" s
+
+let to_string t =
+  String.concat "\n" (Array.to_list (Array.map event_to_string t)) ^ "\n"
+
+let parse_line line =
+  let strip s =
+    match String.index_opt s '#' with
+    | Some i -> String.trim (String.sub s 0 i)
+    | None -> String.trim s
+  in
+  let line = strip line in
+  if line = "" then Ok None
+  else
+    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+    | [ "open"; file ] -> Ok (Some (Open { file; write = false }))
+    | [ "openw"; file ] -> Ok (Some (Open { file; write = true }))
+    | [ "read"; file; off; len ] -> begin
+        match (int_of_string_opt off, int_of_string_opt len) with
+        | Some off, Some len -> Ok (Some (Read { file; off; len }))
+        | _ -> Error line
+      end
+    | [ "write"; file; off; len ] -> begin
+        match (int_of_string_opt off, int_of_string_opt len) with
+        | Some off, Some len -> Ok (Some (Write { file; off; len }))
+        | _ -> Error line
+      end
+    | [ "stat"; file ] -> Ok (Some (Stat file))
+    | [ "unlink"; file ] -> Ok (Some (Unlink file))
+    | [ "sleep"; s ] -> begin
+        match float_of_string_opt s with
+        | Some s when s >= 0.0 -> Ok (Some (Sleep s))
+        | _ -> Error line
+      end
+    | _ -> Error line
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | line :: rest -> begin
+        match parse_line line with
+        | Ok None -> go acc rest
+        | Ok (Some ev) -> go (ev :: acc) rest
+        | Error bad -> Error bad
+      end
+  in
+  go [] lines
+
+(* ------------------------------------------------------------------ *)
+(* Synthesis *)
+
+let synthesize rng ~ops ~files ~mean_io ~write_fraction ~dir =
+  assert (ops >= 0 && files > 0 && mean_io > 0);
+  let path i = Printf.sprintf "%s/t%05d" dir i in
+  let io () =
+    Stdlib.max 1 (int_of_float (Rng.exponential rng ~mean:(float_of_int mean_io)))
+  in
+  Array.init ops (fun _ ->
+      let file = path (Rng.int rng files) in
+      let r = Rng.float rng in
+      if r < write_fraction then
+        Write { file; off = Rng.int rng (16 * 1024 * 1024); len = io () }
+      else if r < write_fraction +. ((1.0 -. write_fraction) *. 0.8) then
+        Read { file; off = Rng.int rng (16 * 1024 * 1024); len = io () }
+      else Stat file)
+
+(* ------------------------------------------------------------------ *)
+(* Replay *)
+
+type replay_state = {
+  iface : Client_intf.t;
+  fds : (string, Client_intf.fd) Hashtbl.t;
+  mutable errors : int;
+}
+
+let fd_for st ~pool ~write file =
+  match Hashtbl.find_opt st.fds file with
+  | Some fd -> Some fd
+  | None -> begin
+      let flags =
+        if write then
+          { Client_intf.rd = true; wr = true; append = false; create = true; trunc = false }
+        else Client_intf.flags_ro
+      in
+      match st.iface.Client_intf.open_file ~pool file flags with
+      | Ok fd ->
+          Hashtbl.replace st.fds file fd;
+          Some fd
+      | Error _ ->
+          st.errors <- st.errors + 1;
+          None
+    end
+
+let run_event st ctx stats ev =
+  let pool = ctx.Workload.pool in
+  let now () = Engine.now ctx.Workload.engine in
+  match ev with
+  | Sleep s -> Engine.sleep s
+  | Open { file; write } -> ignore (fd_for st ~pool ~write file)
+  | Stat file -> begin
+      let t0 = now () in
+      match st.iface.Client_intf.stat ~pool file with
+      | Ok _ -> Workload.record stats ~started:t0 ~now:(now ()) ~read:0 ~written:0
+      | Error _ -> st.errors <- st.errors + 1
+    end
+  | Unlink file -> begin
+      Hashtbl.remove st.fds file;
+      match st.iface.Client_intf.unlink ~pool file with
+      | Ok () -> ()
+      | Error _ -> st.errors <- st.errors + 1
+    end
+  | Read { file; off; len } -> begin
+      match fd_for st ~pool ~write:false file with
+      | None -> ()
+      | Some fd -> begin
+          let t0 = now () in
+          match st.iface.Client_intf.read ~pool fd ~off ~len with
+          | Ok n -> Workload.record stats ~started:t0 ~now:(now ()) ~read:n ~written:0
+          | Error _ -> st.errors <- st.errors + 1
+        end
+    end
+  | Write { file; off; len } -> begin
+      match fd_for st ~pool ~write:true file with
+      | None -> ()
+      | Some fd -> begin
+          let t0 = now () in
+          match st.iface.Client_intf.write ~pool fd ~off ~len with
+          | Ok () -> Workload.record stats ~started:t0 ~now:(now ()) ~read:0 ~written:len
+          | Error _ -> st.errors <- st.errors + 1
+        end
+    end
+
+let replay ctx ~view ?(threads = 1) trace =
+  assert (threads >= 1);
+  let engine = ctx.Workload.engine in
+  let pool = ctx.Workload.pool in
+  let stats = Workload.fresh_stats () in
+  let errors = ref 0 in
+  let started = Engine.now engine in
+  let wg = Waitgroup.create engine in
+  for thread = 1 to threads do
+    Waitgroup.add wg;
+    let iface = view ~thread in
+    Engine.fork ~name:(Printf.sprintf "trace-%d" thread) (fun () ->
+        let st = { iface; fds = Hashtbl.create 64; errors = 0 } in
+        Array.iteri
+          (fun i ev -> if i mod threads = thread - 1 then run_event st ctx stats ev)
+          trace;
+        Hashtbl.iter (fun _ fd -> iface.Client_intf.close ~pool fd) st.fds;
+        errors := !errors + st.errors;
+        Waitgroup.finish wg)
+  done;
+  Waitgroup.wait wg;
+  (stats, Engine.now engine -. started, !errors)

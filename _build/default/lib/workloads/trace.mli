@@ -1,0 +1,57 @@
+open Danaus_sim
+
+(** Trace capture/replay: drive any filesystem stack from a recorded or
+    synthesised operation trace instead of a closed-loop generator.
+
+    The text format is one operation per line:
+    {v
+      open  /path        # open read-only
+      openw /path        # open for writing (create)
+      read  /path OFF LEN
+      write /path OFF LEN
+      stat  /path
+      unlink /path
+      sleep SECONDS      # inter-arrival think time
+    v}
+    Files are opened on demand during replay; descriptors are cached per
+    file and closed at the end. *)
+
+type event =
+  | Open of { file : string; write : bool }
+  | Read of { file : string; off : int; len : int }
+  | Write of { file : string; off : int; len : int }
+  | Stat of string
+  | Unlink of string
+  | Sleep of float
+
+type t = event array
+
+(** Parse the text format; returns the first offending line on error. *)
+val parse : string -> (t, string) result
+
+(** Render back to the text format ([parse] o [to_string] = identity). *)
+val to_string : t -> string
+
+(** [synthesize rng ~ops ~files ~mean_io ~write_fraction ~dir] builds a
+    random trace over [files] files under [dir] with
+    exponentially-distributed I/O sizes around [mean_io]. *)
+val synthesize :
+  Rng.t ->
+  ops:int ->
+  files:int ->
+  mean_io:int ->
+  write_fraction:float ->
+  dir:string ->
+  t
+
+(** [replay ctx ~view ?threads trace] executes the trace (split
+    round-robin over [threads], default 1) against the filesystem view;
+    returns the I/O statistics and the elapsed simulated time.  Replay
+    errors (e.g. reads of never-written files) are tolerated and
+    counted. *)
+val replay :
+  Workload.ctx ->
+  view:Workload.view ->
+  ?threads:int ->
+  t ->
+  Workload.io_stats * float * int

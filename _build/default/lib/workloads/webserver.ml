@@ -1,0 +1,75 @@
+open Danaus_sim
+open Danaus_kernel
+
+type params = {
+  files : int;
+  mean_file_size : int;
+  threads : int;
+  duration : float;
+  reads_per_loop : int;
+  log_append : int;
+  dir : string;
+  request_cpu : float;
+}
+
+let default_params =
+  {
+    files = 200_000;
+    mean_file_size = 16 * 1024;
+    threads = 50;
+    duration = 120.0;
+    reads_per_loop = 10;
+    log_append = 16 * 1024;
+    dir = "/www";
+    (* HTTP parsing/response assembly per request *)
+    request_cpu = 20.0e-6;
+  }
+
+type result = { stats : Workload.io_stats; elapsed : float; throughput_mbps : float }
+
+let run ctx ~fs p =
+  let engine = ctx.Workload.engine in
+  let pool = ctx.Workload.pool in
+  (* steady state: the document set is hot in the page cache (the paper
+     runs the server continuously), so the workload is CPU-heavy reads
+     plus log appends *)
+  for idx = 0 to p.files - 1 do
+    Local_fs.warm fs ~path:(Printf.sprintf "%s/doc%06d" p.dir idx) ~off:0
+      ~len:(2 * p.mean_file_size)
+  done;
+  let stats = Workload.fresh_stats () in
+  let started = Engine.now engine in
+  let deadline = started +. p.duration in
+  let wg = Waitgroup.create engine in
+  for thread = 1 to p.threads do
+    Waitgroup.add wg;
+    let rng = Rng.split ctx.Workload.rng in
+    Engine.fork ~name:(Printf.sprintf "wbs-%d" thread) (fun () ->
+        while Engine.time () < deadline do
+          for _ = 1 to p.reads_per_loop do
+            let idx = Rng.int rng p.files in
+            let size =
+              Stdlib.max 1024
+                (int_of_float
+                   (Rng.gamma_like rng ~mean:(float_of_int p.mean_file_size) ~shape:2))
+            in
+            let t0 = Engine.time () in
+            Workload.app_cpu ctx p.request_cpu;
+            Local_fs.read fs ~pool
+              ~path:(Printf.sprintf "%s/doc%06d" p.dir idx)
+              ~off:0 ~len:size;
+            Workload.record stats ~started:t0 ~now:(Engine.time ()) ~read:size
+              ~written:0
+          done;
+          let t0 = Engine.time () in
+          Local_fs.write fs ~pool
+            ~path:(Printf.sprintf "%s/weblog%d" p.dir thread)
+            ~off:0 ~len:p.log_append;
+          Workload.record stats ~started:t0 ~now:(Engine.time ()) ~read:0
+            ~written:p.log_append
+        done;
+        Waitgroup.finish wg)
+  done;
+  Waitgroup.wait wg;
+  let elapsed = Engine.now engine -. started in
+  { stats; elapsed; throughput_mbps = Workload.throughput_mbps stats ~elapsed }

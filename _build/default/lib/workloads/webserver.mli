@@ -1,0 +1,22 @@
+open Danaus_kernel
+
+(** Filebench Webserver (WBS): many threads each reading ten whole small
+    files and appending to a shared log, over a local kernel filesystem
+    (§6.2: 50 threads, 200 K files of 16 KB mean, ext4/RAID-0). *)
+
+type params = {
+  files : int;
+  mean_file_size : int;
+  threads : int;
+  duration : float;
+  reads_per_loop : int;
+  log_append : int;
+  dir : string;
+  request_cpu : float;  (** HTTP processing CPU per served file *)
+}
+
+val default_params : params
+
+type result = { stats : Workload.io_stats; elapsed : float; throughput_mbps : float }
+
+val run : Workload.ctx -> fs:Local_fs.t -> params -> result

@@ -1,0 +1,49 @@
+open Danaus_sim
+open Danaus_hw
+open Danaus_kernel
+open Danaus_client
+
+type ctx = { engine : Engine.t; cpu : Cpu.t; pool : Cgroup.t; rng : Rng.t }
+
+let make_ctx engine ~cpu ~pool ~seed = { engine; cpu; pool; rng = Rng.create seed }
+
+let app_cpu ctx dt =
+  if dt > 0.0 then
+    Cpu.compute ctx.cpu ~tenant:(Cgroup.name ctx.pool) ~eligible:(Cgroup.cores ctx.pool)
+      dt
+
+type io_stats = {
+  mutable ops : int;
+  mutable bytes_read : float;
+  mutable bytes_written : float;
+  op_latency : Stats.t;
+}
+
+let fresh_stats () =
+  { ops = 0; bytes_read = 0.0; bytes_written = 0.0; op_latency = Stats.create () }
+
+let record s ~started ~now ~read ~written =
+  s.ops <- s.ops + 1;
+  s.bytes_read <- s.bytes_read +. float_of_int read;
+  s.bytes_written <- s.bytes_written +. float_of_int written;
+  Stats.add s.op_latency (now -. started)
+
+let throughput_mbps s ~elapsed =
+  if elapsed <= 0.0 then 0.0
+  else (s.bytes_read +. s.bytes_written) /. elapsed /. 1.0e6
+
+let chunked ~chunk ~total f =
+  assert (chunk > 0);
+  let off = ref 0 in
+  while !off < total do
+    let len = Stdlib.min chunk (total - !off) in
+    f ~off:!off ~len;
+    off := !off + len
+  done
+
+type view = thread:int -> Client_intf.t
+
+let exn_on_error what = function
+  | Ok v -> v
+  | Error e ->
+      failwith (Printf.sprintf "%s: %s" what (Client_intf.error_to_string e))

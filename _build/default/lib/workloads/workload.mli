@@ -1,0 +1,42 @@
+open Danaus_sim
+open Danaus_hw
+open Danaus_kernel
+open Danaus_client
+
+(** Shared plumbing of the workload generators: the execution context of
+    one workload instance (its pool, RNG stream and CPU handle) and
+    common result bookkeeping. *)
+
+type ctx = { engine : Engine.t; cpu : Cpu.t; pool : Cgroup.t; rng : Rng.t }
+
+val make_ctx : Engine.t -> cpu:Cpu.t -> pool:Cgroup.t -> seed:int -> ctx
+
+(** Burn application-level CPU on the pool's cores. *)
+val app_cpu : ctx -> float -> unit
+
+(** Per-instance I/O accounting filled in by the generators. *)
+type io_stats = {
+  mutable ops : int;
+  mutable bytes_read : float;
+  mutable bytes_written : float;
+  op_latency : Stats.t;
+}
+
+val fresh_stats : unit -> io_stats
+
+(** Record one completed operation. *)
+val record : io_stats -> started:float -> now:float -> read:int -> written:int -> unit
+
+(** Aggregate throughput in MB/s over [elapsed] seconds. *)
+val throughput_mbps : io_stats -> elapsed:float -> float
+
+(** [chunked ~chunk ~total f] calls [f ~off ~len] over consecutive
+    chunks covering [total] bytes. *)
+val chunked : chunk:int -> total:int -> (off:int -> len:int -> unit) -> unit
+
+(** A filesystem view per application thread (Danaus pins threads to IPC
+    queues by this identifier; other stacks ignore it). *)
+type view = thread:int -> Client_intf.t
+
+(** Fail the simulation on an unexpected I/O error. *)
+val exn_on_error : string -> ('a, Client_intf.error) result -> 'a

@@ -1,0 +1,1 @@
+test/test_ceph.ml: Alcotest Array Cluster Crush Danaus_ceph Danaus_hw Danaus_sim Disk Engine Fspath Gen Int List Mds Namespace Net Osd Printf QCheck QCheck_alcotest Result String Striper

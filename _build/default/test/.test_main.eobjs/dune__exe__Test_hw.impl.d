@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Array Cpu Danaus_hw Danaus_sim Disk Engine Float Gen Int List Memory Net Pheap Printf QCheck QCheck_alcotest Topology

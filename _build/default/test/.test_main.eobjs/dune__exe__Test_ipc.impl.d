@@ -1,0 +1,1 @@
+test/test_ipc.ml: Alcotest Array Cgroup Counters Danaus_hw Danaus_ipc Danaus_kernel Danaus_sim Engine Gen Kernel List Memory Option QCheck QCheck_alcotest Ring Shm Testbed Transport

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Cgroup Costs Counters Cpu Danaus_hw Danaus_kernel Danaus_sim Disk Engine Fuse Kernel List Local_fs Mutex_sim Page_cache

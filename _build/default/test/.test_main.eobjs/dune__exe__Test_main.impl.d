@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_ceph Test_client Test_core Test_hw Test_integration Test_ipc Test_kernel Test_sim Test_union Test_workloads

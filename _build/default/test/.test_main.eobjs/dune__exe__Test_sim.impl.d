@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Channel Condition_sim Counters Danaus_sim Engine Float Gen Int List Mutex_sim Pheap QCheck QCheck_alcotest Rng Semaphore_sim Stats Waitgroup

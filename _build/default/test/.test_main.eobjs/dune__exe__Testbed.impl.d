@@ -1,0 +1,1 @@
+test/testbed.ml: Alcotest Array Cgroup Client_intf Cluster Cpu Danaus_ceph Danaus_client Danaus_hw Danaus_kernel Danaus_sim Danaus_workloads Disk Engine Kernel Lib_client Mds Net Osd Printf Stdlib

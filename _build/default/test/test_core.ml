@@ -1,0 +1,501 @@
+(* Tests for the Danaus core: mount tables, Table 1 configs, the
+   filesystem service (default + legacy paths), the filesystem library
+   and the container engine. *)
+
+open Danaus_sim
+open Danaus_hw
+open Danaus_kernel
+open Danaus_ceph
+open Danaus_client
+open Danaus
+open Testbed
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let topo = Topology.paper_machine ()
+
+(* ------------------------------------------------------------------ *)
+(* Mount_table / Config *)
+
+let test_mount_table_longest_prefix () =
+  let mt = Mount_table.create () in
+  Mount_table.add mt ~mount_point:"/" 1;
+  Mount_table.add mt ~mount_point:"/data" 2;
+  Mount_table.add mt ~mount_point:"/data/logs" 3;
+  (match Mount_table.resolve mt "/data/logs/x" with
+  | Some (3, "/x") -> ()
+  | Some (v, rest) -> Alcotest.failf "got (%d, %s)" v rest
+  | None -> Alcotest.fail "no resolution");
+  (match Mount_table.resolve mt "/data/other" with
+  | Some (2, "/other") -> ()
+  | _ -> Alcotest.fail "wrong branch");
+  (match Mount_table.resolve mt "/etc/passwd" with
+  | Some (1, "/etc/passwd") -> ()
+  | _ -> Alcotest.fail "root fallback");
+  match Mount_table.resolve mt "/data" with
+  | Some (2, "/") -> ()
+  | _ -> Alcotest.fail "exact mount point"
+
+let test_mount_table_no_match () =
+  let mt = Mount_table.create () in
+  Mount_table.add mt ~mount_point:"/data" 1;
+  check_bool "no match outside mounts" true (Mount_table.resolve mt "/etc" = None);
+  check_bool "prefix is component-wise" true (Mount_table.resolve mt "/database" = None)
+
+let test_config_table () =
+  check_int "8 configurations" 8 (List.length Config.all);
+  (match Config.of_label "FP/FP" with
+  | Some c ->
+      check_bool "FP/FP client" true (c.Config.client = Config.Ceph_fuse_pagecache);
+      check_bool "FP/FP union" true (c.Config.union_transport = Config.Fuse_pagecache_u)
+  | None -> Alcotest.fail "FP/FP missing");
+  check_bool "unknown label" true (Config.of_label "X" = None);
+  let rendered = Config.table1 () in
+  List.iter
+    (fun c ->
+      check_bool (c.Config.label ^ " in table") true
+        (Astring.String.is_infix ~affix:c.Config.label rendered))
+    Config.all
+
+(* ------------------------------------------------------------------ *)
+(* Fs_service *)
+
+let make_service w pool name =
+  Fs_service.create w.kernel ~pool ~topology:topo ~name
+
+let test_service_default_path () =
+  let w = make_world () in
+  let pool = pool_of () in
+  let lib = make_lib_client w pool "c0" in
+  let instance = Lib_client.iface lib in
+  let svc = make_service w pool "svc0" in
+  Fs_service.add_instance svc ~mount_point:"/ct0" instance;
+  let view = Fs_service.view svc ~instance ~thread:1 in
+  Engine.spawn w.engine (fun () ->
+      let fd = ok_or_fail "open" (view.Client_intf.open_file ~pool "/f" Client_intf.flags_wo) in
+      ok_or_fail "write" (view.Client_intf.write ~pool fd ~off:0 ~len:4096);
+      check_int "read back" 4096
+        (ok_or_fail "read" (view.Client_intf.read ~pool fd ~off:0 ~len:4096));
+      view.Client_intf.close ~pool fd);
+  Engine.run_until w.engine 30.0;
+  check_bool "requests went through the IPC transport" true (Fs_service.requests svc >= 4);
+  (* fast path never entered the kernel *)
+  Alcotest.(check (float 0.0)) "no FUSE requests" 0.0
+    (Counters.get (Kernel.counters w.kernel) ~metric:"fuse_requests" ~key:"pool0")
+
+let test_service_legacy_path_dispatch () =
+  let w = make_world () in
+  let pool = pool_of () in
+  let lib = make_lib_client w pool "c0" in
+  let instance = Lib_client.iface lib in
+  let svc = make_service w pool "svc0" in
+  Fs_service.add_instance svc ~mount_point:"/ct0" instance;
+  let legacy = Fs_service.legacy_iface svc in
+  Engine.spawn w.engine (fun () ->
+      (* create via the default path, read via the legacy path *)
+      let view = Fs_service.view svc ~instance ~thread:1 in
+      let fd = ok_or_fail "open" (view.Client_intf.open_file ~pool "/bin/app" Client_intf.flags_wo) in
+      ok_or_fail "write" (view.Client_intf.write ~pool fd ~off:0 ~len:8192);
+      view.Client_intf.close ~pool fd;
+      let lfd =
+        ok_or_fail "legacy open"
+          (legacy.Client_intf.open_file ~pool "/ct0/bin/app" Client_intf.flags_ro)
+      in
+      check_int "legacy read" 8192
+        (ok_or_fail "read" (legacy.Client_intf.read ~pool lfd ~off:0 ~len:8192));
+      legacy.Client_intf.close ~pool lfd);
+  Engine.run_until w.engine 30.0;
+  check_bool "legacy path crossed FUSE" true
+    (Counters.get (Kernel.counters w.kernel) ~metric:"fuse_requests" ~key:"pool0" >= 3.0)
+
+let test_service_legacy_unknown_mount () =
+  let w = make_world () in
+  let pool = pool_of () in
+  let svc = make_service w pool "svc0" in
+  let legacy = Fs_service.legacy_iface svc in
+  Engine.spawn w.engine (fun () ->
+      match legacy.Client_intf.stat ~pool "/nope/f" with
+      | Error (Client_intf.Fs Namespace.No_entry) -> ()
+      | _ -> Alcotest.fail "expected ENOENT on unknown mount");
+  Engine.run_until w.engine 10.0
+
+(* ------------------------------------------------------------------ *)
+(* Fs_library *)
+
+let test_library_routes_and_fallback () =
+  let w = make_world () in
+  let pool = pool_of () in
+  let lib = make_lib_client w pool "c0" in
+  let instance = Lib_client.iface lib in
+  let svc = make_service w pool "svc0" in
+  Fs_service.add_instance svc ~mount_point:"/mnt" instance;
+  (* the legacy side is a second, separate client *)
+  let legacy_client = make_lib_client w pool "legacy" in
+  let flib =
+    Fs_library.create ~mounts:[ ("/mnt", (svc, instance)) ]
+      ~legacy:(Lib_client.iface legacy_client)
+  in
+  let i = Fs_library.iface flib ~thread:7 in
+  Engine.spawn w.engine (fun () ->
+      (* mounted path: served by the service *)
+      let fd = ok_or_fail "open" (i.Client_intf.open_file ~pool "/mnt/a" Client_intf.flags_wo) in
+      ok_or_fail "write" (i.Client_intf.write ~pool fd ~off:0 ~len:1024);
+      check_int "lib fds tracked" 1 (Fs_library.open_files flib);
+      i.Client_intf.close ~pool fd;
+      check_int "fd released" 0 (Fs_library.open_files flib);
+      (* unmounted path: falls through to the legacy client *)
+      let fd2 = ok_or_fail "open2" (i.Client_intf.open_file ~pool "/tmp/x" Client_intf.flags_wo) in
+      ok_or_fail "write2" (i.Client_intf.write ~pool fd2 ~off:0 ~len:512);
+      i.Client_intf.close ~pool fd2;
+      (* the file landed in the legacy client's view of the cluster *)
+      check_bool "legacy file exists" true
+        (Result.is_ok ((Lib_client.iface legacy_client).Client_intf.stat ~pool "/tmp/x")));
+  Engine.run_until w.engine 30.0;
+  check_bool "mounted I/O used the transport" true (Fs_service.requests svc >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Container_engine *)
+
+let make_engine w = Container_engine.create ~kernel:w.kernel ~cluster:w.cluster ~topology:topo
+
+let smoke_config config =
+  let w = make_world () in
+  let engine = make_engine w in
+  let pool = pool_of () in
+  Container_engine.install_image engine ~name:"debian"
+    ~files:[ ("/etc/passwd", 1024); ("/bin/sh", 65536) ];
+  let ct =
+    Container_engine.launch engine ~config ~pool ~id:"ct0" ~image:"debian" ()
+  in
+  Engine.spawn w.engine (fun () ->
+      let i = ct.Container_engine.view ~thread:1 in
+      (* image file visible through the union *)
+      let a = ok_or_fail "stat image file" (i.Client_intf.stat ~pool "/etc/passwd") in
+      check_int (config.Config.label ^ ": image size") 1024 a.Namespace.size;
+      (* write a private file *)
+      let fd = ok_or_fail "open" (i.Client_intf.open_file ~pool "/var/log" Client_intf.flags_wo) in
+      ok_or_fail "write" (i.Client_intf.write ~pool fd ~off:0 ~len:4096);
+      check_int
+        (config.Config.label ^ ": read back")
+        4096
+        (ok_or_fail "read" (i.Client_intf.read ~pool fd ~off:0 ~len:4096));
+      i.Client_intf.close ~pool fd;
+      (* the legacy path sees the same root *)
+      let lfd =
+        ok_or_fail "legacy open"
+          (ct.Container_engine.legacy.Client_intf.open_file ~pool "/etc/passwd"
+             Client_intf.flags_ro)
+      in
+      check_int
+        (config.Config.label ^ ": legacy read")
+        1024
+        (ok_or_fail "legacy read" (ct.Container_engine.legacy.Client_intf.read ~pool lfd ~off:0 ~len:4096));
+      ct.Container_engine.legacy.Client_intf.close ~pool lfd);
+  Engine.run_until w.engine 120.0;
+  check_int "no stuck processes" 0
+    (max 0 (Engine.live_processes w.engine - 1000000))
+
+let test_all_configs_smoke () = List.iter smoke_config Config.all
+
+let test_clones_share_client () =
+  let w = make_world () in
+  let engine = make_engine w in
+  let pool = pool_of ~cores:[| 0; 1; 2; 3 |] () in
+  Container_engine.install_image engine ~name:"img" ~files:[ ("/app", 4096) ];
+  let c1 = Container_engine.launch engine ~config:Config.d ~pool ~id:"a" ~image:"img" () in
+  let c2 = Container_engine.launch engine ~config:Config.d ~pool ~id:"b" ~image:"img" () in
+  check_bool "one shared client" true
+    (Container_engine.client_of engine ~pool ~config:Config.d <> None);
+  check_bool "one shared service" true
+    (Container_engine.service_of engine ~pool ~config:Config.d <> None);
+  Engine.spawn w.engine (fun () ->
+      let i1 = c1.Container_engine.view ~thread:1 in
+      let i2 = c2.Container_engine.view ~thread:2 in
+      (* both clones read the shared image file; the shared client caches
+         it once *)
+      let fd1 = ok_or_fail "open1" (i1.Client_intf.open_file ~pool "/app" Client_intf.flags_ro) in
+      ignore (ok_or_fail "read1" (i1.Client_intf.read ~pool fd1 ~off:0 ~len:4096));
+      let fd2 = ok_or_fail "open2" (i2.Client_intf.open_file ~pool "/app" Client_intf.flags_ro) in
+      ignore (ok_or_fail "read2" (i2.Client_intf.read ~pool fd2 ~off:0 ~len:4096));
+      (* writes are private: a's upper branch does not leak into b *)
+      let wfd = ok_or_fail "openw" (i1.Client_intf.open_file ~pool "/private" Client_intf.flags_wo) in
+      ok_or_fail "write" (i1.Client_intf.write ~pool wfd ~off:0 ~len:100);
+      i1.Client_intf.close ~pool wfd;
+      match i2.Client_intf.stat ~pool "/private" with
+      | Error (Client_intf.Fs Namespace.No_entry) -> ()
+      | _ -> Alcotest.fail "write leaked across clones");
+  Engine.run_until w.engine 120.0;
+  (* user cache bounded: the image block cached once, not twice *)
+  check_bool "shared cache holds one copy" true (c1.Container_engine.user_memory () <= 65536 * 4);
+  check_bool "same memory view from both clones" true
+    (c1.Container_engine.user_memory () = c2.Container_engine.user_memory ())
+
+let test_scaleout_private_clients () =
+  let w = make_world () in
+  let engine = make_engine w in
+  let p0 = pool_of ~name:"p0" ~cores:[| 0; 1 |] () in
+  let p1 = pool_of ~name:"p1" ~cores:[| 2; 3 |] () in
+  let _c0 = Container_engine.launch engine ~config:Config.d ~pool:p0 ~id:"x" () in
+  let _c1 = Container_engine.launch engine ~config:Config.d ~pool:p1 ~id:"y" () in
+  let cl0 = Container_engine.client_of engine ~pool:p0 ~config:Config.d in
+  let cl1 = Container_engine.client_of engine ~pool:p1 ~config:Config.d in
+  check_bool "distinct clients per pool" true
+    (match (cl0, cl1) with
+    | Some a, Some b -> a.Client_intf.name <> b.Client_intf.name
+    | _ -> false)
+
+let test_danaus_fast_path_no_kernel () =
+  let w = make_world () in
+  let engine = make_engine w in
+  let pool = pool_of () in
+  let ct = Container_engine.launch engine ~config:Config.d ~pool ~id:"ct" () in
+  Engine.spawn w.engine (fun () ->
+      let i = ct.Container_engine.view ~thread:1 in
+      let fd = ok_or_fail "open" (i.Client_intf.open_file ~pool "/f" Client_intf.flags_wo) in
+      ok_or_fail "write" (i.Client_intf.write ~pool fd ~off:0 ~len:65536);
+      ignore (ok_or_fail "read" (i.Client_intf.read ~pool fd ~off:0 ~len:65536));
+      i.Client_intf.close ~pool fd);
+  Engine.run_until w.engine 30.0;
+  Alcotest.(check (float 0.0)) "no FUSE on default path" 0.0
+    (Counters.get (Kernel.counters w.kernel) ~metric:"fuse_requests" ~key:"pool0");
+  check_bool "IPC requests flowed" true
+    (Counters.get (Kernel.counters w.kernel) ~metric:"ipc_requests" ~key:"pool0" > 0.0)
+
+let test_install_image () =
+  let w = make_world () in
+  let engine = make_engine w in
+  Container_engine.install_image engine ~name:"base"
+    ~files:[ ("/bin/sh", 100); ("/lib/libc.so", 200) ];
+  let ns = Cluster.namespace w.cluster in
+  (match Namespace.lookup ns "/images/base/lib/libc.so" with
+  | Some a -> check_int "size recorded" 200 a.Namespace.size
+  | None -> Alcotest.fail "image file missing");
+  check_str "listing" "bin,lib"
+    (String.concat ","
+       (match Namespace.readdir ns "/images/base" with Ok l -> l | Error _ -> []))
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "core.mount_table",
+      [
+        tc "longest prefix" `Quick test_mount_table_longest_prefix;
+        tc "no match" `Quick test_mount_table_no_match;
+      ] );
+    ("core.config", [ tc "table 1" `Quick test_config_table ]);
+    ( "core.fs_service",
+      [
+        tc "default path via IPC" `Quick test_service_default_path;
+        tc "legacy path via FUSE" `Quick test_service_legacy_path_dispatch;
+        tc "legacy unknown mount" `Quick test_service_legacy_unknown_mount;
+      ] );
+    ("core.fs_library", [ tc "routing and fallback" `Quick test_library_routes_and_fallback ]);
+    ( "core.container_engine",
+      [
+        tc "all Table 1 configs boot" `Quick test_all_configs_smoke;
+        tc "clones share the client" `Quick test_clones_share_client;
+        tc "scaleout private clients" `Quick test_scaleout_private_clients;
+        tc "Danaus fast path avoids kernel" `Quick test_danaus_fast_path_no_kernel;
+        tc "install image" `Quick test_install_image;
+      ] );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Libservice facade: compose a stack the way §3.1 describes *)
+
+let test_libservice_stacking () =
+  let w = make_world () in
+  let pool = pool_of () in
+  let backend = Libservice.of_client (Lib_client.iface (make_lib_client w pool "ls")) in
+  let done_ = ref false in
+  Engine.spawn w.engine (fun () ->
+      ok_or_fail "mk" (backend.Client_intf.mkdir_p ~pool "/up");
+      ok_or_fail "mk" (backend.Client_intf.mkdir_p ~pool "/low");
+      write_file backend ~pool "/low/app" 4096;
+      (* union libservice over two subtrees of the backend, by function
+         calls only *)
+      let union =
+        Libservice.union_over ~name:"ls-union"
+          ~branches:[ (backend, "/up", true); (backend, "/low", false) ]
+          ~charge:(pool_charge w) ()
+      in
+      check_int "lower visible" 4096
+        (ok_or_fail "stat" (union.Client_intf.stat ~pool "/app")).Namespace.size;
+      (* a subtree view of the union *)
+      ignore
+        (ok_or_fail "mkdir" (union.Client_intf.mkdir_p ~pool "/data"));
+      let scoped = Libservice.subtree ~prefix:"/data" union in
+      let fd = ok_or_fail "open" (scoped.Client_intf.open_file ~pool "/x" Client_intf.flags_wo) in
+      ok_or_fail "write" (scoped.Client_intf.write ~pool fd ~off:0 ~len:100);
+      scoped.Client_intf.close ~pool fd;
+      check_bool "wrote through the scoped view" true
+        (Result.is_ok (union.Client_intf.stat ~pool "/data/x"));
+      (* a FUSE transport in front of the same stack *)
+      let fused = Libservice.fuse_transport w.kernel ~pool ~name:"ls-fuse" union in
+      check_int "reachable through FUSE" 4096
+        (ok_or_fail "stat" (fused.Client_intf.stat ~pool "/app")).Namespace.size;
+      done_ := true);
+  Engine.run_until w.engine 120.0;
+  check_bool "completed" true !done_
+
+let test_kvstore_write_stall () =
+  (* throttle the compaction (1 thread, tiny triggers) and hammer puts:
+     the L0 stall must engage *)
+  let w = make_world () in
+  let pool = pool_of () in
+  let engine = Container_engine.create ~kernel:w.kernel ~cluster:w.cluster ~topology:topo in
+  let ct = Container_engine.launch engine ~config:Config.d ~pool ~id:"stall" () in
+  let stalls = ref 0 in
+  Engine.spawn w.engine (fun () ->
+      let ctx = Testbed_ctx.make w pool in
+      let kv =
+        Danaus_workloads.Kvstore.create ctx ~view:ct.Container_engine.view
+          {
+            Danaus_workloads.Kvstore.default_params with
+            Danaus_workloads.Kvstore.memtable_bytes = 1024 * 1024;
+            compaction_threads = 1;
+            l0_compaction_trigger = 2;
+            l0_stall_trigger = 3;
+            value_bytes = 128 * 1024;
+          }
+      in
+      Danaus_workloads.Kvstore.populate kv ~thread:1 ~bytes:(64 * 1024 * 1024);
+      stalls := Danaus_workloads.Kvstore.stalls kv;
+      Danaus_workloads.Kvstore.shutdown kv);
+  Engine.run_until w.engine 600.0;
+  check_bool "writers stalled on L0 depth" true (!stalls > 0)
+
+let test_multi_layer_image () =
+  (* stacked image layers: the app layer overrides the base layer, and a
+     whiteout in the app layer hides a base file (§2.2) *)
+  let w = make_world () in
+  let engine = make_engine w in
+  let pool = pool_of () in
+  Container_engine.install_image engine ~name:"base"
+    ~files:[ ("/etc/conf", 100); ("/bin/tool", 500); ("/bin/legacy", 300) ];
+  Container_engine.install_image engine ~name:"app"
+    ~files:[ ("/etc/conf", 200); ("/bin/.wh.legacy", 0); ("/srv/app", 900) ];
+  let ct =
+    Container_engine.launch engine ~config:Config.d ~pool ~id:"ml" ~image:"app"
+      ~layers:[ "base" ] ()
+  in
+  Engine.spawn w.engine (fun () ->
+      let i = ct.Container_engine.view ~thread:1 in
+      check_int "app layer overrides base" 200
+        (ok_or_fail "stat" (i.Client_intf.stat ~pool "/etc/conf")).Namespace.size;
+      check_int "base layer visible below" 500
+        (ok_or_fail "stat" (i.Client_intf.stat ~pool "/bin/tool")).Namespace.size;
+      check_int "app-only file visible" 900
+        (ok_or_fail "stat" (i.Client_intf.stat ~pool "/srv/app")).Namespace.size;
+      (match i.Client_intf.stat ~pool "/bin/legacy" with
+      | Error (Client_intf.Fs Namespace.No_entry) -> ()
+      | _ -> Alcotest.fail "app-layer whiteout ignored");
+      Alcotest.(check (list string)) "merged /bin" [ "tool" ]
+        (ok_or_fail "readdir" (i.Client_intf.readdir ~pool "/bin")));
+  Engine.run_until w.engine 60.0
+
+let test_multiple_services_per_tenant () =
+  (* §5 flexibility: one tenant, two filesystem services with distinct
+     cache settings, both mounted into one process's library state *)
+  let w = make_world () in
+  let pool = pool_of () in
+  let fast_client = make_lib_client ~cache:(mib 512) w pool "fastc" in
+  let small_client = make_lib_client ~cache:(mib 16) w pool "smallc" in
+  let svc1 = make_service w pool "svc-fast" in
+  let svc2 = make_service w pool "svc-small" in
+  let i1 = Lib_client.iface fast_client and i2 = Lib_client.iface small_client in
+  Fs_service.add_instance svc1 ~mount_point:"/fast" i1;
+  Fs_service.add_instance svc2 ~mount_point:"/small" i2;
+  let flib =
+    Fs_library.create
+      ~mounts:[ ("/fast", (svc1, i1)); ("/small", (svc2, i2)) ]
+      ~legacy:i1
+  in
+  let i = Fs_library.iface flib ~thread:1 in
+  Engine.spawn w.engine (fun () ->
+      let fd1 = ok_or_fail "open fast" (i.Client_intf.open_file ~pool "/fast/a" Client_intf.flags_wo) in
+      ok_or_fail "write fast" (i.Client_intf.write ~pool fd1 ~off:0 ~len:(mib 4));
+      let fd2 = ok_or_fail "open small" (i.Client_intf.open_file ~pool "/small/b" Client_intf.flags_wo) in
+      ok_or_fail "write small" (i.Client_intf.write ~pool fd2 ~off:0 ~len:(mib 4));
+      i.Client_intf.close ~pool fd1;
+      i.Client_intf.close ~pool fd2;
+      (* each service's client cached its own file under its own limit *)
+      check_bool "fast cache holds it all" true
+        (Lib_client.cache_used fast_client >= mib 4);
+      check_bool "small cache bounded" true
+        (Lib_client.cache_used small_client <= mib 17));
+  Engine.run_until w.engine 120.0;
+  check_bool "both services served requests" true
+    (Fs_service.requests svc1 > 0 && Fs_service.requests svc2 > 0)
+
+let extra_core_suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "core.libservice",
+      [
+        tc "stacking facade" `Quick test_libservice_stacking;
+        tc "kvstore write stall" `Quick test_kvstore_write_stall;
+        tc "multiple services per tenant" `Quick test_multiple_services_per_tenant;
+        tc "multi-layer image" `Quick test_multi_layer_image;
+      ] );
+  ]
+
+let suite = suite @ extra_core_suite
+
+let test_library_fd_ops_via_mount () =
+  let w = make_world () in
+  let pool = pool_of () in
+  let lib = make_lib_client w pool "cfd" in
+  let instance = Lib_client.iface lib in
+  let svc = make_service w pool "svcfd" in
+  Fs_service.add_instance svc ~mount_point:"/m" instance;
+  let flib = Fs_library.create ~mounts:[ ("/m", (svc, instance)) ] ~legacy:instance in
+  let i = Fs_library.iface flib ~thread:1 in
+  Engine.spawn w.engine (fun () ->
+      let fd = ok_or_fail "open" (i.Client_intf.open_file ~pool "/m/log" Client_intf.flags_wo) in
+      ok_or_fail "write" (i.Client_intf.write ~pool fd ~off:0 ~len:4096);
+      ok_or_fail "append" (i.Client_intf.append ~pool fd ~len:1024);
+      check_int "size after append" 5120 (ok_or_fail "size" (i.Client_intf.fd_size fd));
+      ok_or_fail "fsync" (i.Client_intf.fsync ~pool fd);
+      i.Client_intf.close ~pool fd;
+      ok_or_fail "rename in mount"
+        (i.Client_intf.rename ~pool ~src:"/m/log" ~dst:"/m/log.1");
+      check_int "renamed size" 5120
+        (ok_or_fail "stat" (i.Client_intf.stat ~pool "/m/log.1")).Namespace.size;
+      (* cross-mount rename is rejected *)
+      match i.Client_intf.rename ~pool ~src:"/m/log.1" ~dst:"/elsewhere/x" with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "cross-mount rename should fail");
+  Engine.run_until w.engine 60.0
+
+let fd_ops_suite =
+  [ ("core.fs_library_ops", [ Alcotest.test_case "fd ops via mount" `Quick test_library_fd_ops_via_mount ]) ]
+
+let suite = suite @ fd_ops_suite
+
+let test_fsync_durability_all_configs () =
+  (* fsync must not return before the data is on the OSDs, whatever the
+     stack *)
+  List.iter
+    (fun config ->
+      let w = make_world () in
+      let engine = make_engine w in
+      let pool = pool_of () in
+      let ct = Container_engine.launch engine ~config ~pool ~id:"dur" () in
+      Engine.spawn w.engine (fun () ->
+          let v = ct.Container_engine.view ~thread:1 in
+          let fd = ok_or_fail "open" (v.Client_intf.open_file ~pool "/d" Client_intf.flags_wo) in
+          ok_or_fail "write" (v.Client_intf.write ~pool fd ~off:0 ~len:(mib 2));
+          ok_or_fail "fsync" (v.Client_intf.fsync ~pool fd);
+          check_bool
+            (config.Config.label ^ ": data durable at fsync return")
+            true
+            (total_osd_written w.cluster >= float_of_int (mib 2)));
+      Engine.run_until w.engine 120.0)
+    Config.all
+
+let durability_suite =
+  [ ("core.durability", [ Alcotest.test_case "fsync durable on all configs" `Quick test_fsync_durability_all_configs ]) ]
+
+let suite = suite @ durability_suite

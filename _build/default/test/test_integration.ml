@@ -1,0 +1,527 @@
+(* End-to-end integration tests over the full paper testbed: boot, every
+   Table 1 configuration exercised through the experiment harness's
+   testbed, determinism of the simulation, fault containment and
+   degraded-backend behaviour. *)
+
+open Danaus_sim
+open Danaus_hw
+open Danaus_kernel
+open Danaus_ceph
+open Danaus_client
+open Danaus
+open Danaus_experiments
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let mib n = n * 1024 * 1024
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what (Client_intf.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+
+let test_testbed_boots () =
+  let tb = Testbed.create ~activated:8 () in
+  check_int "64 cores" 64 (Cpu.core_count tb.Testbed.cpu);
+  check_int "6 OSDs" 6 (Array.length (Cluster.osds tb.Testbed.cluster));
+  check_int "8 activated" 8 (Array.length (Kernel.activated tb.Testbed.kernel))
+
+let test_mixed_io_all_configs_on_testbed () =
+  (* one container per Table 1 config on its own pool, all concurrently
+     on one host, each doing create/write/read/readdir/rename/unlink *)
+  let tb = Testbed.create ~activated:16 () in
+  Container_engine.install_image tb.Testbed.containers ~name:"base"
+    ~files:[ ("/bin/sh", 65536) ];
+  let finished = ref 0 in
+  List.iteri
+    (fun i config ->
+      let pool = Testbed.pool tb i in
+      let ct =
+        Container_engine.launch tb.Testbed.containers ~config ~pool
+          ~id:("it" ^ string_of_int i) ~image:"base" ()
+      in
+      Engine.spawn tb.Testbed.engine (fun () ->
+          let v = ct.Container_engine.view ~thread:1 in
+          let label = config.Config.label in
+          ok (label ^ " mkdir") (v.Client_intf.mkdir_p ~pool "/work");
+          let fd =
+            ok (label ^ " open") (v.Client_intf.open_file ~pool "/work/a" Client_intf.flags_wo)
+          in
+          ok (label ^ " write") (v.Client_intf.write ~pool fd ~off:0 ~len:(mib 2));
+          ok (label ^ " fsync") (v.Client_intf.fsync ~pool fd);
+          check_int (label ^ " read") (mib 2)
+            (ok (label ^ " read") (v.Client_intf.read ~pool fd ~off:0 ~len:(mib 2)));
+          v.Client_intf.close ~pool fd;
+          ok (label ^ " rename")
+            (v.Client_intf.rename ~pool ~src:"/work/a" ~dst:"/work/b");
+          let names = ok (label ^ " readdir") (v.Client_intf.readdir ~pool "/work") in
+          Alcotest.(check (list string)) (label ^ " listing") [ "b" ] names;
+          ok (label ^ " unlink") (v.Client_intf.unlink ~pool "/work/b");
+          (* the image file is still reachable below the union *)
+          check_int (label ^ " image intact") 65536
+            (ok (label ^ " stat") (v.Client_intf.stat ~pool "/bin/sh")).Namespace.size;
+          incr finished))
+    Config.all;
+  Testbed.drive tb ~stop:(fun () -> !finished = List.length Config.all)
+
+let test_determinism_same_seed () =
+  (* the same simulated scenario produces bit-identical results *)
+  let run () =
+    let tb = Testbed.create ~activated:4 () in
+    let pool = Testbed.pool tb 0 in
+    let ct =
+      Container_engine.launch tb.Testbed.containers ~config:Config.d ~pool ~id:"det" ()
+    in
+    let result = ref None in
+    Engine.spawn tb.Testbed.engine (fun () ->
+        let ctx = Testbed.ctx tb ~pool ~seed:99 in
+        let p =
+          {
+            Danaus_workloads.Fileserver.default_params with
+            Danaus_workloads.Fileserver.files = 50;
+            mean_file_size = 256 * 1024;
+            threads = 4;
+            duration = 3.0;
+          }
+        in
+        Danaus_workloads.Fileserver.prepopulate ctx ~view:ct.Container_engine.view p;
+        result := Some (Danaus_workloads.Fileserver.run ctx ~view:ct.Container_engine.view p));
+    Testbed.drive tb ~stop:(fun () -> !result <> None);
+    match !result with
+    | Some r ->
+        ( r.Danaus_workloads.Fileserver.stats.Danaus_workloads.Workload.ops,
+          r.Danaus_workloads.Fileserver.throughput_mbps )
+    | None -> (0, 0.0)
+  in
+  let ops1, tput1 = run () in
+  let ops2, tput2 = run () in
+  check_int "same op count" ops1 ops2;
+  Alcotest.(check (float 0.0)) "bit-identical throughput" tput1 tput2;
+  check_bool "did real work" true (ops1 > 100)
+
+let test_service_crash_containment () =
+  (* two pools with their own Danaus services: crashing one leaves the
+     other fully operational *)
+  let tb = Testbed.create ~activated:4 () in
+  let pool0 = Testbed.pool tb 0 and pool1 = Testbed.pool tb 1 in
+  let ct0 =
+    Container_engine.launch tb.Testbed.containers ~config:Config.d ~pool:pool0
+      ~id:"victim" ()
+  in
+  let ct1 =
+    Container_engine.launch tb.Testbed.containers ~config:Config.d ~pool:pool1
+      ~id:"survivor" ()
+  in
+  let done_ = ref false in
+  Engine.spawn tb.Testbed.engine (fun () ->
+      let v0 = ct0.Container_engine.view ~thread:1 in
+      let v1 = ct1.Container_engine.view ~thread:2 in
+      (* both work initially *)
+      let fd0 = ok "victim open" (v0.Client_intf.open_file ~pool:pool0 "/f" Client_intf.flags_wo) in
+      ok "victim write" (v0.Client_intf.write ~pool:pool0 fd0 ~off:0 ~len:4096);
+      let fd1 = ok "survivor open" (v1.Client_intf.open_file ~pool:pool1 "/f" Client_intf.flags_wo) in
+      ok "survivor write" (v1.Client_intf.write ~pool:pool1 fd1 ~off:0 ~len:4096);
+      (* kill pool0's filesystem service *)
+      let svc =
+        Option.get
+          (Container_engine.service_of tb.Testbed.containers ~pool:pool0
+             ~config:Config.d)
+      in
+      Fs_service.crash svc;
+      (match v0.Client_intf.read ~pool:pool0 fd0 ~off:0 ~len:4096 with
+      | Error Client_intf.Crashed -> ()
+      | Ok _ -> Alcotest.fail "victim survived its service crash"
+      | Error e -> Alcotest.failf "unexpected error: %s" (Client_intf.error_to_string e));
+      (* the survivor's pool is untouched *)
+      check_int "survivor still reads" 4096
+        (ok "survivor read" (v1.Client_intf.read ~pool:pool1 fd1 ~off:0 ~len:4096));
+      done_ := true);
+  Testbed.drive tb ~stop:(fun () -> !done_)
+
+let test_degraded_osd_slows_reads () =
+  (* a cluster with one crippled OSD: cold reads that hit it take visibly
+     longer, but everything still completes *)
+  let engine = Engine.create () in
+  let net = Net.create engine in
+  let client_node = Net.add_node net ~name:"c" ~bandwidth:2.5e9 ~latency:20e-6 in
+  let server_node = Net.add_node net ~name:"s" ~bandwidth:2.5e9 ~latency:20e-6 in
+  let make_osd i bandwidth =
+    let data =
+      Disk.create engine ~name:(Printf.sprintf "d%d" i) ~bandwidth ~latency:5e-6
+        ~seek:0.0
+    in
+    let journal =
+      Disk.create engine ~name:(Printf.sprintf "j%d" i) ~bandwidth ~latency:5e-6
+        ~seek:0.0
+    in
+    Osd.create engine ~name:(Printf.sprintf "osd%d" i) ~data ~journal ~concurrency:8
+      ~op_cost:30e-6 ~cpu_per_byte:(1.0 /. 4e9)
+  in
+  let osds =
+    Array.init 6 (fun i -> if i = 0 then make_osd i 10e6 (* sick *) else make_osd i 2e9)
+  in
+  let mds = Mds.create engine ~concurrency:8 ~op_cost:50e-6 in
+  let cluster =
+    Cluster.create engine ~net ~client_node ~server_node ~osds ~mds ~replicas:1
+      ~object_size:(4 * 1024 * 1024)
+  in
+  let finished = ref false in
+  Engine.spawn engine (fun () ->
+      (* 16 MiB spans 4 objects; with rendezvous placement some land on
+         the sick OSD for this ino *)
+      Cluster.write_range cluster ~ino:1 ~off:0 ~len:(mib 16);
+      Cluster.read_range cluster ~ino:1 ~off:0 ~len:(mib 16);
+      finished := true);
+  Engine.run engine;
+  check_bool "completed despite the degraded OSD" true !finished;
+  check_bool "visibly slow (sick disk dominates)" true (Engine.now engine > 0.2)
+
+let test_network_backpressure () =
+  (* many pools writing at once share the 20 Gbps host link: total OSD
+     ingest cannot exceed it *)
+  let tb = Testbed.create ~activated:16 () in
+  let finished = ref 0 in
+  let pools = 8 in
+  let t0 = Engine.now tb.Testbed.engine in
+  for i = 0 to pools - 1 do
+    let pool = Testbed.pool tb i in
+    let ct =
+      Container_engine.launch tb.Testbed.containers ~config:Config.d ~pool
+        ~id:("net" ^ string_of_int i) ()
+    in
+    Engine.spawn tb.Testbed.engine (fun () ->
+        let v = ct.Container_engine.view ~thread:1 in
+        let fd = ok "open" (v.Client_intf.open_file ~pool "/big" Client_intf.flags_wo) in
+        for b = 0 to 63 do
+          ok "write" (v.Client_intf.write ~pool fd ~off:(b * mib 1) ~len:(mib 1))
+        done;
+        ok "fsync" (v.Client_intf.fsync ~pool fd);
+        incr finished)
+  done;
+  Testbed.drive tb ~stop:(fun () -> !finished = pools);
+  let elapsed = Engine.now tb.Testbed.engine -. t0 in
+  (* 8 x 64 MiB = 512 MiB over a 2.5 GB/s link: at least ~0.2 s *)
+  check_bool "link capacity respected" true (elapsed > 0.19)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "integration",
+      [
+        tc "testbed boots" `Quick test_testbed_boots;
+        tc "mixed I/O on all configs" `Quick test_mixed_io_all_configs_on_testbed;
+        tc "determinism" `Quick test_determinism_same_seed;
+        tc "service crash containment" `Quick test_service_crash_containment;
+        tc "degraded OSD" `Quick test_degraded_osd_slows_reads;
+        tc "network backpressure" `Quick test_network_backpressure;
+      ] );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* §6.1 repetition methodology *)
+
+let test_repeat_until_stable () =
+  (* a noisy measurement converges; runs stay within the paper's 10 *)
+  let calls = ref 0 in
+  let o =
+    Danaus_experiments.Repeat.until_stable (fun ~seed ->
+        incr calls;
+        100.0 +. float_of_int (seed mod 3))
+  in
+  Alcotest.(check bool) "converged" true o.Danaus_experiments.Repeat.converged;
+  Alcotest.(check bool) "within 10 runs" true (o.Danaus_experiments.Repeat.runs <= 10);
+  Alcotest.(check bool) "mean plausible" true
+    (o.Danaus_experiments.Repeat.mean > 99.0 && o.Danaus_experiments.Repeat.mean < 103.0)
+
+let test_repeat_reports_non_convergence () =
+  (* wildly bimodal measurements do not converge in 10 runs *)
+  let o =
+    Danaus_experiments.Repeat.until_stable (fun ~seed ->
+        if seed mod 2 = 0 then 1.0 else 1000.0)
+  in
+  Alcotest.(check bool) "did not converge" false o.Danaus_experiments.Repeat.converged;
+  Alcotest.(check int) "stopped at max" 10 o.Danaus_experiments.Repeat.runs
+
+let test_repeat_with_real_experiment () =
+  (* two different testbed seeds give different — but close — Fileserver
+     numbers, and the repeat harness aggregates them *)
+  let measure ~seed =
+    let tb = Danaus_experiments.Testbed.create ~seed ~activated:4 () in
+    let pool = Danaus_experiments.Testbed.pool tb 0 in
+    let ct =
+      Danaus.Container_engine.launch tb.Danaus_experiments.Testbed.containers
+        ~config:Danaus.Config.d ~pool ~id:"rep" ()
+    in
+    let p =
+      {
+        Danaus_workloads.Fileserver.default_params with
+        Danaus_workloads.Fileserver.files = 30;
+        mean_file_size = 256 * 1024;
+        threads = 4;
+        duration = 2.0;
+      }
+    in
+    let result = ref None in
+    Engine.spawn tb.Danaus_experiments.Testbed.engine (fun () ->
+        let ctx = Danaus_experiments.Testbed.ctx tb ~pool ~seed:1 in
+        Danaus_workloads.Fileserver.prepopulate ctx ~view:ct.Danaus.Container_engine.view p;
+        result := Some (Danaus_workloads.Fileserver.run ctx ~view:ct.Danaus.Container_engine.view p));
+    Danaus_experiments.Testbed.drive tb ~stop:(fun () -> !result <> None);
+    match !result with
+    | Some r -> r.Danaus_workloads.Fileserver.throughput_mbps
+    | None -> 0.0
+  in
+  let o = Danaus_experiments.Repeat.until_stable ~min_runs:2 ~max_runs:3 measure in
+  Alcotest.(check bool) "positive throughput" true (o.Danaus_experiments.Repeat.mean > 0.0);
+  Alcotest.(check bool) "seeds differ but agree" true
+    (Danaus_sim.Stats.stddev o.Danaus_experiments.Repeat.samples
+    < o.Danaus_experiments.Repeat.mean)
+
+let repeat_suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "integration.repeat",
+      [
+        tc "converges" `Quick test_repeat_until_stable;
+        tc "non-convergence reported" `Quick test_repeat_reports_non_convergence;
+        tc "real experiment across seeds" `Quick test_repeat_with_real_experiment;
+      ] );
+  ]
+
+let suite = suite @ repeat_suite
+
+let test_report_rendering () =
+  let r =
+    Danaus_experiments.Report.make ~id:"x" ~title:"T"
+      ~header:[ "a"; "bb" ]
+      ~notes:[ "n1" ]
+      [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  let s = Danaus_experiments.Report.render r in
+  check_bool "title present" true (Astring.String.is_infix ~affix:"== x: T ==" s);
+  check_bool "columns aligned" true (Astring.String.is_infix ~affix:"333  4" s);
+  check_bool "note present" true (Astring.String.is_infix ~affix:"note: n1" s);
+  Alcotest.(check string) "ratio format" "3.7x" (Danaus_experiments.Report.ratio 3.7);
+  Alcotest.(check string) "ms format" "1.50ms" (Danaus_experiments.Report.ms 0.0015)
+
+let test_registry_complete () =
+  (* every table/figure of the paper's evaluation is registered *)
+  let ids = Danaus_experiments.Registry.ids () in
+  List.iter
+    (fun id ->
+      check_bool (id ^ " registered") true (List.mem id ids))
+    [
+      "tab1"; "tab2"; "fig1"; "fig6a"; "fig6b"; "fig6c"; "fig7a"; "fig7b";
+      "fig7c"; "fig7d"; "fig8"; "fig9"; "fig10"; "fig11a"; "fig11b";
+    ];
+  check_bool "extensions registered" true
+    (List.for_all (fun id -> List.mem id ids) [ "abl-lock"; "abl-cow"; "mig"; "dyn" ])
+
+let registry_suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "integration.harness",
+      [
+        tc "report rendering" `Quick test_report_rendering;
+        tc "registry covers the paper" `Quick test_registry_complete;
+      ] );
+  ]
+
+let suite = suite @ registry_suite
+
+(* ------------------------------------------------------------------ *)
+(* Cross-stack properties *)
+
+let prop_no_stack_loses_data =
+  (* random writes then reads through a random Table 1 stack: sizes and
+     read lengths always agree *)
+  QCheck.Test.make ~name:"no Table 1 stack loses data" ~count:24
+    QCheck.(
+      triple (int_range 0 7)
+        (list_of_size Gen.(int_range 1 6) (pair (int_range 0 500_000) (int_range 1 300_000)))
+        (int_range 0 1000))
+    (fun (cfg_idx, writes, seed) ->
+      let config = List.nth Config.all cfg_idx in
+      let tb = Testbed.create ~seed ~activated:4 () in
+      let pool = Testbed.pool tb 0 in
+      let ct =
+        Container_engine.launch tb.Testbed.containers ~config ~pool ~id:"prop" ()
+      in
+      let result = ref None in
+      Engine.spawn tb.Testbed.engine (fun () ->
+          let v = ct.Container_engine.view ~thread:1 in
+          let fd =
+            Result.get_ok (v.Client_intf.open_file ~pool "/data" Client_intf.flags_wo)
+          in
+          let expected_size =
+            List.fold_left
+              (fun acc (off, len) ->
+                (match v.Client_intf.write ~pool fd ~off ~len with
+                | Ok () -> ()
+                | Error e -> failwith (Client_intf.error_to_string e));
+                Stdlib.max acc (off + len))
+              0 writes
+          in
+          let size = Result.get_ok (v.Client_intf.fd_size fd) in
+          let read =
+            Result.get_ok
+              (Client_intf.read_exact v ~pool fd ~off:0 ~len:(expected_size + 1000))
+          in
+          v.Client_intf.close ~pool fd;
+          result := Some (size = expected_size && read = expected_size));
+      Testbed.drive tb ~stop:(fun () -> !result <> None);
+      !result = Some true)
+
+let prop_single_branch_union_transparent =
+  (* a single writable branch union is observationally equivalent to the
+     raw client for basic operations *)
+  QCheck.Test.make ~name:"single-branch union is transparent" ~count:20
+    QCheck.(pair (int_range 1 200_000) (int_range 0 1000))
+    (fun (len, seed) ->
+      let tb = Testbed.create ~seed ~activated:4 () in
+      let pool = Testbed.pool tb 0 in
+      let ct =
+        Container_engine.launch tb.Testbed.containers ~config:Config.d ~pool
+          ~id:"eq" ()
+      in
+      let ok_ = ref false in
+      Engine.spawn tb.Testbed.engine (fun () ->
+          let v = ct.Container_engine.view ~thread:1 in
+          ignore (Result.get_ok (v.Client_intf.mkdir_p ~pool "/d"));
+          let fd =
+            Result.get_ok (v.Client_intf.open_file ~pool "/d/f" Client_intf.flags_wo)
+          in
+          Result.get_ok (v.Client_intf.write ~pool fd ~off:0 ~len:len);
+          v.Client_intf.close ~pool fd;
+          let a = Result.get_ok (v.Client_intf.stat ~pool "/d/f") in
+          let listing = Result.get_ok (v.Client_intf.readdir ~pool "/d") in
+          Result.get_ok (v.Client_intf.unlink ~pool "/d/f");
+          let gone = Result.is_error (v.Client_intf.stat ~pool "/d/f") in
+          ok_ := a.Namespace.size = len && listing = [ "f" ] && gone);
+      Testbed.drive tb ~stop:(fun () -> !ok_ || Engine.now tb.Testbed.engine > 500.0);
+      !ok_)
+
+let cross_stack_suite =
+  [
+    ( "integration.properties",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_no_stack_loses_data; prop_single_branch_union_transparent ] );
+  ]
+
+let suite = suite @ cross_stack_suite
+
+(* ------------------------------------------------------------------ *)
+(* Model-based conformance: random op sequences against a reference
+   in-memory model, through the full Danaus stack *)
+
+type model_op =
+  | M_write of int * int * int (* file idx, off, len *)
+  | M_unlink of int
+  | M_stat of int
+  | M_rename of int * int
+
+let model_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map3 (fun f o l -> M_write (f, o, l)) (int_range 0 4)
+             (int_range 0 100_000) (int_range 1 60_000));
+        (2, map (fun f -> M_unlink f) (int_range 0 4));
+        (3, map (fun f -> M_stat f) (int_range 0 4));
+        (1, map2 (fun a b -> M_rename (a, b)) (int_range 0 4) (int_range 0 4));
+      ])
+
+let prop_model_conformance =
+  QCheck.Test.make ~name:"full stack conforms to a reference model" ~count:25
+    (QCheck.make QCheck.Gen.(pair (list_size (int_range 1 25) model_op_gen) (int_range 0 999)))
+    (fun (ops, seed) ->
+      let tb = Testbed.create ~seed ~activated:4 () in
+      let pool = Testbed.pool tb 0 in
+      let ct =
+        Container_engine.launch tb.Testbed.containers ~config:Config.d ~pool
+          ~id:"model" ()
+      in
+      let model : (string, int) Hashtbl.t = Hashtbl.create 8 in
+      let path f = Printf.sprintf "/m/f%d" f in
+      let agree = ref true in
+      let done_ = ref false in
+      Engine.spawn tb.Testbed.engine (fun () ->
+          let v = ct.Container_engine.view ~thread:1 in
+          let check_file f =
+            let expected = Hashtbl.find_opt model (path f) in
+            let actual =
+              match v.Client_intf.stat ~pool (path f) with
+              | Ok a -> Some a.Namespace.size
+              | Error _ -> None
+            in
+            if expected <> actual then agree := false
+          in
+          List.iter
+            (fun op ->
+              (match op with
+              | M_write (f, off, len) -> begin
+                  match
+                    v.Client_intf.open_file ~pool (path f)
+                      {
+                        Client_intf.rd = false;
+                        wr = true;
+                        append = false;
+                        create = true;
+                        trunc = false;
+                      }
+                  with
+                  | Error _ -> ()
+                  | Ok fd ->
+                      (match v.Client_intf.write ~pool fd ~off ~len with
+                      | Ok () ->
+                          let old =
+                            Option.value ~default:0 (Hashtbl.find_opt model (path f))
+                          in
+                          Hashtbl.replace model (path f) (Stdlib.max old (off + len))
+                      | Error _ -> ());
+                      ignore (v.Client_intf.fsync ~pool fd);
+                      v.Client_intf.close ~pool fd
+                end
+              | M_unlink f -> begin
+                  match v.Client_intf.unlink ~pool (path f) with
+                  | Ok () -> Hashtbl.remove model (path f)
+                  | Error _ ->
+                      if Hashtbl.mem model (path f) then agree := false
+                end
+              | M_stat f -> check_file f
+              | M_rename (a, b) -> begin
+                  match v.Client_intf.rename ~pool ~src:(path a) ~dst:(path b) with
+                  | Ok () -> begin
+                      match Hashtbl.find_opt model (path a) with
+                      | Some size when a <> b ->
+                          Hashtbl.remove model (path a);
+                          Hashtbl.replace model (path b) size
+                      | Some _ -> ()
+                      | None -> agree := false
+                    end
+                  | Error _ ->
+                      (* the model only allows renames of existing files
+                         onto non-existing targets *)
+                      if
+                        Hashtbl.mem model (path a)
+                        && (not (Hashtbl.mem model (path b)))
+                        && a <> b
+                      then agree := false
+                end);
+              (* full sweep after every op *)
+              for f = 0 to 4 do
+                check_file f
+              done)
+            ops;
+          done_ := true);
+      Testbed.drive tb ~stop:(fun () -> !done_);
+      !agree)
+
+let model_suite =
+  [
+    ( "integration.model",
+      List.map QCheck_alcotest.to_alcotest [ prop_model_conformance ] );
+  ]
+
+let suite = suite @ model_suite

@@ -1,0 +1,194 @@
+(* Tests for the user-level IPC: rings, shared memory segments and the
+   Danaus transport. *)
+
+open Danaus_sim
+open Danaus_hw
+open Danaus_kernel
+open Danaus_ipc
+open Testbed
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Ring *)
+
+let test_ring_fifo () =
+  let e = Engine.create () in
+  let r = Ring.create e ~slots:4 in
+  let got = ref [] in
+  Engine.spawn e (fun () ->
+      for i = 1 to 10 do
+        Ring.enqueue r i
+      done);
+  Engine.spawn e (fun () ->
+      for _ = 1 to 10 do
+        got := Ring.dequeue r :: !got;
+        Engine.sleep 0.01
+      done);
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO" [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] (List.rev !got);
+  check_int "all enqueued" 10 (Ring.total_enqueued r);
+  check_int "empty at end" 0 (Ring.length r)
+
+let test_ring_blocks_producer_when_full () =
+  let e = Engine.create () in
+  let r = Ring.create e ~slots:2 in
+  let third_at = ref (-1.0) in
+  Engine.spawn e (fun () ->
+      Ring.enqueue r 1;
+      Ring.enqueue r 2;
+      Ring.enqueue r 3;
+      third_at := Engine.time ());
+  Engine.spawn e (fun () ->
+      Engine.sleep 5.0;
+      ignore (Ring.dequeue r));
+  Engine.run e;
+  Alcotest.(check (float 1e-6)) "blocked until slot freed" 5.0 !third_at;
+  check_int "high water is ring size" 2 (Ring.high_water r)
+
+let prop_ring_order_and_conservation =
+  QCheck.Test.make ~name:"ring preserves order for any slot count" ~count:100
+    QCheck.(pair (int_range 1 8) (list_of_size Gen.(int_range 0 40) int))
+    (fun (slots, xs) ->
+      let e = Engine.create () in
+      let r = Ring.create e ~slots in
+      let got = ref [] in
+      Engine.spawn e (fun () -> List.iter (Ring.enqueue r) xs);
+      Engine.spawn e (fun () ->
+          for _ = 1 to List.length xs do
+            got := Ring.dequeue r :: !got
+          done);
+      Engine.run e;
+      List.rev !got = xs)
+
+(* ------------------------------------------------------------------ *)
+(* Shm *)
+
+let test_shm_accounting () =
+  let pool = pool_of () in
+  let seg = Shm.create ~pool ~name:"seg0" ~bytes:4096 in
+  check_int "charged to pool" 4096 (Memory.used (Cgroup.memory pool));
+  Shm.destroy seg;
+  Shm.destroy seg;
+  check_int "freed once" 0 (Memory.used (Cgroup.memory pool))
+
+(* ------------------------------------------------------------------ *)
+(* Transport *)
+
+let topo () = Danaus_hw.Topology.paper_machine ()
+
+let make_transport ?(cores = [| 0; 1 |]) w name =
+  let pool = pool_of ~name:(name ^ "-pool") ~cores () in
+  let tr = Transport.create w.kernel ~pool ~topology:(topo ()) ~name () in
+  Transport.start tr;
+  (pool, tr)
+
+let test_transport_roundtrip () =
+  let w = make_world () in
+  let _pool, tr = make_transport w "t0" in
+  let result = ref 0 in
+  Engine.spawn w.engine (fun () ->
+      result := Transport.call tr ~thread:1 ~bytes:4096 (fun () -> 6 * 7));
+  Engine.run_until w.engine 1.0;
+  check_int "handler result" 42 !result;
+  check_int "one request served" 1 (Transport.requests tr)
+
+let test_transport_queue_per_core_group () =
+  let w = make_world () in
+  (* 4 cores spanning 2 core pairs -> 2 queues *)
+  let _pool, tr = make_transport ~cores:[| 0; 1; 2; 3 |] w "t1" in
+  check_int "one queue per core group" 2 (Transport.queue_count tr);
+  check_int "one service thread each" 2 (Transport.service_threads tr)
+
+let test_transport_thread_pinning () =
+  let w = make_world () in
+  let _pool, tr = make_transport ~cores:[| 0; 1; 2; 3 |] w "t2" in
+  Engine.spawn w.engine (fun () ->
+      ignore (Transport.call tr ~thread:1 ~bytes:0 (fun () -> ()));
+      ignore (Transport.call tr ~thread:2 ~bytes:0 (fun () -> ()));
+      ignore (Transport.call tr ~thread:1 ~bytes:0 (fun () -> ())));
+  Engine.run_until w.engine 1.0;
+  let c1 = Option.get (Transport.pinned_cores tr ~thread:1) in
+  let c2 = Option.get (Transport.pinned_cores tr ~thread:2) in
+  check_bool "threads spread across groups" true (c1 <> c2);
+  check_int "thread 1 stays pinned" 2 (Array.length c1)
+
+let test_transport_no_kernel_crossing () =
+  let w = make_world () in
+  let pool, tr = make_transport w "t3" in
+  Engine.spawn w.engine (fun () ->
+      ignore (Transport.call tr ~thread:1 ~bytes:65536 (fun () -> ())));
+  Engine.run_until w.engine 1.0;
+  let mode_switches =
+    Counters.get (Kernel.counters w.kernel) ~metric:"mode_switches"
+      ~key:(Cgroup.name pool)
+  in
+  Alcotest.(check (float 0.0)) "no mode switches on the fast path" 0.0 mode_switches;
+  check_bool "ipc counted" true
+    (Counters.get (Kernel.counters w.kernel) ~metric:"ipc_requests"
+       ~key:(Cgroup.name pool)
+    > 0.0)
+
+let test_transport_scales_service_threads () =
+  let w = make_world () in
+  let _pool, tr = make_transport w "t4" in
+  (* 32 concurrent slow requests on one queue: backlog exceeds the
+     threshold and extra service threads appear *)
+  for i = 1 to 32 do
+    Engine.spawn w.engine (fun () ->
+        ignore (Transport.call tr ~thread:i ~bytes:0 (fun () -> Engine.sleep 0.1)))
+  done;
+  Engine.run_until w.engine 10.0;
+  check_bool "service threads scaled up" true (Transport.service_threads tr > 1);
+  check_int "all served" 32 (Transport.requests tr)
+
+let test_transport_buffer_memory () =
+  let w = make_world () in
+  let pool, tr = make_transport w "t5" in
+  let base = Memory.used (Cgroup.memory pool) in
+  Engine.spawn w.engine (fun () ->
+      ignore (Transport.call tr ~thread:1 ~bytes:0 (fun () -> ()));
+      ignore (Transport.call tr ~thread:2 ~bytes:0 (fun () -> ())));
+  Engine.run_until w.engine 1.0;
+  let grown = Memory.used (Cgroup.memory pool) - base in
+  check_int "two request buffers allocated" (2 * 1024 * 1024) grown
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "ipc.ring",
+      [
+        tc "FIFO" `Quick test_ring_fifo;
+        tc "blocks when full" `Quick test_ring_blocks_producer_when_full;
+      ] );
+    ("ipc.shm", [ tc "accounting" `Quick test_shm_accounting ]);
+    ( "ipc.transport",
+      [
+        tc "roundtrip" `Quick test_transport_roundtrip;
+        tc "queue per core group" `Quick test_transport_queue_per_core_group;
+        tc "thread pinning" `Quick test_transport_thread_pinning;
+        tc "no kernel crossing" `Quick test_transport_no_kernel_crossing;
+        tc "service thread scaling" `Quick test_transport_scales_service_threads;
+        tc "request buffer memory" `Quick test_transport_buffer_memory;
+      ] );
+    ( "ipc.properties",
+      List.map QCheck_alcotest.to_alcotest [ prop_ring_order_and_conservation ] );
+  ]
+
+let test_transport_queue_capacity_metadata () =
+  let w = make_world () in
+  let pool = pool_of ~name:"cap-pool" () in
+  let tr = Transport.create w.kernel ~pool ~topology:(topo ()) ~name:"cap" ~slots:16 () in
+  Transport.start tr;
+  check_int "queues" 1 (Transport.queue_count tr);
+  check_bool "no pin before use" true (Transport.pinned_cores tr ~thread:9 = None);
+  Engine.spawn w.engine (fun () ->
+      ignore (Transport.call tr ~thread:9 ~bytes:0 (fun () -> ())));
+  Engine.run_until w.engine 1.0;
+  check_bool "pinned after first call" true (Transport.pinned_cores tr ~thread:9 <> None)
+
+let cap_suite =
+  [ ("ipc.metadata", [ Alcotest.test_case "queue capacity and pinning" `Quick test_transport_queue_capacity_metadata ]) ]
+
+let suite = suite @ cap_suite

@@ -1,0 +1,561 @@
+(* Unit and property tests for the discrete-event engine and its
+   synchronisation primitives. *)
+
+open Danaus_sim
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_sleep_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.spawn e (fun () ->
+      Engine.sleep 2.0;
+      log := ("b", Engine.time ()) :: !log);
+  Engine.spawn e (fun () ->
+      Engine.sleep 1.0;
+      log := ("a", Engine.time ()) :: !log);
+  Engine.run e;
+  match List.rev !log with
+  | [ ("a", t1); ("b", t2) ] ->
+      check_float "first wake" 1.0 t1;
+      check_float "second wake" 2.0 t2
+  | _ -> Alcotest.fail "wrong ordering"
+
+let test_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.spawn e (fun () ->
+        Engine.sleep 1.0;
+        log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "spawn order preserved" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_nested_fork () =
+  let e = Engine.create () in
+  let sum = ref 0 in
+  Engine.spawn e (fun () ->
+      Engine.fork (fun () ->
+          Engine.sleep 1.0;
+          sum := !sum + 1);
+      Engine.fork (fun () ->
+          Engine.sleep 2.0;
+          sum := !sum + 10);
+      Engine.sleep 3.0;
+      sum := !sum + 100);
+  Engine.run e;
+  check_int "all processes ran" 111 !sum;
+  check_float "clock at last event" 3.0 (Engine.now e);
+  check_int "no live process" 0 (Engine.live_processes e)
+
+let test_run_until () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  Engine.spawn e (fun () ->
+      for _ = 1 to 10 do
+        Engine.sleep 1.0;
+        incr hits
+      done);
+  Engine.run_until e 4.5;
+  check_int "only events before horizon" 4 !hits;
+  check_float "clock set to horizon" 4.5 (Engine.now e);
+  Engine.run e;
+  check_int "remaining events run" 10 !hits
+
+let test_deadlock_detection () =
+  let e = Engine.create () in
+  Engine.spawn e (fun () -> Engine.suspend (fun _wake -> ()));
+  Alcotest.check_raises "deadlock raised"
+    (Engine.Deadlock "1 process(es) blocked forever") (fun () -> Engine.run e)
+
+let test_suspend_wake_once () =
+  let e = Engine.create () in
+  let wake_cell = ref (fun () -> ()) in
+  let resumed = ref 0 in
+  Engine.spawn e (fun () ->
+      Engine.suspend (fun wake -> wake_cell := wake);
+      incr resumed);
+  Engine.spawn e (fun () ->
+      Engine.sleep 1.0;
+      !wake_cell ();
+      !wake_cell () (* second wake must be ignored *));
+  Engine.run e;
+  check_int "resumed exactly once" 1 !resumed
+
+let test_schedule_callback () =
+  let e = Engine.create () in
+  let fired = ref (-1.0) in
+  Engine.schedule e ~delay:5.0 (fun () -> fired := Engine.now e);
+  Engine.run e;
+  check_float "callback time" 5.0 !fired
+
+let test_self_name () =
+  let e = Engine.create () in
+  let seen = ref "" in
+  Engine.spawn e ~name:"worker-7" (fun () -> seen := Engine.self_name ());
+  Engine.run e;
+  Alcotest.(check string) "self name" "worker-7" !seen
+
+(* ------------------------------------------------------------------ *)
+(* Mutex *)
+
+let test_mutex_exclusion () =
+  let e = Engine.create () in
+  let m = Mutex_sim.create e ~name:"m" in
+  let inside = ref 0 and max_inside = ref 0 in
+  for _ = 1 to 4 do
+    Engine.spawn e (fun () ->
+        Mutex_sim.with_lock m (fun () ->
+            incr inside;
+            if !inside > !max_inside then max_inside := !inside;
+            Engine.sleep 1.0;
+            decr inside))
+  done;
+  Engine.run e;
+  check_int "mutual exclusion" 1 !max_inside;
+  check_float "serialised" 4.0 (Engine.now e);
+  check_int "acquisitions" 4 (Mutex_sim.acquisitions m);
+  check_int "contended" 3 (Mutex_sim.contended m)
+
+let test_mutex_stats () =
+  let e = Engine.create () in
+  let m = Mutex_sim.create e ~name:"m" in
+  for _ = 1 to 2 do
+    Engine.spawn e (fun () -> Mutex_sim.with_lock m (fun () -> Engine.sleep 2.0))
+  done;
+  Engine.run e;
+  check_float "total hold" 4.0 (Mutex_sim.total_hold m);
+  check_float "total wait" 2.0 (Mutex_sim.total_wait m);
+  check_float "avg hold" 2.0 (Mutex_sim.avg_hold m);
+  check_float "avg wait" 1.0 (Mutex_sim.avg_wait m)
+
+let test_mutex_fifo_handoff () =
+  let e = Engine.create () in
+  let m = Mutex_sim.create e ~name:"m" in
+  let order = ref [] in
+  for i = 1 to 3 do
+    Engine.spawn e (fun () ->
+        Mutex_sim.with_lock m (fun () ->
+            order := i :: !order;
+            Engine.sleep 1.0))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO order" [ 1; 2; 3 ] (List.rev !order)
+
+let test_mutex_unlock_unlocked () =
+  let e = Engine.create () in
+  let m = Mutex_sim.create e ~name:"m" in
+  Alcotest.check_raises "unlock raises"
+    (Invalid_argument "Mutex_sim.unlock: not locked: m") (fun () ->
+      Mutex_sim.unlock m)
+
+(* ------------------------------------------------------------------ *)
+(* Condition *)
+
+let test_condition_signal () =
+  let e = Engine.create () in
+  let m = Mutex_sim.create e ~name:"m" in
+  let c = Condition_sim.create e in
+  let ready = ref false and observed = ref false in
+  Engine.spawn e (fun () ->
+      Mutex_sim.lock m;
+      while not !ready do
+        Condition_sim.wait c m
+      done;
+      observed := true;
+      Mutex_sim.unlock m);
+  Engine.spawn e (fun () ->
+      Engine.sleep 1.0;
+      Mutex_sim.with_lock m (fun () -> ready := true);
+      Condition_sim.signal c);
+  Engine.run e;
+  check_bool "woken and observed" true !observed
+
+let test_condition_broadcast () =
+  let e = Engine.create () in
+  let m = Mutex_sim.create e ~name:"m" in
+  let c = Condition_sim.create e in
+  let woken = ref 0 in
+  for _ = 1 to 5 do
+    Engine.spawn e (fun () ->
+        Mutex_sim.lock m;
+        Condition_sim.wait c m;
+        incr woken;
+        Mutex_sim.unlock m)
+  done;
+  Engine.spawn e (fun () ->
+      Engine.sleep 1.0;
+      Condition_sim.broadcast c);
+  Engine.run e;
+  check_int "all woken" 5 !woken
+
+(* ------------------------------------------------------------------ *)
+(* Semaphore / Channel / Waitgroup *)
+
+let test_semaphore_limits () =
+  let e = Engine.create () in
+  let s = Semaphore_sim.create e ~value:2 in
+  let inside = ref 0 and max_inside = ref 0 in
+  for _ = 1 to 6 do
+    Engine.spawn e (fun () ->
+        Semaphore_sim.acquire s;
+        incr inside;
+        if !inside > !max_inside then max_inside := !inside;
+        Engine.sleep 1.0;
+        decr inside;
+        Semaphore_sim.release s)
+  done;
+  Engine.run e;
+  check_int "at most 2 inside" 2 !max_inside;
+  check_float "three waves" 3.0 (Engine.now e)
+
+let test_try_acquire () =
+  let e = Engine.create () in
+  let s = Semaphore_sim.create e ~value:1 in
+  check_bool "first succeeds" true (Semaphore_sim.try_acquire s);
+  check_bool "second fails" false (Semaphore_sim.try_acquire s);
+  Semaphore_sim.release s;
+  check_bool "after release" true (Semaphore_sim.try_acquire s)
+
+let test_channel_fifo () =
+  let e = Engine.create () in
+  let ch = Channel.create e ~capacity:2 in
+  let got = ref [] in
+  Engine.spawn e (fun () ->
+      for i = 1 to 5 do
+        Channel.put ch i
+      done);
+  Engine.spawn e (fun () ->
+      for _ = 1 to 5 do
+        let v = Channel.get ch in
+        got := v :: !got;
+        Engine.sleep 0.1
+      done);
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO delivery" [ 1; 2; 3; 4; 5 ] (List.rev !got)
+
+let test_channel_blocking_producer () =
+  let e = Engine.create () in
+  let ch = Channel.create e ~capacity:1 in
+  let done_at = ref 0.0 in
+  Engine.spawn e (fun () ->
+      Channel.put ch 1;
+      Channel.put ch 2;
+      (* blocks until consumer takes the first *)
+      done_at := Engine.time ());
+  Engine.spawn e (fun () ->
+      Engine.sleep 3.0;
+      ignore (Channel.get ch));
+  Engine.run e;
+  check_float "producer blocked until get" 3.0 !done_at
+
+let test_waitgroup () =
+  let e = Engine.create () in
+  let wg = Waitgroup.create e in
+  let finished_at = ref 0.0 in
+  for i = 1 to 3 do
+    Waitgroup.add wg;
+    Engine.spawn e (fun () ->
+        Engine.sleep (float_of_int i);
+        Waitgroup.finish wg)
+  done;
+  Engine.spawn e (fun () ->
+      Waitgroup.wait wg;
+      finished_at := Engine.time ());
+  Engine.run e;
+  check_float "waits for slowest" 3.0 !finished_at
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  check_int "count" 5 (Stats.count s);
+  check_float "mean" 3.0 (Stats.mean s);
+  check_float "min" 1.0 (Stats.min s);
+  check_float "max" 5.0 (Stats.max s);
+  check_float "median" 3.0 (Stats.percentile s 50.0);
+  check_float "p0" 1.0 (Stats.percentile s 0.0);
+  check_float "p100" 5.0 (Stats.percentile s 100.0);
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.5) (Stats.stddev s)
+
+let test_stats_percentile_interpolation () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 10.0; 20.0 ];
+  check_float "p75 interpolates" 17.5 (Stats.percentile s 75.0)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check_float "mean of empty" 0.0 (Stats.mean s);
+  check_float "p99 of empty" 0.0 (Stats.percentile s 99.0);
+  check_float "ci of empty" 0.0 (Stats.ci95_halfwidth s)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  List.iter (Stats.add a) [ 1.0; 2.0 ];
+  List.iter (Stats.add b) [ 3.0; 4.0 ];
+  Stats.merge_into ~dst:a ~src:b;
+  check_int "merged count" 4 (Stats.count a);
+  check_float "merged mean" 2.5 (Stats.mean a)
+
+(* ------------------------------------------------------------------ *)
+(* Counters *)
+
+let test_counters () =
+  let c = Counters.create () in
+  Counters.add c ~metric:"ctx" ~key:"pool0" 3.0;
+  Counters.add c ~metric:"ctx" ~key:"pool1" 4.0;
+  Counters.incr c ~metric:"ctx" ~key:"pool0";
+  check_float "per key" 4.0 (Counters.get c ~metric:"ctx" ~key:"pool0");
+  check_float "total" 8.0 (Counters.total c ~metric:"ctx");
+  Alcotest.(check (list (pair string (float 0.0))))
+    "by_key sorted"
+    [ ("pool0", 4.0); ("pool1", 4.0) ]
+    (Counters.by_key c ~metric:"ctx")
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Rng.bits64 a = Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  check_bool "split differs from parent" true (Rng.bits64 a <> Rng.bits64 b)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"pheap pops in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Pheap.create ~cmp:Int.compare in
+      List.iter (Pheap.push h) xs;
+      let rec drain acc =
+        match Pheap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare xs)
+
+let prop_stats_mean_bounds =
+  QCheck.Test.make ~name:"mean within min/max" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range (-1e6) 1e6))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      Stats.mean s >= Stats.min s -. 1e-6 && Stats.mean s <= Stats.max s +. 1e-6)
+
+let prop_stats_percentile_monotone =
+  QCheck.Test.make ~name:"percentiles are monotone" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 50) (float_range 0.0 1e3))
+        (pair (float_range 0.0 100.0) (float_range 0.0 100.0)))
+    (fun (xs, (p1, p2)) ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.percentile s lo <= Stats.percentile s hi +. 1e-9)
+
+let prop_rng_float_range =
+  QCheck.Test.make ~name:"rng float in [0,1)" ~count:500 QCheck.int (fun seed ->
+      let r = Rng.create seed in
+      let x = Rng.float r in
+      x >= 0.0 && x < 1.0)
+
+let prop_rng_int_range =
+  QCheck.Test.make ~name:"rng int in bound" ~count:500
+    QCheck.(pair int (int_range 1 10000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let x = Rng.int r bound in
+      x >= 0 && x < bound)
+
+let prop_exponential_positive =
+  QCheck.Test.make ~name:"exponential draws positive" ~count:300
+    QCheck.(pair int (float_range 0.001 100.0))
+    (fun (seed, mean) ->
+      let r = Rng.create seed in
+      Rng.exponential r ~mean >= 0.0)
+
+let prop_channel_preserves_order =
+  QCheck.Test.make ~name:"channel preserves order under any capacity" ~count:100
+    QCheck.(pair (int_range 1 8) (list_of_size Gen.(int_range 0 30) int))
+    (fun (cap, xs) ->
+      let e = Engine.create () in
+      let ch = Channel.create e ~capacity:cap in
+      let got = ref [] in
+      Engine.spawn e (fun () -> List.iter (Channel.put ch) xs);
+      Engine.spawn e (fun () ->
+          for _ = 1 to List.length xs do
+            got := Channel.get ch :: !got
+          done);
+      Engine.run e;
+      List.rev !got = xs)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "sim.engine",
+      [
+        tc "sleep ordering" `Quick test_sleep_ordering;
+        tc "same-time FIFO" `Quick test_same_time_fifo;
+        tc "nested fork" `Quick test_nested_fork;
+        tc "run_until" `Quick test_run_until;
+        tc "deadlock detection" `Quick test_deadlock_detection;
+        tc "suspend wakes once" `Quick test_suspend_wake_once;
+        tc "schedule callback" `Quick test_schedule_callback;
+        tc "self name" `Quick test_self_name;
+      ] );
+    ( "sim.sync",
+      [
+        tc "mutex exclusion" `Quick test_mutex_exclusion;
+        tc "mutex stats" `Quick test_mutex_stats;
+        tc "mutex FIFO handoff" `Quick test_mutex_fifo_handoff;
+        tc "unlock unlocked raises" `Quick test_mutex_unlock_unlocked;
+        tc "condition signal" `Quick test_condition_signal;
+        tc "condition broadcast" `Quick test_condition_broadcast;
+        tc "semaphore limits" `Quick test_semaphore_limits;
+        tc "semaphore try_acquire" `Quick test_try_acquire;
+        tc "channel FIFO" `Quick test_channel_fifo;
+        tc "channel blocks producer" `Quick test_channel_blocking_producer;
+        tc "waitgroup" `Quick test_waitgroup;
+      ] );
+    ( "sim.stats",
+      [
+        tc "basic summary" `Quick test_stats_basic;
+        tc "percentile interpolation" `Quick test_stats_percentile_interpolation;
+        tc "empty summary" `Quick test_stats_empty;
+        tc "merge" `Quick test_stats_merge;
+        tc "counters" `Quick test_counters;
+      ] );
+    ( "sim.rng",
+      [
+        tc "determinism" `Quick test_rng_determinism;
+        tc "split independence" `Quick test_rng_split_independent;
+      ] );
+    ( "sim.properties",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_heap_sorted;
+          prop_stats_mean_bounds;
+          prop_stats_percentile_monotone;
+          prop_rng_float_range;
+          prop_rng_int_range;
+          prop_exponential_positive;
+          prop_channel_preserves_order;
+        ] );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine edge cases *)
+
+let test_process_exception_propagates () =
+  let e = Engine.create () in
+  Engine.spawn e (fun () ->
+      Engine.sleep 1.0;
+      failwith "boom");
+  Alcotest.check_raises "exception escapes run" (Failure "boom") (fun () ->
+      Engine.run e)
+
+let test_zero_delay_runs_in_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.spawn e (fun () ->
+      log := 1 :: !log;
+      Engine.yield ();
+      log := 3 :: !log);
+  Engine.spawn e (fun () -> log := 2 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "yield interleaves" [ 1; 2; 3 ] (List.rev !log)
+
+let test_ci95 () =
+  let s = Stats.create () in
+  for _ = 1 to 100 do
+    Stats.add s 10.0
+  done;
+  check_float "no variance, no interval" 0.0 (Stats.ci95_halfwidth s);
+  Stats.add s 1000.0;
+  check_bool "outlier widens the interval" true (Stats.ci95_halfwidth s > 1.0)
+
+let edge_suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "sim.edge",
+      [
+        tc "process exception propagates" `Quick test_process_exception_propagates;
+        tc "yield ordering" `Quick test_zero_delay_runs_in_order;
+        tc "ci95" `Quick test_ci95;
+      ] );
+  ]
+
+let suite = suite @ edge_suite
+
+let test_counters_metrics_listing () =
+  let c = Counters.create () in
+  Counters.incr c ~metric:"b" ~key:"x";
+  Counters.incr c ~metric:"a" ~key:"y";
+  Alcotest.(check (list string)) "sorted metric names" [ "a"; "b" ] (Counters.metrics c);
+  Counters.reset c;
+  Alcotest.(check (list string)) "reset clears" [] (Counters.metrics c)
+
+let test_gamma_like_mean () =
+  let r = Rng.create 3 in
+  let s = Stats.create () in
+  for _ = 1 to 5000 do
+    Stats.add s (Rng.gamma_like r ~mean:100.0 ~shape:2)
+  done;
+  check_bool "empirical mean near 100" true
+    (Float.abs (Stats.mean s -. 100.0) < 5.0)
+
+let misc_suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "sim.misc",
+      [
+        tc "counters metric listing" `Quick test_counters_metrics_listing;
+        tc "gamma mean" `Quick test_gamma_like_mean;
+      ] );
+  ]
+
+let suite = suite @ misc_suite
+
+let test_waitgroup_finish_without_add () =
+  let e = Engine.create () in
+  let wg = Waitgroup.create e in
+  Alcotest.check_raises "finish without add"
+    (Invalid_argument "Waitgroup.finish: count already zero") (fun () ->
+      Waitgroup.finish wg)
+
+let test_negative_sleep_rejected () =
+  let e = Engine.create () in
+  let raised = ref false in
+  Engine.spawn e (fun () ->
+      match Engine.sleep (-1.0) with
+      | () -> ()
+      | exception Assert_failure _ -> raised := true);
+  (try Engine.run e with Assert_failure _ -> raised := true);
+  check_bool "negative sleep rejected" true !raised
+
+let guard_suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "sim.guards",
+      [
+        tc "waitgroup misuse" `Quick test_waitgroup_finish_without_add;
+        tc "negative sleep" `Quick test_negative_sleep_rejected;
+      ] );
+  ]
+
+let suite = suite @ guard_suite

@@ -1,0 +1,425 @@
+(* Tests for the workload generators, each run over a Danaus container
+   (the most complex stack) or the local kernel filesystem. *)
+
+open Danaus_sim
+open Danaus_hw
+open Danaus_kernel
+open Danaus_client
+open Danaus
+open Danaus_workloads
+open Testbed
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let topo = Topology.paper_machine ()
+
+let make_container ?(config = Config.d) ?image w pool id =
+  let engine = Container_engine.create ~kernel:w.kernel ~cluster:w.cluster ~topology:topo in
+  (engine, Container_engine.launch engine ~config ~pool ~id ?image ())
+
+let ctx_of w pool = Workload.make_ctx w.engine ~cpu:w.cpu ~pool ~seed:42
+
+(* ------------------------------------------------------------------ *)
+(* Fileserver *)
+
+let small_fls =
+  {
+    Fileserver.default_params with
+    Fileserver.files = 20;
+    mean_file_size = 256 * 1024;
+    threads = 4;
+    duration = 5.0;
+  }
+
+let test_fileserver_runs () =
+  let w = make_world () in
+  let pool = pool_of () in
+  let _, ct = make_container w pool "fls" in
+  let ctx = ctx_of w pool in
+  let result = ref None in
+  Engine.spawn w.engine (fun () ->
+      Fileserver.prepopulate ctx ~view:ct.Container_engine.view small_fls;
+      result := Some (Fileserver.run ctx ~view:ct.Container_engine.view small_fls));
+  Engine.run_until w.engine 600.0;
+  match !result with
+  | None -> Alcotest.fail "fileserver did not finish"
+  | Some r ->
+      check_bool "did work" true (r.Fileserver.stats.Workload.ops > 50);
+      check_bool "moved bytes" true
+        (r.Fileserver.stats.Workload.bytes_written > 1e6
+        && r.Fileserver.stats.Workload.bytes_read > 1e6);
+      check_bool "throughput positive" true (r.Fileserver.throughput_mbps > 0.0);
+      Alcotest.(check (float 0.3)) "ran for the duration" 5.0 r.Fileserver.elapsed
+
+(* ------------------------------------------------------------------ *)
+(* Seqio *)
+
+let small_seq =
+  {
+    Seqio.default_params with
+    Seqio.file_size = 64 * 1024 * 1024;
+    threads = 4;
+    duration = 3.0;
+  }
+
+let test_seqio_write_then_cached_read () =
+  let w = make_world () in
+  let pool = pool_of ~cores:[| 0; 1 |] () in
+  let _, ct = make_container w pool "seq" in
+  let ctx = ctx_of w pool in
+  let wr = ref None and rd = ref None in
+  Engine.spawn w.engine (fun () ->
+      wr := Some (Seqio.run_write ctx ~view:ct.Container_engine.view small_seq);
+      rd := Some (Seqio.run_read ctx ~view:ct.Container_engine.view small_seq));
+  Engine.run_until w.engine 600.0;
+  match (!wr, !rd) with
+  | Some wr, Some rd ->
+      check_bool "write throughput positive" true (wr.Seqio.throughput_mbps > 0.0);
+      check_bool "cached read faster than write" true
+        (rd.Seqio.throughput_mbps > wr.Seqio.throughput_mbps)
+  | _ -> Alcotest.fail "seqio did not finish"
+
+(* ------------------------------------------------------------------ *)
+(* Local workloads *)
+
+let test_randomio_local () =
+  let w = make_world () in
+  let pool = pool_of () in
+  let disk = Disk.create w.engine ~name:"local" ~bandwidth:150e6 ~latency:2e-3 ~seek:4e-3 in
+  let fs = Local_fs.create w.kernel ~name:"ext4" ~disk ~max_dirty:(mib 512) () in
+  Kernel.start_flushers w.kernel;
+  let ctx = ctx_of w pool in
+  let p = { Randomio.default_params with Randomio.duration = 2.0 } in
+  let result = ref None in
+  Engine.spawn w.engine (fun () -> result := Some (Randomio.run ctx ~fs p));
+  Engine.run_until w.engine 100.0;
+  match !result with
+  | Some r ->
+      check_bool "ops happened" true (r.Randomio.stats.Workload.ops > 10);
+      check_bool "rate computed" true (r.Randomio.ops_per_sec > 0.0)
+  | None -> Alcotest.fail "randomio did not finish"
+
+let test_webserver_local () =
+  let w = make_world () in
+  let pool = pool_of () in
+  let disk = Disk.create w.engine ~name:"local" ~bandwidth:400e6 ~latency:1e-3 ~seek:2e-3 in
+  let fs = Local_fs.create w.kernel ~name:"ext4" ~disk ~max_dirty:(mib 512) () in
+  Kernel.start_flushers w.kernel;
+  let ctx = ctx_of w pool in
+  let p =
+    { Webserver.default_params with Webserver.files = 100; threads = 4; duration = 2.0 }
+  in
+  let result = ref None in
+  Engine.spawn w.engine (fun () -> result := Some (Webserver.run ctx ~fs p));
+  Engine.run_until w.engine 100.0;
+  match !result with
+  | Some r -> check_bool "read-heavy" true (r.Webserver.stats.Workload.bytes_read > r.Webserver.stats.Workload.bytes_written)
+  | None -> Alcotest.fail "webserver did not finish"
+
+(* ------------------------------------------------------------------ *)
+(* Sysbench *)
+
+let test_sysbench_uncontended_latency () =
+  let w = make_world () in
+  let pool = pool_of () in
+  let ctx = ctx_of w pool in
+  let p = { Sysbench.default_params with Sysbench.duration = 2.0 } in
+  let result = ref None in
+  Engine.spawn w.engine (fun () -> result := Some (Sysbench.run ctx p));
+  Engine.run w.engine;
+  match !result with
+  | Some r ->
+      (* 2 threads on 2 free cores: latency = event cost *)
+      Alcotest.(check (float 1e-4)) "uncontended latency" p.Sysbench.event_cpu
+        (Stats.percentile r.Sysbench.latency 99.0);
+      check_bool "events counted" true (r.Sysbench.events > 1000)
+  | None -> Alcotest.fail "sysbench did not finish"
+
+let test_sysbench_latency_rises_under_steal () =
+  (* a greedy neighbour allowed on the sysbench cores inflates its
+     event latency — the Fig. 6c mechanism *)
+  let w = make_world ~cores:2 () in
+  let pool = pool_of ~cores:[| 0; 1 |] () in
+  let ctx = ctx_of w pool in
+  let p = { Sysbench.default_params with Sysbench.duration = 2.0 } in
+  let result = ref None in
+  Engine.spawn w.engine (fun () -> result := Some (Sysbench.run ctx p));
+  (* two stealing hogs on the same cores *)
+  for _ = 1 to 2 do
+    Engine.spawn w.engine (fun () ->
+        while Engine.time () < 2.0 do
+          Cpu.compute w.cpu ~tenant:"hog" ~eligible:[| 0; 1 |] 1e-3
+        done)
+  done;
+  Engine.run w.engine;
+  match !result with
+  | Some r ->
+      check_bool "latency inflated" true
+        (Stats.percentile r.Sysbench.latency 99.0 > 1.5 *. p.Sysbench.event_cpu)
+  | None -> Alcotest.fail "sysbench did not finish"
+
+(* ------------------------------------------------------------------ *)
+(* Kvstore *)
+
+let small_kv =
+  {
+    Kvstore.default_params with
+    Kvstore.memtable_bytes = 2 * 1024 * 1024;
+    value_bytes = 64 * 1024;
+    l0_compaction_trigger = 2;
+    l0_stall_trigger = 4;
+  }
+
+let test_kvstore_put_flush_compact () =
+  let w = make_world () in
+  let pool = pool_of ~cores:[| 0; 1; 2; 3 |] () in
+  let _, ct = make_container w pool "kv" in
+  let ctx = ctx_of w pool in
+  let kv = ref None in
+  Engine.spawn w.engine (fun () ->
+      let t = Kvstore.create ctx ~view:ct.Container_engine.view small_kv in
+      kv := Some t;
+      Kvstore.populate t ~thread:1 ~bytes:(16 * 1024 * 1024);
+      (* give compaction a moment *)
+      Engine.sleep 30.0;
+      Kvstore.shutdown t);
+  Engine.run_until w.engine 600.0;
+  match !kv with
+  | None -> Alcotest.fail "kvstore did not start"
+  | Some t ->
+      check_bool "data inserted" true (Kvstore.db_bytes t >= 16 * 1024 * 1024);
+      check_bool "puts recorded" true ((Kvstore.put_stats t).Workload.ops > 100);
+      check_bool "compaction kept L0 below the stall trigger" true
+        (Kvstore.l0_depth t < small_kv.Kvstore.l0_stall_trigger)
+
+let test_kvstore_get_reads_sst () =
+  let w = make_world () in
+  let pool = pool_of ~cores:[| 0; 1; 2; 3 |] () in
+  let _, ct = make_container w pool "kv2" in
+  let ctx = ctx_of w pool in
+  let reads = ref 0.0 in
+  Engine.spawn w.engine (fun () ->
+      let t = Kvstore.create ctx ~view:ct.Container_engine.view small_kv in
+      Kvstore.populate t ~thread:1 ~bytes:(8 * 1024 * 1024);
+      for _ = 1 to 50 do
+        Kvstore.get t ~thread:1
+      done;
+      reads := (Kvstore.get_stats t).Workload.bytes_read;
+      Kvstore.shutdown t);
+  Engine.run_until w.engine 600.0;
+  check_bool "gets recorded" true (!reads > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Startup / Filerw *)
+
+let test_startup_uses_legacy_path () =
+  let w = make_world () in
+  let pool = pool_of () in
+  let engine = Container_engine.create ~kernel:w.kernel ~cluster:w.cluster ~topology:topo in
+  let p = Startup.default_params in
+  Container_engine.install_image engine ~name:"lighttpd" ~files:(Startup.image_files p);
+  let ct =
+    Container_engine.launch engine ~config:Config.d ~pool ~id:"web0" ~image:"lighttpd" ()
+  in
+  let ctx = ctx_of w pool in
+  let finished = ref false in
+  Engine.spawn w.engine (fun () ->
+      Startup.start_container ctx
+        ~view:(ct.Container_engine.view ~thread:1)
+        ~legacy:ct.Container_engine.legacy p;
+      finished := true);
+  Engine.run_until w.engine 600.0;
+  check_bool "startup completed" true !finished;
+  check_bool "exec/mmap crossed the FUSE legacy path" true
+    (Counters.get (Kernel.counters w.kernel) ~metric:"fuse_requests" ~key:"pool0" > 10.0)
+
+let test_fileappend_copy_up_amplification () =
+  let w = make_world () in
+  let pool = pool_of () in
+  let engine = Container_engine.create ~kernel:w.kernel ~cluster:w.cluster ~topology:topo in
+  let file_bytes = 32 * 1024 * 1024 in
+  Container_engine.install_image engine ~name:"data" ~files:[ ("/big", file_bytes) ];
+  let ct =
+    Container_engine.launch engine ~config:Config.d ~pool ~id:"fa" ~image:"data" ()
+  in
+  let ctx = ctx_of w pool in
+  Engine.spawn w.engine (fun () ->
+      Filerw.fileappend ctx
+        ~view:(ct.Container_engine.view ~thread:1)
+        ~path:"/big" ~append_bytes:(mib 1) ~chunk:(mib 1));
+  Engine.run_until w.engine 600.0;
+  check_int "append triggered exactly one copy-up" 1
+    (Danaus_union.Union_fs.copy_ups ct.Container_engine.instance);
+  (* the paper's ~50/50 read/write amplification: the whole lower file
+     was read and rewritten into the upper branch *)
+  let view = ct.Container_engine.view ~thread:2 in
+  Engine.spawn w.engine (fun () ->
+      let a =
+        ok_or_fail "stat" (view.Client_intf.stat ~pool "/big")
+      in
+      check_int "upper copy holds file + append" (file_bytes + mib 1)
+        a.Danaus_ceph.Namespace.size);
+  Engine.run_until w.engine 1200.0
+
+let test_fileread_whole_file () =
+  let w = make_world () in
+  let pool = pool_of () in
+  let engine = Container_engine.create ~kernel:w.kernel ~cluster:w.cluster ~topology:topo in
+  let file_bytes = 16 * 1024 * 1024 in
+  Container_engine.install_image engine ~name:"data" ~files:[ ("/big", file_bytes) ];
+  let ct =
+    Container_engine.launch engine ~config:Config.kk ~pool ~id:"fr" ~image:"data" ()
+  in
+  let ctx = ctx_of w pool in
+  let finished = ref false in
+  Engine.spawn w.engine (fun () ->
+      Filerw.fileread ctx ~view:(ct.Container_engine.view ~thread:1) ~path:"/big"
+        ~chunk:(mib 1);
+      finished := true);
+  Engine.run_until w.engine 600.0;
+  check_bool "read completed" true !finished;
+  check_int "no copy-up on read" 0
+    (Danaus_union.Union_fs.copy_ups ct.Container_engine.instance)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ("workloads.fileserver", [ tc "runs and measures" `Quick test_fileserver_runs ]);
+    ("workloads.seqio", [ tc "write then cached read" `Quick test_seqio_write_then_cached_read ]);
+    ( "workloads.local",
+      [
+        tc "randomio" `Quick test_randomio_local;
+        tc "webserver" `Quick test_webserver_local;
+      ] );
+    ( "workloads.sysbench",
+      [
+        tc "uncontended latency" `Quick test_sysbench_uncontended_latency;
+        tc "latency under steal" `Quick test_sysbench_latency_rises_under_steal;
+      ] );
+    ( "workloads.kvstore",
+      [
+        tc "put/flush/compact" `Quick test_kvstore_put_flush_compact;
+        tc "get reads SSTs" `Quick test_kvstore_get_reads_sst;
+      ] );
+    ( "workloads.containers",
+      [
+        tc "startup legacy path" `Quick test_startup_uses_legacy_path;
+        tc "fileappend copy-up" `Quick test_fileappend_copy_up_amplification;
+        tc "fileread" `Quick test_fileread_whole_file;
+      ] );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace capture/replay *)
+
+let test_trace_parse_errors () =
+  (match Trace.parse "read /f 0" with
+  | Error bad -> Alcotest.(check string) "offending line" "read /f 0" bad
+  | Ok _ -> Alcotest.fail "expected parse error");
+  match Trace.parse "open /a\n# comment\n\nsleep 0.5\n" with
+  | Ok t -> check_int "comments and blanks skipped" 2 (Array.length t)
+  | Error e -> Alcotest.failf "parse failed on %s" e
+
+let test_trace_replay_roundtrip () =
+  let w = make_world () in
+  let pool = pool_of () in
+  let _, ct = make_container w pool "trace" in
+  let text =
+    "openw /data/a\nwrite /data/a 0 65536\nread /data/a 0 65536\nstat /data/a\n\
+     sleep 0.01\nunlink /data/a\nread /data/a 0 4096\n"
+  in
+  let trace = match Trace.parse text with Ok t -> t | Error e -> Alcotest.failf "parse: %s" e in
+  let result = ref None in
+  Engine.spawn w.engine (fun () ->
+      let ctx = ctx_of w pool in
+      result := Some (Trace.replay ctx ~view:ct.Container_engine.view trace));
+  Engine.run_until w.engine 120.0;
+  match !result with
+  | Some (stats, elapsed, errors) ->
+      check_bool "bytes moved" true
+        (stats.Workload.bytes_written = 65536.0 && stats.Workload.bytes_read >= 65536.0);
+      check_bool "sleep advanced time" true (elapsed >= 0.01);
+      check_int "read after unlink tolerated" 1 errors
+  | None -> Alcotest.fail "replay did not finish"
+
+let test_trace_synthesize_and_replay_threads () =
+  let w = make_world () in
+  let pool = pool_of () in
+  let _, ct = make_container w pool "syn" in
+  let trace =
+    Trace.synthesize (Rng.create 5) ~ops:200 ~files:10 ~mean_io:32768
+      ~write_fraction:0.6 ~dir:"/traced"
+  in
+  let result = ref None in
+  Engine.spawn w.engine (fun () ->
+      let ctx = ctx_of w pool in
+      result := Some (Trace.replay ctx ~view:ct.Container_engine.view ~threads:4 trace));
+  Engine.run_until w.engine 300.0;
+  match !result with
+  | Some (stats, _, _) ->
+      check_bool "work done across threads" true (stats.Workload.ops > 100)
+  | None -> Alcotest.fail "replay did not finish"
+
+let prop_trace_roundtrip =
+  QCheck.Test.make ~name:"trace text format round-trips" ~count:100
+    QCheck.(int_range 0 200)
+    (fun seed ->
+      let t =
+        Trace.synthesize (Rng.create seed) ~ops:50 ~files:5 ~mean_io:4096
+          ~write_fraction:0.5 ~dir:"/d"
+      in
+      match Trace.parse (Trace.to_string t) with
+      | Ok t2 -> t = t2
+      | Error _ -> false)
+
+let trace_suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "workloads.trace",
+      [
+        tc "parse errors" `Quick test_trace_parse_errors;
+        tc "replay roundtrip" `Quick test_trace_replay_roundtrip;
+        tc "synthesized multi-thread replay" `Quick test_trace_synthesize_and_replay_threads;
+      ] );
+    ("workloads.trace_properties", List.map QCheck_alcotest.to_alcotest [ prop_trace_roundtrip ]);
+  ]
+
+let suite = suite @ trace_suite
+
+(* ------------------------------------------------------------------ *)
+(* Startup image manifest *)
+
+let test_startup_image_files () =
+  let p = Startup.default_params in
+  let files = Startup.image_files p in
+  check_int "binary + libraries + configs" 23 (List.length files);
+  check_bool "binary first" true (List.mem_assoc "/usr/sbin/lighttpd" files);
+  check_bool "all sizes positive" true (List.for_all (fun (_, b) -> b > 0) files)
+
+let test_fileserver_dataset_sharded () =
+  (* the fileset spreads over 20 subdirectories (Filebench dirwidth) *)
+  let w = make_world () in
+  let pool = pool_of () in
+  let _, ct = make_container w pool "shard" in
+  let ctx = ctx_of w pool in
+  let p = { small_fls with Fileserver.files = 40 } in
+  Engine.spawn w.engine (fun () ->
+      Fileserver.prepopulate ctx ~view:ct.Container_engine.view p;
+      let v = ct.Container_engine.view ~thread:1 in
+      let dirs =
+        match v.Client_intf.readdir ~pool "/flsdata" with Ok l -> l | Error _ -> []
+      in
+      check_int "20 shard directories" 20 (List.length dirs));
+  Engine.run_until w.engine 300.0
+
+let manifest_suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "workloads.misc",
+      [
+        tc "startup image manifest" `Quick test_startup_image_files;
+        tc "fileserver dataset sharded" `Quick test_fileserver_dataset_sharded;
+      ] );
+  ]
+
+let suite = suite @ manifest_suite

@@ -1,0 +1,88 @@
+(* Shared test fixture: a small simulated host plus a Ceph-like cluster,
+   and client constructors used across the test suites. *)
+
+open Danaus_sim
+open Danaus_hw
+open Danaus_kernel
+open Danaus_ceph
+open Danaus_client
+
+let mib n = n * 1024 * 1024
+let gib n = n * 1024 * 1024 * 1024
+
+type world = {
+  engine : Engine.t;
+  cpu : Cpu.t;
+  kernel : Kernel.t;
+  cluster : Cluster.t;
+}
+
+let make_world ?(cores = 8) () =
+  let engine = Engine.create () in
+  let cpu = Cpu.create engine ~cores in
+  let activated = Array.init cores (fun i -> i) in
+  let kernel = Kernel.create engine ~cpu ~activated ~page_cache_limit:(gib 4) in
+  let net = Net.create engine in
+  let client_node = Net.add_node net ~name:"client" ~bandwidth:2.5e9 ~latency:20e-6 in
+  let server_node = Net.add_node net ~name:"server" ~bandwidth:2.5e9 ~latency:20e-6 in
+  let osds =
+    Array.init 6 (fun i ->
+        let data =
+          Disk.create engine ~name:(Printf.sprintf "osd%d-data" i) ~bandwidth:2e9
+            ~latency:5e-6 ~seek:0.0
+        in
+        let journal =
+          Disk.create engine ~name:(Printf.sprintf "osd%d-j" i) ~bandwidth:2e9
+            ~latency:5e-6 ~seek:0.0
+        in
+        Osd.create engine ~name:(Printf.sprintf "osd%d" i) ~data ~journal
+          ~concurrency:8 ~op_cost:30e-6 ~cpu_per_byte:(1.0 /. 4e9))
+  in
+  let mds = Mds.create engine ~concurrency:8 ~op_cost:50e-6 in
+  let cluster =
+    Cluster.create engine ~net ~client_node ~server_node ~osds ~mds ~replicas:1
+      ~object_size:(4 * 1024 * 1024)
+  in
+  { engine; cpu; kernel; cluster }
+
+let pool_of ?(name = "pool0") ?(cores = [| 0; 1 |]) () =
+  Cgroup.create ~name ~cores ~mem_limit:(gib 8)
+
+let make_lib_client ?(cache = mib 512) w pool name =
+  let c =
+    Lib_client.create w.engine ~cpu:w.cpu ~costs:(Kernel.costs w.kernel)
+      ~cluster:w.cluster ~pool ~counters:(Kernel.counters w.kernel)
+      ~config:(Lib_client.default_config ~cache_bytes:cache) ~name
+  in
+  Lib_client.start c;
+  c
+
+let ok_or_fail what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what (Client_intf.error_to_string e)
+
+let total_osd_written cluster =
+  Array.fold_left (fun acc o -> acc +. Osd.bytes_written o) 0.0 (Cluster.osds cluster)
+
+(* Charge function attributing union bookkeeping CPU to the pool. *)
+let pool_charge w ~pool dt =
+  if dt > 0.0 then
+    Cpu.compute w.cpu ~tenant:(Cgroup.name pool) ~eligible:(Cgroup.cores pool) dt
+
+(* Write a file through an iface (create/trunc), in 1 MiB chunks. *)
+let write_file iface ~pool path bytes =
+  let fd = ok_or_fail "open" (iface.Client_intf.open_file ~pool path Client_intf.flags_wo) in
+  let chunk = mib 1 in
+  let off = ref 0 in
+  while !off < bytes do
+    let len = Stdlib.min chunk (bytes - !off) in
+    ok_or_fail "write" (iface.Client_intf.write ~pool fd ~off:!off ~len);
+    off := !off + len
+  done;
+  ok_or_fail "fsync" (iface.Client_intf.fsync ~pool fd);
+  iface.Client_intf.close ~pool fd
+
+(* Context builder used by suites that don't import the experiments lib. *)
+module Testbed_ctx = struct
+  let make w pool = Danaus_workloads.Workload.make_ctx w.engine ~cpu:w.cpu ~pool ~seed:7
+end

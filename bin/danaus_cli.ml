@@ -3,7 +3,40 @@
 
 open Cmdliner
 
-let run_experiment ?csv_dir ~quick id =
+(* Structured metrics land in JSON by default, CSV when the file name
+   ends in .csv. *)
+let write_metrics file reports =
+  let text =
+    if Filename.check_suffix file ".csv" then
+      Danaus_experiments.Report.metrics_csv reports
+    else Danaus_experiments.Report.metrics_json reports
+  in
+  Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc text);
+  Printf.printf "(metrics written to %s)\n" file
+
+let write_trace file reports =
+  Out_channel.with_open_text file (fun oc ->
+      Out_channel.output_string oc
+        (Danaus_experiments.Report.trace_json reports));
+  Printf.printf "(trace written to %s)\n" file
+
+let print_reports ?csv_dir reports =
+  List.iter
+    (fun r ->
+      print_string (Danaus_experiments.Report.render r);
+      match csv_dir with
+      | None -> ()
+      | Some dir ->
+          let file =
+            Filename.concat dir (r.Danaus_experiments.Report.id ^ ".csv")
+          in
+          Out_channel.with_open_text file (fun oc ->
+              Out_channel.output_string oc
+                (Danaus_experiments.Report.to_csv r));
+          Printf.printf "(csv written to %s)\n" file)
+    reports
+
+let run_experiment ?csv_dir ?metrics_file ?trace_file ~quick id =
   match Danaus_experiments.Registry.find id with
   | None ->
       Printf.eprintf "unknown experiment %S; try `danaus-cli list`\n" id;
@@ -12,20 +45,9 @@ let run_experiment ?csv_dir ~quick id =
       Printf.printf "# %s\n%!" e.Danaus_experiments.Registry.title;
       let t0 = Unix.gettimeofday () in
       let reports = e.Danaus_experiments.Registry.run ~quick in
-      List.iter
-        (fun r ->
-          print_string (Danaus_experiments.Report.render r);
-          match csv_dir with
-          | None -> ()
-          | Some dir ->
-              let file =
-                Filename.concat dir (r.Danaus_experiments.Report.id ^ ".csv")
-              in
-              Out_channel.with_open_text file (fun oc ->
-                  Out_channel.output_string oc
-                    (Danaus_experiments.Report.to_csv r));
-              Printf.printf "(csv written to %s)\n" file)
-        reports;
+      print_reports ?csv_dir reports;
+      Option.iter (fun f -> write_metrics f reports) metrics_file;
+      Option.iter (fun f -> write_trace f reports) trace_file;
       Printf.printf "(completed in %.1fs wall time)\n\n%!"
         (Unix.gettimeofday () -. t0)
 
@@ -51,20 +73,67 @@ let csv_dir_flag =
   let doc = "Also write each table to DIR/<id>.csv." in
   Arg.(value & opt (some dir) None & info [ "csv" ] ~doc ~docv:"DIR")
 
+let metrics_flag =
+  let doc =
+    "Write the structured per-layer metrics behind the tables (lock \
+     wait/hold, core busy time, flusher activity, IPC round trips, ...) to \
+     FILE — JSON, or CSV when FILE ends in .csv."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~doc ~docv:"FILE")
+
+let trace_flag =
+  let doc =
+    "Enable span tracing and write the collected trace (timestamped \
+     kernel/IPC span events) to FILE as JSON."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+
+let jobs_flag =
+  let doc =
+    "Run experiments on N domains in parallel (output is identical to a \
+     sequential run)."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~doc ~docv:"N")
+
+(* Tracing must be decided before any engine exists: engines inherit the
+   default at creation, including inside parallel runner domains. *)
+let apply_trace_default trace_file =
+  if trace_file <> None then Danaus_sim.Obs.default_tracing := true
+
 let run_cmd =
   let doc = "Run one experiment by id (e.g. fig6a)" in
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
-  let run quick csv_dir id = run_experiment ?csv_dir ~quick id in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ quick_flag $ csv_dir_flag $ id)
+  let run quick csv_dir metrics_file trace_file id =
+    apply_trace_default trace_file;
+    run_experiment ?csv_dir ?metrics_file ?trace_file ~quick id
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ quick_flag $ csv_dir_flag $ metrics_flag $ trace_flag $ id)
 
 let all_cmd =
-  let doc = "Run every experiment in sequence" in
-  let run quick =
+  let doc = "Run every experiment (optionally on several domains)" in
+  let run quick jobs metrics_file trace_file =
+    apply_trace_default trace_file;
+    let t0 = Unix.gettimeofday () in
+    let results =
+      Danaus_experiments.Registry.run_exps ~jobs ~quick
+        Danaus_experiments.Registry.all
+    in
     List.iter
-      (fun e -> run_experiment ~quick e.Danaus_experiments.Registry.id)
-      Danaus_experiments.Registry.all
+      (fun (e, reports) ->
+        Printf.printf "# %s\n%!" e.Danaus_experiments.Registry.title;
+        print_reports reports;
+        print_newline ())
+      results;
+    let all_reports = List.concat_map snd results in
+    Option.iter (fun f -> write_metrics f all_reports) metrics_file;
+    Option.iter (fun f -> write_trace f all_reports) trace_file;
+    Printf.printf "(completed in %.1fs wall time)\n%!"
+      (Unix.gettimeofday () -. t0)
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ quick_flag)
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(const run $ quick_flag $ jobs_flag $ metrics_flag $ trace_flag)
 
 let replay_cmd =
   let doc = "Replay an operation trace file against a Table 1 configuration" in

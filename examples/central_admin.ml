@@ -51,7 +51,7 @@ let () =
   let admin =
     Lib_client.create tb.Testbed.engine ~cpu:tb.Testbed.cpu
       ~costs:(Kernel.costs tb.Testbed.kernel) ~cluster:tb.Testbed.cluster
-      ~pool:admin_pool ~counters:(Kernel.counters tb.Testbed.kernel)
+      ~pool:admin_pool
       ~config:(Lib_client.default_config ~cache_bytes:(1 lsl 28))
       ~name:"admin"
   in

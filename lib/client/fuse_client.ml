@@ -5,8 +5,8 @@ type t = { lib : Lib_client.t; iface_v : Client_intf.t }
 let create kernel ~cluster ~pool ~config ~name ~page_cache ?threads () =
   let lib =
     Lib_client.create (Kernel.engine kernel) ~cpu:(Kernel.cpu kernel)
-      ~costs:(Kernel.costs kernel) ~cluster ~pool ~counters:(Kernel.counters kernel)
-      ~config ~name:(name ^ ".daemon")
+      ~costs:(Kernel.costs kernel) ~cluster ~pool ~config
+      ~name:(name ^ ".daemon")
   in
   Lib_client.start lib;
   let fuse = Fuse.create kernel ~name ~pool in

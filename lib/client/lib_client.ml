@@ -32,7 +32,7 @@ type t = {
   costs : Costs.t;
   cluster : Cluster.t;
   pool : Cgroup.t;
-  counters : Counters.t;
+  ctx_switch_c : Obs.counter;
   config : config;
   name : string;
   lock : Mutex_sim.t;
@@ -53,7 +53,7 @@ type t = {
 
 let flush_chunk = 4 * 1024 * 1024
 
-let create engine ~cpu ~costs ~cluster ~pool ~counters ~config ~name =
+let create engine ~cpu ~costs ~cluster ~pool ~config ~name =
   let cache_mem = Memory.create ~name:(name ^ ".ulcc") () in
   let cache =
     Page_cache.create engine ~mem:cache_mem ~limit:config.cache_bytes
@@ -72,7 +72,9 @@ let create engine ~cpu ~costs ~cluster ~pool ~counters ~config ~name =
     costs;
     cluster;
     pool;
-    counters;
+    ctx_switch_c =
+      Obs.counter (Engine.obs engine) ~layer:"client" ~name:"context_switches"
+        ~key:(Cgroup.name pool);
     config;
     name;
     lock = Mutex_sim.create engine ~name:(name ^ ".client_lock");
@@ -80,7 +82,8 @@ let create engine ~cpu ~costs ~cluster ~pool ~counters ~config ~name =
     cache_mount;
     cache_mem;
     table = Fd_table.create ();
-    flush_window = Semaphore_sim.create engine ~value:8;
+    flush_window =
+      Semaphore_sim.create engine ~name:(name ^ ".flush_window") ~value:8;
     fetch_locks = Hashtbl.create 64;
     ino_locks = Hashtbl.create 64;
     started = false;
@@ -99,7 +102,7 @@ let user_cpu t dt =
    send/receive plus a blocking context-switch pair. *)
 let net_op t f =
   user_cpu t ((2.0 *. t.costs.mode_switch) +. (2.0 *. t.costs.context_switch));
-  Counters.add t.counters ~metric:"context_switches" ~key:(Cgroup.name t.pool) 2.0;
+  Obs.add t.ctx_switch_c 2.0;
   f ()
 
 let size_ref t ino = Fd_table.size_ref t.table ino

@@ -37,15 +37,16 @@ type config = {
 (** Paper defaults: dirty ratio 0.5, 1 s writeback, 5 s expire. *)
 val default_config : cache_bytes:int -> config
 
-(** [create engine ~cpu ~costs ~cluster ~pool ~counters ~config ~name]
-    builds a client whose work is attributed to [pool]. *)
+(** [create engine ~cpu ~costs ~cluster ~pool ~config ~name] builds a
+    client whose work is attributed to [pool].  Its socket context
+    switches land in the engine's {!Obs} context under
+    ["client"/"context_switches"] keyed by the pool name. *)
 val create :
   Engine.t ->
   cpu:Cpu.t ->
   costs:Costs.t ->
   cluster:Cluster.t ->
   pool:Cgroup.t ->
-  counters:Counters.t ->
   config:config ->
   name:string ->
   t

@@ -52,8 +52,7 @@ let build_shared t ~(config : Config.t) ~pool ~cache_bytes ~fine_grained =
       let lib =
         Lib_client.create (Kernel.engine t.kernel) ~cpu:(Kernel.cpu t.kernel)
           ~costs:(Kernel.costs t.kernel) ~cluster:t.cluster ~pool
-          ~counters:(Kernel.counters t.kernel) ~config:lib_config
-          ~name:(key ^ ".client")
+          ~config:lib_config ~name:(key ^ ".client")
       in
       Lib_client.start lib;
       let service =

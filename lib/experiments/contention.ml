@@ -14,6 +14,8 @@ type outcome = {
   neighbor_metric : float;
   lock_avg_wait : float;
   lock_avg_hold : float;
+  metrics : Obs.sample list;
+  spans : Obs.span list;
 }
 
 let gib n = n * 1024 * 1024 * 1024
@@ -144,7 +146,16 @@ let run ~quick ~fls_count ~system ~neighbor =
         | None -> 0.0)
   in
   let lock_avg_wait, lock_avg_hold, _ = Kernel.lock_request_stats tb.Testbed.kernel in
-  { fls_throughput; fls_latency; stolen_util_pct; neighbor_metric; lock_avg_wait; lock_avg_hold }
+  {
+    fls_throughput;
+    fls_latency;
+    stolen_util_pct;
+    neighbor_metric;
+    lock_avg_wait;
+    lock_avg_hold;
+    metrics = Obs.snapshot tb.Testbed.obs;
+    spans = Obs.spans tb.Testbed.obs;
+  }
 
 let table2 () =
   [
@@ -186,10 +197,15 @@ let interference_figure ~id ~title ~quick ~systems ~nb ~nb_name ~nb_unit =
           [ 1; 7 ])
       systems
   in
+  let outcomes =
+    List.map
+      (fun ((system, count, neighbor) as cell) ->
+        (cell, run ~quick ~fls_count:count ~system ~neighbor))
+      cells
+  in
   let rows =
     List.map
-      (fun (system, count, neighbor) ->
-        let o = run ~quick ~fls_count:count ~system ~neighbor in
+      (fun ((system, count, neighbor), o) ->
         [
           label system count neighbor;
           Report.mbps o.fls_throughput;
@@ -202,8 +218,17 @@ let interference_figure ~id ~title ~quick ~systems ~nb ~nb_name ~nb_unit =
           Printf.sprintf "%.1f" (o.lock_avg_wait *. 1e6);
           Printf.sprintf "%.1f" (o.lock_avg_hold *. 1e6);
         ])
-      cells
+      outcomes
   in
+  (* each cell ran on its own testbed: merge the snapshots, prefixing
+     every key with the cell's workload label *)
+  let metrics =
+    List.concat_map
+      (fun ((system, count, neighbor), o) ->
+        Obs.prefix_keys (label system count neighbor ^ ":") o.metrics)
+      outcomes
+  in
+  let spans = List.concat_map (fun (_, o) -> o.spans) outcomes in
   Report.make ~id ~title
     ~header:
       [
@@ -214,7 +239,7 @@ let interference_figure ~id ~title ~quick ~systems ~nb ~nb_name ~nb_unit =
         "lock wait us/req";
         "lock hold us/req";
       ]
-    rows
+    ~metrics ~spans rows
 
 let fig1 ~quick =
   [
@@ -237,23 +262,35 @@ let fig6b ~quick =
 
 let fig6c ~quick =
   (* latency-oriented: 1 FLS instance only, as in the paper *)
-  let rows =
+  let outcomes =
     List.concat_map
       (fun system ->
         List.map
           (fun neighbor ->
-            let o = run ~quick ~fls_count:1 ~system ~neighbor in
-            [
-              label system 1 neighbor;
-              Report.ms o.fls_latency;
-              (if neighbor = Ssb then Report.ms o.neighbor_metric else "-");
-              Report.f1 o.stolen_util_pct;
-            ])
+            ((system, neighbor), run ~quick ~fls_count:1 ~system ~neighbor))
           [ No_neighbor; Ssb ])
       [ K; D ]
   in
+  let rows =
+    List.map
+      (fun ((system, neighbor), o) ->
+        [
+          label system 1 neighbor;
+          Report.ms o.fls_latency;
+          (if neighbor = Ssb then Report.ms o.neighbor_metric else "-");
+          Report.f1 o.stolen_util_pct;
+        ])
+      outcomes
+  in
+  let metrics =
+    List.concat_map
+      (fun ((system, neighbor), o) ->
+        Obs.prefix_keys (label system 1 neighbor ^ ":") o.metrics)
+      outcomes
+  in
+  let spans = List.concat_map (fun (_, o) -> o.spans) outcomes in
   [
     Report.make ~id:"fig6c" ~title:"Fileserver x Sysbench latency interference"
       ~header:[ "workload"; "FLS mean latency"; "SSB p99 latency"; "stolen core util %" ]
-      rows;
+      ~metrics ~spans rows;
   ]

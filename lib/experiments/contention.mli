@@ -20,6 +20,9 @@ type outcome = {
       (** RND: ops/s; WBS: MB/s; SSB: 99th-pct event latency (s) *)
   lock_avg_wait : float;  (** kernel locks: avg wait per request *)
   lock_avg_hold : float;
+  metrics : Danaus_sim.Obs.sample list;
+      (** full per-layer {!Danaus_sim.Obs} snapshot of the cell's testbed *)
+  spans : Danaus_sim.Obs.span list;  (** trace ring (when tracing) *)
 }
 
 (** One cell of the figure. *)

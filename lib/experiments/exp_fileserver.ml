@@ -1,5 +1,4 @@
 open Danaus_sim
-open Danaus_kernel
 open Danaus
 open Danaus_workloads
 
@@ -50,26 +49,47 @@ let run_cell ~quick ~config ~pools =
         match r with Some r -> acc +. r.Fileserver.throughput_mbps | None -> acc)
       0.0 results
   in
-  let io_wait =
-    Counters.total (Kernel.counters tb.Testbed.kernel) ~metric:"io_wait"
-  in
-  (total, io_wait)
+  let io_wait = Obs.sum tb.Testbed.obs ~layer:"kernel" ~name:"io_wait" () in
+  (total, io_wait, Obs.snapshot tb.Testbed.obs, Obs.spans tb.Testbed.obs)
 
 let fig10 ~quick =
   let pool_counts = if quick then [ 1; 8 ] else [ 1; 2; 4; 8; 16 ] in
   let configs = [ Config.d; Config.f; Config.k ] in
-  let rows =
+  let cells =
     List.map
       (fun pools ->
-        let cells = List.map (fun c -> run_cell ~quick ~config:c ~pools) configs in
-        string_of_int pools
-        :: (List.map (fun (t, _) -> Report.mbps t) cells
-           @ List.map (fun (_, w) -> Report.f1 w) cells))
+        ( pools,
+          List.map (fun c -> (c, run_cell ~quick ~config:c ~pools)) configs ))
       pool_counts
+  in
+  let rows =
+    List.map
+      (fun (pools, cells) ->
+        string_of_int pools
+        :: (List.map (fun (_, (t, _, _, _)) -> Report.mbps t) cells
+           @ List.map (fun (_, (_, w, _, _)) -> Report.f1 w) cells))
+      cells
+  in
+  let metrics =
+    List.concat_map
+      (fun (pools, cells) ->
+        List.concat_map
+          (fun (c, (_, _, m, _)) ->
+            Obs.prefix_keys (Printf.sprintf "%s:p%d:" c.Config.label pools) m)
+          cells)
+      cells
+  in
+  let spans =
+    List.concat_map
+      (fun (_, cells) -> List.concat_map (fun (_, (_, _, _, s)) -> s) cells)
+      cells
   in
   let header =
     "pools"
     :: (List.map (fun c -> c.Config.label ^ " MB/s") configs
        @ List.map (fun c -> c.Config.label ^ " iowait s") configs)
   in
-  [ Report.make ~id:"fig10" ~title:"Fileserver scaleout (total MB/s)" ~header rows ]
+  [
+    Report.make ~id:"fig10" ~title:"Fileserver scaleout (total MB/s)" ~header
+      ~metrics ~spans rows;
+  ]

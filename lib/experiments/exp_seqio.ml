@@ -1,5 +1,4 @@
 open Danaus_sim
-open Danaus_kernel
 open Danaus
 open Danaus_workloads
 
@@ -59,21 +58,44 @@ let run_cell ~quick ~config ~pools ~mode =
         match r with Some r -> acc +. r.Seqio.throughput_mbps | None -> acc)
       0.0 results
   in
-  let io_wait =
-    Counters.total (Kernel.counters tb.Testbed.kernel) ~metric:"io_wait"
-  in
-  (total, io_wait)
+  let io_wait = Obs.sum tb.Testbed.obs ~layer:"kernel" ~name:"io_wait" () in
+  (total, io_wait, Obs.snapshot tb.Testbed.obs, Obs.spans tb.Testbed.obs)
 
 let figure ~quick ~mode =
   let pool_counts = if quick then [ 1; 8 ] else [ 1; 4; 8; 16; 32 ] in
   let configs = [ Config.d; Config.f; Config.k ] in
-  List.map
-    (fun pools ->
-      let cells = List.map (fun c -> run_cell ~quick ~config:c ~pools ~mode) configs in
-      string_of_int pools
-      :: (List.map (fun (t, _) -> Report.mbps t) cells
-         @ List.map (fun (_, w) -> Report.f1 w) cells))
-    pool_counts
+  let cells =
+    List.map
+      (fun pools ->
+        ( pools,
+          List.map
+            (fun c -> (c, run_cell ~quick ~config:c ~pools ~mode))
+            configs ))
+      pool_counts
+  in
+  let rows =
+    List.map
+      (fun (pools, cells) ->
+        string_of_int pools
+        :: (List.map (fun (_, (t, _, _, _)) -> Report.mbps t) cells
+           @ List.map (fun (_, (_, w, _, _)) -> Report.f1 w) cells))
+      cells
+  in
+  let metrics =
+    List.concat_map
+      (fun (pools, cells) ->
+        List.concat_map
+          (fun (c, (_, _, m, _)) ->
+            Obs.prefix_keys (Printf.sprintf "%s:p%d:" c.Config.label pools) m)
+          cells)
+      cells
+  in
+  let spans =
+    List.concat_map
+      (fun (_, cells) -> List.concat_map (fun (_, (_, _, _, s)) -> s) cells)
+      cells
+  in
+  (rows, metrics, spans)
 
 let fig9 ~quick =
   let configs = [ "D"; "F"; "K" ] in
@@ -82,9 +104,11 @@ let fig9 ~quick =
     :: (List.map (fun c -> c ^ " MB/s") configs
        @ List.map (fun c -> c ^ " iowait s") configs)
   in
+  let w_rows, w_metrics, w_spans = figure ~quick ~mode:Write in
+  let r_rows, r_metrics, r_spans = figure ~quick ~mode:Read in
   [
     Report.make ~id:"fig9w" ~title:"Seqwrite scaleout (total MB/s)" ~header
-      (figure ~quick ~mode:Write);
+      ~metrics:w_metrics ~spans:w_spans w_rows;
     Report.make ~id:"fig9r" ~title:"Seqread scaleout (total MB/s, warm cache)"
-      ~header (figure ~quick ~mode:Read);
+      ~header ~metrics:r_metrics ~spans:r_spans r_rows;
   ]

@@ -34,11 +34,13 @@ let run_cell ~config ~clones =
     containers;
   Testbed.drive tb ~stop:(fun () -> !finished = clones);
   let elapsed = !last_finish -. started in
+  (* kernel- and client-side switches of the pool together, matching the
+     host-wide counter the paper reads *)
   let ctx_switches =
-    Counters.get (Kernel.counters tb.Testbed.kernel) ~metric:"context_switches"
-      ~key:(Cgroup.name pool)
+    Obs.sum_key tb.Testbed.obs ~name:"context_switches"
+      ~key:(Cgroup.name pool) ()
   in
-  (elapsed, ctx_switches)
+  (elapsed, ctx_switches, Obs.snapshot tb.Testbed.obs, Obs.spans tb.Testbed.obs)
 
 let fig8 ~quick =
   let clone_counts = if quick then [ 1; 16; 64 ] else [ 1; 4; 16; 64; 256 ] in
@@ -51,20 +53,37 @@ let fig8 ~quick =
   let time_rows =
     List.map
       (fun (clones, results) ->
-        string_of_int clones :: List.map (fun (t, _) -> Report.f2 t) results)
+        string_of_int clones
+        :: List.map (fun (t, _, _, _) -> Report.f2 t) results)
       cells
   in
   let ctx_rows =
     List.map
       (fun (clones, results) ->
         string_of_int clones
-        :: List.map (fun (_, c) -> Printf.sprintf "%.0f" c) results)
+        :: List.map (fun (_, c, _, _) -> Printf.sprintf "%.0f" c) results)
+      cells
+  in
+  let metrics =
+    List.concat_map
+      (fun (clones, results) ->
+        List.concat_map
+          (fun (cfg, (_, _, m, _)) ->
+            Obs.prefix_keys
+              (Printf.sprintf "%s:c%d:" cfg.Config.label clones)
+              m)
+          (List.combine configs results))
+      cells
+  in
+  let spans =
+    List.concat_map
+      (fun (_, results) -> List.concat_map (fun (_, _, _, s) -> s) results)
       cells
   in
   let header = "clones" :: List.map (fun c -> c.Config.label) configs in
   [
     Report.make ~id:"fig8a" ~title:"Lighttpd container startup time (s)" ~header
-      time_rows;
+      ~metrics ~spans time_rows;
     Report.make ~id:"fig8b" ~title:"Context switches during startup" ~header
       ctx_rows;
   ]

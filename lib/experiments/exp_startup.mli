@@ -4,5 +4,9 @@
 
 val fig8 : quick:bool -> Report.t list
 
-(** One cell: (time to start all clones, context switches). *)
-val run_cell : config:Danaus.Config.t -> clones:int -> float * float
+(** One cell: (time to start all clones, context switches, per-layer
+    metric snapshot, trace spans). *)
+val run_cell :
+  config:Danaus.Config.t ->
+  clones:int ->
+  float * float * Danaus_sim.Obs.sample list * Danaus_sim.Obs.span list

@@ -116,3 +116,41 @@ let all =
 
 let find id = List.find_opt (fun e -> String.equal e.id id) all
 let ids () = List.map (fun e -> e.id) all
+
+(* Experiments are independent (each builds its own testbeds), so they
+   can run on separate domains.  Results land in a position-indexed
+   array and are returned in the input order, which keeps the printed
+   output byte-identical to a sequential run regardless of [jobs]. *)
+let run_exps ?(jobs = 1) ~quick exps =
+  let exps = Array.of_list exps in
+  let n = Array.length exps in
+  let results : (Report.t list, exn) result option array = Array.make n None in
+  let run_one i =
+    results.(i) <- Some (try Ok (exps.(i).run ~quick) with exn -> Error exn)
+  in
+  let jobs = Stdlib.min (Stdlib.max 1 jobs) (Stdlib.max 1 n) in
+  if jobs <= 1 then
+    for i = 0 to n - 1 do
+      run_one i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then run_one i else continue := false
+      done
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains
+  end;
+  Array.to_list
+    (Array.mapi
+       (fun i r ->
+         match r with
+         | Some (Ok reports) -> (exps.(i), reports)
+         | Some (Error exn) -> raise exn
+         | None -> assert false)
+       results)

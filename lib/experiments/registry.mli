@@ -13,3 +13,13 @@ val all : exp list
 val find : string -> exp option
 
 val ids : unit -> string list
+
+(** [run_exps ?jobs ~quick exps] runs the experiments and pairs each
+    with its reports, preserving the input order.  [jobs] > 1 spreads
+    the runs over that many domains (each experiment owns its engine
+    and testbeds, so they are independent); results are collected by
+    position, so the returned list — and anything printed from it — is
+    byte-identical to a sequential run.  If an experiment raised, the
+    exception is re-raised here after every domain has joined. *)
+val run_exps :
+  ?jobs:int -> quick:bool -> exp list -> (exp * Report.t list) list

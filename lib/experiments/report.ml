@@ -1,12 +1,17 @@
+open Danaus_sim
+
 type t = {
   id : string;
   title : string;
   header : string list;
   rows : string list list;
   notes : string list;
+  metrics : Obs.sample list;
+  spans : Obs.span list;
 }
 
-let make ~id ~title ~header ?(notes = []) rows = { id; title; header; rows; notes }
+let make ~id ~title ~header ?(notes = []) ?(metrics = []) ?(spans = []) rows =
+  { id; title; header; rows; notes; metrics; spans }
 
 let render t =
   let all = t.header :: t.rows in
@@ -55,3 +60,97 @@ let csv_cell cell =
 let to_csv t =
   let row cells = String.concat "," (List.map csv_cell cells) ^ "\n" in
   String.concat "" (List.map row (t.header :: t.rows))
+
+(* ------------------------------------------------------------------ *)
+(* Structured metric export (hand-rolled JSON: no json dep in-tree). *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+
+(* %.12g is deterministic, compact and round-trips every value the
+   simulator produces at the precision the tables report. *)
+let jnum v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let sample_json (s : Obs.sample) =
+  let base =
+    Printf.sprintf "{\"layer\":%s,\"name\":%s,\"key\":%s" (jstr s.s_layer)
+      (jstr s.s_name) (jstr s.s_key)
+  in
+  match s.s_value with
+  | Obs.Counter v -> Printf.sprintf "%s,\"kind\":\"counter\",\"value\":%s}" base (jnum v)
+  | Obs.Gauge v -> Printf.sprintf "%s,\"kind\":\"gauge\",\"value\":%s}" base (jnum v)
+  | Obs.Histogram h ->
+      Printf.sprintf
+        "%s,\"kind\":\"histogram\",\"count\":%d,\"total\":%s,\"mean\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s,\"max\":%s}"
+        base h.Obs.h_count (jnum h.Obs.h_total) (jnum h.Obs.h_mean)
+        (jnum h.Obs.h_p50) (jnum h.Obs.h_p95) (jnum h.Obs.h_p99)
+        (jnum h.Obs.h_max)
+
+let report_metrics_json t =
+  Printf.sprintf "{\"id\":%s,\"title\":%s,\"metrics\":[%s]}" (jstr t.id)
+    (jstr t.title)
+    (String.concat "," (List.map sample_json t.metrics))
+
+let metrics_json reports =
+  "{\"reports\":[\n"
+  ^ String.concat ",\n" (List.map report_metrics_json reports)
+  ^ "\n]}\n"
+
+let metrics_csv reports =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "report,layer,name,key,kind,value,count,mean,p50,p95,p99,max\n";
+  List.iter
+    (fun t ->
+      List.iter
+        (fun (s : Obs.sample) ->
+          let cells =
+            match s.s_value with
+            | Obs.Counter v ->
+                [ t.id; s.s_layer; s.s_name; s.s_key; "counter"; jnum v;
+                  ""; ""; ""; ""; ""; "" ]
+            | Obs.Gauge v ->
+                [ t.id; s.s_layer; s.s_name; s.s_key; "gauge"; jnum v;
+                  ""; ""; ""; ""; ""; "" ]
+            | Obs.Histogram h ->
+                [ t.id; s.s_layer; s.s_name; s.s_key; "histogram";
+                  jnum h.Obs.h_total; string_of_int h.Obs.h_count;
+                  jnum h.Obs.h_mean; jnum h.Obs.h_p50; jnum h.Obs.h_p95;
+                  jnum h.Obs.h_p99; jnum h.Obs.h_max ]
+          in
+          Buffer.add_string buf
+            (String.concat "," (List.map csv_cell cells) ^ "\n"))
+        t.metrics)
+    reports;
+  Buffer.contents buf
+
+let span_json (sp : Obs.span) =
+  Printf.sprintf "{\"t\":%s,\"layer\":%s,\"name\":%s,\"dur\":%s}"
+    (jnum sp.Obs.sp_at) (jstr sp.Obs.sp_layer) (jstr sp.Obs.sp_name)
+    (jnum sp.Obs.sp_dur)
+
+let trace_json reports =
+  let report_json t =
+    Printf.sprintf "{\"id\":%s,\"spans\":[%s]}" (jstr t.id)
+      (String.concat "," (List.map span_json t.spans))
+  in
+  "{\"reports\":[\n"
+  ^ String.concat ",\n" (List.map report_json reports)
+  ^ "\n]}\n"

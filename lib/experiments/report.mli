@@ -1,5 +1,8 @@
+open Danaus_sim
+
 (** Plain-text tables for the benchmark harness output and
-    EXPERIMENTS.md. *)
+    EXPERIMENTS.md, optionally carrying the structured per-layer
+    metrics and trace spans behind the table. *)
 
 type t = {
   id : string;  (** e.g. "fig6a" *)
@@ -7,10 +10,13 @@ type t = {
   header : string list;
   rows : string list list;
   notes : string list;
+  metrics : Obs.sample list;  (** per-layer snapshot behind the rows *)
+  spans : Obs.span list;  (** trace ring contents (when tracing) *)
 }
 
 val make :
   id:string -> title:string -> header:string list -> ?notes:string list ->
+  ?metrics:Obs.sample list -> ?spans:Obs.span list ->
   string list list -> t
 
 (** Render as an aligned text table. *)
@@ -18,6 +24,17 @@ val render : t -> string
 
 (** Render as CSV (header row first; cells quoted when needed). *)
 val to_csv : t -> string
+
+(** One JSON document covering the [metrics] of every report
+    ([{"reports":[{"id";"title";"metrics":[...]}]}]). *)
+val metrics_json : t list -> string
+
+(** The same metrics as flat CSV
+    ([report,layer,name,key,kind,value,count,mean,p50,p95,p99,max]). *)
+val metrics_csv : t list -> string
+
+(** One JSON document covering the trace [spans] of every report. *)
+val trace_json : t list -> string
 
 (** Formatting helpers. *)
 val f1 : float -> string

@@ -6,6 +6,7 @@ open Danaus
 
 type t = {
   engine : Engine.t;
+  obs : Obs.t;
   base_seed : int;
   topology : Topology.t;
   cpu : Cpu.t;
@@ -18,6 +19,7 @@ type t = {
 
 let create ?(seed = 1) ~activated () =
   let engine = Engine.create () in
+  let obs = Engine.obs engine in
   let topology = Topology.paper_machine () in
   let cpu = Cpu.create engine ~cores:Params.client_cores in
   let kernel =
@@ -68,7 +70,18 @@ let create ?(seed = 1) ~activated () =
              ~latency:Params.local_disk_latency ~seek:Params.local_disk_seek))
   in
   let containers = Container_engine.create ~kernel ~cluster ~topology in
-  { engine; base_seed = seed; topology; cpu; kernel; net; cluster; local_disk; containers }
+  {
+    engine;
+    obs;
+    base_seed = seed;
+    topology;
+    cpu;
+    kernel;
+    net;
+    cluster;
+    local_disk;
+    containers;
+  }
 
 let pool t i =
   ignore t;
@@ -96,7 +109,7 @@ let drive ?(limit = 100_000.0) t ~stop =
 let reset_metrics t =
   Cpu.reset_usage t.cpu;
   Kernel.reset_lock_stats t.kernel;
-  Counters.reset (Kernel.counters t.kernel)
+  Obs.reset t.obs
 
 let ctx t ~pool ~seed =
   (* derive from the testbed's base seed so that repeated runs with

@@ -10,6 +10,7 @@ open Danaus
 
 type t = {
   engine : Engine.t;
+  obs : Obs.t;  (** the engine's observability context *)
   base_seed : int;  (** mixed into every workload RNG stream *)
   topology : Topology.t;
   cpu : Cpu.t;
@@ -35,8 +36,9 @@ val custom_pool : t -> name:string -> cores:int array -> mem:int -> Cgroup.t
     [Failure] on timeout. *)
 val drive : ?limit:float -> t -> stop:(unit -> bool) -> unit
 
-(** Reset every measurement (CPU usage, lock stats, counters) — call
-    between the warm-up and the measured phase. *)
+(** Reset every measurement (CPU usage, lock stats, the whole {!Obs}
+    context) — call between the warm-up and the measured phase.
+    Interned handles survive; only their values are cleared. *)
 val reset_metrics : t -> unit
 
 (** A fresh workload context bound to a pool. *)

@@ -15,10 +15,14 @@ type t = {
   cores : core array;
   mutable queue : waiter list; (* FIFO; head is the oldest *)
   mutable rotor : int; (* rotating start point for idle-core search *)
+  busy_handles : (string, Obs.counter) Hashtbl.t; (* tenant -> handle *)
+  queue_g : Obs.gauge;
+  queue_peak_g : Obs.gauge;
 }
 
 let create ?(quantum = 500e-6) engine ~cores =
   assert (cores >= 1 && quantum > 0.0);
+  let obs = Engine.obs engine in
   {
     engine;
     quantum;
@@ -27,6 +31,9 @@ let create ?(quantum = 500e-6) engine ~cores =
           { id; busy = false; total_busy = 0.0; usage = Hashtbl.create 8 });
     queue = [];
     rotor = 0;
+    busy_handles = Hashtbl.create 16;
+    queue_g = Obs.gauge obs ~layer:"hw" ~name:"cpu_queue" ~key:"all";
+    queue_peak_g = Obs.gauge obs ~layer:"hw" ~name:"cpu_queue_peak" ~key:"all";
   }
 
 let core_count t = Array.length t.cores
@@ -59,7 +66,10 @@ let acquire t ~eligible =
             granted := id;
             wake ()
           in
-          t.queue <- t.queue @ [ { eligible; grant } ]);
+          t.queue <- t.queue @ [ { eligible; grant } ];
+          let depth = float_of_int (List.length t.queue) in
+          Obs.set t.queue_g depth;
+          Obs.set_max t.queue_peak_g depth);
       !granted
 
 (* Remove and return the oldest waiter eligible to run on [id]. *)
@@ -69,6 +79,7 @@ let take_waiter t id =
     | w :: rest ->
         if eligible_contains w.eligible id then begin
           t.queue <- List.rev_append acc rest;
+          Obs.set t.queue_g (float_of_int (List.length t.queue));
           Some w
         end
         else go (w :: acc) rest
@@ -80,8 +91,17 @@ let release t id =
   | Some w -> w.grant id (* core stays busy, handed to the waiter *)
   | None -> t.cores.(id).busy <- false
 
-let attribute core ~tenant dt =
+let busy_handle t tenant =
+  match Hashtbl.find_opt t.busy_handles tenant with
+  | Some h -> h
+  | None ->
+      let h = Obs.counter (Engine.obs t.engine) ~layer:"hw" ~name:"cpu_busy" ~key:tenant in
+      Hashtbl.add t.busy_handles tenant h;
+      h
+
+let attribute t core ~tenant dt =
   core.total_busy <- core.total_busy +. dt;
+  Obs.add (busy_handle t tenant) dt;
   let r =
     match Hashtbl.find_opt core.usage tenant with
     | Some r -> r
@@ -100,7 +120,7 @@ let compute t ~tenant ~eligible seconds =
     let burst = Float.min !remaining t.quantum in
     let id = acquire t ~eligible in
     Engine.sleep burst;
-    attribute t.cores.(id) ~tenant burst;
+    attribute t t.cores.(id) ~tenant burst;
     release t id;
     remaining := !remaining -. burst
   done
@@ -122,7 +142,7 @@ let compute_background t ~tenant ~eligible ~backoff seconds =
         t.cores.(id).busy <- true;
         let burst = Float.min !remaining (t.quantum /. 2.0) in
         Engine.sleep burst;
-        attribute t.cores.(id) ~tenant burst;
+        attribute t t.cores.(id) ~tenant burst;
         let displaced =
           List.exists (fun w -> eligible_contains w.eligible id) t.queue
         in

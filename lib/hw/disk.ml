@@ -9,12 +9,15 @@ type device = {
   gate : Semaphore_sim.t;
   mutable bytes : float;
   mutable busy : float;
+  bytes_c : Obs.counter;
+  busy_c : Obs.counter;
 }
 
 type t = Device of device | Raid0 of { chunk : int; members : t array }
 
 let create engine ~name ~bandwidth ~latency ~seek =
   assert (bandwidth > 0.0 && latency >= 0.0 && seek >= 0.0);
+  let obs = Engine.obs engine in
   Device
     {
       engine;
@@ -22,9 +25,11 @@ let create engine ~name ~bandwidth ~latency ~seek =
       bandwidth;
       latency;
       seek;
-      gate = Semaphore_sim.create engine ~value:1;
+      gate = Semaphore_sim.create engine ~name:("disk:" ^ name) ~value:1;
       bytes = 0.0;
       busy = 0.0;
+      bytes_c = Obs.counter obs ~layer:"hw" ~name:"disk_bytes" ~key:name;
+      busy_c = Obs.counter obs ~layer:"hw" ~name:"disk_busy" ~key:name;
     }
 
 let raid0 ?(chunk = 64 * 1024) members =
@@ -45,6 +50,8 @@ let service d ~bytes ~random =
   Engine.sleep duration;
   d.bytes <- d.bytes +. float_of_int bytes;
   d.busy <- d.busy +. duration;
+  Obs.add d.bytes_c (float_of_int bytes);
+  Obs.add d.busy_c duration;
   Semaphore_sim.release d.gate
 
 (* Stripe a request across members; members are exercised concurrently

@@ -7,6 +7,7 @@ type node = {
   tx : Semaphore_sim.t;
   rx : Semaphore_sim.t;
   mutable sent : float;
+  sent_c : Obs.counter;
 }
 
 type t = { engine : Engine.t; mutable nodes : node list }
@@ -20,9 +21,10 @@ let add_node t ~name ~bandwidth ~latency =
       name;
       bandwidth;
       latency;
-      tx = Semaphore_sim.create t.engine ~value:1;
-      rx = Semaphore_sim.create t.engine ~value:1;
+      tx = Semaphore_sim.create t.engine ~name:("net:" ^ name ^ ".tx") ~value:1;
+      rx = Semaphore_sim.create t.engine ~name:("net:" ^ name ^ ".rx") ~value:1;
       sent = 0.0;
+      sent_c = Obs.counter (Engine.obs t.engine) ~layer:"hw" ~name:"net_bytes" ~key:name;
     }
   in
   t.nodes <- node :: t.nodes;
@@ -37,6 +39,7 @@ let transfer (_ : t) ~src ~dst ~bytes =
   Semaphore_sim.acquire src.tx;
   Engine.sleep (payload /. src.bandwidth);
   src.sent <- src.sent +. payload;
+  Obs.add src.sent_c payload;
   Semaphore_sim.release src.tx;
   (* ...propagate... *)
   Engine.sleep (Float.max src.latency dst.latency);

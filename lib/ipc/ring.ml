@@ -4,6 +4,12 @@ type slot_state = Empty | Writing | Valid
 
 type 'a slot = { mutable state : slot_state; mutable payload : 'a option }
 
+type handles = {
+  occ_g : Obs.gauge;
+  high_g : Obs.gauge;
+  enq_c : Obs.counter;
+}
+
 type 'a t = {
   ring : 'a slot array;
   mutable head : int; (* next slot to consume *)
@@ -13,9 +19,10 @@ type 'a t = {
   mutable enqueued : int;
   producers : (unit -> unit) Queue.t;
   consumers : (unit -> unit) Queue.t;
+  handles : handles option; (* only named rings publish to Obs *)
 }
 
-let create (_ : Engine.t) ~slots =
+let create ?name engine ~slots =
   assert (slots >= 1);
   {
     ring = Array.init slots (fun _ -> { state = Empty; payload = None });
@@ -26,7 +33,24 @@ let create (_ : Engine.t) ~slots =
     enqueued = 0;
     producers = Queue.create ();
     consumers = Queue.create ();
+    handles =
+      Option.map
+        (fun n ->
+          let obs = Engine.obs engine in
+          {
+            occ_g = Obs.gauge obs ~layer:"ipc" ~name:"ring_occupancy" ~key:n;
+            high_g = Obs.gauge obs ~layer:"ipc" ~name:"ring_high_water" ~key:n;
+            enq_c = Obs.counter obs ~layer:"ipc" ~name:"ring_enqueued" ~key:n;
+          })
+        name;
   }
+
+let publish t =
+  match t.handles with
+  | None -> ()
+  | Some h ->
+      Obs.set h.occ_g (float_of_int t.occupancy);
+      Obs.set_max h.high_g (float_of_int t.occupancy)
 
 let wake_one q = match Queue.take_opt q with Some w -> w () | None -> ()
 
@@ -41,6 +65,8 @@ let rec enqueue t x =
       t.occupancy <- t.occupancy + 1;
       t.enqueued <- t.enqueued + 1;
       if t.occupancy > t.high then t.high <- t.occupancy;
+      (match t.handles with Some h -> Obs.incr h.enq_c | None -> ());
+      publish t;
       wake_one t.consumers
   | Writing | Valid ->
       Engine.suspend (fun wake -> Queue.add wake t.producers);
@@ -55,6 +81,7 @@ let rec dequeue t =
       slot.state <- Empty;
       t.head <- (t.head + 1) mod Array.length t.ring;
       t.occupancy <- t.occupancy - 1;
+      publish t;
       wake_one t.producers;
       x
   | Empty | Writing ->

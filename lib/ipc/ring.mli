@@ -8,7 +8,11 @@ open Danaus_sim
 
 type 'a t
 
-val create : Engine.t -> slots:int -> 'a t
+(** [create engine ~slots] builds a ring of [slots] entries.  A [name]d
+    ring publishes its occupancy, high-water mark and total enqueues
+    into the engine's {!Obs} context under layer ["ipc"] keyed by the
+    name. *)
+val create : ?name:string -> Engine.t -> slots:int -> 'a t
 
 (** Enqueue, blocking while no slot is [Empty]. *)
 val enqueue : 'a t -> 'a -> unit

@@ -53,7 +53,8 @@ let create kernel ~pool ~topology ~name ?(slots = 64) ?(scale_threshold = 8)
         {
           q_index = i;
           q_cores = cores;
-          q_ring = Ring.create engine ~slots;
+          q_ring =
+            Ring.create engine ~name:(Printf.sprintf "%s.q%d" name i) ~slots;
           q_threads = 0;
           q_pinned = 0;
         })
@@ -138,8 +139,10 @@ let call t ~thread ~bytes f =
   let caller_cpu dt =
     Cpu.compute (Kernel.cpu t.kernel) ~tenant:(Cgroup.name t.pool) ~eligible:q.q_cores dt
   in
-  Counters.incr (Kernel.counters t.kernel) ~metric:"ipc_requests"
-    ~key:(Cgroup.name t.pool);
+  Obs.incr
+    (Obs.counter (Kernel.obs t.kernel) ~layer:"ipc" ~name:"ipc_requests"
+       ~key:(Cgroup.name t.pool));
+  let started = Engine.now (Kernel.engine t.kernel) in
   (* front driver: fill the request buffer and the ring entry *)
   caller_cpu (enqueue_cpu +. (float_of_int bytes *. (Kernel.costs t.kernel).copy_per_byte));
   let cell = ref None in
@@ -154,10 +157,18 @@ let call t ~thread ~bytes f =
     && q.q_threads < t.max_threads_per_queue
   then spawn_service_thread t q;
   Ring.enqueue q.q_ring { bytes; exec };
+  let finish v =
+    Obs.span
+      (Kernel.obs t.kernel)
+      ~at:started ~layer:"ipc"
+      ~name:("ipc_call:" ^ t.name)
+      ~dur:(Engine.now (Kernel.engine t.kernel) -. started);
+    v
+  in
   match !cell with
-  | Some v -> v
+  | Some v -> finish v
   | None ->
       Engine.suspend (fun wake -> waiter := Some wake);
       (match !cell with
-      | Some v -> v
+      | Some v -> finish v
       | None -> failwith "Transport.call: woken without a result")

@@ -6,15 +6,21 @@ type t = {
   pool : Cgroup.t;
   queue : (unit -> unit) Channel.t;
   mutable served : int;
+  queue_g : Obs.gauge;
+  queue_peak_g : Obs.gauge;
 }
 
 let create kernel ~name ~pool =
+  let obs = Kernel.obs kernel in
   {
     kernel;
     name;
     pool;
     queue = Channel.create (Kernel.engine kernel) ~capacity:1024;
     served = 0;
+    queue_g = Obs.gauge obs ~layer:"kernel" ~name:"fuse_queue" ~key:name;
+    queue_peak_g =
+      Obs.gauge obs ~layer:"kernel" ~name:"fuse_queue_peak" ~key:name;
   }
 
 let start t ~threads =
@@ -25,6 +31,7 @@ let start t ~threads =
       (fun () ->
         while true do
           let job = Channel.get t.queue in
+          Obs.set t.queue_g (float_of_int (Channel.length t.queue));
           job ()
         done)
   done
@@ -32,9 +39,11 @@ let start t ~threads =
 let call t ~caller ~bytes f =
   let k = t.kernel in
   let costs = Kernel.costs k in
+  let started = Engine.now (Kernel.engine k) in
   Kernel.syscall k ~pool:caller (fun () ->
-      Counters.incr (Kernel.counters k) ~metric:"fuse_requests"
-        ~key:(Cgroup.name caller);
+      Obs.incr
+        (Obs.counter (Kernel.obs k) ~layer:"kernel" ~name:"fuse_requests"
+           ~key:(Cgroup.name caller));
       Kernel.copy k ~pool:caller ~bytes;
       Kernel.context_switches k ~pool:caller 2;
       let cell = ref None in
@@ -48,12 +57,21 @@ let call t ~caller ~bytes f =
         match !waiter with Some wake -> wake () | None -> ()
       in
       Channel.put t.queue job;
+      let depth = float_of_int (Channel.length t.queue) in
+      Obs.set t.queue_g depth;
+      Obs.set_max t.queue_peak_g depth;
+      let finish v =
+        Obs.span (Kernel.obs k) ~at:started ~layer:"kernel"
+          ~name:("fuse_call:" ^ t.name)
+          ~dur:(Engine.now (Kernel.engine k) -. started);
+        v
+      in
       match !cell with
-      | Some v -> v
+      | Some v -> finish v
       | None ->
           Engine.suspend (fun wake -> waiter := Some wake);
           (match !cell with
-          | Some v -> v
+          | Some v -> finish v
           | None -> failwith "Fuse.call: woken without a result"))
 
 let requests t = t.served

@@ -10,7 +10,9 @@ type t = {
   mutable activated : int array;
   host_mem : Memory.t;
   page_cache : Page_cache.t;
-  counters : Counters.t;
+  obs : Obs.t;
+  bytes_flushed_c : Obs.counter;
+  flusher_runs_c : Obs.counter;
   locks : (string, Mutex_sim.t) Hashtbl.t;
   writeback : float;
   expire : float;
@@ -25,6 +27,7 @@ let flush_chunk = 4 * 1024 * 1024
 let create ?(costs = Costs.default) ?(writeback = 1.0) ?(expire = 5.0) engine
     ~cpu ~activated ~page_cache_limit =
   let host_mem = Memory.create ~name:"host.page_cache" () in
+  let obs = Engine.obs engine in
   {
     engine;
     cpu;
@@ -34,7 +37,11 @@ let create ?(costs = Costs.default) ?(writeback = 1.0) ?(expire = 5.0) engine
     page_cache =
       Page_cache.create engine ~mem:host_mem ~limit:page_cache_limit
         ~block:(64 * 1024);
-    counters = Counters.create ();
+    obs;
+    bytes_flushed_c =
+      Obs.counter obs ~layer:"kernel" ~name:"bytes_flushed" ~key:kernel_tenant;
+    flusher_runs_c =
+      Obs.counter obs ~layer:"kernel" ~name:"flusher_runs" ~key:kernel_tenant;
     locks = Hashtbl.create 64;
     writeback;
     expire;
@@ -47,8 +54,13 @@ let cpu t = t.cpu
 let costs t = t.costs
 let activated t = t.activated
 let page_cache t = t.page_cache
-let counters t = t.counters
+let obs t = t.obs
 let set_activated t cores = t.activated <- cores
+
+(* Pool-keyed kernel accounting counters; interning is a hash lookup, so
+   the handles need no per-pool memoisation here. *)
+let pool_counter t ~name ~pool =
+  Obs.counter t.obs ~layer:"kernel" ~name ~key:(Cgroup.name pool)
 
 let lock t name =
   match Hashtbl.find_opt t.locks name with
@@ -93,15 +105,14 @@ let kernel_cpu t dt =
       ~backoff:flusher_backoff dt
 
 let syscall t ~pool f =
-  Counters.incr t.counters ~metric:"syscalls" ~key:(Cgroup.name pool);
-  Counters.add t.counters ~metric:"mode_switches" ~key:(Cgroup.name pool) 2.0;
+  Obs.incr (pool_counter t ~name:"syscalls" ~pool);
+  Obs.add (pool_counter t ~name:"mode_switches" ~pool) 2.0;
   pool_cpu t ~pool (2.0 *. t.costs.mode_switch);
   f ()
 
 let context_switches t ~pool n =
   if n > 0 then begin
-    Counters.add t.counters ~metric:"context_switches" ~key:(Cgroup.name pool)
-      (float_of_int n);
+    Obs.add (pool_counter t ~name:"context_switches" ~pool) (float_of_int n);
     pool_cpu t ~pool (float_of_int n *. t.costs.context_switch)
   end
 
@@ -112,8 +123,10 @@ let blocking_io t ~pool f =
   context_switches t ~pool 2;
   let started = Engine.now t.engine in
   let r = f () in
-  Counters.add t.counters ~metric:"io_wait" ~key:(Cgroup.name pool)
-    (Engine.now t.engine -. started);
+  let elapsed = Engine.now t.engine -. started in
+  Obs.add (pool_counter t ~name:"io_wait" ~pool) elapsed;
+  Obs.span t.obs ~at:started ~layer:"kernel"
+    ~name:("blocking_io:" ^ Cgroup.name pool) ~dur:elapsed;
   r
 
 (* The writeback machinery mirrors Linux: a coordinator scans the mounts
@@ -137,7 +150,9 @@ let mount_queue t m =
       let q = Channel.create t.engine ~capacity:1024 in
       Hashtbl.add t.mount_queues name q;
       let rotor = ref 0 in
-      let window = Semaphore_sim.create t.engine ~value:bdi_window in
+      let window =
+        Semaphore_sim.create t.engine ~name:("bdi:" ^ name) ~value:bdi_window
+      in
       (* the CephFS client writes back over a couple of concurrent OSD
          sessions: two submission workers share the mount's pipeline *)
       for w = 0 to 1 do
@@ -145,6 +160,8 @@ let mount_queue t m =
           (fun () ->
             while true do
               let job = Channel.get q in
+              let job_start = Engine.now t.engine in
+              Obs.incr t.flusher_runs_c;
               let cores = t.activated in
               let core = cores.(!rotor mod Array.length cores) in
               incr rotor;
@@ -159,9 +176,10 @@ let mount_queue t m =
                   Page_cache.run_flush job.job_file ~bytes:job.job_bytes;
                   Page_cache.writeback_complete t.page_cache
                     (Page_cache.mount_of job.job_file) ~bytes:job.job_bytes;
-                  Counters.add t.counters ~metric:"bytes_flushed"
-                    ~key:kernel_tenant
-                    (float_of_int job.job_bytes);
+                  Obs.add t.bytes_flushed_c (float_of_int job.job_bytes);
+                  Obs.span t.obs ~at:job_start ~layer:"kernel"
+                    ~name:("bdi_flush:" ^ name)
+                    ~dur:(Engine.now t.engine -. job_start);
                   Semaphore_sim.release window)
             done)
       done;

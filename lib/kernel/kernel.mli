@@ -34,7 +34,12 @@ val cpu : t -> Cpu.t
 val costs : t -> Costs.t
 val activated : t -> int array
 val page_cache : t -> Page_cache.t
-val counters : t -> Counters.t
+
+(** The engine's observability context.  Kernel accounting lands under
+    layer ["kernel"]: counters [syscalls], [mode_switches],
+    [context_switches] and [io_wait] keyed by pool name, and
+    [bytes_flushed] / [flusher_runs] keyed by ["kernel"]. *)
+val obs : t -> Obs.t
 
 (** Change the activated core set (experiments enable 4-16 cores). *)
 val set_activated : t -> int array -> unit

@@ -9,6 +9,9 @@ type mount = {
   mutable m_dirty : int;
   mutable throttled : (unit -> unit) list;
   mutable m_files : file list;
+  dirty_g : Obs.gauge;
+  dirty_peak_g : Obs.gauge;
+  wb_c : Obs.counter;
 }
 
 and file = {
@@ -45,6 +48,7 @@ let create engine ~mem ~limit ~block =
 
 let add_mount t ~name ~max_dirty ?mem_limit () =
   assert (max_dirty > 0);
+  let obs = Engine.obs t.engine in
   let m =
     {
       m_name = name;
@@ -54,10 +58,19 @@ let add_mount t ~name ~max_dirty ?mem_limit () =
       m_dirty = 0;
       throttled = [];
       m_files = [];
+      dirty_g = Obs.gauge obs ~layer:"kernel" ~name:"dirty_bytes" ~key:name;
+      dirty_peak_g =
+        Obs.gauge obs ~layer:"kernel" ~name:"dirty_bytes_peak" ~key:name;
+      wb_c = Obs.counter obs ~layer:"kernel" ~name:"wb_bytes" ~key:name;
     }
   in
   t.all_mounts <- m :: t.all_mounts;
   m
+
+let note_dirty m =
+  let d = float_of_int m.m_dirty in
+  Obs.set m.dirty_g d;
+  Obs.set_max m.dirty_peak_g d
 
 let mount_name m = m.m_name
 let background_threshold m = m.max_dirty / 2
@@ -191,6 +204,7 @@ let write f ~off ~len =
         t.grand_dirty <- t.grand_dirty + t.block
       end)
     (blocks_of t ~off ~len);
+  note_dirty f.mnt;
   evict_mount_if_needed f.mnt;
   evict_if_needed t
 
@@ -274,6 +288,8 @@ let writeback_complete t m ~bytes =
   m.m_dirty <- m.m_dirty - bytes;
   t.grand_dirty <- t.grand_dirty - bytes;
   assert (m.m_dirty >= 0 && t.grand_dirty >= 0);
+  Obs.set m.dirty_g (float_of_int m.m_dirty);
+  Obs.add m.wb_c (float_of_int bytes);
   wake_throttled m;
   evict_if_needed t
 

@@ -5,6 +5,7 @@ type t = {
   mutable seq : int;
   events : event Pheap.t;
   mutable live : int;
+  obs : Obs.t;
 }
 
 exception Deadlock of string
@@ -19,10 +20,12 @@ let compare_events a b =
   let c = Float.compare a.at b.at in
   if c <> 0 then c else Int.compare a.seq b.seq
 
-let create () =
-  { clock = 0.0; seq = 0; events = Pheap.create ~cmp:compare_events; live = 0 }
+let create ?obs () =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  { clock = 0.0; seq = 0; events = Pheap.create ~cmp:compare_events; live = 0; obs }
 
 let now t = t.clock
+let obs t = t.obs
 let live_processes t = t.live
 
 let schedule t ?(delay = 0.0) run =

@@ -15,11 +15,16 @@ type t
 exception Deadlock of string
 (** Raised by {!run} when live processes remain but no event is pending. *)
 
-(** [create ()] returns a fresh engine at simulated time 0. *)
-val create : unit -> t
+(** [create ()] returns a fresh engine at simulated time 0, owning a
+    fresh observability context unless [obs] is supplied. *)
+val create : ?obs:Obs.t -> unit -> t
 
 (** Current simulated time, in seconds. *)
 val now : t -> float
+
+(** The engine's observability context.  Every component built on this
+    engine (hardware, kernel, IPC, clients) emits through it. *)
+val obs : t -> Obs.t
 
 (** [schedule t ~delay f] runs the callback [f] (not a process: it must
     not block) [delay] seconds from now.  [delay] defaults to [0.] and
@@ -31,12 +36,35 @@ val schedule : t -> ?delay:float -> (unit -> unit) -> unit
     simulation. *)
 val spawn : t -> ?name:string -> (unit -> unit) -> unit
 
-(** Run until no event remains.  Raises {!Deadlock} if blocked processes
-    remain with an empty event queue. *)
+(** Run until no event remains.
+
+    Termination and deadlock: the loop pops events until the heap is
+    empty.  If live processes remain at that point — every one of them
+    is blocked in [suspend]/[sleep] with nothing left that could wake
+    them — {!Deadlock} is raised; the clock stays at the timestamp of
+    the last executed event.  An exception escaping a process body
+    also aborts [run] (it propagates out of the event loop), leaving
+    the remaining queue intact.
+
+    One-shot continuations: each blocking effect captures its
+    continuation once and resumes it at most once.  The [wake] function
+    handed out by [suspend] is idempotent — the first call schedules
+    the resumption at the simulated time of that call, and every later
+    call is ignored — so wakers may be invoked from multiple places
+    without double-resuming a process. *)
 val run : t -> unit
 
-(** [run_until t horizon] runs events with timestamps [<= horizon] and
-    then sets the clock to [horizon].  Remaining events stay queued. *)
+(** [run_until t horizon] runs exactly the events with timestamps
+    [<= horizon] and then sets the clock to [horizon].
+
+    Clock semantics at the horizon: events stamped exactly [horizon]
+    DO run.  After the call, [now t = horizon] even when the queue ran
+    dry earlier (the clock jumps forward to the horizon, never past
+    it), and events later than the horizon stay queued for the next
+    call.  Unlike {!run}, blocked processes with an empty queue do not
+    raise {!Deadlock} here — the experiment drivers poll with repeated
+    [run_until] while their stop condition is evaluated outside the
+    engine. *)
 val run_until : t -> float -> unit
 
 (** Number of processes spawned and not yet terminated. *)

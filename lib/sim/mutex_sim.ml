@@ -8,9 +8,12 @@ type t = {
   mutable total_hold : float;
   mutable acquisitions : int;
   mutable contended : int;
+  wait_h : Obs.histogram;
+  hold_h : Obs.histogram;
 }
 
 let create engine ~name =
+  let obs = Engine.obs engine in
   {
     engine;
     name;
@@ -21,6 +24,10 @@ let create engine ~name =
     total_hold = 0.0;
     acquisitions = 0;
     contended = 0;
+    (* mutexes sharing a name (per-inode locks, interned kernel locks)
+       share one distribution, which is what the figures aggregate *)
+    wait_h = Obs.histogram obs ~layer:"sim" ~name:"lock_wait" ~key:name;
+    hold_h = Obs.histogram obs ~layer:"sim" ~name:"lock_hold" ~key:name;
   }
 
 let name t = t.name
@@ -40,13 +47,16 @@ let lock t =
        locked on our behalf. *)
     let now = Engine.now t.engine in
     t.total_wait <- t.total_wait +. (now -. started);
+    Obs.observe t.wait_h (now -. started);
     t.acquired_at <- now;
     t.acquisitions <- t.acquisitions + 1
   end
 
 let unlock t =
   if not t.is_locked then invalid_arg ("Mutex_sim.unlock: not locked: " ^ t.name);
-  t.total_hold <- t.total_hold +. (Engine.now t.engine -. t.acquired_at);
+  let held = Engine.now t.engine -. t.acquired_at in
+  t.total_hold <- t.total_hold +. held;
+  Obs.observe t.hold_h held;
   match Queue.take_opt t.waiters with
   | Some wake -> wake ()
   | None -> t.is_locked <- false

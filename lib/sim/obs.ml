@@ -1,0 +1,226 @@
+(* Typed observability context threaded through every simulation layer.
+
+   One instance is owned by each Engine; layers intern handles once
+   (cheap float refs / Stats.t) and emit through them on the hot path,
+   so nothing stringly-typed remains in the per-operation code.  The
+   interning table keyed by (layer, name, key) is only consulted at
+   handle-creation and query time. *)
+
+type hist_summary = {
+  h_count : int;
+  h_total : float;
+  h_mean : float;
+  h_p50 : float;
+  h_p95 : float;
+  h_p99 : float;
+  h_max : float;
+}
+
+type value =
+  | Counter of float
+  | Gauge of float
+  | Histogram of hist_summary
+
+type sample = { s_layer : string; s_name : string; s_key : string; s_value : value }
+
+type span = { sp_at : float; sp_layer : string; sp_name : string; sp_dur : float }
+
+type counter = float ref
+type gauge = float ref
+type histogram = Stats.t
+
+type cell = C of counter | G of gauge | H of histogram
+
+type t = {
+  cells : (string * string * string, cell) Hashtbl.t;
+  mutable tracing : bool;
+  mutable trace : span option array; (* bounded ring, overwrites oldest *)
+  mutable trace_next : int;
+  mutable trace_total : int;
+}
+
+(* Defaults consulted at [create] time: the CLI sets them once at startup
+   (before any engine exists), so parallel experiment domains only ever
+   read them. *)
+let default_tracing = ref false
+let default_trace_capacity = ref 4096
+
+let create ?tracing ?trace_capacity () =
+  let tracing = Option.value ~default:!default_tracing tracing in
+  let capacity =
+    Stdlib.max 1 (Option.value ~default:!default_trace_capacity trace_capacity)
+  in
+  {
+    cells = Hashtbl.create 64;
+    tracing;
+    trace = Array.make capacity None;
+    trace_next = 0;
+    trace_total = 0;
+  }
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let intern t ~layer ~name ~key make expect =
+  let id = (layer, name, key) in
+  match Hashtbl.find_opt t.cells id with
+  | Some cell ->
+      if kind_name cell <> expect then
+        invalid_arg
+          (Printf.sprintf "Obs: %s/%s[%s] is a %s, requested as %s" layer name
+             key (kind_name cell) expect);
+      cell
+  | None ->
+      let cell = make () in
+      Hashtbl.add t.cells id cell;
+      cell
+
+let counter t ~layer ~name ~key =
+  match intern t ~layer ~name ~key (fun () -> C (ref 0.0)) "counter" with
+  | C r -> r
+  | G _ | H _ -> assert false
+
+let gauge t ~layer ~name ~key =
+  match intern t ~layer ~name ~key (fun () -> G (ref 0.0)) "gauge" with
+  | G r -> r
+  | C _ | H _ -> assert false
+
+let histogram t ~layer ~name ~key =
+  match intern t ~layer ~name ~key (fun () -> H (Stats.create ())) "histogram" with
+  | H s -> s
+  | C _ | G _ -> assert false
+
+let add (c : counter) v = c := !c +. v
+let incr c = add c 1.0
+let counter_value (c : counter) = !c
+let set (g : gauge) v = g := v
+let set_max (g : gauge) v = if v > !g then g := v
+let gauge_value (g : gauge) = !g
+let observe (h : histogram) v = Stats.add h v
+let hist_stats (h : histogram) = h
+
+(* ------------------------------------------------------------------ *)
+(* Queries *)
+
+let get t ~layer ~name ~key =
+  match Hashtbl.find_opt t.cells (layer, name, key) with
+  | Some (C r) | Some (G r) -> !r
+  | Some (H s) -> Stats.total s
+  | None -> 0.0
+
+let fold_name t ?layer ~name f init =
+  Hashtbl.fold
+    (fun (l, n, k) cell acc ->
+      if String.equal n name && (match layer with None -> true | Some l' -> String.equal l l')
+      then f acc ~layer:l ~key:k cell
+      else acc)
+    t.cells init
+
+let cell_scalar = function
+  | C r | G r -> !r
+  | H s -> Stats.total s
+
+let sum t ?layer ~name () =
+  fold_name t ?layer ~name (fun acc ~layer:_ ~key:_ cell -> acc +. cell_scalar cell) 0.0
+
+let sum_key t ?layer ~name ~key () =
+  fold_name t ?layer ~name
+    (fun acc ~layer:_ ~key:k cell ->
+      if String.equal k key then acc +. cell_scalar cell else acc)
+    0.0
+
+let by_key t ~layer ~name =
+  fold_name t ~layer ~name (fun acc ~layer:_ ~key cell -> (key, cell_scalar cell) :: acc) []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let summarize (s : Stats.t) =
+  {
+    h_count = Stats.count s;
+    h_total = Stats.total s;
+    h_mean = Stats.mean s;
+    h_p50 = Stats.percentile s 50.0;
+    h_p95 = Stats.percentile s 95.0;
+    h_p99 = Stats.percentile s 99.0;
+    h_max = Stats.max s;
+  }
+
+let hist_summary t ~layer ~name ~key =
+  match Hashtbl.find_opt t.cells (layer, name, key) with
+  | Some (H s) -> Some (summarize s)
+  | Some (C _) | Some (G _) | None -> None
+
+let snapshot t =
+  Hashtbl.fold
+    (fun (l, n, k) cell acc ->
+      let v =
+        match cell with
+        | C r -> Counter !r
+        | G r -> Gauge !r
+        | H s -> Histogram (summarize s)
+      in
+      { s_layer = l; s_name = n; s_key = k; s_value = v } :: acc)
+    t.cells []
+  |> List.sort (fun a b ->
+         match String.compare a.s_layer b.s_layer with
+         | 0 -> (
+             match String.compare a.s_name b.s_name with
+             | 0 -> String.compare a.s_key b.s_key
+             | c -> c)
+         | c -> c)
+
+let prefix_keys prefix samples =
+  List.map (fun s -> { s with s_key = prefix ^ s.s_key }) samples
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring *)
+
+let tracing t = t.tracing
+let set_tracing t b = t.tracing <- b
+
+let span t ~at ~layer ~name ~dur =
+  if t.tracing then begin
+    t.trace.(t.trace_next) <- Some { sp_at = at; sp_layer = layer; sp_name = name; sp_dur = dur };
+    t.trace_next <- (t.trace_next + 1) mod Array.length t.trace;
+    t.trace_total <- t.trace_total + 1
+  end
+
+let spans t =
+  let cap = Array.length t.trace in
+  let n = Stdlib.min t.trace_total cap in
+  let start = if t.trace_total <= cap then 0 else t.trace_next in
+  List.init n (fun i ->
+      match t.trace.((start + i) mod cap) with
+      | Some sp -> sp
+      | None -> assert false)
+
+let dropped_spans t = Stdlib.max 0 (t.trace_total - Array.length t.trace)
+
+(* ------------------------------------------------------------------ *)
+
+(* Handles stay valid across a reset: cells are cleared in place, never
+   replaced (experiments reset between the warm-up and measured phase). *)
+let reset t =
+  Hashtbl.iter
+    (fun _ cell ->
+      match cell with C r | G r -> r := 0.0 | H s -> Stats.clear s)
+    t.cells;
+  Array.fill t.trace 0 (Array.length t.trace) None;
+  t.trace_next <- 0;
+  t.trace_total <- 0
+
+let dump t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun s ->
+      let v =
+        match s.s_value with
+        | Counter v -> Printf.sprintf "counter %.6g" v
+        | Gauge v -> Printf.sprintf "gauge %.6g" v
+        | Histogram h ->
+            Printf.sprintf
+              "histogram count=%d total=%.6g mean=%.6g p50=%.6g p95=%.6g p99=%.6g max=%.6g"
+              h.h_count h.h_total h.h_mean h.h_p50 h.h_p95 h.h_p99 h.h_max
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s/%s[%s] = %s\n" s.s_layer s.s_name s.s_key v))
+    (snapshot t);
+  Buffer.contents buf

@@ -1,0 +1,131 @@
+(** Typed observability context threaded through every simulation layer.
+
+    One instance is owned per {!Engine} and shared by every component
+    built on that engine (hardware, kernel, IPC, clients, experiments).
+    Components intern typed handles once — a [counter], [gauge] or
+    [histogram] identified by [(layer, name, key)] — and emit through
+    them on the hot path with no string hashing.
+
+    Conventions: [layer] is the subsystem ("sim", "hw", "kernel", "ipc",
+    "client"), [name] the metric ("lock_wait", "io_wait", ...), [key]
+    the instance (tenant/pool, device, lock or mount name).
+
+    An optional bounded trace ring records timestamped span events
+    [{t; layer; name; dur}] when tracing is enabled (the CLI's
+    [--trace]); when full, the oldest spans are overwritten. *)
+
+type t
+
+(** {1 Creation} *)
+
+(** Defaults consulted by {!create}.  Set once at program startup
+    (e.g. from CLI flags) before any engine exists; engines created
+    afterwards — including in parallel runner domains — inherit them. *)
+val default_tracing : bool ref
+
+val default_trace_capacity : int ref
+
+(** [create ()] makes an empty context.  [tracing] and [trace_capacity]
+    default to the refs above. *)
+val create : ?tracing:bool -> ?trace_capacity:int -> unit -> t
+
+(** {1 Typed handles}
+
+    Handles are interned: the same [(layer, name, key)] always yields
+    the same handle, and handles survive {!reset}.  Requesting an id
+    under a different kind raises [Invalid_argument]. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : t -> layer:string -> name:string -> key:string -> counter
+val gauge : t -> layer:string -> name:string -> key:string -> gauge
+val histogram : t -> layer:string -> name:string -> key:string -> histogram
+
+val add : counter -> float -> unit
+val incr : counter -> unit
+val counter_value : counter -> float
+
+val set : gauge -> float -> unit
+
+(** [set_max g v] raises the gauge to [v] if larger (high-water marks). *)
+val set_max : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+
+(** Record one observation into a histogram (backed by {!Stats}). *)
+val observe : histogram -> float -> unit
+
+val hist_stats : histogram -> Stats.t
+
+(** {1 Queries} *)
+
+(** Scalar value of one cell: counter/gauge value, or a histogram's
+    total.  0 when the cell does not exist. *)
+val get : t -> layer:string -> name:string -> key:string -> float
+
+(** Sum of the scalar values of every cell named [name] (optionally
+    restricted to one layer), across all keys. *)
+val sum : t -> ?layer:string -> name:string -> unit -> float
+
+(** Like {!sum} but restricted to cells with key [key] — e.g. total
+    context switches charged to one pool across layers. *)
+val sum_key : t -> ?layer:string -> name:string -> key:string -> unit -> float
+
+(** All [(key, scalar)] pairs of [(layer, name)], sorted by key. *)
+val by_key : t -> layer:string -> name:string -> (string * float) list
+
+type hist_summary = {
+  h_count : int;
+  h_total : float;
+  h_mean : float;
+  h_p50 : float;
+  h_p95 : float;
+  h_p99 : float;
+  h_max : float;
+}
+
+val hist_summary : t -> layer:string -> name:string -> key:string -> hist_summary option
+
+(** {1 Snapshots} *)
+
+type value =
+  | Counter of float
+  | Gauge of float
+  | Histogram of hist_summary
+
+type sample = { s_layer : string; s_name : string; s_key : string; s_value : value }
+
+(** Deterministic snapshot: sorted by (layer, name, key). *)
+val snapshot : t -> sample list
+
+(** [prefix_keys p samples] prepends [p] to every sample's key — used to
+    merge the snapshots of several single-cell testbeds into one report. *)
+val prefix_keys : string -> sample list -> sample list
+
+(** Deterministic plain-text rendering of {!snapshot} (tests, debug). *)
+val dump : t -> string
+
+(** {1 Trace ring} *)
+
+type span = { sp_at : float; sp_layer : string; sp_name : string; sp_dur : float }
+
+val tracing : t -> bool
+val set_tracing : t -> bool -> unit
+
+(** [span t ~at ~layer ~name ~dur] records a span event; no-op unless
+    tracing is enabled. *)
+val span : t -> at:float -> layer:string -> name:string -> dur:float -> unit
+
+(** Recorded spans, oldest first (at most the ring capacity). *)
+val spans : t -> span list
+
+(** Spans lost to ring overwrite. *)
+val dropped_spans : t -> int
+
+(** {1 Reset} *)
+
+(** Zero every counter/gauge, clear every histogram and the trace ring.
+    Handles remain valid (cells are cleared in place). *)
+val reset : t -> unit

@@ -1,12 +1,32 @@
-type t = { mutable permits : int; waiting : (unit -> unit) Queue.t }
+type t = {
+  engine : Engine.t;
+  mutable permits : int;
+  waiting : (unit -> unit) Queue.t;
+  wait_h : Obs.histogram option; (* only named semaphores record waits *)
+}
 
-let create (_ : Engine.t) ~value =
+let create ?name engine ~value =
   assert (value >= 0);
-  { permits = value; waiting = Queue.create () }
+  {
+    engine;
+    permits = value;
+    waiting = Queue.create ();
+    wait_h =
+      Option.map
+        (fun n ->
+          Obs.histogram (Engine.obs engine) ~layer:"sim" ~name:"sem_wait" ~key:n)
+        name;
+  }
 
 let acquire t =
   if t.permits > 0 then t.permits <- t.permits - 1
-  else Engine.suspend (fun wake -> Queue.add wake t.waiting)
+  else begin
+    let started = Engine.now t.engine in
+    Engine.suspend (fun wake -> Queue.add wake t.waiting);
+    match t.wait_h with
+    | Some h -> Obs.observe h (Engine.now t.engine -. started)
+    | None -> ()
+  end
 
 let release t =
   match Queue.take_opt t.waiting with

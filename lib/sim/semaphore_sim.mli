@@ -2,8 +2,11 @@
 
 type t
 
-(** [create engine ~value] returns a semaphore with [value >= 0] permits. *)
-val create : Engine.t -> value:int -> t
+(** [create engine ~value] returns a semaphore with [value >= 0]
+    permits.  When [name] is given, blocked-acquire wait times are
+    recorded into the engine's {!Obs} context as the ["sim"/"sem_wait"]
+    histogram keyed by [name] (device gates, in-flight I/O windows). *)
+val create : ?name:string -> Engine.t -> value:int -> t
 
 (** Take one permit, blocking while none is available. *)
 val acquire : t -> unit

@@ -37,13 +37,18 @@ type state = {
   mutable copy_up_count : int;
 }
 
-(* copy-up statistics, looked up by union name (see mli) *)
+(* copy-up statistics, looked up by union name (see mli).  The registry
+   is module-global and the parallel experiment runner builds unions
+   from several domains, so accesses are serialised with a real mutex
+   (Stdlib Hashtbl is not thread-safe). *)
 let copy_up_registry : (string, state) Hashtbl.t = Hashtbl.create 8
+let registry_mutex = Stdlib.Mutex.create ()
 
 let copy_ups (iface : Client_intf.t) =
-  match Hashtbl.find_opt copy_up_registry iface.Client_intf.name with
-  | Some st -> st.copy_up_count
-  | None -> 0
+  Stdlib.Mutex.lock registry_mutex;
+  let st = Hashtbl.find_opt copy_up_registry iface.Client_intf.name in
+  Stdlib.Mutex.unlock registry_mutex;
+  match st with Some st -> st.copy_up_count | None -> 0
 
 let copy_chunk = 1024 * 1024
 
@@ -516,5 +521,7 @@ let create ~name ~branches ~charge ?(cpu_per_op = 1.0e-6) ?block_cow () =
       memory_used = (fun () -> 0);
     }
   in
+  Stdlib.Mutex.lock registry_mutex;
   Hashtbl.replace copy_up_registry st.u_name st;
+  Stdlib.Mutex.unlock registry_mutex;
   iface

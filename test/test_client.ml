@@ -249,7 +249,7 @@ let test_fuse_roundtrip_counts_requests () =
       i.close ~pool fd);
   Engine.run_until w.engine 60.0;
   let fuse_reqs =
-    Counters.get (Kernel.counters w.kernel) ~metric:"fuse_requests" ~key:"pool0"
+    Obs.get (Kernel.obs w.kernel) ~layer:"kernel" ~name:"fuse_requests" ~key:"pool0"
   in
   check_bool "every op crossed FUSE" true (fuse_reqs >= 4.0)
 
@@ -264,11 +264,11 @@ let test_fuse_page_cache_avoids_crossings () =
       ok_or_fail "write" (i.write ~pool fd ~off:0 ~len:(mib 1));
       ignore (ok_or_fail "read1" (i.read ~pool fd ~off:0 ~len:(mib 1)));
       let before =
-        Counters.get (Kernel.counters w.kernel) ~metric:"fuse_requests" ~key:"pool0"
+        Obs.get (Kernel.obs w.kernel) ~layer:"kernel" ~name:"fuse_requests" ~key:"pool0"
       in
       ignore (ok_or_fail "read2" (i.read ~pool fd ~off:0 ~len:(mib 1)));
       let after =
-        Counters.get (Kernel.counters w.kernel) ~metric:"fuse_requests" ~key:"pool0"
+        Obs.get (Kernel.obs w.kernel) ~layer:"kernel" ~name:"fuse_requests" ~key:"pool0"
       in
       reqs_between := after -. before);
   Engine.run_until w.engine 60.0;
@@ -383,7 +383,7 @@ let test_fine_grained_locking_roundtrip () =
   let pool = pool_of () in
   let c =
     Lib_client.create w.engine ~cpu:w.cpu ~costs:(Danaus_kernel.Kernel.costs w.kernel)
-      ~cluster:w.cluster ~pool ~counters:(Danaus_kernel.Kernel.counters w.kernel)
+      ~cluster:w.cluster ~pool
       ~config:
         {
           (Lib_client.default_config ~cache_bytes:(mib 256)) with
@@ -479,7 +479,7 @@ let test_write_through_mode () =
   let pool = pool_of () in
   let c =
     Lib_client.create w.engine ~cpu:w.cpu ~costs:(Danaus_kernel.Kernel.costs w.kernel)
-      ~cluster:w.cluster ~pool ~counters:(Danaus_kernel.Kernel.counters w.kernel)
+      ~cluster:w.cluster ~pool
       ~config:
         {
           (Lib_client.default_config ~cache_bytes:(mib 64)) with

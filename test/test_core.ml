@@ -82,7 +82,7 @@ let test_service_default_path () =
   check_bool "requests went through the IPC transport" true (Fs_service.requests svc >= 4);
   (* fast path never entered the kernel *)
   Alcotest.(check (float 0.0)) "no FUSE requests" 0.0
-    (Counters.get (Kernel.counters w.kernel) ~metric:"fuse_requests" ~key:"pool0")
+    (Obs.get (Kernel.obs w.kernel) ~layer:"kernel" ~name:"fuse_requests" ~key:"pool0")
 
 let test_service_legacy_path_dispatch () =
   let w = make_world () in
@@ -107,7 +107,7 @@ let test_service_legacy_path_dispatch () =
       legacy.Client_intf.close ~pool lfd);
   Engine.run_until w.engine 30.0;
   check_bool "legacy path crossed FUSE" true
-    (Counters.get (Kernel.counters w.kernel) ~metric:"fuse_requests" ~key:"pool0" >= 3.0)
+    (Obs.get (Kernel.obs w.kernel) ~layer:"kernel" ~name:"fuse_requests" ~key:"pool0" >= 3.0)
 
 let test_service_legacy_unknown_mount () =
   let w = make_world () in
@@ -258,9 +258,9 @@ let test_danaus_fast_path_no_kernel () =
       i.Client_intf.close ~pool fd);
   Engine.run_until w.engine 30.0;
   Alcotest.(check (float 0.0)) "no FUSE on default path" 0.0
-    (Counters.get (Kernel.counters w.kernel) ~metric:"fuse_requests" ~key:"pool0");
+    (Obs.get (Kernel.obs w.kernel) ~layer:"kernel" ~name:"fuse_requests" ~key:"pool0");
   check_bool "IPC requests flowed" true
-    (Counters.get (Kernel.counters w.kernel) ~metric:"ipc_requests" ~key:"pool0" > 0.0)
+    (Obs.get (Kernel.obs w.kernel) ~layer:"ipc" ~name:"ipc_requests" ~key:"pool0" > 0.0)
 
 let test_install_image () =
   let w = make_world () in

@@ -318,6 +318,60 @@ let test_registry_complete () =
   check_bool "extensions registered" true
     (List.for_all (fun id -> List.mem id ids) [ "abl-lock"; "abl-cow"; "mig"; "dyn" ])
 
+let test_obs_determinism_same_seed () =
+  (* identical seeds produce an identical metrics snapshot, down to the
+     rendered dump — the observability layer must not perturb or depend
+     on anything outside the simulation *)
+  let run () =
+    let tb = Testbed.create ~seed:1 ~activated:4 () in
+    let pool = Testbed.pool tb 0 in
+    let ct =
+      Container_engine.launch tb.Testbed.containers ~config:Config.d ~pool
+        ~id:"obsdet" ()
+    in
+    let done_ = ref false in
+    Engine.spawn tb.Testbed.engine (fun () ->
+        let ctx = Testbed.ctx tb ~pool ~seed:7 in
+        let p =
+          {
+            Danaus_workloads.Fileserver.default_params with
+            Danaus_workloads.Fileserver.files = 30;
+            mean_file_size = 128 * 1024;
+            threads = 4;
+            duration = 2.0;
+          }
+        in
+        Danaus_workloads.Fileserver.prepopulate ctx ~view:ct.Container_engine.view p;
+        ignore (Danaus_workloads.Fileserver.run ctx ~view:ct.Container_engine.view p);
+        done_ := true);
+    Testbed.drive tb ~stop:(fun () -> !done_);
+    Danaus_sim.Obs.dump tb.Testbed.obs
+  in
+  let d1 = run () and d2 = run () in
+  check_bool "dump is non-trivial" true (String.length d1 > 100);
+  Alcotest.(check string) "identical metric dumps" d1 d2
+
+let test_parallel_registry_byte_identical () =
+  (* the domain-based runner must produce results indistinguishable from
+     the sequential loop, in registry order *)
+  let exps =
+    List.filter
+      (fun e -> List.mem e.Danaus_experiments.Registry.id [ "tab1"; "tab2" ])
+      Danaus_experiments.Registry.all
+  in
+  let render results =
+    String.concat ""
+      (List.concat_map
+         (fun (e, reports) ->
+           ("# " ^ e.Danaus_experiments.Registry.title ^ "\n")
+           :: List.map Danaus_experiments.Report.render reports)
+         results)
+  in
+  let seq = render (Danaus_experiments.Registry.run_exps ~jobs:1 ~quick:true exps) in
+  let par = render (Danaus_experiments.Registry.run_exps ~jobs:2 ~quick:true exps) in
+  check_bool "output is non-trivial" true (String.length seq > 100);
+  Alcotest.(check string) "parallel output byte-identical" seq par
+
 let registry_suite =
   let tc = Alcotest.test_case in
   [
@@ -325,6 +379,8 @@ let registry_suite =
       [
         tc "report rendering" `Quick test_report_rendering;
         tc "registry covers the paper" `Quick test_registry_complete;
+        tc "obs determinism across runs" `Quick test_obs_determinism_same_seed;
+        tc "parallel registry byte-identical" `Quick test_parallel_registry_byte_identical;
       ] );
   ]
 

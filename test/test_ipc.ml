@@ -121,12 +121,12 @@ let test_transport_no_kernel_crossing () =
       ignore (Transport.call tr ~thread:1 ~bytes:65536 (fun () -> ())));
   Engine.run_until w.engine 1.0;
   let mode_switches =
-    Counters.get (Kernel.counters w.kernel) ~metric:"mode_switches"
+    Obs.get (Kernel.obs w.kernel) ~layer:"kernel" ~name:"mode_switches"
       ~key:(Cgroup.name pool)
   in
   Alcotest.(check (float 0.0)) "no mode switches on the fast path" 0.0 mode_switches;
   check_bool "ipc counted" true
-    (Counters.get (Kernel.counters w.kernel) ~metric:"ipc_requests"
+    (Obs.get (Kernel.obs w.kernel) ~layer:"ipc" ~name:"ipc_requests"
        ~key:(Cgroup.name pool)
     > 0.0)
 

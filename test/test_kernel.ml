@@ -136,7 +136,7 @@ let test_syscall_costs () =
     (2.0 *. (Kernel.costs k).Costs.mode_switch)
     (Cpu.busy_seconds_by cpu ~cores:(Cgroup.cores pool) ~tenant:"pool0");
   check_floatish "syscall counted" 1.0
-    (Counters.get (Kernel.counters k) ~metric:"syscalls" ~key:"pool0")
+    (Obs.get (Kernel.obs k) ~layer:"kernel" ~name:"syscalls" ~key:"pool0")
 
 let test_context_switch_accounting () =
   let e, _, k = make_kernel () in
@@ -144,7 +144,7 @@ let test_context_switch_accounting () =
   Engine.spawn e (fun () -> Kernel.context_switches k ~pool 4);
   Engine.run e;
   check_floatish "counted" 4.0
-    (Counters.get (Kernel.counters k) ~metric:"context_switches" ~key:"pool0")
+    (Obs.get (Kernel.obs k) ~layer:"kernel" ~name:"context_switches" ~key:"pool0")
 
 let test_blocking_io_iowait () =
   let e, _, k = make_kernel () in
@@ -153,7 +153,7 @@ let test_blocking_io_iowait () =
       Kernel.blocking_io k ~pool (fun () -> Engine.sleep 2.0));
   Engine.run e;
   check_floatish "io wait recorded" 2.0
-    (Counters.get (Kernel.counters k) ~metric:"io_wait" ~key:"pool0")
+    (Obs.get (Kernel.obs k) ~layer:"kernel" ~name:"io_wait" ~key:"pool0")
 
 let test_lock_interning_and_stats () =
   let e, _, k = make_kernel () in
@@ -264,9 +264,9 @@ let test_fuse_roundtrip () =
   check_int "handler result returned" 42 !result;
   check_int "one request served" 1 (Fuse.requests fuse);
   check_floatish "caller context switches" 2.0
-    (Counters.get (Kernel.counters k) ~metric:"context_switches" ~key:"app");
+    (Obs.get (Kernel.obs k) ~layer:"kernel" ~name:"context_switches" ~key:"app");
   check_floatish "daemon context switches" 2.0
-    (Counters.get (Kernel.counters k) ~metric:"context_switches" ~key:"svc")
+    (Obs.get (Kernel.obs k) ~layer:"kernel" ~name:"context_switches" ~key:"svc")
 
 let test_fuse_parallel_requests () =
   let e, _, k = make_kernel () in

@@ -305,20 +305,94 @@ let test_stats_merge () =
   check_int "merged count" 4 (Stats.count a);
   check_float "merged mean" 2.5 (Stats.mean a)
 
-(* ------------------------------------------------------------------ *)
-(* Counters *)
+let test_stats_single_sample () =
+  let s = Stats.create () in
+  Stats.add s 42.0;
+  check_float "p0 of one" 42.0 (Stats.percentile s 0.0);
+  check_float "p50 of one" 42.0 (Stats.percentile s 50.0);
+  check_float "p100 of one" 42.0 (Stats.percentile s 100.0);
+  check_float "mean of one" 42.0 (Stats.mean s)
 
-let test_counters () =
-  let c = Counters.create () in
-  Counters.add c ~metric:"ctx" ~key:"pool0" 3.0;
-  Counters.add c ~metric:"ctx" ~key:"pool1" 4.0;
-  Counters.incr c ~metric:"ctx" ~key:"pool0";
-  check_float "per key" 4.0 (Counters.get c ~metric:"ctx" ~key:"pool0");
-  check_float "total" 8.0 (Counters.total c ~metric:"ctx");
+let test_stats_unsorted_readd () =
+  (* percentile sorts lazily; adding after a query must re-sort *)
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 5.0; 1.0; 3.0 ];
+  check_float "median of three" 3.0 (Stats.percentile s 50.0);
+  Stats.add s 0.0;
+  Stats.add s 2.0;
+  check_float "median after re-add" 2.0 (Stats.percentile s 50.0);
+  check_float "max after re-add" 5.0 (Stats.percentile s 100.0);
+  check_float "min after re-add" 0.0 (Stats.percentile s 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Obs *)
+
+let test_obs_counters () =
+  let o = Obs.create () in
+  let c0 = Obs.counter o ~layer:"kernel" ~name:"ctx" ~key:"pool0" in
+  let c1 = Obs.counter o ~layer:"kernel" ~name:"ctx" ~key:"pool1" in
+  Obs.add c0 3.0;
+  Obs.add c1 4.0;
+  Obs.incr c0;
+  check_float "per key" 4.0 (Obs.get o ~layer:"kernel" ~name:"ctx" ~key:"pool0");
+  check_float "sum" 8.0 (Obs.sum o ~name:"ctx" ());
   Alcotest.(check (list (pair string (float 0.0))))
     "by_key sorted"
     [ ("pool0", 4.0); ("pool1", 4.0) ]
-    (Counters.by_key c ~metric:"ctx")
+    (Obs.by_key o ~layer:"kernel" ~name:"ctx");
+  (* interning returns the same cell *)
+  let c0' = Obs.counter o ~layer:"kernel" ~name:"ctx" ~key:"pool0" in
+  Obs.incr c0';
+  check_float "interned handle shares the cell" 5.0 (Obs.counter_value c0)
+
+let test_obs_gauges_and_histograms () =
+  let o = Obs.create () in
+  let g = Obs.gauge o ~layer:"hw" ~name:"queue" ~key:"all" in
+  Obs.set g 3.0;
+  Obs.set_max g 1.0;
+  check_float "set_max keeps larger" 3.0 (Obs.gauge_value g);
+  Obs.set_max g 7.0;
+  check_float "set_max raises" 7.0 (Obs.gauge_value g);
+  let h = Obs.histogram o ~layer:"sim" ~name:"wait" ~key:"lock" in
+  List.iter (Obs.observe h) [ 1.0; 2.0; 3.0 ];
+  (match Obs.hist_summary o ~layer:"sim" ~name:"wait" ~key:"lock" with
+  | Some s ->
+      check_int "hist count" 3 s.Obs.h_count;
+      check_float "hist mean" 2.0 s.Obs.h_mean;
+      check_float "hist max" 3.0 s.Obs.h_max
+  | None -> Alcotest.fail "histogram summary missing");
+  (* same id under a different kind is a bug *)
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "Obs: sim/wait[lock] is a histogram, requested as counter")
+    (fun () -> ignore (Obs.counter o ~layer:"sim" ~name:"wait" ~key:"lock"))
+
+let test_obs_reset_keeps_handles () =
+  let o = Obs.create () in
+  let c = Obs.counter o ~layer:"kernel" ~name:"ops" ~key:"p" in
+  let h = Obs.histogram o ~layer:"sim" ~name:"wait" ~key:"l" in
+  Obs.add c 9.0;
+  Obs.observe h 1.0;
+  Obs.reset o;
+  check_float "counter cleared" 0.0 (Obs.counter_value c);
+  check_int "histogram cleared" 0 (Stats.count (Obs.hist_stats h));
+  Obs.incr c;
+  check_float "handle still live after reset" 1.0
+    (Obs.get o ~layer:"kernel" ~name:"ops" ~key:"p")
+
+let test_obs_trace_ring () =
+  let o = Obs.create ~tracing:true ~trace_capacity:3 () in
+  for i = 1 to 5 do
+    Obs.span o ~at:(float_of_int i) ~layer:"kernel" ~name:"flush" ~dur:0.5
+  done;
+  let spans = Obs.spans o in
+  check_int "bounded ring" 3 (List.length spans);
+  check_int "dropped count" 2 (Obs.dropped_spans o);
+  (match spans with
+  | first :: _ -> check_float "oldest survivor" 3.0 first.Obs.sp_at
+  | [] -> Alcotest.fail "empty ring");
+  let quiet = Obs.create () in
+  Obs.span quiet ~at:1.0 ~layer:"kernel" ~name:"flush" ~dur:0.5;
+  check_int "no-op when tracing off" 0 (List.length (Obs.spans quiet))
 
 (* ------------------------------------------------------------------ *)
 (* Rng *)
@@ -438,7 +512,12 @@ let suite =
         tc "percentile interpolation" `Quick test_stats_percentile_interpolation;
         tc "empty summary" `Quick test_stats_empty;
         tc "merge" `Quick test_stats_merge;
-        tc "counters" `Quick test_counters;
+        tc "single sample percentiles" `Quick test_stats_single_sample;
+        tc "unsorted re-add" `Quick test_stats_unsorted_readd;
+        tc "obs counters" `Quick test_obs_counters;
+        tc "obs gauges and histograms" `Quick test_obs_gauges_and_histograms;
+        tc "obs reset keeps handles" `Quick test_obs_reset_keeps_handles;
+        tc "obs trace ring" `Quick test_obs_trace_ring;
       ] );
     ( "sim.rng",
       [
@@ -502,13 +581,35 @@ let edge_suite =
 
 let suite = suite @ edge_suite
 
-let test_counters_metrics_listing () =
-  let c = Counters.create () in
-  Counters.incr c ~metric:"b" ~key:"x";
-  Counters.incr c ~metric:"a" ~key:"y";
-  Alcotest.(check (list string)) "sorted metric names" [ "a"; "b" ] (Counters.metrics c);
-  Counters.reset c;
-  Alcotest.(check (list string)) "reset clears" [] (Counters.metrics c)
+let test_obs_snapshot_sorted () =
+  let o = Obs.create () in
+  Obs.incr (Obs.counter o ~layer:"kernel" ~name:"b" ~key:"x");
+  Obs.incr (Obs.counter o ~layer:"hw" ~name:"a" ~key:"y");
+  Obs.set (Obs.gauge o ~layer:"hw" ~name:"a" ~key:"x") 2.0;
+  let ids =
+    List.map
+      (fun s -> (s.Obs.s_layer, s.Obs.s_name, s.Obs.s_key))
+      (Obs.snapshot o)
+  in
+  Alcotest.(check (list (triple string string string)))
+    "snapshot sorted by layer/name/key"
+    [ ("hw", "a", "x"); ("hw", "a", "y"); ("kernel", "b", "x") ]
+    ids;
+  let pref = Obs.prefix_keys "D:p1:" (Obs.snapshot o) in
+  Alcotest.(check (list string))
+    "prefix_keys rewrites keys"
+    [ "D:p1:x"; "D:p1:y"; "D:p1:x" ]
+    (List.map (fun s -> s.Obs.s_key) pref);
+  check_bool "dump mentions cell" true
+    (let dump = Obs.dump o in
+     String.length dump > 0
+     &&
+     let sub = "kernel/b[x] = counter 1" in
+     let rec find i =
+       i + String.length sub <= String.length dump
+       && (String.sub dump i (String.length sub) = sub || find (i + 1))
+     in
+     find 0)
 
 let test_gamma_like_mean () =
   let r = Rng.create 3 in
@@ -524,7 +625,7 @@ let misc_suite =
   [
     ( "sim.misc",
       [
-        tc "counters metric listing" `Quick test_counters_metrics_listing;
+        tc "obs snapshot ordering" `Quick test_obs_snapshot_sorted;
         tc "gamma mean" `Quick test_gamma_like_mean;
       ] );
   ]

@@ -164,11 +164,11 @@ let test_fuse_wrapped_union_crosses_fuse () =
   let wrapped = Fuse_wrap.wrap w.kernel ~pool ~name:"unionfs-fuse" u in
   Engine.spawn w.engine (fun () ->
       let before =
-        Counters.get (Kernel.counters w.kernel) ~metric:"fuse_requests" ~key:"pool0"
+        Obs.get (Kernel.obs w.kernel) ~layer:"kernel" ~name:"fuse_requests" ~key:"pool0"
       in
       ignore (ok_or_fail "stat" (wrapped.Client_intf.stat ~pool "/etc/passwd"));
       let after =
-        Counters.get (Kernel.counters w.kernel) ~metric:"fuse_requests" ~key:"pool0"
+        Obs.get (Kernel.obs w.kernel) ~layer:"kernel" ~name:"fuse_requests" ~key:"pool0"
       in
       check_bool "stat crossed FUSE" true (after > before));
   Engine.run_until w.engine 120.0

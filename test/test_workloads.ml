@@ -231,7 +231,7 @@ let test_startup_uses_legacy_path () =
   Engine.run_until w.engine 600.0;
   check_bool "startup completed" true !finished;
   check_bool "exec/mmap crossed the FUSE legacy path" true
-    (Counters.get (Kernel.counters w.kernel) ~metric:"fuse_requests" ~key:"pool0" > 10.0)
+    (Obs.get (Kernel.obs w.kernel) ~layer:"kernel" ~name:"fuse_requests" ~key:"pool0" > 10.0)
 
 let test_fileappend_copy_up_amplification () =
   let w = make_world () in

@@ -51,7 +51,7 @@ let pool_of ?(name = "pool0") ?(cores = [| 0; 1 |]) () =
 let make_lib_client ?(cache = mib 512) w pool name =
   let c =
     Lib_client.create w.engine ~cpu:w.cpu ~costs:(Kernel.costs w.kernel)
-      ~cluster:w.cluster ~pool ~counters:(Kernel.counters w.kernel)
+      ~cluster:w.cluster ~pool
       ~config:(Lib_client.default_config ~cache_bytes:cache) ~name
   in
   Lib_client.start c;

@@ -29,9 +29,14 @@ let run_experiments () =
     | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 1)
     | None -> Stdlib.max 1 (Stdlib.min 4 (Domain.recommended_domain_count () - 1))
   in
+  let seed =
+    match Sys.getenv_opt "DANAUS_BENCH_SEED" with
+    | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 1)
+    | None -> 1
+  in
   let t0 = Unix.gettimeofday () in
   let results =
-    Danaus_experiments.Registry.run_exps ~jobs ~quick:true
+    Danaus_experiments.Registry.run_exps ~jobs ~seed ~quick:true
       Danaus_experiments.Registry.all
   in
   List.iter

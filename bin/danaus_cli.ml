@@ -36,7 +36,7 @@ let print_reports ?csv_dir reports =
           Printf.printf "(csv written to %s)\n" file)
     reports
 
-let run_experiment ?csv_dir ?metrics_file ?trace_file ~quick id =
+let run_experiment ?csv_dir ?metrics_file ?trace_file ~quick ~seed ~repeats id =
   match Danaus_experiments.Registry.find id with
   | None ->
       Printf.eprintf "unknown experiment %S; try `danaus-cli list`\n" id;
@@ -44,10 +44,18 @@ let run_experiment ?csv_dir ?metrics_file ?trace_file ~quick id =
   | Some e ->
       Printf.printf "# %s\n%!" e.Danaus_experiments.Registry.title;
       let t0 = Unix.gettimeofday () in
-      let reports = e.Danaus_experiments.Registry.run ~quick in
-      print_reports ?csv_dir reports;
-      Option.iter (fun f -> write_metrics f reports) metrics_file;
-      Option.iter (fun f -> write_trace f reports) trace_file;
+      let all_reports =
+        List.concat_map
+          (fun rep ->
+            let seed = seed + rep in
+            if repeats > 1 then Printf.printf "## repeat %d (seed %d)\n%!" rep seed;
+            let reports = e.Danaus_experiments.Registry.run ~quick ~seed in
+            print_reports ?csv_dir reports;
+            reports)
+          (List.init (Stdlib.max 1 repeats) Fun.id)
+      in
+      Option.iter (fun f -> write_metrics f all_reports) metrics_file;
+      Option.iter (fun f -> write_trace f all_reports) trace_file;
       Printf.printf "(completed in %.1fs wall time)\n\n%!"
         (Unix.gettimeofday () -. t0)
 
@@ -88,6 +96,20 @@ let trace_flag =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
 
+let seed_flag =
+  let doc =
+    "Base seed for every stochastic decision of the run (workload arrival \
+     jitter, fault timing windows, ...).  The same seed reproduces the run \
+     byte for byte."
+  in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc ~docv:"SEED")
+
+let repeats_flag =
+  let doc =
+    "Repeat the experiment N times with seeds SEED, SEED+1, ..., SEED+N-1."
+  in
+  Arg.(value & opt int 1 & info [ "repeats" ] ~doc ~docv:"N")
+
 let jobs_flag =
   let doc =
     "Run experiments on N domains in parallel (output is identical to a \
@@ -103,21 +125,22 @@ let apply_trace_default trace_file =
 let run_cmd =
   let doc = "Run one experiment by id (e.g. fig6a)" in
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
-  let run quick csv_dir metrics_file trace_file id =
+  let run quick seed repeats csv_dir metrics_file trace_file id =
     apply_trace_default trace_file;
-    run_experiment ?csv_dir ?metrics_file ?trace_file ~quick id
+    run_experiment ?csv_dir ?metrics_file ?trace_file ~quick ~seed ~repeats id
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ quick_flag $ csv_dir_flag $ metrics_flag $ trace_flag $ id)
+      const run $ quick_flag $ seed_flag $ repeats_flag $ csv_dir_flag
+      $ metrics_flag $ trace_flag $ id)
 
 let all_cmd =
   let doc = "Run every experiment (optionally on several domains)" in
-  let run quick jobs metrics_file trace_file =
+  let run quick seed jobs metrics_file trace_file =
     apply_trace_default trace_file;
     let t0 = Unix.gettimeofday () in
     let results =
-      Danaus_experiments.Registry.run_exps ~jobs ~quick
+      Danaus_experiments.Registry.run_exps ~jobs ~seed ~quick
         Danaus_experiments.Registry.all
     in
     List.iter
@@ -133,7 +156,9 @@ let all_cmd =
       (Unix.gettimeofday () -. t0)
   in
   Cmd.v (Cmd.info "all" ~doc)
-    Term.(const run $ quick_flag $ jobs_flag $ metrics_flag $ trace_flag)
+    Term.(
+      const run $ quick_flag $ seed_flag $ jobs_flag $ metrics_flag
+      $ trace_flag)
 
 let replay_cmd =
   let doc = "Replay an operation trace file against a Table 1 configuration" in
@@ -147,7 +172,7 @@ let replay_cmd =
   let threads =
     Arg.(value & opt int 4 & info [ "threads" ] ~doc:"Replay thread count.")
   in
-  let run file config threads =
+  let run file config threads seed =
     let config =
       match Danaus.Config.of_label config with
       | Some c -> c
@@ -164,7 +189,7 @@ let replay_cmd =
           exit 1
     in
     let open Danaus_experiments in
-    let tb = Testbed.create ~activated:4 () in
+    let tb = Testbed.create ~seed ~activated:4 () in
     let pool = Testbed.pool tb 0 in
     let ct =
       Danaus.Container_engine.launch tb.Testbed.containers ~config ~pool
@@ -188,7 +213,8 @@ let replay_cmd =
           errors
     | None -> ()
   in
-  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file $ config $ threads)
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(const run $ file $ config $ threads $ seed_flag)
 
 let table1_cmd =
   let doc = "Print Table 1 (the configuration matrix)" in

@@ -1,6 +1,32 @@
 open Danaus_sim
 open Danaus_hw
 
+type io_error = No_replica of string
+
+let io_error_to_string (No_replica obj) = "no replica of " ^ obj ^ " available"
+
+(* Monitor/osdmap state, shared by every host's view of the cluster.
+   [map_up] is the osdmap the clients act on; it lags reality by the
+   heartbeat + grace window (stale-map semantics: ops addressed to a
+   crashed-but-not-yet-marked-down OSD time out and fail, and the client
+   retries until the map catches up). *)
+type monitor = {
+  mutable active : bool;
+  heartbeat : float;
+  grace : float;
+  op_timeout : float;
+  map_up : bool array;
+  last_seen : float array;
+  down_at : float array;
+  resyncing : bool array;
+  degraded : (string, int) Hashtbl.t array;
+  markdown_c : Obs.counter;
+  failed_c : Obs.counter;
+  degraded_c : Obs.counter;
+  resync_c : Obs.counter;
+  recovery_g : Obs.gauge array;
+}
+
 type t = {
   engine : Engine.t;
   net : Net.t;
@@ -10,6 +36,7 @@ type t = {
   cluster_mds : Mds.t;
   replicas : int;
   obj_size : int;
+  monitor : monitor option ref;
 }
 
 let message_bytes = 256
@@ -26,6 +53,7 @@ let create engine ~net ~client_node ~server_node ~osds ~mds ~replicas
     cluster_mds = mds;
     replicas;
     obj_size = object_size;
+    monitor = ref None;
   }
 
 (* A second client machine's view of the same cluster: shares the OSDs,
@@ -45,54 +73,210 @@ let to_client t ~bytes =
 let placement t obj =
   Crush.place ~osds:(Array.length t.cluster_osds) ~replicas:t.replicas obj
 
+(* The client's view of an OSD's availability: the osdmap when a monitor
+   runs (stale by up to heartbeat + grace), instant truth otherwise. *)
+let view_up t i =
+  match !(t.monitor) with
+  | None -> Osd.is_up t.cluster_osds.(i)
+  | Some m -> m.map_up.(i)
+
+(* Remember that [obj] missed a write on OSD [i]; replayed by re-sync
+   when the OSD comes back. *)
+let record_degraded m i ~obj ~bytes =
+  let prev = Option.value ~default:0 (Hashtbl.find_opt m.degraded.(i) obj) in
+  Hashtbl.replace m.degraded.(i) obj (Stdlib.max prev bytes);
+  Obs.incr m.degraded_c
+
+let fail_op t =
+  match !(t.monitor) with
+  | None -> ()
+  | Some m -> Obs.incr m.failed_c
+
 let write_object t ~obj ~bytes =
-  to_server t ~bytes:(bytes + message_bytes);
-  let targets =
-    List.filter (fun i -> Osd.is_up t.cluster_osds.(i)) (placement t obj)
-  in
-  if targets = [] then
-    failwith ("Cluster.write_object: no replica of " ^ obj ^ " is up");
-  let wg = Waitgroup.create t.engine in
-  List.iter
-    (fun i ->
-      Waitgroup.add wg;
-      Engine.fork (fun () ->
-          Osd.write t.cluster_osds.(i) ~obj ~bytes;
-          Waitgroup.finish wg))
-    targets;
-  Waitgroup.wait wg;
-  to_client t ~bytes:message_bytes
+  let place = placement t obj in
+  (match !(t.monitor) with
+  | None -> ()
+  | Some m ->
+      (* replicas the map already knows are down miss this write *)
+      List.iter
+        (fun i -> if not m.map_up.(i) then record_degraded m i ~obj ~bytes)
+        place);
+  match List.filter (fun i -> view_up t i) place with
+  | [] ->
+      fail_op t;
+      Error (No_replica obj)
+  | primary :: _ as targets -> (
+      to_server t ~bytes:(bytes + message_bytes);
+      match !(t.monitor) with
+      | Some m when not (Osd.is_up t.cluster_osds.(primary)) ->
+          (* stale map: the op is addressed to a dead primary and times
+             out; the client retries until mark-down updates the map *)
+          Engine.sleep m.op_timeout;
+          Obs.incr m.failed_c;
+          Error (No_replica obj)
+      | monitor ->
+          let wg = Waitgroup.create t.engine in
+          List.iter
+            (fun i ->
+              if Osd.is_up t.cluster_osds.(i) then begin
+                Waitgroup.add wg;
+                Engine.fork (fun () ->
+                    Osd.write t.cluster_osds.(i) ~obj ~bytes;
+                    Waitgroup.finish wg)
+              end
+              else
+                (* non-primary replica died under a stale map: commit on
+                   the live replicas, leave the object degraded *)
+                Option.iter
+                  (fun m -> record_degraded m i ~obj ~bytes)
+                  monitor)
+            targets;
+          Waitgroup.wait wg;
+          to_client t ~bytes:message_bytes;
+          Ok ())
 
 let read_object t ~obj ~bytes =
-  to_server t ~bytes:message_bytes;
   (* primary first; fail over to the next up replica in CRUSH order *)
-  match List.find_opt (fun i -> Osd.is_up t.cluster_osds.(i)) (placement t obj) with
-  | None -> failwith ("Cluster.read_object: no replica of " ^ obj ^ " is up")
-  | Some target ->
-      Osd.read t.cluster_osds.(target) ~obj ~bytes;
-      to_client t ~bytes:(bytes + message_bytes)
+  match List.find_opt (fun i -> view_up t i) (placement t obj) with
+  | None ->
+      fail_op t;
+      Error (No_replica obj)
+  | Some target -> (
+      to_server t ~bytes:message_bytes;
+      match !(t.monitor) with
+      | Some m when not (Osd.is_up t.cluster_osds.(target)) ->
+          Engine.sleep m.op_timeout;
+          Obs.incr m.failed_c;
+          Error (No_replica obj)
+      | _ ->
+          Osd.read t.cluster_osds.(target) ~obj ~bytes;
+          to_client t ~bytes:(bytes + message_bytes);
+          Ok ())
 
 let over_objects t ~ino ~off ~len ~io =
   let parts = Striper.objects ~object_size:t.obj_size ~ino ~off ~len in
   match parts with
-  | [] -> ()
+  | [] -> Ok ()
   | [ (obj, bytes) ] -> io ~obj ~bytes
   | parts ->
+      let first_err = ref None in
       let wg = Waitgroup.create t.engine in
       List.iter
         (fun (obj, bytes) ->
           Waitgroup.add wg;
           Engine.fork (fun () ->
-              io ~obj ~bytes;
+              (match io ~obj ~bytes with
+              | Ok () -> ()
+              | Error e -> if !first_err = None then first_err := Some e);
               Waitgroup.finish wg))
         parts;
-      Waitgroup.wait wg
+      Waitgroup.wait wg;
+      (match !first_err with None -> Ok () | Some e -> Error e)
 
 let write_range t ~ino ~off ~len =
   over_objects t ~ino ~off ~len ~io:(fun ~obj ~bytes -> write_object t ~obj ~bytes)
 
 let read_range t ~ino ~off ~len =
   over_objects t ~ino ~off ~len ~io:(fun ~obj ~bytes -> read_object t ~obj ~bytes)
+
+(* ------------------------------------------------------------------ *)
+(* Monitor: heartbeat, mark-down, and replica re-sync on recovery. *)
+
+(* Bring the recovered OSD [i] up to date: pull each degraded object
+   from a surviving replica (real disk + CPU traffic on both ends) and
+   push it onto [i]; only then does the map show the OSD up again. *)
+let resync t m i =
+  let objs =
+    Hashtbl.fold (fun obj bytes acc -> (obj, bytes) :: acc) m.degraded.(i) []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (obj, bytes) ->
+      let src =
+        List.find_opt
+          (fun j -> j <> i && m.map_up.(j) && Osd.is_up t.cluster_osds.(j))
+          (placement t obj)
+      in
+      match src with
+      | None -> () (* no surviving replica: nothing to recover from *)
+      | Some j ->
+          Osd.read t.cluster_osds.(j) ~obj ~bytes;
+          Osd.write t.cluster_osds.(i) ~obj ~bytes;
+          Obs.add m.resync_c (float_of_int bytes))
+    objs;
+  Hashtbl.reset m.degraded.(i);
+  m.map_up.(i) <- true;
+  if m.down_at.(i) > 0.0 then
+    Obs.set m.recovery_g.(i) (Engine.now t.engine -. m.down_at.(i))
+
+let enable_monitor ?(heartbeat = 1.0) ?(grace = 3.0) ?(op_timeout = 0.25) t =
+  match !(t.monitor) with
+  | Some _ -> ()
+  | None ->
+      let n = Array.length t.cluster_osds in
+      let obs = Engine.obs t.engine in
+      let m =
+        {
+          active = true;
+          heartbeat;
+          grace;
+          op_timeout;
+          map_up = Array.make n true;
+          last_seen = Array.make n (Engine.now t.engine);
+          down_at = Array.make n 0.0;
+          resyncing = Array.make n false;
+          degraded = Array.init n (fun _ -> Hashtbl.create 64);
+          markdown_c =
+            Obs.counter obs ~layer:"ceph" ~name:"osd_mark_down" ~key:"cluster";
+          failed_c =
+            Obs.counter obs ~layer:"ceph" ~name:"failed_ops" ~key:"cluster";
+          degraded_c =
+            Obs.counter obs ~layer:"ceph" ~name:"degraded_objects" ~key:"cluster";
+          resync_c =
+            Obs.counter obs ~layer:"ceph" ~name:"resync_bytes" ~key:"cluster";
+          recovery_g =
+            Array.init n (fun i ->
+                Obs.gauge obs ~layer:"ceph" ~name:"recovery_time"
+                  ~key:(Osd.name t.cluster_osds.(i)));
+        }
+      in
+      t.monitor := Some m;
+      Engine.spawn t.engine ~name:"ceph:monitor" (fun () ->
+          while m.active do
+            Engine.sleep m.heartbeat;
+            let now = Engine.now t.engine in
+            Array.iteri
+              (fun i osd ->
+                if Osd.is_up osd then begin
+                  m.last_seen.(i) <- now;
+                  if (not m.map_up.(i)) && not m.resyncing.(i) then begin
+                    m.resyncing.(i) <- true;
+                    Engine.fork ~name:("ceph:resync:" ^ Osd.name osd)
+                      (fun () ->
+                        resync t m i;
+                        m.resyncing.(i) <- false)
+                  end
+                end
+                else if m.map_up.(i) && now -. m.last_seen.(i) > m.grace
+                then begin
+                  m.map_up.(i) <- false;
+                  m.down_at.(i) <- now;
+                  Obs.incr m.markdown_c
+                end)
+              t.cluster_osds
+          done)
+
+let disable_monitor t =
+  match !(t.monitor) with
+  | None -> ()
+  | Some m ->
+      m.active <- false;
+      t.monitor := None
+
+let monitor_sees_up t i =
+  match !(t.monitor) with
+  | None -> Osd.is_up t.cluster_osds.(i)
+  | Some m -> m.map_up.(i)
 
 let delete_range t ~ino ~size =
   List.iter

@@ -38,13 +38,44 @@ val object_size : t -> int
 
 (** {1 Data path} *)
 
+(** Data-path failure: every replica of the object is unavailable in the
+    client's view, or the op was addressed to a dead OSD under a stale
+    osdmap and timed out.  Clients retry with backoff ({!Retry} in
+    [lib/client]). *)
+type io_error = No_replica of string
+
+val io_error_to_string : io_error -> string
+
 (** Write [len] bytes of inode [ino] starting at [off]: striped into
     objects, each sent over the network and committed on [replicas]
     OSDs. *)
-val write_range : t -> ino:int -> off:int -> len:int -> unit
+val write_range : t -> ino:int -> off:int -> len:int -> (unit, io_error) result
 
 (** Read [len] bytes of inode [ino] from the primary OSDs. *)
-val read_range : t -> ino:int -> off:int -> len:int -> unit
+val read_range : t -> ino:int -> off:int -> len:int -> (unit, io_error) result
+
+(** {1 Monitor (fault tolerance)}
+
+    Without a monitor the data path consults the OSDs' instant [is_up]
+    state.  [enable_monitor] switches to osdmap semantics: a heartbeat
+    process observes the OSDs every [heartbeat] seconds and marks one
+    down after [grace] seconds of silence; until then, ops addressed to
+    the dead OSD pay [op_timeout] and fail (clients retry).  Writes that
+    skip a down replica record the object as degraded; when the OSD
+    returns, a re-sync process replays the degraded objects from the
+    surviving replicas (real disk/CPU traffic) before the map shows the
+    OSD up again.  Emits [ceph/osd_mark_down], [ceph/failed_ops],
+    [ceph/degraded_objects], [ceph/resync_bytes] counters and a
+    [ceph/recovery_time] gauge per OSD. *)
+val enable_monitor :
+  ?heartbeat:float -> ?grace:float -> ?op_timeout:float -> t -> unit
+
+(** Stop the heartbeat process and revert to instant [is_up] checks. *)
+val disable_monitor : t -> unit
+
+(** The client-visible availability of OSD [i] (the osdmap when a
+    monitor runs, the instant state otherwise). *)
+val monitor_sees_up : t -> int -> bool
 
 (** Drop all objects of inode [ino] up to [size] bytes. *)
 val delete_range : t -> ino:int -> size:int -> unit

@@ -17,13 +17,29 @@ let flags_wo = { rd = false; wr = true; append = false; create = true; trunc = t
 let flags_append =
   { rd = false; wr = true; append = true; create = false; trunc = false }
 
-type error = Fs of Namespace.error | Bad_fd | Read_only | Crashed
+type error =
+  | Fs of Namespace.error
+  | Bad_fd
+  | Read_only
+  | Crashed
+  | Unavailable
+  | Timed_out
 
 let error_to_string = function
   | Fs e -> Namespace.error_to_string e
   | Bad_fd -> "bad file descriptor"
   | Read_only -> "read-only filesystem"
   | Crashed -> "filesystem service crashed"
+  | Unavailable -> "backend unavailable"
+  | Timed_out -> "request timed out"
+
+(* Errors worth retrying: the fault may clear (service restart, OSD
+   mark-down and failover).  [Fs] errors are definitive answers from the
+   namespace and must never be retried — the union filesystem probes for
+   ENOENT on purpose. *)
+let is_transient = function
+  | Crashed | Unavailable | Timed_out -> true
+  | Fs _ | Bad_fd | Read_only -> false
 
 type t = {
   name : string;

@@ -23,9 +23,20 @@ val flags_wo : flags  (** write, create, truncate *)
 
 val flags_append : flags  (** O_WRONLY | O_APPEND *)
 
-type error = Fs of Namespace.error | Bad_fd | Read_only | Crashed
+type error =
+  | Fs of Namespace.error
+  | Bad_fd
+  | Read_only
+  | Crashed  (** the backing service/daemon is dead *)
+  | Unavailable  (** the storage backend rejected the op (no replica up) *)
+  | Timed_out  (** the request timed out in transit *)
 
 val error_to_string : error -> string
+
+(** Transient errors ([Crashed], [Unavailable], [Timed_out]) may clear
+    after a restart or failover and are worth retrying; [Fs] answers are
+    definitive and never retried. *)
+val is_transient : error -> bool
 
 type t = {
   name : string;

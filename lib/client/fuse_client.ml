@@ -70,3 +70,9 @@ let create kernel ~cluster ~pool ~config ~name ~page_cache ?threads () =
 
 let inner t = t.lib
 let iface t = t.iface_v
+
+(* ceph-fuse daemon death: the wrapped user-level client carries the
+   crash flag, so every path through the FUSE transport fails too. *)
+let crash t = Lib_client.crash t.lib
+let restart t = Lib_client.restart t.lib
+let crashed t = Lib_client.crashed t.lib

@@ -31,3 +31,12 @@ val iface : t -> Client_intf.t
 
 (** The wrapped user-level client. *)
 val inner : t -> Lib_client.t
+
+(** {1 Fault injection} — daemon death/supervised restart (delegates to
+    the wrapped {!Lib_client}). *)
+
+val crash : t -> unit
+
+val restart : t -> unit
+
+val crashed : t -> bool

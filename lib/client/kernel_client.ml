@@ -15,6 +15,12 @@ type t = {
      every metadata round trip, serialising the mount's metadata ops —
      cheap for one container, painful for 32 clones sharing the mount *)
   session_lock : Mutex_sim.t;
+  (* fault handling: seeded backoff state and the crash flag flipped by
+     Container_engine when the kernel client wedges (host-wide) *)
+  rng : Rng.t;
+  retry : Retry.counters;
+  flush_fail_c : Obs.counter;
+  mutable crashed : bool;
 }
 
 let create kernel ~cluster ~name ~max_dirty ?mem_limit
@@ -33,9 +39,20 @@ let create kernel ~cluster ~name ~max_dirty ?mem_limit
     attr_lease = 60.0;
     session_lock =
       Mutex_sim.create (Kernel.engine kernel) ~name:(name ^ ".s_mutex");
+    rng =
+      Rng.create (String.fold_left (fun a c -> (a * 131) + Char.code c) 11 name);
+    retry = Retry.counters (Engine.obs (Kernel.engine kernel)) ~key:name;
+    flush_fail_c =
+      Obs.counter
+        (Engine.obs (Kernel.engine kernel))
+        ~layer:"client" ~name:"flush_failures" ~key:name;
+    crashed = false;
   }
 
 let name t = t.kc_name
+let crash t = t.crashed <- true
+let restart t = t.crashed <- false
+let crashed t = t.crashed
 
 let fetch_lock t ino =
   match Hashtbl.find_opt t.fetch_locks ino with
@@ -72,7 +89,12 @@ let pc_file t ino =
           Engine.sleep (Kernel.costs k).lock_hold);
       let off = !cur in
       cur := !cur + bytes;
-      Cluster.write_range t.cluster ~ino ~off ~len:bytes)
+      let r =
+        Retry.with_retry ~policy:Retry.net_policy ~rng:t.rng ~counters:t.retry
+          ~transient:(fun _ -> true)
+          (fun () -> Cluster.write_range t.cluster ~ino ~off ~len:bytes)
+      in
+      match r with Ok () -> () | Error _ -> Obs.incr t.flush_fail_c)
 
 let put_attr t path attr =
   Fd_table.put_attr t.table path attr ~now:(Engine.now (Kernel.engine t.kernel))
@@ -222,6 +244,7 @@ let read t ~pool fd ~off ~len =
             with_vfs_locks t ~pool (fun () ->
                 Kernel.pool_cpu k ~pool (Kernel.costs k).page_cache_op);
             let file = pc_file t entry.ino in
+            let fetch_failed = ref false in
             (if Page_cache.missing file ~off ~len > 0 then begin
                let fl = fetch_lock t entry.ino in
                Mutex_sim.with_lock fl (fun () ->
@@ -233,15 +256,26 @@ let read t ~pool fd ~off ~len =
                          Stdlib.min t.readahead (Stdlib.max 0 (size - (off + len)))
                        else 0
                      in
-                     Kernel.blocking_io k ~pool (fun () ->
-                         Cluster.read_range t.cluster ~ino:entry.ino ~off
-                           ~len:(miss + ra));
-                     Page_cache.insert_clean file ~off ~len:(len + ra)
+                     let r =
+                       Retry.with_retry ~policy:Retry.net_policy ~rng:t.rng
+                         ~counters:t.retry
+                         ~transient:(fun _ -> true)
+                         (fun () ->
+                           Kernel.blocking_io k ~pool (fun () ->
+                               Cluster.read_range t.cluster ~ino:entry.ino ~off
+                                 ~len:(miss + ra)))
+                     in
+                     match r with
+                     | Ok () -> Page_cache.insert_clean file ~off ~len:(len + ra)
+                     | Error _ -> fetch_failed := true
                    end)
              end);
-            Kernel.copy k ~pool ~bytes:len;
-            entry.last_end <- off + len;
-            Ok len)
+            if !fetch_failed then Error Client_intf.Unavailable
+            else begin
+              Kernel.copy k ~pool ~bytes:len;
+              entry.last_end <- off + len;
+              Ok len
+            end)
 
 let write t ~pool fd ~off ~len =
   let k = t.kernel in
@@ -279,9 +313,12 @@ let fsync t ~pool fd =
   | None -> Error Client_intf.Bad_fd
   | Some entry ->
       Kernel.syscall t.kernel ~pool (fun () ->
+          let before = Obs.counter_value t.flush_fail_c in
           Kernel.fsync_file t.kernel ~pool (pc_file t entry.ino);
           push_size t ~pool entry;
-          Ok ())
+          if Obs.counter_value t.flush_fail_c > before then
+            Error Client_intf.Unavailable
+          else Ok ())
 
 let fd_size t fd =
   match Fd_table.find t.table fd with
@@ -356,20 +393,23 @@ let rename t ~pool ~src ~dst =
           | Error e -> Error (Client_intf.Fs e)))
 
 let iface t =
+  (* a wedged kernel client fails every mount on the host until the
+     supervisor remounts it *)
+  let g f = if t.crashed then Error Client_intf.Crashed else f () in
   {
     Client_intf.name = t.kc_name;
-    open_file = (fun ~pool path flags -> open_file t ~pool path flags);
-    close = (fun ~pool fd -> close t ~pool fd);
-    read = (fun ~pool fd ~off ~len -> read t ~pool fd ~off ~len);
-    write = (fun ~pool fd ~off ~len -> write t ~pool fd ~off ~len);
-    append = (fun ~pool fd ~len -> append t ~pool fd ~len);
-    fsync = (fun ~pool fd -> fsync t ~pool fd);
-    fd_size = (fun fd -> fd_size t fd);
-    stat = (fun ~pool path -> stat t ~pool path);
-    mkdir_p = (fun ~pool path -> mkdir_p t ~pool path);
-    readdir = (fun ~pool path -> readdir t ~pool path);
-    unlink = (fun ~pool path -> unlink t ~pool path);
-    rename = (fun ~pool ~src ~dst -> rename t ~pool ~src ~dst);
+    open_file = (fun ~pool path flags -> g (fun () -> open_file t ~pool path flags));
+    close = (fun ~pool fd -> if not t.crashed then close t ~pool fd);
+    read = (fun ~pool fd ~off ~len -> g (fun () -> read t ~pool fd ~off ~len));
+    write = (fun ~pool fd ~off ~len -> g (fun () -> write t ~pool fd ~off ~len));
+    append = (fun ~pool fd ~len -> g (fun () -> append t ~pool fd ~len));
+    fsync = (fun ~pool fd -> g (fun () -> fsync t ~pool fd));
+    fd_size = (fun fd -> g (fun () -> fd_size t fd));
+    stat = (fun ~pool path -> g (fun () -> stat t ~pool path));
+    mkdir_p = (fun ~pool path -> g (fun () -> mkdir_p t ~pool path));
+    readdir = (fun ~pool path -> g (fun () -> readdir t ~pool path));
+    unlink = (fun ~pool path -> g (fun () -> unlink t ~pool path));
+    rename = (fun ~pool ~src ~dst -> g (fun () -> rename t ~pool ~src ~dst));
     (* page-cache memory is charged to the host, not the client *)
     memory_used = (fun () -> 0);
   }

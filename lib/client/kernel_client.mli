@@ -26,3 +26,12 @@ val create :
 val iface : t -> Client_intf.t
 
 val name : t -> string
+
+(** {1 Fault injection} — the in-kernel client wedges/recovers.  While
+    crashed, every operation on every mount answers [Error Crashed]. *)
+
+val crash : t -> unit
+
+val restart : t -> unit
+
+val crashed : t -> bool

@@ -49,9 +49,17 @@ type t = {
      future work, S6.3.2/S9) *)
   ino_locks : (int, Mutex_sim.t) Hashtbl.t;
   mutable started : bool;
+  (* fault handling: seeded backoff state and the crash flag flipped by
+     Container_engine when the process hosting this client dies *)
+  rng : Rng.t;
+  retry : Retry.counters;
+  flush_fail_c : Obs.counter;
+  mutable crashed : bool;
 }
 
 let flush_chunk = 4 * 1024 * 1024
+
+let seed_of_name name = String.fold_left (fun a c -> (a * 131) + Char.code c) 7 name
 
 let create engine ~cpu ~costs ~cluster ~pool ~config ~name =
   let cache_mem = Memory.create ~name:(name ^ ".ulcc") () in
@@ -87,7 +95,17 @@ let create engine ~cpu ~costs ~cluster ~pool ~config ~name =
     fetch_locks = Hashtbl.create 64;
     ino_locks = Hashtbl.create 64;
     started = false;
+    rng = Rng.create (seed_of_name name);
+    retry = Retry.counters (Engine.obs engine) ~key:(Cgroup.name pool);
+    flush_fail_c =
+      Obs.counter (Engine.obs engine) ~layer:"client" ~name:"flush_failures"
+        ~key:(Cgroup.name pool);
+    crashed = false;
   }
+
+let crash t = t.crashed <- true
+let restart t = t.crashed <- false
+let crashed t = t.crashed
 
 let client_lock t = t.lock
 let cache_used t = Memory.used t.cache_mem
@@ -135,7 +153,13 @@ let cache_file t ino =
     ~flush:(fun ~bytes ->
       let off = !cur in
       cur := !cur + bytes;
-      net_op t (fun () -> Cluster.write_range t.cluster ~ino ~off ~len:bytes))
+      let r =
+        Retry.with_retry ~policy:Retry.net_policy ~rng:t.rng ~counters:t.retry
+          ~transient:(fun _ -> true)
+          (fun () ->
+            net_op t (fun () -> Cluster.write_range t.cluster ~ino ~off ~len:bytes))
+      in
+      match r with Ok () -> () | Error _ -> Obs.incr t.flush_fail_c)
 
 (* Flush dirty work selected by the caller: writeback CPU is charged to
    the pool serially, but the network round trips of the 4 MB chunks are
@@ -190,12 +214,15 @@ let start t =
     Engine.spawn t.engine ~name:(t.name ^ ".writeback") (fun () ->
         while true do
           Engine.sleep t.config.writeback_interval;
-          let now = Engine.now t.engine in
-          let work =
-            Page_cache.take_dirty t.cache t.cache_mount
-              ~older_than:(now -. t.config.expire_interval) ~max_bytes:max_int
-          in
-          do_flush t work
+          (* a crashed process flushes nothing until it is restarted *)
+          if not t.crashed then begin
+            let now = Engine.now t.engine in
+            let work =
+              Page_cache.take_dirty t.cache t.cache_mount
+                ~older_than:(now -. t.config.expire_interval) ~max_bytes:max_int
+            in
+            do_flush t work
+          end
         done)
   end
 
@@ -350,6 +377,7 @@ let read t ~pool:_ fd ~off ~len =
         user_cpu t t.costs.page_cache_op;
         let file = cache_file t of_.Fd_table.ino in
         let miss = Page_cache.missing file ~off ~len in
+        let fetch_failed = ref false in
         if miss > 0 then begin
           (* fetch misses with the client lock released; the per-inode
              fetch lock makes concurrent readers of the same range fetch
@@ -365,19 +393,30 @@ let read t ~pool:_ fd ~off ~len =
                 Stdlib.min t.config.readahead (Stdlib.max 0 (size - (off + len)))
               else 0
             in
-            net_op t (fun () ->
-                Cluster.read_range t.cluster ~ino:of_.Fd_table.ino ~off
-                  ~len:(miss + ra));
-            Page_cache.insert_clean file ~off ~len:(len + ra)
+            let r =
+              Retry.with_retry ~policy:Retry.net_policy ~rng:t.rng
+                ~counters:t.retry
+                ~transient:(fun _ -> true)
+                (fun () ->
+                  net_op t (fun () ->
+                      Cluster.read_range t.cluster ~ino:of_.Fd_table.ino ~off
+                        ~len:(miss + ra)))
+            in
+            match r with
+            | Ok () -> Page_cache.insert_clean file ~off ~len:(len + ra)
+            | Error _ -> fetch_failed := true
           end;
           Mutex_sim.unlock fl;
-          Option.iter Mutex_sim.lock lk
+          if not !fetch_failed then Option.iter Mutex_sim.lock lk
         end;
-        (* copy out of the cache (under client_lock in the stock client) *)
-        user_cpu t (float_of_int len *. t.costs.copy_per_byte);
-        Option.iter Mutex_sim.unlock lk;
-        of_.Fd_table.last_end <- off + len;
-        Ok len
+        if !fetch_failed then Error Client_intf.Unavailable
+        else begin
+          (* copy out of the cache (under client_lock in the stock client) *)
+          user_cpu t (float_of_int len *. t.costs.copy_per_byte);
+          Option.iter Mutex_sim.unlock lk;
+          of_.Fd_table.last_end <- off + len;
+          Ok len
+        end
       end
 
 let write t ~pool:_ fd ~off ~len =
@@ -396,12 +435,19 @@ let write t ~pool:_ fd ~off ~len =
         let size = size_ref t of_.Fd_table.ino in
         if off + len > !size then size := off + len;
         of_.Fd_table.written <- true;
-        if t.config.write_through then
+        if t.config.write_through then begin
           (* per-service consistency setting (§5): push this write's data
              to the backend before returning *)
-          do_flush ~wait:true t (Page_cache.flush_file file)
-        else throttle_writeback t;
-        Ok ()
+          let before = Obs.counter_value t.flush_fail_c in
+          do_flush ~wait:true t (Page_cache.flush_file file);
+          if Obs.counter_value t.flush_fail_c > before then
+            Error Client_intf.Unavailable
+          else Ok ()
+        end
+        else begin
+          throttle_writeback t;
+          Ok ()
+        end
       end
 
 let append t ~pool fd ~len =
@@ -416,9 +462,12 @@ let fsync t ~pool:_ fd =
   | None -> Error Client_intf.Bad_fd
   | Some of_ ->
       let file = cache_file t of_.Fd_table.ino in
+      let before = Obs.counter_value t.flush_fail_c in
       do_flush ~wait:true t (Page_cache.flush_file file);
       push_size t of_;
-      Ok ()
+      if Obs.counter_value t.flush_fail_c > before then
+        Error Client_intf.Unavailable
+      else Ok ()
 
 let fd_size t fd =
   match lookup_fd t fd with
@@ -482,19 +531,22 @@ let rename t ~pool:_ ~src ~dst =
   | Error e -> Error (Client_intf.Fs e)
 
 let iface t =
+  (* every entry point answers [Crashed] while the hosting process is
+     dead; the supervisor's restart clears the flag *)
+  let g f = if t.crashed then Error Client_intf.Crashed else f () in
   {
     Client_intf.name = t.name;
-    open_file = (fun ~pool path flags -> open_file t ~pool path flags);
-    close = (fun ~pool fd -> close t ~pool fd);
-    read = (fun ~pool fd ~off ~len -> read t ~pool fd ~off ~len);
-    write = (fun ~pool fd ~off ~len -> write t ~pool fd ~off ~len);
-    append = (fun ~pool fd ~len -> append t ~pool fd ~len);
-    fsync = (fun ~pool fd -> fsync t ~pool fd);
-    fd_size = (fun fd -> fd_size t fd);
-    stat = (fun ~pool path -> stat t ~pool path);
-    mkdir_p = (fun ~pool path -> mkdir_p t ~pool path);
-    readdir = (fun ~pool path -> readdir t ~pool path);
-    unlink = (fun ~pool path -> unlink t ~pool path);
-    rename = (fun ~pool ~src ~dst -> rename t ~pool ~src ~dst);
+    open_file = (fun ~pool path flags -> g (fun () -> open_file t ~pool path flags));
+    close = (fun ~pool fd -> if not t.crashed then close t ~pool fd);
+    read = (fun ~pool fd ~off ~len -> g (fun () -> read t ~pool fd ~off ~len));
+    write = (fun ~pool fd ~off ~len -> g (fun () -> write t ~pool fd ~off ~len));
+    append = (fun ~pool fd ~len -> g (fun () -> append t ~pool fd ~len));
+    fsync = (fun ~pool fd -> g (fun () -> fsync t ~pool fd));
+    fd_size = (fun fd -> g (fun () -> fd_size t fd));
+    stat = (fun ~pool path -> g (fun () -> stat t ~pool path));
+    mkdir_p = (fun ~pool path -> g (fun () -> mkdir_p t ~pool path));
+    readdir = (fun ~pool path -> g (fun () -> readdir t ~pool path));
+    unlink = (fun ~pool path -> g (fun () -> unlink t ~pool path));
+    rename = (fun ~pool ~src ~dst -> g (fun () -> rename t ~pool ~src ~dst));
     memory_used = (fun () -> cache_used t);
   }

@@ -54,6 +54,16 @@ val create :
 (** Spawn the background writeback thread (runs on the pool cores). *)
 val start : t -> unit
 
+(** {1 Fault injection} — the process hosting this client dies/returns.
+    While crashed, every operation answers [Error Crashed] and the
+    writeback thread is idle. *)
+
+val crash : t -> unit
+
+val restart : t -> unit
+
+val crashed : t -> bool
+
 (** The client as a generic filesystem instance. *)
 val iface : t -> Client_intf.t
 

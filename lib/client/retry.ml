@@ -1,0 +1,87 @@
+open Danaus_sim
+
+type policy = {
+  attempts : int;
+  base_delay : float;
+  multiplier : float;
+  max_delay : float;
+  jitter : float;
+}
+
+let default = { attempts = 6; base_delay = 0.1; multiplier = 2.0; max_delay = 5.0; jitter = 0.25 }
+
+(* Sized to ride out a supervised service restart (sub-second to a few
+   seconds): 8 attempts starting at 50 ms cover ~6 s of backoff. *)
+let crash_policy =
+  { attempts = 8; base_delay = 0.05; multiplier = 2.0; max_delay = 2.0; jitter = 0.25 }
+
+(* Sized to ride out an OSD mark-down window (heartbeat + grace, a few
+   seconds) plus failover. *)
+let net_policy =
+  { attempts = 6; base_delay = 0.1; multiplier = 2.0; max_delay = 5.0; jitter = 0.25 }
+
+let backoff_delay policy ~rng ~attempt =
+  let d =
+    Float.min policy.max_delay
+      (policy.base_delay *. (policy.multiplier ** float_of_int (attempt - 1)))
+  in
+  d *. (1.0 +. (policy.jitter *. Rng.float rng))
+
+type counters = { retries_c : Obs.counter; giveups_c : Obs.counter }
+
+let counters obs ~key =
+  {
+    retries_c = Obs.counter obs ~layer:"client" ~name:"retries" ~key;
+    giveups_c = Obs.counter obs ~layer:"client" ~name:"giveups" ~key;
+  }
+
+let with_retry ?(policy = default) ~rng ~counters ~transient f =
+  let rec go attempt =
+    match f () with
+    | Ok _ as ok -> ok
+    | Error e when transient e && attempt < policy.attempts ->
+        Obs.incr counters.retries_c;
+        Engine.sleep (backoff_delay policy ~rng ~attempt);
+        go (attempt + 1)
+    | Error e as err ->
+        if transient e then Obs.incr counters.giveups_c;
+        err
+  in
+  go 1
+
+(* Wrap every result-returning operation of a filesystem instance with
+   transient-error retry.  [Fs] errors pass through untouched (see
+   {!Client_intf.is_transient}); [close] and [memory_used] do not fail
+   and are left alone. *)
+let wrap engine ?(policy = default) ~seed ~key (inner : Client_intf.t) =
+  let obs = Engine.obs engine in
+  let counters = counters obs ~key in
+  let rng = Rng.create seed in
+  let retry f =
+    with_retry ~policy ~rng ~counters ~transient:Client_intf.is_transient f
+  in
+  {
+    inner with
+    Client_intf.open_file =
+      (fun ~pool path flags ->
+        retry (fun () -> inner.Client_intf.open_file ~pool path flags));
+    read =
+      (fun ~pool fd ~off ~len ->
+        retry (fun () -> inner.Client_intf.read ~pool fd ~off ~len));
+    write =
+      (fun ~pool fd ~off ~len ->
+        retry (fun () -> inner.Client_intf.write ~pool fd ~off ~len));
+    append =
+      (fun ~pool fd ~len -> retry (fun () -> inner.Client_intf.append ~pool fd ~len));
+    fsync = (fun ~pool fd -> retry (fun () -> inner.Client_intf.fsync ~pool fd));
+    stat = (fun ~pool path -> retry (fun () -> inner.Client_intf.stat ~pool path));
+    mkdir_p =
+      (fun ~pool path -> retry (fun () -> inner.Client_intf.mkdir_p ~pool path));
+    readdir =
+      (fun ~pool path -> retry (fun () -> inner.Client_intf.readdir ~pool path));
+    unlink =
+      (fun ~pool path -> retry (fun () -> inner.Client_intf.unlink ~pool path));
+    rename =
+      (fun ~pool ~src ~dst ->
+        retry (fun () -> inner.Client_intf.rename ~pool ~src ~dst));
+  }

@@ -1,0 +1,48 @@
+open Danaus_sim
+
+(** Exponential backoff with seeded jitter around any result-returning
+    operation.  The sole error-recovery mechanism of the client stack:
+    transient failures (a crashed service awaiting supervised restart, a
+    dead OSD awaiting mark-down and failover) clear within the backoff
+    budget; anything else surfaces to the caller after the budget is
+    spent.  All delays are simulated time and all jitter is drawn from a
+    seeded {!Rng}, so runs stay deterministic. *)
+
+type policy = {
+  attempts : int;  (** total tries including the first *)
+  base_delay : float;  (** delay before the 2nd try, seconds *)
+  multiplier : float;  (** delay growth per retry *)
+  max_delay : float;  (** backoff cap, seconds *)
+  jitter : float;  (** extra uniform-random fraction of each delay *)
+}
+
+val default : policy
+
+(** Sized to ride out a supervised restart of a crashed service. *)
+val crash_policy : policy
+
+(** Sized to ride out OSD mark-down (heartbeat + grace) and failover. *)
+val net_policy : policy
+
+type counters = { retries_c : Obs.counter; giveups_c : Obs.counter }
+
+(** Intern the [client/retries] and [client/giveups] counters for [key]
+    (conventionally the pool name). *)
+val counters : Obs.t -> key:string -> counters
+
+(** [with_retry ~rng ~counters ~transient f] runs [f], retrying up to
+    [policy.attempts] times while [f] returns [Error e] with
+    [transient e], sleeping the backoff delay between tries.  Counts
+    each retry and each exhausted budget. *)
+val with_retry :
+  ?policy:policy ->
+  rng:Rng.t ->
+  counters:counters ->
+  transient:('e -> bool) ->
+  (unit -> ('a, 'e) result) ->
+  ('a, 'e) result
+
+(** [wrap engine ~seed ~key inner] is [inner] with every fallible
+    operation retried on {!Client_intf.is_transient} errors. *)
+val wrap :
+  Engine.t -> ?policy:policy -> seed:int -> key:string -> Client_intf.t -> Client_intf.t

@@ -1,3 +1,4 @@
+open Danaus_sim
 open Danaus_hw
 open Danaus_kernel
 open Danaus_ceph
@@ -8,6 +9,10 @@ type shared = {
   sh_client : Client_intf.t;
   sh_service : Fs_service.t option;
   sh_memory : unit -> int;
+  sh_pool : Cgroup.t;
+  (* kill/respawn the processes realising this entry's client stack *)
+  sh_crash : unit -> unit;
+  sh_restart : unit -> unit;
 }
 
 type t = {
@@ -62,6 +67,15 @@ let build_shared t ~(config : Config.t) ~pool ~cache_bytes ~fine_grained =
         sh_client = Lib_client.iface lib;
         sh_service = Some service;
         sh_memory = (fun () -> Lib_client.cache_used lib);
+        sh_pool = pool;
+        sh_crash =
+          (fun () ->
+            Fs_service.crash service;
+            Lib_client.crash lib);
+        sh_restart =
+          (fun () ->
+            Fs_service.restart service;
+            Lib_client.restart lib);
       }
   | Config.Kernel_cephfs ->
       (* paper §6.1: the kernel client's max dirty bytes are 50% of the
@@ -78,6 +92,9 @@ let build_shared t ~(config : Config.t) ~pool ~cache_bytes ~fine_grained =
         sh_client = Kernel_client.iface kc;
         sh_service = None;
         sh_memory = (fun () -> 0);
+        sh_pool = pool;
+        sh_crash = (fun () -> Kernel_client.crash kc);
+        sh_restart = (fun () -> Kernel_client.restart kc);
       }
   | Config.Ceph_fuse | Config.Ceph_fuse_pagecache ->
       let page_cache = config.client = Config.Ceph_fuse_pagecache in
@@ -90,6 +107,9 @@ let build_shared t ~(config : Config.t) ~pool ~cache_bytes ~fine_grained =
         sh_client = iface;
         sh_service = None;
         sh_memory = (fun () -> Lib_client.cache_used (Fuse_client.inner fc));
+        sh_pool = pool;
+        sh_crash = (fun () -> Fuse_client.crash fc);
+        sh_restart = (fun () -> Fuse_client.restart fc);
       }
 
 let shared_for t ~config ~pool ~cache_bytes ~fine_grained =
@@ -100,6 +120,37 @@ let shared_for t ~config ~pool ~cache_bytes ~fine_grained =
       let s = build_shared t ~config ~pool ~cache_bytes ~fine_grained in
       Hashtbl.add t.shared key s;
       s
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection: crash and supervised restart of client stacks. *)
+
+let crash_entry t sh ~restart_after =
+  let obs = Kernel.obs t.kernel in
+  let key = Cgroup.name sh.sh_pool in
+  Obs.incr (Obs.counter obs ~layer:"core" ~name:"client_crash" ~key);
+  (* the supervisor respawns the stack after [restart_after]: the pool's
+     downtime is known the moment the crash is injected *)
+  Obs.add (Obs.counter obs ~layer:"core" ~name:"downtime" ~key) restart_after;
+  sh.sh_crash ();
+  Engine.schedule (Kernel.engine t.kernel) ~delay:restart_after (fun () ->
+      sh.sh_restart ())
+
+(* Shared-table entries in key order, for deterministic crash order. *)
+let sorted_shared t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.shared []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let crash_pool_named t ~pool_name ~restart_after =
+  List.iter
+    (fun (_, sh) ->
+      if Cgroup.name sh.sh_pool = pool_name then crash_entry t sh ~restart_after)
+    (sorted_shared t)
+
+let crash_pool t ~pool ~restart_after =
+  crash_pool_named t ~pool_name:(Cgroup.name pool) ~restart_after
+
+let crash_host t ~restart_after =
+  List.iter (fun (_, sh) -> crash_entry t sh ~restart_after) (sorted_shared t)
 
 let service_of t ~pool ~config =
   Option.bind
@@ -157,14 +208,28 @@ let launch t ~config ~pool ~id ?image ?(layers = []) ?cache_bytes
       ~charge:(fun ~pool dt -> user_charge t ~pool dt)
       ?block_cow ()
   in
+  (* the runtime's mount helper retries transient faults (crashed
+     service awaiting respawn, backend failover) with seeded backoff, so
+     applications ride out a supervised restart instead of erroring *)
+  let retry_wrap iface =
+    Retry.wrap (Kernel.engine t.kernel) ~policy:Retry.crash_policy
+      ~seed:
+        (String.fold_left
+           (fun a c -> (a * 131) + Char.code c)
+           17
+           (Cgroup.name pool ^ "/" ^ id))
+      ~key:(Cgroup.name pool) iface
+  in
   let view, legacy =
     match shared.sh_service with
     | Some service ->
         (* Danaus: default path over shared-memory IPC; legacy path over
            the service's FUSE mount *)
         Fs_service.add_instance service ~mount_point:("/" ^ id) union;
-        ( (fun ~thread -> Fs_service.view service ~instance:union ~thread),
-          Rebase.wrap ~prefix:("/" ^ id) (Fs_service.legacy_iface service) )
+        ( (fun ~thread ->
+            retry_wrap (Fs_service.view service ~instance:union ~thread)),
+          retry_wrap
+            (Rebase.wrap ~prefix:("/" ^ id) (Fs_service.legacy_iface service)) )
     | None ->
         let stacked =
           match config.Config.union_transport with
@@ -178,6 +243,7 @@ let launch t ~config ~pool ~id ?image ?(layers = []) ?cache_bytes
                 (Fuse_wrap.wrap t.kernel ~pool ~name:(id ^ ".unionfs-fuse")
                    ~threads:8 union)
         in
+        let stacked = retry_wrap stacked in
         ((fun ~thread:_ -> stacked), stacked)
   in
   {

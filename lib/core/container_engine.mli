@@ -56,6 +56,28 @@ val launch :
 (** The Danaus filesystem service of a pool, if one was created. *)
 val service_of : t -> pool:Cgroup.t -> config:Config.t -> Fs_service.t option
 
+(** {1 Fault injection}
+
+    Crash the processes realising client stacks, then respawn them
+    [restart_after] seconds later (supervised restart).  A crash flips
+    the stack into answering [Error Crashed]; the retry layer wrapped
+    around every container view rides it out with seeded backoff.  Each
+    crashed entry counts [core/client_crash] and adds [restart_after]
+    to [core/downtime], keyed by pool — the per-pool blast radius. *)
+
+(** Per-pool crash: only the stacks of [pool] die (a Danaus
+    [fs_service] or a pool's ceph-fuse daemon). *)
+val crash_pool : t -> pool:Cgroup.t -> restart_after:float -> unit
+
+(** Same, addressed by pool name (fault plans carry names, not
+    cgroups). *)
+val crash_pool_named : t -> pool_name:string -> restart_after:float -> unit
+
+(** Host-wide crash: every client stack on the host dies (a wedged
+    shared kernel client, or FUSE transport teardown killing every
+    daemon). *)
+val crash_host : t -> restart_after:float -> unit
+
 (** The shared backend client of (pool, config), if created. *)
 val client_of : t -> pool:Cgroup.t -> config:Config.t -> Client_intf.t option
 

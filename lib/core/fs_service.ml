@@ -15,9 +15,10 @@ type t = {
   mutable next_legacy_fd : int;
   mutable legacy : Client_intf.t option;
   mutable dead : bool;
+  request_timeout : float option;
 }
 
-let create kernel ~pool ~topology ~name =
+let create ?request_timeout kernel ~pool ~topology ~name =
   let tr = Transport.create kernel ~pool ~topology ~name:(name ^ ".ipc") () in
   Transport.start tr;
   {
@@ -30,6 +31,7 @@ let create kernel ~pool ~topology ~name =
     next_legacy_fd = 3;
     legacy = None;
     dead = false;
+    request_timeout;
   }
 
 let name t = t.svc_name
@@ -44,14 +46,30 @@ let add_instance t ~mount_point instance =
 (* Default path: shared-memory IPC into the service threads. *)
 
 let crash t = t.dead <- true
+
+(* Supervised restart: the process is respawned with fresh state; fds
+   held by applications across the crash are invalid (the remapping
+   table is cleared), but mounted instances persist in the service's
+   filesystem table as they are re-registered by the supervisor's
+   container config. *)
+let restart t =
+  Hashtbl.reset t.legacy_fds;
+  t.next_legacy_fd <- 3;
+  t.dead <- false
+
 let crashed t = t.dead
 
 let view t ~instance ~thread =
   let call bytes f =
     if t.dead then Error Client_intf.Crashed
     else
-      Transport.call t.tr ~thread ~bytes (fun () ->
-          if t.dead then Error Client_intf.Crashed else f ())
+      let body () = if t.dead then Error Client_intf.Crashed else f () in
+      match t.request_timeout with
+      | None -> Transport.call t.tr ~thread ~bytes body
+      | Some d ->
+          Transport.call ~timeout:d
+            ~on_timeout:(fun () -> Error Client_intf.Timed_out)
+            t.tr ~thread ~bytes body
   in
   let call_unit bytes f = if t.dead then () else Transport.call t.tr ~thread ~bytes f in
   {

@@ -14,8 +14,16 @@ open Danaus_client
 
 type t
 
+(** [request_timeout] bounds every default-path IPC round trip: a call
+    still outstanding after that many seconds returns
+    [Error Timed_out] (counted under ["ipc"/"timeouts"]). *)
 val create :
-  Kernel.t -> pool:Cgroup.t -> topology:Topology.t -> name:string -> t
+  ?request_timeout:float ->
+  Kernel.t ->
+  pool:Cgroup.t ->
+  topology:Topology.t ->
+  name:string ->
+  t
 
 val name : t -> string
 val pool : t -> Cgroup.t
@@ -44,5 +52,10 @@ val requests : t -> int
     kernel — are unaffected (the paper's fault-containment property,
     §5). *)
 val crash : t -> unit
+
+(** Supervised restart after {!crash}: clears the legacy fd remapping
+    (fds opened before the crash are invalid) and accepts requests
+    again.  Registered instances persist. *)
+val restart : t -> unit
 
 val crashed : t -> bool

@@ -8,13 +8,13 @@ let mib n = n * 1024 * 1024
 (* client_lock granularity: cached sequential read, 1 pool (Fig. 9
    bottom is where the paper sees K beat D because of this lock) *)
 
-let seqread_cell ~quick ~config ~fine_grained =
+let seqread_cell ~seed ~quick ~config ~fine_grained =
   let p =
     if quick then
       { Seqio.default_params with Seqio.file_size = mib 256; duration = 10.0 }
     else Seqio.default_params
   in
-  let tb = Testbed.create ~activated:4 () in
+  let tb = Testbed.create ~seed ~activated:4 () in
   (* a 4-core pool: enough parallelism that the global lock, not the
      copy bandwidth, is the binding constraint *)
   let pool =
@@ -33,10 +33,10 @@ let seqread_cell ~quick ~config ~fine_grained =
   Testbed.drive tb ~stop:(fun () -> !result <> None);
   match !result with Some r -> r.Seqio.throughput_mbps | None -> 0.0
 
-let ablation_lock ~quick =
-  let d = seqread_cell ~quick ~config:Config.d ~fine_grained:false in
-  let d_fg = seqread_cell ~quick ~config:Config.d ~fine_grained:true in
-  let k = seqread_cell ~quick ~config:Config.k ~fine_grained:false in
+let ablation_lock ~seed ~quick =
+  let d = seqread_cell ~seed ~quick ~config:Config.d ~fine_grained:false in
+  let d_fg = seqread_cell ~seed ~quick ~config:Config.d ~fine_grained:true in
+  let k = seqread_cell ~seed ~quick ~config:Config.k ~fine_grained:false in
   [
     Report.make ~id:"abl-lock"
       ~title:"Ablation: client_lock granularity (cached Seqread, 1 pool)"
@@ -57,9 +57,9 @@ let ablation_lock ~quick =
 (* dual interface: the same sequential read over the default
    shared-memory path vs the legacy FUSE path of the same service *)
 
-let ablation_dual ~quick =
+let ablation_dual ~seed ~quick =
   let file_bytes = if quick then mib 256 else 1024 * 1024 * 1024 in
-  let tb = Testbed.create ~activated:4 () in
+  let tb = Testbed.create ~seed ~activated:4 () in
   let pool = Testbed.pool tb 0 in
   Container_engine.install_image tb.Testbed.containers ~name:"blob"
     ~files:[ ("/blob", file_bytes) ];
@@ -99,7 +99,7 @@ let ablation_dual ~quick =
    lower image branch (the union always exists; this measures the extra
    branch probing + whiteout checks) *)
 
-let fileserver_cell ~quick ~with_image =
+let fileserver_cell ~seed ~quick ~with_image =
   let p =
     {
       Fileserver.default_params with
@@ -109,7 +109,7 @@ let fileserver_cell ~quick ~with_image =
       duration = (if quick then 8.0 else 60.0);
     }
   in
-  let tb = Testbed.create ~activated:4 () in
+  let tb = Testbed.create ~seed ~activated:4 () in
   let pool = Testbed.pool tb 0 in
   (if with_image then
      Container_engine.install_image tb.Testbed.containers ~name:"layer"
@@ -127,9 +127,9 @@ let fileserver_cell ~quick ~with_image =
   Testbed.drive tb ~stop:(fun () -> !result <> None);
   match !result with Some r -> r.Fileserver.throughput_mbps | None -> 0.0
 
-let ablation_union ~quick =
-  let single = fileserver_cell ~quick ~with_image:false in
-  let layered = fileserver_cell ~quick ~with_image:true in
+let ablation_union ~seed ~quick =
+  let single = fileserver_cell ~seed ~quick ~with_image:false in
+  let layered = fileserver_cell ~seed ~quick ~with_image:true in
   [
     Report.make ~id:"abl-union"
       ~title:"Ablation: union branch probing cost (Fileserver, 1 pool)"
@@ -149,9 +149,9 @@ let ablation_union ~quick =
 (* block-level CoW vs whole-file copy-up: Fileappend over a big lower
    file, N clones (the Fig. 11a scenario) *)
 
-let fileappend_cell ~quick ~block_cow ~clones =
+let fileappend_cell ~seed ~quick ~block_cow ~clones =
   let file_bytes = if quick then mib 256 else 2 * 1024 * 1024 * 1024 in
-  let tb = Testbed.create ~activated:Params.client_cores () in
+  let tb = Testbed.create ~seed ~activated:Params.client_cores () in
   let pool =
     Testbed.custom_pool tb ~name:"cowpool"
       ~cores:(Array.init Params.client_cores (fun i -> i))
@@ -180,15 +180,15 @@ let fileappend_cell ~quick ~block_cow ~clones =
   Testbed.drive tb ~stop:(fun () -> !finished = clones);
   !last_finish -. started
 
-let ablation_block_cow ~quick =
+let ablation_block_cow ~seed ~quick =
   let clone_counts = if quick then [ 1; 8; 32 ] else [ 1; 8; 32 ] in
   let rows =
     List.map
       (fun clones ->
         [
           string_of_int clones;
-          Report.f2 (fileappend_cell ~quick ~block_cow:false ~clones);
-          Report.f2 (fileappend_cell ~quick ~block_cow:true ~clones);
+          Report.f2 (fileappend_cell ~seed ~quick ~block_cow:false ~clones);
+          Report.f2 (fileappend_cell ~seed ~quick ~block_cow:true ~clones);
         ])
       clone_counts
   in

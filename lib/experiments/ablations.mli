@@ -8,11 +8,11 @@
     - [union]: the integrated (function-call) union layer's overhead on
       a data-intensive workload (§3.1 "filesystem integration"). *)
 
-val ablation_lock : quick:bool -> Report.t list
-val ablation_dual : quick:bool -> Report.t list
-val ablation_union : quick:bool -> Report.t list
+val ablation_lock : seed:int -> quick:bool -> Report.t list
+val ablation_dual : seed:int -> quick:bool -> Report.t list
+val ablation_union : seed:int -> quick:bool -> Report.t list
 
 (** Block-level vs whole-file copy-on-write on the Fileappend scale-up
     scenario (the §9 extension; removes Fig. 11a's 50/50 read/write
     amplification). *)
-val ablation_block_cow : quick:bool -> Report.t list
+val ablation_block_cow : seed:int -> quick:bool -> Report.t list

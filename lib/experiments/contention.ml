@@ -31,9 +31,9 @@ let duration_of ~quick = (fls_params ~quick).Fileserver.duration
 
 let config_of = function D -> Config.d | K -> Config.k
 
-let run ~quick ~fls_count ~system ~neighbor =
+let run ~seed ~quick ~fls_count ~system ~neighbor =
   let activated = if fls_count = 1 then 4 else 16 in
-  let tb = Testbed.create ~activated () in
+  let tb = Testbed.create ~seed ~activated () in
   let duration = duration_of ~quick in
   let fpars = fls_params ~quick in
   (* Fileserver pools 0..n-1; the neighbour takes the last activated pair *)
@@ -185,7 +185,7 @@ let label system count nb =
   | Wbs -> base ^ "+1WBS"
   | Ssb -> base ^ "+1SSB"
 
-let interference_figure ~id ~title ~quick ~systems ~nb ~nb_name ~nb_unit =
+let interference_figure ~id ~title ~seed ~quick ~systems ~nb ~nb_name ~nb_unit =
   let cells =
     List.concat_map
       (fun system ->
@@ -200,7 +200,7 @@ let interference_figure ~id ~title ~quick ~systems ~nb ~nb_name ~nb_unit =
   let outcomes =
     List.map
       (fun ((system, count, neighbor) as cell) ->
-        (cell, run ~quick ~fls_count:count ~system ~neighbor))
+        (cell, run ~seed ~quick ~fls_count:count ~system ~neighbor))
       cells
   in
   let rows =
@@ -241,33 +241,33 @@ let interference_figure ~id ~title ~quick ~systems ~nb ~nb_name ~nb_unit =
       ]
     ~metrics ~spans rows
 
-let fig1 ~quick =
+let fig1 ~seed ~quick =
   [
     interference_figure ~id:"fig1"
       ~title:"Fileserver collapse from kernel core and lock contention (K only)"
-      ~quick ~systems:[ K ] ~nb:Rnd ~nb_name:"RND" ~nb_unit:"ops/s";
+      ~seed ~quick ~systems:[ K ] ~nb:Rnd ~nb_name:"RND" ~nb_unit:"ops/s";
   ]
 
-let fig6a ~quick =
+let fig6a ~seed ~quick =
   [
     interference_figure ~id:"fig6a" ~title:"Fileserver x RandomIO interference"
-      ~quick ~systems:[ K; D ] ~nb:Rnd ~nb_name:"RND" ~nb_unit:"ops/s";
+      ~seed ~quick ~systems:[ K; D ] ~nb:Rnd ~nb_name:"RND" ~nb_unit:"ops/s";
   ]
 
-let fig6b ~quick =
+let fig6b ~seed ~quick =
   [
     interference_figure ~id:"fig6b" ~title:"Fileserver x Webserver interference"
-      ~quick ~systems:[ K; D ] ~nb:Wbs ~nb_name:"WBS" ~nb_unit:"MB/s";
+      ~seed ~quick ~systems:[ K; D ] ~nb:Wbs ~nb_name:"WBS" ~nb_unit:"MB/s";
   ]
 
-let fig6c ~quick =
+let fig6c ~seed ~quick =
   (* latency-oriented: 1 FLS instance only, as in the paper *)
   let outcomes =
     List.concat_map
       (fun system ->
         List.map
           (fun neighbor ->
-            ((system, neighbor), run ~quick ~fls_count:1 ~system ~neighbor))
+            ((system, neighbor), run ~seed ~quick ~fls_count:1 ~system ~neighbor))
           [ No_neighbor; Ssb ])
       [ K; D ]
   in

@@ -25,14 +25,20 @@ type outcome = {
   spans : Danaus_sim.Obs.span list;  (** trace ring (when tracing) *)
 }
 
-(** One cell of the figure. *)
+(** One cell of the figure.  [seed] (default 1) feeds the testbed's base
+    RNG stream: same seed, same run. *)
 val run :
-  quick:bool -> fls_count:int -> system:fls_system -> neighbor:neighbor -> outcome
+  seed:int ->
+  quick:bool ->
+  fls_count:int ->
+  system:fls_system ->
+  neighbor:neighbor ->
+  outcome
 
 (** Render Table 2 (the contention workload symbols). *)
 val table2 : unit -> Report.t list
 
-val fig1 : quick:bool -> Report.t list
-val fig6a : quick:bool -> Report.t list
-val fig6b : quick:bool -> Report.t list
-val fig6c : quick:bool -> Report.t list
+val fig1 : seed:int -> quick:bool -> Report.t list
+val fig6a : seed:int -> quick:bool -> Report.t list
+val fig6b : seed:int -> quick:bool -> Report.t list
+val fig6c : seed:int -> quick:bool -> Report.t list

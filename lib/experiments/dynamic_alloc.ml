@@ -3,7 +3,7 @@ open Danaus_kernel
 open Danaus
 open Danaus_workloads
 
-let fig_dynamic ~quick =
+let fig_dynamic ~seed ~quick =
   let window = if quick then 8.0 else 60.0 in
   let fls_params =
     {
@@ -14,7 +14,7 @@ let fig_dynamic ~quick =
       duration = window;
     }
   in
-  let tb = Testbed.create ~activated:4 () in
+  let tb = Testbed.create ~seed ~activated:4 () in
   let pool_a = Testbed.pool tb 0 in
   let pool_b = Testbed.pool tb 1 in
   let ct =

@@ -5,4 +5,4 @@
     the neighbour wakes up.  Shows both the utilisation win and the
     isolation price of lending reserved cores. *)
 
-val fig_dynamic : quick:bool -> Report.t list
+val fig_dynamic : seed:int -> quick:bool -> Report.t list

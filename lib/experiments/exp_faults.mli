@@ -1,0 +1,14 @@
+(** Fault-injection experiments over the {!Danaus_faults} subsystem.
+
+    - [fault_client]: a client-stack crash lands mid-Fileserver in a
+      2-pool testbed.  Under D the supervisor restarts one pool's
+      filesystem service and only that pool pays downtime and retries;
+      under K/K and F/F the shared stack takes every colocated pool
+      down — the paper's fault-containment argument (§5) as data.
+    - [fault_osd]: one replica-holding OSD dies and later returns under
+      osdmap semantics (monitor heartbeat, mark-down after grace,
+      degraded-object re-sync).  Throughput dips while clients time out
+      against the stale map, and recovers after the re-sync. *)
+
+val fault_client : seed:int -> quick:bool -> Report.t list
+val fault_osd : seed:int -> quick:bool -> Report.t list

@@ -13,8 +13,8 @@ let file_bytes ~quick = if quick then mib 256 else Filerw.default_file_bytes
 (* One run: N clones in a single big pool, each with a private union over
    the shared image branch, all running Fileappend or Fileread on the
    image's 2 GB file.  Returns (timespan, max memory bytes). *)
-let run_cell ~quick ~config ~clones ~mode =
-  let tb = Testbed.create ~activated:Params.client_cores () in
+let run_cell ~seed ~quick ~config ~clones ~mode =
+  let tb = Testbed.create ~seed ~activated:Params.client_cores () in
   (* quick mode shrinks the files 8x, so the pool memory shrinks too:
      the paper's dirty-pressure ratio (32 x 2 GB of copy-up writes vs a
      100 GB dirty limit) is what drives the Fig. 11a timespans *)
@@ -65,13 +65,15 @@ let run_cell ~quick ~config ~clones ~mode =
   in
   (timespan, user_mem + Stdlib.max 0 host_mem)
 
-let figure ~id ~title ~quick ~mode =
+let figure ~id ~title ~seed ~quick ~mode =
   let clone_counts = if quick then [ 1; 8; 32 ] else [ 1; 2; 4; 8; 16; 32 ] in
   let configs = [ Config.d; Config.kk; Config.ff; Config.fpfp ] in
   let cells =
     List.map
       (fun clones ->
-        (clones, List.map (fun c -> run_cell ~quick ~config:c ~clones ~mode) configs))
+        ( clones,
+          List.map (fun c -> run_cell ~seed ~quick ~config:c ~clones ~mode) configs
+        ))
       clone_counts
   in
   let header = "clones" :: List.map (fun c -> c.Config.label) configs in
@@ -96,8 +98,9 @@ let figure ~id ~title ~quick ~mode =
       mem_rows;
   ]
 
-let fig11a ~quick =
-  figure ~id:"fig11a" ~title:"Fileappend scaleup (copy-up 50/50 r/w)" ~quick
+let fig11a ~seed ~quick =
+  figure ~id:"fig11a" ~title:"Fileappend scaleup (copy-up 50/50 r/w)" ~seed ~quick
     ~mode:Append
 
-let fig11b ~quick = figure ~id:"fig11b" ~title:"Fileread scaleup" ~quick ~mode:Read
+let fig11b ~seed ~quick =
+  figure ~id:"fig11b" ~title:"Fileread scaleup" ~seed ~quick ~mode:Read

@@ -2,5 +2,5 @@
     containers over union + shared client, and the maximum memory the
     client stacks consume (the FP/FP double-caching blow-up). *)
 
-val fig11a : quick:bool -> Report.t list
-val fig11b : quick:bool -> Report.t list
+val fig11a : seed:int -> quick:bool -> Report.t list
+val fig11b : seed:int -> quick:bool -> Report.t list

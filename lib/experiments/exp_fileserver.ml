@@ -12,10 +12,10 @@ let fls_params ~quick =
     { Fileserver.default_params with Fileserver.threads = 16; duration = 10.0 }
   else Fileserver.default_params
 
-let run_cell ~quick ~config ~pools =
+let run_cell ~seed ~quick ~config ~pools =
   let p = fls_params ~quick in
   let activated = Stdlib.min Params.client_cores (2 * pools) in
-  let tb = Testbed.create ~activated () in
+  let tb = Testbed.create ~seed ~activated () in
   let containers =
     List.init pools (fun i ->
         let pool = Testbed.pool tb i in
@@ -52,14 +52,15 @@ let run_cell ~quick ~config ~pools =
   let io_wait = Obs.sum tb.Testbed.obs ~layer:"kernel" ~name:"io_wait" () in
   (total, io_wait, Obs.snapshot tb.Testbed.obs, Obs.spans tb.Testbed.obs)
 
-let fig10 ~quick =
+let fig10 ~seed ~quick =
   let pool_counts = if quick then [ 1; 8 ] else [ 1; 2; 4; 8; 16 ] in
   let configs = [ Config.d; Config.f; Config.k ] in
   let cells =
     List.map
       (fun pools ->
         ( pools,
-          List.map (fun c -> (c, run_cell ~quick ~config:c ~pools)) configs ))
+          List.map (fun c -> (c, run_cell ~seed ~quick ~config:c ~pools)) configs
+        ))
       pool_counts
   in
   let rows =

@@ -1,4 +1,4 @@
 (** Fileserver scaleout (Fig. 10): total Filebench Fileserver throughput
     of 1-16 pools over D, F and K, with client-side I/O-wait CPU. *)
 
-val fig10 : quick:bool -> Report.t list
+val fig10 : seed:int -> quick:bool -> Report.t list

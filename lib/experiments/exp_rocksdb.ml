@@ -51,10 +51,10 @@ let mode_name = function Put -> "put" | Get -> "get"
 (* ------------------------------------------------------------------ *)
 (* Scaleout: one pool + private client per store *)
 
-let scaleout_cell ~quick ~config ~pools ~mode =
+let scaleout_cell ~seed ~quick ~config ~pools ~mode =
   let sz = sizing ~quick in
   let activated = Stdlib.min Params.client_cores (2 * pools) in
-  let tb = Testbed.create ~activated () in
+  let tb = Testbed.create ~seed ~activated () in
   let latencies = Array.make pools nan in
   let done_count = ref 0 in
   for i = 0 to pools - 1 do
@@ -83,7 +83,7 @@ let scaleout_cell ~quick ~config ~pools ~mode =
   Testbed.drive tb ~stop:(fun () -> !done_count = pools);
   Array.fold_left ( +. ) 0.0 latencies /. float_of_int pools
 
-let scaleout_figure ~id ~title ~quick ~mode =
+let scaleout_figure ~id ~title ~seed ~quick ~mode =
   let pool_counts = if quick then [ 1; 8; 32 ] else [ 1; 2; 4; 8; 16; 32 ] in
   let configs = [ Config.d; Config.f; Config.k ] in
   let rows =
@@ -92,7 +92,7 @@ let scaleout_figure ~id ~title ~quick ~mode =
         string_of_int pools
         :: List.map
              (fun config ->
-               Report.ms (scaleout_cell ~quick ~config ~pools ~mode))
+               Report.ms (scaleout_cell ~seed ~quick ~config ~pools ~mode))
              configs)
       pool_counts
   in
@@ -102,20 +102,21 @@ let scaleout_figure ~id ~title ~quick ~mode =
       rows;
   ]
 
-let fig7a ~quick =
-  scaleout_figure ~id:"fig7a" ~title:"RocksDB put scaleout (mean latency)" ~quick
-    ~mode:Put
+let fig7a ~seed ~quick =
+  scaleout_figure ~id:"fig7a" ~title:"RocksDB put scaleout (mean latency)" ~seed
+    ~quick ~mode:Put
 
-let fig7b ~quick =
+let fig7b ~seed ~quick =
   scaleout_figure ~id:"fig7b"
-    ~title:"RocksDB out-of-core get scaleout (mean latency)" ~quick ~mode:Get
+    ~title:"RocksDB out-of-core get scaleout (mean latency)" ~seed ~quick
+    ~mode:Get
 
 (* ------------------------------------------------------------------ *)
 (* Scaleup: cloned containers in one big pool over a shared client *)
 
-let scaleup_cell ~quick ~config ~clones ~mode =
+let scaleup_cell ~seed ~quick ~config ~clones ~mode =
   let sz = sizing ~quick in
-  let tb = Testbed.create ~activated:Params.client_cores () in
+  let tb = Testbed.create ~seed ~activated:Params.client_cores () in
   let pool =
     Testbed.custom_pool tb ~name:"bigpool"
       ~cores:(Array.init Params.client_cores (fun i -> i))
@@ -151,7 +152,7 @@ let scaleup_cell ~quick ~config ~clones ~mode =
   Testbed.drive tb ~stop:(fun () -> !done_count = clones);
   Array.fold_left ( +. ) 0.0 latencies /. float_of_int clones
 
-let scaleup_figure ~id ~title ~quick ~mode =
+let scaleup_figure ~id ~title ~seed ~quick ~mode =
   let clone_counts = if quick then [ 1; 8; 32 ] else [ 1; 2; 4; 8; 16; 32 ] in
   let configs = [ Config.d; Config.ff; Config.fk; Config.kk ] in
   let rows =
@@ -159,7 +160,8 @@ let scaleup_figure ~id ~title ~quick ~mode =
       (fun clones ->
         string_of_int clones
         :: List.map
-             (fun config -> Report.ms (scaleup_cell ~quick ~config ~clones ~mode))
+             (fun config ->
+               Report.ms (scaleup_cell ~seed ~quick ~config ~clones ~mode))
              configs)
       clone_counts
   in
@@ -169,10 +171,10 @@ let scaleup_figure ~id ~title ~quick ~mode =
       rows;
   ]
 
-let fig7c ~quick =
-  scaleup_figure ~id:"fig7c" ~title:"RocksDB put scaleup (mean latency)" ~quick
-    ~mode:Put
+let fig7c ~seed ~quick =
+  scaleup_figure ~id:"fig7c" ~title:"RocksDB put scaleup (mean latency)" ~seed
+    ~quick ~mode:Put
 
-let fig7d ~quick =
-  scaleup_figure ~id:"fig7d" ~title:"RocksDB get scaleup (mean latency)" ~quick
-    ~mode:Get
+let fig7d ~seed ~quick =
+  scaleup_figure ~id:"fig7d" ~title:"RocksDB get scaleup (mean latency)" ~seed
+    ~quick ~mode:Get

@@ -6,7 +6,7 @@
     - scaleup put/get (7c/7d): 1-32 cloned containers in one big pool
       sharing one client (D, F/F, F/K, K/K). *)
 
-val fig7a : quick:bool -> Report.t list
-val fig7b : quick:bool -> Report.t list
-val fig7c : quick:bool -> Report.t list
-val fig7d : quick:bool -> Report.t list
+val fig7a : seed:int -> quick:bool -> Report.t list
+val fig7b : seed:int -> quick:bool -> Report.t list
+val fig7c : seed:int -> quick:bool -> Report.t list
+val fig7d : seed:int -> quick:bool -> Report.t list

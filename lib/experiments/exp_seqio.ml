@@ -13,10 +13,10 @@ let seq_params ~quick =
 
 type mode = Write | Read
 
-let run_cell ~quick ~config ~pools ~mode =
+let run_cell ~seed ~quick ~config ~pools ~mode =
   let p = seq_params ~quick in
   let activated = Stdlib.min Params.client_cores (2 * pools) in
-  let tb = Testbed.create ~activated () in
+  let tb = Testbed.create ~seed ~activated () in
   let containers =
     List.init pools (fun i ->
         let pool = Testbed.pool tb i in
@@ -61,7 +61,7 @@ let run_cell ~quick ~config ~pools ~mode =
   let io_wait = Obs.sum tb.Testbed.obs ~layer:"kernel" ~name:"io_wait" () in
   (total, io_wait, Obs.snapshot tb.Testbed.obs, Obs.spans tb.Testbed.obs)
 
-let figure ~quick ~mode =
+let figure ~seed ~quick ~mode =
   let pool_counts = if quick then [ 1; 8 ] else [ 1; 4; 8; 16; 32 ] in
   let configs = [ Config.d; Config.f; Config.k ] in
   let cells =
@@ -69,7 +69,7 @@ let figure ~quick ~mode =
       (fun pools ->
         ( pools,
           List.map
-            (fun c -> (c, run_cell ~quick ~config:c ~pools ~mode))
+            (fun c -> (c, run_cell ~seed ~quick ~config:c ~pools ~mode))
             configs ))
       pool_counts
   in
@@ -97,15 +97,15 @@ let figure ~quick ~mode =
   in
   (rows, metrics, spans)
 
-let fig9 ~quick =
+let fig9 ~seed ~quick =
   let configs = [ "D"; "F"; "K" ] in
   let header =
     "pools"
     :: (List.map (fun c -> c ^ " MB/s") configs
        @ List.map (fun c -> c ^ " iowait s") configs)
   in
-  let w_rows, w_metrics, w_spans = figure ~quick ~mode:Write in
-  let r_rows, r_metrics, r_spans = figure ~quick ~mode:Read in
+  let w_rows, w_metrics, w_spans = figure ~seed ~quick ~mode:Write in
+  let r_rows, r_metrics, r_spans = figure ~seed ~quick ~mode:Read in
   [
     Report.make ~id:"fig9w" ~title:"Seqwrite scaleout (total MB/s)" ~header
       ~metrics:w_metrics ~spans:w_spans w_rows;

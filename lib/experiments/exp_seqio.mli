@@ -2,4 +2,4 @@
     pools over D, F and K, with the client-side I/O-wait CPU that exposes
     the kernel client's blocking behaviour. *)
 
-val fig9 : quick:bool -> Report.t list
+val fig9 : seed:int -> quick:bool -> Report.t list

@@ -3,8 +3,8 @@ open Danaus_kernel
 open Danaus
 open Danaus_workloads
 
-let run_cell ~config ~clones =
-  let tb = Testbed.create ~activated:Params.client_cores () in
+let run_cell ~seed ~config ~clones () =
+  let tb = Testbed.create ~seed ~activated:Params.client_cores () in
   let pool =
     Testbed.custom_pool tb ~name:"webpool"
       ~cores:(Array.init Params.client_cores (fun i -> i))
@@ -42,12 +42,13 @@ let run_cell ~config ~clones =
   in
   (elapsed, ctx_switches, Obs.snapshot tb.Testbed.obs, Obs.spans tb.Testbed.obs)
 
-let fig8 ~quick =
+let fig8 ~seed ~quick =
   let clone_counts = if quick then [ 1; 16; 64 ] else [ 1; 4; 16; 64; 256 ] in
   let configs = [ Config.d; Config.kk; Config.fk; Config.ff ] in
   let cells =
     List.map
-      (fun clones -> (clones, List.map (fun c -> run_cell ~config:c ~clones) configs))
+      (fun clones ->
+        (clones, List.map (fun c -> run_cell ~seed ~config:c ~clones ()) configs))
       clone_counts
   in
   let time_rows =

@@ -2,11 +2,13 @@
     Lighttpd containers in a single pool over a shared client, plus the
     context switches of the run (Fig. 8b). *)
 
-val fig8 : quick:bool -> Report.t list
+val fig8 : seed:int -> quick:bool -> Report.t list
 
 (** One cell: (time to start all clones, context switches, per-layer
     metric snapshot, trace spans). *)
 val run_cell :
+  seed:int ->
   config:Danaus.Config.t ->
   clones:int ->
+  unit ->
   float * float * Danaus_sim.Obs.sample list * Danaus_sim.Obs.span list

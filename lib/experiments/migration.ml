@@ -16,9 +16,10 @@ type world = {
   pool_a : Cgroup.t;
   pool_b : Cgroup.t;
   cpu_a : Cpu.t;
+  w_seed : int;
 }
 
-let make_world () =
+let make_world ~seed () =
   let engine = Engine.create () in
   let topology = Topology.paper_machine () in
   let net = Net.create engine in
@@ -71,14 +72,20 @@ let make_world () =
     pool_a = Cgroup.create ~name:"tenant" ~cores:[| 0; 1 |] ~mem_limit:(mib 8192);
     pool_b = Cgroup.create ~name:"tenant" ~cores:[| 0; 1 |] ~mem_limit:(mib 8192);
     cpu_a;
+    w_seed = seed;
   }
+
+(* same base-seed mixing as Testbed.ctx *)
+let world_ctx w ~pool ~seed =
+  Workload.make_ctx w.engine ~cpu:w.cpu_a ~pool
+    ~seed:(seed + (w.w_seed * 1_000_003))
 
 let startup_params = Startup.default_params
 
 (* Boot the container on host A and write [state_mib] of private state
    (logs, caches) into its writable branch. *)
 let boot_and_dirty w ct ~state_mib ~pool =
-  let ctx = Workload.make_ctx w.engine ~cpu:w.cpu_a ~pool ~seed:11 in
+  let ctx = world_ctx w ~pool ~seed:11 in
   Startup.start_container ctx
     ~view:(ct.Container_engine.view ~thread:1)
     ~legacy:ct.Container_engine.legacy startup_params;
@@ -106,7 +113,7 @@ let migrate_shared w ~state_mib =
     Container_engine.launch w.host_b ~config:Config.d ~pool:w.pool_b ~id:"web"
       ~image:"lighttpd" ()
   in
-  let ctx = Workload.make_ctx w.engine ~cpu:w.cpu_a ~pool:w.pool_b ~seed:12 in
+  let ctx = world_ctx w ~pool:w.pool_b ~seed:12 in
   Startup.start_container ctx
     ~view:(ct_b.Container_engine.view ~thread:1)
     ~legacy:ct_b.Container_engine.legacy startup_params;
@@ -154,19 +161,19 @@ let migrate_copy w ~state_mib =
   in
   List.iter (fun (p, size) -> copy_file p size) (Startup.image_files startup_params);
   copy_file "/var/cache/state" (mib state_mib);
-  let ctx = Workload.make_ctx w.engine ~cpu:w.cpu_a ~pool:w.pool_b ~seed:13 in
+  let ctx = world_ctx w ~pool:w.pool_b ~seed:13 in
   Startup.start_container ctx
     ~view:(ct_b.Container_engine.view ~thread:1)
     ~legacy:ct_b.Container_engine.legacy startup_params;
   Engine.now w.engine -. t0
 
-let fig_migration ~quick =
+let fig_migration ~seed ~quick =
   let sizes = if quick then [ 64; 256 ] else [ 64; 256; 1024 ] in
   let rows =
     List.map
       (fun state_mib ->
         let cell f =
-          let w = make_world () in
+          let w = make_world ~seed () in
           Container_engine.install_image w.host_a ~name:"lighttpd"
             ~files:(Startup.image_files startup_params);
           let result = ref None in

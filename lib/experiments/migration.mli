@@ -11,4 +11,4 @@
 (** Time to migrate a Lighttpd container with [state_mib] MiB of private
     writable state, for both strategies.  Returns
     (shared-fs seconds, copy-based seconds) per state size. *)
-val fig_migration : quick:bool -> Report.t list
+val fig_migration : seed:int -> quick:bool -> Report.t list

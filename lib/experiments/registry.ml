@@ -1,8 +1,8 @@
 open Danaus
 
-type exp = { id : string; title : string; run : quick:bool -> Report.t list }
+type exp = { id : string; title : string; run : quick:bool -> seed:int -> Report.t list }
 
-let tab1 ~quick:_ =
+let tab1 ~quick:_ ~seed:_ =
   [
     Report.make ~id:"tab1" ~title:"Client system components"
       ~header:[ "" ]
@@ -15,102 +15,112 @@ let all =
     {
       id = "tab2";
       title = "Table 2: contention workload symbols";
-      run = (fun ~quick:_ -> Contention.table2 ());
+      run = (fun ~quick:_ ~seed:_ -> Contention.table2 ());
     };
     {
       id = "fig1";
       title = "Fig 1: Fileserver collapse in the shared kernel";
-      run = (fun ~quick -> Contention.fig1 ~quick);
+      run = (fun ~quick ~seed -> Contention.fig1 ~seed ~quick);
     };
     {
       id = "fig6a";
       title = "Fig 6a: Fileserver x RandomIO interference";
-      run = (fun ~quick -> Contention.fig6a ~quick);
+      run = (fun ~quick ~seed -> Contention.fig6a ~seed ~quick);
     };
     {
       id = "fig6b";
       title = "Fig 6b: Fileserver x Webserver interference";
-      run = (fun ~quick -> Contention.fig6b ~quick);
+      run = (fun ~quick ~seed -> Contention.fig6b ~seed ~quick);
     };
     {
       id = "fig6c";
       title = "Fig 6c: Fileserver x Sysbench latency interference";
-      run = (fun ~quick -> Contention.fig6c ~quick);
+      run = (fun ~quick ~seed -> Contention.fig6c ~seed ~quick);
     };
     {
       id = "fig7a";
       title = "Fig 7a: RocksDB put scaleout";
-      run = (fun ~quick -> Exp_rocksdb.fig7a ~quick);
+      run = (fun ~quick ~seed -> Exp_rocksdb.fig7a ~seed ~quick);
     };
     {
       id = "fig7b";
       title = "Fig 7b: RocksDB get scaleout (out of core)";
-      run = (fun ~quick -> Exp_rocksdb.fig7b ~quick);
+      run = (fun ~quick ~seed -> Exp_rocksdb.fig7b ~seed ~quick);
     };
     {
       id = "fig7c";
       title = "Fig 7c: RocksDB put scaleup";
-      run = (fun ~quick -> Exp_rocksdb.fig7c ~quick);
+      run = (fun ~quick ~seed -> Exp_rocksdb.fig7c ~seed ~quick);
     };
     {
       id = "fig7d";
       title = "Fig 7d: RocksDB get scaleup";
-      run = (fun ~quick -> Exp_rocksdb.fig7d ~quick);
+      run = (fun ~quick ~seed -> Exp_rocksdb.fig7d ~seed ~quick);
     };
     {
       id = "fig8";
       title = "Fig 8: Lighttpd container startup scaleup";
-      run = (fun ~quick -> Exp_startup.fig8 ~quick);
+      run = (fun ~quick ~seed -> Exp_startup.fig8 ~seed ~quick);
     };
     {
       id = "fig9";
       title = "Fig 9: Seqwrite/Seqread scaleout";
-      run = (fun ~quick -> Exp_seqio.fig9 ~quick);
+      run = (fun ~quick ~seed -> Exp_seqio.fig9 ~seed ~quick);
     };
     {
       id = "fig10";
       title = "Fig 10: Fileserver scaleout";
-      run = (fun ~quick -> Exp_fileserver.fig10 ~quick);
+      run = (fun ~quick ~seed -> Exp_fileserver.fig10 ~seed ~quick);
     };
     {
       id = "fig11a";
       title = "Fig 11a: Fileappend scaleup";
-      run = (fun ~quick -> Exp_filerw.fig11a ~quick);
+      run = (fun ~quick ~seed -> Exp_filerw.fig11a ~seed ~quick);
     };
     {
       id = "fig11b";
       title = "Fig 11b: Fileread scaleup";
-      run = (fun ~quick -> Exp_filerw.fig11b ~quick);
+      run = (fun ~quick ~seed -> Exp_filerw.fig11b ~seed ~quick);
     };
     {
       id = "abl-lock";
       title = "Ablation: client_lock granularity (paper S9 future work)";
-      run = (fun ~quick -> Ablations.ablation_lock ~quick);
+      run = (fun ~quick ~seed -> Ablations.ablation_lock ~seed ~quick);
     };
     {
       id = "abl-dual";
       title = "Ablation: dual interface (default IPC vs legacy FUSE path)";
-      run = (fun ~quick -> Ablations.ablation_dual ~quick);
+      run = (fun ~quick ~seed -> Ablations.ablation_dual ~seed ~quick);
     };
     {
       id = "dyn";
       title = "Extension (S9): dynamic reallocation of underutilised cores";
-      run = (fun ~quick -> Dynamic_alloc.fig_dynamic ~quick);
+      run = (fun ~quick ~seed -> Dynamic_alloc.fig_dynamic ~seed ~quick);
     };
     {
       id = "abl-cow";
       title = "Extension (S9): block-level copy-on-write in the union";
-      run = (fun ~quick -> Ablations.ablation_block_cow ~quick);
+      run = (fun ~quick ~seed -> Ablations.ablation_block_cow ~seed ~quick);
     };
     {
       id = "mig";
       title = "Extension (S9): container migration over the shared filesystem";
-      run = (fun ~quick -> Migration.fig_migration ~quick);
+      run = (fun ~quick ~seed -> Migration.fig_migration ~seed ~quick);
     };
     {
       id = "abl-union";
       title = "Ablation: integrated union branch-probing cost";
-      run = (fun ~quick -> Ablations.ablation_union ~quick);
+      run = (fun ~quick ~seed -> Ablations.ablation_union ~seed ~quick);
+    };
+    {
+      id = "fault-client";
+      title = "Fault: client-stack crash blast radius (D vs K/K vs F/F)";
+      run = (fun ~quick ~seed -> Exp_faults.fault_client ~seed ~quick);
+    };
+    {
+      id = "fault-osd";
+      title = "Fault: OSD failure, mark-down and re-sync recovery";
+      run = (fun ~quick ~seed -> Exp_faults.fault_osd ~seed ~quick);
     };
   ]
 
@@ -121,12 +131,12 @@ let ids () = List.map (fun e -> e.id) all
    can run on separate domains.  Results land in a position-indexed
    array and are returned in the input order, which keeps the printed
    output byte-identical to a sequential run regardless of [jobs]. *)
-let run_exps ?(jobs = 1) ~quick exps =
+let run_exps ?(jobs = 1) ?(seed = 1) ~quick exps =
   let exps = Array.of_list exps in
   let n = Array.length exps in
   let results : (Report.t list, exn) result option array = Array.make n None in
   let run_one i =
-    results.(i) <- Some (try Ok (exps.(i).run ~quick) with exn -> Error exn)
+    results.(i) <- Some (try Ok (exps.(i).run ~quick ~seed) with exn -> Error exn)
   in
   let jobs = Stdlib.min (Stdlib.max 1 jobs) (Stdlib.max 1 n) in
   if jobs <= 1 then

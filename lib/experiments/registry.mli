@@ -5,7 +5,9 @@
 type exp = {
   id : string;
   title : string;
-  run : quick:bool -> Report.t list;
+  run : quick:bool -> seed:int -> Report.t list;
+      (** [seed] feeds every testbed the experiment builds: same seed,
+          byte-identical reports. *)
 }
 
 val all : exp list
@@ -14,12 +16,13 @@ val find : string -> exp option
 
 val ids : unit -> string list
 
-(** [run_exps ?jobs ~quick exps] runs the experiments and pairs each
-    with its reports, preserving the input order.  [jobs] > 1 spreads
-    the runs over that many domains (each experiment owns its engine
-    and testbeds, so they are independent); results are collected by
-    position, so the returned list — and anything printed from it — is
-    byte-identical to a sequential run.  If an experiment raised, the
-    exception is re-raised here after every domain has joined. *)
+(** [run_exps ?jobs ?seed ~quick exps] runs the experiments and pairs
+    each with its reports, preserving the input order.  [jobs] > 1
+    spreads the runs over that many domains (each experiment owns its
+    engine and testbeds, so they are independent); results are collected
+    by position, so the returned list — and anything printed from it —
+    is byte-identical to a sequential run.  [seed] (default 1) is passed
+    to every experiment.  If an experiment raised, the exception is
+    re-raised here after every domain has joined. *)
 val run_exps :
-  ?jobs:int -> quick:bool -> exp list -> (exp * Report.t list) list
+  ?jobs:int -> ?seed:int -> quick:bool -> exp list -> (exp * Report.t list) list

@@ -12,12 +12,14 @@ type t = {
   cpu : Cpu.t;
   kernel : Kernel.t;
   net : Net.t;
+  client_node : Net.node;
+  server_node : Net.node;
   cluster : Cluster.t;
   local_disk : Disk.t;
   containers : Container_engine.t;
 }
 
-let create ?(seed = 1) ~activated () =
+let create ?(seed = 1) ?(replicas = Params.replicas) ~activated () =
   let engine = Engine.create () in
   let obs = Engine.obs engine in
   let topology = Topology.paper_machine () in
@@ -58,8 +60,8 @@ let create ?(seed = 1) ~activated () =
     Mds.create engine ~concurrency:Params.mds_concurrency ~op_cost:Params.mds_op_cost
   in
   let cluster =
-    Cluster.create engine ~net ~client_node ~server_node ~osds ~mds
-      ~replicas:Params.replicas ~object_size:Params.object_size
+    Cluster.create engine ~net ~client_node ~server_node ~osds ~mds ~replicas
+      ~object_size:Params.object_size
   in
   let local_disk =
     Disk.raid0
@@ -78,6 +80,8 @@ let create ?(seed = 1) ~activated () =
     cpu;
     kernel;
     net;
+    client_node;
+    server_node;
     cluster;
     local_disk;
     containers;
@@ -120,3 +124,40 @@ let ctx t ~pool ~seed =
 let local_fs t ~name =
   Local_fs.create t.kernel ~name ~disk:t.local_disk
     ~max_dirty:(Params.pool_mem / 2) ()
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection wiring *)
+
+let injector t =
+  let osds = Cluster.osds t.cluster in
+  let node_of = function
+    | "client" | "client-host" -> Some t.client_node
+    | "server" | "server-host" -> Some t.server_node
+    | _ -> None
+  in
+  let osd_ok i = i >= 0 && i < Array.length osds in
+  {
+    Danaus_faults.Fault_plan.inj_crash_pool =
+      (fun ~pool ~restart_after ->
+        Container_engine.crash_pool_named t.containers ~pool_name:pool
+          ~restart_after);
+    inj_crash_host =
+      (fun ~restart_after ->
+        Container_engine.crash_host t.containers ~restart_after);
+    inj_osd_down = (fun i -> if osd_ok i then Osd.set_up osds.(i) false);
+    inj_osd_up = (fun i -> if osd_ok i then Osd.set_up osds.(i) true);
+    inj_link_degrade =
+      (fun ~node ~factor ->
+        Option.iter (fun n -> Net.set_degraded n ~factor) (node_of node));
+    inj_link_partition = (fun ~node -> Option.iter Net.partition (node_of node));
+    inj_link_restore = (fun ~node -> Option.iter Net.restore (node_of node));
+    inj_disk_slow =
+      (fun ~disk ~factor ->
+        if disk = "local" then Disk.set_slow t.local_disk ~factor);
+    inj_disk_restore =
+      (fun ~disk -> if disk = "local" then Disk.set_slow t.local_disk ~factor:1.0);
+  }
+
+let inject t ~plan =
+  Danaus_faults.Fault_plan.schedule t.engine ~seed:(t.base_seed * 7919) (injector t)
+    plan

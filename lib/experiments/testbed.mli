@@ -16,14 +16,18 @@ type t = {
   cpu : Cpu.t;
   kernel : Kernel.t;
   net : Net.t;
+  client_node : Net.node;  (** the client machine's network attachment *)
+  server_node : Net.node;  (** the Ceph cluster machine's attachment *)
   cluster : Cluster.t;
   local_disk : Disk.t;  (** 4-disk RAID-0 of direct-attached storage *)
   containers : Container_engine.t;
 }
 
 (** [create ~activated ()] boots the testbed with host cores
-    [0 .. activated-1] enabled (the paper enables 4-16). *)
-val create : ?seed:int -> activated:int -> unit -> t
+    [0 .. activated-1] enabled (the paper enables 4-16).  [replicas]
+    (default {!Params.replicas}) sets the cluster replication factor —
+    fault experiments raise it so an OSD loss leaves survivors. *)
+val create : ?seed:int -> ?replicas:int -> activated:int -> unit -> t
 
 (** Pool [i] of the standard layout: cores [2i, 2i+1], 8 GB. *)
 val pool : t -> int -> Cgroup.t
@@ -46,3 +50,14 @@ val ctx : t -> pool:Cgroup.t -> seed:int -> Danaus_workloads.Workload.ctx
 
 (** A local ext4-like filesystem over the RAID-0 array. *)
 val local_fs : t -> name:string -> Local_fs.t
+
+(** The testbed's {!Danaus_faults.Fault_plan.injector}: pools are
+    addressed by cgroup name, links by ["client"]/["server"], disks by
+    ["local"] (the RAID-0 array), OSDs by index.  Unknown names are
+    ignored. *)
+val injector : t -> Danaus_faults.Fault_plan.injector
+
+(** Arm a fault plan against this testbed.  The plan's RNG is derived
+    from the testbed's base seed, so faults land at the same simulated
+    times across identically-seeded runs. *)
+val inject : t -> plan:Danaus_faults.Fault_plan.plan -> unit

@@ -1,0 +1,92 @@
+open Danaus_sim
+
+type action =
+  | Client_crash of { pool : string; restart_after : float }
+  | Host_crash of { restart_after : float }
+  | Osd_down of int
+  | Osd_up of int
+  | Link_degrade of { node : string; factor : float }
+  | Link_partition of string
+  | Link_restore of string
+  | Disk_slow of { disk : string; factor : float }
+  | Disk_restore of string
+
+let action_name = function
+  | Client_crash _ -> "client_crash"
+  | Host_crash _ -> "host_crash"
+  | Osd_down _ -> "osd_down"
+  | Osd_up _ -> "osd_up"
+  | Link_degrade _ -> "link_degrade"
+  | Link_partition _ -> "link_partition"
+  | Link_restore _ -> "link_restore"
+  | Disk_slow _ -> "disk_slow"
+  | Disk_restore _ -> "disk_restore"
+
+type timing = At of float | Between of float * float
+type event = { timing : timing; action : action }
+type plan = event list
+
+let at t action = { timing = At t; action }
+let between a b action = { timing = Between (a, b); action }
+
+type injector = {
+  inj_crash_pool : pool:string -> restart_after:float -> unit;
+  inj_crash_host : restart_after:float -> unit;
+  inj_osd_down : int -> unit;
+  inj_osd_up : int -> unit;
+  inj_link_degrade : node:string -> factor:float -> unit;
+  inj_link_partition : node:string -> unit;
+  inj_link_restore : node:string -> unit;
+  inj_disk_slow : disk:string -> factor:float -> unit;
+  inj_disk_restore : disk:string -> unit;
+}
+
+let null_injector =
+  {
+    inj_crash_pool = (fun ~pool:_ ~restart_after:_ -> ());
+    inj_crash_host = (fun ~restart_after:_ -> ());
+    inj_osd_down = ignore;
+    inj_osd_up = ignore;
+    inj_link_degrade = (fun ~node:_ ~factor:_ -> ());
+    inj_link_partition = (fun ~node:_ -> ());
+    inj_link_restore = (fun ~node:_ -> ());
+    inj_disk_slow = (fun ~disk:_ ~factor:_ -> ());
+    inj_disk_restore = (fun ~disk:_ -> ());
+  }
+
+(* Windows are resolved in plan order from one RNG stream: inserting an
+   event shifts later draws, but a fixed plan + seed is reproducible. *)
+let resolve ~seed plan =
+  let rng = Rng.create seed in
+  List.map
+    (fun { timing; action } ->
+      let t =
+        match timing with At t -> t | Between (a, b) -> Rng.uniform rng a b
+      in
+      (t, action))
+    plan
+
+let apply inj = function
+  | Client_crash { pool; restart_after } ->
+      inj.inj_crash_pool ~pool ~restart_after
+  | Host_crash { restart_after } -> inj.inj_crash_host ~restart_after
+  | Osd_down i -> inj.inj_osd_down i
+  | Osd_up i -> inj.inj_osd_up i
+  | Link_degrade { node; factor } -> inj.inj_link_degrade ~node ~factor
+  | Link_partition node -> inj.inj_link_partition ~node
+  | Link_restore node -> inj.inj_link_restore ~node
+  | Disk_slow { disk; factor } -> inj.inj_disk_slow ~disk ~factor
+  | Disk_restore disk -> inj.inj_disk_restore ~disk
+
+let schedule engine ~seed inj plan =
+  let obs = Engine.obs engine in
+  List.iter
+    (fun (t, action) ->
+      let name = action_name action in
+      let injected = Obs.counter obs ~layer:"faults" ~name:"injected" ~key:name in
+      let delay = Float.max 0.0 (t -. Engine.now engine) in
+      Engine.schedule engine ~delay (fun () ->
+          Obs.incr injected;
+          Obs.span obs ~at:(Engine.now engine) ~layer:"faults" ~name ~dur:0.0;
+          apply inj action))
+    (resolve ~seed plan)

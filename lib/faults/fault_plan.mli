@@ -1,0 +1,75 @@
+open Danaus_sim
+
+(** Deterministic fault injection: a *plan* of timed fault events,
+    executed as engine processes against an *injector* — a record of
+    hooks into the layers of one testbed.
+
+    The plan is data, the injector is wiring: experiments build a plan
+    with {!at}/{!between}, the testbed supplies the injector, and
+    {!schedule} arms everything before the simulation is driven.  Every
+    stochastic choice (a [Between] window) draws from an [Rng] seeded by
+    the caller, so a run is byte-identical for the same seed. *)
+
+(** One fault, identified by the *name* of the target — pools, network
+    nodes and disks are addressed by their string names, OSDs by index —
+    so plans stay independent of testbed types. *)
+type action =
+  | Client_crash of { pool : string; restart_after : float }
+      (** Kill the client stacks of one pool; a supervisor respawns them
+          [restart_after] seconds later.  Under Danaus this fells one
+          [fs_service]; other pools keep running. *)
+  | Host_crash of { restart_after : float }
+      (** Kill every client stack on the host — the blast radius of a
+          wedged shared kernel client or a FUSE transport teardown. *)
+  | Osd_down of int  (** Crash OSD [i] (stops heartbeating). *)
+  | Osd_up of int  (** Revive OSD [i]; re-sync precedes map-up. *)
+  | Link_degrade of { node : string; factor : float }
+      (** Serialisation on [node]'s link slows by [factor]. *)
+  | Link_partition of string
+      (** Transfers touching the node block until restore. *)
+  | Link_restore of string  (** Lift partition and degradation. *)
+  | Disk_slow of { disk : string; factor : float }
+      (** Service time of the named disk multiplies by [factor]. *)
+  | Disk_restore of string  (** Restore normal disk speed. *)
+
+(** Metric key of an action kind (e.g. ["client_crash"], ["osd_down"]). *)
+val action_name : action -> string
+
+(** When an event fires: at a fixed simulated time, or uniformly drawn
+    from a window by the plan's seeded RNG. *)
+type timing = At of float | Between of float * float
+
+type event = { timing : timing; action : action }
+type plan = event list
+
+val at : float -> action -> event
+val between : float -> float -> action -> event
+
+(** The hooks a testbed exposes to the executor.  Unknown names must be
+    ignored (injectors are total). *)
+type injector = {
+  inj_crash_pool : pool:string -> restart_after:float -> unit;
+  inj_crash_host : restart_after:float -> unit;
+  inj_osd_down : int -> unit;
+  inj_osd_up : int -> unit;
+  inj_link_degrade : node:string -> factor:float -> unit;
+  inj_link_partition : node:string -> unit;
+  inj_link_restore : node:string -> unit;
+  inj_disk_slow : disk:string -> factor:float -> unit;
+  inj_disk_restore : disk:string -> unit;
+}
+
+(** An injector whose hooks all do nothing (tests, dry runs). *)
+val null_injector : injector
+
+(** [resolve ~seed plan] fixes every [Between] window to a concrete
+    time, in plan order, from [Rng.create seed] — the pure part of
+    {!schedule}, exposed so tests can assert determinism. *)
+val resolve : seed:int -> plan -> (float * action) list
+
+(** [schedule engine ~seed injector plan] resolves the plan and arms one
+    engine callback per event at its absolute simulated time (events in
+    the past fire immediately).  Each firing applies the injector hook
+    and counts [faults/injected] keyed by {!action_name} (plus a
+    [faults/<name>] trace span when tracing is on). *)
+val schedule : Engine.t -> seed:int -> injector -> plan -> unit

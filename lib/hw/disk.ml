@@ -7,6 +7,8 @@ type device = {
   latency : float;
   seek : float;
   gate : Semaphore_sim.t;
+  (* Fault injection: service times are multiplied by [slow] (>= 1). *)
+  mutable slow : float;
   mutable bytes : float;
   mutable busy : float;
   bytes_c : Obs.counter;
@@ -26,6 +28,7 @@ let create engine ~name ~bandwidth ~latency ~seek =
       latency;
       seek;
       gate = Semaphore_sim.create engine ~name:("disk:" ^ name) ~value:1;
+      slow = 1.0;
       bytes = 0.0;
       busy = 0.0;
       bytes_c = Obs.counter obs ~layer:"hw" ~name:"disk_bytes" ~key:name;
@@ -43,9 +46,10 @@ let rec name = function
 let service d ~bytes ~random =
   Semaphore_sim.acquire d.gate;
   let duration =
-    d.latency
+    (d.latency
     +. (if random then d.seek else 0.0)
-    +. (float_of_int bytes /. d.bandwidth)
+    +. (float_of_int bytes /. d.bandwidth))
+    *. d.slow
   in
   Engine.sleep duration;
   d.bytes <- d.bytes +. float_of_int bytes;
@@ -95,6 +99,11 @@ let rec write t ~bytes ~random =
   | Device d -> service d ~bytes ~random
   | Raid0 { chunk; members } ->
       striped members chunk ~bytes ~io:(fun m b -> write m ~bytes:b ~random)
+
+let rec set_slow t ~factor =
+  match t with
+  | Device d -> d.slow <- Float.max 1.0 factor
+  | Raid0 { members; _ } -> Array.iter (fun m -> set_slow m ~factor) members
 
 let rec bytes_transferred = function
   | Device d -> d.bytes

@@ -24,6 +24,11 @@ val read : t -> bytes:int -> random:bool -> unit
 
 val write : t -> bytes:int -> random:bool -> unit
 
+(** Fault injection: [set_slow t ~factor] multiplies every subsequent
+    service time by [factor] (clamped to [>= 1.0]; [1.0] restores normal
+    speed).  Applies to every member of a RAID-0 array. *)
+val set_slow : t -> factor:float -> unit
+
 (** Total bytes transferred (reads + writes) since creation. *)
 val bytes_transferred : t -> float
 

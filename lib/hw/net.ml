@@ -8,6 +8,11 @@ type node = {
   rx : Semaphore_sim.t;
   mutable sent : float;
   sent_c : Obs.counter;
+  (* Fault injection: a degraded link serialises [degrade] times slower;
+     a partitioned link blocks transfers entirely until [restore]. *)
+  mutable degrade : float;
+  mutable partitioned : bool;
+  mutable part_waiters : (unit -> unit) list;
 }
 
 type t = { engine : Engine.t; mutable nodes : node list }
@@ -25,6 +30,9 @@ let add_node t ~name ~bandwidth ~latency =
       rx = Semaphore_sim.create t.engine ~name:("net:" ^ name ^ ".rx") ~value:1;
       sent = 0.0;
       sent_c = Obs.counter (Engine.obs t.engine) ~layer:"hw" ~name:"net_bytes" ~key:name;
+      degrade = 1.0;
+      partitioned = false;
+      part_waiters = [];
     }
   in
   t.nodes <- node :: t.nodes;
@@ -32,12 +40,32 @@ let add_node t ~name ~bandwidth ~latency =
 
 let node_name n = n.name
 
+let set_degraded n ~factor = n.degrade <- Float.max 1.0 factor
+
+let partition n = n.partitioned <- true
+
+let restore n =
+  n.partitioned <- false;
+  n.degrade <- 1.0;
+  let waiters = List.rev n.part_waiters in
+  n.part_waiters <- [];
+  List.iter (fun wake -> wake ()) waiters
+
+(* Block the calling process while [n] is partitioned; the waiters are
+   woken (in registration order, for determinism) by [restore]. *)
+let await_link n =
+  while n.partitioned do
+    Engine.suspend (fun wake -> n.part_waiters <- wake :: n.part_waiters)
+  done
+
 let transfer (_ : t) ~src ~dst ~bytes =
   assert (bytes >= 0);
   let payload = float_of_int bytes in
+  await_link src;
+  await_link dst;
   (* Serialise out of the sender... *)
   Semaphore_sim.acquire src.tx;
-  Engine.sleep (payload /. src.bandwidth);
+  Engine.sleep (payload /. src.bandwidth *. src.degrade);
   src.sent <- src.sent +. payload;
   Obs.add src.sent_c payload;
   Semaphore_sim.release src.tx;
@@ -45,7 +73,7 @@ let transfer (_ : t) ~src ~dst ~bytes =
   Engine.sleep (Float.max src.latency dst.latency);
   (* ...and serialise into the receiver. *)
   Semaphore_sim.acquire dst.rx;
-  Engine.sleep (payload /. dst.bandwidth);
+  Engine.sleep (payload /. dst.bandwidth *. dst.degrade);
   Semaphore_sim.release dst.rx
 
 let bytes_sent n = n.sent

@@ -25,3 +25,21 @@ val transfer : t -> src:node -> dst:node -> bytes:int -> unit
 
 (** Bytes sent from the node since creation. *)
 val bytes_sent : node -> float
+
+(** {1 Fault injection}
+
+    Hooks driven by [Danaus_faults]: a degraded link serialises [factor]
+    times slower on the node's side of every transfer; a partitioned
+    link blocks transfers touching the node until {!restore}, which also
+    clears any degradation. *)
+
+(** [set_degraded n ~factor] multiplies the node's serialisation time by
+    [factor] (clamped to [>= 1.0]). *)
+val set_degraded : node -> factor:float -> unit
+
+(** [partition n] makes transfers touching [n] block until {!restore}. *)
+val partition : node -> unit
+
+(** [restore n] lifts partition and degradation, waking blocked
+    transfers in registration order. *)
+val restore : node -> unit

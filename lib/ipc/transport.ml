@@ -133,7 +133,7 @@ let queue_of_thread t ~thread =
 let pinned_cores t ~thread =
   Option.map (fun i -> t.queues.(i).q_cores) (Hashtbl.find_opt t.pins thread)
 
-let call t ~thread ~bytes f =
+let call ?timeout ?on_timeout t ~thread ~bytes f =
   if not t.started then start t;
   let q = queue_of_thread t ~thread in
   let caller_cpu dt =
@@ -168,7 +168,22 @@ let call t ~thread ~bytes f =
   match !cell with
   | Some v -> finish v
   | None ->
+      (* a timed call arms a timer that wakes the caller with an empty
+         result cell; the wake is idempotent, so a reply racing the timer
+         at the same instant is harmless either way *)
+      Option.iter
+        (fun d ->
+          Engine.schedule (Kernel.engine t.kernel) ~delay:d (fun () ->
+              match (!cell, !waiter) with
+              | None, Some wake -> wake ()
+              | _ -> ()))
+        timeout;
       Engine.suspend (fun wake -> waiter := Some wake);
-      (match !cell with
-      | Some v -> finish v
-      | None -> failwith "Transport.call: woken without a result")
+      (match (!cell, on_timeout) with
+      | Some v, _ -> finish v
+      | None, Some g ->
+          Obs.incr
+            (Obs.counter (Kernel.obs t.kernel) ~layer:"ipc" ~name:"timeouts"
+               ~key:(Cgroup.name t.pool));
+          finish (g ())
+      | None, None -> failwith "Transport.call: woken without a result")

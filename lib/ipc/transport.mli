@@ -37,8 +37,20 @@ val start : t -> unit
     [thread] (an arbitrary stable identifier used for pinning), carrying
     [bytes] of payload through the per-thread request buffer; the handler
     [f] runs in a service thread on the queue's core group and may
-    block.  Returns [f]'s result. *)
-val call : t -> thread:int -> bytes:int -> (unit -> 'a) -> 'a
+    block.  Returns [f]'s result.
+
+    With [timeout], the caller gives up after that many seconds and
+    returns [on_timeout ()] instead (counted under ["ipc"/"timeouts"]);
+    a handler still in flight keeps running but its late result is
+    dropped.  [on_timeout] must be supplied along with [timeout]. *)
+val call :
+  ?timeout:float ->
+  ?on_timeout:(unit -> 'a) ->
+  t ->
+  thread:int ->
+  bytes:int ->
+  (unit -> 'a) ->
+  'a
 
 (** Number of request queues (= pool core groups). *)
 val queue_count : t -> int

@@ -35,6 +35,7 @@ type state = {
   fds : (int, ufd) Hashtbl.t;
   mutable next_fd : int;
   mutable copy_up_count : int;
+  mutable copy_up_rollbacks : int;
 }
 
 (* copy-up statistics, looked up by union name (see mli).  The registry
@@ -44,11 +45,17 @@ type state = {
 let copy_up_registry : (string, state) Hashtbl.t = Hashtbl.create 8
 let registry_mutex = Stdlib.Mutex.create ()
 
-let copy_ups (iface : Client_intf.t) =
+let find_state (iface : Client_intf.t) =
   Stdlib.Mutex.lock registry_mutex;
   let st = Hashtbl.find_opt copy_up_registry iface.Client_intf.name in
   Stdlib.Mutex.unlock registry_mutex;
-  match st with Some st -> st.copy_up_count | None -> 0
+  st
+
+let copy_ups iface =
+  match find_state iface with Some st -> st.copy_up_count | None -> 0
+
+let copy_up_rollbacks iface =
+  match find_state iface with Some st -> st.copy_up_rollbacks | None -> 0
 
 let copy_chunk = 1024 * 1024
 
@@ -102,7 +109,10 @@ let make_whiteout st ~pool upper path =
   | Error e -> Error e
 
 (* File-granularity copy-on-write: read the whole lower file and write it
-   into the writable branch. *)
+   into the writable branch.  A failed copy must not leave a truncated
+   upper copy shadowing the intact lower file: the partial destination is
+   unlinked before the error propagates, so the next lookup falls through
+   to the lower branch again. *)
 let copy_up st ~pool ~src_branch ~src_attr ~upper ~src_path ~dst_path =
   st.copy_up_count <- st.copy_up_count + 1;
   let src = src_branch.client and dst = upper.client in
@@ -136,6 +146,9 @@ let copy_up st ~pool ~src_branch ~src_attr ~upper ~src_path ~dst_path =
           (match !failed with
           | Some e ->
               dst.Client_intf.close ~pool dfd;
+              st.copy_up_rollbacks <- st.copy_up_rollbacks + 1;
+              ignore
+                (dst.Client_intf.unlink ~pool (branch_path upper dst_path));
               Error e
           | None -> Ok dfd)
     end
@@ -355,6 +368,42 @@ let exists_below st ~pool ~upper path =
       && Result.is_ok (b.client.Client_intf.stat ~pool (branch_path b path)))
     st.branches
 
+(* Consistency check: every whiteout in the writable branch must hide an
+   entry that actually exists in some lower branch.  An orphan whiteout
+   (left behind by an interrupted unlink/rename, or kept after the lower
+   entry vanished) wastes lookups and can mask a file re-created later
+   under the same name.  Returns the union paths of orphans, depth-first
+   in sorted order. *)
+let whiteout_orphans st ~pool =
+  match st.upper with
+  | None -> []
+  | Some upper ->
+      let orphans = ref [] in
+      let rec walk dir =
+        match
+          upper.client.Client_intf.readdir ~pool (branch_path upper dir)
+        with
+        | Error _ -> ()
+        | Ok names ->
+            List.iter
+              (fun name ->
+                let path = Fspath.join dir name in
+                match Whiteout.hidden_name name with
+                | Some hidden ->
+                    if not (exists_below st ~pool ~upper (Fspath.join dir hidden))
+                    then orphans := Fspath.join dir hidden :: !orphans
+                | None -> begin
+                    match
+                      upper.client.Client_intf.stat ~pool (branch_path upper path)
+                    with
+                    | Ok attr when attr.Namespace.is_dir -> walk path
+                    | _ -> ()
+                  end)
+              names
+      in
+      walk "/";
+      List.sort String.compare !orphans
+
 let unlink st ~pool path =
   match st.upper with
   | None -> Error Client_intf.Read_only
@@ -458,6 +507,7 @@ let create ~name ~branches ~charge ?(cpu_per_op = 1.0e-6) ?block_cow () =
       fds = Hashtbl.create 64;
       next_fd = 3;
       copy_up_count = 0;
+      copy_up_rollbacks = 0;
     }
   in
   let iface =
@@ -525,3 +575,8 @@ let create ~name ~branches ~charge ?(cpu_per_op = 1.0e-6) ?block_cow () =
   Hashtbl.replace copy_up_registry st.u_name st;
   Stdlib.Mutex.unlock registry_mutex;
   iface
+
+let check_whiteouts iface ~pool =
+  match find_state iface with
+  | None -> []
+  | Some st -> whiteout_orphans st ~pool

@@ -45,3 +45,13 @@ val create :
 (** Number of copy-up operations performed through this union (for tests
     and ablations). *)
 val copy_ups : Client_intf.t -> int
+
+(** Number of copy-ups that failed mid-copy and were rolled back: the
+    partial upper copy is unlinked so the intact lower file stays
+    visible instead of a truncated shadow. *)
+val copy_up_rollbacks : Client_intf.t -> int
+
+(** Whiteout consistency check: union paths whose upper-branch whiteout
+    hides no entry in any lower branch (orphans), sorted.  An empty list
+    means every whiteout is justified. *)
+val check_whiteouts : Client_intf.t -> pool:Cgroup.t -> string list

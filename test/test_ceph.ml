@@ -10,6 +10,12 @@ let check_bool = Alcotest.(check bool)
 let check_str = Alcotest.(check string)
 let mib n = n * 1024 * 1024
 
+(* Data-path ops return a Result since the fault-injection work; most
+   tests expect the happy path. *)
+let io_ok = function
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "io error: %s" (Cluster.io_error_to_string e)
+
 (* ------------------------------------------------------------------ *)
 (* Fspath *)
 
@@ -213,8 +219,8 @@ let test_mds_service () =
 let test_cluster_write_read_roundtrip () =
   let e, cluster = make_cluster () in
   Engine.spawn e (fun () ->
-      Cluster.write_range cluster ~ino:42 ~off:0 ~len:(mib 10);
-      Cluster.read_range cluster ~ino:42 ~off:0 ~len:(mib 10));
+      io_ok (Cluster.write_range cluster ~ino:42 ~off:0 ~len:(mib 10));
+      io_ok (Cluster.read_range cluster ~ino:42 ~off:0 ~len:(mib 10)));
   Engine.run e;
   let stored =
     Array.fold_left
@@ -231,7 +237,7 @@ let test_cluster_write_read_roundtrip () =
 
 let test_cluster_replication () =
   let e, cluster = make_cluster ~replicas:3 () in
-  Engine.spawn e (fun () -> Cluster.write_range cluster ~ino:1 ~off:0 ~len:(mib 4));
+  Engine.spawn e (fun () -> io_ok (Cluster.write_range cluster ~ino:1 ~off:0 ~len:(mib 4)));
   Engine.run e;
   let written =
     Array.fold_left
@@ -258,7 +264,7 @@ let test_cluster_metadata_path () =
 let test_cluster_delete_range () =
   let e, cluster = make_cluster () in
   Engine.spawn e (fun () ->
-      Cluster.write_range cluster ~ino:9 ~off:0 ~len:(mib 8);
+      io_ok (Cluster.write_range cluster ~ino:9 ~off:0 ~len:(mib 8));
       Cluster.delete_range cluster ~ino:9 ~size:(mib 8));
   Engine.run e;
   let stored =
@@ -323,12 +329,12 @@ let suite =
 let test_replica_failover_on_read () =
   let e, cluster = make_cluster ~replicas:3 () in
   Engine.spawn e (fun () ->
-      Cluster.write_range cluster ~ino:5 ~off:0 ~len:(mib 4);
+      io_ok (Cluster.write_range cluster ~ino:5 ~off:0 ~len:(mib 4));
       (* take the primary of the object down: reads must fail over *)
       let obj = Striper.object_of ~object_size:(mib 4) ~ino:5 ~off:0 in
       let primary = Crush.primary ~osds:6 obj in
       Osd.set_up (Cluster.osds cluster).(primary) false;
-      Cluster.read_range cluster ~ino:5 ~off:0 ~len:(mib 4);
+      io_ok (Cluster.read_range cluster ~ino:5 ~off:0 ~len:(mib 4));
       check_bool "primary served no reads" true
         (Osd.bytes_read (Cluster.osds cluster).(primary) = 0.0);
       let replica_reads =
@@ -345,7 +351,7 @@ let test_write_skips_down_replica () =
       let obj = Striper.object_of ~object_size:(mib 4) ~ino:9 ~off:0 in
       let primary = Crush.primary ~osds:6 obj in
       Osd.set_up (Cluster.osds cluster).(primary) false;
-      Cluster.write_range cluster ~ino:9 ~off:0 ~len:(mib 4);
+      io_ok (Cluster.write_range cluster ~ino:9 ~off:0 ~len:(mib 4));
       check_bool "down replica skipped" true
         (Osd.bytes_written (Cluster.osds cluster).(primary) = 0.0);
       let written =
@@ -360,11 +366,11 @@ let test_unreplicated_read_fails_when_down () =
   let e, cluster = make_cluster ~replicas:1 () in
   let failed = ref false in
   Engine.spawn e (fun () ->
-      Cluster.write_range cluster ~ino:3 ~off:0 ~len:(mib 4);
+      io_ok (Cluster.write_range cluster ~ino:3 ~off:0 ~len:(mib 4));
       Array.iter (fun o -> Osd.set_up o false) (Cluster.osds cluster);
       match Cluster.read_range cluster ~ino:3 ~off:0 ~len:(mib 4) with
-      | () -> ()
-      | exception Failure _ -> failed := true);
+      | Ok () -> ()
+      | Error (Cluster.No_replica _) -> failed := true);
   Engine.run e;
   check_bool "read failed with every replica down" true !failed
 

@@ -1,0 +1,270 @@
+(* Tests for the fault-injection subsystem: plan resolution and
+   scheduling, error propagation from a dead backend up through
+   striper -> client -> union, the retry budget, copy-up rollback and
+   whiteout consistency, and the end-to-end testbed injector. *)
+
+open Danaus_sim
+open Danaus_kernel
+open Danaus_ceph
+open Danaus_client
+open Danaus_union
+open Danaus_faults
+open Testbed
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Fault_plan: resolution determinism and scheduled execution *)
+
+let sample_plan =
+  [
+    Fault_plan.at 1.0 (Fault_plan.Osd_down 0);
+    Fault_plan.between 2.0 5.0 (Fault_plan.Link_partition "client");
+    Fault_plan.between 0.5 3.5 (Fault_plan.Host_crash { restart_after = 1.0 });
+  ]
+
+let test_resolve_deterministic () =
+  let r1 = Fault_plan.resolve ~seed:42 sample_plan in
+  let r2 = Fault_plan.resolve ~seed:42 sample_plan in
+  check_bool "same seed, same schedule" true (r1 = r2);
+  (match r1 with
+  | (t1, Fault_plan.Osd_down 0) :: (t2, _) :: (t3, _) :: [] ->
+      Alcotest.(check (float 0.0)) "At times are exact" 1.0 t1;
+      check_bool "window respected" true (t2 >= 2.0 && t2 <= 5.0);
+      check_bool "window respected" true (t3 >= 0.5 && t3 <= 3.5)
+  | _ -> Alcotest.fail "unexpected shape");
+  let r3 = Fault_plan.resolve ~seed:43 sample_plan in
+  check_bool "different seed, different window draws" true (r1 <> r3)
+
+let test_schedule_fires_and_counts () =
+  let e = Engine.create () in
+  let obs = Engine.obs e in
+  Fault_plan.schedule e ~seed:7 Fault_plan.null_injector
+    [
+      Fault_plan.at 1.0 (Fault_plan.Osd_down 3);
+      Fault_plan.at 2.5 (Fault_plan.Osd_up 3);
+    ];
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "ran to the last event" 2.5 (Engine.now e);
+  Alcotest.(check (float 0.0)) "osd_down injected once" 1.0
+    (Obs.get obs ~layer:"faults" ~name:"injected" ~key:"osd_down");
+  Alcotest.(check (float 0.0)) "osd_up injected once" 1.0
+    (Obs.get obs ~layer:"faults" ~name:"injected" ~key:"osd_up")
+
+(* ------------------------------------------------------------------ *)
+(* Retry: the budget is spent deterministically, then the error
+   surfaces *)
+
+let retry_run seed =
+  let e = Engine.create () in
+  let obs = Engine.obs e in
+  let rng = Rng.create seed in
+  let counters = Retry.counters obs ~key:"t" in
+  let attempts = ref 0 in
+  let result = ref None in
+  Engine.spawn e (fun () ->
+      result :=
+        Some
+          (Retry.with_retry ~policy:Retry.net_policy ~rng ~counters
+             ~transient:(fun _ -> true)
+             (fun () ->
+               incr attempts;
+               Error "always")));
+  Engine.run e;
+  (!attempts, Engine.now e, !result, counters)
+
+let test_retry_gives_up_after_budget () =
+  let attempts, elapsed, result, counters = retry_run 11 in
+  check_int "every attempt used" Retry.net_policy.Retry.attempts attempts;
+  check_bool "error surfaced" true (result = Some (Error "always"));
+  check_bool "backoff took simulated time" true (elapsed > 0.0);
+  Alcotest.(check (float 0.0)) "retries counted"
+    (float_of_int (attempts - 1))
+    (Obs.counter_value counters.Retry.retries_c);
+  Alcotest.(check (float 0.0)) "one giveup" 1.0
+    (Obs.counter_value counters.Retry.giveups_c)
+
+let test_retry_deterministic () =
+  let _, e1, _, _ = retry_run 11 in
+  let _, e2, _, _ = retry_run 11 in
+  let _, e3, _, _ = retry_run 12 in
+  Alcotest.(check (float 0.0)) "same seed, same jittered backoff" e1 e2;
+  check_bool "different seed, different jitter" true (e1 <> e3)
+
+(* ------------------------------------------------------------------ *)
+(* Error propagation: a cluster with every replica down answers
+   [Unavailable] through striper -> lib client -> union *)
+
+let make_faulty_union_world () =
+  let w = make_world () in
+  let pool = pool_of () in
+  (* tiny client cache so reads after the fault must refetch *)
+  let c = make_lib_client ~cache:(mib 1) w pool "libc" in
+  let i = Lib_client.iface c in
+  let union =
+    Union_fs.create ~name:"uf"
+      ~branches:
+        [
+          { Union_fs.client = i; prefix = "/upper"; writable = true };
+          { Union_fs.client = i; prefix = "/lower"; writable = false };
+        ]
+      ~charge:(pool_charge w) ()
+  in
+  Engine.spawn w.engine (fun () ->
+      ok_or_fail "mkdirs" (i.Client_intf.mkdir_p ~pool "/upper");
+      ok_or_fail "mkdirs" (i.Client_intf.mkdir_p ~pool "/lower");
+      write_file i ~pool "/lower/data" (mib 4));
+  Engine.run_until w.engine 120.0;
+  (w, pool, i, union)
+
+let test_osd_error_reaches_union () =
+  let w, pool, _, u = make_faulty_union_world () in
+  let got = ref None in
+  Engine.spawn w.engine (fun () ->
+      Array.iter (fun o -> Osd.set_up o false) (Cluster.osds w.cluster);
+      let fd =
+        ok_or_fail "open ro"
+          (u.Client_intf.open_file ~pool "/data" Client_intf.flags_ro)
+      in
+      got := Some (u.Client_intf.read ~pool fd ~off:0 ~len:(mib 1));
+      u.Client_intf.close ~pool fd);
+  Engine.run_until w.engine 600.0;
+  (match !got with
+  | Some (Error Client_intf.Unavailable) -> ()
+  | Some (Ok _) -> Alcotest.fail "read succeeded with every OSD down"
+  | Some (Error e) ->
+      Alcotest.failf "wrong error: %s" (Client_intf.error_to_string e)
+  | None -> Alcotest.fail "read never completed");
+  (* the client burned its internal retry budget before giving up *)
+  check_bool "retries recorded" true
+    (Obs.sum (Engine.obs w.engine) ~layer:"client" ~name:"retries" () > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Union: a failed copy-up rolls the partial upper file back *)
+
+let test_copy_up_rollback () =
+  let w = make_world () in
+  let pool = pool_of () in
+  let c = make_lib_client w pool "libc" in
+  let i = Lib_client.iface c in
+  (* upper branch whose data writes always fail: the copy-up must not
+     leave a truncated shadow that would hide the intact lower file *)
+  let broken =
+    {
+      i with
+      Client_intf.write =
+        (fun ~pool:_ _ ~off:_ ~len:_ -> Error Client_intf.Unavailable);
+    }
+  in
+  let u =
+    Union_fs.create ~name:"ur"
+      ~branches:
+        [
+          { Union_fs.client = broken; prefix = "/upper"; writable = true };
+          { Union_fs.client = i; prefix = "/lower"; writable = false };
+        ]
+      ~charge:(pool_charge w) ()
+  in
+  Engine.spawn w.engine (fun () ->
+      ok_or_fail "mkdirs" (i.Client_intf.mkdir_p ~pool "/upper");
+      ok_or_fail "mkdirs" (i.Client_intf.mkdir_p ~pool "/lower");
+      write_file i ~pool "/lower/bigfile" (mib 4);
+      (match u.Client_intf.open_file ~pool "/bigfile" Client_intf.flags_append with
+      | Ok _ -> Alcotest.fail "copy-up succeeded over a broken upper branch"
+      | Error Client_intf.Unavailable -> ()
+      | Error e ->
+          Alcotest.failf "wrong error: %s" (Client_intf.error_to_string e));
+      check_int "rollback counted" 1 (Union_fs.copy_up_rollbacks u);
+      (* no partial file survives in the upper branch *)
+      check_bool "partial upper file removed" true
+        (Result.is_error (i.Client_intf.stat ~pool "/upper/bigfile"));
+      (* the union still serves the intact lower file *)
+      let a = ok_or_fail "stat" (u.Client_intf.stat ~pool "/bigfile") in
+      check_int "lower file intact" (mib 4) a.Namespace.size);
+  Engine.run_until w.engine 300.0
+
+let test_whiteout_orphan_detection () =
+  let w = make_world () in
+  let pool = pool_of () in
+  let c = make_lib_client w pool "libc" in
+  let i = Lib_client.iface c in
+  let u =
+    Union_fs.create ~name:"uw"
+      ~branches:
+        [
+          { Union_fs.client = i; prefix = "/upper"; writable = true };
+          { Union_fs.client = i; prefix = "/lower"; writable = false };
+        ]
+      ~charge:(pool_charge w) ()
+  in
+  Engine.spawn w.engine (fun () ->
+      ok_or_fail "mkdirs" (i.Client_intf.mkdir_p ~pool "/upper/etc");
+      ok_or_fail "mkdirs" (i.Client_intf.mkdir_p ~pool "/lower/etc");
+      write_file i ~pool "/lower/etc/passwd" 4096;
+      (* a legitimate whiteout: unlink through the union *)
+      ok_or_fail "unlink" (u.Client_intf.unlink ~pool "/etc/passwd");
+      check_int "no orphans after a real unlink" 0
+        (List.length (Union_fs.check_whiteouts u ~pool));
+      (* an orphan whiteout hiding nothing (e.g. left by a crashed
+         unlink after the lower file was already gone) *)
+      write_file i ~pool "/upper/etc/.wh.ghost" 0;
+      Alcotest.(check (list string))
+        "orphan found" [ "/etc/ghost" ]
+        (Union_fs.check_whiteouts u ~pool));
+  Engine.run_until w.engine 120.0
+
+(* ------------------------------------------------------------------ *)
+(* End to end: the experiment testbed's injector crashes one client
+   stack and the supervisor restarts it *)
+
+let test_testbed_injector_crash () =
+  let open Danaus_experiments in
+  let tb = Testbed.create ~seed:5 ~activated:4 () in
+  let pool = Testbed.pool tb 0 in
+  let _ct =
+    Danaus.Container_engine.launch tb.Testbed.containers ~config:Danaus.Config.d
+      ~pool ~id:"victim" ()
+  in
+  Testbed.inject tb
+    ~plan:
+      [
+        Fault_plan.at 1.0
+          (Fault_plan.Client_crash
+             { pool = Cgroup.name pool; restart_after = 0.5 });
+      ];
+  let obs = tb.Testbed.obs in
+  Testbed.drive tb ~stop:(fun () ->
+      Obs.sum obs ~layer:"core" ~name:"client_crash" () >= 1.0
+      && Engine.now tb.Testbed.engine >= 2.0);
+  Alcotest.(check (float 0.0)) "exactly one stack crashed" 1.0
+    (Obs.sum obs ~layer:"core" ~name:"client_crash" ());
+  check_bool "downtime attributed to the pool" true
+    (Obs.get obs ~layer:"core" ~name:"downtime" ~key:(Cgroup.name pool) > 0.0);
+  Alcotest.(check (float 0.0)) "injection counted" 1.0
+    (Obs.get obs ~layer:"faults" ~name:"injected" ~key:"client_crash")
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "faults.plan",
+      [
+        tc "resolve deterministic" `Quick test_resolve_deterministic;
+        tc "schedule fires and counts" `Quick test_schedule_fires_and_counts;
+      ] );
+    ( "faults.retry",
+      [
+        tc "gives up after budget" `Quick test_retry_gives_up_after_budget;
+        tc "deterministic backoff" `Quick test_retry_deterministic;
+      ] );
+    ( "faults.propagation",
+      [ tc "OSD down surfaces through union" `Quick test_osd_error_reaches_union ]
+    );
+    ( "faults.union",
+      [
+        tc "copy-up rollback" `Quick test_copy_up_rollback;
+        tc "whiteout orphan detection" `Quick test_whiteout_orphan_detection;
+      ] );
+    ( "faults.testbed",
+      [ tc "injector crashes one stack" `Quick test_testbed_injector_crash ] );
+  ]

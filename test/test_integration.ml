@@ -170,8 +170,12 @@ let test_degraded_osd_slows_reads () =
   Engine.spawn engine (fun () ->
       (* 16 MiB spans 4 objects; with rendezvous placement some land on
          the sick OSD for this ino *)
-      Cluster.write_range cluster ~ino:1 ~off:0 ~len:(mib 16);
-      Cluster.read_range cluster ~ino:1 ~off:0 ~len:(mib 16);
+      (match Cluster.write_range cluster ~ino:1 ~off:0 ~len:(mib 16) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write: %s" (Cluster.io_error_to_string e));
+      (match Cluster.read_range cluster ~ino:1 ~off:0 ~len:(mib 16) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "read: %s" (Cluster.io_error_to_string e));
       finished := true);
   Engine.run engine;
   check_bool "completed despite the degraded OSD" true !finished;

@@ -1,9 +1,11 @@
 open Danaus_sim
 open Danaus_hw
 
-type io_error = No_replica of string
+type io_error = No_replica of string | Deadline_exceeded
 
-let io_error_to_string (No_replica obj) = "no replica of " ^ obj ^ " available"
+let io_error_to_string = function
+  | No_replica obj -> "no replica of " ^ obj ^ " available"
+  | Deadline_exceeded -> "op deadline exceeded"
 
 (* Monitor/osdmap state, shared by every host's view of the cluster.
    [map_up] is the osdmap the clients act on; it lags reality by the
@@ -92,7 +94,24 @@ let fail_op t =
   | None -> ()
   | Some m -> Obs.incr m.failed_c
 
+(* An op whose caller deadline has already passed fails fast before
+   paying the network round trip.  The deadline reaches this layer
+   through the per-process slot ({!Engine.deadline}), inherited across
+   the striper's per-object [Engine.fork] fan-out. *)
+let past_deadline t =
+  match Engine.deadline () with
+  | Some dl -> Engine.now t.engine >= dl
+  | None -> false
+
+let deadline_reject t =
+  Obs.incr
+    (Obs.counter (Engine.obs t.engine) ~layer:"ceph" ~name:"deadline_rejects"
+       ~key:"cluster");
+  Error Deadline_exceeded
+
 let write_object t ~obj ~bytes =
+  if past_deadline t then deadline_reject t
+  else begin
   let place = placement t obj in
   (match !(t.monitor) with
   | None -> ()
@@ -134,8 +153,11 @@ let write_object t ~obj ~bytes =
           Waitgroup.wait wg;
           to_client t ~bytes:message_bytes;
           Ok ())
+  end
 
 let read_object t ~obj ~bytes =
+  if past_deadline t then deadline_reject t
+  else
   (* primary first; fail over to the next up replica in CRUSH order *)
   match List.find_opt (fun i -> view_up t i) (placement t obj) with
   | None ->

@@ -41,8 +41,11 @@ val object_size : t -> int
 (** Data-path failure: every replica of the object is unavailable in the
     client's view, or the op was addressed to a dead OSD under a stale
     osdmap and timed out.  Clients retry with backoff ({!Retry} in
-    [lib/client]). *)
-type io_error = No_replica of string
+    [lib/client]).  [Deadline_exceeded] means the caller's op deadline
+    (see {!Danaus_sim.Engine.deadline}) had already passed when the
+    object op started: the op fails fast without touching the network,
+    counted under [ceph/deadline_rejects]. *)
+type io_error = No_replica of string | Deadline_exceeded
 
 val io_error_to_string : io_error -> string
 

@@ -24,6 +24,7 @@ type error =
   | Crashed
   | Unavailable
   | Timed_out
+  | Rejected
 
 let error_to_string = function
   | Fs e -> Namespace.error_to_string e
@@ -32,14 +33,17 @@ let error_to_string = function
   | Crashed -> "filesystem service crashed"
   | Unavailable -> "backend unavailable"
   | Timed_out -> "request timed out"
+  | Rejected -> "shed by overload protection"
 
 (* Errors worth retrying: the fault may clear (service restart, OSD
    mark-down and failover).  [Fs] errors are definitive answers from the
    namespace and must never be retried — the union filesystem probes for
-   ENOENT on purpose. *)
+   ENOENT on purpose.  [Rejected] is deliberate shedding: retrying it
+   would re-offer the load the admission controller just refused, so it
+   surfaces immediately. *)
 let is_transient = function
   | Crashed | Unavailable | Timed_out -> true
-  | Fs _ | Bad_fd | Read_only -> false
+  | Fs _ | Bad_fd | Read_only | Rejected -> false
 
 type t = {
   name : string;

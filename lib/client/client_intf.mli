@@ -30,12 +30,14 @@ type error =
   | Crashed  (** the backing service/daemon is dead *)
   | Unavailable  (** the storage backend rejected the op (no replica up) *)
   | Timed_out  (** the request timed out in transit *)
+  | Rejected  (** shed by admission control or a full IPC ring *)
 
 val error_to_string : error -> string
 
 (** Transient errors ([Crashed], [Unavailable], [Timed_out]) may clear
     after a restart or failover and are worth retrying; [Fs] answers are
-    definitive and never retried. *)
+    definitive and never retried.  [Rejected] is never retried either:
+    it is the overload machinery asking for less load, not a fault. *)
 val is_transient : error -> bool
 
 type t = {

@@ -12,6 +12,7 @@ type config = {
   fine_grained_locking : bool;
   attr_lease : float;
   write_through : bool;
+  breaker : Danaus_qos.Breaker.config option;
 }
 
 let default_config ~cache_bytes =
@@ -24,6 +25,7 @@ let default_config ~cache_bytes =
     fine_grained_locking = false;
     attr_lease = 1.0;
     write_through = false;
+    breaker = None;
   }
 
 type t = {
@@ -55,6 +57,9 @@ type t = {
   retry : Retry.counters;
   flush_fail_c : Obs.counter;
   mutable crashed : bool;
+  (* overload protection: optional circuit breaker over the backend
+     data path (reads/writes to the cluster), keyed by the pool *)
+  breaker : Danaus_qos.Breaker.t option;
 }
 
 let flush_chunk = 4 * 1024 * 1024
@@ -101,6 +106,11 @@ let create engine ~cpu ~costs ~cluster ~pool ~config ~name =
       Obs.counter (Engine.obs engine) ~layer:"client" ~name:"flush_failures"
         ~key:(Cgroup.name pool);
     crashed = false;
+    breaker =
+      Option.map
+        (fun c ->
+          Danaus_qos.Breaker.create ~config:c engine ~key:(Cgroup.name pool))
+        config.breaker;
   }
 
 let crash t = t.crashed <- true
@@ -122,6 +132,18 @@ let net_op t f =
   user_cpu t ((2.0 *. t.costs.mode_switch) +. (2.0 *. t.costs.context_switch));
   Obs.add t.ctx_switch_c 2.0;
   f ()
+
+(* Backend data-path ops (cluster reads/writes) run through the pool's
+   circuit breaker when one is configured: while the breaker is open,
+   calls fail fast without paying the socket round trip, so retry loops
+   stop hammering a downed backend before mark-down catches up. *)
+let backend t f =
+  match t.breaker with
+  | None -> net_op t f
+  | Some b ->
+      Danaus_qos.Breaker.guard b
+        ~on_open:(Cluster.No_replica "circuit-open")
+        (fun () -> net_op t f)
 
 let size_ref t ino = Fd_table.size_ref t.table ino
 
@@ -157,7 +179,7 @@ let cache_file t ino =
         Retry.with_retry ~policy:Retry.net_policy ~rng:t.rng ~counters:t.retry
           ~transient:(fun _ -> true)
           (fun () ->
-            net_op t (fun () -> Cluster.write_range t.cluster ~ino ~off ~len:bytes))
+            backend t (fun () -> Cluster.write_range t.cluster ~ino ~off ~len:bytes))
       in
       match r with Ok () -> () | Error _ -> Obs.incr t.flush_fail_c)
 
@@ -398,7 +420,7 @@ let read t ~pool:_ fd ~off ~len =
                 ~counters:t.retry
                 ~transient:(fun _ -> true)
                 (fun () ->
-                  net_op t (fun () ->
+                  backend t (fun () ->
                       Cluster.read_range t.cluster ~ino:of_.Fd_table.ino ~off
                         ~len:(miss + ra)))
             in

@@ -32,6 +32,11 @@ type config = {
   write_through : bool;
       (** per-service consistency setting (§5): every write reaches the
           backend before returning, instead of write-back caching *)
+  breaker : Danaus_qos.Breaker.config option;
+      (** circuit breaker over the backend data path: open after
+          consecutive cluster failures, fail fast while open, probe
+          deterministically in half-open state (gauge
+          [qos/breaker_state] keyed by the pool) *)
 }
 
 (** Paper defaults: dirty ratio 0.5, 1 s writeback, 5 s expire. *)

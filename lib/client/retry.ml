@@ -27,22 +27,42 @@ let backoff_delay policy ~rng ~attempt =
   in
   d *. (1.0 +. (policy.jitter *. Rng.float rng))
 
-type counters = { retries_c : Obs.counter; giveups_c : Obs.counter }
+type counters = {
+  retries_c : Obs.counter;
+  giveups_c : Obs.counter;
+  deadline_giveups_c : Obs.counter;
+}
 
 let counters obs ~key =
   {
     retries_c = Obs.counter obs ~layer:"client" ~name:"retries" ~key;
     giveups_c = Obs.counter obs ~layer:"client" ~name:"giveups" ~key;
+    deadline_giveups_c =
+      Obs.counter obs ~layer:"client" ~name:"deadline_giveups" ~key;
   }
 
-let with_retry ?(policy = default) ~rng ~counters ~transient f =
+let with_retry ?(policy = default) ?deadline ~rng ~counters ~transient f =
+  (* default to the ambient process deadline so every retry site becomes
+     deadline-aware without changing its call *)
+  let deadline =
+    match deadline with Some _ as d -> d | None -> Engine.deadline ()
+  in
   let rec go attempt =
     match f () with
     | Ok _ as ok -> ok
-    | Error e when transient e && attempt < policy.attempts ->
-        Obs.incr counters.retries_c;
-        Engine.sleep (backoff_delay policy ~rng ~attempt);
-        go (attempt + 1)
+    | Error e when transient e && attempt < policy.attempts -> (
+        let delay = backoff_delay policy ~rng ~attempt in
+        match deadline with
+        | Some dl when Engine.time () +. delay >= dl ->
+            (* the sleep alone would outlive the caller's deadline:
+               stop burning backend attempts on an answer nobody is
+               waiting for *)
+            Obs.incr counters.deadline_giveups_c;
+            Error e
+        | _ ->
+            Obs.incr counters.retries_c;
+            Engine.sleep delay;
+            go (attempt + 1))
     | Error e as err ->
         if transient e then Obs.incr counters.giveups_c;
         err
@@ -52,13 +72,20 @@ let with_retry ?(policy = default) ~rng ~counters ~transient f =
 (* Wrap every result-returning operation of a filesystem instance with
    transient-error retry.  [Fs] errors pass through untouched (see
    {!Client_intf.is_transient}); [close] and [memory_used] do not fail
-   and are left alone. *)
-let wrap engine ?(policy = default) ~seed ~key (inner : Client_intf.t) =
+   and are left alone.  [op_budget] stamps each wrapped op with an
+   absolute deadline [now + op_budget] (tightening any deadline already
+   in scope), which the retry loop above and every layer below observe. *)
+let wrap engine ?(policy = default) ?op_budget ~seed ~key (inner : Client_intf.t) =
   let obs = Engine.obs engine in
   let counters = counters obs ~key in
   let rng = Rng.create seed in
   let retry f =
-    with_retry ~policy ~rng ~counters ~transient:Client_intf.is_transient f
+    let attempt () =
+      with_retry ~policy ~rng ~counters ~transient:Client_intf.is_transient f
+    in
+    match op_budget with
+    | None -> attempt ()
+    | Some b -> Engine.with_deadline (Some (Engine.now engine +. b)) attempt
   in
   {
     inner with

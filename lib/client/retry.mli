@@ -24,18 +24,32 @@ val crash_policy : policy
 (** Sized to ride out OSD mark-down (heartbeat + grace) and failover. *)
 val net_policy : policy
 
-type counters = { retries_c : Obs.counter; giveups_c : Obs.counter }
+type counters = {
+  retries_c : Obs.counter;
+  giveups_c : Obs.counter;
+  deadline_giveups_c : Obs.counter;
+}
 
-(** Intern the [client/retries] and [client/giveups] counters for [key]
-    (conventionally the pool name). *)
+(** Intern the [client/retries], [client/giveups] and
+    [client/deadline_giveups] counters for [key] (conventionally the
+    pool name). *)
 val counters : Obs.t -> key:string -> counters
 
 (** [with_retry ~rng ~counters ~transient f] runs [f], retrying up to
     [policy.attempts] times while [f] returns [Error e] with
     [transient e], sleeping the backoff delay between tries.  Counts
-    each retry and each exhausted budget. *)
+    each retry and each exhausted budget.
+
+    [deadline] (absolute simulated time; defaults to the ambient
+    {!Engine.deadline} of the calling process) bounds the loop: when the
+    next backoff sleep would end at or past the deadline, the loop
+    surfaces the last error immediately instead of sleeping, counted
+    under [client/deadline_giveups] (not [client/giveups]).  The jitter
+    draw still happens, so seeded runs stay deterministic whether or not
+    a deadline is in force. *)
 val with_retry :
   ?policy:policy ->
+  ?deadline:float ->
   rng:Rng.t ->
   counters:counters ->
   transient:('e -> bool) ->
@@ -43,6 +57,15 @@ val with_retry :
   ('a, 'e) result
 
 (** [wrap engine ~seed ~key inner] is [inner] with every fallible
-    operation retried on {!Client_intf.is_transient} errors. *)
+    operation retried on {!Client_intf.is_transient} errors.
+    [op_budget] additionally stamps every wrapped op with the absolute
+    deadline [now + op_budget] via {!Engine.with_deadline}, making the
+    whole stack below the wrapper deadline-aware. *)
 val wrap :
-  Engine.t -> ?policy:policy -> seed:int -> key:string -> Client_intf.t -> Client_intf.t
+  Engine.t ->
+  ?policy:policy ->
+  ?op_budget:float ->
+  seed:int ->
+  key:string ->
+  Client_intf.t ->
+  Client_intf.t

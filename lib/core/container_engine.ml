@@ -13,6 +13,11 @@ type shared = {
   (* kill/respawn the processes realising this entry's client stack *)
   sh_crash : unit -> unit;
   sh_restart : unit -> unit;
+  (* health, for the watchdog: liveness plus a monotone progress counter *)
+  sh_crashed : unit -> bool;
+  sh_progress : unit -> float;
+  (* per-pool admission gate, when the stack was launched with qos *)
+  sh_admission : Danaus_qos.Admission.t option;
 }
 
 type t = {
@@ -41,16 +46,48 @@ let user_charge t ~pool dt =
     Cpu.compute (Kernel.cpu t.kernel) ~tenant:(Cgroup.name pool)
       ~eligible:(Cgroup.cores pool) dt
 
-let shared_key ~fine_grained pool (config : Config.t) =
-  Cgroup.name pool ^ "#" ^ config.label ^ if fine_grained then "+fg" else ""
+(* ------------------------------------------------------------------ *)
+(* Per-pool overload protection (danaus_qos), applied to a stack at
+   launch: admission control at the view, a circuit breaker in the
+   backend client, shedding at the IPC ring, a request timeout in the
+   service.  Stacks launched without [qos] behave exactly as before. *)
 
-let build_shared t ~(config : Config.t) ~pool ~cache_bytes ~fine_grained =
-  let key = shared_key ~fine_grained pool config in
+type qos = {
+  qos_admission : Danaus_qos.Admission.config option;
+  qos_breaker : Danaus_qos.Breaker.config option;
+  qos_shed_on_full : bool;
+  qos_request_timeout : float option;
+}
+
+let qos ?admission ?breaker ?(shed_on_full = true) ?request_timeout () =
+  {
+    qos_admission = admission;
+    qos_breaker = breaker;
+    qos_shed_on_full = shed_on_full;
+    qos_request_timeout = request_timeout;
+  }
+
+let shared_key ~fine_grained ~qos pool (config : Config.t) =
+  Cgroup.name pool ^ "#" ^ config.label
+  ^ (if fine_grained then "+fg" else "")
+  ^ if Option.is_some qos then "+qos" else ""
+
+let build_shared t ~(config : Config.t) ~pool ~cache_bytes ~fine_grained ~qos =
+  let key = shared_key ~fine_grained ~qos pool config in
   let lib_config =
     {
       (Lib_client.default_config ~cache_bytes) with
       Lib_client.fine_grained_locking = fine_grained;
+      breaker = Option.bind qos (fun q -> q.qos_breaker);
     }
+  in
+  let admission =
+    Option.bind qos (fun q ->
+        Option.map
+          (fun cfg ->
+            Danaus_qos.Admission.create (Kernel.engine t.kernel)
+              ~key:(Cgroup.name pool) cfg)
+          q.qos_admission)
   in
   match config.client with
   | Config.Danaus_lib ->
@@ -61,7 +98,10 @@ let build_shared t ~(config : Config.t) ~pool ~cache_bytes ~fine_grained =
       in
       Lib_client.start lib;
       let service =
-        Fs_service.create t.kernel ~pool ~topology:t.topology ~name:(key ^ ".svc")
+        Fs_service.create
+          ?request_timeout:(Option.bind qos (fun q -> q.qos_request_timeout))
+          ?shed_on_full:(Option.map (fun q -> q.qos_shed_on_full) qos)
+          t.kernel ~pool ~topology:t.topology ~name:(key ^ ".svc")
       in
       {
         sh_client = Lib_client.iface lib;
@@ -76,6 +116,10 @@ let build_shared t ~(config : Config.t) ~pool ~cache_bytes ~fine_grained =
           (fun () ->
             Fs_service.restart service;
             Lib_client.restart lib);
+        sh_crashed =
+          (fun () -> Fs_service.crashed service || Lib_client.crashed lib);
+        sh_progress = (fun () -> float_of_int (Fs_service.requests service));
+        sh_admission = admission;
       }
   | Config.Kernel_cephfs ->
       (* paper §6.1: the kernel client's max dirty bytes are 50% of the
@@ -95,6 +139,9 @@ let build_shared t ~(config : Config.t) ~pool ~cache_bytes ~fine_grained =
         sh_pool = pool;
         sh_crash = (fun () -> Kernel_client.crash kc);
         sh_restart = (fun () -> Kernel_client.restart kc);
+        sh_crashed = (fun () -> Kernel_client.crashed kc);
+        sh_progress = (fun () -> 0.0);
+        sh_admission = admission;
       }
   | Config.Ceph_fuse | Config.Ceph_fuse_pagecache ->
       let page_cache = config.client = Config.Ceph_fuse_pagecache in
@@ -110,14 +157,17 @@ let build_shared t ~(config : Config.t) ~pool ~cache_bytes ~fine_grained =
         sh_pool = pool;
         sh_crash = (fun () -> Fuse_client.crash fc);
         sh_restart = (fun () -> Fuse_client.restart fc);
+        sh_crashed = (fun () -> Fuse_client.crashed fc);
+        sh_progress = (fun () -> 0.0);
+        sh_admission = admission;
       }
 
-let shared_for t ~config ~pool ~cache_bytes ~fine_grained =
-  let key = shared_key ~fine_grained pool config in
+let shared_for t ~config ~pool ~cache_bytes ~fine_grained ~qos =
+  let key = shared_key ~fine_grained ~qos pool config in
   match Hashtbl.find_opt t.shared key with
   | Some s -> s
   | None ->
-      let s = build_shared t ~config ~pool ~cache_bytes ~fine_grained in
+      let s = build_shared t ~config ~pool ~cache_bytes ~fine_grained ~qos in
       Hashtbl.add t.shared key s;
       s
 
@@ -152,15 +202,71 @@ let crash_pool t ~pool ~restart_after =
 let crash_host t ~restart_after =
   List.iter (fun (_, sh) -> crash_entry t sh ~restart_after) (sorted_shared t)
 
+(* ------------------------------------------------------------------ *)
+(* Watchdog: the engine's self-healing loop.  Every [interval] it
+   samples each pool stack's progress counter into a heartbeat gauge and
+   checks liveness; a stack that stays crashed for [grace] — i.e. no
+   supervised restart is coming (the supervisor itself died, or the
+   crash was never scheduled a respawn) — is restarted through the same
+   [sh_restart] path the crash supervision uses, with the observed
+   outage added to [core/downtime] and counted in
+   [core/watchdog_restarts]. *)
+
+type watchdog = { mutable wd_stop : bool }
+
+let stop_watchdog wd = wd.wd_stop <- true
+
+let start_watchdog t ?(interval = 0.5) ?(grace = 1.0) () =
+  let engine = Kernel.engine t.kernel in
+  let obs = Kernel.obs t.kernel in
+  let wd = { wd_stop = false } in
+  let down_since : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  Engine.spawn engine ~name:"watchdog" (fun () ->
+      while not wd.wd_stop do
+        Engine.sleep interval;
+        if not wd.wd_stop then
+          List.iter
+            (fun (key, sh) ->
+              let pool = Cgroup.name sh.sh_pool in
+              Obs.set
+                (Obs.gauge obs ~layer:"core" ~name:"watchdog_heartbeat" ~key:pool)
+                (sh.sh_progress ());
+              if sh.sh_crashed () then begin
+                match Hashtbl.find_opt down_since key with
+                | None -> Hashtbl.replace down_since key (Engine.now engine)
+                | Some t0 when Engine.now engine -. t0 >= grace ->
+                    Hashtbl.remove down_since key;
+                    Obs.incr
+                      (Obs.counter obs ~layer:"core" ~name:"watchdog_restarts"
+                         ~key:pool);
+                    Obs.add
+                      (Obs.counter obs ~layer:"core" ~name:"downtime" ~key:pool)
+                      (Engine.now engine -. t0);
+                    sh.sh_restart ()
+                | Some _ -> ()
+              end
+              else Hashtbl.remove down_since key)
+            (sorted_shared t)
+      done);
+  wd
+
+(* Lookup helpers probe both the plain and the qos-enabled key: a pool
+   holds one stack per (config, fg, qos) combination and callers rarely
+   care which variant they launched. *)
+let find_shared t ~pool ~config =
+  match
+    Hashtbl.find_opt t.shared (shared_key ~fine_grained:false ~qos:None pool config)
+  with
+  | Some s -> Some s
+  | None ->
+      Hashtbl.find_opt t.shared
+        (shared_key ~fine_grained:false ~qos:(Some ()) pool config)
+
 let service_of t ~pool ~config =
-  Option.bind
-    (Hashtbl.find_opt t.shared (shared_key ~fine_grained:false pool config))
-    (fun s -> s.sh_service)
+  Option.bind (find_shared t ~pool ~config) (fun s -> s.sh_service)
 
 let client_of t ~pool ~config =
-  Option.map
-    (fun s -> s.sh_client)
-    (Hashtbl.find_opt t.shared (shared_key ~fine_grained:false pool config))
+  Option.map (fun s -> s.sh_client) (find_shared t ~pool ~config)
 
 let install_image t ~name ~files =
   let ns = Cluster.namespace t.cluster in
@@ -176,13 +282,49 @@ let install_image t ~name ~files =
       ignore (Namespace.set_size ns full bytes))
     files
 
+(* Admission gate over a filesystem instance: every fallible op first
+   asks the pool's admission controller; shed ops answer [Rejected]
+   without reaching the retry layer, the ring or the backend, and
+   admitted ops run with the configured op budget as their deadline.
+   Mirrors the op set wrapped by {!Retry.wrap}. *)
+let admit_wrap adm (inner : Client_intf.t) =
+  let gate f =
+    Danaus_qos.Admission.run adm ~shed:(fun () -> Error Client_intf.Rejected) f
+  in
+  {
+    inner with
+    Client_intf.open_file =
+      (fun ~pool path flags ->
+        gate (fun () -> inner.Client_intf.open_file ~pool path flags));
+    read =
+      (fun ~pool fd ~off ~len ->
+        gate (fun () -> inner.Client_intf.read ~pool fd ~off ~len));
+    write =
+      (fun ~pool fd ~off ~len ->
+        gate (fun () -> inner.Client_intf.write ~pool fd ~off ~len));
+    append =
+      (fun ~pool fd ~len -> gate (fun () -> inner.Client_intf.append ~pool fd ~len));
+    fsync = (fun ~pool fd -> gate (fun () -> inner.Client_intf.fsync ~pool fd));
+    stat = (fun ~pool path -> gate (fun () -> inner.Client_intf.stat ~pool path));
+    mkdir_p =
+      (fun ~pool path -> gate (fun () -> inner.Client_intf.mkdir_p ~pool path));
+    readdir =
+      (fun ~pool path -> gate (fun () -> inner.Client_intf.readdir ~pool path));
+    unlink =
+      (fun ~pool path -> gate (fun () -> inner.Client_intf.unlink ~pool path));
+    rename =
+      (fun ~pool ~src ~dst ->
+        gate (fun () -> inner.Client_intf.rename ~pool ~src ~dst));
+  }
+
 let launch t ~config ~pool ~id ?image ?(layers = []) ?cache_bytes
-    ?(fine_grained_locking = false) ?block_cow () =
+    ?(fine_grained_locking = false) ?block_cow ?qos () =
   let cache_bytes =
     match cache_bytes with Some b -> b | None -> Cgroup.mem_limit pool / 2
   in
   let shared =
     shared_for t ~config ~pool ~cache_bytes ~fine_grained:fine_grained_locking
+      ~qos
   in
   (* branch directories live in the shared backend namespace *)
   let upper_prefix = Printf.sprintf "/pools/%s/%s" (Cgroup.name pool) id in
@@ -203,7 +345,9 @@ let launch t ~config ~pool ~id ?image ?(layers = []) ?cache_bytes
   in
   let union =
     Union_fs.create
-      ~name:(shared_key ~fine_grained:fine_grained_locking pool config ^ ".union." ^ id)
+      ~name:
+        (shared_key ~fine_grained:fine_grained_locking ~qos pool config
+        ^ ".union." ^ id)
       ~branches
       ~charge:(fun ~pool dt -> user_charge t ~pool dt)
       ?block_cow ()
@@ -220,6 +364,14 @@ let launch t ~config ~pool ~id ?image ?(layers = []) ?cache_bytes
            (Cgroup.name pool ^ "/" ^ id))
       ~key:(Cgroup.name pool) iface
   in
+  (* admission gating sits outermost: a shed op never reaches the retry
+     loop, and an admitted op's budget deadline is in scope for every
+     retry and IPC hop below *)
+  let admit =
+    match shared.sh_admission with
+    | None -> fun iface -> iface
+    | Some adm -> fun iface -> admit_wrap adm iface
+  in
   let view, legacy =
     match shared.sh_service with
     | Some service ->
@@ -227,7 +379,7 @@ let launch t ~config ~pool ~id ?image ?(layers = []) ?cache_bytes
            the service's FUSE mount *)
         Fs_service.add_instance service ~mount_point:("/" ^ id) union;
         ( (fun ~thread ->
-            retry_wrap (Fs_service.view service ~instance:union ~thread)),
+            admit (retry_wrap (Fs_service.view service ~instance:union ~thread))),
           retry_wrap
             (Rebase.wrap ~prefix:("/" ^ id) (Fs_service.legacy_iface service)) )
     | None ->
@@ -243,7 +395,7 @@ let launch t ~config ~pool ~id ?image ?(layers = []) ?cache_bytes
                 (Fuse_wrap.wrap t.kernel ~pool ~name:(id ^ ".unionfs-fuse")
                    ~threads:8 union)
         in
-        let stacked = retry_wrap stacked in
+        let stacked = admit (retry_wrap stacked) in
         ((fun ~thread:_ -> stacked), stacked)
   in
   {

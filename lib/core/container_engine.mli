@@ -29,6 +29,31 @@ type container = {
 
 val create : kernel:Kernel.t -> cluster:Cluster.t -> topology:Topology.t -> t
 
+(** {1 Overload protection (danaus_qos)}
+
+    A pool's client stack can be launched with per-pool overload
+    protection: admission control + concurrency limiting at the view
+    (outermost, so shed ops never reach the retry layer), a circuit
+    breaker in the backend client's data path, load shedding at a full
+    IPC ring, and a request timeout on every IPC round trip.  Stacks
+    launched without [qos] keep the historical behaviour bit-for-bit. *)
+
+type qos
+
+(** [qos ()] enables nothing but shedding at a full ring; supply
+    [admission] (rate/in-flight/op-budget caps, [qos/admitted] and
+    [qos/shed] counters keyed by pool), [breaker] (backend circuit
+    breaker, [qos/breaker_state] gauge) and [request_timeout] (IPC
+    round-trip bound) to arm the rest of the pipeline.  [shed_on_full]
+    defaults to [true]. *)
+val qos :
+  ?admission:Danaus_qos.Admission.config ->
+  ?breaker:Danaus_qos.Breaker.config ->
+  ?shed_on_full:bool ->
+  ?request_timeout:float ->
+  unit ->
+  qos
+
 (** [launch t ~config ~pool ~id ?image ?cache_bytes ()] mounts a
     container root.  [image] names a read-only lower branch under
     "/images/<image>" shared by all clones; [layers] appends further
@@ -50,6 +75,7 @@ val launch :
   ?cache_bytes:int ->
   ?fine_grained_locking:bool ->
   ?block_cow:int ->
+  ?qos:qos ->
   unit ->
   container
 
@@ -77,6 +103,23 @@ val crash_pool_named : t -> pool_name:string -> restart_after:float -> unit
     shared kernel client, or FUSE transport teardown killing every
     daemon). *)
 val crash_host : t -> restart_after:float -> unit
+
+(** {1 Watchdog (self-healing)} *)
+
+type watchdog
+
+(** [start_watchdog t ()] spawns the health-check loop: every
+    [interval] (default 0.5 s) it samples each pool stack's progress
+    counter into the [core/watchdog_heartbeat] gauge and restarts any
+    stack that has stayed crashed for at least [grace] (default 1 s)
+    without a supervised restart reviving it, via the same restart path
+    the crash supervision uses.  Each forced restart counts
+    [core/watchdog_restarts] and adds the observed outage to
+    [core/downtime], keyed by pool. *)
+val start_watchdog : t -> ?interval:float -> ?grace:float -> unit -> watchdog
+
+(** Stop the loop; the watchdog process exits at its next tick. *)
+val stop_watchdog : watchdog -> unit
 
 (** The shared backend client of (pool, config), if created. *)
 val client_of : t -> pool:Cgroup.t -> config:Config.t -> Client_intf.t option

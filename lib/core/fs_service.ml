@@ -16,9 +16,10 @@ type t = {
   mutable legacy : Client_intf.t option;
   mutable dead : bool;
   request_timeout : float option;
+  shed_on_full : bool;
 }
 
-let create ?request_timeout kernel ~pool ~topology ~name =
+let create ?request_timeout ?(shed_on_full = false) kernel ~pool ~topology ~name =
   let tr = Transport.create kernel ~pool ~topology ~name:(name ^ ".ipc") () in
   Transport.start tr;
   {
@@ -32,6 +33,7 @@ let create ?request_timeout kernel ~pool ~topology ~name =
     legacy = None;
     dead = false;
     request_timeout;
+    shed_on_full;
   }
 
 let name t = t.svc_name
@@ -60,16 +62,22 @@ let restart t =
 let crashed t = t.dead
 
 let view t ~instance ~thread =
+  let on_overload =
+    (* a full ring answers [Rejected] at the boundary instead of
+       blocking the caller behind a saturated service *)
+    if t.shed_on_full then Some (fun () -> Error Client_intf.Rejected)
+    else None
+  in
   let call bytes f =
     if t.dead then Error Client_intf.Crashed
     else
       let body () = if t.dead then Error Client_intf.Crashed else f () in
       match t.request_timeout with
-      | None -> Transport.call t.tr ~thread ~bytes body
+      | None -> Transport.call ?on_overload t.tr ~thread ~bytes body
       | Some d ->
           Transport.call ~timeout:d
             ~on_timeout:(fun () -> Error Client_intf.Timed_out)
-            t.tr ~thread ~bytes body
+            ?on_overload t.tr ~thread ~bytes body
   in
   let call_unit bytes f = if t.dead then () else Transport.call t.tr ~thread ~bytes f in
   {

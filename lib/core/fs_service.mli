@@ -16,9 +16,14 @@ type t
 
 (** [request_timeout] bounds every default-path IPC round trip: a call
     still outstanding after that many seconds returns
-    [Error Timed_out] (counted under ["ipc"/"timeouts"]). *)
+    [Error Timed_out] (counted under ["ipc"/"timeouts"]).
+    [shed_on_full] (default [false]) makes a default-path call whose
+    IPC ring is full return [Error Rejected] immediately (counted under
+    ["ipc"/"sheds"]) instead of blocking the caller behind the
+    saturated service. *)
 val create :
   ?request_timeout:float ->
+  ?shed_on_full:bool ->
   Kernel.t ->
   pool:Cgroup.t ->
   topology:Topology.t ->

@@ -1,0 +1,311 @@
+open Danaus_sim
+open Danaus
+open Danaus_qos
+open Danaus_workloads
+
+(* ------------------------------------------------------------------ *)
+(* overload: offered-load sweep over one Danaus pool, with and without
+   the qos pipeline.  An open loop offers multiples of the pool's
+   saturation rate; goodput is ops completing within the SLA.  Without
+   qos the queueing delay past the knee pushes nearly every op over the
+   SLA (goodput collapses); with admission control the excess is shed at
+   the entry point and the admitted ops keep finishing in time, so
+   goodput stays at the knee. *)
+
+let mib n = n * 1024 * 1024
+
+(* Pool saturation for the 256 KiB-read op mix, established by probing a
+   single pool (see the `overload` notes in EXPERIMENTS.md); the sweep
+   offers multiples of it. *)
+let knee_rate ~quick:_ = 6000.0
+
+(* Each openload op is open + read + close through the view, and
+   admission is charged per client call, so the bucket rate is the op
+   knee times the calls per op. *)
+let calls_per_op = 3.0
+
+let op_params ~quick ~rate =
+  {
+    Openload.default_params with
+    Openload.rate;
+    duration = (if quick then 8.0 else 30.0);
+    op_bytes = 256 * 1024;
+    files = 200;
+    threads = 8;
+    sla = 0.5;
+  }
+
+let overload_qos ~quick =
+  let rate = calls_per_op *. knee_rate ~quick in
+  Container_engine.qos
+    ~admission:
+      (Admission.config ~burst:(0.25 *. rate) ~max_inflight:64 ~op_budget:0.5
+         ~rate ())
+    ~breaker:Breaker.default_config ~request_timeout:0.25 ()
+
+let overload_cell ~seed ~quick ~use_qos ~mult =
+  let tb = Testbed.create ~seed ~activated:4 () in
+  let pool = Testbed.pool tb 0 in
+  let qos = if use_qos then Some (overload_qos ~quick) else None in
+  let ct =
+    Container_engine.launch tb.Testbed.containers ~config:Config.d ~pool
+      ~id:"ovl" ~cache_bytes:(mib 4) ?qos ()
+  in
+  let p = op_params ~quick ~rate:(mult *. knee_rate ~quick) in
+  let warmed = ref false in
+  Engine.spawn tb.Testbed.engine (fun () ->
+      let ctx = Testbed.ctx tb ~pool ~seed:5100 in
+      (* populate through the raw instance so setup is not subject to
+         admission control *)
+      Openload.prepopulate ctx
+        ~view:(fun ~thread:_ -> ct.Container_engine.instance)
+        p;
+      warmed := true);
+  Testbed.drive tb ~stop:(fun () -> !warmed);
+  Testbed.reset_metrics tb;
+  let result = ref None in
+  Engine.spawn tb.Testbed.engine (fun () ->
+      let ctx = Testbed.ctx tb ~pool ~seed:5200 in
+      result := Some (Openload.run ctx ~view:ct.Container_engine.view p));
+  Testbed.drive tb ~stop:(fun () -> !result <> None);
+  (Option.get !result, Obs.snapshot tb.Testbed.obs)
+
+let overload ~seed ~quick =
+  let mults = [ 0.5; 1.0; 1.5; 2.0 ] in
+  let cells =
+    List.concat_map
+      (fun mult ->
+        List.map
+          (fun use_qos -> ((mult, use_qos), overload_cell ~seed ~quick ~use_qos ~mult))
+          [ true; false ])
+      mults
+  in
+  let get mult use_qos = fst (List.assoc (mult, use_qos) cells) in
+  let p99 (r : Openload.result) =
+    if Stats.count r.Openload.latency = 0 then 0.0
+    else Stats.percentile r.Openload.latency 99.0
+  in
+  let rows =
+    List.map
+      (fun mult ->
+        let q = get mult true and n = get mult false in
+        [
+          Printf.sprintf "%.1fx" mult;
+          Printf.sprintf "%.0f" (mult *. knee_rate ~quick);
+          Printf.sprintf "%.0f" q.Openload.goodput_ops;
+          Printf.sprintf "%d" q.Openload.shed;
+          Report.ms (p99 q);
+          Printf.sprintf "%.0f" n.Openload.goodput_ops;
+          Report.ms (p99 n);
+        ])
+      mults
+  in
+  let peak_qos =
+    List.fold_left
+      (fun acc m -> Float.max acc (get m true).Openload.goodput_ops)
+      0.0 mults
+  in
+  let at2 = (get 2.0 true).Openload.goodput_ops in
+  let metrics =
+    List.concat_map
+      (fun ((mult, use_qos), (_, m)) ->
+        Obs.prefix_keys
+          (Printf.sprintf "%s:x%.1f:" (if use_qos then "qos" else "raw") mult)
+          m)
+      cells
+  in
+  [
+    Report.make ~id:"overload"
+      ~title:
+        "Offered-load sweep on one Danaus pool: goodput (ops/s within 0.5 s \
+         SLA) with and without overload protection"
+      ~header:
+        [
+          "offered";
+          "ops/s";
+          "qos goodput";
+          "qos shed";
+          "qos p99";
+          "raw goodput";
+          "raw p99";
+        ]
+      ~notes:
+        [
+          Printf.sprintf
+            "qos goodput at 2.0x is %.0f%% of its peak (%.0f of %.0f ops/s): \
+             admission keeps the pool at the knee while shedding the excess"
+            (if peak_qos > 0.0 then 100.0 *. at2 /. peak_qos else 0.0)
+            at2 peak_qos;
+          "raw (no qos): past the knee the queue grows without bound, every \
+           op blows the SLA and goodput collapses";
+        ]
+      ~metrics rows;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* noisy-neighbor: a victim Fileserver pool colocated with a pool driven
+   past saturation by an open-loop writer.  Under D with qos the
+   aggressor pool's admission controller sheds the excess before it
+   reaches the shared backend, so the victim keeps its isolated
+   throughput; under K/K and F/F the full offered load lands on the
+   shared stack and the victim degrades. *)
+
+(* The full Fileserver dataset keeps background writeback continuously
+   active (as in the contention figures); quick mode only shortens the
+   run. *)
+let fls_params ~quick =
+  if quick then { Fileserver.default_params with Fileserver.duration = 12.0 }
+  else { Fileserver.default_params with Fileserver.duration = 40.0 }
+
+(* Three aggressor pools, each offering 3000 mixed 1 MiB ops/s (half
+   rewrites, half uncached reads): the aggregate backend demand (~9 GB/s
+   offered) far exceeds the shared 2.5 GB/s link and the rewrite streams
+   outrun the kernel writeback drain (~0.8 GB/s).  Under qos each
+   aggressor pool is admitted at its provisioned contract (250 ops/s,
+   0.25 GB/s), which keeps the aggregate inside the link. *)
+let aggressor_pools = 3
+let aggressor_contract = 250.0
+
+let aggressor_qos =
+  let rate = calls_per_op *. aggressor_contract in
+  Container_engine.qos
+    ~admission:
+      (Admission.config ~burst:(0.25 *. rate) ~max_inflight:64 ~op_budget:0.5
+         ~rate ())
+    ~breaker:Breaker.default_config ~request_timeout:0.25 ()
+
+let aggressor_params ~quick =
+  {
+    Openload.default_params with
+    Openload.rate = 3000.0;
+    duration = (if quick then 8.0 else 24.0);
+    op_bytes = 1024 * 1024;
+    files = 256;
+    threads = 8;
+    write_frac = 0.5;
+    sla = 0.5;
+  }
+
+let neighbor_cell ~seed ~quick ~config ~use_qos ~colocated =
+  let tb = Testbed.create ~seed ~activated:8 () in
+  let victim_pool = Testbed.pool tb 0 in
+  let victim =
+    Container_engine.launch tb.Testbed.containers ~config ~pool:victim_pool
+      ~id:"victim" ~cache_bytes:(mib 128) ()
+  in
+  let aggressors =
+    if not colocated then []
+    else
+      List.init aggressor_pools (fun i ->
+          let pool = Testbed.pool tb (1 + i) in
+          let qos = if use_qos then Some aggressor_qos else None in
+          ( pool,
+            Container_engine.launch tb.Testbed.containers ~config ~pool
+              ~id:(Printf.sprintf "aggr%d" i) ~cache_bytes:(mib 16) ?qos () ))
+  in
+  let fp = fls_params ~quick in
+  let ap = aggressor_params ~quick in
+  let warmed = ref false in
+  Engine.spawn tb.Testbed.engine ~name:"setup" (fun () ->
+      let ctx = Testbed.ctx tb ~pool:victim_pool ~seed:5300 in
+      Fileserver.prepopulate ctx ~view:victim.Container_engine.view fp;
+      List.iteri
+        (fun i (pool, ct) ->
+          let ctx = Testbed.ctx tb ~pool ~seed:(5400 + i) in
+          Openload.prepopulate ctx
+            ~view:(fun ~thread:_ -> ct.Container_engine.instance)
+            ap)
+        aggressors;
+      (* let the writeback from the setup writes settle before measuring *)
+      Engine.sleep (Params.expire_interval +. 2.0);
+      warmed := true);
+  Testbed.drive tb ~stop:(fun () -> !warmed);
+  Testbed.reset_metrics tb;
+  let victim_r = ref None in
+  let aggressor_rs = Array.make aggressor_pools None in
+  Engine.spawn tb.Testbed.engine (fun () ->
+      let ctx = Testbed.ctx tb ~pool:victim_pool ~seed:5500 in
+      victim_r := Some (Fileserver.run ctx ~view:victim.Container_engine.view fp));
+  List.iteri
+    (fun i (pool, ct) ->
+      Engine.spawn tb.Testbed.engine (fun () ->
+          let ctx = Testbed.ctx tb ~pool ~seed:(5600 + i) in
+          aggressor_rs.(i) <- Some (Openload.run ctx ~view:ct.Container_engine.view ap)))
+    aggressors;
+  let aggressors_done () =
+    List.for_all (fun i -> aggressor_rs.(i) <> None)
+      (List.init (List.length aggressors) Fun.id)
+  in
+  Testbed.drive tb ~stop:(fun () -> !victim_r <> None && aggressors_done ());
+  let agg =
+    List.filter_map Fun.id (Array.to_list aggressor_rs)
+    |> List.fold_left
+         (fun (good, shed) (r : Openload.result) ->
+           (good +. r.Openload.goodput_ops, shed + r.Openload.shed))
+         (0.0, 0)
+  in
+  ( (Option.get !victim_r).Fileserver.throughput_mbps,
+    (if colocated then Some agg else None),
+    Obs.snapshot tb.Testbed.obs )
+
+let noisy_neighbor ~seed ~quick =
+  let cells =
+    [
+      ("D+qos", Config.d, true);
+      ("K/K", Config.kk, false);
+      ("F/F", Config.ff, false);
+    ]
+  in
+  let outcomes =
+    List.map
+      (fun (label, config, use_qos) ->
+        let iso, _, iso_m =
+          neighbor_cell ~seed ~quick ~config ~use_qos ~colocated:false
+        in
+        let colo, agg, colo_m =
+          neighbor_cell ~seed ~quick ~config ~use_qos ~colocated:true
+        in
+        (label, iso, colo, agg, iso_m, colo_m))
+      cells
+  in
+  let rows =
+    List.map
+      (fun (label, iso, colo, agg, _, _) ->
+        let retention = if iso > 0.0 then 100.0 *. colo /. iso else 0.0 in
+        let agg_good, agg_shed =
+          match agg with Some (good, shed) -> (good, shed) | None -> (0.0, 0)
+        in
+        [
+          label;
+          Report.mbps iso;
+          Report.mbps colo;
+          Printf.sprintf "%.0f%%" retention;
+          Printf.sprintf "%.0f" agg_good;
+          Printf.sprintf "%d" agg_shed;
+        ])
+      outcomes
+  in
+  let metrics =
+    List.concat_map
+      (fun (label, _, _, _, iso_m, colo_m) ->
+        Obs.prefix_keys (label ^ ":iso:") iso_m
+        @ Obs.prefix_keys (label ^ ":colo:") colo_m)
+      outcomes
+  in
+  [
+    Report.make ~id:"noisy-neighbor"
+      ~title:
+        "Victim Fileserver beside a pool driven to 2x saturation (MB/s and \
+         retention of isolated throughput)"
+      ~header:
+        [ "config"; "isolated"; "colocated"; "retention"; "agg good/s"; "agg shed" ]
+      ~notes:
+        [
+          "D+qos: the aggressor pool's admission controller sheds the excess \
+           at the client entry point, so the victim keeps >=90% of its \
+           isolated throughput";
+          "K/K and F/F have no shedding: the aggressor's full offered load \
+           lands on the shared stack and the victim pays for it";
+        ]
+      ~metrics rows;
+  ]

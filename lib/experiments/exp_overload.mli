@@ -1,0 +1,16 @@
+(** Overload-protection experiments (the danaus_qos pipeline).
+
+    [overload] sweeps open-loop offered load over one Danaus pool at
+    0.5x/1x/1.5x/2x of its saturation rate, with and without the qos
+    pipeline: with admission control the goodput curve stays at the knee
+    while the excess is shed; without it the queue past the knee pushes
+    every op over the SLA and goodput collapses.
+
+    [noisy_neighbor] colocates a victim Fileserver pool with a pool
+    driven to 2x saturation by an open-loop writer, per configuration:
+    under D with qos the aggressor's admission controller sheds the
+    excess and the victim keeps >=90% of its isolated throughput; under
+    K/K and F/F the full offered load lands on the shared stack. *)
+
+val overload : seed:int -> quick:bool -> Report.t list
+val noisy_neighbor : seed:int -> quick:bool -> Report.t list

@@ -122,6 +122,16 @@ let all =
       title = "Fault: OSD failure, mark-down and re-sync recovery";
       run = (fun ~quick ~seed -> Exp_faults.fault_osd ~seed ~quick);
     };
+    {
+      id = "overload";
+      title = "Overload: offered-load sweep with and without qos protection";
+      run = (fun ~quick ~seed -> Exp_overload.overload ~seed ~quick);
+    };
+    {
+      id = "noisy-neighbor";
+      title = "Overload: noisy neighbor at 2x saturation (D+qos vs K/K vs F/F)";
+      run = (fun ~quick ~seed -> Exp_overload.noisy_neighbor ~seed ~quick);
+    };
   ]
 
 let find id = List.find_opt (fun e -> String.equal e.id id) all

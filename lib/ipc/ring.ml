@@ -54,7 +54,7 @@ let publish t =
 
 let wake_one q = match Queue.take_opt q with Some w -> w () | None -> ()
 
-let rec enqueue t x =
+let try_enqueue t x =
   let slot = t.ring.(t.tail) in
   match slot.state with
   | Empty ->
@@ -67,10 +67,15 @@ let rec enqueue t x =
       if t.occupancy > t.high then t.high <- t.occupancy;
       (match t.handles with Some h -> Obs.incr h.enq_c | None -> ());
       publish t;
-      wake_one t.consumers
-  | Writing | Valid ->
-      Engine.suspend (fun wake -> Queue.add wake t.producers);
-      enqueue t x
+      wake_one t.consumers;
+      true
+  | Writing | Valid -> false
+
+let rec enqueue t x =
+  if not (try_enqueue t x) then begin
+    Engine.suspend (fun wake -> Queue.add wake t.producers);
+    enqueue t x
+  end
 
 let rec dequeue t =
   let slot = t.ring.(t.head) in

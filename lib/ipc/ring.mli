@@ -17,6 +17,13 @@ val create : ?name:string -> Engine.t -> slots:int -> 'a t
 (** Enqueue, blocking while no slot is [Empty]. *)
 val enqueue : 'a t -> 'a -> unit
 
+(** Non-blocking enqueue: [false] means the ring was full and nothing
+    was written.  The blocking {!enqueue} is a retry loop over this, so
+    the slot-state transitions live in exactly one place.  Shedding
+    policy (who counts a shed, what the caller gets back) belongs to the
+    caller — see {!Transport.call}'s [on_overload]. *)
+val try_enqueue : 'a t -> 'a -> bool
+
 (** Dequeue the oldest [Valid] entry, blocking while none exists. *)
 val dequeue : 'a t -> 'a
 

@@ -2,7 +2,7 @@ open Danaus_sim
 open Danaus_hw
 open Danaus_kernel
 
-type request = { bytes : int; exec : unit -> unit }
+type request = { bytes : int; deadline : float option; exec : unit -> unit }
 
 type queue = {
   q_index : int;
@@ -99,7 +99,10 @@ let spawn_service_thread t q =
            reads it in place (the single boundary copy is charged on the
            front-driver side) *)
         service_cpu t q dispatch_cpu;
-        req.exec ();
+        (* the caller's deadline crosses the ring inside the request
+           descriptor: the handler runs in a different process, so the
+           per-process deadline slot does not travel on its own *)
+        Engine.with_deadline req.deadline req.exec;
         t.served <- t.served + 1
       done)
 
@@ -133,22 +136,28 @@ let queue_of_thread t ~thread =
 let pinned_cores t ~thread =
   Option.map (fun i -> t.queues.(i).q_cores) (Hashtbl.find_opt t.pins thread)
 
-let call ?timeout ?on_timeout t ~thread ~bytes f =
+let pool_counter t name =
+  Obs.counter (Kernel.obs t.kernel) ~layer:"ipc" ~name ~key:(Cgroup.name t.pool)
+
+let call ?timeout ?on_timeout ?on_overload t ~thread ~bytes f =
   if not t.started then start t;
   let q = queue_of_thread t ~thread in
   let caller_cpu dt =
     Cpu.compute (Kernel.cpu t.kernel) ~tenant:(Cgroup.name t.pool) ~eligible:q.q_cores dt
   in
-  Obs.incr
-    (Obs.counter (Kernel.obs t.kernel) ~layer:"ipc" ~name:"ipc_requests"
-       ~key:(Cgroup.name t.pool));
+  Obs.incr (pool_counter t "ipc_requests");
   let started = Engine.now (Kernel.engine t.kernel) in
+  let deadline = Engine.deadline () in
   (* front driver: fill the request buffer and the ring entry *)
   caller_cpu (enqueue_cpu +. (float_of_int bytes *. (Kernel.costs t.kernel).copy_per_byte));
   let cell = ref None in
   let waiter = ref None in
+  let timed_out = ref false in
   let exec () =
     cell := Some (f ());
+    (* the caller already returned on_timeout (): the reply lands in a
+       cell nobody will read — tag the silent drop *)
+    if !timed_out then Obs.incr (pool_counter t "late_replies");
     match !waiter with Some wake -> wake () | None -> ()
   in
   (* back-driver scaling: grow the queue's thread pool under backlog *)
@@ -156,7 +165,6 @@ let call ?timeout ?on_timeout t ~thread ~bytes f =
     Ring.length q.q_ring >= t.scale_threshold
     && q.q_threads < t.max_threads_per_queue
   then spawn_service_thread t q;
-  Ring.enqueue q.q_ring { bytes; exec };
   let finish v =
     Obs.span
       (Kernel.obs t.kernel)
@@ -165,25 +173,55 @@ let call ?timeout ?on_timeout t ~thread ~bytes f =
       ~dur:(Engine.now (Kernel.engine t.kernel) -. started);
     v
   in
-  match !cell with
-  | Some v -> finish v
-  | None ->
-      (* a timed call arms a timer that wakes the caller with an empty
-         result cell; the wake is idempotent, so a reply racing the timer
-         at the same instant is harmless either way *)
-      Option.iter
-        (fun d ->
-          Engine.schedule (Kernel.engine t.kernel) ~delay:d (fun () ->
-              match (!cell, !waiter) with
-              | None, Some wake -> wake ()
-              | _ -> ()))
-        timeout;
-      Engine.suspend (fun wake -> waiter := Some wake);
-      (match (!cell, on_timeout) with
-      | Some v, _ -> finish v
-      | None, Some g ->
-          Obs.incr
-            (Obs.counter (Kernel.obs t.kernel) ~layer:"ipc" ~name:"timeouts"
-               ~key:(Cgroup.name t.pool));
-          finish (g ())
-      | None, None -> failwith "Transport.call: woken without a result")
+  let req = { bytes; deadline; exec } in
+  let shed =
+    (* with an overload handler, a full ring sheds at the boundary
+       instead of wedging the producer *)
+    match on_overload with
+    | Some _ -> not (Ring.try_enqueue q.q_ring req)
+    | None ->
+        Ring.enqueue q.q_ring req;
+        false
+  in
+  if shed then begin
+    Obs.incr (pool_counter t "sheds");
+    finish ((Option.get on_overload) ())
+  end
+  else
+    match !cell with
+    | Some v -> finish v
+    | None ->
+        (* a timed call arms a timer that wakes the caller with an empty
+           result cell; the wake is idempotent, so a reply racing the timer
+           at the same instant is harmless either way.  A caller deadline
+           tightens the timer: no point waiting for a reply the deadline
+           has already disowned. *)
+        let effective_timeout =
+          if Option.is_none on_timeout then timeout
+          else
+            let remaining =
+              Option.map
+                (fun dl ->
+                  Float.max 0.0 (dl -. Engine.now (Kernel.engine t.kernel)))
+                deadline
+            in
+            match (timeout, remaining) with
+            | None, r -> r
+            | (Some _ as d), None -> d
+            | Some d, Some r -> Some (Float.min d r)
+        in
+        Option.iter
+          (fun d ->
+            Engine.schedule (Kernel.engine t.kernel) ~delay:d (fun () ->
+                match (!cell, !waiter) with
+                | None, Some wake -> wake ()
+                | _ -> ()))
+          effective_timeout;
+        Engine.suspend (fun wake -> waiter := Some wake);
+        (match (!cell, on_timeout) with
+        | Some v, _ -> finish v
+        | None, Some g ->
+            timed_out := true;
+            Obs.incr (pool_counter t "timeouts");
+            finish (g ())
+        | None, None -> failwith "Transport.call: woken without a result")

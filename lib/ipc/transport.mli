@@ -42,10 +42,22 @@ val start : t -> unit
     With [timeout], the caller gives up after that many seconds and
     returns [on_timeout ()] instead (counted under ["ipc"/"timeouts"]);
     a handler still in flight keeps running but its late result is
-    dropped.  [on_timeout] must be supplied along with [timeout]. *)
+    dropped and counted under ["ipc"/"late_replies"].  [on_timeout] must
+    be supplied along with [timeout].
+
+    With [on_overload], a full ring sheds the call instead of blocking
+    the producer: the request is dropped before any service work,
+    ["ipc"/"sheds"] is incremented and [on_overload ()] is returned.
+    Without it the call keeps the historical blocking behaviour.
+
+    The caller's process deadline (see {!Danaus_sim.Engine.deadline}) is
+    carried across the ring to the service handler, and — when
+    [on_timeout] is supplied — also clamps the effective timeout to the
+    time remaining before the deadline. *)
 val call :
   ?timeout:float ->
   ?on_timeout:(unit -> 'a) ->
+  ?on_overload:(unit -> 'a) ->
   t ->
   thread:int ->
   bytes:int ->

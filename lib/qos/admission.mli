@@ -1,0 +1,42 @@
+(** Per-pool admission controller: a {!Token_bucket} rate gate plus an
+    in-flight concurrency cap, with an optional per-op deadline budget.
+
+    This is the outermost stage of the overload pipeline: an op that is
+    not admitted is shed immediately at the client entry point — it
+    never reaches the IPC ring, the retry loop or the backend.  Admitted
+    ops run with their process deadline tightened to [now + op_budget]
+    (see {!Danaus_sim.Engine.with_deadline}), which every downstream
+    layer (transport timeout, retry backoff, cluster ops) observes.
+
+    Observability (layer ["qos"], keyed by the [key] given at creation):
+    counters [admitted] / [shed], gauges [inflight] / [inflight_high]. *)
+
+type config = {
+  rate : float;  (** admitted ops per simulated second *)
+  burst : float;  (** token-bucket depth, ops *)
+  max_inflight : int;  (** concurrent admitted ops *)
+  op_budget : float option;  (** per-op deadline budget, seconds *)
+}
+
+val config :
+  ?burst:float -> ?max_inflight:int -> ?op_budget:float -> rate:float -> unit -> config
+(** Defaults: [burst = 32.], [max_inflight = 64], no op budget. *)
+
+type t
+
+val create : Danaus_sim.Engine.t -> key:string -> config -> t
+val config_of : t -> config
+
+val inflight : t -> int
+(** Ops currently admitted and not yet released. *)
+
+val try_admit : t -> bool
+(** Raw decision: take an admission slot, or count a shed.  A [true]
+    must be paired with {!release}; prefer {!run}. *)
+
+val release : t -> unit
+
+val run : t -> shed:(unit -> 'a) -> (unit -> 'a) -> 'a
+(** [run t ~shed f] executes [f] under an admission slot with the op
+    budget applied as a process deadline, or [shed ()] if not
+    admitted. *)

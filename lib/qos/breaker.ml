@@ -1,0 +1,116 @@
+open Danaus_sim
+
+type state = Closed | Open | Half_open
+
+type config = { failure_threshold : int; open_for : float; half_open_probes : int }
+
+let default_config = { failure_threshold = 5; open_for = 2.0; half_open_probes = 1 }
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  mutable state : state;
+  mutable failures : int; (* consecutive failures while Closed *)
+  mutable opened_at : float;
+  mutable probes_left : int;
+  state_g : Obs.gauge;
+  opens_c : Obs.counter;
+  fast_fails_c : Obs.counter;
+  probes_c : Obs.counter;
+}
+
+let state_value = function Closed -> 0.0 | Half_open -> 0.5 | Open -> 1.0
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+let set_state t s =
+  t.state <- s;
+  Obs.set t.state_g (state_value s)
+
+let create ?(config = default_config) engine ~key =
+  if config.failure_threshold < 1 then
+    invalid_arg "Breaker.create: failure_threshold must be >= 1";
+  if config.open_for < 0.0 then invalid_arg "Breaker.create: open_for must be >= 0";
+  if config.half_open_probes < 1 then
+    invalid_arg "Breaker.create: half_open_probes must be >= 1";
+  let obs = Engine.obs engine in
+  let t =
+    {
+      engine;
+      config;
+      state = Closed;
+      failures = 0;
+      opened_at = 0.0;
+      probes_left = 0;
+      state_g = Obs.gauge obs ~layer:"qos" ~name:"breaker_state" ~key;
+      opens_c = Obs.counter obs ~layer:"qos" ~name:"breaker_opens" ~key;
+      fast_fails_c = Obs.counter obs ~layer:"qos" ~name:"breaker_fast_fails" ~key;
+      probes_c = Obs.counter obs ~layer:"qos" ~name:"breaker_probes" ~key;
+    }
+  in
+  Obs.set t.state_g 0.0;
+  t
+
+let state t =
+  (match t.state with
+  | Open when Engine.now t.engine -. t.opened_at >= t.config.open_for ->
+      set_state t Half_open;
+      t.probes_left <- t.config.half_open_probes
+  | _ -> ());
+  t.state
+
+let allow t =
+  match state t with
+  | Closed -> true
+  | Open ->
+      Obs.incr t.fast_fails_c;
+      false
+  | Half_open ->
+      if t.probes_left > 0 then begin
+        t.probes_left <- t.probes_left - 1;
+        Obs.incr t.probes_c;
+        true
+      end
+      else begin
+        (* the configured probes are already in flight; everyone else
+           keeps failing fast until a probe settles the state *)
+        Obs.incr t.fast_fails_c;
+        false
+      end
+
+let success t =
+  (match t.state with
+  | Half_open -> set_state t Closed
+  | Closed | Open -> ());
+  t.failures <- 0
+
+let failure t =
+  match t.state with
+  | Half_open | Open ->
+      (* a probe (or a straggler) failed: reopen with a fresh window *)
+      t.opened_at <- Engine.now t.engine;
+      if t.state <> Open then Obs.incr t.opens_c;
+      t.failures <- 0;
+      set_state t Open
+  | Closed ->
+      t.failures <- t.failures + 1;
+      if t.failures >= t.config.failure_threshold then begin
+        t.opened_at <- Engine.now t.engine;
+        t.failures <- 0;
+        Obs.incr t.opens_c;
+        set_state t Open
+      end
+
+let guard t ~on_open f =
+  if not (allow t) then Error on_open
+  else
+    match f () with
+    | Ok _ as ok ->
+        success t;
+        ok
+    | Error _ as err ->
+        failure t;
+        err

@@ -1,0 +1,47 @@
+(** Circuit breaker: Closed / Open / Half-open state machine over a
+    result-returning operation.
+
+    While Closed, calls pass through and consecutive failures are
+    counted; at [failure_threshold] the breaker opens.  While Open,
+    calls fail fast (no backend traffic) for [open_for] simulated
+    seconds, after which the breaker turns Half-open and lets exactly
+    [half_open_probes] calls through as probes — a deterministic count,
+    not a random sample, so runs stay reproducible.  A successful probe
+    closes the breaker; a failed one reopens it with a fresh window.
+
+    Observability (layer ["qos"], keyed by the [key] given at creation):
+    gauge [breaker_state] (0 closed / 0.5 half-open / 1 open), counters
+    [breaker_opens], [breaker_fast_fails], [breaker_probes]. *)
+
+type state = Closed | Open | Half_open
+
+type config = {
+  failure_threshold : int;  (** consecutive failures that open the breaker *)
+  open_for : float;  (** seconds to stay open before probing *)
+  half_open_probes : int;  (** calls let through in half-open state *)
+}
+
+val default_config : config
+(** 5 consecutive failures; open 2 s; 1 probe. *)
+
+type t
+
+val create : ?config:config -> Danaus_sim.Engine.t -> key:string -> t
+
+val state : t -> state
+(** Current state (performs the timed Open → Half-open transition). *)
+
+val state_to_string : state -> string
+
+val allow : t -> bool
+(** Admission decision for one call.  [false] counts a fast-fail; a
+    [true] in half-open state consumes a probe slot, so every [allow]
+    that returns [true] must be followed by {!success} or {!failure}. *)
+
+val success : t -> unit
+val failure : t -> unit
+
+val guard : t -> on_open:'e -> (unit -> ('a, 'e) result) -> ('a, 'e) result
+(** [guard t ~on_open f] = [allow]/[f]/[success|failure] in one step;
+    returns [Error on_open] without running [f] when the breaker says
+    no. *)

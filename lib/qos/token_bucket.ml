@@ -1,0 +1,39 @@
+open Danaus_sim
+
+type t = {
+  engine : Engine.t;
+  rate : float;
+  burst : float;
+  mutable tokens : float;
+  mutable last : float;
+}
+
+let create engine ~rate ~burst =
+  if rate <= 0.0 then invalid_arg "Token_bucket.create: rate must be positive";
+  if burst < 1.0 then invalid_arg "Token_bucket.create: burst must be >= 1";
+  { engine; rate; burst; tokens = burst; last = Engine.now engine }
+
+(* Lazy refill: tokens accrue as a pure function of elapsed simulated
+   time, so the bucket needs no background process and stays
+   deterministic under any interleaving. *)
+let refill t =
+  let now = Engine.now t.engine in
+  if now > t.last then begin
+    t.tokens <- Float.min t.burst (t.tokens +. ((now -. t.last) *. t.rate));
+    t.last <- now
+  end
+
+let try_take ?(cost = 1.0) t =
+  refill t;
+  if t.tokens >= cost then begin
+    t.tokens <- t.tokens -. cost;
+    true
+  end
+  else false
+
+let tokens t =
+  refill t;
+  t.tokens
+
+let rate t = t.rate
+let burst t = t.burst

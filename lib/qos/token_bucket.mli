@@ -1,0 +1,24 @@
+(** Token bucket over simulated time.
+
+    Tokens accrue at [rate] per simulated second up to [burst]; each
+    admitted op consumes [cost] (default 1) tokens.  Refill is computed
+    lazily from the engine clock on every access, so the bucket needs no
+    background process: with a fixed seed, the same sequence of
+    [try_take] calls at the same simulated instants yields the same
+    sequence of decisions, which keeps experiments bit-reproducible. *)
+
+type t
+
+(** [create engine ~rate ~burst] starts a full bucket.  [rate] must be
+    positive, [burst >= 1]. *)
+val create : Danaus_sim.Engine.t -> rate:float -> burst:float -> t
+
+(** Take [cost] (default [1.]) tokens if available; [false] means the
+    caller should shed. *)
+val try_take : ?cost:float -> t -> bool
+
+(** Tokens currently available (after lazy refill). *)
+val tokens : t -> float
+
+val rate : t -> float
+val burst : t -> float

@@ -15,6 +15,7 @@ type _ Effect.t +=
   | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
   | Fork : (string option * (unit -> unit)) -> unit Effect.t
   | Self : (t * string) Effect.t
+  | Deadline_slot : float option ref Effect.t
 
 let compare_events a b =
   let c = Float.compare a.at b.at in
@@ -36,8 +37,15 @@ let schedule t ?(delay = 0.0) run =
 
 (* Each process body runs under a deep effect handler that translates the
    blocking effects into event-queue manipulation.  Continuations are
-   one-shot; wake functions guard against double resumption. *)
-let rec exec t name body =
+   one-shot; wake functions guard against double resumption.
+
+   Every process owns a deadline slot: a mutable absolute-time bound that
+   ops running in the process may consult ([deadline]) or tighten
+   ([with_deadline]).  Children forked from a process inherit the value
+   the slot held at fork time, so a deadline stamped at a client entry
+   point follows the work across [fork] boundaries (e.g. the striper's
+   per-object fan-out) without any signature changes. *)
+let rec exec t name dl body =
   let open Effect.Deep in
   match_with body ()
     {
@@ -68,16 +76,18 @@ let rec exec t name body =
           | Fork (child_name, f) ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  spawn t ?name:child_name f;
+                  spawn t ?name:child_name ?deadline:!dl f;
                   continue k ())
           | Self ->
               Some (fun (k : (a, unit) continuation) -> continue k (t, name))
+          | Deadline_slot ->
+              Some (fun (k : (a, unit) continuation) -> continue k dl)
           | _ -> None);
     }
 
-and spawn t ?(name = "proc") body =
+and spawn t ?(name = "proc") ?deadline body =
   t.live <- t.live + 1;
-  schedule t (fun () -> exec t name body)
+  schedule t (fun () -> exec t name (ref deadline) body)
 
 let run t =
   let rec loop () =
@@ -113,3 +123,21 @@ let self_engine () = fst (self ())
 let self_name () = snd (self ())
 let time () = now (self_engine ())
 let yield () = sleep 0.0
+
+let deadline_slot () =
+  try Some (Effect.perform Deadline_slot) with Effect.Unhandled _ -> None
+
+let deadline () = match deadline_slot () with Some r -> !r | None -> None
+
+let with_deadline d f =
+  match deadline_slot () with
+  | None -> f ()
+  | Some slot ->
+      let saved = !slot in
+      let tightened =
+        match (saved, d) with
+        | Some a, Some b -> Some (Float.min a b)
+        | None, d | d, None -> d
+      in
+      slot := tightened;
+      Fun.protect ~finally:(fun () -> slot := saved) f

@@ -33,8 +33,9 @@ val schedule : t -> ?delay:float -> (unit -> unit) -> unit
 
 (** [spawn t ~name f] creates a process running [f], started at the
     current simulated time.  Exceptions escaping [f] abort the whole
-    simulation. *)
-val spawn : t -> ?name:string -> (unit -> unit) -> unit
+    simulation.  [deadline], if given, seeds the process's deadline slot
+    (see {!deadline}) with an absolute simulated time. *)
+val spawn : t -> ?name:string -> ?deadline:float -> (unit -> unit) -> unit
 
 (** Run until no event remains.
 
@@ -96,3 +97,25 @@ val fork : ?name:string -> (unit -> unit) -> unit
 (** Let every other runnable process scheduled at the current instant run
     before continuing. *)
 val yield : unit -> unit
+
+(** {1 Deadlines}
+
+    Every process carries an optional absolute-time deadline in a
+    per-process slot.  The slot travels with the work: children created
+    with {!fork} inherit the value the parent's slot held at fork time,
+    so a deadline stamped at a client entry point reaches per-object
+    fan-out processes and retry loops without threading an argument
+    through every layer.  Crossing an explicit queue (e.g. the IPC
+    transport) requires handing the value over in the queued request —
+    the transport does this internally. *)
+
+(** The calling process's current deadline, or [None] when no deadline is
+    set.  Safe to call outside a process (returns [None]). *)
+val deadline : unit -> float option
+
+(** [with_deadline d f] runs [f] with the process deadline tightened to
+    [d]: the effective deadline is the minimum of [d] and the deadline
+    already in scope (deadlines only ever tighten), restored on exit.
+    [with_deadline None f] leaves any surrounding deadline in place.
+    Outside a process this is just [f ()]. *)
+val with_deadline : float option -> (unit -> 'a) -> 'a

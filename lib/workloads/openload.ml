@@ -1,0 +1,123 @@
+open Danaus_sim
+open Danaus_client
+
+type params = {
+  rate : float;
+  duration : float;
+  op_bytes : int;
+  files : int;
+  threads : int;
+  dir : string;
+  sla : float;
+  write_frac : float;
+}
+
+let default_params =
+  {
+    rate = 100.0;
+    duration = 10.0;
+    op_bytes = 256 * 1024;
+    files = 64;
+    threads = 8;
+    dir = "/openload";
+    sla = 0.5;
+    write_frac = 0.0;
+  }
+
+type result = {
+  offered : int;
+  completed : int;
+  good : int;
+  shed : int;
+  failed : int;
+  latency : Stats.t;
+  elapsed : float;
+  goodput_ops : float;
+}
+
+let file_path p idx = Printf.sprintf "%s/f%04d" p.dir idx
+
+let prepopulate ctx ~view p =
+  let pool = ctx.Workload.pool in
+  let iface = view ~thread:0 in
+  Workload.exn_on_error "openload: mkdir" (iface.Client_intf.mkdir_p ~pool p.dir);
+  for idx = 0 to p.files - 1 do
+    match iface.Client_intf.open_file ~pool (file_path p idx) Client_intf.flags_wo with
+    | Error e -> failwith ("openload: create: " ^ Client_intf.error_to_string e)
+    | Ok fd ->
+        Workload.exn_on_error "openload: write"
+          (iface.Client_intf.write ~pool fd ~off:0 ~len:p.op_bytes);
+        iface.Client_intf.close ~pool fd
+  done
+
+(* One op: open a random file of the set, read (or rewrite) it whole,
+   close.  The caller is charged nothing beyond what the stack itself
+   costs, so the measured knee is the stack's, not the generator's. *)
+let one_op ctx ~view ~thread p ~write idx =
+  let pool = ctx.Workload.pool in
+  let iface = view ~thread in
+  let flags = if write then Client_intf.flags_wo else Client_intf.flags_ro in
+  match iface.Client_intf.open_file ~pool (file_path p idx) flags with
+  | Error e -> Error e
+  | Ok fd ->
+      let r =
+        if write then iface.Client_intf.write ~pool fd ~off:0 ~len:p.op_bytes
+        else
+          Result.map
+            (fun (_ : int) -> ())
+            (Client_intf.read_exact iface ~pool fd ~off:0 ~len:p.op_bytes)
+      in
+      iface.Client_intf.close ~pool fd;
+      r
+
+let run ctx ~view p =
+  let engine = ctx.Workload.engine in
+  let wg = Waitgroup.create engine in
+  let offered = ref 0
+  and completed = ref 0
+  and good = ref 0
+  and shed = ref 0
+  and failed = ref 0 in
+  let latency = Stats.create () in
+  let start = Engine.now engine in
+  let stop_at = start +. p.duration in
+  while Engine.now engine < stop_at do
+    (* thread ids cycle over a small pool so IPC queue pinning sees a
+       bounded set of application threads, as a real app would expose *)
+    let thread = 1 + (!offered mod p.threads) in
+    let idx = Rng.int ctx.Workload.rng p.files in
+    (* the write draw only happens for mixed workloads, so pure-read
+       parameter sets keep their historical RNG stream *)
+    let write =
+      p.write_frac > 0.0 && Rng.float ctx.Workload.rng < p.write_frac
+    in
+    incr offered;
+    Waitgroup.add wg;
+    Engine.fork ~name:"openload.op" (fun () ->
+        let t0 = Engine.now engine in
+        let r = one_op ctx ~view ~thread p ~write idx in
+        let dt = Engine.now engine -. t0 in
+        (match r with
+        | Ok () ->
+            incr completed;
+            Stats.add latency dt;
+            if dt <= p.sla then incr good
+        | Error Client_intf.Rejected -> incr shed
+        | Error _ -> incr failed);
+        Waitgroup.finish wg);
+    Engine.sleep (Rng.exponential ctx.Workload.rng ~mean:(1.0 /. p.rate))
+  done;
+  (* open loop: arrivals stop at the window's end, but every op already
+     in the system is drained and classified *)
+  Waitgroup.wait wg;
+  let elapsed = Engine.now engine -. start in
+  {
+    offered = !offered;
+    completed = !completed;
+    good = !good;
+    shed = !shed;
+    failed = !failed;
+    latency;
+    elapsed;
+    goodput_ops = float_of_int !good /. p.duration;
+  }

@@ -1,0 +1,47 @@
+open Danaus_sim
+
+(** Open-loop load generator: seeded Poisson arrivals of whole-file
+    reads at a configured offered rate, independent of completions —
+    the generator that exposes the saturation knee, where a closed loop
+    would self-throttle and hide the collapse.
+
+    Each arrival forks a process that opens a random file of the set,
+    reads it whole and closes it through the supplied view.  Results are
+    classified as good (completed within the [sla] latency bound), shed
+    ([Rejected] by admission control or a full IPC ring), failed (any
+    other error) — goodput is good ops per second of the offered
+    window. *)
+
+type params = {
+  rate : float;  (** offered arrivals per simulated second *)
+  duration : float;  (** arrival window, seconds *)
+  op_bytes : int;  (** bytes read per op (also the file size) *)
+  files : int;
+  threads : int;  (** application thread ids cycled for IPC pinning *)
+  dir : string;
+  sla : float;  (** latency bound classifying a completion as good *)
+  write_frac : float;
+      (** fraction of ops that rewrite the file instead of reading it *)
+}
+
+(** 100 ops/s for 10 s, 256 KiB ops over 64 files, 8 threads, 0.5 s
+    SLA, pure reads. *)
+val default_params : params
+
+type result = {
+  offered : int;
+  completed : int;
+  good : int;  (** completed within [sla] *)
+  shed : int;  (** answered [Rejected] without backend work *)
+  failed : int;
+  latency : Stats.t;  (** completion latencies (arrival to return) *)
+  elapsed : float;  (** window plus drain of in-flight ops *)
+  goodput_ops : float;  (** good / duration *)
+}
+
+(** Create the fileset (setup phase; reset metrics afterwards). *)
+val prepopulate : Workload.ctx -> view:Workload.view -> params -> unit
+
+(** Offer load for [duration], then drain and classify every op.  Must
+    run inside a process. *)
+val run : Workload.ctx -> view:Workload.view -> params -> result

@@ -1,0 +1,258 @@
+(* Overload-protection pipeline: token bucket, circuit breaker, deadline
+   propagation through the full stack, load shedding, and the watchdog. *)
+
+open Danaus_sim
+open Danaus
+open Danaus_kernel
+open Danaus_client
+open Danaus_ipc
+open Danaus_qos
+open Danaus_experiments
+
+let mib n = n * 1024 * 1024
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Token bucket *)
+
+let bucket_decisions () =
+  let engine = Engine.create () in
+  let tb = Token_bucket.create engine ~rate:10.0 ~burst:5.0 in
+  let decisions = ref [] in
+  Engine.spawn engine (fun () ->
+      for _ = 1 to 6 do
+        decisions := Token_bucket.try_take tb :: !decisions
+      done;
+      (* 0.5 s at 10 tokens/s refills the burst *)
+      Engine.sleep 0.5;
+      decisions := Token_bucket.try_take tb :: !decisions;
+      Engine.sleep 10.0;
+      (* refill saturates at burst: still only 5 available *)
+      for _ = 1 to 6 do
+        decisions := Token_bucket.try_take tb :: !decisions
+      done);
+  Engine.run engine;
+  List.rev !decisions
+
+let test_token_bucket () =
+  let expect =
+    [
+      true; true; true; true; true; false; (* burst drained *)
+      true; (* refilled *)
+      true; true; true; true; true; false; (* capped at burst *)
+    ]
+  in
+  Alcotest.(check (list bool)) "bucket decisions" expect (bucket_decisions ());
+  (* same engine clock, same calls: decisions are deterministic *)
+  Alcotest.(check (list bool))
+    "bucket determinism" (bucket_decisions ()) (bucket_decisions ())
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker *)
+
+let test_breaker_transitions () =
+  let engine = Engine.create () in
+  let config =
+    { Breaker.failure_threshold = 2; open_for = 1.0; half_open_probes = 1 }
+  in
+  let b = Breaker.create ~config engine ~key:"test" in
+  let states = ref [] in
+  let record () = states := Breaker.state b :: !states in
+  Engine.spawn engine (fun () ->
+      record ();
+      (* two consecutive failures open the breaker *)
+      check_bool "closed admits" true (Breaker.allow b);
+      Breaker.failure b;
+      Breaker.failure b;
+      record ();
+      check_bool "open fast-fails" false (Breaker.allow b);
+      (* after open_for the breaker half-opens and admits one probe *)
+      Engine.sleep 1.1;
+      record ();
+      check_bool "half-open admits probe" true (Breaker.allow b);
+      check_bool "probe budget spent" false (Breaker.allow b);
+      (* a failed probe reopens a fresh window *)
+      Breaker.failure b;
+      record ();
+      check_bool "reopened fast-fails" false (Breaker.allow b);
+      (* a successful probe closes it again *)
+      Engine.sleep 1.1;
+      check_bool "second probe admitted" true (Breaker.allow b);
+      Breaker.success b;
+      record ();
+      check_bool "closed again admits" true (Breaker.allow b));
+  Engine.run engine;
+  Alcotest.(check (list string))
+    "state trajectory"
+    [ "closed"; "open"; "half-open"; "open"; "closed" ]
+    (List.rev_map Breaker.state_to_string !states)
+
+(* ------------------------------------------------------------------ *)
+(* Admission control *)
+
+let test_admission_sheds_and_releases () =
+  let engine = Engine.create () in
+  let obs = Engine.obs engine in
+  let adm =
+    Admission.create engine ~key:"pool0"
+      (Admission.config ~burst:4.0 ~max_inflight:2 ~rate:100.0 ())
+  in
+  Engine.spawn engine (fun () ->
+      check_bool "first admitted" true (Admission.try_admit adm);
+      check_bool "second admitted" true (Admission.try_admit adm);
+      (* in-flight cap reached: shed without burning rate tokens *)
+      check_bool "third shed at inflight cap" false (Admission.try_admit adm);
+      Admission.release adm;
+      check_bool "slot freed" true (Admission.try_admit adm);
+      Admission.release adm;
+      Admission.release adm);
+  Engine.run engine;
+  check_int "inflight drained" 0 (Admission.inflight adm);
+  check_bool "sheds counted" true
+    (Obs.sum_key obs ~layer:"qos" ~name:"shed" ~key:"pool0" () >= 1.0);
+  check_bool "admissions counted" true
+    (Obs.sum_key obs ~layer:"qos" ~name:"admitted" ~key:"pool0" () >= 3.0)
+
+(* ------------------------------------------------------------------ *)
+(* Load shedding at the IPC ring *)
+
+let test_ring_try_enqueue () =
+  let engine = Engine.create () in
+  let r = Ring.create engine ~slots:2 in
+  Engine.spawn engine (fun () ->
+      check_bool "slot 1" true (Ring.try_enqueue r 1);
+      check_bool "slot 2" true (Ring.try_enqueue r 2);
+      check_bool "full ring refuses" false (Ring.try_enqueue r 3);
+      check_int "fifo preserved" 1 (Ring.dequeue r);
+      check_bool "slot freed" true (Ring.try_enqueue r 4));
+  Engine.run engine
+
+(* ------------------------------------------------------------------ *)
+(* Deadline propagation: client entry -> IPC -> service -> striper ->
+   cluster, and the retry layer's refusal to back off past it *)
+
+let test_deadline_propagation () =
+  let tb = Testbed.create ~seed:3 ~activated:4 () in
+  let pool = Testbed.pool tb 0 in
+  let ct =
+    Container_engine.launch tb.Testbed.containers ~config:Config.d ~pool
+      ~id:"dl" ~cache_bytes:(mib 1) ()
+  in
+  let obs = tb.Testbed.obs in
+  let done_ = ref false in
+  Engine.spawn tb.Testbed.engine (fun () ->
+      let iface = ct.Container_engine.view ~thread:1 in
+      let inst = ct.Container_engine.instance in
+      (match inst.Client_intf.open_file ~pool "/dl/f" Client_intf.flags_wo with
+      | Error e -> Alcotest.failf "create: %s" (Client_intf.error_to_string e)
+      | Ok fd ->
+          (match inst.Client_intf.write ~pool fd ~off:0 ~len:(mib 8) with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "write: %s" (Client_intf.error_to_string e));
+          inst.Client_intf.close ~pool fd);
+      (* a cold read under an already-expired deadline must fail fast at
+         the cluster (no backend round trip) and the retry layer must
+         refuse to back off past the deadline *)
+      Engine.sleep 0.5;
+      let t0 = Engine.now tb.Testbed.engine in
+      let r =
+        Engine.with_deadline (Some t0) (fun () ->
+            match iface.Client_intf.open_file ~pool "/dl/f" Client_intf.flags_ro with
+            | Error e -> Error e
+            | Ok fd ->
+                let r = iface.Client_intf.read ~pool fd ~off:0 ~len:(64 * 1024) in
+                iface.Client_intf.close ~pool fd;
+                r)
+      in
+      check_bool "expired deadline fails" true (Result.is_error r);
+      check_bool "fails fast, no retry sleeps"
+        true
+        (Engine.now tb.Testbed.engine -. t0 < 0.5);
+      done_ := true);
+  Testbed.drive tb ~stop:(fun () -> !done_);
+  check_bool "cluster rejected past-deadline I/O" true
+    (Obs.sum obs ~layer:"ceph" ~name:"deadline_rejects" () >= 1.0);
+  check_bool "retry gave up under deadline" true
+    (Obs.sum obs ~layer:"client" ~name:"deadline_giveups" () >= 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog: a wedged pool stack (crashed, no supervised restart) is
+   detected and restarted *)
+
+let test_watchdog_restarts_wedged_pool () =
+  let tb = Testbed.create ~seed:5 ~activated:4 () in
+  let pool = Testbed.pool tb 0 in
+  let ct =
+    Container_engine.launch tb.Testbed.containers ~config:Config.d ~pool
+      ~id:"wd" ()
+  in
+  let obs = tb.Testbed.obs in
+  let service =
+    match
+      Container_engine.service_of tb.Testbed.containers ~pool ~config:Config.d
+    with
+    | Some s -> s
+    | None -> Alcotest.fail "no service for D pool"
+  in
+  let wd =
+    Container_engine.start_watchdog tb.Testbed.containers ~interval:0.1
+      ~grace:0.3 ()
+  in
+  (* wedge the stack: crash without any scheduled restart *)
+  Fs_service.crash service;
+  Testbed.drive tb ~stop:(fun () ->
+      Obs.sum obs ~layer:"core" ~name:"watchdog_restarts" () >= 1.0);
+  check_bool "watchdog restarted the stack" true
+    (Obs.sum_key obs ~layer:"core" ~name:"watchdog_restarts"
+       ~key:(Cgroup.name pool) ()
+    >= 1.0);
+  (* the revived stack serves requests again *)
+  let ok = ref false in
+  Engine.spawn tb.Testbed.engine (fun () ->
+      let iface = ct.Container_engine.view ~thread:1 in
+      (match iface.Client_intf.mkdir_p ~pool "/after-restart" with
+      | Ok () -> ok := true
+      | Error e -> Alcotest.failf "mkdir: %s" (Client_intf.error_to_string e)));
+  Testbed.drive tb ~stop:(fun () -> !ok);
+  Container_engine.stop_watchdog wd;
+  check_bool "post-restart op succeeded" true !ok
+
+(* ------------------------------------------------------------------ *)
+(* The two overload experiments run identically under the parallel
+   registry runner *)
+
+let test_parallel_overload_experiments_identical () =
+  let exps =
+    List.filter
+      (fun e -> List.mem e.Registry.id [ "overload"; "noisy-neighbor" ])
+      Registry.all
+  in
+  check_int "both experiments registered" 2 (List.length exps);
+  let render results =
+    String.concat ""
+      (List.concat_map
+         (fun (e, reports) ->
+           ("# " ^ e.Registry.title ^ "\n") :: List.map Report.render reports)
+         results)
+  in
+  let seq = render (Registry.run_exps ~jobs:1 ~quick:true exps) in
+  let par = render (Registry.run_exps ~jobs:2 ~quick:true exps) in
+  check_bool "output is non-trivial" true (String.length seq > 100);
+  Alcotest.(check string) "parallel output byte-identical" seq par
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "qos",
+      [
+        tc "token bucket decisions and determinism" `Quick test_token_bucket;
+        tc "breaker state machine" `Quick test_breaker_transitions;
+        tc "admission sheds and releases" `Quick test_admission_sheds_and_releases;
+        tc "ring try_enqueue" `Quick test_ring_try_enqueue;
+        tc "deadline propagation through the stack" `Quick test_deadline_propagation;
+        tc "watchdog restarts a wedged pool" `Quick test_watchdog_restarts_wedged_pool;
+        tc "parallel runner identity (overload exps)" `Slow
+          test_parallel_overload_experiments_identical;
+      ] );
+  ]

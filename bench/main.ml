@@ -51,6 +51,56 @@ let run_experiments () =
     jobs
 
 (* ------------------------------------------------------------------ *)
+(* Part 1b: causal-tracing checks.
+
+   First the zero-cost claim: with tracing off (the default), running
+   seqio must produce the same rendered tables as a traced run — span
+   emission must never perturb simulated time — and its wall time is
+   printed next to the traced run's so overhead regressions are visible.
+   Then the attribution tables themselves (the `danaus-cli explain`
+   view) for seqio and overload. *)
+let tracing_checks () =
+  print_endline "";
+  print_endline "==============================================================";
+  print_endline " Causal tracing: overhead check and latency attribution";
+  print_endline "==============================================================";
+  let seed = 1 in
+  let render_all reports =
+    String.concat ""
+      (List.map (fun r -> Danaus_experiments.Report.render r) reports)
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  assert (not !Danaus_sim.Obs.default_tracing);
+  let plain, plain_t =
+    timed (fun () -> Danaus_experiments.Exp_seqio.fig9 ~seed ~quick:true)
+  in
+  Danaus_sim.Obs.default_tracing := true;
+  Danaus_sim.Obs.default_trace_capacity := 1 lsl 20;
+  let traced, traced_t =
+    timed (fun () -> Danaus_experiments.Exp_seqio.fig9 ~seed ~quick:true)
+  in
+  let overload, _ =
+    timed (fun () -> Danaus_experiments.Exp_overload.overload ~seed ~quick:true)
+  in
+  Danaus_sim.Obs.default_tracing := false;
+  if render_all plain <> render_all traced then begin
+    print_endline "FAIL: tracing changed the rendered seqio tables";
+    exit 1
+  end;
+  Printf.printf
+    "seqio tables byte-identical with tracing on/off; wall time %.2fs off, \
+     %.2fs on (%.0f%% overhead)\n%!"
+    plain_t traced_t
+    (if plain_t > 0.0 then 100.0 *. (traced_t -. plain_t) /. plain_t else 0.0);
+  List.iter
+    (fun r -> print_string (Danaus_experiments.Trace_export.render_attribution r))
+    (traced @ overload)
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel microbenchmarks of the simulator substrate *)
 
 open Danaus_sim
@@ -188,4 +238,5 @@ let microbenchmarks () =
 
 let () =
   run_experiments ();
+  tracing_checks ();
   microbenchmarks ()

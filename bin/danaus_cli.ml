@@ -20,6 +20,20 @@ let write_trace file reports =
         (Danaus_experiments.Report.trace_json reports));
   Printf.printf "(trace written to %s)\n" file
 
+let write_chrome file reports =
+  Out_channel.with_open_text file (fun oc ->
+      Out_channel.output_string oc
+        (Danaus_experiments.Trace_export.chrome_json reports));
+  Printf.printf "(chrome trace written to %s; open in Perfetto or \
+                  chrome://tracing)\n"
+    file
+
+let write_timeseries file reports =
+  Out_channel.with_open_text file (fun oc ->
+      Out_channel.output_string oc
+        (Danaus_experiments.Report.timeseries_json reports));
+  Printf.printf "(timeseries written to %s)\n" file
+
 let print_reports ?csv_dir reports =
   List.iter
     (fun r ->
@@ -36,7 +50,8 @@ let print_reports ?csv_dir reports =
           Printf.printf "(csv written to %s)\n" file)
     reports
 
-let run_experiment ?csv_dir ?metrics_file ?trace_file ~quick ~seed ~repeats id =
+let run_experiment ?csv_dir ?metrics_file ?trace_file ?chrome_file
+    ?timeseries_file ~quick ~seed ~repeats id =
   match Danaus_experiments.Registry.find id with
   | None ->
       Printf.eprintf "unknown experiment %S; try `danaus-cli list`\n" id;
@@ -56,6 +71,8 @@ let run_experiment ?csv_dir ?metrics_file ?trace_file ~quick ~seed ~repeats id =
       in
       Option.iter (fun f -> write_metrics f all_reports) metrics_file;
       Option.iter (fun f -> write_trace f all_reports) trace_file;
+      Option.iter (fun f -> write_chrome f all_reports) chrome_file;
+      Option.iter (fun f -> write_timeseries f all_reports) timeseries_file;
       Printf.printf "(completed in %.1fs wall time)\n\n%!"
         (Unix.gettimeofday () -. t0)
 
@@ -96,6 +113,23 @@ let trace_flag =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
 
+let chrome_flag =
+  let doc =
+    "Enable causal span tracing and write a Chrome trace-event JSON \
+     timeline to FILE (one track per simulated core, one per pool) — \
+     open it in Perfetto (ui.perfetto.dev) or chrome://tracing."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "trace-chrome" ] ~doc ~docv:"FILE")
+
+let timeseries_flag =
+  let doc =
+    "Sample every counter and gauge at a fixed simulated period (1 s) \
+     during the measured phase and write the timeseries to FILE as JSON."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "timeseries" ] ~doc ~docv:"FILE")
+
 let seed_flag =
   let doc =
     "Base seed for every stochastic decision of the run (workload arrival \
@@ -117,27 +151,34 @@ let jobs_flag =
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~doc ~docv:"N")
 
-(* Tracing must be decided before any engine exists: engines inherit the
-   default at creation, including inside parallel runner domains. *)
-let apply_trace_default trace_file =
-  if trace_file <> None then Danaus_sim.Obs.default_tracing := true
+(* Tracing and sampling must be decided before any engine exists: engines
+   inherit the defaults at creation, including inside parallel runner
+   domains. *)
+let apply_trace_default ?(chrome_file = None) ?(timeseries_file = None)
+    trace_file =
+  if trace_file <> None || chrome_file <> None then
+    Danaus_sim.Obs.default_tracing := true;
+  if timeseries_file <> None then
+    Danaus_sim.Obs.default_sample_period := Some 1.0
 
 let run_cmd =
   let doc = "Run one experiment by id (e.g. fig6a)" in
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
-  let run quick seed repeats csv_dir metrics_file trace_file id =
-    apply_trace_default trace_file;
-    run_experiment ?csv_dir ?metrics_file ?trace_file ~quick ~seed ~repeats id
+  let run quick seed repeats csv_dir metrics_file trace_file chrome_file
+      timeseries_file id =
+    apply_trace_default ~chrome_file ~timeseries_file trace_file;
+    run_experiment ?csv_dir ?metrics_file ?trace_file ?chrome_file
+      ?timeseries_file ~quick ~seed ~repeats id
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ quick_flag $ seed_flag $ repeats_flag $ csv_dir_flag
-      $ metrics_flag $ trace_flag $ id)
+      $ metrics_flag $ trace_flag $ chrome_flag $ timeseries_flag $ id)
 
 let all_cmd =
   let doc = "Run every experiment (optionally on several domains)" in
-  let run quick seed jobs metrics_file trace_file =
-    apply_trace_default trace_file;
+  let run quick seed jobs metrics_file trace_file chrome_file timeseries_file =
+    apply_trace_default ~chrome_file ~timeseries_file trace_file;
     let t0 = Unix.gettimeofday () in
     let results =
       Danaus_experiments.Registry.run_exps ~jobs ~seed ~quick
@@ -152,13 +193,41 @@ let all_cmd =
     let all_reports = List.concat_map snd results in
     Option.iter (fun f -> write_metrics f all_reports) metrics_file;
     Option.iter (fun f -> write_trace f all_reports) trace_file;
+    Option.iter (fun f -> write_chrome f all_reports) chrome_file;
+    Option.iter (fun f -> write_timeseries f all_reports) timeseries_file;
     Printf.printf "(completed in %.1fs wall time)\n%!"
       (Unix.gettimeofday () -. t0)
   in
   Cmd.v (Cmd.info "all" ~doc)
     Term.(
       const run $ quick_flag $ seed_flag $ jobs_flag $ metrics_flag
-      $ trace_flag)
+      $ trace_flag $ chrome_flag $ timeseries_flag)
+
+let explain_cmd =
+  let doc =
+    "Run one experiment with causal tracing on and print a layer-by-phase \
+     latency attribution table per report (where each traced op's time \
+     went: queueing, locks, service, network, backoff)"
+  in
+  let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
+  let run quick seed id =
+    Danaus_sim.Obs.default_tracing := true;
+    Danaus_sim.Obs.default_trace_capacity := 1 lsl 20;
+    match Danaus_experiments.Registry.find id with
+    | None ->
+        Printf.eprintf "unknown experiment %S; try `danaus-cli list`\n" id;
+        exit 1
+    | Some e ->
+        Printf.printf "# %s\n%!" e.Danaus_experiments.Registry.title;
+        let reports = e.Danaus_experiments.Registry.run ~quick ~seed in
+        print_reports reports;
+        List.iter
+          (fun r ->
+            print_string
+              (Danaus_experiments.Trace_export.render_attribution r))
+          reports
+  in
+  Cmd.v (Cmd.info "explain" ~doc) Term.(const run $ quick_flag $ seed_flag $ id)
 
 let replay_cmd =
   let doc = "Replay an operation trace file against a Table 1 configuration" in
@@ -227,6 +296,6 @@ let main =
      client side of network storage (Middleware '21)"
   in
   Cmd.group (Cmd.info "danaus-cli" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; all_cmd; table1_cmd; replay_cmd ]
+    [ list_cmd; run_cmd; all_cmd; explain_cmd; table1_cmd; replay_cmd ]
 
 let () = exit (Cmd.eval main)

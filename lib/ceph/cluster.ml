@@ -130,7 +130,10 @@ let write_object t ~obj ~bytes =
       | Some m when not (Osd.is_up t.cluster_osds.(primary)) ->
           (* stale map: the op is addressed to a dead primary and times
              out; the client retries until mark-down updates the map *)
+          let start = Engine.now t.engine in
           Engine.sleep m.op_timeout;
+          Trace.emit t.engine ~layer:"ceph" ~name:"op_timeout" ~key:obj
+            ~phase:Backoff ~start ~dur:m.op_timeout;
           Obs.incr m.failed_c;
           Error (No_replica obj)
       | monitor ->
@@ -167,7 +170,10 @@ let read_object t ~obj ~bytes =
       to_server t ~bytes:message_bytes;
       match !(t.monitor) with
       | Some m when not (Osd.is_up t.cluster_osds.(target)) ->
+          let start = Engine.now t.engine in
           Engine.sleep m.op_timeout;
+          Trace.emit t.engine ~layer:"ceph" ~name:"op_timeout" ~key:obj
+            ~phase:Backoff ~start ~dur:m.op_timeout;
           Obs.incr m.failed_c;
           Error (No_replica obj)
       | _ ->

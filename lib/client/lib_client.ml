@@ -176,10 +176,14 @@ let cache_file t ino =
       let off = !cur in
       cur := !cur + bytes;
       let r =
-        Retry.with_retry ~policy:Retry.net_policy ~rng:t.rng ~counters:t.retry
-          ~transient:(fun _ -> true)
-          (fun () ->
-            backend t (fun () -> Cluster.write_range t.cluster ~ino ~off ~len:bytes))
+        Trace.with_span t.engine ~layer:"client" ~name:"flush"
+          ~key:(Cgroup.name t.pool) ~phase:Service (fun () ->
+            Retry.with_retry ~policy:Retry.net_policy ~rng:t.rng
+              ~counters:t.retry
+              ~transient:(fun _ -> true)
+              (fun () ->
+                backend t (fun () ->
+                    Cluster.write_range t.cluster ~ino ~off ~len:bytes)))
       in
       match r with Ok () -> () | Error _ -> Obs.incr t.flush_fail_c)
 
@@ -416,13 +420,15 @@ let read t ~pool:_ fd ~off ~len =
               else 0
             in
             let r =
-              Retry.with_retry ~policy:Retry.net_policy ~rng:t.rng
-                ~counters:t.retry
-                ~transient:(fun _ -> true)
-                (fun () ->
-                  backend t (fun () ->
-                      Cluster.read_range t.cluster ~ino:of_.Fd_table.ino ~off
-                        ~len:(miss + ra)))
+              Trace.with_span t.engine ~layer:"client" ~name:"fetch"
+                ~key:(Cgroup.name t.pool) ~phase:Service (fun () ->
+                  Retry.with_retry ~policy:Retry.net_policy ~rng:t.rng
+                    ~counters:t.retry
+                    ~transient:(fun _ -> true)
+                    (fun () ->
+                      backend t (fun () ->
+                          Cluster.read_range t.cluster ~ino:of_.Fd_table.ino
+                            ~off ~len:(miss + ra))))
             in
             match r with
             | Ok () -> Page_cache.insert_clean file ~off ~len:(len + ra)

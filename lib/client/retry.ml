@@ -28,6 +28,8 @@ let backoff_delay policy ~rng ~attempt =
   d *. (1.0 +. (policy.jitter *. Rng.float rng))
 
 type counters = {
+  rt_obs : Obs.t;
+  rt_key : string;
   retries_c : Obs.counter;
   giveups_c : Obs.counter;
   deadline_giveups_c : Obs.counter;
@@ -35,6 +37,8 @@ type counters = {
 
 let counters obs ~key =
   {
+    rt_obs = obs;
+    rt_key = key;
     retries_c = Obs.counter obs ~layer:"client" ~name:"retries" ~key;
     giveups_c = Obs.counter obs ~layer:"client" ~name:"giveups" ~key;
     deadline_giveups_c =
@@ -61,7 +65,14 @@ let with_retry ?(policy = default) ?deadline ~rng ~counters ~transient f =
             Error e
         | _ ->
             Obs.incr counters.retries_c;
-            Engine.sleep delay;
+            if Obs.tracing counters.rt_obs then begin
+              let engine = Engine.self_engine () in
+              let start = Engine.now engine in
+              Engine.sleep delay;
+              Trace.emit engine ~layer:"client" ~name:"backoff"
+                ~key:counters.rt_key ~phase:Backoff ~start ~dur:delay
+            end
+            else Engine.sleep delay;
             go (attempt + 1))
     | Error e as err ->
         if transient e then Obs.incr counters.giveups_c;

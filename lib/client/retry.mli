@@ -25,6 +25,8 @@ val crash_policy : policy
 val net_policy : policy
 
 type counters = {
+  rt_obs : Obs.t;  (** for the backoff trace span fast-path check *)
+  rt_key : string;
   retries_c : Obs.counter;
   giveups_c : Obs.counter;
   deadline_giveups_c : Obs.counter;

@@ -317,6 +317,47 @@ let admit_wrap adm (inner : Client_intf.t) =
         gate (fun () -> inner.Client_intf.rename ~pool ~src ~dst));
   }
 
+(* Root trace spans around every container-level op: installed outermost,
+   so the whole stack below — admission, retries, kernel, IPC, backend —
+   decomposes under one per-op tree rooted in layer "core".  Only wrapped
+   in when tracing is enabled at launch time, so the traced-off path pays
+   nothing per op. *)
+let trace_wrap engine ~key (inner : Client_intf.t) =
+  let sp name f =
+    Trace.with_span engine ~layer:"core" ~name ~key ~phase:Service f
+  in
+  {
+    inner with
+    Client_intf.open_file =
+      (fun ~pool path flags ->
+        sp "op:open" (fun () -> inner.Client_intf.open_file ~pool path flags));
+    read =
+      (fun ~pool fd ~off ~len ->
+        sp "op:read" (fun () -> inner.Client_intf.read ~pool fd ~off ~len));
+    write =
+      (fun ~pool fd ~off ~len ->
+        sp "op:write" (fun () -> inner.Client_intf.write ~pool fd ~off ~len));
+    append =
+      (fun ~pool fd ~len ->
+        sp "op:append" (fun () -> inner.Client_intf.append ~pool fd ~len));
+    fsync =
+      (fun ~pool fd -> sp "op:fsync" (fun () -> inner.Client_intf.fsync ~pool fd));
+    stat =
+      (fun ~pool path -> sp "op:stat" (fun () -> inner.Client_intf.stat ~pool path));
+    mkdir_p =
+      (fun ~pool path ->
+        sp "op:mkdir_p" (fun () -> inner.Client_intf.mkdir_p ~pool path));
+    readdir =
+      (fun ~pool path ->
+        sp "op:readdir" (fun () -> inner.Client_intf.readdir ~pool path));
+    unlink =
+      (fun ~pool path ->
+        sp "op:unlink" (fun () -> inner.Client_intf.unlink ~pool path));
+    rename =
+      (fun ~pool ~src ~dst ->
+        sp "op:rename" (fun () -> inner.Client_intf.rename ~pool ~src ~dst));
+  }
+
 let launch t ~config ~pool ~id ?image ?(layers = []) ?cache_bytes
     ?(fine_grained_locking = false) ?block_cow ?qos () =
   let cache_bytes =
@@ -372,6 +413,14 @@ let launch t ~config ~pool ~id ?image ?(layers = []) ?cache_bytes
     | None -> fun iface -> iface
     | Some adm -> fun iface -> admit_wrap adm iface
   in
+  (* root per-op spans sit outside even the admission gate, so shed ops
+     still show up as (very short) traced ops *)
+  let tracer =
+    let engine = Kernel.engine t.kernel in
+    if Trace.enabled (Engine.obs engine) then fun iface ->
+      trace_wrap engine ~key:(Cgroup.name pool) iface
+    else fun iface -> iface
+  in
   let view, legacy =
     match shared.sh_service with
     | Some service ->
@@ -379,9 +428,11 @@ let launch t ~config ~pool ~id ?image ?(layers = []) ?cache_bytes
            the service's FUSE mount *)
         Fs_service.add_instance service ~mount_point:("/" ^ id) union;
         ( (fun ~thread ->
-            admit (retry_wrap (Fs_service.view service ~instance:union ~thread))),
-          retry_wrap
-            (Rebase.wrap ~prefix:("/" ^ id) (Fs_service.legacy_iface service)) )
+            tracer
+              (admit (retry_wrap (Fs_service.view service ~instance:union ~thread)))),
+          tracer
+            (retry_wrap
+               (Rebase.wrap ~prefix:("/" ^ id) (Fs_service.legacy_iface service))) )
     | None ->
         let stacked =
           match config.Config.union_transport with
@@ -395,7 +446,7 @@ let launch t ~config ~pool ~id ?image ?(layers = []) ?cache_bytes
                 (Fuse_wrap.wrap t.kernel ~pool ~name:(id ^ ".unionfs-fuse")
                    ~threads:8 union)
         in
-        let stacked = admit (retry_wrap stacked) in
+        let stacked = tracer (admit (retry_wrap stacked)) in
         ((fun ~thread:_ -> stacked), stacked)
   in
   {

@@ -15,7 +15,7 @@ type outcome = {
   lock_avg_wait : float;
   lock_avg_hold : float;
   metrics : Obs.sample list;
-  spans : Obs.span list;
+  spans : Obs.cspan list;
 }
 
 let gib n = n * 1024 * 1024 * 1024
@@ -154,7 +154,7 @@ let run ~seed ~quick ~fls_count ~system ~neighbor =
     lock_avg_wait;
     lock_avg_hold;
     metrics = Obs.snapshot tb.Testbed.obs;
-    spans = Obs.spans tb.Testbed.obs;
+    spans = Obs.cspans tb.Testbed.obs;
   }
 
 let table2 () =
@@ -228,7 +228,13 @@ let interference_figure ~id ~title ~seed ~quick ~systems ~nb ~nb_name ~nb_unit =
         Obs.prefix_keys (label system count neighbor ^ ":") o.metrics)
       outcomes
   in
-  let spans = List.concat_map (fun (_, o) -> o.spans) outcomes in
+  let spans =
+    Danaus_sim.Trace.merge
+      (List.map
+         (fun ((system, count, neighbor), o) ->
+           (label system count neighbor ^ ":", o.spans))
+         outcomes)
+  in
   Report.make ~id ~title
     ~header:
       [
@@ -288,7 +294,12 @@ let fig6c ~seed ~quick =
         Obs.prefix_keys (label system 1 neighbor ^ ":") o.metrics)
       outcomes
   in
-  let spans = List.concat_map (fun (_, o) -> o.spans) outcomes in
+  let spans =
+    Danaus_sim.Trace.merge
+      (List.map
+         (fun ((system, neighbor), o) -> (label system 1 neighbor ^ ":", o.spans))
+         outcomes)
+  in
   [
     Report.make ~id:"fig6c" ~title:"Fileserver x Sysbench latency interference"
       ~header:[ "workload"; "FLS mean latency"; "SSB p99 latency"; "stolen core util %" ]

@@ -22,7 +22,7 @@ type outcome = {
   lock_avg_hold : float;
   metrics : Danaus_sim.Obs.sample list;
       (** full per-layer {!Danaus_sim.Obs} snapshot of the cell's testbed *)
-  spans : Danaus_sim.Obs.span list;  (** trace ring (when tracing) *)
+  spans : Danaus_sim.Obs.cspan list;  (** causal spans (when tracing) *)
 }
 
 (** One cell of the figure.  [seed] (default 1) feeds the testbed's base

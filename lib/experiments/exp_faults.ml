@@ -50,6 +50,7 @@ let client_cell ~seed ~quick ~config ~shape =
     containers;
   Testbed.drive tb ~stop:(fun () -> !warmed = pools_n);
   Testbed.reset_metrics tb;
+  let points = Testbed.start_sampler tb in
   (* the crash lands a few seconds into the measured window, at a
      seed-determined instant *)
   let t0 = Engine.now tb.Testbed.engine in
@@ -84,7 +85,9 @@ let client_cell ~seed ~quick ~config ~shape =
     Array.init pools_n (per_pool "downtime"),
     Array.init pools_n (per_pool "retries"),
     Obs.sum obs ~layer:"core" ~name:"client_crash" (),
-    Obs.snapshot obs )
+    Obs.snapshot obs,
+    Obs.cspans obs,
+    points () )
 
 let fault_client ~seed ~quick =
   let cells =
@@ -102,7 +105,7 @@ let fault_client ~seed ~quick =
   in
   let rows =
     List.map
-      (fun (label, (thr, down, retries, crashes, _)) ->
+      (fun (label, (thr, down, retries, crashes, _, _, _)) ->
         [
           label;
           Report.mbps thr.(0);
@@ -117,7 +120,17 @@ let fault_client ~seed ~quick =
   in
   let metrics =
     List.concat_map
-      (fun (label, (_, _, _, _, m)) -> Obs.prefix_keys (label ^ ":") m)
+      (fun (label, (_, _, _, _, m, _, _)) -> Obs.prefix_keys (label ^ ":") m)
+      outcomes
+  in
+  let spans =
+    Danaus_sim.Trace.merge
+      (List.map (fun (label, (_, _, _, _, _, s, _)) -> (label ^ ":", s)) outcomes)
+  in
+  let timeseries =
+    List.concat_map
+      (fun (label, (_, _, _, _, _, _, ts)) ->
+        Obs.Sampler.prefix_keys (label ^ ":") ts)
       outcomes
   in
   [
@@ -139,7 +152,7 @@ let fault_client ~seed ~quick =
           "D: only pool0's service dies (pool1 downtime 0); K/K and F/F: \
            the shared stack takes both pools down";
         ]
-      ~metrics rows;
+      ~metrics ~spans ~timeseries rows;
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -169,6 +182,7 @@ let osd_cell ~seed ~quick =
       warmed := true);
   Testbed.drive tb ~stop:(fun () -> !warmed);
   Testbed.reset_metrics tb;
+  let points = Testbed.start_sampler tb in
   let t0 = Engine.now tb.Testbed.engine in
   (* phase boundaries: healthy [t0, t0+d), degraded [t0+d, t0+2d) with
      the OSD dying 1 s in, recovering [t0+2d, ...) with the OSD back
@@ -203,10 +217,20 @@ let osd_cell ~seed ~quick =
     ceph "degraded_objects",
     ceph "resync_bytes",
     recovery,
-    Obs.snapshot obs )
+    Obs.snapshot obs,
+    Obs.cspans obs,
+    points () )
 
 let fault_osd ~seed ~quick =
-  let phases, mark_down, failed, degraded, resync, recovery, metrics =
+  let ( phases,
+        mark_down,
+        failed,
+        degraded,
+        resync,
+        recovery,
+        metrics,
+        spans,
+        timeseries ) =
     osd_cell ~seed ~quick
   in
   let rows = List.map (fun (l, t) -> [ l; Report.mbps t ]) phases in
@@ -224,5 +248,5 @@ let fault_osd ~seed ~quick =
            the survivor absorbing writes; recovery completes once the \
            re-sync replays degraded objects onto the returned OSD";
         ]
-      ~metrics rows;
+      ~metrics ~spans ~timeseries rows;
   ]

@@ -63,12 +63,16 @@ let overload_cell ~seed ~quick ~use_qos ~mult =
       warmed := true);
   Testbed.drive tb ~stop:(fun () -> !warmed);
   Testbed.reset_metrics tb;
+  let points = Testbed.start_sampler tb in
   let result = ref None in
   Engine.spawn tb.Testbed.engine (fun () ->
       let ctx = Testbed.ctx tb ~pool ~seed:5200 in
       result := Some (Openload.run ctx ~view:ct.Container_engine.view p));
   Testbed.drive tb ~stop:(fun () -> !result <> None);
-  (Option.get !result, Obs.snapshot tb.Testbed.obs)
+  ( Option.get !result,
+    Obs.snapshot tb.Testbed.obs,
+    Obs.cspans tb.Testbed.obs,
+    points () )
 
 let overload ~seed ~quick =
   let mults = [ 0.5; 1.0; 1.5; 2.0 ] in
@@ -80,7 +84,13 @@ let overload ~seed ~quick =
           [ true; false ])
       mults
   in
-  let get mult use_qos = fst (List.assoc (mult, use_qos) cells) in
+  let get mult use_qos =
+    let r, _, _, _ = List.assoc (mult, use_qos) cells in
+    r
+  in
+  let cell_prefix (mult, use_qos) =
+    Printf.sprintf "%s:x%.1f:" (if use_qos then "qos" else "raw") mult
+  in
   let p99 (r : Openload.result) =
     if Stats.count r.Openload.latency = 0 then 0.0
     else Stats.percentile r.Openload.latency 99.0
@@ -108,10 +118,16 @@ let overload ~seed ~quick =
   let at2 = (get 2.0 true).Openload.goodput_ops in
   let metrics =
     List.concat_map
-      (fun ((mult, use_qos), (_, m)) ->
-        Obs.prefix_keys
-          (Printf.sprintf "%s:x%.1f:" (if use_qos then "qos" else "raw") mult)
-          m)
+      (fun (cell, (_, m, _, _)) -> Obs.prefix_keys (cell_prefix cell) m)
+      cells
+  in
+  let spans =
+    Danaus_sim.Trace.merge
+      (List.map (fun (cell, (_, _, s, _)) -> (cell_prefix cell, s)) cells)
+  in
+  let timeseries =
+    List.concat_map
+      (fun (cell, (_, _, _, ts)) -> Obs.Sampler.prefix_keys (cell_prefix cell) ts)
       cells
   in
   [
@@ -139,7 +155,7 @@ let overload ~seed ~quick =
           "raw (no qos): past the knee the queue grows without bound, every \
            op blows the SLA and goodput collapses";
         ]
-      ~metrics rows;
+      ~metrics ~spans ~timeseries rows;
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -221,6 +237,7 @@ let neighbor_cell ~seed ~quick ~config ~use_qos ~colocated =
       warmed := true);
   Testbed.drive tb ~stop:(fun () -> !warmed);
   Testbed.reset_metrics tb;
+  let points = Testbed.start_sampler tb in
   let victim_r = ref None in
   let aggressor_rs = Array.make aggressor_pools None in
   Engine.spawn tb.Testbed.engine (fun () ->
@@ -246,7 +263,9 @@ let neighbor_cell ~seed ~quick ~config ~use_qos ~colocated =
   in
   ( (Option.get !victim_r).Fileserver.throughput_mbps,
     (if colocated then Some agg else None),
-    Obs.snapshot tb.Testbed.obs )
+    Obs.snapshot tb.Testbed.obs,
+    Obs.cspans tb.Testbed.obs,
+    points () )
 
 let noisy_neighbor ~seed ~quick =
   let cells =
@@ -259,13 +278,13 @@ let noisy_neighbor ~seed ~quick =
   let outcomes =
     List.map
       (fun (label, config, use_qos) ->
-        let iso, _, iso_m =
+        let iso, _, iso_m, iso_s, iso_ts =
           neighbor_cell ~seed ~quick ~config ~use_qos ~colocated:false
         in
-        let colo, agg, colo_m =
+        let colo, agg, colo_m, colo_s, colo_ts =
           neighbor_cell ~seed ~quick ~config ~use_qos ~colocated:true
         in
-        (label, iso, colo, agg, iso_m, colo_m))
+        (label, iso, colo, agg, (iso_m, iso_s, iso_ts), (colo_m, colo_s, colo_ts)))
       cells
   in
   let rows =
@@ -287,9 +306,23 @@ let noisy_neighbor ~seed ~quick =
   in
   let metrics =
     List.concat_map
-      (fun (label, _, _, _, iso_m, colo_m) ->
+      (fun (label, _, _, _, (iso_m, _, _), (colo_m, _, _)) ->
         Obs.prefix_keys (label ^ ":iso:") iso_m
         @ Obs.prefix_keys (label ^ ":colo:") colo_m)
+      outcomes
+  in
+  let spans =
+    Danaus_sim.Trace.merge
+      (List.concat_map
+         (fun (label, _, _, _, (_, iso_s, _), (_, colo_s, _)) ->
+           [ (label ^ ":iso:", iso_s); (label ^ ":colo:", colo_s) ])
+         outcomes)
+  in
+  let timeseries =
+    List.concat_map
+      (fun (label, _, _, _, (_, _, iso_ts), (_, _, colo_ts)) ->
+        Obs.Sampler.prefix_keys (label ^ ":iso:") iso_ts
+        @ Obs.Sampler.prefix_keys (label ^ ":colo:") colo_ts)
       outcomes
   in
   [
@@ -307,5 +340,5 @@ let noisy_neighbor ~seed ~quick =
           "K/K and F/F have no shedding: the aggressor's full offered load \
            lands on the shared stack and the victim pays for it";
         ]
-      ~metrics rows;
+      ~metrics ~spans ~timeseries rows;
   ]

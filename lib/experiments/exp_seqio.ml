@@ -59,7 +59,7 @@ let run_cell ~seed ~quick ~config ~pools ~mode =
       0.0 results
   in
   let io_wait = Obs.sum tb.Testbed.obs ~layer:"kernel" ~name:"io_wait" () in
-  (total, io_wait, Obs.snapshot tb.Testbed.obs, Obs.spans tb.Testbed.obs)
+  (total, io_wait, Obs.snapshot tb.Testbed.obs, Obs.cspans tb.Testbed.obs)
 
 let figure ~seed ~quick ~mode =
   let pool_counts = if quick then [ 1; 8 ] else [ 1; 4; 8; 16; 32 ] in
@@ -91,9 +91,14 @@ let figure ~seed ~quick ~mode =
       cells
   in
   let spans =
-    List.concat_map
-      (fun (_, cells) -> List.concat_map (fun (_, (_, _, _, s)) -> s) cells)
-      cells
+    Danaus_sim.Trace.merge
+      (List.concat_map
+         (fun (pools, cells) ->
+           List.map
+             (fun (c, (_, _, _, s)) ->
+               (Printf.sprintf "%s:p%d:" c.Config.label pools, s))
+             cells)
+         cells)
   in
   (rows, metrics, spans)
 

@@ -40,7 +40,7 @@ let run_cell ~seed ~config ~clones () =
     Obs.sum_key tb.Testbed.obs ~name:"context_switches"
       ~key:(Cgroup.name pool) ()
   in
-  (elapsed, ctx_switches, Obs.snapshot tb.Testbed.obs, Obs.spans tb.Testbed.obs)
+  (elapsed, ctx_switches, Obs.snapshot tb.Testbed.obs, Obs.cspans tb.Testbed.obs)
 
 let fig8 ~seed ~quick =
   let clone_counts = if quick then [ 1; 16; 64 ] else [ 1; 4; 16; 64; 256 ] in
@@ -77,9 +77,14 @@ let fig8 ~seed ~quick =
       cells
   in
   let spans =
-    List.concat_map
-      (fun (_, results) -> List.concat_map (fun (_, _, _, s) -> s) results)
-      cells
+    Danaus_sim.Trace.merge
+      (List.concat_map
+         (fun (clones, results) ->
+           List.map
+             (fun (cfg, (_, _, _, s)) ->
+               (Printf.sprintf "%s:c%d:" cfg.Config.label clones, s))
+             (List.combine configs results))
+         cells)
   in
   let header = "clones" :: List.map (fun c -> c.Config.label) configs in
   [

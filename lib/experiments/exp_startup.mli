@@ -11,4 +11,4 @@ val run_cell :
   config:Danaus.Config.t ->
   clones:int ->
   unit ->
-  float * float * Danaus_sim.Obs.sample list * Danaus_sim.Obs.span list
+  float * float * Danaus_sim.Obs.sample list * Danaus_sim.Obs.cspan list

@@ -7,11 +7,13 @@ type t = {
   rows : string list list;
   notes : string list;
   metrics : Obs.sample list;
-  spans : Obs.span list;
+  spans : Obs.cspan list;
+  timeseries : Obs.Sampler.point list;
 }
 
-let make ~id ~title ~header ?(notes = []) ?(metrics = []) ?(spans = []) rows =
-  { id; title; header; rows; notes; metrics; spans }
+let make ~id ~title ~header ?(notes = []) ?(metrics = []) ?(spans = [])
+    ?(timeseries = []) rows =
+  { id; title; header; rows; notes; metrics; spans; timeseries }
 
 let render t =
   let all = t.header :: t.rows in
@@ -141,15 +143,37 @@ let metrics_csv reports =
     reports;
   Buffer.contents buf
 
-let span_json (sp : Obs.span) =
+(* Legacy flat trace export, derived from the causal spans: same shape
+   as the pre-causal `--trace` output (name carries the key). *)
+let span_json (cs : Obs.cspan) =
+  let flat_name =
+    if String.equal cs.Obs.cs_key "" then cs.Obs.cs_name
+    else cs.Obs.cs_name ^ ":" ^ cs.Obs.cs_key
+  in
   Printf.sprintf "{\"t\":%s,\"layer\":%s,\"name\":%s,\"dur\":%s}"
-    (jnum sp.Obs.sp_at) (jstr sp.Obs.sp_layer) (jstr sp.Obs.sp_name)
-    (jnum sp.Obs.sp_dur)
+    (jnum cs.Obs.cs_start) (jstr cs.Obs.cs_layer) (jstr flat_name)
+    (jnum cs.Obs.cs_dur)
 
 let trace_json reports =
   let report_json t =
     Printf.sprintf "{\"id\":%s,\"spans\":[%s]}" (jstr t.id)
       (String.concat "," (List.map span_json t.spans))
+  in
+  "{\"reports\":[\n"
+  ^ String.concat ",\n" (List.map report_json reports)
+  ^ "\n]}\n"
+
+(* ------------------------------------------------------------------ *)
+(* Timeseries export (Obs.Sampler points): one series per report. *)
+
+let point_json (p : Obs.Sampler.point) =
+  Printf.sprintf "{\"t\":%s,\"samples\":[%s]}" (jnum p.Obs.Sampler.pt_time)
+    (String.concat "," (List.map sample_json p.Obs.Sampler.pt_samples))
+
+let timeseries_json reports =
+  let report_json t =
+    Printf.sprintf "{\"id\":%s,\"points\":[\n%s\n]}" (jstr t.id)
+      (String.concat ",\n" (List.map point_json t.timeseries))
   in
   "{\"reports\":[\n"
   ^ String.concat ",\n" (List.map report_json reports)

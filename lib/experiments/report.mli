@@ -11,12 +11,14 @@ type t = {
   rows : string list list;
   notes : string list;
   metrics : Obs.sample list;  (** per-layer snapshot behind the rows *)
-  spans : Obs.span list;  (** trace ring contents (when tracing) *)
+  spans : Obs.cspan list;  (** causal trace spans (when tracing) *)
+  timeseries : Obs.Sampler.point list;  (** periodic counter/gauge samples *)
 }
 
 val make :
   id:string -> title:string -> header:string list -> ?notes:string list ->
-  ?metrics:Obs.sample list -> ?spans:Obs.span list ->
+  ?metrics:Obs.sample list -> ?spans:Obs.cspan list ->
+  ?timeseries:Obs.Sampler.point list ->
   string list list -> t
 
 (** Render as an aligned text table. *)
@@ -33,8 +35,18 @@ val metrics_json : t list -> string
     ([report,layer,name,key,kind,value,count,mean,p50,p95,p99,max]). *)
 val metrics_csv : t list -> string
 
-(** One JSON document covering the trace [spans] of every report. *)
+(** One JSON document covering the trace [spans] of every report, in the
+    legacy flat span shape (derived from the causal spans). *)
 val trace_json : t list -> string
+
+(** One JSON document covering the sampler [timeseries] of every report. *)
+val timeseries_json : t list -> string
+
+(** JSON atoms shared with other exporters ({!Trace_export}): quoted,
+    escaped string / deterministic compact number. *)
+val jstr : string -> string
+
+val jnum : float -> string
 
 (** Formatting helpers. *)
 val f1 : float -> string

@@ -115,6 +115,23 @@ let reset_metrics t =
   Kernel.reset_lock_stats t.kernel;
   Obs.reset t.obs
 
+(* Periodic counter/gauge sampling for `--timeseries`: a ticking process
+   drives an [Obs.Sampler] every [Obs.default_sample_period] sim-seconds
+   (no process, and no overhead, when the period is unset).  Returns a
+   getter for the points collected so far.  Call after [reset_metrics] so
+   the first tick lands one period into the measured phase. *)
+let start_sampler t =
+  match !Obs.default_sample_period with
+  | None -> fun () -> []
+  | Some period ->
+      let sampler = Obs.Sampler.create t.obs ~period in
+      Engine.spawn t.engine ~name:"obs-sampler" (fun () ->
+          while true do
+            Engine.sleep period;
+            Obs.Sampler.tick sampler ~now:(Engine.now t.engine)
+          done);
+      fun () -> Obs.Sampler.points sampler
+
 let ctx t ~pool ~seed =
   (* derive from the testbed's base seed so that repeated runs with
      different seeds draw independent workload streams (§6.1 repeats) *)

@@ -45,6 +45,13 @@ val drive : ?limit:float -> t -> stop:(unit -> bool) -> unit
     Interned handles survive; only their values are cleared. *)
 val reset_metrics : t -> unit
 
+(** Start a process sampling all counters/gauges every
+    {!Danaus_sim.Obs.default_sample_period} sim-seconds (set by the CLI's
+    [--timeseries]); returns a getter for the points so far.  When no
+    period is configured, spawns nothing and the getter returns [[]].
+    Call after {!reset_metrics}. *)
+val start_sampler : t -> unit -> Danaus_sim.Obs.Sampler.point list
+
 (** A fresh workload context bound to a pool. *)
 val ctx : t -> pool:Cgroup.t -> seed:int -> Danaus_workloads.Workload.ctx
 

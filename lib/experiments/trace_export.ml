@@ -1,0 +1,231 @@
+open Danaus_sim
+
+(* Chrome trace-event ("Perfetto") export and plain-text latency
+   attribution over a report's causal spans.
+
+   Chrome layout:
+   - pid 1 "cores": one thread per simulated core (per report), showing
+     every CPU burst as a complete ("X") event — the flamegraph view of
+     core stealing.
+   - one pid per (report, pool): the per-op trees rooted in layer "core",
+     rendered as nestable async ("b"/"e") events.  Async events are keyed
+     by cat+id (NOT pid), so ids are strings "<report>:<root id>" to stay
+     unique across reports.
+   - one pid per report for "background" trees (flusher work and other
+     spans with no "core" root).
+
+   All ordering is derived from the deterministic span order, so the
+   bytes are identical between `-j 1` and `-j 4` runs. *)
+
+let jstr = Report.jstr
+let jnum = Report.jnum
+
+let is_core_burst (cs : Obs.cspan) =
+  String.equal cs.Obs.cs_layer "hw"
+  &&
+  let key = cs.Obs.cs_key in
+  (* last ':'-separated segment is "core<N>" (merged keys carry a
+     cell prefix like "fig9w:p2:core1") *)
+  let seg =
+    match String.rindex_opt key ':' with
+    | Some i -> String.sub key (i + 1) (String.length key - i - 1)
+    | None -> key
+  in
+  String.length seg > 4
+  && String.equal (String.sub seg 0 4) "core"
+  && String.for_all
+       (fun c -> c >= '0' && c <= '9')
+       (String.sub seg 4 (String.length seg - 4))
+
+let compare_span (a : Obs.cspan) (b : Obs.cspan) =
+  match Float.compare a.Obs.cs_start b.Obs.cs_start with
+  | 0 -> Int.compare a.Obs.cs_id b.Obs.cs_id
+  | c -> c
+
+let args_json (cs : Obs.cspan) =
+  Printf.sprintf "{\"layer\":%s,\"phase\":%s,\"key\":%s}"
+    (jstr cs.Obs.cs_layer)
+    (jstr (Trace.phase_name cs.Obs.cs_phase))
+    (jstr cs.Obs.cs_key)
+
+let chrome_json (reports : Report.t list) =
+  let events = Buffer.create 4096 in
+  let first = ref true in
+  let emit ev =
+    if !first then first := false else Buffer.add_string events ",\n";
+    Buffer.add_string events ev
+  in
+  (* --- pid 1: per-core tracks --------------------------------------- *)
+  emit "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"cores\"}}";
+  let bursts =
+    List.concat_map
+      (fun (r : Report.t) ->
+        List.filter_map
+          (fun cs ->
+            if is_core_burst cs then Some (r.Report.id ^ ":" ^ cs.Obs.cs_key, cs)
+            else None)
+          r.Report.spans)
+      reports
+  in
+  let core_tids = Hashtbl.create 16 in
+  List.iter
+    (fun track ->
+      if not (Hashtbl.mem core_tids track) then begin
+        let tid = Hashtbl.length core_tids + 1 in
+        Hashtbl.add core_tids track tid;
+        emit
+          (Printf.sprintf
+             "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":%s}}"
+             tid (jstr track))
+      end)
+    (List.sort_uniq String.compare (List.map fst bursts));
+  List.iter
+    (fun (track, cs) ->
+      emit
+        (Printf.sprintf
+           "{\"name\":%s,\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"args\":%s}"
+           (jstr cs.Obs.cs_name)
+           (Hashtbl.find core_tids track)
+           (jnum (cs.Obs.cs_start *. 1e6))
+           (jnum (cs.Obs.cs_dur *. 1e6))
+           (args_json cs)))
+    bursts;
+  (* --- per-pool / background pids: op trees as async events ---------- *)
+  let pids = Hashtbl.create 16 in
+  let pid_of name =
+    match Hashtbl.find_opt pids name with
+    | Some p -> p
+    | None ->
+        let p = Hashtbl.length pids + 2 in
+        Hashtbl.add pids name p;
+        emit
+          (Printf.sprintf
+             "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":%s}}"
+             p (jstr name));
+        p
+  in
+  List.iter
+    (fun (r : Report.t) ->
+      let spans = List.filter (fun cs -> cs.Obs.cs_dur >= 0.0) r.Report.spans in
+      let by_id = Hashtbl.create 256 in
+      List.iter (fun cs -> Hashtbl.replace by_id cs.Obs.cs_id cs) spans;
+      let children = Hashtbl.create 256 in
+      List.iter
+        (fun cs ->
+          if cs.Obs.cs_parent <> 0 && Hashtbl.mem by_id cs.Obs.cs_parent then
+            Hashtbl.replace children cs.Obs.cs_parent
+              (cs
+              :: Option.value ~default:[]
+                   (Hashtbl.find_opt children cs.Obs.cs_parent)))
+        spans;
+      let kids id =
+        List.sort compare_span
+          (Option.value ~default:[] (Hashtbl.find_opt children id))
+      in
+      let roots =
+        List.filter
+          (fun cs ->
+            (not (is_core_burst cs))
+            && (cs.Obs.cs_parent = 0 || not (Hashtbl.mem by_id cs.Obs.cs_parent)))
+          spans
+        |> List.sort compare_span
+      in
+      List.iter
+        (fun root ->
+          let pname =
+            if String.equal root.Obs.cs_layer "core" then
+              r.Report.id ^ ":" ^ root.Obs.cs_key
+            else r.Report.id ^ ":background"
+          in
+          let pid = pid_of pname in
+          let id = jstr (r.Report.id ^ ":" ^ string_of_int root.Obs.cs_id) in
+          (* DFS with intervals clamped into the parent window so the
+             b/e events nest cleanly *)
+          let rec walk lo hi cs =
+            let lo = Float.max lo cs.Obs.cs_start
+            and hi = Float.min hi (cs.Obs.cs_start +. cs.Obs.cs_dur) in
+            if lo <= hi && not (is_core_burst cs) then begin
+              emit
+                (Printf.sprintf
+                   "{\"name\":%s,\"cat\":\"op\",\"ph\":\"b\",\"id\":%s,\"pid\":%d,\"tid\":0,\"ts\":%s,\"args\":%s}"
+                   (jstr cs.Obs.cs_name) id pid
+                   (jnum (lo *. 1e6))
+                   (args_json cs));
+              List.iter (walk lo hi) (kids cs.Obs.cs_id);
+              emit
+                (Printf.sprintf
+                   "{\"name\":%s,\"cat\":\"op\",\"ph\":\"e\",\"id\":%s,\"pid\":%d,\"tid\":0,\"ts\":%s}"
+                   (jstr cs.Obs.cs_name) id pid
+                   (jnum (hi *. 1e6)))
+            end
+          in
+          walk root.Obs.cs_start
+            (root.Obs.cs_start +. root.Obs.cs_dur)
+            root)
+        roots)
+    reports;
+  "{\"traceEvents\":[\n" ^ Buffer.contents events ^ "\n]}\n"
+
+(* ------------------------------------------------------------------ *)
+(* Plain-text latency attribution table (`danaus-cli explain`, bench). *)
+
+let render_attribution (r : Report.t) =
+  let att = Trace.attribute r.Report.spans in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "== attribution: %s (%d ops) ==\n" r.Report.id att.Trace.at_ops);
+  if att.Trace.at_ops = 0 then
+    Buffer.add_string buf
+      "no traced ops (run with tracing enabled, e.g. danaus-cli explain)\n"
+  else begin
+    let rows =
+      List.map
+        (fun (row : Trace.attr_row) ->
+          [
+            row.Trace.ar_layer;
+            Trace.phase_name row.Trace.ar_phase;
+            Printf.sprintf "%.3f" row.Trace.ar_total;
+            Printf.sprintf "%.3f" (row.Trace.ar_mean *. 1e3);
+            Printf.sprintf "%.3f" (row.Trace.ar_p99 *. 1e3);
+            Printf.sprintf "%.1f%%" (row.Trace.ar_share *. 100.0);
+          ])
+        att.Trace.at_rows
+    in
+    let header = [ "layer"; "phase"; "total(s)"; "mean(ms)"; "p99(ms)"; "share" ] in
+    let all = header :: rows in
+    let width c =
+      List.fold_left
+        (fun acc row ->
+          match List.nth_opt row c with
+          | Some cell -> Stdlib.max acc (String.length cell)
+          | None -> acc)
+        0 all
+    in
+    let widths = List.init (List.length header) width in
+    let render_row row =
+      String.concat "  "
+        (List.mapi
+           (fun c w ->
+             let cell = Option.value ~default:"" (List.nth_opt row c) in
+             cell ^ String.make (Stdlib.max 0 (w - String.length cell)) ' ')
+           widths)
+      |> String.trim
+    in
+    Buffer.add_string buf (render_row header ^ "\n");
+    Buffer.add_string buf
+      (String.make
+         (List.fold_left ( + ) (2 * (List.length widths - 1)) widths)
+         '-'
+      ^ "\n");
+    List.iter (fun row -> Buffer.add_string buf (render_row row ^ "\n")) rows;
+    Buffer.add_string buf
+      (Printf.sprintf "e2e: mean %.3fms  p99 %.3fms  total %.3fs\n"
+         (att.Trace.at_e2e_mean *. 1e3)
+         (att.Trace.at_e2e_p99 *. 1e3)
+         att.Trace.at_e2e_total);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "per-op phase sums match e2e latency (max residual %.3g s)\n"
+         att.Trace.at_max_residual)
+  end;
+  Buffer.contents buf

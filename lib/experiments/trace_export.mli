@@ -1,0 +1,15 @@
+(** Chrome trace-event (Perfetto) export and plain-text latency
+    attribution over a report's causal spans. *)
+
+(** One trace-event JSON document over every report's spans: pid 1
+    carries one track per simulated core (CPU bursts as complete
+    events); each (report, pool) gets a pid with its op trees as
+    nestable async events; parentless non-"core" trees land in a
+    per-report "background" pid.  Deterministic byte-for-byte given the
+    same reports. *)
+val chrome_json : Report.t list -> string
+
+(** Aligned layer×phase attribution table for one report (see
+    {!Danaus_sim.Trace.attribute}), ending with the e2e summary and the
+    per-op residual check line. *)
+val render_attribution : Report.t -> string

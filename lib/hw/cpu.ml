@@ -16,6 +16,7 @@ type t = {
   mutable queue : waiter list; (* FIFO; head is the oldest *)
   mutable rotor : int; (* rotating start point for idle-core search *)
   busy_handles : (string, Obs.counter) Hashtbl.t; (* tenant -> handle *)
+  core_keys : string array; (* interned "coreN" span keys *)
   queue_g : Obs.gauge;
   queue_peak_g : Obs.gauge;
 }
@@ -32,6 +33,7 @@ let create ?(quantum = 500e-6) engine ~cores =
     queue = [];
     rotor = 0;
     busy_handles = Hashtbl.create 16;
+    core_keys = Array.init cores (Printf.sprintf "core%d");
     queue_g = Obs.gauge obs ~layer:"hw" ~name:"cpu_queue" ~key:"all";
     queue_peak_g = Obs.gauge obs ~layer:"hw" ~name:"cpu_queue_peak" ~key:"all";
   }
@@ -118,9 +120,16 @@ let compute t ~tenant ~eligible seconds =
   let remaining = ref seconds in
   while !remaining > 0.0 do
     let burst = Float.min !remaining t.quantum in
+    let started = Engine.now t.engine in
     let id = acquire t ~eligible in
+    let ran_at = Engine.now t.engine in
+    if ran_at > started then
+      Trace.emit t.engine ~layer:"hw" ~name:"cpu_wait" ~key:tenant
+        ~phase:Queue_wait ~start:started ~dur:(ran_at -. started);
     Engine.sleep burst;
     attribute t t.cores.(id) ~tenant burst;
+    Trace.emit t.engine ~layer:"hw" ~name:tenant ~key:t.core_keys.(id)
+      ~phase:Service ~start:ran_at ~dur:burst;
     release t id;
     remaining := !remaining -. burst
   done
@@ -141,8 +150,11 @@ let compute_background t ~tenant ~eligible ~backoff seconds =
     | Some id ->
         t.cores.(id).busy <- true;
         let burst = Float.min !remaining (t.quantum /. 2.0) in
+        let ran_at = Engine.now t.engine in
         Engine.sleep burst;
         attribute t t.cores.(id) ~tenant burst;
+        Trace.emit t.engine ~layer:"hw" ~name:tenant ~key:t.core_keys.(id)
+          ~phase:Service ~start:ran_at ~dur:burst;
         let displaced =
           List.exists (fun w -> eligible_contains w.eligible id) t.queue
         in

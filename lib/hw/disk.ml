@@ -51,11 +51,14 @@ let service d ~bytes ~random =
     +. (float_of_int bytes /. d.bandwidth))
     *. d.slow
   in
+  let started = Engine.now d.engine in
   Engine.sleep duration;
   d.bytes <- d.bytes +. float_of_int bytes;
   d.busy <- d.busy +. duration;
   Obs.add d.bytes_c (float_of_int bytes);
   Obs.add d.busy_c duration;
+  Trace.emit d.engine ~layer:"hw" ~name:"disk" ~key:d.dev_name ~phase:Service
+    ~start:started ~dur:duration;
   Semaphore_sim.release d.gate
 
 (* Stripe a request across members; members are exercised concurrently

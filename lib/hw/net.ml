@@ -58,9 +58,7 @@ let await_link n =
     Engine.suspend (fun wake -> n.part_waiters <- wake :: n.part_waiters)
   done
 
-let transfer (_ : t) ~src ~dst ~bytes =
-  assert (bytes >= 0);
-  let payload = float_of_int bytes in
+let do_transfer src dst payload =
   await_link src;
   await_link dst;
   (* Serialise out of the sender... *)
@@ -75,5 +73,14 @@ let transfer (_ : t) ~src ~dst ~bytes =
   Semaphore_sim.acquire dst.rx;
   Engine.sleep (payload /. dst.bandwidth *. dst.degrade);
   Semaphore_sim.release dst.rx
+
+let transfer (t : t) ~src ~dst ~bytes =
+  assert (bytes >= 0);
+  let payload = float_of_int bytes in
+  if Trace.enabled (Engine.obs t.engine) then
+    Trace.with_span t.engine ~layer:"hw" ~name:"net"
+      ~key:(src.name ^ ">" ^ dst.name) ~phase:Network (fun () ->
+        do_transfer src dst payload)
+  else do_transfer src dst payload
 
 let bytes_sent n = n.sent

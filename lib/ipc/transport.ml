@@ -2,7 +2,13 @@ open Danaus_sim
 open Danaus_hw
 open Danaus_kernel
 
-type request = { bytes : int; deadline : float option; exec : unit -> unit }
+type request = {
+  bytes : int;
+  deadline : float option;
+  t_parent : int; (* caller's span id; crosses the ring like the deadline *)
+  enq_at : float;
+  exec : unit -> unit;
+}
 
 type queue = {
   q_index : int;
@@ -98,11 +104,18 @@ let spawn_service_thread t q =
         (* the payload stays in the shared request buffer: the service
            reads it in place (the single boundary copy is charged on the
            front-driver side) *)
-        service_cpu t q dispatch_cpu;
-        (* the caller's deadline crosses the ring inside the request
-           descriptor: the handler runs in a different process, so the
-           per-process deadline slot does not travel on its own *)
-        Engine.with_deadline req.deadline req.exec;
+        let engine = Kernel.engine t.kernel in
+        let picked_up = Engine.now engine in
+        (* the caller's deadline and span id cross the ring inside the
+           request descriptor: the handler runs in a different process,
+           so the per-process slots do not travel on their own *)
+        Trace.with_parent req.t_parent (fun () ->
+            if req.t_parent <> 0 && picked_up > req.enq_at then
+              Trace.emit engine ~layer:"ipc" ~name:"ring_wait" ~key:t.name
+                ~phase:Queue_wait ~start:req.enq_at
+                ~dur:(picked_up -. req.enq_at);
+            service_cpu t q dispatch_cpu;
+            Engine.with_deadline req.deadline req.exec);
         t.served <- t.served + 1
       done)
 
@@ -146,8 +159,11 @@ let call ?timeout ?on_timeout ?on_overload t ~thread ~bytes f =
     Cpu.compute (Kernel.cpu t.kernel) ~tenant:(Cgroup.name t.pool) ~eligible:q.q_cores dt
   in
   Obs.incr (pool_counter t "ipc_requests");
-  let started = Engine.now (Kernel.engine t.kernel) in
+  let engine = Kernel.engine t.kernel in
   let deadline = Engine.deadline () in
+  let span =
+    Trace.enter engine ~layer:"ipc" ~name:"ipc_call" ~key:t.name ~phase:Service
+  in
   (* front driver: fill the request buffer and the ring entry *)
   caller_cpu (enqueue_cpu +. (float_of_int bytes *. (Kernel.costs t.kernel).copy_per_byte));
   let cell = ref None in
@@ -166,14 +182,12 @@ let call ?timeout ?on_timeout ?on_overload t ~thread ~bytes f =
     && q.q_threads < t.max_threads_per_queue
   then spawn_service_thread t q;
   let finish v =
-    Obs.span
-      (Kernel.obs t.kernel)
-      ~at:started ~layer:"ipc"
-      ~name:("ipc_call:" ^ t.name)
-      ~dur:(Engine.now (Kernel.engine t.kernel) -. started);
+    Trace.exit engine span;
     v
   in
-  let req = { bytes; deadline; exec } in
+  let req =
+    { bytes; deadline; t_parent = span; enq_at = Engine.now engine; exec }
+  in
   let shed =
     (* with an overload handler, a full ring sheds at the boundary
        instead of wedging the producer *)

@@ -38,21 +38,34 @@ let start t ~threads =
 
 let call t ~caller ~bytes f =
   let k = t.kernel in
+  let engine = Kernel.engine k in
   let costs = Kernel.costs k in
-  let started = Engine.now (Kernel.engine k) in
   Kernel.syscall k ~pool:caller (fun () ->
       Obs.incr
         (Obs.counter (Kernel.obs k) ~layer:"kernel" ~name:"fuse_requests"
            ~key:(Cgroup.name caller));
       Kernel.copy k ~pool:caller ~bytes;
       Kernel.context_switches k ~pool:caller 2;
+      (* The span opens in the caller; the daemon-side work runs in a fuse
+         thread, so the parent id crosses the request queue by value and is
+         restored around the job body. *)
+      let span =
+        Trace.enter engine ~layer:"kernel" ~name:"fuse_call" ~key:t.name
+          ~phase:Service
+      in
+      let queued_at = Engine.now engine in
       let cell = ref None in
       let waiter = ref None in
       let job () =
-        Kernel.context_switches k ~pool:t.pool 2;
-        Kernel.pool_cpu k ~pool:t.pool costs.fuse_dispatch;
-        Kernel.copy k ~pool:t.pool ~bytes;
-        cell := Some (f ());
+        let picked_up = Engine.now engine in
+        Trace.with_parent span (fun () ->
+            if picked_up > queued_at then
+              Trace.emit engine ~layer:"kernel" ~name:"fuse_wait" ~key:t.name
+                ~phase:Queue_wait ~start:queued_at ~dur:(picked_up -. queued_at);
+            Kernel.context_switches k ~pool:t.pool 2;
+            Kernel.pool_cpu k ~pool:t.pool costs.fuse_dispatch;
+            Kernel.copy k ~pool:t.pool ~bytes;
+            cell := Some (f ()));
         t.served <- t.served + 1;
         match !waiter with Some wake -> wake () | None -> ()
       in
@@ -61,9 +74,7 @@ let call t ~caller ~bytes f =
       Obs.set t.queue_g depth;
       Obs.set_max t.queue_peak_g depth;
       let finish v =
-        Obs.span (Kernel.obs k) ~at:started ~layer:"kernel"
-          ~name:("fuse_call:" ^ t.name)
-          ~dur:(Engine.now (Kernel.engine k) -. started);
+        Trace.exit engine span;
         v
       in
       match !cell with

@@ -122,11 +122,14 @@ let copy t ~pool ~bytes =
 let blocking_io t ~pool f =
   context_switches t ~pool 2;
   let started = Engine.now t.engine in
+  let span =
+    Trace.enter t.engine ~layer:"kernel" ~name:"blocking_io"
+      ~key:(Cgroup.name pool) ~phase:Service
+  in
   let r = f () in
+  Trace.exit t.engine span;
   let elapsed = Engine.now t.engine -. started in
   Obs.add (pool_counter t ~name:"io_wait" ~pool) elapsed;
-  Obs.span t.obs ~at:started ~layer:"kernel"
-    ~name:("blocking_io:" ^ Cgroup.name pool) ~dur:elapsed;
   r
 
 (* The writeback machinery mirrors Linux: a coordinator scans the mounts
@@ -160,7 +163,6 @@ let mount_queue t m =
           (fun () ->
             while true do
               let job = Channel.get q in
-              let job_start = Engine.now t.engine in
               Obs.incr t.flusher_runs_c;
               let cores = t.activated in
               let core = cores.(!rotor mod Array.length cores) in
@@ -173,13 +175,15 @@ let mount_queue t m =
               (* the backing I/O itself completes asynchronously *)
               Semaphore_sim.acquire window;
               Engine.fork ~name:("bdi-io:" ^ name) (fun () ->
+                  let span =
+                    Trace.enter t.engine ~layer:"kernel" ~name:"bdi_flush"
+                      ~key:name ~phase:Service
+                  in
                   Page_cache.run_flush job.job_file ~bytes:job.job_bytes;
                   Page_cache.writeback_complete t.page_cache
                     (Page_cache.mount_of job.job_file) ~bytes:job.job_bytes;
                   Obs.add t.bytes_flushed_c (float_of_int job.job_bytes);
-                  Obs.span t.obs ~at:job_start ~layer:"kernel"
-                    ~name:("bdi_flush:" ^ name)
-                    ~dur:(Engine.now t.engine -. job_start);
+                  Trace.exit t.engine span;
                   Semaphore_sim.release window)
             done)
       done;

@@ -16,6 +16,7 @@ type _ Effect.t +=
   | Fork : (string option * (unit -> unit)) -> unit Effect.t
   | Self : (t * string) Effect.t
   | Deadline_slot : float option ref Effect.t
+  | Trace_slot : int ref Effect.t
 
 let compare_events a b =
   let c = Float.compare a.at b.at in
@@ -44,8 +45,12 @@ let schedule t ?(delay = 0.0) run =
    ([with_deadline]).  Children forked from a process inherit the value
    the slot held at fork time, so a deadline stamped at a client entry
    point follows the work across [fork] boundaries (e.g. the striper's
-   per-object fan-out) without any signature changes. *)
-let rec exec t name dl body =
+   per-object fan-out) without any signature changes.
+
+   The trace slot works the same way: it holds the id of the innermost
+   open trace span (0 = none) and is inherited at fork time, so a child
+   process's spans parent under the op that forked it. *)
+let rec exec t name dl tp body =
   let open Effect.Deep in
   match_with body ()
     {
@@ -76,18 +81,20 @@ let rec exec t name dl body =
           | Fork (child_name, f) ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  spawn t ?name:child_name ?deadline:!dl f;
+                  spawn t ?name:child_name ?deadline:!dl ~span_parent:!tp f;
                   continue k ())
           | Self ->
               Some (fun (k : (a, unit) continuation) -> continue k (t, name))
           | Deadline_slot ->
               Some (fun (k : (a, unit) continuation) -> continue k dl)
+          | Trace_slot ->
+              Some (fun (k : (a, unit) continuation) -> continue k tp)
           | _ -> None);
     }
 
-and spawn t ?(name = "proc") ?deadline body =
+and spawn t ?(name = "proc") ?deadline ?(span_parent = 0) body =
   t.live <- t.live + 1;
-  schedule t (fun () -> exec t name (ref deadline) body)
+  schedule t (fun () -> exec t name (ref deadline) (ref span_parent) body)
 
 let run t =
   let rec loop () =
@@ -126,6 +133,11 @@ let yield () = sleep 0.0
 
 let deadline_slot () =
   try Some (Effect.perform Deadline_slot) with Effect.Unhandled _ -> None
+
+let trace_slot () =
+  try Some (Effect.perform Trace_slot) with Effect.Unhandled _ -> None
+
+let trace_parent () = match trace_slot () with Some r -> !r | None -> 0
 
 let deadline () = match deadline_slot () with Some r -> !r | None -> None
 

@@ -34,8 +34,10 @@ val schedule : t -> ?delay:float -> (unit -> unit) -> unit
 (** [spawn t ~name f] creates a process running [f], started at the
     current simulated time.  Exceptions escaping [f] abort the whole
     simulation.  [deadline], if given, seeds the process's deadline slot
-    (see {!deadline}) with an absolute simulated time. *)
-val spawn : t -> ?name:string -> ?deadline:float -> (unit -> unit) -> unit
+    (see {!deadline}) with an absolute simulated time; [span_parent]
+    seeds the trace slot (see {!trace_parent}) with a span id. *)
+val spawn :
+  t -> ?name:string -> ?deadline:float -> ?span_parent:int -> (unit -> unit) -> unit
 
 (** Run until no event remains.
 
@@ -119,3 +121,15 @@ val deadline : unit -> float option
     [with_deadline None f] leaves any surrounding deadline in place.
     Outside a process this is just [f ()]. *)
 val with_deadline : float option -> (unit -> 'a) -> 'a
+
+(** {1 Trace slot}
+
+    Every process carries the id of the innermost open trace span in a
+    per-process slot, inherited at {!fork} time exactly like deadlines.
+    {!Trace} manages the slot; layers never touch it directly. *)
+
+(** The calling process's trace slot, or [None] outside a process. *)
+val trace_slot : unit -> int ref option
+
+(** Current span id in scope (0 = none).  Safe outside a process. *)
+val trace_parent : unit -> int

@@ -48,6 +48,8 @@ let lock t =
     let now = Engine.now t.engine in
     t.total_wait <- t.total_wait +. (now -. started);
     Obs.observe t.wait_h (now -. started);
+    Trace.emit t.engine ~layer:"sim" ~name:"lock" ~key:t.name ~phase:Lock_wait
+      ~start:started ~dur:(now -. started);
     t.acquired_at <- now;
     t.acquisitions <- t.acquisitions + 1
   end

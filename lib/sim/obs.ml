@@ -25,6 +25,19 @@ type sample = { s_layer : string; s_name : string; s_key : string; s_value : val
 
 type span = { sp_at : float; sp_layer : string; sp_name : string; sp_dur : float }
 
+type phase = Queue_wait | Lock_wait | Service | Network | Backoff
+
+type cspan = {
+  cs_id : int;
+  cs_parent : int; (* 0 = no parent *)
+  cs_layer : string;
+  cs_name : string;
+  cs_key : string;
+  cs_phase : phase;
+  cs_start : float;
+  mutable cs_dur : float; (* < 0 while the span is still open *)
+}
+
 type counter = float ref
 type gauge = float ref
 type histogram = Stats.t
@@ -34,9 +47,17 @@ type cell = C of counter | G of gauge | H of histogram
 type t = {
   cells : (string * string * string, cell) Hashtbl.t;
   mutable tracing : bool;
-  mutable trace : span option array; (* bounded ring, overwrites oldest *)
-  mutable trace_next : int;
-  mutable trace_total : int;
+  trace_capacity : int;
+  (* Causal span store: append-only, grown geometrically up to
+     [trace_capacity].  When full, new spans are DROPPED (never the old
+     ones): a surviving child must be able to find its parent, so the
+     store keeps the oldest spans — the opposite of the pre-causal ring.
+     Ids are dense and survive {!reset} ([ctrace_base] advances), so a
+     span opened before a reset can never close a post-reset span. *)
+  mutable ctrace : cspan array;
+  mutable ctrace_len : int;
+  mutable ctrace_base : int; (* ids <= base belong to discarded epochs *)
+  mutable ctrace_dropped : int;
 }
 
 (* Defaults consulted at [create] time: the CLI sets them once at startup
@@ -44,6 +65,19 @@ type t = {
    read them. *)
 let default_tracing = ref false
 let default_trace_capacity = ref 4096
+let default_sample_period : float option ref = ref None
+
+let dummy_cspan =
+  {
+    cs_id = 0;
+    cs_parent = 0;
+    cs_layer = "";
+    cs_name = "";
+    cs_key = "";
+    cs_phase = Service;
+    cs_start = 0.0;
+    cs_dur = 0.0;
+  }
 
 let create ?tracing ?trace_capacity () =
   let tracing = Option.value ~default:!default_tracing tracing in
@@ -53,9 +87,11 @@ let create ?tracing ?trace_capacity () =
   {
     cells = Hashtbl.create 64;
     tracing;
-    trace = Array.make capacity None;
-    trace_next = 0;
-    trace_total = 0;
+    trace_capacity = capacity;
+    ctrace = [||];
+    ctrace_len = 0;
+    ctrace_base = 0;
+    ctrace_dropped = 0;
   }
 
 let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
@@ -171,41 +207,114 @@ let prefix_keys prefix samples =
   List.map (fun s -> { s with s_key = prefix ^ s.s_key }) samples
 
 (* ------------------------------------------------------------------ *)
-(* Trace ring *)
+(* Causal span store *)
 
 let tracing t = t.tracing
 let set_tracing t b = t.tracing <- b
 
-let span t ~at ~layer ~name ~dur =
-  if t.tracing then begin
-    t.trace.(t.trace_next) <- Some { sp_at = at; sp_layer = layer; sp_name = name; sp_dur = dur };
-    t.trace_next <- (t.trace_next + 1) mod Array.length t.trace;
-    t.trace_total <- t.trace_total + 1
+let ctrace_grow t =
+  let cap = Array.length t.ctrace in
+  let cap' = Stdlib.min t.trace_capacity (Stdlib.max 64 (cap * 2)) in
+  let a = Array.make cap' dummy_cspan in
+  Array.blit t.ctrace 0 a 0 t.ctrace_len;
+  t.ctrace <- a
+
+(* Returns the span id, or 0 if tracing is off / the store is full.  Id 0
+   doubles as "no parent", so every consumer treats it as a no-op. *)
+let begin_span t ~at ~parent ~layer ~name ~key ~phase =
+  if not t.tracing then 0
+  else if t.ctrace_len >= t.trace_capacity then begin
+    t.ctrace_dropped <- t.ctrace_dropped + 1;
+    0
+  end
+  else begin
+    if t.ctrace_len >= Array.length t.ctrace then ctrace_grow t;
+    let id = t.ctrace_base + t.ctrace_len + 1 in
+    t.ctrace.(t.ctrace_len) <-
+      {
+        cs_id = id;
+        cs_parent = (if parent > t.ctrace_base then parent else 0);
+        cs_layer = layer;
+        cs_name = name;
+        cs_key = key;
+        cs_phase = phase;
+        cs_start = at;
+        cs_dur = -1.0;
+      };
+    t.ctrace_len <- t.ctrace_len + 1;
+    id
   end
 
-let spans t =
-  let cap = Array.length t.trace in
-  let n = Stdlib.min t.trace_total cap in
-  let start = if t.trace_total <= cap then 0 else t.trace_next in
-  List.init n (fun i ->
-      match t.trace.((start + i) mod cap) with
-      | Some sp -> sp
-      | None -> assert false)
+(* Ids from before the last reset fall at or below [ctrace_base] and are
+   ignored — a long-lived background process may legitimately try to close
+   a span that a reset discarded. *)
+let end_span t ~at id =
+  if id > t.ctrace_base && id <= t.ctrace_base + t.ctrace_len then begin
+    let cs = t.ctrace.(id - t.ctrace_base - 1) in
+    if cs.cs_dur < 0.0 then cs.cs_dur <- at -. cs.cs_start
+  end
 
-let dropped_spans t = Stdlib.max 0 (t.trace_total - Array.length t.trace)
+let emit_span t ~at ~parent ~layer ~name ~key ~phase ~dur =
+  let id = begin_span t ~at ~parent ~layer ~name ~key ~phase in
+  end_span t ~at:(at +. dur) id
+
+let parent_of t id =
+  if id > t.ctrace_base && id <= t.ctrace_base + t.ctrace_len then
+    t.ctrace.(id - t.ctrace_base - 1).cs_parent
+  else 0
+
+let compare_cspan a b =
+  match Float.compare a.cs_start b.cs_start with
+  | 0 -> Int.compare a.cs_id b.cs_id
+  | c -> c
+
+(* Closed spans, sorted by (start, id): completed spans are appended at
+   their END time, so the raw store order is not stable for export. *)
+let cspans t =
+  let acc = ref [] in
+  for i = t.ctrace_len - 1 downto 0 do
+    let cs = t.ctrace.(i) in
+    if cs.cs_dur >= 0.0 then acc := cs :: !acc
+  done;
+  List.stable_sort compare_cspan !acc
+
+(* Legacy flat span view, derived from the causal store (one code path). *)
+let span t ~at ~layer ~name ~dur =
+  emit_span t ~at ~parent:0 ~layer ~name ~key:"" ~phase:Service ~dur
+
+let flat_name cs =
+  if String.equal cs.cs_key "" then cs.cs_name
+  else cs.cs_name ^ ":" ^ cs.cs_key
+
+let spans t =
+  List.map
+    (fun cs ->
+      {
+        sp_at = cs.cs_start;
+        sp_layer = cs.cs_layer;
+        sp_name = flat_name cs;
+        sp_dur = cs.cs_dur;
+      })
+    (cspans t)
+
+let dropped_spans t = t.ctrace_dropped
 
 (* ------------------------------------------------------------------ *)
 
 (* Handles stay valid across a reset: cells are cleared in place, never
-   replaced (experiments reset between the warm-up and measured phase). *)
+   replaced (experiments reset between the warm-up and measured phase).
+   The span store is discarded; [ctrace_base] advances past every id ever
+   handed out so stale end_span calls from surviving processes are inert. *)
 let reset t =
   Hashtbl.iter
     (fun _ cell ->
       match cell with C r | G r -> r := 0.0 | H s -> Stats.clear s)
     t.cells;
-  Array.fill t.trace 0 (Array.length t.trace) None;
-  t.trace_next <- 0;
-  t.trace_total <- 0
+  t.ctrace_base <- t.ctrace_base + t.ctrace_len;
+  t.ctrace_len <- 0;
+  t.ctrace_dropped <- 0;
+  if Array.length t.ctrace > 0 then
+    Array.fill t.ctrace 0 (Array.length t.ctrace) dummy_cspan
 
 let dump t =
   let buf = Buffer.create 256 in
@@ -224,3 +333,48 @@ let dump t =
         (Printf.sprintf "%s/%s[%s] = %s\n" s.s_layer s.s_name s.s_key v))
     (snapshot t);
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Periodic sampler: deterministic timeseries of counters/gauges.
+
+   A driving process calls [tick] on a fixed sim-time period; each tick
+   snapshots every counter and gauge (histograms are excluded — their
+   summaries are not cheap and the timeline figures only need rates and
+   levels).  Points accumulate newest-first and are reversed on read. *)
+
+module Sampler = struct
+  type point = { pt_time : float; pt_samples : sample list }
+
+  type s = { sa_obs : t; sa_period : float; mutable sa_points : point list }
+
+  let create obs ~period =
+    if period <= 0.0 then invalid_arg "Obs.Sampler.create: period <= 0";
+    { sa_obs = obs; sa_period = period; sa_points = [] }
+
+  let period s = s.sa_period
+
+  let tick s ~now =
+    let samples =
+      Hashtbl.fold
+        (fun (l, n, k) cell acc ->
+          match cell with
+          | C r -> { s_layer = l; s_name = n; s_key = k; s_value = Counter !r } :: acc
+          | G r -> { s_layer = l; s_name = n; s_key = k; s_value = Gauge !r } :: acc
+          | H _ -> acc)
+        s.sa_obs.cells []
+      |> List.sort (fun a b ->
+             match String.compare a.s_layer b.s_layer with
+             | 0 -> (
+                 match String.compare a.s_name b.s_name with
+                 | 0 -> String.compare a.s_key b.s_key
+                 | c -> c)
+             | c -> c)
+    in
+    s.sa_points <- { pt_time = now; pt_samples = samples } :: s.sa_points
+
+  let points s = List.rev s.sa_points
+  let clear s = s.sa_points <- []
+
+  let prefix_keys prefix pts =
+    List.map (fun p -> { p with pt_samples = prefix_keys prefix p.pt_samples }) pts
+end

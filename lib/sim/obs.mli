@@ -10,9 +10,11 @@
     "client"), [name] the metric ("lock_wait", "io_wait", ...), [key]
     the instance (tenant/pool, device, lock or mount name).
 
-    An optional bounded trace ring records timestamped span events
-    [{t; layer; name; dur}] when tracing is enabled (the CLI's
-    [--trace]); when full, the oldest spans are overwritten. *)
+    An optional bounded causal span store records per-op spans with
+    ids and parent links when tracing is enabled (the CLI's [--trace] /
+    [--trace-chrome]); when full, NEW spans are dropped so surviving
+    children always find their parents.  The legacy flat span view is
+    derived from the same store. *)
 
 type t
 
@@ -24,6 +26,11 @@ type t
 val default_tracing : bool ref
 
 val default_trace_capacity : int ref
+
+(** Period (sim seconds) for {!Sampler}-based timeseries; [None] (the
+    default) means experiments do not start a sampler.  Set by the CLI's
+    [--timeseries] before any engine exists. *)
+val default_sample_period : float option ref
 
 (** [create ()] makes an empty context.  [tracing] and [trace_capacity]
     default to the refs above. *)
@@ -107,25 +114,116 @@ val prefix_keys : string -> sample list -> sample list
 (** Deterministic plain-text rendering of {!snapshot} (tests, debug). *)
 val dump : t -> string
 
-(** {1 Trace ring} *)
+(** {1 Causal span store}
 
-type span = { sp_at : float; sp_layer : string; sp_name : string; sp_dur : float }
+    Each span has a dense id (> 0), an optional parent id (0 = root) and
+    a phase classifying where the time went.  Emission is zero-cost when
+    tracing is off: {!begin_span} returns 0 and allocates nothing (the
+    backing array is only grown once the first span is recorded). *)
+
+(** What an op was doing for the duration of the span. *)
+type phase = Queue_wait | Lock_wait | Service | Network | Backoff
+
+type cspan = {
+  cs_id : int;
+  cs_parent : int;  (** 0 = root span *)
+  cs_layer : string;
+  cs_name : string;
+  cs_key : string;  (** instance: pool, device, lock, link... *)
+  cs_phase : phase;
+  cs_start : float;
+  mutable cs_dur : float;  (** < 0 while the span is still open *)
+}
 
 val tracing : t -> bool
 val set_tracing : t -> bool -> unit
 
-(** [span t ~at ~layer ~name ~dur] records a span event; no-op unless
-    tracing is enabled. *)
+(** Open a span; returns its id, or 0 when tracing is off or the store
+    is full (new spans are dropped, old ones kept — children must be
+    able to find their parents).  A [parent] from before the last
+    {!reset} is recorded as 0. *)
+val begin_span :
+  t ->
+  at:float ->
+  parent:int ->
+  layer:string ->
+  name:string ->
+  key:string ->
+  phase:phase ->
+  int
+
+(** Close a span.  No-op for id 0, ids from before the last {!reset},
+    and already-closed spans. *)
+val end_span : t -> at:float -> int -> unit
+
+(** Record an already-measured span in one call (parent explicit). *)
+val emit_span :
+  t ->
+  at:float ->
+  parent:int ->
+  layer:string ->
+  name:string ->
+  key:string ->
+  phase:phase ->
+  dur:float ->
+  unit
+
+(** Parent id of a live span; 0 for roots, unknown or stale ids. *)
+val parent_of : t -> int -> int
+
+(** Closed spans sorted by [(cs_start, cs_id)] — a stable, deterministic
+    export order (spans complete in end-time order internally). *)
+val cspans : t -> cspan list
+
+(** Spans dropped because the store was full. *)
+val dropped_spans : t -> int
+
+(** {1 Legacy flat span view}
+
+    Derived from the causal store: one code path, no dual bookkeeping.
+    A causal span appears as a flat span named ["name:key"] (or just
+    ["name"] when the key is empty). *)
+
+type span = { sp_at : float; sp_layer : string; sp_name : string; sp_dur : float }
+
+(** [span t ~at ~layer ~name ~dur] records a parentless [Service] span;
+    no-op unless tracing is enabled. *)
 val span : t -> at:float -> layer:string -> name:string -> dur:float -> unit
 
-(** Recorded spans, oldest first (at most the ring capacity). *)
+(** Flat view of {!cspans}, same order. *)
 val spans : t -> span list
 
-(** Spans lost to ring overwrite. *)
-val dropped_spans : t -> int
+(** {1 Periodic sampler}
+
+    Deterministic timeseries: a driving process calls {!Sampler.tick} on
+    a fixed sim-time period; every tick snapshots all counters and
+    gauges (histograms excluded), sorted by (layer, name, key). *)
+
+module Sampler : sig
+  type point = { pt_time : float; pt_samples : sample list }
+  type s
+
+  (** Raises [Invalid_argument] when [period <= 0]. *)
+  val create : t -> period:float -> s
+
+  val period : s -> float
+  val tick : s -> now:float -> unit
+
+  (** Points in chronological order. *)
+  val points : s -> point list
+
+  val clear : s -> unit
+
+  (** Prefix the key of every sample in every point, mirroring
+      {!Obs.prefix_keys} — used when merging the timeseries of several
+      per-cell testbeds into one report. *)
+  val prefix_keys : string -> point list -> point list
+end
 
 (** {1 Reset} *)
 
-(** Zero every counter/gauge, clear every histogram and the trace ring.
-    Handles remain valid (cells are cleared in place). *)
+(** Zero every counter/gauge, clear every histogram, discard all spans.
+    Handles remain valid (cells are cleared in place); span ids keep
+    advancing so stale {!end_span} calls from surviving processes are
+    ignored. *)
 val reset : t -> unit

@@ -1,5 +1,6 @@
 type t = {
   engine : Engine.t;
+  sem_name : string option;
   mutable permits : int;
   waiting : (unit -> unit) Queue.t;
   wait_h : Obs.histogram option; (* only named semaphores record waits *)
@@ -9,6 +10,7 @@ let create ?name engine ~value =
   assert (value >= 0);
   {
     engine;
+    sem_name = name;
     permits = value;
     waiting = Queue.create ();
     wait_h =
@@ -24,7 +26,12 @@ let acquire t =
     let started = Engine.now t.engine in
     Engine.suspend (fun wake -> Queue.add wake t.waiting);
     match t.wait_h with
-    | Some h -> Obs.observe h (Engine.now t.engine -. started)
+    | Some h ->
+        let now = Engine.now t.engine in
+        Obs.observe h (now -. started);
+        Trace.emit t.engine ~layer:"sim" ~name:"sem"
+          ~key:(Option.value ~default:"" t.sem_name)
+          ~phase:Queue_wait ~start:started ~dur:(now -. started)
     | None -> ()
   end
 

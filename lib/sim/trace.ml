@@ -1,0 +1,256 @@
+(* Causal per-op tracing: scoped spans with parent links, carried across
+   process boundaries by the engine's per-process trace slot (forked
+   children inherit the innermost open span of their parent, mirroring
+   deadline inheritance).  Crossing an explicit queue — the IPC transport,
+   the FUSE channel — requires handing the parent id over in the queued
+   request; those layers use [with_parent] on the service side.
+
+   All entry points are zero-cost when tracing is off: [enter]/[emit]
+   check [Obs.tracing] first and allocate nothing. *)
+
+type phase = Obs.phase = Queue_wait | Lock_wait | Service | Network | Backoff
+type span = Obs.cspan
+
+let phase_name = function
+  | Queue_wait -> "queue_wait"
+  | Lock_wait -> "lock_wait"
+  | Service -> "service"
+  | Network -> "network"
+  | Backoff -> "backoff"
+
+let enabled obs = Obs.tracing obs
+let current () = Engine.trace_parent ()
+
+let enter engine ~layer ~name ~key ~phase =
+  let obs = Engine.obs engine in
+  if not (Obs.tracing obs) then 0
+  else begin
+    let slot = Engine.trace_slot () in
+    let parent = match slot with Some r -> !r | None -> 0 in
+    let id =
+      Obs.begin_span obs ~at:(Engine.now engine) ~parent ~layer ~name ~key ~phase
+    in
+    (match slot with Some r when id <> 0 -> r := id | _ -> ());
+    id
+  end
+
+let exit engine id =
+  if id <> 0 then begin
+    let obs = Engine.obs engine in
+    Obs.end_span obs ~at:(Engine.now engine) id;
+    match Engine.trace_slot () with
+    | Some r when !r = id -> r := Obs.parent_of obs id
+    | _ -> ()
+  end
+
+let with_span engine ~layer ~name ~key ~phase f =
+  let id = enter engine ~layer ~name ~key ~phase in
+  if id = 0 then f () else Fun.protect ~finally:(fun () -> exit engine id) f
+
+let with_parent parent f =
+  match Engine.trace_slot () with
+  | None -> f ()
+  | Some r ->
+      let saved = !r in
+      r := parent;
+      Fun.protect ~finally:(fun () -> r := saved) f
+
+let emit engine ~layer ~name ~key ~phase ~start ~dur =
+  let obs = Engine.obs engine in
+  if Obs.tracing obs then
+    Obs.emit_span obs ~at:start
+      ~parent:(Engine.trace_parent ())
+      ~layer ~name ~key ~phase ~dur
+
+(* ------------------------------------------------------------------ *)
+(* Merging span sets from several single-cell testbeds into one report:
+   ids are offset past the running maximum so they stay unique, and keys
+   get the same prefix the cell's metric snapshot got. *)
+
+let merge sets =
+  let open Obs in
+  let off = ref 0 in
+  List.concat_map
+    (fun (prefix, spans) ->
+      let base = !off in
+      let top = ref base in
+      let shifted =
+        List.map
+          (fun cs ->
+            let id = cs.cs_id + base in
+            if id > !top then top := id;
+            {
+              cs with
+              cs_id = id;
+              cs_parent = (if cs.cs_parent > 0 then cs.cs_parent + base else 0);
+              cs_key = prefix ^ cs.cs_key;
+            })
+          spans
+      in
+      off := !top;
+      shifted)
+    sets
+
+(* ------------------------------------------------------------------ *)
+(* Latency attribution: decompose each root op's end-to-end latency into
+   exclusive (layer, phase) buckets.
+
+   For every root span (layer = [roots_layer], no parent in the set) we
+   sweep its interval: at each elementary sub-interval the time is
+   charged to the DEEPEST active descendant span (ties broken towards
+   the newer span), and uncovered time is charged to the root itself.
+   By construction the buckets of one op sum exactly to its end-to-end
+   duration, which is what `danaus-cli explain` checks. *)
+
+type attr_row = {
+  ar_layer : string;
+  ar_phase : phase;
+  ar_total : float;
+  ar_mean : float;
+  ar_p99 : float;
+  ar_share : float;
+}
+
+type attribution = {
+  at_rows : attr_row list;
+  at_ops : int;
+  at_e2e_total : float;
+  at_e2e_mean : float;
+  at_e2e_p99 : float;
+  at_max_residual : float;
+}
+
+let attribute ?(roots_layer = "core") all_spans =
+  let open Obs in
+  let spans = List.filter (fun cs -> cs.cs_dur >= 0.0) all_spans in
+  let by_id = Hashtbl.create 256 in
+  List.iter (fun cs -> Hashtbl.replace by_id cs.cs_id cs) spans;
+  let children = Hashtbl.create 256 in
+  List.iter
+    (fun cs ->
+      if cs.cs_parent <> 0 && Hashtbl.mem by_id cs.cs_parent then
+        Hashtbl.replace children cs.cs_parent
+          (cs :: (Option.value ~default:[] (Hashtbl.find_opt children cs.cs_parent))))
+    spans;
+  let kids id =
+    (* reverse so children come back in insertion (= id-ish) order *)
+    List.rev (Option.value ~default:[] (Hashtbl.find_opt children id))
+  in
+  let roots =
+    List.filter
+      (fun cs ->
+        String.equal cs.cs_layer roots_layer
+        && (cs.cs_parent = 0 || not (Hashtbl.mem by_id cs.cs_parent)))
+      spans
+  in
+  (* Per-op bucket maps, then fold into per-bucket Stats (absent buckets
+     count as 0 for that op, so means are comparable across ops). *)
+  let bucket_keys = ref [] in
+  let seen_bucket = Hashtbl.create 32 in
+  let note_bucket k =
+    if not (Hashtbl.mem seen_bucket k) then begin
+      Hashtbl.add seen_bucket k ();
+      bucket_keys := k :: !bucket_keys
+    end
+  in
+  let per_op = ref [] in
+  let e2e = Stats.create () in
+  let max_residual = ref 0.0 in
+  List.iter
+    (fun root ->
+      let r0 = root.cs_start and r1 = root.cs_start +. root.cs_dur in
+      (* Collect descendants with depth, clamped into their ancestors. *)
+      let active = ref [] in
+      let rec walk depth lo hi cs =
+        let lo = Float.max lo cs.cs_start
+        and hi = Float.min hi (cs.cs_start +. cs.cs_dur) in
+        if lo < hi then begin
+          active := (depth, lo, hi, cs) :: !active;
+          List.iter (walk (depth + 1) lo hi) (kids cs.cs_id)
+        end
+      in
+      List.iter (walk 1 r0 r1) (kids root.cs_id);
+      let active = !active in
+      (* Boundary sweep over the root interval. *)
+      let points =
+        List.concat_map (fun (_, lo, hi, _) -> [ lo; hi ]) active @ [ r0; r1 ]
+        |> List.sort_uniq Float.compare
+        |> List.filter (fun p -> p >= r0 && p <= r1)
+      in
+      let buckets = Hashtbl.create 16 in
+      let charge layer ph dt =
+        let k = (layer, ph) in
+        note_bucket k;
+        Hashtbl.replace buckets k
+          (dt +. Option.value ~default:0.0 (Hashtbl.find_opt buckets k))
+      in
+      let rec sweep = function
+        | p0 :: (p1 :: _ as rest) ->
+            let dt = p1 -. p0 in
+            if dt > 0.0 then begin
+              let best = ref None in
+              List.iter
+                (fun (depth, lo, hi, cs) ->
+                  if lo <= p0 && p1 <= hi then
+                    match !best with
+                    | Some (d, c)
+                      when d > depth || (d = depth && c.cs_id >= cs.cs_id) ->
+                        ()
+                    | _ -> best := Some (depth, cs))
+                active;
+              match !best with
+              | Some (_, cs) -> charge cs.cs_layer cs.cs_phase dt
+              | None -> charge root.cs_layer root.cs_phase dt
+            end;
+            sweep rest
+        | _ -> ()
+      in
+      sweep points;
+      let attributed = Hashtbl.fold (fun _ v acc -> acc +. v) buckets 0.0 in
+      let res = Float.abs (root.cs_dur -. attributed) in
+      if res > !max_residual then max_residual := res;
+      Stats.add e2e root.cs_dur;
+      per_op := buckets :: !per_op)
+    roots;
+  let bucket_keys =
+    List.sort
+      (fun (l1, p1) (l2, p2) ->
+        match String.compare l1 l2 with
+        | 0 -> String.compare (phase_name p1) (phase_name p2)
+        | c -> c)
+      !bucket_keys
+  in
+  let e2e_total = Stats.total e2e in
+  let rows =
+    List.map
+      (fun ((layer, ph) as k) ->
+        let st = Stats.create () in
+        List.iter
+          (fun buckets ->
+            Stats.add st (Option.value ~default:0.0 (Hashtbl.find_opt buckets k)))
+          !per_op;
+        {
+          ar_layer = layer;
+          ar_phase = ph;
+          ar_total = Stats.total st;
+          ar_mean = Stats.mean st;
+          ar_p99 = Stats.percentile st 99.0;
+          ar_share = (if e2e_total > 0.0 then Stats.total st /. e2e_total else 0.0);
+        })
+      bucket_keys
+    |> List.sort (fun a b ->
+           match Float.compare b.ar_total a.ar_total with
+           | 0 -> (
+               match String.compare a.ar_layer b.ar_layer with
+               | 0 -> String.compare (phase_name a.ar_phase) (phase_name b.ar_phase)
+               | c -> c)
+           | c -> c)
+  in
+  {
+    at_rows = rows;
+    at_ops = List.length roots;
+    at_e2e_total = e2e_total;
+    at_e2e_mean = Stats.mean e2e;
+    at_e2e_p99 = Stats.percentile e2e 99.0;
+    at_max_residual = !max_residual;
+  }

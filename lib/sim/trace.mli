@@ -1,0 +1,89 @@
+(** Causal per-op tracing over {!Obs}'s span store.
+
+    A span is opened with {!enter} (or scoped with {!with_span}); while
+    it is open, its id sits in the calling process's trace slot, so
+    nested spans and forked children parent under it automatically.
+    Crossing an explicit queue (IPC transport, FUSE channel) hands the
+    parent id over inside the queued request and restores it with
+    {!with_parent} on the service side.
+
+    Every entry point is zero-cost when tracing is disabled. *)
+
+type phase = Obs.phase = Queue_wait | Lock_wait | Service | Network | Backoff
+type span = Obs.cspan
+
+(** Stable lowercase name of a phase ("queue_wait", ...). *)
+val phase_name : phase -> string
+
+val enabled : Obs.t -> bool
+
+(** Innermost open span id of the calling process (0 = none). *)
+val current : unit -> int
+
+(** Open a span parented under the current one; returns its id (0 when
+    tracing is off or the store is full) and makes it current. *)
+val enter :
+  Engine.t -> layer:string -> name:string -> key:string -> phase:phase -> int
+
+(** Close a span and restore its parent as current.  No-op for id 0. *)
+val exit : Engine.t -> int -> unit
+
+(** [with_span e ~layer ~name ~key ~phase f] scopes [f] in a span,
+    closed even if [f] raises. *)
+val with_span :
+  Engine.t ->
+  layer:string ->
+  name:string ->
+  key:string ->
+  phase:phase ->
+  (unit -> 'a) ->
+  'a
+
+(** [with_parent p f] runs [f] with the trace slot set to [p] (a span id
+    carried across a queue), restoring the previous value afterwards. *)
+val with_parent : int -> (unit -> 'a) -> 'a
+
+(** Record an already-measured span (e.g. a wait that was timed anyway)
+    parented under the current span.  No-op when tracing is off. *)
+val emit :
+  Engine.t ->
+  layer:string ->
+  name:string ->
+  key:string ->
+  phase:phase ->
+  start:float ->
+  dur:float ->
+  unit
+
+(** [merge [(prefix, spans); ...]] combines span sets from several
+    engines: ids are offset to stay unique and every key gets its set's
+    [prefix] (matching {!Obs.prefix_keys} on the metric side). *)
+val merge : (string * span list) list -> span list
+
+(** {1 Latency attribution} *)
+
+type attr_row = {
+  ar_layer : string;
+  ar_phase : phase;
+  ar_total : float;  (** summed exclusive time across ops *)
+  ar_mean : float;  (** mean exclusive time per op (0-padded) *)
+  ar_p99 : float;
+  ar_share : float;  (** fraction of summed end-to-end time *)
+}
+
+type attribution = {
+  at_rows : attr_row list;  (** sorted by total, descending *)
+  at_ops : int;
+  at_e2e_total : float;
+  at_e2e_mean : float;
+  at_e2e_p99 : float;
+  at_max_residual : float;
+      (** worst per-op |e2e - sum of buckets|; ~0 up to float error *)
+}
+
+(** [attribute spans] decomposes every root op (a span in [roots_layer],
+    default ["core"], with no parent in the set) into exclusive
+    (layer, phase) buckets: each instant of the op is charged to the
+    deepest active descendant span, uncovered time to the root itself,
+    so per-op buckets sum to end-to-end latency by construction. *)
+val attribute : ?roots_layer:string -> span list -> attribution

@@ -385,11 +385,13 @@ let test_obs_trace_ring () =
     Obs.span o ~at:(float_of_int i) ~layer:"kernel" ~name:"flush" ~dur:0.5
   done;
   let spans = Obs.spans o in
-  check_int "bounded ring" 3 (List.length spans);
+  check_int "bounded store" 3 (List.length spans);
   check_int "dropped count" 2 (Obs.dropped_spans o);
+  (* keep-oldest: new spans are dropped when full, so surviving causal
+     children always find their parents *)
   (match spans with
-  | first :: _ -> check_float "oldest survivor" 3.0 first.Obs.sp_at
-  | [] -> Alcotest.fail "empty ring");
+  | first :: _ -> check_float "oldest survivor" 1.0 first.Obs.sp_at
+  | [] -> Alcotest.fail "empty store");
   let quiet = Obs.create () in
   Obs.span quiet ~at:1.0 ~layer:"kernel" ~name:"flush" ~dur:0.5;
   check_int "no-op when tracing off" 0 (List.length (Obs.spans quiet))

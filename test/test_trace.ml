@@ -1,0 +1,414 @@
+(* Tests for the causal tracing subsystem: span primitives and slot
+   inheritance, end-to-end causality through the D/K/F client stacks,
+   latency attribution (phase sums equal e2e), determinism (repeats and
+   the parallel runner), the Chrome trace export and the sampler. *)
+
+open Danaus_sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+module Etb = Danaus_experiments.Testbed
+
+(* ------------------------------------------------------------------ *)
+(* Primitives *)
+
+let test_span_nesting_and_parents () =
+  let engine = Engine.create () in
+  let obs = Engine.obs engine in
+  Obs.set_tracing obs true;
+  Engine.spawn engine (fun () ->
+      Trace.with_span engine ~layer:"core" ~name:"op" ~key:"k" ~phase:Trace.Service
+        (fun () ->
+          Engine.sleep 1.0;
+          Trace.with_span engine ~layer:"ipc" ~name:"call" ~key:"k"
+            ~phase:Trace.Service (fun () -> Engine.sleep 2.0);
+          Engine.sleep 1.0));
+  Engine.run engine;
+  match Obs.cspans obs with
+  | [ root; child ] ->
+      check_str "root layer" "core" root.Obs.cs_layer;
+      check_int "root is parentless" 0 root.Obs.cs_parent;
+      check_int "child parents under root" root.Obs.cs_id child.Obs.cs_parent;
+      Alcotest.(check (float 1e-9)) "root dur" 4.0 root.Obs.cs_dur;
+      Alcotest.(check (float 1e-9)) "child dur" 2.0 child.Obs.cs_dur;
+      Alcotest.(check (float 1e-9)) "child start" 1.0 child.Obs.cs_start
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_fork_inherits_current_span () =
+  let engine = Engine.create () in
+  let obs = Engine.obs engine in
+  Obs.set_tracing obs true;
+  Engine.spawn engine (fun () ->
+      Trace.with_span engine ~layer:"core" ~name:"op" ~key:"" ~phase:Trace.Service
+        (fun () ->
+          Engine.fork (fun () ->
+              Trace.with_span engine ~layer:"kernel" ~name:"bdi_flush" ~key:""
+                ~phase:Trace.Service (fun () -> Engine.sleep 0.5));
+          Engine.sleep 1.0));
+  Engine.run engine;
+  match Obs.cspans obs with
+  | [ root; child ] ->
+      check_str "forked child layer" "kernel" child.Obs.cs_layer;
+      check_int "forked child parents under forker's span" root.Obs.cs_id
+        child.Obs.cs_parent
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_queue_handoff_with_parent () =
+  (* the IPC pattern: the caller's span id travels inside the queued
+     request and the service side restores it with [with_parent] *)
+  let engine = Engine.create () in
+  let obs = Engine.obs engine in
+  Obs.set_tracing obs true;
+  let handed = ref 0 in
+  Engine.spawn engine (fun () ->
+      let id =
+        Trace.enter engine ~layer:"core" ~name:"op" ~key:"" ~phase:Trace.Service
+      in
+      handed := id;
+      Engine.sleep 2.0;
+      Trace.exit engine id);
+  Engine.spawn engine (fun () ->
+      Engine.sleep 1.0;
+      Trace.with_parent !handed (fun () ->
+          Trace.emit engine ~layer:"ipc" ~name:"ring_wait" ~key:""
+            ~phase:Trace.Queue_wait ~start:0.5 ~dur:0.5));
+  Engine.run engine;
+  match Obs.cspans obs with
+  | [ a; b ] ->
+      let root, child = if a.Obs.cs_parent = 0 then (a, b) else (b, a) in
+      check_int "queued span parents under the caller" root.Obs.cs_id
+        child.Obs.cs_parent;
+      check_bool "queue_wait phase" true (child.Obs.cs_phase = Obs.Queue_wait)
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_disabled_is_inert () =
+  let engine = Engine.create () in
+  let obs = Engine.obs engine in
+  Engine.spawn engine (fun () ->
+      let id =
+        Trace.enter engine ~layer:"core" ~name:"op" ~key:"" ~phase:Trace.Service
+      in
+      check_int "enter returns 0 when off" 0 id;
+      Trace.exit engine id;
+      Trace.emit engine ~layer:"hw" ~name:"net" ~key:"" ~phase:Trace.Network
+        ~start:0.0 ~dur:1.0);
+  Engine.run engine;
+  check_int "no spans recorded" 0 (List.length (Obs.cspans obs))
+
+let test_merge_offsets_ids () =
+  let mk () =
+    let o = Obs.create ~tracing:true () in
+    let p =
+      Obs.begin_span o ~at:0.0 ~parent:0 ~layer:"core" ~name:"op" ~key:"k"
+        ~phase:Obs.Service
+    in
+    ignore
+      (Obs.begin_span o ~at:0.5 ~parent:p ~layer:"ipc" ~name:"c" ~key:"k"
+         ~phase:Obs.Service);
+    List.iter (fun id -> Obs.end_span o ~at:1.0 id) [ p + 1; p ];
+    Obs.cspans o
+  in
+  let merged = Trace.merge [ ("a:", mk ()); ("b:", mk ()) ] in
+  check_int "all spans survive" 4 (List.length merged);
+  let ids = List.map (fun s -> s.Obs.cs_id) merged in
+  check_int "ids unique" 4 (List.length (List.sort_uniq Int.compare ids));
+  List.iter
+    (fun s ->
+      if s.Obs.cs_parent <> 0 then
+        check_bool "parent resolves inside the merged set" true
+          (List.exists (fun p -> p.Obs.cs_id = s.Obs.cs_parent) merged))
+    merged;
+  check_bool "keys prefixed" true
+    (List.for_all
+       (fun s ->
+         Astring.String.is_prefix ~affix:"a:" s.Obs.cs_key
+         || Astring.String.is_prefix ~affix:"b:" s.Obs.cs_key)
+       merged)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end causality through the client stacks *)
+
+(* One 8 MiB write + fsync through a launched container, traced. *)
+let traced_write_spans ~config =
+  Obs.default_tracing := true;
+  Fun.protect
+    ~finally:(fun () -> Obs.default_tracing := false)
+    (fun () ->
+      let tb = Etb.create ~seed:7 ~activated:4 () in
+      let pool = Etb.pool tb 0 in
+      let ct =
+        Danaus.Container_engine.launch tb.Etb.containers ~config ~pool ~id:"tr"
+          ~cache_bytes:(4 * 1024 * 1024) ()
+      in
+      let done_ = ref false in
+      Engine.spawn tb.Etb.engine (fun () ->
+          let iface = ct.Danaus.Container_engine.view ~thread:0 in
+          Testbed.write_file iface ~pool "/trace-me" (8 * 1024 * 1024);
+          done_ := true);
+      Etb.drive tb ~stop:(fun () -> !done_);
+      Obs.cspans tb.Etb.obs)
+
+let descendants spans root =
+  let rec grow acc =
+    let acc' =
+      List.filter
+        (fun s ->
+          s.Obs.cs_parent <> 0
+          && (not (List.memq s acc))
+          && List.exists (fun a -> a.Obs.cs_id = s.Obs.cs_parent) (root :: acc))
+        spans
+      @ acc
+    in
+    if List.length acc' = List.length acc then acc else grow acc'
+  in
+  grow []
+
+let check_write_causality ~config ~expect_layer =
+  let spans = traced_write_spans ~config in
+  check_bool "spans were recorded" true (spans <> []);
+  (* every parent link resolves *)
+  List.iter
+    (fun s ->
+      if s.Obs.cs_parent <> 0 then
+        check_bool "parent link resolves" true
+          (List.exists (fun p -> p.Obs.cs_id = s.Obs.cs_parent) spans))
+    spans;
+  let roots =
+    List.filter
+      (fun s -> s.Obs.cs_layer = "core" && s.Obs.cs_parent = 0)
+      spans
+  in
+  check_bool "core roots exist" true (roots <> []);
+  let writes =
+    List.filter (fun (s : Obs.cspan) -> s.Obs.cs_name = "op:write") roots
+  in
+  check_bool "op:write roots exist" true (writes <> []);
+  (* the op's time decomposes into per-layer work: some write or fsync
+     root must reach the configuration's transport layer and the
+     hardware below it *)
+  let interesting =
+    List.filter
+      (fun (s : Obs.cspan) ->
+        s.Obs.cs_name = "op:write" || s.Obs.cs_name = "op:fsync")
+      roots
+  in
+  let reaches layer =
+    List.exists
+      (fun r ->
+        List.exists (fun d -> d.Obs.cs_layer = layer) (descendants spans r))
+      interesting
+  in
+  check_bool (expect_layer ^ " layer reached") true (reaches expect_layer);
+  check_bool "hw layer reached" true (reaches "hw")
+
+let test_write_causality_d () =
+  check_write_causality ~config:Danaus.Config.d ~expect_layer:"ipc"
+
+let test_write_causality_k () =
+  check_write_causality ~config:Danaus.Config.k ~expect_layer:"kernel"
+
+let test_write_causality_f () =
+  check_write_causality ~config:Danaus.Config.f ~expect_layer:"kernel"
+
+(* ------------------------------------------------------------------ *)
+(* Attribution *)
+
+let test_attribution_sums_to_e2e () =
+  let spans = traced_write_spans ~config:Danaus.Config.d in
+  let a = Trace.attribute spans in
+  check_bool "ops attributed" true (a.Trace.at_ops > 0);
+  check_bool "rows present" true (a.Trace.at_rows <> []);
+  check_bool
+    (Printf.sprintf "phase sums match e2e (residual %g)" a.Trace.at_max_residual)
+    true
+    (a.Trace.at_max_residual < 1e-9);
+  let share = List.fold_left (fun s r -> s +. r.Trace.ar_share) 0.0 a.Trace.at_rows in
+  check_bool "shares sum to 1" true (Float.abs (share -. 1.0) < 1e-6);
+  check_bool "e2e total positive" true (a.Trace.at_e2e_total > 0.0)
+
+let test_attribution_empty () =
+  let a = Trace.attribute [] in
+  check_int "no ops" 0 a.Trace.at_ops;
+  check_bool "no rows" true (a.Trace.at_rows = [])
+
+(* ------------------------------------------------------------------ *)
+(* Determinism *)
+
+let test_traced_run_deterministic () =
+  let a = traced_write_spans ~config:Danaus.Config.d in
+  let b = traced_write_spans ~config:Danaus.Config.d in
+  check_int "same span count" (List.length a) (List.length b);
+  List.iter2
+    (fun (x : Obs.cspan) (y : Obs.cspan) ->
+      check_bool "identical spans across repeats" true
+        (x.Obs.cs_id = y.Obs.cs_id
+        && x.Obs.cs_parent = y.Obs.cs_parent
+        && x.Obs.cs_layer = y.Obs.cs_layer
+        && x.Obs.cs_name = y.Obs.cs_name
+        && x.Obs.cs_key = y.Obs.cs_key
+        && x.Obs.cs_phase = y.Obs.cs_phase
+        && x.Obs.cs_start = y.Obs.cs_start
+        && x.Obs.cs_dur = y.Obs.cs_dur))
+    a b
+
+let test_parallel_runner_byte_identity () =
+  (* the full CLI artifact path: chrome trace + timeseries JSON must be
+     byte-identical whether the registry runs on 1 domain or 4 *)
+  Obs.default_tracing := true;
+  Obs.default_sample_period := Some 1.0;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.default_tracing := false;
+      Obs.default_sample_period := None)
+    (fun () ->
+      let exps =
+        List.filter_map Danaus_experiments.Registry.find [ "tab2"; "fault-osd" ]
+      in
+      check_int "experiments found" 2 (List.length exps);
+      let artifacts ~jobs =
+        let results =
+          Danaus_experiments.Registry.run_exps ~jobs ~seed:7 ~quick:true exps
+        in
+        let reports = List.concat_map snd results in
+        ( Danaus_experiments.Trace_export.chrome_json reports,
+          Danaus_experiments.Report.timeseries_json reports )
+      in
+      let c1, t1 = artifacts ~jobs:1 in
+      let c4, t4 = artifacts ~jobs:4 in
+      check_bool "chrome trace byte-identical across jobs" true (c1 = c4);
+      check_bool "timeseries byte-identical across jobs" true (t1 = t4);
+      check_bool "chrome trace non-trivial" true (String.length c1 > 200);
+      check_bool "timeseries non-trivial" true (String.length t1 > 50))
+
+(* ------------------------------------------------------------------ *)
+(* Chrome export golden *)
+
+let test_chrome_export_golden () =
+  let o = Obs.create ~tracing:true () in
+  let root =
+    Obs.begin_span o ~at:1.0 ~parent:0 ~layer:"core" ~name:"op:write"
+      ~key:"pool0" ~phase:Obs.Service
+  in
+  Obs.emit_span o ~at:1.25 ~parent:root ~layer:"ipc" ~name:"ipc_call"
+    ~key:"pool0" ~phase:Obs.Service ~dur:0.5;
+  Obs.emit_span o ~at:1.3 ~parent:root ~layer:"hw" ~name:"pool0"
+    ~key:"core0" ~phase:Obs.Service ~dur:0.1;
+  Obs.end_span o ~at:2.0 root;
+  let report =
+    Danaus_experiments.Report.make ~id:"g" ~title:"golden"
+      ~header:[ "a" ] ~spans:(Obs.cspans o)
+      [ [ "1" ] ]
+  in
+  let got = Danaus_experiments.Trace_export.chrome_json [ report ] in
+  let expected =
+    "{\"traceEvents\":[\n\
+     {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"cores\"}},\n\
+     {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"g:core0\"}},\n\
+     {\"name\":\"pool0\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":1300000,\"dur\":100000,\"args\":{\"layer\":\"hw\",\"phase\":\"service\",\"key\":\"core0\"}},\n\
+     {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"args\":{\"name\":\"g:pool0\"}},\n\
+     {\"name\":\"op:write\",\"cat\":\"op\",\"ph\":\"b\",\"id\":\"g:1\",\"pid\":2,\"tid\":0,\"ts\":1000000,\"args\":{\"layer\":\"core\",\"phase\":\"service\",\"key\":\"pool0\"}},\n\
+     {\"name\":\"ipc_call\",\"cat\":\"op\",\"ph\":\"b\",\"id\":\"g:1\",\"pid\":2,\"tid\":0,\"ts\":1250000,\"args\":{\"layer\":\"ipc\",\"phase\":\"service\",\"key\":\"pool0\"}},\n\
+     {\"name\":\"ipc_call\",\"cat\":\"op\",\"ph\":\"e\",\"id\":\"g:1\",\"pid\":2,\"tid\":0,\"ts\":1750000},\n\
+     {\"name\":\"op:write\",\"cat\":\"op\",\"ph\":\"e\",\"id\":\"g:1\",\"pid\":2,\"tid\":0,\"ts\":2000000}\n\
+     ]}\n"
+  in
+  check_str "golden chrome JSON" expected got
+
+(* ------------------------------------------------------------------ *)
+(* Sampler *)
+
+let test_sampler_ticks () =
+  let o = Obs.create () in
+  let c = Obs.counter o ~layer:"hw" ~name:"ops" ~key:"b" in
+  let c2 = Obs.counter o ~layer:"hw" ~name:"ops" ~key:"a" in
+  let g = Obs.gauge o ~layer:"kernel" ~name:"dirty" ~key:"" in
+  let h = Obs.histogram o ~layer:"sim" ~name:"wait" ~key:"" in
+  Obs.observe h 1.0;
+  let s = Obs.Sampler.create o ~period:0.5 in
+  Obs.add c 3.0;
+  Obs.set g 7.0;
+  Obs.Sampler.tick s ~now:0.5;
+  Obs.add c 1.0;
+  Obs.incr c2;
+  Obs.Sampler.tick s ~now:1.0;
+  (match Obs.Sampler.points s with
+  | [ p1; p2 ] ->
+      Alcotest.(check (float 0.0)) "first tick time" 0.5 p1.Obs.Sampler.pt_time;
+      check_int "histograms excluded" 3 (List.length p1.Obs.Sampler.pt_samples);
+      (match p1.Obs.Sampler.pt_samples with
+      | [ a; b; _ ] ->
+          check_str "sorted by key" "a" a.Obs.s_key;
+          check_bool "zero before first incr" true (a.Obs.s_value = Obs.Counter 0.0);
+          check_bool "counter sampled" true (b.Obs.s_value = Obs.Counter 3.0)
+      | _ -> Alcotest.fail "wrong sample shape");
+      (match p2.Obs.Sampler.pt_samples with
+      | b :: _ -> check_bool "second tick sees the increment" true
+          (b.Obs.s_value = Obs.Counter 1.0)
+      | [] -> Alcotest.fail "empty second tick")
+  | pts -> Alcotest.failf "expected 2 points, got %d" (List.length pts));
+  Alcotest.check_raises "period must be positive"
+    (Invalid_argument "Obs.Sampler.create: period <= 0") (fun () ->
+      ignore (Obs.Sampler.create o ~period:0.0))
+
+let test_sampler_prefix_and_testbed () =
+  Obs.default_sample_period := Some 0.5;
+  Fun.protect
+    ~finally:(fun () -> Obs.default_sample_period := None)
+    (fun () ->
+      let tb = Etb.create ~seed:3 ~activated:2 () in
+      let points = Etb.start_sampler tb in
+      let c = Obs.counter tb.Etb.obs ~layer:"hw" ~name:"ops" ~key:"x" in
+      Obs.add c 2.0;
+      Engine.run_until tb.Etb.engine 2.1;
+      let pts = points () in
+      check_int "4 periods elapsed" 4 (List.length pts);
+      let prefixed = Obs.Sampler.prefix_keys "cell:" pts in
+      List.iter
+        (fun p ->
+          List.iter
+            (fun s ->
+              check_bool "prefixed" true
+                (Astring.String.is_prefix ~affix:"cell:" s.Obs.s_key))
+            p.Obs.Sampler.pt_samples)
+        prefixed)
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "trace.primitives",
+      [
+        tc "nesting and parent links" `Quick test_span_nesting_and_parents;
+        tc "fork inherits current span" `Quick test_fork_inherits_current_span;
+        tc "queue handoff via with_parent" `Quick test_queue_handoff_with_parent;
+        tc "inert when disabled" `Quick test_disabled_is_inert;
+        tc "merge offsets ids and prefixes keys" `Quick test_merge_offsets_ids;
+      ] );
+    ( "trace.causality",
+      [
+        tc "D write reaches ipc and hw" `Quick test_write_causality_d;
+        tc "K write reaches kernel and hw" `Quick test_write_causality_k;
+        tc "F write reaches kernel and hw" `Quick test_write_causality_f;
+      ] );
+    ( "trace.attribution",
+      [
+        tc "phase sums equal e2e" `Quick test_attribution_sums_to_e2e;
+        tc "empty input" `Quick test_attribution_empty;
+      ] );
+    ( "trace.determinism",
+      [
+        tc "identical spans across repeats" `Quick test_traced_run_deterministic;
+        tc "byte-identical artifacts at -j1 and -j4" `Slow
+          test_parallel_runner_byte_identity;
+      ] );
+    ( "trace.export",
+      [ tc "golden chrome JSON" `Quick test_chrome_export_golden ] );
+    ( "trace.sampler",
+      [
+        tc "tick snapshots counters and gauges" `Quick test_sampler_ticks;
+        tc "testbed sampler and prefixing" `Quick test_sampler_prefix_and_testbed;
+      ] );
+  ]

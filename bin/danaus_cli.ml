@@ -151,6 +151,18 @@ let jobs_flag =
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~doc ~docv:"N")
 
+let strict_flag =
+  let doc =
+    "Arm the invariant layer in strict mode: every conservation-law \
+     violation raises at the point of violation instead of only being \
+     recorded.  Off by default, so published numbers carry zero checking \
+     overhead."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let apply_strict strict =
+  if strict then Danaus_check.Check.set_mode Danaus_check.Check.Strict
+
 (* Tracing and sampling must be decided before any engine exists: engines
    inherit the defaults at creation, including inside parallel runner
    domains. *)
@@ -164,20 +176,24 @@ let apply_trace_default ?(chrome_file = None) ?(timeseries_file = None)
 let run_cmd =
   let doc = "Run one experiment by id (e.g. fig6a)" in
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
-  let run quick seed repeats csv_dir metrics_file trace_file chrome_file
+  let run quick seed repeats strict csv_dir metrics_file trace_file chrome_file
       timeseries_file id =
+    apply_strict strict;
     apply_trace_default ~chrome_file ~timeseries_file trace_file;
     run_experiment ?csv_dir ?metrics_file ?trace_file ?chrome_file
       ?timeseries_file ~quick ~seed ~repeats id
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ quick_flag $ seed_flag $ repeats_flag $ csv_dir_flag
-      $ metrics_flag $ trace_flag $ chrome_flag $ timeseries_flag $ id)
+      const run $ quick_flag $ seed_flag $ repeats_flag $ strict_flag
+      $ csv_dir_flag $ metrics_flag $ trace_flag $ chrome_flag
+      $ timeseries_flag $ id)
 
 let all_cmd =
   let doc = "Run every experiment (optionally on several domains)" in
-  let run quick seed jobs metrics_file trace_file chrome_file timeseries_file =
+  let run quick seed jobs strict metrics_file trace_file chrome_file
+      timeseries_file =
+    apply_strict strict;
     apply_trace_default ~chrome_file ~timeseries_file trace_file;
     let t0 = Unix.gettimeofday () in
     let results =
@@ -200,8 +216,8 @@ let all_cmd =
   in
   Cmd.v (Cmd.info "all" ~doc)
     Term.(
-      const run $ quick_flag $ seed_flag $ jobs_flag $ metrics_flag
-      $ trace_flag $ chrome_flag $ timeseries_flag)
+      const run $ quick_flag $ seed_flag $ jobs_flag $ strict_flag
+      $ metrics_flag $ trace_flag $ chrome_flag $ timeseries_flag)
 
 let explain_cmd =
   let doc =
@@ -285,6 +301,119 @@ let replay_cmd =
   Cmd.v (Cmd.info "replay" ~doc)
     Term.(const run $ file $ config $ threads $ seed_flag)
 
+let fuzz_cmd =
+  let doc =
+    "Property-fuzz the simulator: expand each seed into a random scenario \
+     (testbed shape, workload mix, faults, QoS), run it with the invariant \
+     layer armed, and judge it with metamorphic and analytic oracles \
+     (repeat determinism, domain identity, duration monotonicity, writer \
+     conservation, cached re-read)."
+  in
+  let seeds =
+    let doc = "Seed range to fuzz, inclusive (e.g. 0-63), or one seed." in
+    Arg.(value & opt string "0-15" & info [ "seeds" ] ~doc ~docv:"A-B")
+  in
+  let report =
+    let doc = "Write a JSON violation/oracle report to FILE (CI artifact)." in
+    Arg.(value & opt (some string) None & info [ "report" ] ~doc ~docv:"FILE")
+  in
+  let parse_range s =
+    match String.index_opt s '-' with
+    | Some i when i > 0 ->
+        let lo = int_of_string_opt (String.sub s 0 i) in
+        let hi =
+          int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+        in
+        (match (lo, hi) with
+        | Some lo, Some hi when lo <= hi -> Some (lo, hi)
+        | _ -> None)
+    | _ -> (
+        match int_of_string_opt s with Some n -> Some (n, n) | None -> None)
+  in
+  let run quick strict seeds report =
+    (* the fuzzer always records violations; --strict also raises at the
+       point of violation, which pins the failing stack *)
+    Danaus_check.Check.set_mode
+      (if strict then Danaus_check.Check.Strict else Danaus_check.Check.Record);
+    (* trace so the span-tree well-formedness checks have data *)
+    Danaus_sim.Obs.default_tracing := true;
+    match parse_range seeds with
+    | None ->
+        Printf.eprintf "bad --seeds %S (expected A-B or N)\n" seeds;
+        exit 1
+    | Some (lo, hi) ->
+        let t0 = Unix.gettimeofday () in
+        let reports =
+          Danaus_experiments.Fuzz.run_range
+            ~progress:(fun r ->
+              Printf.printf "%s\n%!" (Danaus_experiments.Fuzz.render_report r))
+            ~quick ~lo ~hi ()
+        in
+        Option.iter
+          (fun f ->
+            Out_channel.with_open_text f (fun oc ->
+                Out_channel.output_string oc
+                  (Danaus_experiments.Fuzz.report_json reports));
+            Printf.printf "(report written to %s)\n" f)
+          report;
+        let failed =
+          List.filter
+            (fun r -> not (Danaus_experiments.Fuzz.seed_passed r))
+            reports
+        in
+        Printf.printf "%d seed(s), %d failed (%.1fs wall time)\n"
+          (List.length reports) (List.length failed)
+          (Unix.gettimeofday () -. t0);
+        if failed <> [] then exit 1
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const run $ quick_flag $ strict_flag $ seeds $ report)
+
+let golden_cmd =
+  let doc =
+    "Golden-table drift guard: print the canonical rendered tables of one \
+     experiment (--quick, seed 7, invariants strict), or regenerate every \
+     test/golden/<id>.txt with --regen.  `dune runtest` diffs each \
+     experiment against its golden file."
+  in
+  let id = Arg.(value & pos 0 (some string) None & info [] ~docv:"ID") in
+  let regen =
+    let doc = "Rewrite every golden file under --dir instead of printing." in
+    Arg.(value & flag & info [ "regen" ] ~doc)
+  in
+  let dir =
+    let doc = "Golden directory (for --regen)." in
+    Arg.(value & opt string "test/golden" & info [ "dir" ] ~doc ~docv:"DIR")
+  in
+  let run id regen dir =
+    let open Danaus_experiments in
+    if regen then begin
+      let t0 = Unix.gettimeofday () in
+      List.iter
+        (fun e ->
+          let file = Filename.concat dir (Golden.file_name e.Registry.id) in
+          Out_channel.with_open_text file (fun oc ->
+              Out_channel.output_string oc (Golden.text e));
+          Printf.printf "regenerated %s\n%!" file)
+        Registry.all;
+      Printf.printf "(%d golden files in %.1fs wall time)\n"
+        (List.length Registry.all)
+        (Unix.gettimeofday () -. t0)
+    end
+    else
+      match id with
+      | None ->
+          Printf.eprintf "golden: need an experiment ID (or --regen)\n";
+          exit 1
+      | Some id -> (
+          match Registry.find id with
+          | None ->
+              Printf.eprintf "unknown experiment %S; try `danaus-cli list`\n" id;
+              exit 1
+          | Some e -> print_string (Golden.text e))
+  in
+  Cmd.v (Cmd.info "golden" ~doc) Term.(const run $ id $ regen $ dir)
+
 let table1_cmd =
   let doc = "Print Table 1 (the configuration matrix)" in
   let run () = print_string (Danaus.Config.table1 ()) in
@@ -296,6 +425,9 @@ let main =
      client side of network storage (Middleware '21)"
   in
   Cmd.group (Cmd.info "danaus-cli" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; all_cmd; explain_cmd; table1_cmd; replay_cmd ]
+    [
+      list_cmd; run_cmd; all_cmd; explain_cmd; table1_cmd; replay_cmd;
+      fuzz_cmd; golden_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

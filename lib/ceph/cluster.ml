@@ -45,7 +45,11 @@ let message_bytes = 256
 
 let create engine ~net ~client_node ~server_node ~osds ~mds ~replicas
     ~object_size =
-  assert (Array.length osds >= replicas && replicas >= 1 && object_size > 0);
+  Danaus_check.Check.precondition ~layer:"ceph" ~what:"create_args"
+    ~detail:(fun () ->
+      Printf.sprintf "%d osds, %d replicas, object_size %d" (Array.length osds)
+        replicas object_size)
+    (Array.length osds >= replicas && replicas >= 1 && object_size > 0);
   {
     engine;
     net;
@@ -73,7 +77,23 @@ let to_client t ~bytes =
   Net.transfer t.net ~src:t.server_node ~dst:t.client_node ~bytes
 
 let placement t obj =
-  Crush.place ~osds:(Array.length t.cluster_osds) ~replicas:t.replicas obj
+  let place =
+    Crush.place ~osds:(Array.length t.cluster_osds) ~replicas:t.replicas obj
+  in
+  (* CRUSH's contract: exactly [replicas] placements, all distinct, all
+     addressing real OSDs — a violation here silently corrupts the
+     redundancy the fault experiments measure. *)
+  Danaus_check.Check.invariant ~obs:(Engine.obs t.engine) ~layer:"ceph"
+    ~what:"placement_legal"
+    ~detail:(fun () ->
+      Printf.sprintf "%s -> [%s] with %d osds, %d replicas" obj
+        (String.concat ";" (List.map string_of_int place))
+        (Array.length t.cluster_osds) t.replicas)
+    (fun () ->
+      List.length place = t.replicas
+      && List.for_all (fun i -> i >= 0 && i < Array.length t.cluster_osds) place
+      && List.length (List.sort_uniq Int.compare place) = List.length place);
+  place
 
 (* The client's view of an OSD's availability: the osdmap when a monitor
    runs (stale by up to heartbeat + grace), instant truth otherwise. *)

@@ -32,4 +32,13 @@ let place ~osds ~replicas name =
 let primary ~osds name =
   match place ~osds ~replicas:1 name with
   | [ i ] -> i
-  | _ -> assert false
+  | l ->
+      raise
+        (Danaus_check.Check.Violation
+           {
+             v_layer = "crush";
+             v_what = "primary_single";
+             v_detail =
+               Printf.sprintf "place ~replicas:1 returned %d osds for %s"
+                 (List.length l) name;
+           })

@@ -9,7 +9,10 @@ type t = {
 }
 
 let create engine ~concurrency ~op_cost =
-  assert (concurrency >= 1 && op_cost >= 0.0);
+  Danaus_check.Check.precondition ~layer:"mds" ~what:"create_args"
+    ~detail:(fun () ->
+      Printf.sprintf "concurrency %d, op_cost %g" concurrency op_cost)
+    (concurrency >= 1 && op_cost >= 0.0);
   {
     engine;
     ns = Namespace.create ();

@@ -16,7 +16,11 @@ type t = {
 }
 
 let create engine ~name ~data ~journal ~concurrency ~op_cost ~cpu_per_byte =
-  assert (concurrency >= 1 && op_cost >= 0.0 && cpu_per_byte >= 0.0);
+  Danaus_check.Check.precondition ~layer:"osd" ~what:"create_args"
+    ~detail:(fun () ->
+      Printf.sprintf "%s: concurrency %d, op_cost %g, cpu_per_byte %g" name
+        concurrency op_cost cpu_per_byte)
+    (concurrency >= 1 && op_cost >= 0.0 && cpu_per_byte >= 0.0);
   {
     engine;
     osd_name = name;
@@ -48,7 +52,9 @@ let with_gate t f =
 let cpu_time t bytes = t.op_cost +. (float_of_int bytes *. t.cpu_per_byte)
 
 let write t ~obj ~bytes =
-  assert (bytes >= 0);
+  Danaus_check.Check.precondition ~layer:"osd" ~what:"write_bytes"
+    ~detail:(fun () -> Printf.sprintf "%s: %s: %d bytes" t.osd_name obj bytes)
+    (bytes >= 0);
   with_gate t (fun () ->
       Engine.sleep (cpu_time t bytes);
       Disk.write t.journal ~bytes ~random:false;
@@ -58,7 +64,9 @@ let write t ~obj ~bytes =
       t.written <- t.written +. float_of_int bytes)
 
 let read t ~obj ~bytes =
-  assert (bytes >= 0);
+  Danaus_check.Check.precondition ~layer:"osd" ~what:"read_bytes"
+    ~detail:(fun () -> Printf.sprintf "%s: %s: %d bytes" t.osd_name obj bytes)
+    (bytes >= 0);
   ignore obj;
   with_gate t (fun () ->
       Engine.sleep (cpu_time t bytes);

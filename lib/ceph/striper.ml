@@ -3,7 +3,10 @@ let default_object_size = 4 * 1024 * 1024
 let name ~ino ~index = Printf.sprintf "%x.%08x" ino index
 
 let objects ~object_size ~ino ~off ~len =
-  assert (object_size > 0 && off >= 0);
+  Danaus_check.Check.precondition ~layer:"striper" ~what:"objects_args"
+    ~detail:(fun () ->
+      Printf.sprintf "object_size %d, off %d (ino %x)" object_size off ino)
+    (object_size > 0 && off >= 0);
   if len <= 0 then []
   else begin
     let first = off / object_size and last = (off + len - 1) / object_size in

@@ -1,0 +1,85 @@
+(* danaus_check: the correctness subsystem.
+
+   [Check] is the API every layer above the engine uses to state its
+   conservation laws; the mode machinery itself lives in
+   [Danaus_sim.Invariant] (the engine's own primitives — Pheap order,
+   clock monotonicity, lock balance — are below this library in the
+   dependency order and call [Invariant] directly).  On top of the
+   re-export this module adds the whole-structure checks that need a
+   completed run to judge: causal-trace well-formedness and the
+   page-cache byte-conservation sweep. *)
+
+open Danaus_sim
+
+include Invariant
+
+(* ------------------------------------------------------------------ *)
+(* Causal trace well-formedness.
+
+   Judged over a completed span set (the per-cell [Obs.cspans] an
+   experiment collected): ids strictly positive and unique, durations
+   non-negative, parents either absent (0 / dropped by the keep-oldest
+   policy) or older than the child — a child can never start before the
+   span that caused it.  Returns the problems as strings (empty = well
+   formed) and, when [obs] is given, records each as a
+   [check/violations] count under [trace:*]. *)
+
+let span_problems css =
+  let open Obs in
+  let by_id = Hashtbl.create 256 in
+  List.iter (fun cs -> Hashtbl.replace by_id cs.cs_id cs) css;
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let seen = Hashtbl.create 256 in
+  List.iter
+    (fun cs ->
+      if cs.cs_id <= 0 then
+        problem "span %s/%s has non-positive id %d" cs.cs_layer cs.cs_name
+          cs.cs_id;
+      if Hashtbl.mem seen cs.cs_id then
+        problem "duplicate span id %d (%s/%s)" cs.cs_id cs.cs_layer cs.cs_name;
+      Hashtbl.replace seen cs.cs_id ();
+      if cs.cs_dur < 0.0 then
+        problem "span %d (%s/%s) is still open (dur %g)" cs.cs_id cs.cs_layer
+          cs.cs_name cs.cs_dur;
+      if cs.cs_parent < 0 then
+        problem "span %d has negative parent %d" cs.cs_id cs.cs_parent;
+      if cs.cs_parent > 0 then begin
+        if cs.cs_parent >= cs.cs_id then
+          problem "span %d (%s/%s) has parent %d >= its own id" cs.cs_id
+            cs.cs_layer cs.cs_name cs.cs_parent;
+        match Hashtbl.find_opt by_id cs.cs_parent with
+        | None -> () (* parent dropped by the keep-oldest policy: legal *)
+        | Some p ->
+            if cs.cs_start +. 1e-9 < p.cs_start then
+              problem "span %d (%s/%s) starts %.9g before its parent %d"
+                cs.cs_id cs.cs_layer cs.cs_name (p.cs_start -. cs.cs_start)
+                cs.cs_parent
+      end)
+    css;
+  List.rev !problems
+
+let check_spans ?obs css =
+  let problems = span_problems css in
+  List.iter
+    (fun p ->
+      Invariant.require ?obs ~layer:"trace" ~what:"well_formed"
+        ~detail:(fun () -> p)
+        false)
+    problems;
+  problems
+
+(* Phase-sum oracle: for every root op of [roots_layer], the exclusive
+   (layer, phase) buckets of [Trace.attribute] must sum to the op's
+   end-to-end duration — the sweep constructs them that way, so any
+   residual beyond float noise means the tree is inconsistent (children
+   outside parents, double counting).  [tolerance] is per op, in
+   simulated seconds. *)
+let check_attribution ?obs ?(roots_layer = "core") ?(tolerance = 1e-6) spans =
+  let at = Trace.attribute ~roots_layer spans in
+  Invariant.require ?obs ~layer:"trace" ~what:"phase_sums"
+    ~detail:(fun () ->
+      Printf.sprintf "max per-op residual %.3g over %d ops exceeds %.3g"
+        at.Trace.at_max_residual at.Trace.at_ops tolerance)
+    (at.Trace.at_max_residual <= tolerance);
+  at

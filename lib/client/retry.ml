@@ -25,7 +25,13 @@ let backoff_delay policy ~rng ~attempt =
     Float.min policy.max_delay
       (policy.base_delay *. (policy.multiplier ** float_of_int (attempt - 1)))
   in
-  d *. (1.0 +. (policy.jitter *. Rng.float rng))
+  let delay = d *. (1.0 +. (policy.jitter *. Rng.float rng)) in
+  Danaus_check.Check.require ~layer:"retry" ~what:"backoff_bounds"
+    ~detail:(fun () ->
+      Printf.sprintf "attempt %d: delay %g outside [0, %g]" attempt delay
+        (policy.max_delay *. (1.0 +. policy.jitter)))
+    (delay >= 0.0 && delay <= policy.max_delay *. (1.0 +. policy.jitter));
+  delay
 
 type counters = {
   rt_obs : Obs.t;

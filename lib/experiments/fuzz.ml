@@ -1,0 +1,540 @@
+open Danaus_sim
+open Danaus
+open Danaus_ceph
+open Danaus_client
+open Danaus_workloads
+module Fault_plan = Danaus_faults.Fault_plan
+module Check = Danaus_check.Check
+
+(* Seeded property fuzzer: each seed expands deterministically into a
+   small scenario — testbed shape, workload mix per pool, optional fault
+   plan and per-pool QoS — which is executed under whatever invariant
+   mode the caller armed (the CLI's [fuzz] command and CI run Strict).
+   On top of the always-on conservation laws, every seed is judged by
+   metamorphic oracles: repeat determinism, in-process vs spawned-domain
+   byte-identity, short-vs-long shape monotonicity, and analytic
+   closed-form totals for degenerate configurations. *)
+
+let mib n = n * 1024 * 1024
+let kib n = n * 1024
+
+type pool_load =
+  | Seq_write of { threads : int; file_mb : int }
+  | Seq_read of { threads : int; file_mb : int }
+  | Open_read of { rate : float; op_kb : int; files : int; write_frac : float }
+
+type scenario = {
+  sc_seed : int;
+  sc_activated : int;
+  sc_config : Config.t;
+  sc_loads : pool_load list;
+  sc_qos : bool;
+  sc_faults : Fault_plan.plan; (* timings relative to the measured phase *)
+  sc_duration : float;
+}
+
+let describe_load = function
+  | Seq_write { threads; file_mb } ->
+      Printf.sprintf "seq-write(t%d,%dMiB)" threads file_mb
+  | Seq_read { threads; file_mb } ->
+      Printf.sprintf "seq-read(t%d,%dMiB)" threads file_mb
+  | Open_read { rate; op_kb; files; write_frac } ->
+      Printf.sprintf "open(%.0f/s,%dKiB,%df,w%.2f)" rate op_kb files write_frac
+
+let describe sc =
+  Printf.sprintf "%s cores=%d dur=%.1fs %s%s%s" sc.sc_config.Config.label
+    sc.sc_activated sc.sc_duration
+    (String.concat "+" (List.map describe_load sc.sc_loads))
+    (if sc.sc_qos then " qos" else "")
+    (if sc.sc_faults = [] then ""
+     else
+       Printf.sprintf " faults[%s]"
+         (String.concat ","
+            (List.map
+               (fun e -> Fault_plan.action_name e.Fault_plan.action)
+               sc.sc_faults)))
+
+(* Fault plans are drawn as *relative* windows inside the measured
+   phase; {!run_scenario} shifts them to absolute times once warm-up has
+   finished. *)
+let gen_faults rng ~duration =
+  let w lo hi a = Fault_plan.between (lo *. duration) (hi *. duration) a in
+  match Rng.int rng 4 with
+  | 0 ->
+      let i = Rng.int rng Params.osd_count in
+      [
+        w 0.2 0.4 (Fault_plan.Osd_down i); w 0.5 0.7 (Fault_plan.Osd_up i);
+      ]
+  | 1 ->
+      [
+        w 0.2 0.6
+          (Fault_plan.Client_crash { pool = "pool0"; restart_after = 0.4 });
+      ]
+  | 2 ->
+      [
+        w 0.2 0.4 (Fault_plan.Link_degrade { node = "client"; factor = 4.0 });
+        w 0.6 0.8 (Fault_plan.Link_restore "client");
+      ]
+  | _ -> [ w 0.3 0.6 (Fault_plan.Host_crash { restart_after = 0.4 }) ]
+
+let generate ~quick seed =
+  let rng = Rng.create (0xF0220 + (seed * 7919)) in
+  let duration = if quick then 1.5 else 4.0 in
+  let activated = Rng.pick rng [| 2; 4 |] in
+  let config = Rng.pick rng (Array.of_list Config.all) in
+  let pools = 1 + Rng.int rng 2 in
+  let load _ =
+    match Rng.int rng 3 with
+    | 0 -> Seq_write { threads = 1 + Rng.int rng 3; file_mb = 4 + Rng.int rng 9 }
+    | 1 -> Seq_read { threads = 1 + Rng.int rng 3; file_mb = 4 + Rng.int rng 9 }
+    | _ ->
+        Open_read
+          {
+            rate = 40.0 +. (20.0 *. float_of_int (Rng.int rng 8));
+            op_kb = 64 * (1 + Rng.int rng 3);
+            files = 16 + Rng.int rng 48;
+            write_frac = (if Rng.int rng 2 = 0 then 0.0 else 0.25);
+          }
+  in
+  let loads = List.init pools load in
+  let qos = Rng.float rng < 0.3 in
+  let faults = if Rng.float rng < 0.35 then gen_faults rng ~duration else [] in
+  {
+    sc_seed = seed;
+    sc_activated = activated;
+    sc_config = config;
+    sc_loads = loads;
+    sc_qos = qos;
+    sc_faults = faults;
+    sc_duration = duration;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Scenario execution *)
+
+type run_result = { rr_digest : string; rr_ops : int; rr_bytes : float }
+
+let fuzz_qos () =
+  Container_engine.qos
+    ~admission:
+      (Danaus_qos.Admission.config ~burst:64.0 ~max_inflight:32 ~op_budget:0.5
+         ~rate:2000.0 ())
+    ~breaker:Danaus_qos.Breaker.default_config ~request_timeout:0.25 ()
+
+let seq_params ~duration ~threads ~file_mb i =
+  {
+    Seqio.file_size = mib file_mb;
+    threads;
+    duration;
+    io_chunk = mib 1;
+    path = Printf.sprintf "/fz%d/stream" i;
+  }
+
+let open_params ~duration ~rate ~op_kb ~files ~write_frac i =
+  {
+    Openload.rate;
+    duration;
+    op_bytes = kib op_kb;
+    files;
+    threads = 4;
+    dir = Printf.sprintf "/fz%d/ol" i;
+    sla = 0.5;
+    write_frac;
+  }
+
+let shift_timing t0 = function
+  | Fault_plan.At t -> Fault_plan.At (t0 +. t)
+  | Fault_plan.Between (a, b) -> Fault_plan.Between (t0 +. a, t0 +. b)
+
+(* [duration_scale] stretches the measured window (the monotonicity
+   oracle compares 1x against 2x); everything else, warm-up included, is
+   byte-identical between the two runs. *)
+let run_scenario ?(duration_scale = 1.0) sc =
+  let tb = Testbed.create ~seed:sc.sc_seed ~activated:sc.sc_activated () in
+  let duration = sc.sc_duration *. duration_scale in
+  let pools =
+    List.mapi
+      (fun i load ->
+        let pool = Testbed.pool tb i in
+        (* QoS only wraps open-loop pools: the closed-loop streamers
+           treat a shed op as a hard error, while Openload classifies
+           [Rejected] as shed load *)
+        let qos =
+          match (sc.sc_qos, load) with
+          | true, Open_read _ -> Some (fuzz_qos ())
+          | _ -> None
+        in
+        let ct =
+          Container_engine.launch tb.Testbed.containers ~config:sc.sc_config
+            ~pool
+            ~id:(Printf.sprintf "fz%d" i)
+            ~cache_bytes:(mib 8) ?qos ()
+        in
+        (i, load, pool, ct))
+      sc.sc_loads
+  in
+  if
+    List.exists
+      (fun e ->
+        match e.Fault_plan.action with
+        | Fault_plan.Osd_down _ | Fault_plan.Osd_up _ -> true
+        | _ -> false)
+      sc.sc_faults
+  then Cluster.enable_monitor tb.Testbed.cluster;
+  let warmed = ref 0 in
+  let want = List.length pools in
+  List.iter
+    (fun (i, load, pool, ct) ->
+      Engine.spawn tb.Testbed.engine
+        ~name:(Printf.sprintf "fz-setup%d" i)
+        (fun () ->
+          let ctx = Testbed.ctx tb ~pool ~seed:(9000 + i) in
+          (match load with
+          | Seq_write { threads; file_mb } | Seq_read { threads; file_mb } ->
+              Seqio.prepopulate ctx ~view:ct.Container_engine.view
+                (seq_params ~duration ~threads ~file_mb i)
+          | Open_read { rate; op_kb; files; write_frac } ->
+              Openload.prepopulate ctx ~view:ct.Container_engine.view
+                (open_params ~duration ~rate ~op_kb ~files ~write_frac i));
+          incr warmed))
+    pools;
+  Testbed.drive tb ~stop:(fun () -> !warmed = want);
+  Testbed.reset_metrics tb;
+  let t0 = Engine.now tb.Testbed.engine in
+  if sc.sc_faults <> [] then
+    Testbed.inject tb
+      ~plan:
+        (List.map
+           (fun e ->
+             { e with Fault_plan.timing = shift_timing t0 e.Fault_plan.timing })
+           sc.sc_faults);
+  let summaries = Array.make want None in
+  List.iter
+    (fun (i, load, pool, ct) ->
+      Engine.spawn tb.Testbed.engine
+        ~name:(Printf.sprintf "fz-run%d" i)
+        (fun () ->
+          let ctx = Testbed.ctx tb ~pool ~seed:(9100 + i) in
+          let summary =
+            match load with
+            | Seq_write { threads; file_mb } ->
+                let r =
+                  Seqio.run_write ctx ~view:ct.Container_engine.view
+                    (seq_params ~duration ~threads ~file_mb i)
+                in
+                ( r.Seqio.stats.Workload.ops,
+                  r.Seqio.stats.Workload.bytes_read
+                  +. r.Seqio.stats.Workload.bytes_written,
+                  Printf.sprintf "pool%d seqw ops=%d written=%.0f" i
+                    r.Seqio.stats.Workload.ops
+                    r.Seqio.stats.Workload.bytes_written )
+            | Seq_read { threads; file_mb } ->
+                let r =
+                  Seqio.run_read ctx ~view:ct.Container_engine.view
+                    (seq_params ~duration ~threads ~file_mb i)
+                in
+                ( r.Seqio.stats.Workload.ops,
+                  r.Seqio.stats.Workload.bytes_read
+                  +. r.Seqio.stats.Workload.bytes_written,
+                  Printf.sprintf "pool%d seqr ops=%d read=%.0f" i
+                    r.Seqio.stats.Workload.ops
+                    r.Seqio.stats.Workload.bytes_read )
+            | Open_read { rate; op_kb; files; write_frac } ->
+                let r =
+                  Openload.run ctx ~view:ct.Container_engine.view
+                    (open_params ~duration ~rate ~op_kb ~files ~write_frac i)
+                in
+                ( r.Openload.completed,
+                  float_of_int (r.Openload.completed * kib op_kb),
+                  Printf.sprintf
+                    "pool%d open offered=%d completed=%d good=%d shed=%d \
+                     failed=%d"
+                    i r.Openload.offered r.Openload.completed r.Openload.good
+                    r.Openload.shed r.Openload.failed )
+          in
+          summaries.(i) <- Some summary))
+    pools;
+  Testbed.drive tb ~stop:(fun () ->
+      Array.for_all (fun s -> s <> None) summaries);
+  let ops = ref 0 and bytes = ref 0.0 in
+  let buf = Buffer.create 256 in
+  Array.iter
+    (fun s ->
+      let o, b, line = Option.get s in
+      ops := !ops + o;
+      bytes := !bytes +. b;
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    summaries;
+  let digest =
+    Digest.to_hex
+      (Digest.string (Obs.dump tb.Testbed.obs ^ Buffer.contents buf))
+  in
+  { rr_digest = digest; rr_ops = !ops; rr_bytes = !bytes }
+
+(* ------------------------------------------------------------------ *)
+(* Analytic closed forms for degenerate configurations *)
+
+let must_ok what = function
+  | Ok v -> v
+  | Error e ->
+      failwith (Printf.sprintf "%s: %s" what (Client_intf.error_to_string e))
+
+let osd_written tb =
+  Array.fold_left
+    (fun a o -> a +. Osd.bytes_written o)
+    0.0
+    (Cluster.osds tb.Testbed.cluster)
+
+let osd_read tb =
+  Array.fold_left
+    (fun a o -> a +. Osd.bytes_read o)
+    0.0
+    (Cluster.osds tb.Testbed.cluster)
+
+(* A single closed-loop writer on an otherwise idle testbed: after
+   fsync, the cluster must hold exactly [ops * op_bytes * replicas]
+   bytes more than before — block-aligned sequential writes, written
+   once, flushed once, replicated [replicas] times, nothing else
+   running.  Any deviation means bytes were lost, duplicated or
+   misattributed somewhere between the view and the OSDs. *)
+let writer_conservation ~seed =
+  let rng = Rng.create (0xA11C + (seed * 131)) in
+  let ops = 8 + Rng.int rng 24 in
+  let op_bytes = kib 64 * (1 + Rng.int rng 4) in
+  let config = if Rng.int rng 2 = 0 then Config.d else Config.k in
+  let tb = Testbed.create ~seed ~activated:2 () in
+  let pool = Testbed.pool tb 0 in
+  let ct =
+    Container_engine.launch tb.Testbed.containers ~config ~pool ~id:"law"
+      ~cache_bytes:(mib 64) ()
+  in
+  let before = osd_written tb in
+  let done_ = ref false in
+  Engine.spawn tb.Testbed.engine ~name:"law-writer" (fun () ->
+      let view = ct.Container_engine.view ~thread:0 in
+      must_ok "mkdir" (view.Client_intf.mkdir_p ~pool "/law");
+      let fd =
+        must_ok "open"
+          (view.Client_intf.open_file ~pool "/law/file0" Client_intf.flags_wo)
+      in
+      for i = 0 to ops - 1 do
+        must_ok "write"
+          (view.Client_intf.write ~pool fd ~off:(i * op_bytes) ~len:op_bytes)
+      done;
+      must_ok "fsync" (view.Client_intf.fsync ~pool fd);
+      view.Client_intf.close ~pool fd;
+      done_ := true);
+  Testbed.drive tb ~stop:(fun () -> !done_);
+  let wrote = osd_written tb -. before in
+  let expected = float_of_int (ops * op_bytes * Params.replicas) in
+  ( wrote = expected,
+    Printf.sprintf "%s: %d x %d B through %s -> %.0f on OSDs, expected %.0f"
+      "writer_conservation" ops op_bytes config.Config.label wrote expected )
+
+(* A file that fits the user-level cache with room to spare: the second
+   whole-file read must hit the cache for every byte — zero new OSD
+   reads.  Degenerate "infinite cache" configuration of Config.d. *)
+let cached_reread ~seed =
+  let rng = Rng.create (0xCAC4E + (seed * 257)) in
+  let file_bytes = mib (2 + Rng.int rng 6) in
+  let chunk = mib 1 in
+  let tb = Testbed.create ~seed ~activated:2 () in
+  let pool = Testbed.pool tb 0 in
+  let ct =
+    Container_engine.launch tb.Testbed.containers ~config:Config.d ~pool
+      ~id:"law" ~cache_bytes:(mib 64) ()
+  in
+  let warm_reads = ref 0.0 in
+  let done_ = ref false in
+  Engine.spawn tb.Testbed.engine ~name:"law-reader" (fun () ->
+      let view = ct.Container_engine.view ~thread:0 in
+      must_ok "mkdir" (view.Client_intf.mkdir_p ~pool "/law");
+      let fd =
+        must_ok "open"
+          (view.Client_intf.open_file ~pool "/law/big" Client_intf.flags_wo)
+      in
+      Workload.chunked ~chunk ~total:file_bytes (fun ~off ~len ->
+          must_ok "write" (view.Client_intf.write ~pool fd ~off ~len));
+      must_ok "fsync" (view.Client_intf.fsync ~pool fd);
+      view.Client_intf.close ~pool fd;
+      let fd =
+        must_ok "reopen"
+          (view.Client_intf.open_file ~pool "/law/big" Client_intf.flags_ro)
+      in
+      (* first scan: allowed to miss; it fills the cache *)
+      Workload.chunked ~chunk ~total:file_bytes (fun ~off ~len ->
+          ignore
+            (must_ok "read1" (Client_intf.read_exact view ~pool fd ~off ~len)));
+      warm_reads := osd_read tb;
+      (* second scan: every byte must come from the user-level cache *)
+      Workload.chunked ~chunk ~total:file_bytes (fun ~off ~len ->
+          ignore
+            (must_ok "read2" (Client_intf.read_exact view ~pool fd ~off ~len)));
+      view.Client_intf.close ~pool fd;
+      done_ := true);
+  Testbed.drive tb ~stop:(fun () -> !done_);
+  let cold = osd_read tb -. !warm_reads in
+  ( cold = 0.0,
+    Printf.sprintf
+      "cached_reread: second scan of %d B pulled %.0f B from the OSDs \
+       (expected 0)"
+      file_bytes cold )
+
+(* ------------------------------------------------------------------ *)
+(* Per-seed oracle harness *)
+
+type oracle = { o_name : string; o_pass : bool; o_detail : string }
+
+type seed_report = {
+  sr_seed : int;
+  sr_desc : string;
+  sr_oracles : oracle list;
+  sr_violations : Check.violation list; (* new violations during this seed *)
+}
+
+let seed_passed r =
+  r.sr_violations = [] && List.for_all (fun o -> o.o_pass) r.sr_oracles
+
+let guard name f =
+  match f () with
+  | pass, detail -> { o_name = name; o_pass = pass; o_detail = detail }
+  | exception Check.Violation v ->
+      {
+        o_name = name;
+        o_pass = false;
+        o_detail =
+          Printf.sprintf "invariant violation in %s/%s: %s" v.Check.v_layer
+            v.Check.v_what v.Check.v_detail;
+      }
+  | exception e ->
+      { o_name = name; o_pass = false; o_detail = Printexc.to_string e }
+
+let run_seed ~quick seed =
+  let sc = generate ~quick seed in
+  let before = Check.violation_count () in
+  let base = ref None in
+  let oracles =
+    [
+      guard "repeat_determinism" (fun () ->
+          let r1 = run_scenario sc in
+          base := Some r1;
+          let r2 = run_scenario sc in
+          ( r1.rr_digest = r2.rr_digest,
+            Printf.sprintf "digests %s / %s" r1.rr_digest r2.rr_digest ));
+      guard "domain_identity" (fun () ->
+          match !base with
+          | None -> (true, "skipped: base run failed")
+          | Some r1 ->
+              let d = Domain.spawn (fun () -> run_scenario sc) in
+              let r3 = Domain.join d in
+              ( r1.rr_digest = r3.rr_digest,
+                Printf.sprintf "in-process %s, spawned domain %s" r1.rr_digest
+                  r3.rr_digest ));
+    ]
+    @ (if sc.sc_faults = [] && not sc.sc_qos then
+         [
+           guard "duration_monotonicity" (fun () ->
+               match !base with
+               | None -> (true, "skipped: base run failed")
+               | Some r1 ->
+                   let r2 = run_scenario ~duration_scale:2.0 sc in
+                   ( r2.rr_ops >= r1.rr_ops && r2.rr_bytes >= r1.rr_bytes,
+                     Printf.sprintf "1x: %d ops / %.0f B, 2x: %d ops / %.0f B"
+                       r1.rr_ops r1.rr_bytes r2.rr_ops r2.rr_bytes ));
+         ]
+       else [])
+    @ [
+        guard "writer_conservation" (fun () -> writer_conservation ~seed);
+        guard "cached_reread" (fun () -> cached_reread ~seed);
+      ]
+  in
+  let vs = Check.violations () in
+  let fresh = List.filteri (fun i _ -> i >= before) vs in
+  {
+    sr_seed = seed;
+    sr_desc = describe sc;
+    sr_oracles = oracles;
+    sr_violations = fresh;
+  }
+
+let run_range ?(progress = fun _ -> ()) ~quick ~lo ~hi () =
+  List.init
+    (hi - lo + 1)
+    (fun i ->
+      let r = run_seed ~quick (lo + i) in
+      progress r;
+      r)
+
+(* ------------------------------------------------------------------ *)
+(* Reports *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let report_json reports =
+  let buf = Buffer.create 4096 in
+  let fails = List.filter (fun r -> not (seed_passed r)) reports in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"seeds\": %d,\n  \"failed\": %d,\n  \"violations\": %d,\n  \
+        \"results\": [\n"
+       (List.length reports) (List.length fails)
+       (List.fold_left
+          (fun a r -> a + List.length r.sr_violations)
+          0 reports));
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"seed\": %d, \"ok\": %b, \"scenario\": \"%s\", \"oracles\": \
+            [%s], \"violations\": [%s]}%s\n"
+           r.sr_seed (seed_passed r) (json_escape r.sr_desc)
+           (String.concat ", "
+              (List.map
+                 (fun o ->
+                   Printf.sprintf
+                     "{\"name\": \"%s\", \"pass\": %b, \"detail\": \"%s\"}"
+                     (json_escape o.o_name) o.o_pass (json_escape o.o_detail))
+                 r.sr_oracles))
+           (String.concat ", "
+              (List.map
+                 (fun v ->
+                   Printf.sprintf
+                     "{\"layer\": \"%s\", \"what\": \"%s\", \"detail\": \
+                      \"%s\"}"
+                     (json_escape v.Check.v_layer) (json_escape v.Check.v_what)
+                     (json_escape v.Check.v_detail))
+                 r.sr_violations))
+           (if i = List.length reports - 1 then "" else ",")))
+    reports;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let render_report r =
+  let status = if seed_passed r then "ok  " else "FAIL" in
+  let lines =
+    List.filter_map
+      (fun o ->
+        if o.o_pass then None
+        else Some (Printf.sprintf "    oracle %s: %s" o.o_name o.o_detail))
+      r.sr_oracles
+    @ List.map
+        (fun v ->
+          Printf.sprintf "    violation %s/%s: %s" v.Check.v_layer
+            v.Check.v_what v.Check.v_detail)
+        r.sr_violations
+  in
+  Printf.sprintf "%s seed %-4d %s%s" status r.sr_seed r.sr_desc
+    (if lines = [] then "" else "\n" ^ String.concat "\n" lines)

@@ -1,0 +1,87 @@
+open Danaus
+module Fault_plan = Danaus_faults.Fault_plan
+module Check = Danaus_check.Check
+
+(** Seeded property fuzzer (the [danaus-cli fuzz] command).
+
+    Each seed expands deterministically into a small random scenario —
+    testbed shape, per-pool workload mix, optional QoS and fault plan —
+    which is executed with the invariant layer armed, then judged by
+    metamorphic and analytic oracles:
+
+    - {b repeat determinism}: running the same scenario twice in one
+      process yields byte-identical observability dumps;
+    - {b domain identity}: a spawned domain produces the same digest as
+      the in-process run ([-j 1] vs [-j n] reproducibility);
+    - {b duration monotonicity}: doubling the measured window of a
+      fault-free, QoS-free scenario cannot decrease completed ops or
+      bytes (the shorter run is a prefix of the longer one);
+    - {b writer conservation}: a lone block-aligned sequential writer
+      followed by [fsync] puts exactly [ops * op_bytes * replicas] bytes
+      on the OSDs;
+    - {b cached re-read}: re-scanning a file that fits the user-level
+      cache pulls zero further bytes from the OSDs.
+
+    Conservation-law violations recorded by {!Danaus_check.Check} during
+    a seed's runs are attributed to that seed's report. *)
+
+type pool_load =
+  | Seq_write of { threads : int; file_mb : int }
+  | Seq_read of { threads : int; file_mb : int }
+  | Open_read of { rate : float; op_kb : int; files : int; write_frac : float }
+
+type scenario = {
+  sc_seed : int;
+  sc_activated : int;
+  sc_config : Config.t;
+  sc_loads : pool_load list;
+  sc_qos : bool;
+  sc_faults : Fault_plan.plan;
+      (** timings relative to the start of the measured phase *)
+  sc_duration : float;
+}
+
+(** One line describing the scenario a seed expands to. *)
+val describe : scenario -> string
+
+(** The deterministic seed → scenario expansion. *)
+val generate : quick:bool -> int -> scenario
+
+type run_result = {
+  rr_digest : string;  (** digest of the observability dump + summaries *)
+  rr_ops : int;
+  rr_bytes : float;
+}
+
+(** Execute a scenario on a fresh testbed.  [duration_scale] stretches
+    the measured window (used by the monotonicity oracle). *)
+val run_scenario : ?duration_scale:float -> scenario -> run_result
+
+type oracle = { o_name : string; o_pass : bool; o_detail : string }
+
+type seed_report = {
+  sr_seed : int;
+  sr_desc : string;
+  sr_oracles : oracle list;
+  sr_violations : Check.violation list;
+      (** invariant violations newly recorded while this seed ran *)
+}
+
+val seed_passed : seed_report -> bool
+
+(** Run every oracle for one seed.  Oracle exceptions (including strict
+    [Check.Violation]) are caught and reported as failures, so a fuzz
+    sweep always covers its whole seed range. *)
+val run_seed : quick:bool -> int -> seed_report
+
+(** [run_range ~quick ~lo ~hi ()] fuzzes seeds [lo..hi] inclusive,
+    calling [progress] after each. *)
+val run_range :
+  ?progress:(seed_report -> unit) -> quick:bool -> lo:int -> hi:int -> unit ->
+  seed_report list
+
+(** JSON report over a sweep (the CI artifact). *)
+val report_json : seed_report list -> string
+
+(** One human-readable block per seed (failures get detail lines). *)
+val render_report : seed_report -> string

@@ -1,0 +1,17 @@
+(* Golden-table drift guard: the canonical text of an experiment is its
+   rendered tables at --quick, seed 7, with the invariant layer strict.
+   `dune runtest` diffs every experiment against test/golden/<id>.txt
+   (promote with `dune promote` or `danaus-cli golden --regen` after an
+   intentional behaviour change); any unintentional drift — a changed
+   number, a reordered row, a violated conservation law — fails the
+   build with the diff. *)
+
+let seed = 7
+let quick = true
+
+let text (e : Registry.exp) =
+  Danaus_check.Check.set_mode Danaus_check.Check.Strict;
+  let reports = e.Registry.run ~quick ~seed in
+  String.concat "" (List.map Report.render reports)
+
+let file_name id = id ^ ".txt"

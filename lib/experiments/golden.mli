@@ -1,0 +1,23 @@
+(** Golden-table drift guard (the [danaus-cli golden] command and the
+    [test/golden] dune rules).
+
+    The canonical text of an experiment is the concatenation of its
+    rendered report tables at [--quick], seed {!seed}, with the
+    invariant layer armed in strict mode — so a golden run both pins the
+    published numbers and sweeps every conservation law.  [dune runtest]
+    diffs each experiment's canonical text against
+    [test/golden/<id>.txt]; regenerate after an intentional behaviour
+    change with [dune promote] or [danaus-cli golden --regen]. *)
+
+(** The pinned golden seed (7). *)
+val seed : int
+
+(** Goldens are always recorded at [--quick] scale. *)
+val quick : bool
+
+(** Canonical golden text of one experiment.  Arms strict mode
+    process-wide as a side effect. *)
+val text : Registry.exp -> string
+
+(** [file_name id] is ["<id>.txt"]. *)
+val file_name : string -> string

@@ -98,6 +98,17 @@ let custom_pool t ~name ~cores ~mem =
   ignore t;
   Cgroup.create ~name ~cores ~mem_limit:mem
 
+(* End-of-phase sweep of the laws that need a quiescent whole-testbed
+   view: the kernel page cache's conservation accounting and, when
+   tracing, well-formedness of the span tree collected so far.  No-op
+   when the invariant mode is [Off]. *)
+let check_invariants t =
+  if Danaus_check.Check.on () then begin
+    Page_cache.check_invariants (Kernel.page_cache t.kernel);
+    if Obs.tracing t.obs then
+      ignore (Danaus_check.Check.check_spans ~obs:t.obs (Obs.cspans t.obs))
+  end
+
 let drive ?(limit = 100_000.0) t ~stop =
   let rec go () =
     if stop () then ()
@@ -108,7 +119,8 @@ let drive ?(limit = 100_000.0) t ~stop =
       go ()
     end
   in
-  go ()
+  go ();
+  check_invariants t
 
 let reset_metrics t =
   Cpu.reset_usage t.cpu;

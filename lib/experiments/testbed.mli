@@ -37,8 +37,13 @@ val custom_pool : t -> name:string -> cores:int array -> mem:int -> Cgroup.t
 
 (** Drive the simulation until [stop ()] becomes true (checked every
     0.25 simulated seconds) or [limit] simulated seconds elapse; raises
-    [Failure] on timeout. *)
+    [Failure] on timeout.  Ends with a {!check_invariants} sweep. *)
 val drive : ?limit:float -> t -> stop:(unit -> bool) -> unit
+
+(** Sweep the whole-testbed conservation laws (kernel page-cache
+    accounting; span-tree well-formedness when tracing) through
+    {!Danaus_check.Check}.  No-op when the invariant mode is [Off]. *)
+val check_invariants : t -> unit
 
 (** Reset every measurement (CPU usage, lock stats, the whole {!Obs}
     context) — call between the warm-up and the measured phase.

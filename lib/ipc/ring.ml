@@ -23,7 +23,9 @@ type 'a t = {
 }
 
 let create ?name engine ~slots =
-  assert (slots >= 1);
+  Danaus_check.Check.precondition ~layer:"ipc" ~what:"ring_slots"
+    ~detail:(fun () -> Printf.sprintf "slots %d" slots)
+    (slots >= 1);
   {
     ring = Array.init slots (fun _ -> { state = Empty; payload = None });
     head = 0;
@@ -65,6 +67,11 @@ let try_enqueue t x =
       t.occupancy <- t.occupancy + 1;
       t.enqueued <- t.enqueued + 1;
       if t.occupancy > t.high then t.high <- t.occupancy;
+      Danaus_check.Check.require ~layer:"ipc" ~what:"ring_occupancy"
+        ~detail:(fun () ->
+          Printf.sprintf "%d occupied of %d slots" t.occupancy
+            (Array.length t.ring))
+        (t.occupancy >= 1 && t.occupancy <= Array.length t.ring);
       (match t.handles with Some h -> Obs.incr h.enq_c | None -> ());
       publish t;
       wake_one t.consumers;
@@ -86,6 +93,10 @@ let rec dequeue t =
       slot.state <- Empty;
       t.head <- (t.head + 1) mod Array.length t.ring;
       t.occupancy <- t.occupancy - 1;
+      Danaus_check.Check.require ~layer:"ipc" ~what:"ring_occupancy"
+        ~detail:(fun () ->
+          Printf.sprintf "%d occupied after dequeue" t.occupancy)
+        (t.occupancy >= 0);
       publish t;
       wake_one t.producers;
       x

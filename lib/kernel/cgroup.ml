@@ -8,7 +8,11 @@ type t = {
 }
 
 let create ~name ~cores ~mem_limit =
-  assert (Array.length cores > 0 && mem_limit > 0);
+  Danaus_check.Check.precondition ~layer:"cgroup" ~what:"create_args"
+    ~detail:(fun () ->
+      Printf.sprintf "%s: %d cores, mem_limit %d" name (Array.length cores)
+        mem_limit)
+    (Array.length cores > 0 && mem_limit > 0);
   {
     name;
     cores;
@@ -20,7 +24,9 @@ let name t = t.name
 let cores t = t.cores
 
 let set_cores t cores =
-  assert (Array.length cores > 0);
+  Danaus_check.Check.precondition ~layer:"cgroup" ~what:"set_cores"
+    ~detail:(fun () -> t.name ^ ": empty core set")
+    (Array.length cores > 0);
   t.cores <- cores
 let memory t = t.mem
 let mem_limit t = t.mem_limit

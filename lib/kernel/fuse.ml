@@ -24,7 +24,9 @@ let create kernel ~name ~pool =
   }
 
 let start t ~threads =
-  assert (threads >= 1);
+  Danaus_check.Check.precondition ~layer:"fuse" ~what:"start_threads"
+    ~detail:(fun () -> Printf.sprintf "%s: threads %d" t.name threads)
+    (threads >= 1);
   for i = 1 to threads do
     Engine.spawn (Kernel.engine t.kernel)
       ~name:(Printf.sprintf "%s/fuse-%d" t.name i)

@@ -214,6 +214,9 @@ let start_flushers t =
           let now = Engine.now t.engine in
           let periodic = now -. !last_scan >= t.writeback in
           if periodic then last_scan := now;
+          (* the periodic scan is a quiescent point for the whole cache:
+             sweep its conservation laws before queueing new work *)
+          if periodic then Page_cache.check_invariants t.page_cache;
           List.iter
             (fun m ->
               if periodic then

@@ -7,6 +7,11 @@ type mount = {
   m_limit : int; (* cgroup memory limit covering this mount's cache *)
   mutable m_used : int;
   mutable m_dirty : int;
+  (* Conservation accumulators, deliberately plain ints rather than Obs
+     cells: [Obs.reset] between warm-up and measured phases clears the
+     cells but must not break the law below. *)
+  mutable m_dirtied_total : int; (* every byte that ever became dirty *)
+  mutable m_wb_total : int; (* every byte retired by writeback/discard *)
   mutable throttled : (unit -> unit) list;
   mutable m_files : file list;
   dirty_g : Obs.gauge;
@@ -35,7 +40,9 @@ and t = {
 }
 
 let create engine ~mem ~limit ~block =
-  assert (limit > 0 && block > 0);
+  Invariant.precondition ~layer:"page_cache" ~what:"create_args"
+    ~detail:(fun () -> Printf.sprintf "limit %d, block %d" limit block)
+    (limit > 0 && block > 0);
   {
     engine;
     mem;
@@ -47,7 +54,9 @@ let create engine ~mem ~limit ~block =
   }
 
 let add_mount t ~name ~max_dirty ?mem_limit () =
-  assert (max_dirty > 0);
+  Invariant.precondition ~layer:"page_cache" ~what:"mount_max_dirty"
+    ~detail:(fun () -> Printf.sprintf "%s: max_dirty %d" name max_dirty)
+    (max_dirty > 0);
   let obs = Engine.obs t.engine in
   let m =
     {
@@ -56,6 +65,8 @@ let add_mount t ~name ~max_dirty ?mem_limit () =
       m_limit = Option.value ~default:max_int mem_limit;
       m_used = 0;
       m_dirty = 0;
+      m_dirtied_total = 0;
+      m_wb_total = 0;
       throttled = [];
       m_files = [];
       dirty_g = Obs.gauge obs ~layer:"kernel" ~name:"dirty_bytes" ~key:name;
@@ -201,6 +212,7 @@ let write f ~off ~len =
       if not (Hashtbl.mem f.dirty b) then begin
         Hashtbl.add f.dirty b now;
         f.mnt.m_dirty <- f.mnt.m_dirty + t.block;
+        f.mnt.m_dirtied_total <- f.mnt.m_dirtied_total + t.block;
         t.grand_dirty <- t.grand_dirty + t.block
       end)
     (blocks_of t ~off ~len);
@@ -283,11 +295,66 @@ let flush_file f =
   let got = select_blocks f ~older_than:infinity ~budget:max_int in
   if got > 0 then [ (f, got) ] else []
 
+(* The page cache's conservation law: every byte that ever became dirty
+   was either retired by writeback (or an explicit discard) or is still
+   dirty right now.  Holds per mount at every quiescent point. *)
+let conservation_ok m = m.m_dirtied_total = m.m_wb_total + m.m_dirty
+
+let check_mount t m =
+  let obs = Engine.obs t.engine in
+  Invariant.require ~obs ~layer:"page_cache" ~what:"dirty_conservation"
+    ~detail:(fun () ->
+      Printf.sprintf "%s: dirtied %d <> wb %d + dirty %d" m.m_name
+        m.m_dirtied_total m.m_wb_total m.m_dirty)
+    (conservation_ok m);
+  Invariant.require ~obs ~layer:"page_cache" ~what:"dirty_non_negative"
+    ~detail:(fun () -> Printf.sprintf "%s: dirty %d" m.m_name m.m_dirty)
+    (m.m_dirty >= 0);
+  Invariant.require ~obs ~layer:"page_cache" ~what:"used_non_negative"
+    ~detail:(fun () -> Printf.sprintf "%s: used %d" m.m_name m.m_used)
+    (m.m_used >= 0);
+  Invariant.require ~obs ~layer:"page_cache" ~what:"wb_within_dirtied"
+    ~detail:(fun () ->
+      Printf.sprintf "%s: wrote back %d of %d ever dirtied" m.m_name
+        m.m_wb_total m.m_dirtied_total)
+    (m.m_wb_total <= m.m_dirtied_total)
+
+let check_invariants t =
+  List.iter (check_mount t) t.all_mounts;
+  let obs = Engine.obs t.engine in
+  Invariant.invariant ~obs ~layer:"page_cache" ~what:"occupancy_sum"
+    ~detail:(fun () ->
+      let sum = List.fold_left (fun a m -> a + m.m_used) 0 t.all_mounts in
+      Printf.sprintf "mounts sum to %d, memory pool holds %d" sum
+        (Memory.used t.mem))
+    (fun () ->
+      List.fold_left (fun a m -> a + m.m_used) 0 t.all_mounts
+      = Memory.used t.mem);
+  Invariant.invariant ~obs ~layer:"page_cache" ~what:"grand_dirty_sum"
+    ~detail:(fun () ->
+      let sum = List.fold_left (fun a m -> a + m.m_dirty) 0 t.all_mounts in
+      Printf.sprintf "mounts sum to %d dirty, cache says %d" sum t.grand_dirty)
+    (fun () ->
+      List.fold_left (fun a m -> a + m.m_dirty) 0 t.all_mounts = t.grand_dirty)
+
 let writeback_complete t m ~bytes =
-  assert (bytes >= 0);
+  Invariant.precondition ~layer:"page_cache" ~what:"writeback_bytes"
+    ~detail:(fun () -> Printf.sprintf "%s: %d bytes" m.m_name bytes)
+    (bytes >= 0);
   m.m_dirty <- m.m_dirty - bytes;
+  m.m_wb_total <- m.m_wb_total + bytes;
   t.grand_dirty <- t.grand_dirty - bytes;
-  assert (m.m_dirty >= 0 && t.grand_dirty >= 0);
+  Invariant.precondition ~layer:"page_cache" ~what:"dirty_underflow"
+    ~detail:(fun () ->
+      Printf.sprintf "%s: dirty %d, grand %d after retiring %d" m.m_name
+        m.m_dirty t.grand_dirty bytes)
+    (m.m_dirty >= 0 && t.grand_dirty >= 0);
+  Invariant.require ~obs:(Engine.obs t.engine) ~layer:"page_cache"
+    ~what:"dirty_conservation"
+    ~detail:(fun () ->
+      Printf.sprintf "%s: dirtied %d <> wb %d + dirty %d" m.m_name
+        m.m_dirtied_total m.m_wb_total m.m_dirty)
+    (conservation_ok m);
   Obs.set m.dirty_g (float_of_int m.m_dirty);
   Obs.add m.wb_c (float_of_int bytes);
   wake_throttled m;
@@ -300,6 +367,8 @@ let discard_dirty f =
 
 let mount_of f = f.mnt
 let mount_used m = m.m_used
+let dirtied_total m = m.m_dirtied_total
+let wb_total m = m.m_wb_total
 let run_flush f ~bytes = f.flush ~bytes
 let dirty_bytes (_ : t) m = m.m_dirty
 let total_dirty t = t.grand_dirty

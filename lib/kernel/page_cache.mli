@@ -104,3 +104,22 @@ val used_bytes : t -> int
 
 (** Time the oldest dirty block of the mount was dirtied, if any. *)
 val oldest_dirty : t -> mount -> float option
+
+(** {1 Invariants} *)
+
+(** Bytes the mount ever dirtied / ever retired by writeback.  Plain
+    accumulators (not [Obs] cells), so they survive [Obs.reset]; the
+    conservation law is [dirtied_total = wb_total + dirty_bytes]. *)
+val dirtied_total : mount -> int
+
+val wb_total : mount -> int
+
+(** Check one mount's conservation laws through {!Invariant} (no-op when
+    the invariant mode is [Off]). *)
+val check_mount : t -> mount -> unit
+
+(** Check every mount plus the cache-wide laws: per-mount occupancies
+    sum to the memory pool's usage, per-mount dirty sums to the cache's
+    grand total.  Called periodically by the kernel's flusher sweep and
+    at the end of experiments. *)
+val check_invariants : t -> unit

@@ -58,6 +58,12 @@ let try_admit t =
 
 let release t =
   t.inflight <- t.inflight - 1;
+  Danaus_check.Check.require ~obs:(Engine.obs t.engine) ~layer:"qos"
+    ~what:"inflight_balance"
+    ~detail:(fun () ->
+      Printf.sprintf "%d in flight after release (window %d)" t.inflight
+        t.cfg.max_inflight)
+    (t.inflight >= 0 && t.inflight < t.cfg.max_inflight);
   Obs.set t.inflight_g (float_of_int t.inflight)
 
 let run t ~shed f =

@@ -26,7 +26,23 @@ let state_to_string = function
   | Open -> "open"
   | Half_open -> "half-open"
 
+(* The breaker state machine: Closed trips to Open, Open cools down to
+   Half_open, a Half_open probe settles it to Closed (success) or back
+   to Open (failure).  Open -> Open re-arms the cool-down window. *)
+let legal_transition from into =
+  match (from, into) with
+  | Closed, Open | Open, Half_open | Half_open, Closed | Half_open, Open
+  | Open, Open ->
+      true
+  | from, into -> from = into
+
 let set_state t s =
+  Danaus_check.Check.require ~obs:(Engine.obs t.engine) ~layer:"qos"
+    ~what:"breaker_transition"
+    ~detail:(fun () ->
+      Printf.sprintf "illegal %s -> %s" (state_to_string t.state)
+        (state_to_string s))
+    (legal_transition t.state s);
   t.state <- s;
   Obs.set t.state_g (state_value s)
 

@@ -21,7 +21,12 @@ let refill t =
   if now > t.last then begin
     t.tokens <- Float.min t.burst (t.tokens +. ((now -. t.last) *. t.rate));
     t.last <- now
-  end
+  end;
+  Danaus_check.Check.require ~obs:(Engine.obs t.engine) ~layer:"qos"
+    ~what:"bucket_bounds"
+    ~detail:(fun () ->
+      Printf.sprintf "%g tokens outside [0, %g]" t.tokens t.burst)
+    (t.tokens >= 0.0 && t.tokens <= t.burst)
 
 let try_take ?(cost = 1.0) t =
   refill t;

@@ -31,7 +31,9 @@ let obs t = t.obs
 let live_processes t = t.live
 
 let schedule t ?(delay = 0.0) run =
-  assert (delay >= 0.0);
+  Invariant.precondition ~layer:"engine" ~what:"schedule_delay"
+    ~detail:(fun () -> Printf.sprintf "negative delay %g" delay)
+    (delay >= 0.0);
   let ev = { at = t.clock +. delay; seq = t.seq; run } in
   t.seq <- t.seq + 1;
   Pheap.push t.events ev
@@ -65,7 +67,9 @@ let rec exec t name dl tp body =
           | Sleep d ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  assert (d >= 0.0);
+                  Invariant.precondition ~layer:"engine" ~what:"sleep_delay"
+                    ~detail:(fun () -> Printf.sprintf "negative delay %g" d)
+                    (d >= 0.0);
                   schedule t ~delay:d (fun () -> continue k ()))
           | Suspend register ->
               Some
@@ -96,6 +100,23 @@ and spawn t ?(name = "proc") ?deadline ?(span_parent = 0) body =
   t.live <- t.live + 1;
   schedule t (fun () -> exec t name (ref deadline) (ref span_parent) body)
 
+(* Per-event invariants: the popped event may never lie behind the
+   clock (the heap's total order plus non-negative delays guarantee it;
+   a violation means event ordering itself broke).  The O(n) structural
+   heap check is sampled on seq so even [Strict] test runs only pay it
+   once every few thousand events. *)
+let check_event t ev =
+  Invariant.require ~obs:t.obs ~layer:"engine" ~what:"clock_monotonic"
+    ~detail:(fun () ->
+      Printf.sprintf "event at %.9g behind clock %.9g" ev.at t.clock)
+    (ev.at >= t.clock);
+  if ev.seq land 4095 = 0 then
+    Invariant.invariant ~obs:t.obs ~layer:"engine" ~what:"heap_order"
+      ~detail:(fun () ->
+        Printf.sprintf "event heap lost order at %d entries"
+          (Pheap.size t.events))
+      (fun () -> Pheap.is_heap t.events)
+
 let run t =
   let rec loop () =
     match Pheap.pop t.events with
@@ -103,6 +124,7 @@ let run t =
         if t.live > 0 then
           raise (Deadlock (Printf.sprintf "%d process(es) blocked forever" t.live))
     | Some ev ->
+        check_event t ev;
         t.clock <- ev.at;
         ev.run ();
         loop ()
@@ -114,6 +136,7 @@ let run_until t horizon =
     match Pheap.peek t.events with
     | Some ev when ev.at <= horizon ->
         ignore (Pheap.pop t.events);
+        check_event t ev;
         t.clock <- ev.at;
         ev.run ();
         loop ()
@@ -152,4 +175,10 @@ let with_deadline d f =
         | None, d | d, None -> d
       in
       slot := tightened;
+      Invariant.require ~layer:"engine" ~what:"deadline_tighten"
+        ~detail:(fun () -> "with_deadline loosened an inherited deadline")
+        (match (saved, tightened) with
+        | Some a, Some b -> b <= a
+        | None, _ -> true
+        | Some _, None -> false);
       Fun.protect ~finally:(fun () -> slot := saved) f

@@ -1,0 +1,108 @@
+(* Runtime invariant layer (the engine-level half of danaus_check).
+
+   Layers state their conservation laws through {!require} (a cheap,
+   already-evaluated condition) and {!invariant} (a predicate thunk only
+   evaluated when checking is enabled).  The global {!mode} decides the
+   cost: [Off] is a single branch per call site, [Record] counts every
+   violation in the violating engine's [Obs] (layer "check", name
+   "violations") and in a global bounded log, and [Strict] additionally
+   raises {!Violation} so a broken law stops the run where it happened.
+
+   The mode is process-global and set once at startup (test runner,
+   fuzzer, CLI flag), before any simulation domain is spawned — exactly
+   like [Obs.default_tracing] — so parallel experiment domains only ever
+   read it.  The violation log is shared across domains and protected by
+   a real mutex; it is bounded so a hot broken invariant cannot eat the
+   heap in [Record] mode. *)
+
+type mode = Off | Record | Strict
+
+type violation = { v_layer : string; v_what : string; v_detail : string }
+
+exception Violation of violation
+
+let () =
+  Printexc.register_printer (function
+    | Violation v ->
+        Some
+          (Printf.sprintf "Invariant violation in %s/%s%s" v.v_layer v.v_what
+             (if v.v_detail = "" then "" else ": " ^ v.v_detail))
+    | _ -> None)
+
+let current_mode = Atomic.make Off
+
+let set_mode m = Atomic.set current_mode m
+let mode () = Atomic.get current_mode
+let on () = Atomic.get current_mode <> Off
+let strict () = Atomic.get current_mode = Strict
+
+(* ------------------------------------------------------------------ *)
+(* Global bounded violation log (for reports; Obs holds the counters). *)
+
+let log_limit = 1024
+let log_mutex = Stdlib.Mutex.create ()
+let log : violation list ref = ref [] (* newest first, bounded *)
+let logged = ref 0 (* kept entries *)
+let total = ref 0 (* every violation ever seen, even past the bound *)
+
+let violations () =
+  Stdlib.Mutex.lock log_mutex;
+  let vs = List.rev !log in
+  Stdlib.Mutex.unlock log_mutex;
+  vs
+
+let violation_count () =
+  Stdlib.Mutex.lock log_mutex;
+  let n = !total in
+  Stdlib.Mutex.unlock log_mutex;
+  n
+
+let clear_violations () =
+  Stdlib.Mutex.lock log_mutex;
+  log := [];
+  logged := 0;
+  total := 0;
+  Stdlib.Mutex.unlock log_mutex
+
+let record ?obs ~layer ~what detail =
+  let v = { v_layer = layer; v_what = what; v_detail = detail } in
+  (match obs with
+  | Some obs ->
+      Obs.incr
+        (Obs.counter obs ~layer:"check" ~name:"violations"
+           ~key:(layer ^ ":" ^ what))
+  | None -> ());
+  Stdlib.Mutex.lock log_mutex;
+  incr total;
+  if !logged < log_limit then begin
+    log := v :: !log;
+    incr logged
+  end;
+  Stdlib.Mutex.unlock log_mutex;
+  if strict () then raise (Violation v)
+
+let detail_of = function None -> "" | Some f -> f ()
+
+let require ?obs ?detail ~layer ~what cond =
+  if Atomic.get current_mode <> Off && not cond then
+    record ?obs ~layer ~what (detail_of detail)
+
+let invariant ?obs ?detail ~layer ~what pred =
+  if Atomic.get current_mode <> Off && not (pred ()) then
+    record ?obs ~layer ~what (detail_of detail)
+
+(* Argument/state preconditions migrated from bare [assert]s: always
+   evaluated (they replace checks that were always on), and a failure
+   always raises, naming the subsystem instead of [Assert_failure]. *)
+let precondition ?detail ~layer ~what cond =
+  if not cond then begin
+    let v = { v_layer = layer; v_what = what; v_detail = detail_of detail } in
+    Stdlib.Mutex.lock log_mutex;
+    incr total;
+    if !logged < log_limit then begin
+      log := v :: !log;
+      incr logged
+    end;
+    Stdlib.Mutex.unlock log_mutex;
+    raise (Violation v)
+  end

@@ -1,0 +1,62 @@
+(** Runtime invariant layer: machine-checked conservation laws.
+
+    Every simulation layer states its conservation laws through this
+    module (usually via the re-export in [Danaus_check.Check]); the
+    global {!mode} decides what a failed condition costs:
+
+    - [Off] (default): a single branch per call site; {!invariant}
+      predicates are never evaluated.  Bench runs stay byte-identical.
+    - [Record]: violations are counted in the violating engine's
+      [Obs] as [check/violations\[<layer>:<what>\]] and appended to a
+      global bounded log, and the run continues.
+    - [Strict]: as [Record], plus {!Violation} is raised at the point
+      of violation ([dune runtest] and the fuzzer run in this mode).
+
+    The mode is process-global; set it once at startup, before any
+    simulation domain is spawned. *)
+
+type mode = Off | Record | Strict
+
+type violation = { v_layer : string; v_what : string; v_detail : string }
+
+exception Violation of violation
+
+val set_mode : mode -> unit
+val mode : unit -> mode
+
+(** [true] when checking is enabled ([Record] or [Strict]); use to guard
+    expensive condition computations at call sites. *)
+val on : unit -> bool
+
+val strict : unit -> bool
+
+(** [require ~layer ~what cond] records a violation when [cond] is
+    false.  The condition is evaluated by the caller, so keep it to a
+    cheap comparison; use {!invariant} for anything that allocates or
+    scans.  [obs] attributes the violation counter to an engine;
+    [detail] is only forced on violation. *)
+val require :
+  ?obs:Obs.t -> ?detail:(unit -> string) -> layer:string -> what:string -> bool -> unit
+
+(** [invariant ~layer ~what pred] is {!require} with the condition
+    behind a thunk: [pred] is not called at all when the mode is
+    [Off]. *)
+val invariant :
+  ?obs:Obs.t ->
+  ?detail:(unit -> string) ->
+  layer:string ->
+  what:string ->
+  (unit -> bool) ->
+  unit
+
+(** Argument/state preconditions migrated from bare [assert]s: always
+    evaluated regardless of {!mode}, and a failure always raises
+    {!Violation} naming the subsystem (instead of [Assert_failure]). *)
+val precondition :
+  ?detail:(unit -> string) -> layer:string -> what:string -> bool -> unit
+
+(** The global bounded violation log (all engines, all domains). *)
+
+val violations : unit -> violation list
+val violation_count : unit -> int
+val clear_violations : unit -> unit

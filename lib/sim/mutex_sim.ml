@@ -35,6 +35,14 @@ let locked t = t.is_locked
 
 let lock t =
   if not t.is_locked then begin
+    (* An unlocked mutex with queued waiters means [unlock] dropped a
+       hand-off: those waiters will never be woken. *)
+    Invariant.require ~obs:(Engine.obs t.engine) ~layer:"mutex"
+      ~what:"no_orphan_waiters"
+      ~detail:(fun () ->
+        Printf.sprintf "%s unlocked with %d waiter(s) queued" t.name
+          (Queue.length t.waiters))
+      (Queue.is_empty t.waiters);
     t.is_locked <- true;
     t.acquired_at <- Engine.now t.engine;
     t.acquisitions <- t.acquisitions + 1
@@ -57,6 +65,10 @@ let lock t =
 let unlock t =
   if not t.is_locked then invalid_arg ("Mutex_sim.unlock: not locked: " ^ t.name);
   let held = Engine.now t.engine -. t.acquired_at in
+  Invariant.require ~obs:(Engine.obs t.engine) ~layer:"mutex"
+    ~what:"hold_non_negative"
+    ~detail:(fun () -> Printf.sprintf "%s held for %g" t.name held)
+    (held >= 0.0);
   t.total_hold <- t.total_hold +. held;
   Obs.observe t.hold_h held;
   match Queue.take_opt t.waiters with

@@ -63,3 +63,10 @@ let pop h =
 let clear h =
   h.data <- [||];
   h.size <- 0
+
+let is_heap h =
+  let ok = ref true in
+  for i = 1 to h.size - 1 do
+    if h.cmp h.data.((i - 1) / 2) h.data.(i) > 0 then ok := false
+  done;
+  !ok

@@ -25,3 +25,8 @@ val pop : 'a t -> 'a option
 
 (** Remove every element. *)
 val clear : 'a t -> unit
+
+(** [is_heap h] checks the structural invariant: every parent orders at
+    or before its children under [cmp].  O(n); used by the invariant
+    layer and the unit tests, never on the hot path. *)
+val is_heap : 'a t -> bool

@@ -1,16 +1,20 @@
 type t = {
   engine : Engine.t;
   sem_name : string option;
+  initial : int; (* permits at creation; release balance bound *)
   mutable permits : int;
   waiting : (unit -> unit) Queue.t;
   wait_h : Obs.histogram option; (* only named semaphores record waits *)
 }
 
 let create ?name engine ~value =
-  assert (value >= 0);
+  Invariant.precondition ~layer:"semaphore" ~what:"create_value"
+    ~detail:(fun () -> Printf.sprintf "negative initial value %d" value)
+    (value >= 0);
   {
     engine;
     sem_name = name;
+    initial = value;
     permits = value;
     waiting = Queue.create ();
     wait_h =
@@ -38,7 +42,18 @@ let acquire t =
 let release t =
   match Queue.take_opt t.waiting with
   | Some wake -> wake () (* the permit is handed over directly *)
-  | None -> t.permits <- t.permits + 1
+  | None ->
+      t.permits <- t.permits + 1;
+      (* Every use in the tree is a bounded window (disk/net gates, bdi
+         and flush windows): more releases than acquires means a path
+         double-released its permit. *)
+      Invariant.require ~obs:(Engine.obs t.engine) ~layer:"semaphore"
+        ~what:"release_balance"
+        ~detail:(fun () ->
+          Printf.sprintf "%s has %d permits, created with %d"
+            (Option.value ~default:"<anon>" t.sem_name)
+            t.permits t.initial)
+        (t.permits <= t.initial)
 
 let try_acquire t =
   if t.permits > 0 then begin

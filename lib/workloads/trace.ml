@@ -74,7 +74,10 @@ let parse text =
 (* Synthesis *)
 
 let synthesize rng ~ops ~files ~mean_io ~write_fraction ~dir =
-  assert (ops >= 0 && files > 0 && mean_io > 0);
+  Danaus_check.Check.precondition ~layer:"workload" ~what:"synthesize_args"
+    ~detail:(fun () ->
+      Printf.sprintf "ops %d, files %d, mean_io %d" ops files mean_io)
+    (ops >= 0 && files > 0 && mean_io > 0);
   let path i = Printf.sprintf "%s/t%05d" dir i in
   let io () =
     Stdlib.max 1 (int_of_float (Rng.exponential rng ~mean:(float_of_int mean_io)))
@@ -155,7 +158,9 @@ let run_event st ctx stats ev =
     end
 
 let replay ctx ~view ?(threads = 1) trace =
-  assert (threads >= 1);
+  Danaus_check.Check.precondition ~layer:"workload" ~what:"replay_threads"
+    ~detail:(fun () -> Printf.sprintf "threads %d" threads)
+    (threads >= 1);
   let engine = ctx.Workload.engine in
   let pool = ctx.Workload.pool in
   let stats = Workload.fresh_stats () in

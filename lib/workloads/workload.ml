@@ -33,7 +33,9 @@ let throughput_mbps s ~elapsed =
   else (s.bytes_read +. s.bytes_written) /. elapsed /. 1.0e6
 
 let chunked ~chunk ~total f =
-  assert (chunk > 0);
+  Danaus_check.Check.precondition ~layer:"workload" ~what:"chunk_size"
+    ~detail:(fun () -> Printf.sprintf "chunk %d" chunk)
+    (chunk > 0);
   let off = ref 0 in
   while !off < total do
     let len = Stdlib.min chunk (total - !off) in

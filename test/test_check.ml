@@ -1,0 +1,178 @@
+(* Tests for the invariant layer itself (Danaus_check.Check): mode
+   semantics, the violation log, span well-formedness problems, and a
+   strict-mode integration run that sweeps the page-cache conservation
+   laws end to end. *)
+
+open Danaus_sim
+module Check = Danaus_check.Check
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* The mode is process-global (the whole suite runs strict, see
+   test_main.ml): flip it for one test body, always restore. *)
+let with_mode m f =
+  let saved = Check.mode () in
+  Check.set_mode m;
+  Fun.protect ~finally:(fun () -> Check.set_mode saved) f
+
+let test_off_is_silent () =
+  with_mode Check.Off (fun () ->
+      let before = Check.violation_count () in
+      Check.require ~layer:"test" ~what:"off_silent" false;
+      let evaluated = ref false in
+      Check.invariant ~layer:"test" ~what:"off_lazy" (fun () ->
+          evaluated := true;
+          false);
+      check_int "nothing recorded when off" before (Check.violation_count ());
+      check_bool "invariant predicate not evaluated when off" false !evaluated)
+
+let test_record_logs_without_raising () =
+  with_mode Check.Record (fun () ->
+      let before = Check.violation_count () in
+      Check.require ~layer:"test" ~what:"record_req"
+        ~detail:(fun () -> "d1")
+        false;
+      Check.invariant ~layer:"test" ~what:"record_inv" (fun () -> false);
+      Check.require ~layer:"test" ~what:"record_pass" true;
+      check_int "two violations recorded" (before + 2)
+        (Check.violation_count ());
+      match List.filteri (fun i _ -> i >= before) (Check.violations ()) with
+      | [ a; b ] ->
+          Alcotest.(check string) "layer" "test" a.Check.v_layer;
+          Alcotest.(check string) "what" "record_req" a.Check.v_what;
+          Alcotest.(check string) "detail forced on violation" "d1"
+            a.Check.v_detail;
+          Alcotest.(check string) "second what" "record_inv" b.Check.v_what
+      | _ -> Alcotest.fail "expected exactly two new violations")
+
+let test_strict_raises_at_violation () =
+  with_mode Check.Strict (fun () ->
+      let raised =
+        match Check.require ~layer:"test" ~what:"strict_req" false with
+        | () -> false
+        | exception Check.Violation v ->
+            v.Check.v_layer = "test" && v.Check.v_what = "strict_req"
+      in
+      check_bool "strict require raises" true raised;
+      check_bool "violation still recorded" true
+        (List.exists
+           (fun v -> v.Check.v_what = "strict_req")
+           (Check.violations ())))
+
+let test_precondition_always_raises () =
+  with_mode Check.Off (fun () ->
+      let raised =
+        match
+          Check.precondition ~layer:"test" ~what:"pre"
+            ~detail:(fun () -> "bad arg")
+            false
+        with
+        | () -> false
+        | exception Check.Violation v ->
+            v.Check.v_layer = "test" && v.Check.v_detail = "bad arg"
+      in
+      check_bool "precondition raises even when mode is Off" true raised);
+  Check.precondition ~layer:"test" ~what:"pre" true
+
+let test_violation_counter_in_obs () =
+  with_mode Check.Record (fun () ->
+      let e = Engine.create () in
+      let obs = Engine.obs e in
+      Check.require ~obs ~layer:"test" ~what:"counted" false;
+      let snap = Obs.snapshot obs in
+      check_bool "check/violations counter keyed by layer:what" true
+        (List.exists
+           (fun s ->
+             s.Obs.s_layer = "check" && s.Obs.s_name = "violations"
+             && s.Obs.s_key = "test:counted"
+             && s.Obs.s_value = Obs.Counter 1.0)
+           snap))
+
+(* ------------------------------------------------------------------ *)
+(* Span well-formedness problems *)
+
+let span ?(id = 1) ?(parent = 0) ?(start = 0.0) ?(dur = 1.0) () =
+  {
+    Obs.cs_id = id;
+    cs_parent = parent;
+    cs_layer = "test";
+    cs_name = "op";
+    cs_key = "k";
+    cs_phase = Obs.Service;
+    cs_start = start;
+    cs_dur = dur;
+  }
+
+let test_span_problems () =
+  check_int "well-formed tree has no problems" 0
+    (List.length
+       (Check.span_problems
+          [
+            span ~id:1 ~start:0.0 ~dur:2.0 ();
+            span ~id:2 ~parent:1 ~start:0.5 ~dur:1.0 ();
+          ]));
+  check_bool "duplicate ids detected" true
+    (Check.span_problems [ span ~id:3 (); span ~id:3 () ] <> []);
+  check_bool "open span (negative dur) detected" true
+    (Check.span_problems [ span ~id:4 ~dur:(-1.0) () ] <> []);
+  check_bool "parent after child detected" true
+    (Check.span_problems [ span ~id:5 ~parent:9 (); span ~id:9 () ] <> []);
+  check_bool "child starting before parent detected" true
+    (Check.span_problems
+       [ span ~id:1 ~start:1.0 (); span ~id:2 ~parent:1 ~start:0.5 () ]
+    <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Strict end-to-end sweep: run real traffic through the kernel client
+   with every conservation law armed.  This is the test that catches a
+   corrupted page-cache accounting (e.g. a skipped dirty-counter
+   decrement) directly in `dune runtest`. *)
+
+let test_strict_end_to_end () =
+  with_mode Check.Strict (fun () ->
+      let open Danaus_experiments in
+      let tb = Testbed.create ~seed:5 ~activated:2 () in
+      let pool = Testbed.pool tb 0 in
+      let ct =
+        Danaus.Container_engine.launch tb.Testbed.containers
+          ~config:Danaus.Config.k ~pool ~id:"chk" ()
+      in
+      let done_ = ref false in
+      Engine.spawn tb.Testbed.engine (fun () ->
+          let ctx = Testbed.ctx tb ~pool ~seed:1 in
+          let p =
+            {
+              Danaus_workloads.Seqio.file_size = 4 * 1024 * 1024;
+              threads = 2;
+              duration = 2.0;
+              io_chunk = 1024 * 1024;
+              path = "/chk/stream";
+            }
+          in
+          ignore
+            (Danaus_workloads.Seqio.run_write ctx
+               ~view:ct.Danaus.Container_engine.view p);
+          ignore
+            (Danaus_workloads.Seqio.run_read ctx
+               ~view:ct.Danaus.Container_engine.view p);
+          done_ := true);
+      Testbed.drive tb ~stop:(fun () -> !done_);
+      (* the drive ends with a whole-testbed invariant sweep; reaching
+         this point in strict mode means every law held *)
+      check_bool "strict run completed" true !done_)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "check.invariant",
+      [
+        tc "Off is silent and lazy" `Quick test_off_is_silent;
+        tc "Record logs without raising" `Quick test_record_logs_without_raising;
+        tc "Strict raises at the violation" `Quick test_strict_raises_at_violation;
+        tc "preconditions always raise" `Quick test_precondition_always_raises;
+        tc "violations counted in Obs" `Quick test_violation_counter_in_obs;
+        tc "span problems" `Quick test_span_problems;
+        tc "strict end-to-end sweep" `Quick test_strict_end_to_end;
+      ] );
+  ]

@@ -1,6 +1,10 @@
 let () =
+  (* the whole suite runs with the invariant layer strict: any
+     conservation-law violation anywhere in a test's simulation raises
+     at the point of violation instead of passing silently *)
+  Danaus_check.Check.set_mode Danaus_check.Check.Strict;
   Alcotest.run "danaus"
     (Test_sim.suite @ Test_hw.suite @ Test_kernel.suite @ Test_ceph.suite
    @ Test_client.suite @ Test_union.suite @ Test_ipc.suite @ Test_core.suite
    @ Test_workloads.suite @ Test_faults.suite @ Test_qos.suite @ Test_trace.suite
-   @ Test_integration.suite)
+   @ Test_integration.suite @ Test_check.suite)

@@ -647,8 +647,10 @@ let test_negative_sleep_rejected () =
   Engine.spawn e (fun () ->
       match Engine.sleep (-1.0) with
       | () -> ()
-      | exception Assert_failure _ -> raised := true);
-  (try Engine.run e with Assert_failure _ -> raised := true);
+      | exception Invariant.Violation { v_layer = "engine"; _ } ->
+          raised := true);
+  (try Engine.run e with Invariant.Violation { v_layer = "engine"; _ } ->
+    raised := true);
   check_bool "negative sleep rejected" true !raised
 
 let guard_suite =
@@ -662,3 +664,82 @@ let guard_suite =
   ]
 
 let suite = suite @ guard_suite
+
+(* ------------------------------------------------------------------ *)
+(* Pheap: direct unit tests of the engine's event queue *)
+
+let test_pheap_empty () =
+  let h = Pheap.create ~cmp:Int.compare in
+  check_bool "pop on empty" true (Pheap.pop h = None);
+  check_bool "peek on empty" true (Pheap.peek h = None);
+  check_int "size 0" 0 (Pheap.size h);
+  check_bool "is_empty" true (Pheap.is_empty h);
+  check_bool "empty heap is a heap" true (Pheap.is_heap h);
+  Pheap.push h 3;
+  Pheap.clear h;
+  check_bool "pop after clear" true (Pheap.pop h = None)
+
+let test_pheap_total_order_seeded () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + Rng.int rng 400 in
+      let xs = List.init n (fun _ -> Rng.int rng 1000) in
+      let h = Pheap.create ~cmp:Int.compare in
+      List.iter
+        (fun x ->
+          Pheap.push h x;
+          check_bool "heap order after push" true (Pheap.is_heap h))
+        xs;
+      check_int "size after pushes" n (Pheap.size h);
+      let rec drain acc =
+        match Pheap.peek h with
+        | None ->
+            check_bool "pop agrees with peek at end" true (Pheap.pop h = None);
+            List.rev acc
+        | Some top ->
+            check_bool "pop returns the peeked element" true
+              (Pheap.pop h = Some top);
+            check_bool "heap order after pop" true (Pheap.is_heap h);
+            drain (top :: acc)
+      in
+      let drained = drain [] in
+      check_bool "drained in total order" true
+        (drained = List.sort Int.compare xs))
+    [ 1; 2; 7; 42; 1337 ]
+
+(* The engine orders events by (time, seq) with seq assigned at insertion,
+   so same-time events must drain in insertion order no matter how the
+   pushes were interleaved. *)
+let test_pheap_tie_break_deterministic () =
+  let cmp (t1, s1) (t2, s2) =
+    match Float.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c
+  in
+  let evs =
+    Array.init 64 (fun i -> ((if i land 1 = 0 then 1.0 else 2.0), i))
+  in
+  let expected = List.sort cmp (Array.to_list evs) in
+  List.iter
+    (fun seed ->
+      let scrambled = Array.copy evs in
+      Rng.shuffle (Rng.create seed) scrambled;
+      let h = Pheap.create ~cmp in
+      Array.iter (Pheap.push h) scrambled;
+      let rec drain acc =
+        match Pheap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      check_bool "ties drain by sequence number" true (drain [] = expected))
+    [ 3; 5; 9; 21 ]
+
+let pheap_suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "sim.pheap",
+      [
+        tc "empty heap" `Quick test_pheap_empty;
+        tc "total order under random seeds" `Quick test_pheap_total_order_seeded;
+        tc "tie-breaking determinism" `Quick test_pheap_tie_break_deterministic;
+      ] );
+  ]
+
+let suite = suite @ pheap_suite

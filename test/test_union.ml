@@ -436,3 +436,99 @@ let block_cow_suite =
   ]
 
 let suite = suite @ block_cow_suite
+
+(* ------------------------------------------------------------------ *)
+(* Whiteout orphan scan and copy-up rollback (the correctness-harness
+   satellites): check_whiteouts on empty/justified/orphaned uppers, and
+   a mid-copy failure that must roll the partial upper copy back. *)
+
+let test_whiteouts_empty_upper () =
+  let w, pool, _, u = make_union_world () in
+  let scanned = ref None in
+  Engine.spawn w.engine (fun () ->
+      scanned := Some (Union_fs.check_whiteouts u ~pool));
+  Engine.run_until w.engine 120.0;
+  Alcotest.(check (list string)) "no whiteouts in a fresh upper" []
+    (Option.get !scanned)
+
+let test_whiteouts_justified_vs_orphan () =
+  let w, pool, i, u = make_union_world () in
+  Engine.spawn w.engine (fun () ->
+      (* a real deletion of a lower file leaves a justified whiteout *)
+      ok_or_fail "unlink" (u.Client_intf.unlink ~pool "/etc/passwd");
+      Alcotest.(check (list string)) "deletion whiteout is justified" []
+        (Union_fs.check_whiteouts u ~pool);
+      (* manufacture orphans: whiteouts covering nothing, one at the
+         root and one in a nested directory *)
+      write_file i ~pool "/upper/.wh.ghost" 0;
+      ok_or_fail "mkdir" (i.Client_intf.mkdir_p ~pool "/upper/etc");
+      write_file i ~pool "/upper/etc/.wh.nope" 0;
+      Alcotest.(check (list string)) "orphans reported sorted" [ "/etc/nope"; "/ghost" ]
+        (Union_fs.check_whiteouts u ~pool));
+  Engine.run_until w.engine 240.0
+
+(* Write-without-truncate flags: the open that forces a whole-file
+   copy-up (flags_wo has trunc set, which legitimately skips the copy). *)
+let flags_w_keep =
+  { Client_intf.rd = false; wr = true; append = false; create = false; trunc = false }
+
+let test_copy_up_rollback_on_mid_copy_failure () =
+  let w = make_world () in
+  let pool = pool_of () in
+  let c = make_lib_client w pool "libc" in
+  let i = Lib_client.iface c in
+  (* lower branch whose reads fail from the second 1 MiB chunk on: the
+     copy-up gets one good chunk into the upper copy, then dies *)
+  let failing_lower =
+    {
+      i with
+      Client_intf.read =
+        (fun ~pool fd ~off ~len ->
+          if off > 0 then Error Client_intf.Timed_out
+          else i.Client_intf.read ~pool fd ~off ~len);
+    }
+  in
+  let u =
+    Union_fs.create ~name:"u-rb"
+      ~branches:
+        [
+          { Union_fs.client = i; prefix = "/upper"; writable = true };
+          { Union_fs.client = failing_lower; prefix = "/lower"; writable = false };
+        ]
+      ~charge:(pool_charge w) ()
+  in
+  Engine.spawn w.engine (fun () ->
+      ok_or_fail "mkdirs" (i.Client_intf.mkdir_p ~pool "/upper");
+      ok_or_fail "mkdirs" (i.Client_intf.mkdir_p ~pool "/lower/dir/sub");
+      write_file i ~pool "/lower/dir/sub/big" (mib 3);
+      (* nested-directory copy-up: fails on the second chunk *)
+      (match u.Client_intf.open_file ~pool "/dir/sub/big" flags_w_keep with
+      | Ok _ -> Alcotest.fail "copy-up unexpectedly succeeded"
+      | Error Client_intf.Timed_out -> ()
+      | Error e ->
+          Alcotest.failf "unexpected error: %s" (Client_intf.error_to_string e));
+      check_int "one copy-up attempted" 1 (Union_fs.copy_ups u);
+      check_int "rollback counted" 1 (Union_fs.copy_up_rollbacks u);
+      (* the partial upper copy must be gone... *)
+      (match i.Client_intf.stat ~pool "/upper/dir/sub/big" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "partial upper copy survived the rollback");
+      (* ...so the union still shows the intact lower file *)
+      let a = ok_or_fail "stat" (u.Client_intf.stat ~pool "/dir/sub/big") in
+      check_int "intact lower file still visible" (mib 3) a.Namespace.size);
+  Engine.run_until w.engine 240.0
+
+let harness_suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "union.harness",
+      [
+        tc "whiteout scan: empty upper" `Quick test_whiteouts_empty_upper;
+        tc "whiteout scan: justified vs orphan" `Quick
+          test_whiteouts_justified_vs_orphan;
+        tc "copy-up rollback on mid-copy failure" `Quick
+          test_copy_up_rollback_on_mid_copy_failure;
+      ] );
+  ]
+
+let suite = suite @ harness_suite

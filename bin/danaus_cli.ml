@@ -414,6 +414,63 @@ let golden_cmd =
   in
   Cmd.v (Cmd.info "golden" ~doc) Term.(const run $ id $ regen $ dir)
 
+let bench_cmd =
+  let doc =
+    "Measure the simulation core: engine/mutex/page-cache microbenches plus \
+     single seqio and contention cells, reporting wall time, engine events \
+     dispatched, events/sec and minor GC words per event.  --json writes a \
+     machine-readable BENCH file; --baseline gates the run against a \
+     checked-in measurement (events/sec normalized by a spin-loop \
+     calibration so the gate holds across machines)."
+  in
+  let json_file =
+    let doc = "Write the measurements to FILE as JSON." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+  in
+  let baseline_file =
+    let doc = "Gate against the BENCH json at FILE; exit 1 on regression." in
+    Arg.(value & opt (some string) None & info [ "baseline" ] ~doc ~docv:"FILE")
+  in
+  let tolerance =
+    let doc = "Allowed fractional regression before the gate fails." in
+    Arg.(value & opt float 0.15 & info [ "tolerance" ] ~doc ~docv:"FRAC")
+  in
+  let label =
+    let doc = "Label recorded in the JSON (e.g. head, baseline)." in
+    Arg.(value & opt string "head" & info [ "label" ] ~doc ~docv:"LABEL")
+  in
+  let run label json_file baseline_file tolerance =
+    let result = Danaus_experiments.Perf.run ~label () in
+    print_string (Danaus_experiments.Perf.render result);
+    Option.iter
+      (fun f ->
+        Out_channel.with_open_text f (fun oc ->
+            Out_channel.output_string oc
+              (Danaus_experiments.Perf.to_json result));
+        Printf.printf "(bench json written to %s)\n" f)
+      json_file;
+    match baseline_file with
+    | None -> ()
+    | Some f ->
+        let baseline =
+          Danaus_experiments.Perf.of_json
+            (In_channel.with_open_text f In_channel.input_all)
+        in
+        (match
+           Danaus_experiments.Perf.gate ~baseline ~head:result ~tolerance
+         with
+        | Ok () ->
+            Printf.printf
+              "bench gate OK against %s (label %s, tolerance %.0f%%)\n" f
+              baseline.Danaus_experiments.Perf.r_label (100.0 *. tolerance)
+        | Error failures ->
+            Printf.eprintf "bench gate FAILED against %s:\n" f;
+            List.iter (fun m -> Printf.eprintf "  %s\n" m) failures;
+            exit 1)
+  in
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(const run $ label $ json_file $ baseline_file $ tolerance)
+
 let table1_cmd =
   let doc = "Print Table 1 (the configuration matrix)" in
   let run () = print_string (Danaus.Config.table1 ()) in
@@ -427,7 +484,7 @@ let main =
   Cmd.group (Cmd.info "danaus-cli" ~version:"1.0.0" ~doc)
     [
       list_cmd; run_cmd; all_cmd; explain_cmd; table1_cmd; replay_cmd;
-      fuzz_cmd; golden_cmd;
+      fuzz_cmd; golden_cmd; bench_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -39,6 +39,11 @@ type t = {
   replicas : int;
   obj_size : int;
   monitor : monitor option ref;
+  (* obj -> CRUSH placement.  Rendezvous hashing is pure in the object
+     name, so the first computation (FNV per OSD + sort) is definitive;
+     the read/write hot path then costs one table probe instead of six
+     string formats and a sort per IO. *)
+  placements : (string, int list) Hashtbl.t;
 }
 
 let message_bytes = 256
@@ -60,6 +65,7 @@ let create engine ~net ~client_node ~server_node ~osds ~mds ~replicas
     replicas;
     obj_size = object_size;
     monitor = ref None;
+    placements = Hashtbl.create 4096;
   }
 
 (* A second client machine's view of the same cluster: shares the OSDs,
@@ -77,6 +83,9 @@ let to_client t ~bytes =
   Net.transfer t.net ~src:t.server_node ~dst:t.client_node ~bytes
 
 let placement t obj =
+  match Hashtbl.find t.placements obj with
+  | place -> place
+  | exception Not_found ->
   let place =
     Crush.place ~osds:(Array.length t.cluster_osds) ~replicas:t.replicas obj
   in
@@ -93,6 +102,7 @@ let placement t obj =
       List.length place = t.replicas
       && List.for_all (fun i -> i >= 0 && i < Array.length t.cluster_osds) place
       && List.length (List.sort_uniq Int.compare place) = List.length place);
+  Hashtbl.add t.placements obj place;
   place
 
 (* The client's view of an OSD's availability: the osdmap when a monitor

@@ -1,6 +1,25 @@
+(* Nearly every path reaching this module is already canonical (leading
+   '/', no empty components, no trailing '/'): they were produced by
+   [join] or [normalize] upstream.  Checking that with one scan returns
+   the argument itself — the split/filter/concat rebuild would allocate
+   a list cell per component on every lookup of every path component. *)
+let canonical p =
+  let n = String.length p in
+  n > 0
+  && p.[0] = '/'
+  && (n = 1 || p.[n - 1] <> '/')
+  &&
+  let ok = ref true in
+  for i = 0 to n - 2 do
+    if p.[i] = '/' && p.[i + 1] = '/' then ok := false
+  done;
+  !ok
+
 let normalize p =
-  let parts = String.split_on_char '/' p |> List.filter (fun s -> s <> "") in
-  "/" ^ String.concat "/" parts
+  if canonical p then p
+  else
+    let parts = String.split_on_char '/' p |> List.filter (fun s -> s <> "") in
+    "/" ^ String.concat "/" parts
 
 let parent p =
   let p = normalize p in

@@ -1,6 +1,21 @@
 let default_object_size = 4 * 1024 * 1024
 
-let name ~ino ~index = Printf.sprintf "%x.%08x" ino index
+(* Object names recur on every IO touching the same stripe unit, so the
+   rendered string is interned per domain (domain-local because the
+   parallel experiment runner computes placements concurrently; inode
+   numbers and stripe indexes fit comfortably in the packed key). *)
+let names_key : (int, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
+
+let name ~ino ~index =
+  let names = Domain.DLS.get names_key in
+  let key = (ino lsl 31) lor index in
+  match Hashtbl.find names key with
+  | s -> s
+  | exception Not_found ->
+      let s = Printf.sprintf "%x.%08x" ino index in
+      Hashtbl.add names key s;
+      s
 
 let objects ~object_size ~ino ~off ~len =
   Danaus_check.Check.precondition ~layer:"striper" ~what:"objects_args"

@@ -35,9 +35,9 @@ let find t fd = Hashtbl.find_opt t.fds fd
 let remove t fd = Hashtbl.remove t.fds fd
 
 let cell tbl key =
-  match Hashtbl.find_opt tbl key with
-  | Some r -> r
-  | None ->
+  match Hashtbl.find tbl key with
+  | r -> r
+  | exception Not_found ->
       let r = ref 0 in
       Hashtbl.add tbl key r;
       r
@@ -47,9 +47,10 @@ let cursor_ref t ino = cell t.cursors ino
 let put_attr t path attr ~now = Hashtbl.replace t.attrs path (attr, now)
 
 let get_attr t path ~now ~lease =
-  match Hashtbl.find_opt t.attrs path with
-  | Some (attr, at) when now -. at <= lease -> Some attr
-  | Some _ | None -> None
+  match Hashtbl.find t.attrs path with
+  | attr, at when now -. at <= lease -> Some attr
+  | _ -> None
+  | exception Not_found -> None
 
 let drop_attr t path = Hashtbl.remove t.attrs path
 let open_count t = Hashtbl.length t.fds

@@ -10,6 +10,17 @@ type t = {
   readahead : int;
   table : Fd_table.t;
   fetch_locks : (int, Mutex_sim.t) Hashtbl.t; (* page-lock single flight *)
+  (* Resolved-once handles for the per-op path.  [Kernel.lock] and
+     [Page_cache.file] intern by string key, so correctness never needs
+     these caches — but building "i_mutex:<mount>:<ino>" and hashing it
+     on every write is pure overhead once the handle exists.  Keyed by
+     ino (or parent dir) so lookup is an int/string hash with no
+     concatenation. *)
+  inode_locks : (int, Mutex_sim.t) Hashtbl.t;
+  dir_locks : (string, Mutex_sim.t) Hashtbl.t;
+  pc_files : (int, Page_cache.file) Hashtbl.t;
+  dcache_lock : Mutex_sim.t;
+  i_mutex_class : Mutex_sim.t;
   attr_lease : float; (* dcache revalidation window (§3.4) *)
   (* the kclient's per-mount MDS session mutex (s_mutex): held across
      every metadata round trip, serialising the mount's metadata ops —
@@ -34,6 +45,11 @@ let create kernel ~cluster ~name ~max_dirty ?mem_limit
     readahead;
     table = Fd_table.create ();
     fetch_locks = Hashtbl.create 64;
+    inode_locks = Hashtbl.create 64;
+    dir_locks = Hashtbl.create 16;
+    pc_files = Hashtbl.create 64;
+    dcache_lock = Kernel.lock kernel "vfs:dcache";
+    i_mutex_class = Kernel.lock kernel "cephfs:i_mutex_key";
     (* the kclient holds MDS capabilities: cached attributes stay valid
        for minutes unless revoked, unlike a user client's short lease *)
     attr_lease = 60.0;
@@ -55,11 +71,29 @@ let restart t = t.crashed <- false
 let crashed t = t.crashed
 
 let fetch_lock t ino =
-  match Hashtbl.find_opt t.fetch_locks ino with
-  | Some m -> m
-  | None ->
+  match Hashtbl.find t.fetch_locks ino with
+  | m -> m
+  | exception Not_found ->
       let m = Mutex_sim.create (Kernel.engine t.kernel) ~name:(t.kc_name ^ ".fetch") in
       Hashtbl.add t.fetch_locks ino m;
+      m
+
+let inode_lock t ino =
+  match Hashtbl.find t.inode_locks ino with
+  | m -> m
+  | exception Not_found ->
+      let m =
+        Kernel.lock t.kernel ("i_mutex:" ^ t.kc_name ^ ":" ^ string_of_int ino)
+      in
+      Hashtbl.add t.inode_locks ino m;
+      m
+
+let dir_lock t parent =
+  match Hashtbl.find t.dir_locks parent with
+  | m -> m
+  | exception Not_found ->
+      let m = Kernel.lock t.kernel ("i_mutex_dir:" ^ t.kc_name ^ ":" ^ parent) in
+      Hashtbl.add t.dir_locks parent m;
       m
 
 (* Host-wide kernel locks: the dcache lock and the superblock inode-mutex
@@ -71,30 +105,36 @@ let with_vfs_locks t ~pool f =
   let k = t.kernel in
   let costs = Kernel.costs k in
   Kernel.pool_cpu k ~pool (2.0 *. costs.lock_hold);
-  Mutex_sim.with_lock (Kernel.lock k "vfs:dcache") (fun () ->
-      Engine.sleep costs.lock_hold);
-  Mutex_sim.with_lock (Kernel.lock k "cephfs:i_mutex_key") (fun () ->
-      Engine.sleep costs.lock_hold);
+  Mutex_sim.with_lock t.dcache_lock (fun () -> Engine.sleep costs.lock_hold);
+  Mutex_sim.with_lock t.i_mutex_class (fun () -> Engine.sleep costs.lock_hold);
   f ()
 
 let pc_file t ino =
-  let k = t.kernel in
-  let cur = Fd_table.cursor_ref t.table ino in
-  Page_cache.file (Kernel.page_cache k) t.mount
-    ~key:(t.kc_name ^ ":" ^ string_of_int ino)
-    ~flush:(fun ~bytes ->
-      (* runs in kernel flusher context: brief superblock-class lock,
-         then the network write *)
-      Mutex_sim.with_lock (Kernel.lock k "cephfs:i_mutex_key") (fun () ->
-          Engine.sleep (Kernel.costs k).lock_hold);
-      let off = !cur in
-      cur := !cur + bytes;
-      let r =
-        Retry.with_retry ~policy:Retry.net_policy ~rng:t.rng ~counters:t.retry
-          ~transient:(fun _ -> true)
-          (fun () -> Cluster.write_range t.cluster ~ino ~off ~len:bytes)
+  match Hashtbl.find t.pc_files ino with
+  | f -> f
+  | exception Not_found ->
+      let k = t.kernel in
+      let cur = Fd_table.cursor_ref t.table ino in
+      let f =
+        Page_cache.file (Kernel.page_cache k) t.mount
+          ~key:(t.kc_name ^ ":" ^ string_of_int ino)
+          ~flush:(fun ~bytes ->
+            (* runs in kernel flusher context: brief superblock-class
+               lock, then the network write *)
+            Mutex_sim.with_lock t.i_mutex_class (fun () ->
+                Engine.sleep (Kernel.costs k).lock_hold);
+            let off = !cur in
+            cur := !cur + bytes;
+            let r =
+              Retry.with_retry ~policy:Retry.net_policy ~rng:t.rng
+                ~counters:t.retry
+                ~transient:(fun _ -> true)
+                (fun () -> Cluster.write_range t.cluster ~ino ~off ~len:bytes)
+            in
+            match r with Ok () -> () | Error _ -> Obs.incr t.flush_fail_c)
       in
-      match r with Ok () -> () | Error _ -> Obs.incr t.flush_fail_c)
+      Hashtbl.add t.pc_files ino f;
+      f
 
 let put_attr t path attr =
   Fd_table.put_attr t.table path attr ~now:(Engine.now (Kernel.engine t.kernel))
@@ -205,10 +245,7 @@ let open_file t ~pool path (flags : Client_intf.flags) =
           | None ->
               if not flags.create then Error (Client_intf.Fs Namespace.No_entry)
               else begin
-                let dir_lock =
-                  Kernel.lock k ("i_mutex_dir:" ^ t.kc_name ^ ":" ^ Fspath.parent path)
-                in
-                Mutex_sim.with_lock dir_lock (fun () ->
+                Mutex_sim.with_lock (dir_lock t (Fspath.parent path)) (fun () ->
                     match do_create t ~pool path with
                     | Error e -> Error (Client_intf.Fs e)
                     | Ok attr ->
@@ -287,10 +324,7 @@ let write t ~pool fd ~off ~len =
         Kernel.syscall k ~pool (fun () ->
             with_vfs_locks t ~pool (fun () -> ());
             let file = pc_file t entry.ino in
-            let inode_lock =
-              Kernel.lock k ("i_mutex:" ^ t.kc_name ^ ":" ^ string_of_int entry.ino)
-            in
-            Mutex_sim.with_lock inode_lock (fun () ->
+            Mutex_sim.with_lock (inode_lock t entry.ino) (fun () ->
                 Kernel.copy k ~pool ~bytes:len;
                 Kernel.pool_cpu k ~pool (Kernel.costs k).page_cache_op;
                 Page_cache.write file ~off ~len);
@@ -359,10 +393,7 @@ let unlink t ~pool path =
           match stat_cached t ~pool path with
           | None -> Error (Client_intf.Fs Namespace.No_entry)
           | Some a -> begin
-              let dir_lock =
-                Kernel.lock k ("i_mutex_dir:" ^ t.kc_name ^ ":" ^ Fspath.parent path)
-              in
-              Mutex_sim.with_lock dir_lock (fun () ->
+              Mutex_sim.with_lock (dir_lock t (Fspath.parent path)) (fun () ->
                   match mds_op t ~pool (fun () -> Cluster.unlink t.cluster path) with
                   | Ok () ->
                       put_attr t path None;

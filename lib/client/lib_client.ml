@@ -398,8 +398,8 @@ let read t ~pool:_ fd ~off ~len =
         (* with fine-grained locking, cached reads traverse the object
            cache lock-free (per-block granularity); the stock client
            serialises the lookup and the copy under client_lock *)
-        let lk = if t.config.fine_grained_locking then None else Some t.lock in
-        Option.iter Mutex_sim.lock lk;
+        let coarse = not t.config.fine_grained_locking in
+        if coarse then Mutex_sim.lock t.lock;
         user_cpu t t.costs.page_cache_op;
         let file = cache_file t of_.Fd_table.ino in
         let miss = Page_cache.missing file ~off ~len in
@@ -408,7 +408,7 @@ let read t ~pool:_ fd ~off ~len =
           (* fetch misses with the client lock released; the per-inode
              fetch lock makes concurrent readers of the same range fetch
              it once; readahead only for sequential patterns *)
-          Option.iter Mutex_sim.unlock lk;
+          if coarse then Mutex_sim.unlock t.lock;
           let fl = fetch_lock t of_.Fd_table.ino in
           Mutex_sim.lock fl;
           let miss = Page_cache.missing file ~off ~len in
@@ -435,13 +435,13 @@ let read t ~pool:_ fd ~off ~len =
             | Error _ -> fetch_failed := true
           end;
           Mutex_sim.unlock fl;
-          if not !fetch_failed then Option.iter Mutex_sim.lock lk
+          if not !fetch_failed && coarse then Mutex_sim.lock t.lock
         end;
         if !fetch_failed then Error Client_intf.Unavailable
         else begin
           (* copy out of the cache (under client_lock in the stock client) *)
           user_cpu t (float_of_int len *. t.costs.copy_per_byte);
-          Option.iter Mutex_sim.unlock lk;
+          if coarse then Mutex_sim.unlock t.lock;
           of_.Fd_table.last_end <- off + len;
           Ok len
         end

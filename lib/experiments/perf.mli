@@ -1,0 +1,50 @@
+(** Perf trajectory of the simulation core: microbenches from the bare
+    event loop up to single seqio/contention cells of the paper
+    workloads, each measured as (wall time, engine events dispatched,
+    minor-heap words), serialized as BENCH_<label>.json, and gated
+    against a checked-in baseline in CI.
+
+    Methodology (tolerances, normalization, how to regenerate the
+    baseline) is documented in EXPERIMENTS.md "Perf trajectory". *)
+
+type entry = {
+  e_name : string;
+  e_wall_s : float;  (** wall-clock seconds for the bench body *)
+  e_events : int;  (** engine events dispatched ({!Danaus_sim.Engine}) *)
+  e_minor_words : float;  (** minor-heap words allocated *)
+  e_events_per_sec : float;
+  e_words_per_event : float;
+}
+
+type result = {
+  r_label : string;
+  r_calibration : float;
+      (** ops/sec of a fixed spin loop; machine-speed proxy used to
+          normalize events/sec in {!gate} *)
+  r_entries : entry list;
+}
+
+val schema_version : int
+
+(** Run every microbench once (invariants and tracing stay at their
+    process defaults — off for published numbers). *)
+val run : ?label:string -> unit -> result
+
+val to_json : result -> string
+
+(** Parse a BENCH_*.json produced by {!to_json}.  Raises [Json.Bad] on
+    malformed input. *)
+val of_json : string -> result
+
+(** [gate ~baseline ~head ~tolerance] fails an entry when its
+    calibration-normalized events/sec drops more than [tolerance]
+    (fractional, e.g. 0.15) below the baseline, or its words/event grows
+    beyond the same tolerance (plus a 0.5-word absolute allowance).
+    Entries in the baseline but missing from [head] fail; extra head
+    entries are ignored (they become gated once the baseline is
+    regenerated). *)
+val gate :
+  baseline:result -> head:result -> tolerance:float -> (unit, string list) Stdlib.result
+
+(** Human-readable table of a result. *)
+val render : result -> string

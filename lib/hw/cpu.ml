@@ -1,10 +1,13 @@
 open Danaus_sim
 
+(* flat single-float record: per-burst accounting updates stay unboxed *)
+type fcell = { mutable v : float }
+
 type core = {
   id : int;
   mutable busy : bool;
   mutable total_busy : float;
-  usage : (string, float ref) Hashtbl.t;
+  usage : (string, fcell) Hashtbl.t;
 }
 
 type waiter = { eligible : int array; grant : int -> unit }
@@ -44,24 +47,25 @@ let waiting t = List.length t.queue
 let eligible_contains eligible id = Array.exists (fun c -> c = id) eligible
 
 (* Rotating search so that background work spreads over the eligible
-   cores instead of clustering on the lowest ids. *)
+   cores instead of clustering on the lowest ids.  Returns the core id
+   or -1: this runs once per 500 µs burst, so no option wrapping. *)
 let find_idle t eligible =
   let n = Array.length eligible in
   let start = t.rotor mod n in
   t.rotor <- t.rotor + 1;
-  let found = ref None in
+  let found = ref (-1) in
   for i = 0 to n - 1 do
     let id = eligible.((start + i) mod n) in
-    if !found = None && not t.cores.(id).busy then found := Some id
+    if !found < 0 && not t.cores.(id).busy then found := id
   done;
   !found
 
 let acquire t ~eligible =
   match find_idle t eligible with
-  | Some id ->
+  | id when id >= 0 ->
       t.cores.(id).busy <- true;
       id
-  | None ->
+  | _ ->
       let granted = ref (-1) in
       Engine.suspend (fun wake ->
           let grant id =
@@ -93,10 +97,12 @@ let release t id =
   | Some w -> w.grant id (* core stays busy, handed to the waiter *)
   | None -> t.cores.(id).busy <- false
 
+(* [Hashtbl.find] + exception instead of [find_opt]: the hit path of an
+   interning lookup must not allocate an option per burst. *)
 let busy_handle t tenant =
-  match Hashtbl.find_opt t.busy_handles tenant with
-  | Some h -> h
-  | None ->
+  match Hashtbl.find t.busy_handles tenant with
+  | h -> h
+  | exception Not_found ->
       let h = Obs.counter (Engine.obs t.engine) ~layer:"hw" ~name:"cpu_busy" ~key:tenant in
       Hashtbl.add t.busy_handles tenant h;
       h
@@ -105,31 +111,36 @@ let attribute t core ~tenant dt =
   core.total_busy <- core.total_busy +. dt;
   Obs.add (busy_handle t tenant) dt;
   let r =
-    match Hashtbl.find_opt core.usage tenant with
-    | Some r -> r
-    | None ->
-        let r = ref 0.0 in
+    match Hashtbl.find core.usage tenant with
+    | r -> r
+    | exception Not_found ->
+        let r = { v = 0.0 } in
         Hashtbl.add core.usage tenant r;
         r
   in
-  r := !r +. dt
+  r.v <- r.v +. dt
 
 let compute t ~tenant ~eligible seconds =
   assert (Array.length eligible > 0);
   assert (seconds >= 0.0);
+  (* per-burst [Trace.emit] calls are guarded at this call site: even a
+     disabled emit boxes its float arguments, and this loop runs once
+     per 500 µs quantum of simulated CPU time *)
+  let traced = Trace.enabled (Engine.obs t.engine) in
   let remaining = ref seconds in
   while !remaining > 0.0 do
     let burst = Float.min !remaining t.quantum in
     let started = Engine.now t.engine in
     let id = acquire t ~eligible in
     let ran_at = Engine.now t.engine in
-    if ran_at > started then
+    if traced && ran_at > started then
       Trace.emit t.engine ~layer:"hw" ~name:"cpu_wait" ~key:tenant
         ~phase:Queue_wait ~start:started ~dur:(ran_at -. started);
     Engine.sleep burst;
     attribute t t.cores.(id) ~tenant burst;
-    Trace.emit t.engine ~layer:"hw" ~name:tenant ~key:t.core_keys.(id)
-      ~phase:Service ~start:ran_at ~dur:burst;
+    if traced then
+      Trace.emit t.engine ~layer:"hw" ~name:tenant ~key:t.core_keys.(id)
+        ~phase:Service ~start:ran_at ~dur:burst;
     release t id;
     remaining := !remaining -. burst
   done
@@ -143,18 +154,20 @@ let compute t ~tenant ~eligible seconds =
 let compute_background t ~tenant ~eligible ~backoff seconds =
   assert (Array.length eligible > 0);
   assert (seconds >= 0.0 && backoff > 0.0);
+  let traced = Trace.enabled (Engine.obs t.engine) in
   let remaining = ref seconds in
   while !remaining > 0.0 do
     match find_idle t eligible with
-    | None -> Engine.sleep backoff
-    | Some id ->
+    | -1 -> Engine.sleep backoff
+    | id ->
         t.cores.(id).busy <- true;
         let burst = Float.min !remaining (t.quantum /. 2.0) in
         let ran_at = Engine.now t.engine in
         Engine.sleep burst;
         attribute t t.cores.(id) ~tenant burst;
-        Trace.emit t.engine ~layer:"hw" ~name:tenant ~key:t.core_keys.(id)
-          ~phase:Service ~start:ran_at ~dur:burst;
+        if traced then
+          Trace.emit t.engine ~layer:"hw" ~name:tenant ~key:t.core_keys.(id)
+            ~phase:Service ~start:ran_at ~dur:burst;
         let displaced =
           List.exists (fun w -> eligible_contains w.eligible id) t.queue
         in
@@ -170,7 +183,7 @@ let busy_seconds_by t ~cores ~tenant =
   Array.fold_left
     (fun acc id ->
       match Hashtbl.find_opt t.cores.(id).usage tenant with
-      | Some r -> acc +. !r
+      | Some r -> acc +. r.v
       | None -> acc)
     0.0 cores
 
@@ -192,7 +205,7 @@ let usage_breakdown t ~cores =
                 Hashtbl.add table tenant c;
                 c
           in
-          cell := !cell +. !r)
+          cell := !cell +. r.v)
         t.cores.(id).usage)
     cores;
   Hashtbl.fold (fun tenant r acc -> (tenant, !r) :: acc) table []

@@ -3,6 +3,17 @@ open Danaus_hw
 
 type flush_job = { job_file : Page_cache.file; job_bytes : int }
 
+(* Per-pool accounting handles, resolved once per pool.  [Obs.counter]
+   interns by hashing a (layer, name, key) tuple of three strings; doing
+   that on every syscall is a measurable fraction of a metadata-heavy
+   workload, so the hot entry points below go through this memo. *)
+type pool_ctrs = {
+  syscalls_c : Obs.counter;
+  mode_switches_c : Obs.counter;
+  context_switches_c : Obs.counter;
+  io_wait_c : Obs.counter;
+}
+
 type t = {
   engine : Engine.t;
   cpu : Cpu.t;
@@ -14,6 +25,7 @@ type t = {
   bytes_flushed_c : Obs.counter;
   flusher_runs_c : Obs.counter;
   locks : (string, Mutex_sim.t) Hashtbl.t;
+  pool_ctrs : (string, pool_ctrs) Hashtbl.t;
   writeback : float;
   expire : float;
   (* one ordered writeback pipeline per mount (Linux per-bdi flusher) *)
@@ -43,6 +55,7 @@ let create ?(costs = Costs.default) ?(writeback = 1.0) ?(expire = 5.0) engine
     flusher_runs_c =
       Obs.counter obs ~layer:"kernel" ~name:"flusher_runs" ~key:kernel_tenant;
     locks = Hashtbl.create 64;
+    pool_ctrs = Hashtbl.create 16;
     writeback;
     expire;
     mount_queues = Hashtbl.create 16;
@@ -57,15 +70,27 @@ let page_cache t = t.page_cache
 let obs t = t.obs
 let set_activated t cores = t.activated <- cores
 
-(* Pool-keyed kernel accounting counters; interning is a hash lookup, so
-   the handles need no per-pool memoisation here. *)
-let pool_counter t ~name ~pool =
-  Obs.counter t.obs ~layer:"kernel" ~name ~key:(Cgroup.name pool)
+let pool_ctrs t ~pool =
+  let key = Cgroup.name pool in
+  match Hashtbl.find t.pool_ctrs key with
+  | c -> c
+  | exception Not_found ->
+      let counter name = Obs.counter t.obs ~layer:"kernel" ~name ~key in
+      let c =
+        {
+          syscalls_c = counter "syscalls";
+          mode_switches_c = counter "mode_switches";
+          context_switches_c = counter "context_switches";
+          io_wait_c = counter "io_wait";
+        }
+      in
+      Hashtbl.add t.pool_ctrs key c;
+      c
 
 let lock t name =
-  match Hashtbl.find_opt t.locks name with
-  | Some m -> m
-  | None ->
+  match Hashtbl.find t.locks name with
+  | m -> m
+  | exception Not_found ->
       let m = Mutex_sim.create t.engine ~name in
       Hashtbl.add t.locks name m;
       m
@@ -105,14 +130,15 @@ let kernel_cpu t dt =
       ~backoff:flusher_backoff dt
 
 let syscall t ~pool f =
-  Obs.incr (pool_counter t ~name:"syscalls" ~pool);
-  Obs.add (pool_counter t ~name:"mode_switches" ~pool) 2.0;
+  let c = pool_ctrs t ~pool in
+  Obs.incr c.syscalls_c;
+  Obs.add c.mode_switches_c 2.0;
   pool_cpu t ~pool (2.0 *. t.costs.mode_switch);
   f ()
 
 let context_switches t ~pool n =
   if n > 0 then begin
-    Obs.add (pool_counter t ~name:"context_switches" ~pool) (float_of_int n);
+    Obs.add (pool_ctrs t ~pool).context_switches_c (float_of_int n);
     pool_cpu t ~pool (float_of_int n *. t.costs.context_switch)
   end
 
@@ -129,7 +155,7 @@ let blocking_io t ~pool f =
   let r = f () in
   Trace.exit t.engine span;
   let elapsed = Engine.now t.engine -. started in
-  Obs.add (pool_counter t ~name:"io_wait" ~pool) elapsed;
+  Obs.add (pool_ctrs t ~pool).io_wait_c elapsed;
   r
 
 (* The writeback machinery mirrors Linux: a coordinator scans the mounts

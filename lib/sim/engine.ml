@@ -1,12 +1,161 @@
-type event = { at : float; seq : int; run : unit -> unit }
+(* The engine's event queue is the binary-heap layout from
+   {!Event_queue}, embedded here as an internal module rather than used
+   across the module boundary.  This is load-bearing, not a style
+   choice: dune's dev profile compiles with [-opaque], which strips cmx
+   inlining information, so a cross-module [Event_queue.push]/[min_time]
+   call can never be inlined in dev builds — and a non-inlined call
+   boxes its float argument and float return (two minor allocations per
+   dispatched event).  Within one compilation unit the Closure inliner
+   works in every profile, so the float key flows from caller to flat
+   array slot and back without ever being boxed.  The standalone
+   {!Event_queue} module (and its [Fourary] variant) remains the
+   reference implementation; the differential tests drive both against
+   {!Pheap} to pin down identical ordering. *)
+module Q = struct
+  let nop () = ()
+
+  type t = {
+    mutable times : float array;
+    mutable seqs : int array;
+    mutable runs : (unit -> unit) array;
+    mutable size : int;
+  }
+
+  let create () =
+    {
+      times = Array.make 256 0.0;
+      seqs = Array.make 256 0;
+      runs = Array.make 256 nop;
+      size = 0;
+    }
+
+  let size q = q.size
+  let[@inline] is_empty q = q.size = 0
+  let[@inline] min_time q = q.times.(0)
+  let[@inline] min_seq q = q.seqs.(0)
+
+  let grow q =
+    let cap' = Array.length q.times * 2 in
+    let times = Array.make cap' 0.0
+    and seqs = Array.make cap' 0
+    and runs = Array.make cap' nop in
+    Array.blit q.times 0 times 0 q.size;
+    Array.blit q.seqs 0 seqs 0 q.size;
+    Array.blit q.runs 0 runs 0 q.size;
+    q.times <- times;
+    q.seqs <- seqs;
+    q.runs <- runs
+
+  (* sift loops are outlined and take no float arguments, so the inlined
+     [push]/[pop_exn] wrappers stay under the Closure size budget *)
+  let sift_up q i0 =
+    let ts = q.times and ss = q.seqs and rs = q.runs in
+    let at = ts.(i0) and seq = ss.(i0) and run = rs.(i0) in
+    let i = ref i0 in
+    let stop = ref false in
+    while (not !stop) && !i > 0 do
+      let p = (!i - 1) / 2 in
+      if ts.(p) > at || (ts.(p) = at && ss.(p) > seq) then begin
+        ts.(!i) <- ts.(p);
+        ss.(!i) <- ss.(p);
+        rs.(!i) <- rs.(p);
+        i := p
+      end
+      else stop := true
+    done;
+    ts.(!i) <- at;
+    ss.(!i) <- seq;
+    rs.(!i) <- run
+
+  let[@inline] push q ~at ~seq run =
+    let n = q.size in
+    if n = Array.length q.times then grow q;
+    q.times.(n) <- at;
+    q.seqs.(n) <- seq;
+    q.runs.(n) <- run;
+    q.size <- n + 1;
+    if n > 0 then sift_up q n
+
+  let sift_down q n =
+    let ts = q.times and ss = q.seqs and rs = q.runs in
+    let at = ts.(n) and seq = ss.(n) and run = rs.(n) in
+    rs.(n) <- nop;
+    let i = ref 0 in
+    let stop = ref false in
+    while not !stop do
+      let l = (2 * !i) + 1 in
+      if l >= n then stop := true
+      else begin
+        let r = l + 1 in
+        let c =
+          if r < n && (ts.(r) < ts.(l) || (ts.(r) = ts.(l) && ss.(r) < ss.(l)))
+          then r
+          else l
+        in
+        if ts.(c) < at || (ts.(c) = at && ss.(c) < seq) then begin
+          ts.(!i) <- ts.(c);
+          ss.(!i) <- ss.(c);
+          rs.(!i) <- rs.(c);
+          i := c
+        end
+        else stop := true
+      end
+    done;
+    ts.(!i) <- at;
+    ss.(!i) <- seq;
+    rs.(!i) <- run
+
+  let[@inline] pop_exn q =
+    let n = q.size - 1 in
+    if n < 0 then invalid_arg "Engine: event queue empty";
+    let run = q.runs.(0) in
+    q.size <- n;
+    if n = 0 then q.runs.(0) <- nop else sift_down q n;
+    run
+
+  let is_heap q =
+    let ok = ref true in
+    for i = 1 to q.size - 1 do
+      let p = (i - 1) / 2 in
+      if
+        q.times.(p) > q.times.(i)
+        || (q.times.(p) = q.times.(i) && q.seqs.(p) > q.seqs.(i))
+      then ok := false
+    done;
+    !ok
+end
+
+(* The clock lives in a single-field all-float record: such records are
+   flat (the float is stored unboxed), so advancing the clock from a
+   value read out of the event queue's float array never allocates.  A
+   [mutable clock : float] field directly in [t] would be a boxed slot
+   in a mixed record — one boxed float per dispatched event. *)
+type clock = { mutable at : float }
 
 type t = {
-  mutable clock : float;
+  clock : clock;
   mutable seq : int;
-  events : event Pheap.t;
+  events : Q.t;
   mutable live : int;
+  mutable processed : int; (* events dispatched by run/run_until *)
+  mutable flushed : int; (* portion of [processed] already in the global *)
   obs : Obs.t;
 }
+
+(* Process-wide event total, fed from per-engine counters when a run
+   loop returns (never per event, so the hot loop stays free of atomic
+   traffic).  The bench harness reads it to derive events/sec. *)
+let total_events = Atomic.make 0
+
+let flush_events t =
+  let d = t.processed - t.flushed in
+  if d > 0 then begin
+    ignore (Atomic.fetch_and_add total_events d);
+    t.flushed <- t.processed
+  end
+
+let global_events () = Atomic.get total_events
+let reset_global_events () = Atomic.set total_events 0
 
 exception Deadlock of string
 
@@ -18,25 +167,38 @@ type _ Effect.t +=
   | Deadline_slot : float option ref Effect.t
   | Trace_slot : int ref Effect.t
 
-let compare_events a b =
-  let c = Float.compare a.at b.at in
-  if c <> 0 then c else Int.compare a.seq b.seq
-
 let create ?obs () =
   let obs = match obs with Some o -> o | None -> Obs.create () in
-  { clock = 0.0; seq = 0; events = Pheap.create ~cmp:compare_events; live = 0; obs }
+  {
+    clock = { at = 0.0 };
+    seq = 0;
+    events = Q.create ();
+    live = 0;
+    processed = 0;
+    flushed = 0;
+    obs;
+  }
 
-let now t = t.clock
+let now t = t.clock.at
 let obs t = t.obs
 let live_processes t = t.live
+let events_processed t = t.processed
+
+(* Internal absolute-time scheduling: no optional argument to wrap, no
+   delay validation — the engine's own call sites pass times it already
+   knows to be sound.  With [Q.push] inlined here, scheduling an event
+   is a handful of array writes. *)
+let[@inline] schedule_at t at run =
+  let s = t.seq in
+  t.seq <- s + 1;
+  Q.push t.events ~at ~seq:s run
 
 let schedule t ?(delay = 0.0) run =
-  Invariant.precondition ~layer:"engine" ~what:"schedule_delay"
-    ~detail:(fun () -> Printf.sprintf "negative delay %g" delay)
-    (delay >= 0.0);
-  let ev = { at = t.clock +. delay; seq = t.seq; run } in
-  t.seq <- t.seq + 1;
-  Pheap.push t.events ev
+  (* [not (>= 0)] also rejects NaN, matching the old precondition *)
+  if not (delay >= 0.0) then
+    Invariant.fail ~layer:"engine" ~what:"schedule_delay"
+      (Printf.sprintf "negative delay %g" delay);
+  schedule_at t (t.clock.at +. delay) run
 
 (* Each process body runs under a deep effect handler that translates the
    blocking effects into event-queue manipulation.  Continuations are
@@ -67,10 +229,10 @@ let rec exec t name dl tp body =
           | Sleep d ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  Invariant.precondition ~layer:"engine" ~what:"sleep_delay"
-                    ~detail:(fun () -> Printf.sprintf "negative delay %g" d)
-                    (d >= 0.0);
-                  schedule t ~delay:d (fun () -> continue k ()))
+                  if not (d >= 0.0) then
+                    Invariant.fail ~layer:"engine" ~what:"sleep_delay"
+                      (Printf.sprintf "negative delay %g" d);
+                  schedule_at t (t.clock.at +. d) (fun () -> continue k ()))
           | Suspend register ->
               Some
                 (fun (k : (a, unit) continuation) ->
@@ -78,7 +240,7 @@ let rec exec t name dl tp body =
                   let wake () =
                     if not !woken then begin
                       woken := true;
-                      schedule t (fun () -> continue k ())
+                      schedule_at t t.clock.at (fun () -> continue k ())
                     end
                   in
                   register wake)
@@ -98,49 +260,65 @@ let rec exec t name dl tp body =
 
 and spawn t ?(name = "proc") ?deadline ?(span_parent = 0) body =
   t.live <- t.live + 1;
-  schedule t (fun () -> exec t name (ref deadline) (ref span_parent) body)
+  schedule_at t t.clock.at (fun () ->
+      exec t name (ref deadline) (ref span_parent) body)
 
-(* Per-event invariants: the popped event may never lie behind the
-   clock (the heap's total order plus non-negative delays guarantee it;
-   a violation means event ordering itself broke).  The O(n) structural
-   heap check is sampled on seq so even [Strict] test runs only pay it
-   once every few thousand events. *)
-let check_event t ev =
+(* Per-event invariants, only reached when checking is enabled (the run
+   loops guard the call on [Invariant.on], so the [Off] fast path pays a
+   single branch and allocates nothing).  The popped event may never lie
+   behind the clock (the heap's total order plus non-negative delays
+   guarantee it; a violation means event ordering itself broke).  The
+   O(n) structural heap check is sampled on seq so even [Strict] test
+   runs only pay it once every few thousand events. *)
+let check_event t at seq =
   Invariant.require ~obs:t.obs ~layer:"engine" ~what:"clock_monotonic"
     ~detail:(fun () ->
-      Printf.sprintf "event at %.9g behind clock %.9g" ev.at t.clock)
-    (ev.at >= t.clock);
-  if ev.seq land 4095 = 0 then
+      Printf.sprintf "event at %.9g behind clock %.9g" at t.clock.at)
+    (at >= t.clock.at);
+  if seq land 4095 = 0 then
     Invariant.invariant ~obs:t.obs ~layer:"engine" ~what:"heap_order"
       ~detail:(fun () ->
         Printf.sprintf "event heap lost order at %d entries"
-          (Pheap.size t.events))
-      (fun () -> Pheap.is_heap t.events)
+          (Q.size t.events))
+      (fun () -> Q.is_heap t.events)
 
 let run t =
+  let q = t.events in
   let rec loop () =
-    match Pheap.pop t.events with
-    | None ->
-        if t.live > 0 then
-          raise (Deadlock (Printf.sprintf "%d process(es) blocked forever" t.live))
-    | Some ev ->
-        check_event t ev;
-        t.clock <- ev.at;
-        ev.run ();
-        loop ()
+    if Q.is_empty q then begin
+      flush_events t;
+      if t.live > 0 then
+        raise (Deadlock (Printf.sprintf "%d process(es) blocked forever" t.live))
+    end
+    else begin
+      let at = Q.min_time q in
+      if Invariant.on () then check_event t at (Q.min_seq q);
+      let run_ev = Q.pop_exn q in
+      t.clock.at <- at;
+      t.processed <- t.processed + 1;
+      run_ev ();
+      loop ()
+    end
   in
   loop ()
 
 let run_until t horizon =
+  let q = t.events in
   let rec loop () =
-    match Pheap.peek t.events with
-    | Some ev when ev.at <= horizon ->
-        ignore (Pheap.pop t.events);
-        check_event t ev;
-        t.clock <- ev.at;
-        ev.run ();
-        loop ()
-    | Some _ | None -> t.clock <- horizon
+    if (not (Q.is_empty q)) && Q.min_time q <= horizon
+    then begin
+      let at = Q.min_time q in
+      if Invariant.on () then check_event t at (Q.min_seq q);
+      let run_ev = Q.pop_exn q in
+      t.clock.at <- at;
+      t.processed <- t.processed + 1;
+      run_ev ();
+      loop ()
+    end
+    else begin
+      t.clock.at <- horizon;
+      flush_events t
+    end
   in
   loop ()
 

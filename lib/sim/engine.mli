@@ -73,6 +73,24 @@ val run_until : t -> float -> unit
 (** Number of processes spawned and not yet terminated. *)
 val live_processes : t -> int
 
+(** {1 Event accounting}
+
+    Every event dispatched by {!run} / {!run_until} is counted: once per
+    pop, a plain field increment on the hot loop.  Engine totals are
+    folded into a process-wide counter when a run loop returns (never
+    per event), so the bench harness can derive events/sec across the
+    engines an experiment creates, including inside parallel runner
+    domains. *)
+
+(** Events this engine has dispatched so far. *)
+val events_processed : t -> int
+
+(** Process-wide dispatched-event total across all engines. *)
+val global_events : unit -> int
+
+(** Zero the process-wide total (bench harness, between sections). *)
+val reset_global_events : unit -> unit
+
 (** {1 Operations available inside a process} *)
 
 (** Sleep for the given amount of simulated seconds ([>= 0.]). *)

@@ -1,0 +1,244 @@
+(* Monomorphic event queue: a min-heap on (time, seq) keys stored as
+   parallel arrays (times : float array — flat and unboxed; seqs : int
+   array; runs : thunk array).
+
+   Layout and inlining are deliberate: the non-flambda inliner only
+   inlines small loop-free bodies, so [push]/[pop_exn] are thin wrappers
+   that do the array writes and delegate the sift loops to outlined
+   helpers taking no float arguments.  Inlined at the engine's call
+   sites, the float key flows from caller to array slot (and back out of
+   [min_time]) without ever being boxed — the whole point of replacing
+   the polymorphic {!Pheap}, whose closure comparator forced a heap
+   record plus a boxed float per event. *)
+
+module type S = sig
+  type t
+
+  val create : unit -> t
+  val size : t -> int
+  val is_empty : t -> bool
+  val push : t -> at:float -> seq:int -> (unit -> unit) -> unit
+  val min_time : t -> float
+  val min_seq : t -> int
+  val pop_exn : t -> unit -> unit
+  val clear : t -> unit
+  val is_heap : t -> bool
+end
+
+let nop () = ()
+
+type t = {
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable runs : (unit -> unit) array;
+  mutable size : int;
+}
+
+let initial_capacity = 256
+
+let create () =
+  {
+    times = Array.make initial_capacity 0.0;
+    seqs = Array.make initial_capacity 0;
+    runs = Array.make initial_capacity nop;
+    size = 0;
+  }
+
+let size q = q.size
+let[@inline] is_empty q = q.size = 0
+let[@inline] min_time q = q.times.(0)
+let[@inline] min_seq q = q.seqs.(0)
+
+let clear q =
+  Array.fill q.runs 0 q.size nop;
+  q.size <- 0
+
+let grow q =
+  let cap = Array.length q.times in
+  let cap' = cap * 2 in
+  let times = Array.make cap' 0.0
+  and seqs = Array.make cap' 0
+  and runs = Array.make cap' nop in
+  Array.blit q.times 0 times 0 q.size;
+  Array.blit q.seqs 0 seqs 0 q.size;
+  Array.blit q.runs 0 runs 0 q.size;
+  q.times <- times;
+  q.seqs <- seqs;
+  q.runs <- runs
+
+(* [before ts ss i (at, seq)] without tuples: (time, seq) lexicographic. *)
+let sift_up q i0 =
+  let ts = q.times and ss = q.seqs and rs = q.runs in
+  let at = ts.(i0) and seq = ss.(i0) and run = rs.(i0) in
+  let i = ref i0 in
+  let stop = ref false in
+  while (not !stop) && !i > 0 do
+    let p = (!i - 1) / 2 in
+    if ts.(p) > at || (ts.(p) = at && ss.(p) > seq) then begin
+      ts.(!i) <- ts.(p);
+      ss.(!i) <- ss.(p);
+      rs.(!i) <- rs.(p);
+      i := p
+    end
+    else stop := true
+  done;
+  ts.(!i) <- at;
+  ss.(!i) <- seq;
+  rs.(!i) <- run
+
+let[@inline] push q ~at ~seq run =
+  let n = q.size in
+  if n = Array.length q.times then grow q;
+  q.times.(n) <- at;
+  q.seqs.(n) <- seq;
+  q.runs.(n) <- run;
+  q.size <- n + 1;
+  if n > 0 then sift_up q n
+
+(* Sift the (already detached) last element down from the root.  [n] is
+   the post-pop size; the element's key/payload sit in slot [n]. *)
+let sift_down q n =
+  let ts = q.times and ss = q.seqs and rs = q.runs in
+  let at = ts.(n) and seq = ss.(n) and run = rs.(n) in
+  rs.(n) <- nop;
+  let i = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    let l = (2 * !i) + 1 in
+    if l >= n then stop := true
+    else begin
+      let r = l + 1 in
+      let c =
+        if r < n && (ts.(r) < ts.(l) || (ts.(r) = ts.(l) && ss.(r) < ss.(l)))
+        then r
+        else l
+      in
+      if ts.(c) < at || (ts.(c) = at && ss.(c) < seq) then begin
+        ts.(!i) <- ts.(c);
+        ss.(!i) <- ss.(c);
+        rs.(!i) <- rs.(c);
+        i := c
+      end
+      else stop := true
+    end
+  done;
+  ts.(!i) <- at;
+  ss.(!i) <- seq;
+  rs.(!i) <- run
+
+let[@inline] pop_exn q =
+  let n = q.size - 1 in
+  if n < 0 then invalid_arg "Event_queue.pop_exn: empty";
+  let run = q.runs.(0) in
+  q.size <- n;
+  (* the displaced last element already sits in slot [n]; the outlined
+     sift re-seats it from the root *)
+  if n = 0 then q.runs.(0) <- nop else sift_down q n;
+  run
+
+let is_heap q =
+  let ok = ref true in
+  for i = 1 to q.size - 1 do
+    let p = (i - 1) / 2 in
+    if
+      q.times.(p) > q.times.(i)
+      || (q.times.(p) = q.times.(i) && q.seqs.(p) > q.seqs.(i))
+    then ok := false
+  done;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* 4-ary variant: half the depth of the binary heap, one cache line of
+   children per level, at the cost of up to three extra comparisons per
+   level on the way down.  Kept behind the same signature so the bench
+   harness and the differential tests can drive both; the binary heap is
+   the engine's queue (DESIGN.md records the measured comparison). *)
+
+module Fourary = struct
+  type nonrec t = t
+
+  let create = create
+  let size = size
+  let is_empty = is_empty
+  let min_time = min_time
+  let min_seq = min_seq
+  let clear = clear
+
+  let sift_up q i0 =
+    let ts = q.times and ss = q.seqs and rs = q.runs in
+    let at = ts.(i0) and seq = ss.(i0) and run = rs.(i0) in
+    let i = ref i0 in
+    let stop = ref false in
+    while (not !stop) && !i > 0 do
+      let p = (!i - 1) / 4 in
+      if ts.(p) > at || (ts.(p) = at && ss.(p) > seq) then begin
+        ts.(!i) <- ts.(p);
+        ss.(!i) <- ss.(p);
+        rs.(!i) <- rs.(p);
+        i := p
+      end
+      else stop := true
+    done;
+    ts.(!i) <- at;
+    ss.(!i) <- seq;
+    rs.(!i) <- run
+
+  let[@inline] push q ~at ~seq run =
+    let n = q.size in
+    if n = Array.length q.times then grow q;
+    q.times.(n) <- at;
+    q.seqs.(n) <- seq;
+    q.runs.(n) <- run;
+    q.size <- n + 1;
+    if n > 0 then sift_up q n
+
+  let sift_down q n =
+    let ts = q.times and ss = q.seqs and rs = q.runs in
+    let at = ts.(n) and seq = ss.(n) and run = rs.(n) in
+    rs.(n) <- nop;
+    let i = ref 0 in
+    let stop = ref false in
+    while not !stop do
+      let first = (4 * !i) + 1 in
+      if first >= n then stop := true
+      else begin
+        let last = Stdlib.min (first + 3) (n - 1) in
+        let c = ref first in
+        for k = first + 1 to last do
+          if
+            ts.(k) < ts.(!c) || (ts.(k) = ts.(!c) && ss.(k) < ss.(!c))
+          then c := k
+        done;
+        let c = !c in
+        if ts.(c) < at || (ts.(c) = at && ss.(c) < seq) then begin
+          ts.(!i) <- ts.(c);
+          ss.(!i) <- ss.(c);
+          rs.(!i) <- rs.(c);
+          i := c
+        end
+        else stop := true
+      end
+    done;
+    ts.(!i) <- at;
+    ss.(!i) <- seq;
+    rs.(!i) <- run
+
+  let[@inline] pop_exn q =
+    let n = q.size - 1 in
+    if n < 0 then invalid_arg "Event_queue.Fourary.pop_exn: empty";
+    let run = q.runs.(0) in
+    q.size <- n;
+    if n = 0 then q.runs.(0) <- nop else sift_down q n;
+    run
+
+  let is_heap q =
+    let ok = ref true in
+    for i = 1 to q.size - 1 do
+      let p = (i - 1) / 4 in
+      if
+        q.times.(p) > q.times.(i)
+        || (q.times.(p) = q.times.(i) && q.seqs.(p) > q.seqs.(i))
+      then ok := false
+    done;
+    !ok
+end

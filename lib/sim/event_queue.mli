@@ -1,0 +1,57 @@
+(** Monomorphic event queue of the simulation engine.
+
+    A min-heap specialized to the engine's event shape: keys are
+    [(time : float, seq : int)] pairs compared lexicographically (the
+    sequence number breaks timestamp ties deterministically), payloads
+    are the event thunks.  The three key/payload columns live in
+    parallel arrays — a [float array] for times (flat, unboxed), an
+    [int array] for sequence numbers and a closure array for thunks —
+    so pushing an event allocates nothing beyond amortized array
+    growth, where the generic {!Pheap} allocated a 3-field event
+    record plus a boxed float per push and an option per pop.
+
+    The accessors are written so the engine's run loop allocates
+    nothing per event: {!min_time}/{!min_seq} are loop-free and small
+    enough for the non-flambda inliner (floats stay unboxed at the
+    call site), and {!pop_exn} returns the stored thunk directly
+    instead of wrapping it in an option.
+
+    Two implementations share the {!S} signature: the default binary
+    heap (this module's toplevel) and a {!Fourary} 4-ary variant kept
+    for evaluation — shallower by half at the cost of more sibling
+    comparisons per level.  The differential tests drive both against
+    {!Pheap}; DESIGN.md records the measured comparison. *)
+
+module type S = sig
+  type t
+
+  val create : unit -> t
+  val size : t -> int
+  val is_empty : t -> bool
+
+  (** [push q ~at ~seq run] inserts an event.  O(log n); allocation
+      free apart from amortized growth of the backing arrays. *)
+  val push : t -> at:float -> seq:int -> (unit -> unit) -> unit
+
+  (** Key of the minimum event.  Undefined (reads stale storage) on an
+      empty queue — callers check {!is_empty} first; the engine's run
+      loop always does. *)
+  val min_time : t -> float
+
+  val min_seq : t -> int
+
+  (** Remove the minimum event and return its thunk.  O(log n), no
+      allocation.  Raises [Invalid_argument] when empty. *)
+  val pop_exn : t -> unit -> unit
+
+  val clear : t -> unit
+
+  (** Structural heap check: every parent at or before its children in
+      [(time, seq)] order.  O(n); invariant layer and tests only. *)
+  val is_heap : t -> bool
+end
+
+include S
+
+(** 4-ary heap over the same parallel-array layout. *)
+module Fourary : S

@@ -91,18 +91,24 @@ let invariant ?obs ?detail ~layer ~what pred =
   if Atomic.get current_mode <> Off && not (pred ()) then
     record ?obs ~layer ~what (detail_of detail)
 
+(* Unconditional failure: log and raise.  This is the cold half of a
+   precondition; hot paths write [if bad then fail ...] so the good path
+   evaluates one branch and allocates nothing (a [precondition] call
+   site allocates its [detail] closure and [Some] wrappers even when the
+   condition holds). *)
+let fail ~layer ~what detail =
+  let v = { v_layer = layer; v_what = what; v_detail = detail } in
+  Stdlib.Mutex.lock log_mutex;
+  incr total;
+  if !logged < log_limit then begin
+    log := v :: !log;
+    incr logged
+  end;
+  Stdlib.Mutex.unlock log_mutex;
+  raise (Violation v)
+
 (* Argument/state preconditions migrated from bare [assert]s: always
    evaluated (they replace checks that were always on), and a failure
    always raises, naming the subsystem instead of [Assert_failure]. *)
 let precondition ?detail ~layer ~what cond =
-  if not cond then begin
-    let v = { v_layer = layer; v_what = what; v_detail = detail_of detail } in
-    Stdlib.Mutex.lock log_mutex;
-    incr total;
-    if !logged < log_limit then begin
-      log := v :: !log;
-      incr logged
-    end;
-    Stdlib.Mutex.unlock log_mutex;
-    raise (Violation v)
-  end
+  if not cond then fail ~layer ~what (detail_of detail)

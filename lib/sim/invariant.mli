@@ -55,6 +55,14 @@ val invariant :
 val precondition :
   ?detail:(unit -> string) -> layer:string -> what:string -> bool -> unit
 
+(** [fail ~layer ~what detail] unconditionally logs and raises
+    {!Violation} — the cold half of a failed {!precondition}.  Hot paths
+    write [if bad then fail ...] so the good path evaluates one branch
+    and allocates nothing (a {!precondition} call site builds its
+    [detail] closure and optional-argument wrappers on every call, even
+    when the condition holds). *)
+val fail : layer:string -> what:string -> string -> 'a
+
 (** The global bounded violation log (all engines, all domains). *)
 
 val violations : unit -> violation list

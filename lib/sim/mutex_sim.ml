@@ -1,11 +1,20 @@
+(* The float accounting lives in an all-float record: those are flat in
+   the OCaml value model, so the per-handoff stat updates are plain
+   stores.  The same fields as boxed slots of the mixed record below
+   would cost a fresh box per assignment — three minor allocations per
+   contended acquisition on the hottest lock in the tree. *)
+type fstats = {
+  mutable acquired_at : float;
+  mutable total_wait : float;
+  mutable total_hold : float;
+}
+
 type t = {
   engine : Engine.t;
   name : string;
   mutable is_locked : bool;
   waiters : (unit -> unit) Queue.t;
-  mutable acquired_at : float;
-  mutable total_wait : float;
-  mutable total_hold : float;
+  fs : fstats;
   mutable acquisitions : int;
   mutable contended : int;
   wait_h : Obs.histogram;
@@ -19,9 +28,7 @@ let create engine ~name =
     name;
     is_locked = false;
     waiters = Queue.create ();
-    acquired_at = 0.0;
-    total_wait = 0.0;
-    total_hold = 0.0;
+    fs = { acquired_at = 0.0; total_wait = 0.0; total_hold = 0.0 };
     acquisitions = 0;
     contended = 0;
     (* mutexes sharing a name (per-inode locks, interned kernel locks)
@@ -36,15 +43,18 @@ let locked t = t.is_locked
 let lock t =
   if not t.is_locked then begin
     (* An unlocked mutex with queued waiters means [unlock] dropped a
-       hand-off: those waiters will never be woken. *)
-    Invariant.require ~obs:(Engine.obs t.engine) ~layer:"mutex"
-      ~what:"no_orphan_waiters"
-      ~detail:(fun () ->
-        Printf.sprintf "%s unlocked with %d waiter(s) queued" t.name
-          (Queue.length t.waiters))
-      (Queue.is_empty t.waiters);
+       hand-off: those waiters will never be woken.  The call site is
+       guarded: an unguarded [require] builds its detail closure and
+       optional wrappers on every uncontended acquisition. *)
+    if Invariant.on () then
+      Invariant.require ~obs:(Engine.obs t.engine) ~layer:"mutex"
+        ~what:"no_orphan_waiters"
+        ~detail:(fun () ->
+          Printf.sprintf "%s unlocked with %d waiter(s) queued" t.name
+            (Queue.length t.waiters))
+        (Queue.is_empty t.waiters);
     t.is_locked <- true;
-    t.acquired_at <- Engine.now t.engine;
+    t.fs.acquired_at <- Engine.now t.engine;
     t.acquisitions <- t.acquisitions + 1
   end
   else begin
@@ -54,26 +64,29 @@ let lock t =
     (* Ownership was passed to us by [unlock]; the mutex is still marked
        locked on our behalf. *)
     let now = Engine.now t.engine in
-    t.total_wait <- t.total_wait +. (now -. started);
+    t.fs.total_wait <- t.fs.total_wait +. (now -. started);
     Obs.observe t.wait_h (now -. started);
-    Trace.emit t.engine ~layer:"sim" ~name:"lock" ~key:t.name ~phase:Lock_wait
-      ~start:started ~dur:(now -. started);
-    t.acquired_at <- now;
+    if Trace.enabled (Engine.obs t.engine) then
+      Trace.emit t.engine ~layer:"sim" ~name:"lock" ~key:t.name
+        ~phase:Lock_wait ~start:started ~dur:(now -. started);
+    t.fs.acquired_at <- now;
     t.acquisitions <- t.acquisitions + 1
   end
 
 let unlock t =
   if not t.is_locked then invalid_arg ("Mutex_sim.unlock: not locked: " ^ t.name);
-  let held = Engine.now t.engine -. t.acquired_at in
-  Invariant.require ~obs:(Engine.obs t.engine) ~layer:"mutex"
-    ~what:"hold_non_negative"
-    ~detail:(fun () -> Printf.sprintf "%s held for %g" t.name held)
-    (held >= 0.0);
-  t.total_hold <- t.total_hold +. held;
+  let held = Engine.now t.engine -. t.fs.acquired_at in
+  if Invariant.on () then
+    Invariant.require ~obs:(Engine.obs t.engine) ~layer:"mutex"
+      ~what:"hold_non_negative"
+      ~detail:(fun () -> Printf.sprintf "%s held for %g" t.name held)
+      (held >= 0.0);
+  t.fs.total_hold <- t.fs.total_hold +. held;
   Obs.observe t.hold_h held;
-  match Queue.take_opt t.waiters with
-  | Some wake -> wake ()
-  | None -> t.is_locked <- false
+  (* exceptionless non-allocating hand-off: [take_opt] would box a
+     [Some wake] per contended release *)
+  if Queue.is_empty t.waiters then t.is_locked <- false
+  else (Queue.pop t.waiters) ()
 
 let with_lock t f =
   lock t;
@@ -87,17 +100,19 @@ let with_lock t f =
 
 let acquisitions t = t.acquisitions
 let contended t = t.contended
-let total_wait t = t.total_wait
-let total_hold t = t.total_hold
+let total_wait t = t.fs.total_wait
+let total_hold t = t.fs.total_hold
 
 let avg_wait t =
-  if t.acquisitions = 0 then 0.0 else t.total_wait /. float_of_int t.acquisitions
+  if t.acquisitions = 0 then 0.0
+  else t.fs.total_wait /. float_of_int t.acquisitions
 
 let avg_hold t =
-  if t.acquisitions = 0 then 0.0 else t.total_hold /. float_of_int t.acquisitions
+  if t.acquisitions = 0 then 0.0
+  else t.fs.total_hold /. float_of_int t.acquisitions
 
 let reset_stats t =
-  t.total_wait <- 0.0;
-  t.total_hold <- 0.0;
+  t.fs.total_wait <- 0.0;
+  t.fs.total_hold <- 0.0;
   t.acquisitions <- 0;
   t.contended <- 0

@@ -38,11 +38,17 @@ type cspan = {
   mutable cs_dur : float; (* < 0 while the span is still open *)
 }
 
-type counter = float ref
-type gauge = float ref
+(* Counters and gauges are single-field all-float records: flat in
+   memory, so [add]/[set] store the float unboxed.  A [float ref] cell
+   boxed a fresh float on every update — measurable on per-event and
+   per-block paths (CPU burst accounting, dirty-page gauges). *)
+type fcell = { mutable v : float }
+
+type counter = fcell
+type gauge = fcell
 type histogram = Stats.t
 
-type cell = C of counter | G of gauge | H of histogram
+type cell = C of fcell | G of fcell | H of histogram
 
 type t = {
   cells : (string * string * string, cell) Hashtbl.t;
@@ -98,25 +104,25 @@ let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
 
 let intern t ~layer ~name ~key make expect =
   let id = (layer, name, key) in
-  match Hashtbl.find_opt t.cells id with
-  | Some cell ->
+  match Hashtbl.find t.cells id with
+  | cell ->
       if kind_name cell <> expect then
         invalid_arg
           (Printf.sprintf "Obs: %s/%s[%s] is a %s, requested as %s" layer name
              key (kind_name cell) expect);
       cell
-  | None ->
+  | exception Not_found ->
       let cell = make () in
       Hashtbl.add t.cells id cell;
       cell
 
 let counter t ~layer ~name ~key =
-  match intern t ~layer ~name ~key (fun () -> C (ref 0.0)) "counter" with
+  match intern t ~layer ~name ~key (fun () -> C { v = 0.0 }) "counter" with
   | C r -> r
   | G _ | H _ -> assert false
 
 let gauge t ~layer ~name ~key =
-  match intern t ~layer ~name ~key (fun () -> G (ref 0.0)) "gauge" with
+  match intern t ~layer ~name ~key (fun () -> G { v = 0.0 }) "gauge" with
   | G r -> r
   | C _ | H _ -> assert false
 
@@ -125,12 +131,12 @@ let histogram t ~layer ~name ~key =
   | H s -> s
   | C _ | G _ -> assert false
 
-let add (c : counter) v = c := !c +. v
-let incr c = add c 1.0
-let counter_value (c : counter) = !c
-let set (g : gauge) v = g := v
-let set_max (g : gauge) v = if v > !g then g := v
-let gauge_value (g : gauge) = !g
+let[@inline] add (c : counter) dv = c.v <- c.v +. dv
+let[@inline] incr c = c.v <- c.v +. 1.0
+let counter_value (c : counter) = c.v
+let[@inline] set (g : gauge) dv = g.v <- dv
+let[@inline] set_max (g : gauge) dv = if dv > g.v then g.v <- dv
+let gauge_value (g : gauge) = g.v
 let observe (h : histogram) v = Stats.add h v
 let hist_stats (h : histogram) = h
 
@@ -139,7 +145,7 @@ let hist_stats (h : histogram) = h
 
 let get t ~layer ~name ~key =
   match Hashtbl.find_opt t.cells (layer, name, key) with
-  | Some (C r) | Some (G r) -> !r
+  | Some (C r) | Some (G r) -> r.v
   | Some (H s) -> Stats.total s
   | None -> 0.0
 
@@ -152,7 +158,7 @@ let fold_name t ?layer ~name f init =
     t.cells init
 
 let cell_scalar = function
-  | C r | G r -> !r
+  | C r | G r -> r.v
   | H s -> Stats.total s
 
 let sum t ?layer ~name () =
@@ -189,8 +195,8 @@ let snapshot t =
     (fun (l, n, k) cell acc ->
       let v =
         match cell with
-        | C r -> Counter !r
-        | G r -> Gauge !r
+        | C r -> Counter r.v
+        | G r -> Gauge r.v
         | H s -> Histogram (summarize s)
       in
       { s_layer = l; s_name = n; s_key = k; s_value = v } :: acc)
@@ -308,7 +314,7 @@ let dropped_spans t = t.ctrace_dropped
 let reset t =
   Hashtbl.iter
     (fun _ cell ->
-      match cell with C r | G r -> r := 0.0 | H s -> Stats.clear s)
+      match cell with C r | G r -> r.v <- 0.0 | H s -> Stats.clear s)
     t.cells;
   t.ctrace_base <- t.ctrace_base + t.ctrace_len;
   t.ctrace_len <- 0;
@@ -358,8 +364,8 @@ module Sampler = struct
       Hashtbl.fold
         (fun (l, n, k) cell acc ->
           match cell with
-          | C r -> { s_layer = l; s_name = n; s_key = k; s_value = Counter !r } :: acc
-          | G r -> { s_layer = l; s_name = n; s_key = k; s_value = Gauge !r } :: acc
+          | C r -> { s_layer = l; s_name = n; s_key = k; s_value = Counter r.v } :: acc
+          | G r -> { s_layer = l; s_name = n; s_key = k; s_value = Gauge r.v } :: acc
           | H _ -> acc)
         s.sa_obs.cells []
       |> List.sort (fun a b ->

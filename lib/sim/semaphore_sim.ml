@@ -33,27 +33,33 @@ let acquire t =
     | Some h ->
         let now = Engine.now t.engine in
         Obs.observe h (now -. started);
-        Trace.emit t.engine ~layer:"sim" ~name:"sem"
-          ~key:(Option.value ~default:"" t.sem_name)
-          ~phase:Queue_wait ~start:started ~dur:(now -. started)
+        if Trace.enabled (Engine.obs t.engine) then
+          Trace.emit t.engine ~layer:"sim" ~name:"sem"
+            ~key:(Option.value ~default:"" t.sem_name)
+            ~phase:Queue_wait ~start:started ~dur:(now -. started)
     | None -> ()
   end
 
 let release t =
-  match Queue.take_opt t.waiting with
-  | Some wake -> wake () (* the permit is handed over directly *)
-  | None ->
-      t.permits <- t.permits + 1;
+  (* exceptionless non-allocating hand-off, as in {!Mutex_sim.unlock} *)
+  if not (Queue.is_empty t.waiting) then
+    (* the permit is handed over directly *)
+    (Queue.pop t.waiting) ()
+  else begin
+    t.permits <- t.permits + 1;
       (* Every use in the tree is a bounded window (disk/net gates, bdi
          and flush windows): more releases than acquires means a path
-         double-released its permit. *)
-      Invariant.require ~obs:(Engine.obs t.engine) ~layer:"semaphore"
-        ~what:"release_balance"
-        ~detail:(fun () ->
-          Printf.sprintf "%s has %d permits, created with %d"
-            (Option.value ~default:"<anon>" t.sem_name)
-            t.permits t.initial)
-        (t.permits <= t.initial)
+         double-released its permit.  Guarded: this runs once per
+         released permit on the IO fast path. *)
+      if Invariant.on () then
+        Invariant.require ~obs:(Engine.obs t.engine) ~layer:"semaphore"
+          ~what:"release_balance"
+          ~detail:(fun () ->
+            Printf.sprintf "%s has %d permits, created with %d"
+              (Option.value ~default:"<anon>" t.sem_name)
+              t.permits t.initial)
+          (t.permits <= t.initial)
+  end
 
 let try_acquire t =
   if t.permits > 0 then begin

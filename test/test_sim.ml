@@ -743,3 +743,145 @@ let pheap_suite =
   ]
 
 let suite = suite @ pheap_suite
+
+(* ------------------------------------------------------------------ *)
+(* Event_queue: differential tests of the monomorphic (time, seq) queue
+   — binary and 4-ary variants — against the reference Pheap, plus the
+   allocation guarantee the engine's run loop is built on. *)
+
+let eq_cmp (t1, s1) (t2, s2) =
+  match Float.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c
+
+let drain_queue (type q) (module Q : Event_queue.S with type t = q) (q : q) =
+  let rec go acc =
+    if Q.is_empty q then List.rev acc
+    else begin
+      let at = Q.min_time q and seq = Q.min_seq q in
+      (Q.pop_exn q) ();
+      go ((at, seq) :: acc)
+    end
+  in
+  go []
+
+let prop_event_queue_matches_pheap =
+  QCheck.Test.make
+    ~name:"event queue drains like pheap (binary and 4-ary)" ~count:300
+    QCheck.(list (int_range 0 7))
+    (fun xs ->
+      (* seq assigned in push order, as the engine does; small time
+         domain forces same-time groups so ties are exercised hard *)
+      let h = Pheap.create ~cmp:eq_cmp in
+      let qb = Event_queue.create () in
+      let qf = Event_queue.Fourary.create () in
+      List.iteri
+        (fun s x ->
+          let at = float_of_int x in
+          Pheap.push h (at, s);
+          Event_queue.push qb ~at ~seq:s (fun () -> ());
+          Event_queue.Fourary.push qf ~at ~seq:s (fun () -> ()))
+        xs;
+      let rec drain_ph acc =
+        match Pheap.pop h with
+        | None -> List.rev acc
+        | Some x -> drain_ph (x :: acc)
+      in
+      let expected = drain_ph [] in
+      drain_queue (module Event_queue) qb = expected
+      && drain_queue (module Event_queue.Fourary) qf = expected)
+
+(* Interleaved pushes and pops against all three structures at once:
+   exercises sift-down from mid-heap states a build-then-drain test
+   never reaches. *)
+let test_event_queue_interleaved_differential () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      let h = Pheap.create ~cmp:eq_cmp in
+      let qb = Event_queue.create () in
+      let qf = Event_queue.Fourary.create () in
+      let seq = ref 0 in
+      for _ = 1 to 2_000 do
+        if Rng.int rng 3 > 0 || Pheap.is_empty h then begin
+          let at = float_of_int (Rng.int rng 16) in
+          let s = !seq in
+          incr seq;
+          Pheap.push h (at, s);
+          Event_queue.push qb ~at ~seq:s (fun () -> ());
+          Event_queue.Fourary.push qf ~at ~seq:s (fun () -> ())
+        end
+        else begin
+          let expected = Pheap.pop h in
+          let got_b = (Event_queue.min_time qb, Event_queue.min_seq qb) in
+          let got_f =
+            (Event_queue.Fourary.min_time qf, Event_queue.Fourary.min_seq qf)
+          in
+          (Event_queue.pop_exn qb) ();
+          (Event_queue.Fourary.pop_exn qf) ();
+          check_bool "binary pop matches pheap" true (Some got_b = expected);
+          check_bool "4-ary pop matches pheap" true (Some got_f = expected)
+        end
+      done;
+      check_int "sizes agree (binary)" (Pheap.size h) (Event_queue.size qb);
+      check_int "sizes agree (4-ary)" (Pheap.size h)
+        (Event_queue.Fourary.size qf);
+      check_bool "binary invariant holds" true (Event_queue.is_heap qb);
+      check_bool "4-ary invariant holds" true (Event_queue.Fourary.is_heap qf);
+      let expected =
+        let rec go acc =
+          match Pheap.pop h with None -> List.rev acc | Some x -> go (x :: acc)
+        in
+        go []
+      in
+      check_bool "binary drains like pheap" true
+        (drain_queue (module Event_queue) qb = expected);
+      check_bool "4-ary drains like pheap" true
+        (drain_queue (module Event_queue.Fourary) qf = expected))
+    [ 11; 23; 42; 1009 ]
+
+(* The refactored run loop's contract: with checking off and no tracing,
+   a self-rescheduling no-op event costs zero minor-heap words.  This is
+   what keeps the simulator's throughput allocation-flat; a regression
+   here means a float got boxed or an option crept back into the hot
+   path (see DESIGN.md, "Engine internals").  The bound is per-event
+   with generous slack for the run loop's fixed-cost closures. *)
+let test_run_loop_zero_alloc () =
+  let saved = Invariant.mode () in
+  Invariant.set_mode Invariant.Off;
+  Fun.protect
+    ~finally:(fun () -> Invariant.set_mode saved)
+    (fun () ->
+      let e = Engine.create () in
+      let events = 50_000 in
+      let n = ref 0 in
+      let rec tick () =
+        incr n;
+        if !n < events then Engine.schedule e tick
+      in
+      (* warm-up pass: grows the queue arrays, settles the minor heap *)
+      Engine.schedule e tick;
+      Engine.run e;
+      n := 0;
+      Gc.full_major ();
+      let w0 = Gc.minor_words () in
+      Engine.schedule e tick;
+      Engine.run e;
+      let w1 = Gc.minor_words () in
+      let per_event = (w1 -. w0) /. float_of_int events in
+      check_bool
+        (Printf.sprintf "run loop allocates (%.4f words/event)" per_event)
+        true
+        (per_event < 0.01))
+
+let event_queue_suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "sim.event_queue",
+      QCheck_alcotest.to_alcotest prop_event_queue_matches_pheap
+      :: [
+           tc "interleaved differential vs pheap" `Quick
+             test_event_queue_interleaved_differential;
+           tc "run loop allocation-free" `Quick test_run_loop_zero_alloc;
+         ] );
+  ]
+
+let suite = suite @ event_queue_suite

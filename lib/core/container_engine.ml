@@ -458,3 +458,182 @@ let launch t ~config ~pool ~id ?image ?(layers = []) ?cache_bytes
     instance = union;
     user_memory = shared.sh_memory;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Live pool migration between hosts (promoted from the `mig`
+   experiment, where the two strategies lived as separate code paths).
+
+   Both strategies launch the pool's container on the destination engine
+   and answer the running destination container; they differ in how the
+   root's state arrives:
+
+   - [`Shared verify]: the destination mounts the same branches over the
+     shared filesystem, so nothing is copied — state pages in on demand.
+     Each [(path, size)] in [verify] is stat'ed through the destination
+     view and must answer exactly [size] bytes, or the migration fails.
+
+   - [`Copy files]: the destination first copies each [(path, size)] of
+     [files] from the source container's view into its own subtree
+     (chunked read/write + fsync per file; paths missing on the source
+     are skipped, as an image manifest may list files a container never
+     materialised).  A mid-copy failure — source read error, destination
+     write error, a crashed stack exhausting its retry budget — rolls
+     the partial subtree back: the destination engine reclaims the
+     already-copied files directly in the backend namespace (the
+     cost-free teardown an aborted migration performs) and the call
+     answers [Error], leaving the source untouched.
+
+   On success the byte-conservation law is checked ([Invariant] mode
+   permitting): every copied or verified file's namespace size equals
+   the manifest size — a migration never loses bytes. *)
+
+type migration = {
+  mg_container : container;
+  mg_bytes : int;  (** bytes copied ([`Copy]) or verified ([`Shared]) *)
+  mg_elapsed : float;  (** simulated seconds from call to completion *)
+}
+
+(* The destination subtree of the migrated container's writable branch,
+   mirroring [launch]'s [upper_prefix]. *)
+let branch_prefix ~pool ~id = Printf.sprintf "/pools/%s/%s" (Cgroup.name pool) id
+
+let migrate_count t ~pool ~bytes =
+  let obs = Kernel.obs t.kernel in
+  let key = Cgroup.name pool in
+  Obs.incr (Obs.counter obs ~layer:"core" ~name:"migrations" ~key);
+  Obs.add
+    (Obs.counter obs ~layer:"core" ~name:"migration_bytes" ~key)
+    (float_of_int bytes)
+
+let migrate_pool t ~src ~dst_pool ?dst_id ?image ?(layers = []) ?cache_bytes
+    ?qos ?(chunk = 1024 * 1024) ?(src_thread = 3) ?(dst_thread = 4)
+    ?(after_launch = fun (_ : container) -> ()) ~strategy () =
+  let engine = Kernel.engine t.kernel in
+  let dst_id = match dst_id with Some i -> i | None -> src.ct_id in
+  let src_pool = src.ct_pool in
+  let t0 = Engine.now engine in
+  let ct =
+    launch t ~config:src.ct_config ~pool:dst_pool ~id:dst_id ?image ~layers
+      ?cache_bytes ?qos ()
+  in
+  let ns = Cluster.namespace t.cluster in
+  let dst_prefix = branch_prefix ~pool:dst_pool ~id:dst_id in
+  (* conservation: the file must exist in the backend namespace at
+     exactly its manifest size (writes extend the size through the MDS,
+     so a lost chunk shows up as a short file) *)
+  let conserved path size =
+    Invariant.invariant ~obs:(Kernel.obs t.kernel) ~layer:"core"
+      ~what:"migrate_bytes_conserved"
+      ~detail:(fun () ->
+        Printf.sprintf "%s: namespace size %s, manifest %d" path
+          (match Namespace.lookup ns (Fspath.normalize (dst_prefix ^ path)) with
+          | Some a -> string_of_int a.Namespace.size
+          | None -> "missing")
+          size)
+      (fun () ->
+        match Namespace.lookup ns (Fspath.normalize (dst_prefix ^ path)) with
+        | Some a -> a.Namespace.size = size
+        | None -> false)
+  in
+  match strategy with
+  | `Shared verify ->
+      after_launch ct;
+      let v = ct.view ~thread:1 in
+      let rec check bytes = function
+        | [] -> Ok bytes
+        | (path, size) :: rest -> (
+            match v.Client_intf.stat ~pool:dst_pool path with
+            | Ok a when a.Namespace.size = size -> check (bytes + size) rest
+            | Ok a ->
+                Error
+                  (Printf.sprintf "migrated state truncated: %s is %d of %d"
+                     path a.Namespace.size size)
+            | Error e ->
+                Error
+                  (Printf.sprintf "migrated state missing: %s: %s" path
+                     (Client_intf.error_to_string e)))
+      in
+      Result.map
+        (fun bytes ->
+          List.iter (fun (path, size) -> conserved path size) verify;
+          migrate_count t ~pool:dst_pool ~bytes;
+          { mg_container = ct; mg_bytes = bytes; mg_elapsed = Engine.now engine -. t0 })
+        (check 0 verify)
+  | `Copy files ->
+      let sv = src.view ~thread:src_thread in
+      let dv = ct.view ~thread:dst_thread in
+      (* the partial subtree reclaimed on a mid-copy failure: every file
+         whose destination copy was started *)
+      let started = ref [] in
+      let rollback () =
+        List.iter
+          (fun path ->
+            ignore (Namespace.unlink ns (Fspath.normalize (dst_prefix ^ path))))
+          !started
+      in
+      let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
+      let err what path e =
+        Printf.sprintf "migration copy %s failed on %s: %s" what path
+          (Client_intf.error_to_string e)
+      in
+      let copy_file path size =
+        match sv.Client_intf.open_file ~pool:src_pool path Client_intf.flags_ro with
+        | Error _ -> Ok 0 (* not materialised on the source: skip *)
+        | Ok sfd ->
+            started := path :: !started;
+            let r =
+              let* dfd =
+                Result.map_error (err "open" path)
+                  (dv.Client_intf.open_file ~pool:dst_pool path
+                     Client_intf.flags_wo)
+              in
+              let rec chunks off =
+                if off >= size then Ok ()
+                else
+                  let len = Stdlib.min chunk (size - off) in
+                  let* _ =
+                    Result.map_error (err "read" path)
+                      (sv.Client_intf.read ~pool:src_pool sfd ~off ~len)
+                  in
+                  let* () =
+                    Result.map_error (err "write" path)
+                      (dv.Client_intf.write ~pool:dst_pool dfd ~off ~len)
+                  in
+                  chunks (off + len)
+              in
+              let r =
+                let* () = chunks 0 in
+                let* () =
+                  Result.map_error (err "fsync" path)
+                    (dv.Client_intf.fsync ~pool:dst_pool dfd)
+                in
+                Ok size
+              in
+              dv.Client_intf.close ~pool:dst_pool dfd;
+              r
+            in
+            sv.Client_intf.close ~pool:src_pool sfd;
+            r
+      in
+      let rec copy_all bytes = function
+        | [] -> Ok bytes
+        | (path, size) :: rest -> (
+            match copy_file path size with
+            | Ok copied -> copy_all (bytes + copied) rest
+            | Error e ->
+                rollback ();
+                Error e)
+      in
+      Result.map
+        (fun bytes ->
+          after_launch ct;
+          List.iter
+            (fun (path, size) ->
+              (* only files the source materialised were copied *)
+              match sv.Client_intf.stat ~pool:src_pool path with
+              | Ok _ -> conserved path size
+              | Error _ -> ())
+            files;
+          migrate_count t ~pool:dst_pool ~bytes;
+          { mg_container = ct; mg_bytes = bytes; mg_elapsed = Engine.now engine -. t0 })
+        (copy_all 0 files)

@@ -82,6 +82,60 @@ val launch :
 (** The Danaus filesystem service of a pool, if one was created. *)
 val service_of : t -> pool:Cgroup.t -> config:Config.t -> Fs_service.t option
 
+(** {1 Live pool migration}
+
+    Move a container to another host's engine: launch the pool's stack
+    there and bring its root state over, either by remounting the shared
+    branches ([`Shared]) or by copying files through both hosts'
+    clients ([`Copy]).  The scheduler's fleet controller drains hosts
+    with this API; the [mig] experiment measures the two strategies. *)
+
+type migration = {
+  mg_container : container;  (** the running destination container *)
+  mg_bytes : int;  (** bytes copied ([`Copy]) or verified ([`Shared]) *)
+  mg_elapsed : float;  (** simulated seconds from call to completion *)
+}
+
+(** [migrate_pool dst_engine ~src ~dst_pool ~strategy ()] relaunches
+    [src]'s container (same config, same id unless [dst_id]) on
+    [dst_engine] under [dst_pool].  Must run inside an engine process.
+
+    - [`Shared verify]: nothing is copied — the destination mounts the
+      same branches over the shared filesystem and state pages in on
+      demand.  Each [(path, size)] of [verify] is stat'ed through the
+      destination view and must answer exactly [size] bytes.
+    - [`Copy files]: each [(path, size)] of [files] is copied from the
+      source view into the destination subtree (chunked read/write +
+      fsync per file; paths missing on the source are skipped).  A
+      mid-copy failure — including a crashed stack exhausting its retry
+      budget — rolls the partial destination subtree back (cost-free
+      namespace reclaim, as an aborted migration's teardown) and
+      answers [Error], leaving the source untouched.
+
+    [after_launch] runs on the destination container once it is mounted
+    (and, for [`Copy], once the copy completed) — the place to restart
+    the containerised service.  On success the byte-conservation law is
+    checked under [Invariant]: every copied/verified file's namespace
+    size equals its manifest size.  Counts [core/migrations] and
+    [core/migration_bytes], keyed by destination pool. *)
+val migrate_pool :
+  t ->
+  src:container ->
+  dst_pool:Cgroup.t ->
+  ?dst_id:string ->
+  ?image:string ->
+  ?layers:string list ->
+  ?cache_bytes:int ->
+  ?qos:qos ->
+  ?chunk:int ->
+  ?src_thread:int ->
+  ?dst_thread:int ->
+  ?after_launch:(container -> unit) ->
+  strategy:
+    [ `Shared of (string * int) list | `Copy of (string * int) list ] ->
+  unit ->
+  (migration, string) result
+
 (** {1 Fault injection}
 
     Crash the processes realising client stacks, then respawn them

@@ -1,0 +1,7 @@
+(** Scheduler-layer experiments over a [Multihost] fleet: placement
+    policies under contention, host drain under live load, and
+    shed-rate autoscaling through a flash crowd. *)
+
+val sched_policy : seed:int -> quick:bool -> Report.t list
+val sched_drain : seed:int -> quick:bool -> Report.t list
+val autoscale : seed:int -> quick:bool -> Report.t list

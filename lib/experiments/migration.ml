@@ -1,85 +1,34 @@
 open Danaus_sim
-open Danaus_hw
 open Danaus_kernel
-open Danaus_ceph
 open Danaus_client
 open Danaus
 open Danaus_workloads
 
 let mib n = n * 1024 * 1024
 
-(* A world with two client machines attached to one cluster. *)
+(* A two-machine Multihost world; both hosts use the same pool/container
+   identity, so the writable branch path matches and the destination
+   sees the source's state. *)
 type world = {
-  engine : Engine.t;
-  host_a : Container_engine.t;
-  host_b : Container_engine.t;
+  mh : Multihost.t;
   pool_a : Cgroup.t;
   pool_b : Cgroup.t;
-  cpu_a : Cpu.t;
-  w_seed : int;
 }
 
 let make_world ~seed () =
-  let engine = Engine.create () in
-  let topology = Topology.paper_machine () in
-  let net = Net.create engine in
-  let server_node =
-    Net.add_node net ~name:"server" ~bandwidth:Params.net_bandwidth
-      ~latency:Params.net_latency
-  in
-  let osds =
-    Array.init Params.osd_count (fun i ->
-        let mk kind =
-          Disk.create engine
-            ~name:(Printf.sprintf "osd%d-%s" i kind)
-            ~bandwidth:Params.osd_disk_bandwidth ~latency:5e-6 ~seek:0.0
-        in
-        Osd.create engine
-          ~name:(Printf.sprintf "osd%d" i)
-          ~data:(mk "data") ~journal:(mk "journal")
-          ~concurrency:Params.osd_concurrency ~op_cost:Params.osd_op_cost
-          ~cpu_per_byte:Params.osd_cpu_per_byte)
-  in
-  let mds =
-    Mds.create engine ~concurrency:Params.mds_concurrency ~op_cost:Params.mds_op_cost
-  in
-  let make_host name =
-    let node =
-      Net.add_node net ~name ~bandwidth:Params.net_bandwidth
-        ~latency:Params.net_latency
-    in
-    let cpu = Cpu.create engine ~cores:8 in
-    let kernel =
-      Kernel.create ~costs:Params.costs engine ~cpu
-        ~activated:(Array.init 8 (fun i -> i))
-        ~page_cache_limit:Params.client_mem
-    in
-    (node, cpu, kernel)
-  in
-  let node_a, cpu_a, kernel_a = make_host "host-a" in
-  let node_b, _cpu_b, kernel_b = make_host "host-b" in
-  let cluster_a =
-    Cluster.create engine ~net ~client_node:node_a ~server_node ~osds ~mds
-      ~replicas:Params.replicas ~object_size:Params.object_size
-  in
-  let cluster_b = Cluster.for_host cluster_a ~client_node:node_b in
   {
-    engine;
-    host_a = Container_engine.create ~kernel:kernel_a ~cluster:cluster_a ~topology;
-    host_b = Container_engine.create ~kernel:kernel_b ~cluster:cluster_b ~topology;
-    (* the same pool/container identity on both hosts: the writable
-       branch path matches, so the destination sees the source's state *)
+    mh = Multihost.create ~hosts:2 ~seed ();
     pool_a = Cgroup.create ~name:"tenant" ~cores:[| 0; 1 |] ~mem_limit:(mib 8192);
     pool_b = Cgroup.create ~name:"tenant" ~cores:[| 0; 1 |] ~mem_limit:(mib 8192);
-    cpu_a;
-    w_seed = seed;
   }
 
-(* same base-seed mixing as Testbed.ctx *)
-let world_ctx w ~pool ~seed =
-  Workload.make_ctx w.engine ~cpu:w.cpu_a ~pool
-    ~seed:(seed + (w.w_seed * 1_000_003))
+let host_a w = (Multihost.host w.mh 0).Multihost.h_containers
+let host_b w = (Multihost.host w.mh 1).Multihost.h_containers
 
+(* both hosts' startup scripts draw compute bursts on host A's CPU, as
+   the historical world did (the cost model charges the pool either
+   way) *)
+let world_ctx w ~pool ~seed = Multihost.ctx w.mh ~host:0 ~pool ~seed
 let startup_params = Startup.default_params
 
 (* Boot the container on host A and write [state_mib] of private state
@@ -99,73 +48,50 @@ let boot_and_dirty w ct ~state_mib ~pool =
   Workload.exn_on_error "state fsync" (v.Client_intf.fsync ~pool fd);
   v.Client_intf.close ~pool fd
 
+let restart_on w ~seed ct =
+  let ctx = world_ctx w ~pool:w.pool_b ~seed in
+  Startup.start_container ctx
+    ~view:(ct.Container_engine.view ~thread:1)
+    ~legacy:ct.Container_engine.legacy startup_params
+
+let elapsed = function
+  | Ok m -> m.Container_engine.mg_elapsed
+  | Error e -> failwith e
+
 (* Shared-filesystem migration: relaunch on B and restart the service;
    its root (image + private state) is already reachable. *)
 let migrate_shared w ~state_mib =
   let ct_a =
-    Container_engine.launch w.host_a ~config:Config.d ~pool:w.pool_a ~id:"web"
+    Container_engine.launch (host_a w) ~config:Config.d ~pool:w.pool_a ~id:"web"
       ~image:"lighttpd" ()
   in
   boot_and_dirty w ct_a ~state_mib ~pool:w.pool_a;
-  let t0 = Engine.now w.engine in
-  (* destination: same id under the same pool name = same root subtree *)
-  let ct_b =
-    Container_engine.launch w.host_b ~config:Config.d ~pool:w.pool_b ~id:"web"
-      ~image:"lighttpd" ()
-  in
-  let ctx = world_ctx w ~pool:w.pool_b ~seed:12 in
-  Startup.start_container ctx
-    ~view:(ct_b.Container_engine.view ~thread:1)
-    ~legacy:ct_b.Container_engine.legacy startup_params;
-  (* the private state must be visible on B *)
-  let v = ct_b.Container_engine.view ~thread:1 in
-  (match v.Client_intf.stat ~pool:w.pool_b "/var/cache/state" with
-  | Ok a when a.Namespace.size = mib state_mib -> ()
-  | Ok a -> failwith (Printf.sprintf "migrated state truncated: %d" a.Namespace.size)
-  | Error e -> failwith ("migrated state missing: " ^ Client_intf.error_to_string e));
-  Engine.now w.engine -. t0
+  (* destination: same id under the same pool name = same root subtree;
+     the private state must be visible on B at full size *)
+  elapsed
+    (Container_engine.migrate_pool (host_b w) ~src:ct_a ~dst_pool:w.pool_b
+       ~image:"lighttpd"
+       ~after_launch:(restart_on w ~seed:12)
+       ~strategy:(`Shared [ ("/var/cache/state", mib state_mib) ])
+       ())
 
 (* Copy-based baseline: the destination first copies the whole root
    (image + state) into a fresh subtree, then starts. *)
 let migrate_copy w ~state_mib =
   let ct_a =
-    Container_engine.launch w.host_a ~config:Config.d ~pool:w.pool_a ~id:"webc"
+    Container_engine.launch (host_a w) ~config:Config.d ~pool:w.pool_a ~id:"webc"
       ~image:"lighttpd" ()
   in
   boot_and_dirty w ct_a ~state_mib ~pool:w.pool_a;
-  let t0 = Engine.now w.engine in
-  let ct_b =
-    Container_engine.launch w.host_b ~config:Config.d ~pool:w.pool_b ~id:"webc-copy"
-      ()
-  in
-  let src = ct_a.Container_engine.view ~thread:3 in
-  let dst = ct_b.Container_engine.view ~thread:4 in
-  (* copy the image files and the private state through both hosts *)
-  let copy_file path size =
-    match src.Client_intf.open_file ~pool:w.pool_a path Client_intf.flags_ro with
-    | Error _ -> ()
-    | Ok sfd ->
-        let dfd =
-          Workload.exn_on_error "copy dst"
-            (dst.Client_intf.open_file ~pool:w.pool_b path Client_intf.flags_wo)
-        in
-        Workload.chunked ~chunk:(mib 1) ~total:size (fun ~off ~len ->
-            ignore
-              (Workload.exn_on_error "copy read"
-                 (src.Client_intf.read ~pool:w.pool_a sfd ~off ~len));
-            Workload.exn_on_error "copy write"
-              (dst.Client_intf.write ~pool:w.pool_b dfd ~off ~len));
-        Workload.exn_on_error "copy fsync" (dst.Client_intf.fsync ~pool:w.pool_b dfd);
-        dst.Client_intf.close ~pool:w.pool_b dfd;
-        src.Client_intf.close ~pool:w.pool_a sfd
-  in
-  List.iter (fun (p, size) -> copy_file p size) (Startup.image_files startup_params);
-  copy_file "/var/cache/state" (mib state_mib);
-  let ctx = world_ctx w ~pool:w.pool_b ~seed:13 in
-  Startup.start_container ctx
-    ~view:(ct_b.Container_engine.view ~thread:1)
-    ~legacy:ct_b.Container_engine.legacy startup_params;
-  Engine.now w.engine -. t0
+  elapsed
+    (Container_engine.migrate_pool (host_b w) ~src:ct_a ~dst_pool:w.pool_b
+       ~dst_id:"webc-copy"
+       ~after_launch:(restart_on w ~seed:13)
+       ~strategy:
+         (`Copy
+            (Startup.image_files startup_params
+            @ [ ("/var/cache/state", mib state_mib) ]))
+       ())
 
 let fig_migration ~seed ~quick =
   let sizes = if quick then [ 64; 256 ] else [ 64; 256; 1024 ] in
@@ -174,18 +100,18 @@ let fig_migration ~seed ~quick =
       (fun state_mib ->
         let cell f =
           let w = make_world ~seed () in
-          Container_engine.install_image w.host_a ~name:"lighttpd"
+          Container_engine.install_image (host_a w) ~name:"lighttpd"
             ~files:(Startup.image_files startup_params);
           let result = ref None in
-          Engine.spawn w.engine (fun () -> result := Some (f w ~state_mib));
-          let rec spin limit =
-            if !result = None then begin
-              if Engine.now w.engine > limit then failwith "migration stuck";
-              Engine.run_until w.engine (Engine.now w.engine +. 0.25);
-              spin limit
-            end
+          Engine.spawn w.mh.Multihost.engine (fun () ->
+              result := Some (f w ~state_mib));
+          (* budget scales with the state being booted, dirtied, and
+             copied (plus slack for startup scripts), instead of the
+             old fixed 10 000 s wall *)
+          let limit =
+            (if quick then 200.0 else 500.0) +. (2.0 *. float_of_int state_mib)
           in
-          spin 10_000.0;
+          Multihost.drive ~limit w.mh ~stop:(fun () -> !result <> None);
           Option.get !result
         in
         [

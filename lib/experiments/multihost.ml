@@ -1,0 +1,145 @@
+open Danaus_sim
+open Danaus_hw
+open Danaus_kernel
+open Danaus_ceph
+open Danaus
+
+type host = {
+  h_index : int;
+  h_name : string;
+  h_node : Net.node;
+  h_cpu : Cpu.t;
+  h_kernel : Kernel.t;
+  h_cluster : Cluster.t;
+  h_containers : Container_engine.t;
+}
+
+type t = {
+  engine : Engine.t;
+  obs : Obs.t;
+  topology : Topology.t;
+  net : Net.t;
+  server_node : Net.node;
+  hosts : host array;
+  base_seed : int;
+}
+
+let host_name i = Printf.sprintf "host-%c" (Char.chr (Char.code 'a' + i))
+
+(* Construction order matters for byte-identity with the historical
+   [mig] world: server node, OSDs, MDS, then every host's node + CPU +
+   kernel (in host order), then the clusters. *)
+let create ?(hosts = 2) ?(server_bandwidth = Params.net_bandwidth) ~seed () =
+  let engine = Engine.create () in
+  let topology = Topology.paper_machine () in
+  let net = Net.create engine in
+  let server_node =
+    Net.add_node net ~name:"server" ~bandwidth:server_bandwidth
+      ~latency:Params.net_latency
+  in
+  let osds =
+    Array.init Params.osd_count (fun i ->
+        let mk kind =
+          Disk.create engine
+            ~name:(Printf.sprintf "osd%d-%s" i kind)
+            ~bandwidth:Params.osd_disk_bandwidth ~latency:5e-6 ~seek:0.0
+        in
+        Osd.create engine
+          ~name:(Printf.sprintf "osd%d" i)
+          ~data:(mk "data") ~journal:(mk "journal")
+          ~concurrency:Params.osd_concurrency ~op_cost:Params.osd_op_cost
+          ~cpu_per_byte:Params.osd_cpu_per_byte)
+  in
+  let mds =
+    Mds.create engine ~concurrency:Params.mds_concurrency ~op_cost:Params.mds_op_cost
+  in
+  let machines =
+    Array.init hosts (fun i ->
+        let node =
+          Net.add_node net ~name:(host_name i) ~bandwidth:Params.net_bandwidth
+            ~latency:Params.net_latency
+        in
+        let cpu = Cpu.create engine ~cores:8 in
+        let kernel =
+          Kernel.create ~costs:Params.costs engine ~cpu
+            ~activated:(Array.init 8 (fun i -> i))
+            ~page_cache_limit:Params.client_mem
+        in
+        (node, cpu, kernel))
+  in
+  let node0, _, _ = machines.(0) in
+  let cluster0 =
+    Cluster.create engine ~net ~client_node:node0 ~server_node ~osds ~mds
+      ~replicas:Params.replicas ~object_size:Params.object_size
+  in
+  let host_of i (node, cpu, kernel) =
+    let cluster =
+      if i = 0 then cluster0 else Cluster.for_host cluster0 ~client_node:node
+    in
+    {
+      h_index = i;
+      h_name = host_name i;
+      h_node = node;
+      h_cpu = cpu;
+      h_kernel = kernel;
+      h_cluster = cluster;
+      h_containers = Container_engine.create ~kernel ~cluster ~topology;
+    }
+  in
+  {
+    engine;
+    obs = Engine.obs engine;
+    topology;
+    net;
+    server_node;
+    hosts = Array.mapi host_of machines;
+    base_seed = seed;
+  }
+
+let host t i = t.hosts.(i)
+
+let ctx ?(host = 0) t ~pool ~seed =
+  Danaus_workloads.Workload.make_ctx t.engine ~cpu:t.hosts.(host).h_cpu ~pool
+    ~seed:(seed + (t.base_seed * 1_000_003))
+
+let check_invariants t =
+  if Danaus_check.Check.on () then begin
+    Array.iter
+      (fun h -> Page_cache.check_invariants (Kernel.page_cache h.h_kernel))
+      t.hosts;
+    if Obs.tracing t.obs then
+      ignore (Danaus_check.Check.check_spans ~obs:t.obs (Obs.cspans t.obs))
+  end
+
+let drive ?(limit = 100_000.0) t ~stop =
+  let rec go () =
+    if stop () then ()
+    else if Engine.now t.engine > limit then
+      failwith "Multihost.drive: simulation did not converge before the limit"
+    else begin
+      Engine.run_until t.engine (Engine.now t.engine +. 0.25);
+      go ()
+    end
+  in
+  go ();
+  check_invariants t
+
+let reset_metrics t =
+  Array.iter
+    (fun h ->
+      Cpu.reset_usage h.h_cpu;
+      Kernel.reset_lock_stats h.h_kernel)
+    t.hosts;
+  Obs.reset t.obs
+
+let start_sampler t =
+  match !Obs.default_sample_period with
+  | None -> fun () -> []
+  | Some period ->
+      let sampler = Obs.Sampler.create t.obs ~period in
+      Engine.spawn t.engine ~name:"obs-sampler" (fun () ->
+          while true do
+            Engine.sleep period;
+            Obs.Sampler.tick sampler ~now:(Engine.now t.engine)
+          done);
+      fun () -> Obs.Sampler.points sampler

@@ -1,0 +1,63 @@
+open Danaus_sim
+open Danaus_hw
+open Danaus_kernel
+open Danaus_ceph
+open Danaus
+
+(** A world with [n] client machines attached to one storage cluster —
+    the fleet the scheduler places pools onto, and the two-host world of
+    the [mig] experiment.  Every host gets its own NIC, CPU, and kernel;
+    they share the cluster's OSDs, MDS, and namespace (so a pool's
+    writable branch is reachable from every host — the substrate of
+    shared-filesystem migration). *)
+
+type host = {
+  h_index : int;
+  h_name : string;  (** ["host-a"], ["host-b"], ... *)
+  h_node : Net.node;
+  h_cpu : Cpu.t;
+  h_kernel : Kernel.t;
+  h_cluster : Cluster.t;
+  h_containers : Container_engine.t;
+}
+
+type t = {
+  engine : Engine.t;
+  obs : Obs.t;
+  topology : Topology.t;
+  net : Net.t;
+  server_node : Net.node;
+  hosts : host array;
+  base_seed : int;
+}
+
+(** [create ~seed ()] builds the world: one server node + OSDs + MDS
+    (paper parameters, as [Testbed]), then [hosts] (default 2) client
+    machines.  [server_bandwidth] overrides the server NIC (a bonded
+    spine for fleets whose contention story is the client-side links);
+    the default keeps the world identical to the historical [mig]
+    two-host world. *)
+val create : ?hosts:int -> ?server_bandwidth:float -> seed:int -> unit -> t
+
+val host : t -> int -> host
+
+(** Workload context drawing from the world's seed (same mixing as
+    [Testbed.ctx]).  [host] selects whose CPU runs compute bursts;
+    default host 0. *)
+val ctx : ?host:int -> t -> pool:Cgroup.t -> seed:int -> Danaus_workloads.Workload.ctx
+
+(** Whole-fleet conservation sweep (every host's page cache, plus span
+    well-formedness when tracing); no-op when invariants are off. *)
+val check_invariants : t -> unit
+
+(** Run the engine in 0.25 s slices until [stop ()], then sweep
+    {!check_invariants}; fails if the clock passes [limit] first. *)
+val drive : ?limit:float -> t -> stop:(unit -> bool) -> unit
+
+(** Reset Obs counters, CPU usage, and lock stats on every host (start
+    of the measured phase). *)
+val reset_metrics : t -> unit
+
+(** Start the [--timeseries] sampler (same contract as
+    [Testbed.start_sampler]). *)
+val start_sampler : t -> unit -> Obs.Sampler.point list

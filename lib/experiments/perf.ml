@@ -230,6 +230,42 @@ let contention_cell () =
     [ 0; 1 ];
   Testbed.drive tb ~stop:(fun () -> !done_count = pools)
 
+(* One scheduler cell: a 3-host fleet with 6 placed pools, the
+   controller's sample tick (per-host link-utilization deltas, signal
+   windows, score gauges) run at high frequency.  Pins the cost of the
+   periodic control plane the sched experiments layer on top. *)
+let sched_tick ticks () =
+  let open Danaus_sched in
+  let mh = Multihost.create ~hosts:3 ~seed:1 () in
+  let fleet =
+    Fleet.create ~engine:mh.Multihost.engine
+      ~policy:(module Placement.Contention_aware)
+  in
+  Array.iter
+    (fun h ->
+      Fleet.add_host fleet ~name:h.Multihost.h_name ~node:h.Multihost.h_node
+        ~kernel:h.Multihost.h_kernel ~containers:h.Multihost.h_containers
+        ~slots:4 ~mem:(mib 2048) ~link_bandwidth:Params.net_bandwidth)
+    mh.Multihost.hosts;
+  for i = 0 to 5 do
+    match
+      Fleet.place fleet
+        (Fleet.spec
+           ~pool:(Printf.sprintf "bench%d" i)
+           ~id:"c0" ~slots:1 ~mem:(mib 256) ~config:Config.k ())
+    with
+    | Ok _ -> ()
+    | Error e -> failwith e
+  done;
+  let interval = 0.01 in
+  Engine.spawn mh.Multihost.engine (fun () ->
+      for _ = 1 to ticks do
+        Engine.sleep interval;
+        Fleet.sample fleet
+      done);
+  Engine.run_until mh.Multihost.engine
+    ((float_of_int ticks +. 1.0) *. interval)
+
 (* ------------------------------------------------------------------ *)
 
 let run ?(label = "head") () =
@@ -244,6 +280,7 @@ let run ?(label = "head") () =
       measure "engine-fork" (engine_fork 100_000);
       measure "mutex-handoff" (mutex_handoff 16 2_000);
       measure "page-cache" (page_cache_churn 400);
+      measure "sched-tick" (sched_tick 5_000);
       measure "seqio" seqio_cell;
       measure "contention" contention_cell;
     ]

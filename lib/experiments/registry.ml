@@ -132,6 +132,21 @@ let all =
       title = "Overload: noisy neighbor at 2x saturation (D+qos vs K/K vs F/F)";
       run = (fun ~quick ~seed -> Exp_overload.noisy_neighbor ~seed ~quick);
     };
+    {
+      id = "sched-policy";
+      title = "Scheduler: bin-pack vs spread vs contention-aware placement";
+      run = (fun ~quick ~seed -> Exp_sched.sched_policy ~seed ~quick);
+    };
+    {
+      id = "sched-drain";
+      title = "Scheduler: rolling-upgrade host drain under live load";
+      run = (fun ~quick ~seed -> Exp_sched.sched_drain ~seed ~quick);
+    };
+    {
+      id = "autoscale";
+      title = "Scheduler: shed-rate autoscaling through a flash crowd";
+      run = (fun ~quick ~seed -> Exp_sched.autoscale ~seed ~quick);
+    };
   ]
 
 let find id = List.find_opt (fun e -> String.equal e.id id) all

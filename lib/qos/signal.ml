@@ -1,0 +1,46 @@
+open Danaus_sim
+
+(* Accessors use [Obs.get], which reads a cell without interning it:
+   probing a pool that never created a QoS pipeline answers 0 and leaves
+   the metric snapshot untouched. *)
+
+let admitted obs ~pool = Obs.get obs ~layer:"qos" ~name:"admitted" ~key:pool
+let shed obs ~pool = Obs.get obs ~layer:"qos" ~name:"shed" ~key:pool
+
+let shed_fraction obs ~pool =
+  let s = shed obs ~pool in
+  let offered = admitted obs ~pool +. s in
+  if offered > 0.0 then s /. offered else 0.0
+
+let breaker_state obs ~pool =
+  let v = Obs.get obs ~layer:"qos" ~name:"breaker_state" ~key:pool in
+  if v >= 1.0 then Breaker.Open
+  else if v >= 0.5 then Breaker.Half_open
+  else Breaker.Closed
+
+(* ------------------------------------------------------------------ *)
+(* Rate windows *)
+
+type window = {
+  w_read : unit -> float;
+  mutable w_last_t : float option;  (* None until the first sample *)
+  mutable w_last_v : float;
+  mutable w_rate : float;
+}
+
+let make_window read = { w_read = read; w_last_t = None; w_last_v = 0.0; w_rate = 0.0 }
+let shed_window obs ~pool = make_window (fun () -> shed obs ~pool)
+
+let admitted_window obs ~pool = make_window (fun () -> admitted obs ~pool)
+
+let sample w ~now =
+  let v = w.w_read () in
+  (match w.w_last_t with
+  | Some t0 when now > t0 -> w.w_rate <- (v -. w.w_last_v) /. (now -. t0)
+  | Some _ -> () (* time did not advance: keep the previous rate *)
+  | None -> w.w_rate <- 0.0);
+  w.w_last_t <- Some now;
+  w.w_last_v <- v;
+  w.w_rate
+
+let last_rate w = w.w_rate

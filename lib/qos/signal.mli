@@ -1,0 +1,52 @@
+open Danaus_sim
+
+(** Read-only QoS signal accessors.
+
+    The overload pipeline publishes its observable state through [Obs]
+    cells in layer ["qos"], keyed by pool ([qos/admitted], [qos/shed],
+    [qos/breaker_state], ...).  Control planes — the scheduler's fleet
+    controller and autoscaler — consume those signals here instead of
+    scraping raw counter names by string: this module owns the naming
+    convention, and every accessor is a pure read ({!Obs.get} never
+    interns a cell, so probing a pool that has no QoS pipeline returns
+    0 without perturbing metric snapshots). *)
+
+(** Cumulative admitted ops of a pool (0 when the pool has no admission
+    controller). *)
+val admitted : Obs.t -> pool:string -> float
+
+(** Cumulative shed ops of a pool: rejected by admission control.  Sheds
+    at a full IPC ring count in [ipc/sheds], not here. *)
+val shed : Obs.t -> pool:string -> float
+
+(** Fraction of offered ops shed so far ([shed / (admitted + shed)]);
+    0 when the pool has seen no traffic. *)
+val shed_fraction : Obs.t -> pool:string -> float
+
+(** The pool's backend circuit-breaker state, decoded from the
+    [qos/breaker_state] gauge (0 closed / 0.5 half-open / 1 open).
+    [Closed] when the pool has no breaker. *)
+val breaker_state : Obs.t -> pool:string -> Breaker.state
+
+(** {1 Rate windows}
+
+    A window turns a cumulative counter into a per-second rate between
+    successive samples — the form hysteresis thresholds want.  Sampling
+    is deterministic: the rate depends only on the counter values and
+    the simulated times at which {!sample} is called. *)
+
+type window
+
+(** Track the shed counter of [pool]. *)
+val shed_window : Obs.t -> pool:string -> window
+
+(** Track the admitted counter of [pool]. *)
+val admitted_window : Obs.t -> pool:string -> window
+
+(** [sample w ~now] returns the counter's increase per second since the
+    previous sample (0 on the first call, and when time has not
+    advanced).  [now] must not decrease across calls. *)
+val sample : window -> now:float -> float
+
+(** Last rate returned by {!sample}, without advancing the window. *)
+val last_rate : window -> float

@@ -1,0 +1,74 @@
+open Danaus_sim
+
+type config = {
+  ac_min : int;
+  ac_max : int;
+  ac_up_rate : float;
+  ac_down_rate : float;
+  ac_up_ticks : int;
+  ac_down_ticks : int;
+  ac_cooldown : float;
+  ac_interval : float;
+}
+
+let default =
+  {
+    ac_min = 1;
+    ac_max = 4;
+    ac_up_rate = 50.0;
+    ac_down_rate = 1.0;
+    ac_up_ticks = 2;
+    ac_down_ticks = 6;
+    ac_cooldown = 1.0;
+    ac_interval = 0.25;
+  }
+
+type t = {
+  mutable a_stop : bool;
+  mutable a_decisions : (float * string) list;  (* newest first *)
+}
+
+let create engine config ~key ~rate ~replicas ~scale_up ~scale_down =
+  let t = { a_stop = false; a_decisions = [] } in
+  let obs = Engine.obs engine in
+  let g_replicas = Obs.gauge obs ~layer:"sched" ~name:"replicas" ~key in
+  let g_rate = Obs.gauge obs ~layer:"sched" ~name:"signal_rate" ~key in
+  let c_up = Obs.counter obs ~layer:"sched" ~name:"scale_up" ~key in
+  let c_down = Obs.counter obs ~layer:"sched" ~name:"scale_down" ~key in
+  let up = ref 0 and down = ref 0 in
+  let hold_until = ref neg_infinity in
+  Engine.spawn engine ~name:("autoscaler-" ^ key) (fun () ->
+      Obs.set g_replicas (float_of_int (replicas ()));
+      while not t.a_stop do
+        Engine.sleep config.ac_interval;
+        let now = Engine.now engine in
+        let r = rate ~now in
+        Obs.set g_rate r;
+        if r >= config.ac_up_rate then incr up else up := 0;
+        if r <= config.ac_down_rate then incr down else down := 0;
+        if now >= !hold_until then begin
+          let n = replicas () in
+          if !up >= config.ac_up_ticks && n < config.ac_max then begin
+            if scale_up () then begin
+              t.a_decisions <- (now, "up") :: t.a_decisions;
+              Obs.incr c_up;
+              up := 0;
+              down := 0;
+              hold_until := now +. config.ac_cooldown
+            end
+          end
+          else if !down >= config.ac_down_ticks && n > config.ac_min then
+            if scale_down () then begin
+              t.a_decisions <- (now, "down") :: t.a_decisions;
+              Obs.incr c_down;
+              up := 0;
+              down := 0;
+              hold_until := now +. config.ac_cooldown
+            end
+        end;
+        Obs.set g_replicas (float_of_int (replicas ()))
+      done);
+  t
+
+let stop t = t.a_stop <- true
+let decisions t = List.rev t.a_decisions

@@ -1,0 +1,48 @@
+open Danaus_sim
+
+(** Replica autoscaling from QoS shed-rate signals, with hysteresis.
+
+    The autoscaler is deliberately mechanism-free: it watches a rate
+    signal (ops/s, usually a [Qos.Signal] shed window) and calls the
+    [scale_up] / [scale_down] actions the caller supplies — placing a
+    new replica through {!Fleet.place}, or retiring one.  Hysteresis is
+    double: a threshold must hold for [ac_up_ticks] (resp.
+    [ac_down_ticks]) consecutive ticks before acting, and after any
+    action the loop holds off for [ac_cooldown] seconds.  All decisions
+    are functions of the sampled signal at deterministic tick times. *)
+
+type config = {
+  ac_min : int;
+  ac_max : int;
+  ac_up_rate : float;  (** scale up when rate >= this for up_ticks *)
+  ac_down_rate : float;  (** scale down when rate <= this for down_ticks *)
+  ac_up_ticks : int;
+  ac_down_ticks : int;
+  ac_cooldown : float;  (** seconds between actions *)
+  ac_interval : float;  (** tick period, seconds *)
+}
+
+val default : config
+
+type t
+
+(** [create engine config ~key ~rate ~replicas ~scale_up ~scale_down]
+    spawns the ticking control process.  [key] labels the Obs cells
+    ([sched/replicas] gauge, [sched/scale_up] / [sched/scale_down]
+    counters); [rate ~now] samples the watched signal; [replicas ()] is
+    the current count; the actions return [false] when they could not
+    act (no host fits — the tick counts stay armed). *)
+val create :
+  Engine.t ->
+  config ->
+  key:string ->
+  rate:(now:float -> float) ->
+  replicas:(unit -> int) ->
+  scale_up:(unit -> bool) ->
+  scale_down:(unit -> bool) ->
+  t
+
+val stop : t -> unit
+
+(** Decision log (newest last): [(time, "up" | "down")]. *)
+val decisions : t -> (float * string) list

@@ -1,0 +1,369 @@
+open Danaus_sim
+open Danaus_hw
+open Danaus_kernel
+open Danaus
+module Check = Danaus_check.Check
+
+type spec = {
+  sp_pool : string;
+  sp_id : string;
+  sp_slots : int;
+  sp_mem : int;
+  sp_config : Config.t;
+  sp_image : string option;
+  sp_cache_bytes : int option;
+  sp_qos : Container_engine.qos option;
+}
+
+let spec ?image ?cache_bytes ?qos ~pool ~id ~slots ~mem ~config () =
+  {
+    sp_pool = pool;
+    sp_id = id;
+    sp_slots = slots;
+    sp_mem = mem;
+    sp_config = config;
+    sp_image = image;
+    sp_cache_bytes = cache_bytes;
+    sp_qos = qos;
+  }
+
+type placement = {
+  pl_spec : spec;
+  mutable pl_host : int;
+  mutable pl_pool : Cgroup.t;
+  mutable pl_container : Container_engine.container;
+}
+
+type host = {
+  fh_index : int;
+  fh_name : string;
+  fh_node : Net.node;
+  fh_kernel : Kernel.t;
+  fh_containers : Container_engine.t;
+  fh_slots : int;
+  fh_mem : int;
+  fh_link_bandwidth : float;
+  mutable fh_free_cores : int list;  (* ascending *)
+  mutable fh_mem_used : int;
+  mutable fh_last_sent : float;
+  mutable fh_last_t : float;
+  mutable fh_link_util : float;
+}
+
+type t = {
+  engine : Engine.t;
+  obs : Obs.t;
+  policy : (module Placement.POLICY);
+  mutable hosts : host array;
+  (* newest last: drain and the hotspot controller pick victims in
+     placement order, so insertion order is part of determinism *)
+  mutable placed : placement list;
+  (* per-placement shed-rate window, keyed physically by the record *)
+  mutable windows : (placement * Danaus_qos.Signal.window) list;
+}
+
+let create ~engine ~policy =
+  { engine; obs = Engine.obs engine; policy; hosts = [||]; placed = []; windows = [] }
+
+let add_host t ~name ~node ~kernel ~containers ~slots ~mem ~link_bandwidth =
+  let h =
+    {
+      fh_index = Array.length t.hosts;
+      fh_name = name;
+      fh_node = node;
+      fh_kernel = kernel;
+      fh_containers = containers;
+      fh_slots = slots;
+      fh_mem = mem;
+      fh_link_bandwidth = link_bandwidth;
+      fh_free_cores = List.init slots (fun i -> i);
+      fh_mem_used = 0;
+      fh_last_sent = Net.bytes_sent node;
+      fh_last_t = Engine.now t.engine;
+      fh_link_util = 0.0;
+    }
+  in
+  t.hosts <- Array.append t.hosts [| h |]
+
+let host_count t = Array.length t.hosts
+let placements t = List.rev t.placed
+
+let shed_rate_of t h =
+  List.fold_left
+    (fun acc (pl, w) ->
+      if pl.pl_host = h.fh_index then acc +. Danaus_qos.Signal.last_rate w
+      else acc)
+    0.0 t.windows
+
+let view_of t h =
+  {
+    Placement.hv_index = h.fh_index;
+    hv_slots_total = h.fh_slots;
+    hv_slots_used = h.fh_slots - List.length h.fh_free_cores;
+    hv_mem_total = h.fh_mem;
+    hv_mem_used = h.fh_mem_used;
+    hv_dirty_frac =
+      float_of_int (Page_cache.total_dirty (Kernel.page_cache h.fh_kernel))
+      /. float_of_int (max 1 h.fh_mem);
+    hv_link_util = h.fh_link_util;
+    hv_shed_rate = shed_rate_of t h;
+  }
+
+let views t = Array.map (view_of t) t.hosts
+
+let sample t =
+  let now = Engine.now t.engine in
+  Array.iter
+    (fun h ->
+      let sent = Net.bytes_sent h.fh_node in
+      let dt = now -. h.fh_last_t in
+      if dt > 0.0 then
+        h.fh_link_util <- (sent -. h.fh_last_sent) /. dt /. h.fh_link_bandwidth;
+      h.fh_last_sent <- sent;
+      h.fh_last_t <- now)
+    t.hosts;
+  List.iter (fun (_, w) -> ignore (Danaus_qos.Signal.sample w ~now)) t.windows;
+  Array.iter
+    (fun h ->
+      let hv = view_of t h in
+      Obs.set
+        (Obs.gauge t.obs ~layer:"sched" ~name:"host_score" ~key:h.fh_name)
+        (Placement.score hv);
+      Obs.set
+        (Obs.gauge t.obs ~layer:"sched" ~name:"host_pools" ~key:h.fh_name)
+        (float_of_int
+           (List.length
+              (List.filter (fun pl -> pl.pl_host = h.fh_index) t.placed))))
+    t.hosts
+
+(* Claim [n] cores off the host's free list (lowest ids first). *)
+let take_cores h n =
+  if List.length h.fh_free_cores < n then None
+  else begin
+    let rec split acc k = function
+      | rest when k = 0 -> (List.rev acc, rest)
+      | [] -> assert false
+      | c :: rest -> split (c :: acc) (k - 1) rest
+    in
+    let claimed, rest = split [] n h.fh_free_cores in
+    h.fh_free_cores <- rest;
+    Some (Array.of_list claimed)
+  end
+
+let release_cores h cores =
+  h.fh_free_cores <- List.sort compare (Array.to_list cores @ h.fh_free_cores)
+
+let launch_on h (sp : spec) ~pool =
+  Container_engine.launch h.fh_containers ~config:sp.sp_config ~pool ~id:sp.sp_id
+    ?image:sp.sp_image ?cache_bytes:sp.sp_cache_bytes ?qos:sp.sp_qos ()
+
+let demand_of sp = { Placement.dm_slots = sp.sp_slots; dm_mem = sp.sp_mem }
+
+let place_on t sp ~host:i =
+  let h = t.hosts.(i) in
+  if h.fh_mem_used + sp.sp_mem > h.fh_mem then
+    Error (Printf.sprintf "host %s out of memory" h.fh_name)
+  else
+    match take_cores h sp.sp_slots with
+    | None -> Error (Printf.sprintf "host %s out of slots" h.fh_name)
+    | Some cores ->
+        let pool = Cgroup.create ~name:sp.sp_pool ~cores ~mem_limit:sp.sp_mem in
+        let ct = launch_on h sp ~pool in
+        h.fh_mem_used <- h.fh_mem_used + sp.sp_mem;
+        let pl =
+          { pl_spec = sp; pl_host = i; pl_pool = pool; pl_container = ct }
+        in
+        t.placed <- pl :: t.placed;
+        t.windows <-
+          (pl, Danaus_qos.Signal.shed_window t.obs ~pool:sp.sp_pool)
+          :: t.windows;
+        Obs.incr
+          (Obs.counter t.obs ~layer:"sched" ~name:"placements" ~key:sp.sp_pool);
+        Ok pl
+
+let place t sp =
+  let module P = (val t.policy : Placement.POLICY) in
+  match P.choose (views t) (demand_of sp) with
+  | None -> Error (Printf.sprintf "no host fits pool %s" sp.sp_pool)
+  | Some i -> place_on t sp ~host:i
+
+let remove t pl =
+  let h = t.hosts.(pl.pl_host) in
+  release_cores h (Cgroup.cores pl.pl_pool);
+  h.fh_mem_used <- h.fh_mem_used - pl.pl_spec.sp_mem;
+  t.placed <- List.filter (fun p -> p != pl) t.placed;
+  t.windows <- List.filter (fun (p, _) -> p != pl) t.windows
+
+let migrate t pl ~dst ?(strategy = `Shared []) ?after_launch () =
+  let sp = pl.pl_spec in
+  let src_h = t.hosts.(pl.pl_host) and dst_h = t.hosts.(dst) in
+  if dst = pl.pl_host then Error "migration destination is the current host"
+  else if dst_h.fh_mem_used + sp.sp_mem > dst_h.fh_mem then
+    Error (Printf.sprintf "host %s out of memory" dst_h.fh_name)
+  else
+    match take_cores dst_h sp.sp_slots with
+    | None -> Error (Printf.sprintf "host %s out of slots" dst_h.fh_name)
+    | Some cores -> (
+        (* fresh cgroup, same pool name: the writable-branch subtree
+           matches, so shared-FS migration sees the source's state *)
+        let pool = Cgroup.create ~name:sp.sp_pool ~cores ~mem_limit:sp.sp_mem in
+        match
+          Container_engine.migrate_pool dst_h.fh_containers
+            ~src:pl.pl_container ~dst_pool:pool ?image:sp.sp_image
+            ?cache_bytes:sp.sp_cache_bytes ?qos:sp.sp_qos ?after_launch
+            ~strategy ()
+        with
+        | Ok m ->
+            release_cores src_h (Cgroup.cores pl.pl_pool);
+            src_h.fh_mem_used <- src_h.fh_mem_used - sp.sp_mem;
+            dst_h.fh_mem_used <- dst_h.fh_mem_used + sp.sp_mem;
+            pl.pl_host <- dst;
+            pl.pl_pool <- pool;
+            pl.pl_container <- m.Container_engine.mg_container;
+            Obs.incr
+              (Obs.counter t.obs ~layer:"sched" ~name:"migrations"
+                 ~key:sp.sp_pool);
+            Ok m
+        | Error e ->
+            release_cores dst_h cores;
+            Error e)
+
+let drain t ~host ?(strategy = `Shared []) () =
+  let victims = List.filter (fun pl -> pl.pl_host = host) (placements t) in
+  let module P = (val t.policy : Placement.POLICY) in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | pl :: rest -> (
+        (* the draining host is excluded by masking it full *)
+        let vs =
+          Array.map
+            (fun hv ->
+              if hv.Placement.hv_index = host then
+                { hv with Placement.hv_slots_used = hv.hv_slots_total }
+              else hv)
+            (views t)
+        in
+        match P.choose vs (demand_of pl.pl_spec) with
+        | None -> Error (Printf.sprintf "no host fits pool %s" pl.pl_spec.sp_pool)
+        | Some dst -> (
+            match migrate t pl ~dst ~strategy () with
+            | Ok m -> go (m :: acc) rest
+            | Error e -> Error e))
+  in
+  go [] victims
+
+let view pl ~thread = pl.pl_container.Container_engine.view ~thread
+
+(* ------------------------------------------------------------------ *)
+(* Hotspot controller *)
+
+type controller = { mutable c_stop : bool }
+
+let start_controller t ?(interval = 0.5) ?(hot_score = 0.5) ?(cooldown = 2.0) ()
+    =
+  let c = { c_stop = false } in
+  let last_migration = ref neg_infinity in
+  Engine.spawn t.engine ~name:"sched-controller" (fun () ->
+      while not c.c_stop do
+        Engine.sleep interval;
+        sample t;
+        let now = Engine.now t.engine in
+        if now >= !last_migration +. cooldown then begin
+          let vs = views t in
+          (* hottest host that still runs a pool *)
+          let hot = ref (-1) and hot_s = ref hot_score in
+          Array.iter
+            (fun hv ->
+              let s = Placement.score hv in
+              if
+                s > !hot_s
+                && List.exists
+                     (fun pl -> pl.pl_host = hv.Placement.hv_index)
+                     t.placed
+              then begin
+                hot := hv.Placement.hv_index;
+                hot_s := s
+              end)
+            vs;
+          if !hot >= 0 then begin
+            match
+              List.find_opt (fun pl -> pl.pl_host = !hot) (placements t)
+            with
+            | None -> ()
+            | Some pl ->
+                (* coldest other host that fits and is markedly calmer *)
+                let dst = ref (-1) and dst_s = ref (!hot_s /. 2.0) in
+                Array.iter
+                  (fun hv ->
+                    let s = Placement.score hv in
+                    if
+                      hv.Placement.hv_index <> !hot
+                      && Placement.fits hv (demand_of pl.pl_spec)
+                      && s < !dst_s
+                    then begin
+                      dst := hv.Placement.hv_index;
+                      dst_s := s
+                    end)
+                  vs;
+                if !dst >= 0 then
+                  match migrate t pl ~dst:!dst () with
+                  | Ok _ -> last_migration := now
+                  | Error _ -> ()
+          end
+        end
+      done);
+  c
+
+let stop_controller c = c.c_stop <- true
+
+(* ------------------------------------------------------------------ *)
+(* Conservation laws *)
+
+let check_invariants t =
+  if Check.on () then begin
+    let n = Array.length t.hosts in
+    List.iter
+      (fun pl ->
+        Check.require ~obs:t.obs ~layer:"sched" ~what:"placed_on_one_host"
+          ~detail:(fun () ->
+            Printf.sprintf "pool %s on host %d of %d" pl.pl_spec.sp_pool
+              pl.pl_host n)
+          (pl.pl_host >= 0 && pl.pl_host < n))
+      t.placed;
+    Array.iter
+      (fun h ->
+        let mine = List.filter (fun pl -> pl.pl_host = h.fh_index) t.placed in
+        let used_slots =
+          List.fold_left (fun a pl -> a + pl.pl_spec.sp_slots) 0 mine
+        in
+        let used_mem =
+          List.fold_left (fun a pl -> a + pl.pl_spec.sp_mem) 0 mine
+        in
+        Check.require ~obs:t.obs ~layer:"sched" ~what:"slot_capacity"
+          ~detail:(fun () ->
+            Printf.sprintf "host %s: %d slots used of %d" h.fh_name used_slots
+              h.fh_slots)
+          (used_slots <= h.fh_slots
+          && used_slots = h.fh_slots - List.length h.fh_free_cores);
+        Check.require ~obs:t.obs ~layer:"sched" ~what:"mem_capacity"
+          ~detail:(fun () ->
+            Printf.sprintf "host %s: %d bytes used of %d (accounted %d)"
+              h.fh_name used_mem h.fh_mem h.fh_mem_used)
+          (used_mem <= h.fh_mem && used_mem = h.fh_mem_used);
+        (* no core double-booked: claimed core sets are disjoint and
+           disjoint from the free list *)
+        Check.invariant ~obs:t.obs ~layer:"sched" ~what:"cores_disjoint"
+          ~detail:(fun () -> Printf.sprintf "host %s" h.fh_name)
+          (fun () ->
+            let seen = Hashtbl.create 16 in
+            let ok = ref true in
+            let claim c =
+              if Hashtbl.mem seen c then ok := false else Hashtbl.add seen c ()
+            in
+            List.iter claim h.fh_free_cores;
+            List.iter
+              (fun pl -> Array.iter claim (Cgroup.cores pl.pl_pool))
+              mine;
+            !ok && Hashtbl.length seen = h.fh_slots))
+      t.hosts
+  end

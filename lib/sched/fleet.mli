@@ -1,0 +1,144 @@
+open Danaus_sim
+open Danaus_hw
+open Danaus_kernel
+open Danaus
+
+(** The fleet controller: owns a set of simulated hosts, places
+    container pools onto them through a {!Placement} policy, samples
+    per-host contention signals, and performs live pool migration
+    (hotspot remediation, host drain) via
+    [Container_engine.migrate_pool].
+
+    Hosts expose single-core slots: a pool spec asking for [sp_slots]
+    slots is pinned to that many distinct cores of its host (the cgroup
+    the scheduler creates).  All decisions are deterministic: signals
+    are Obs-derived, policies are pure, and ties break by lowest
+    index / placement order. *)
+
+type spec = {
+  sp_pool : string;  (** pool (cgroup) name; replicas share it *)
+  sp_id : string;  (** container id within the pool *)
+  sp_slots : int;
+  sp_mem : int;
+  sp_config : Config.t;
+  sp_image : string option;
+  sp_cache_bytes : int option;
+  sp_qos : Container_engine.qos option;
+}
+
+val spec :
+  ?image:string ->
+  ?cache_bytes:int ->
+  ?qos:Container_engine.qos ->
+  pool:string ->
+  id:string ->
+  slots:int ->
+  mem:int ->
+  config:Config.t ->
+  unit ->
+  spec
+
+type placement = {
+  pl_spec : spec;
+  mutable pl_host : int;
+  mutable pl_pool : Cgroup.t;  (** the cgroup on the current host *)
+  mutable pl_container : Container_engine.container;
+}
+
+type t
+
+val create : engine:Engine.t -> policy:(module Placement.POLICY) -> t
+
+(** Register a machine with the fleet.  [slots] single-core slots
+    (cores [0 .. slots-1] of the host CPU) and [mem] bytes are
+    schedulable; both must be within the machine's capacity.
+    [link_bandwidth] (bytes/s) normalizes the NIC-utilization signal. *)
+val add_host :
+  t ->
+  name:string ->
+  node:Net.node ->
+  kernel:Kernel.t ->
+  containers:Container_engine.t ->
+  slots:int ->
+  mem:int ->
+  link_bandwidth:float ->
+  unit
+
+val host_count : t -> int
+val placements : t -> placement list
+
+(** Current per-host signal views (last sampled rates; see {!sample}).
+    The array is freshly built — safe to hand to a policy or mutate. *)
+val views : t -> Placement.host_view array
+
+(** Sample the rate signals (link-utilization delta per host, shed-rate
+    windows per placement) and publish [sched/host_score] /
+    [sched/host_pools] gauges.  Call once per controller tick; the
+    controller process does this itself. *)
+val sample : t -> unit
+
+(** Place a pool on the policy-chosen host: creates the pool cgroup
+    pinned to free cores, launches the container, counts
+    [sched/placements].  [Error] when no host fits. *)
+val place : t -> spec -> (placement, string) result
+
+(** Place on an explicit host (fixture pools of an experiment, forced
+    rebalancing); same bookkeeping as {!place}. *)
+val place_on : t -> spec -> host:int -> (placement, string) result
+
+(** Retire a placement: release its slots and memory and forget it.
+    The container's simulated processes are not torn down (the stack
+    simply stops receiving work), as with a drained source. *)
+val remove : t -> placement -> unit
+
+(** Live-migrate one placement to [dst].  The destination cgroup keeps
+    the pool name (same writable-branch subtree) on the destination's
+    free cores.  [strategy] as [Container_engine.migrate_pool]
+    (default [`Shared []]: shared-filesystem relaunch, no verification
+    manifest).  On success the placement record points at the
+    destination and [sched/migrations] counts once; on [Error] the
+    source placement is untouched. *)
+val migrate :
+  t ->
+  placement ->
+  dst:int ->
+  ?strategy:[ `Shared of (string * int) list | `Copy of (string * int) list ] ->
+  ?after_launch:(Container_engine.container -> unit) ->
+  unit ->
+  (Container_engine.migration, string) result
+
+(** Drain a host: migrate every placement off it (policy-chosen
+    destinations, the drained host excluded), in placement order.
+    Returns the migrations performed; [Error] aborts at the first pool
+    that cannot move. *)
+val drain :
+  t ->
+  host:int ->
+  ?strategy:[ `Shared of (string * int) list | `Copy of (string * int) list ] ->
+  unit ->
+  (Container_engine.migration list, string) result
+
+(** The placement's current client view (routes through the live
+    container, so it stays valid across migrations). *)
+val view : placement -> thread:int -> Danaus_client.Client_intf.t
+
+(** {1 Hotspot controller} *)
+
+type controller
+
+(** [start_controller t ()] spawns the control loop: every [interval]
+    (default 0.5 s) it {!sample}s the fleet and, if the hottest host
+    scores above [hot_score] (default 0.5) while some other host both
+    fits and scores below half the hotspot's score, migrates that
+    host's first-placed pool there ([`Shared []]).  At most one
+    migration per [cooldown] (default 2 s).  Decisions are recorded in
+    [sched/migrations] and the [sched/host_score] gauges. *)
+val start_controller :
+  t -> ?interval:float -> ?hot_score:float -> ?cooldown:float -> unit -> controller
+
+val stop_controller : controller -> unit
+
+(** Conservation laws of the fleet (requires invariants on): every
+    placement on exactly one registered host, per-host slots/memory
+    within capacity, no core double-booked, accounting sums match. *)
+val check_invariants : t -> unit

@@ -1,0 +1,66 @@
+type host_view = {
+  hv_index : int;
+  hv_slots_total : int;
+  hv_slots_used : int;
+  hv_mem_total : int;
+  hv_mem_used : int;
+  hv_dirty_frac : float;
+  hv_link_util : float;
+  hv_shed_rate : float;
+}
+
+type demand = { dm_slots : int; dm_mem : int }
+
+let fits hv d =
+  hv.hv_slots_used + d.dm_slots <= hv.hv_slots_total
+  && hv.hv_mem_used + d.dm_mem <= hv.hv_mem_total
+
+let score hv =
+  (2.0 *. hv.hv_dirty_frac) +. hv.hv_link_util
+  +. (hv.hv_shed_rate /. 1000.0)
+  +. (0.01 *. float_of_int hv.hv_slots_used
+     /. float_of_int (max 1 hv.hv_slots_total))
+
+(* Deterministic argmin over the hosts that fit: a strictly smaller key
+   wins, so ties keep the lowest host index. *)
+let choose_by key views d =
+  let best = ref (-1) and best_k = ref infinity in
+  Array.iter
+    (fun hv ->
+      if fits hv d then begin
+        let k = key hv in
+        if k < !best_k then begin
+          best := hv.hv_index;
+          best_k := k
+        end
+      end)
+    views;
+  if !best < 0 then None else Some !best
+
+module type POLICY = sig
+  val name : string
+  val choose : host_view array -> demand -> int option
+end
+
+module Bin_pack = struct
+  let name = "bin-pack"
+
+  (* fullest-that-fits: minimize remaining free slots *)
+  let choose = choose_by (fun hv -> float_of_int (hv.hv_slots_total - hv.hv_slots_used))
+end
+
+module Spread = struct
+  let name = "spread"
+  let choose = choose_by (fun hv -> float_of_int hv.hv_slots_used)
+end
+
+module Contention_aware = struct
+  let name = "contention-aware"
+  let choose = choose_by score
+end
+
+let all : (module POLICY) list =
+  [ (module Bin_pack); (module Spread); (module Contention_aware) ]
+
+let of_label l =
+  List.find_opt (fun (module P : POLICY) -> P.name = l) all

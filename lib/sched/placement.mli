@@ -1,0 +1,52 @@
+(** Placement policies: which host a container pool lands on.
+
+    A policy is a pure, seed-free function from the fleet's sampled
+    state to a host index — determinism falls out of the signals being
+    deterministic and ties breaking by lowest host index.  The fleet
+    controller ({!Fleet}) builds the {!host_view} array from live
+    Obs-derived signals; policies never touch the simulation directly,
+    which keeps them trivially testable on crafted views. *)
+
+type host_view = {
+  hv_index : int;
+  hv_slots_total : int;  (** schedulable single-core slots *)
+  hv_slots_used : int;
+  hv_mem_total : int;  (** schedulable pool memory, bytes *)
+  hv_mem_used : int;
+  hv_dirty_frac : float;
+      (** page-cache dirty bytes / schedulable memory (kernel-client
+          write pressure; 0 for hosts running only user-level clients) *)
+  hv_link_util : float;  (** NIC send utilization over the last sample tick *)
+  hv_shed_rate : float;  (** summed qos shed ops/s of the pools on the host *)
+}
+
+type demand = { dm_slots : int; dm_mem : int }
+
+val fits : host_view -> demand -> bool
+
+(** Contention score of a host: dirty-pressure + link utilization +
+    normalized shed rate, with a small occupancy term so equally-idle
+    hosts order by free capacity.  Higher = more contended.  Also the
+    fleet controller's hotspot signal. *)
+val score : host_view -> float
+
+module type POLICY = sig
+  val name : string
+
+  (** [choose views demand] is the index of the host to place on, or
+      [None] when no host fits.  Must be pure and deterministic. *)
+  val choose : host_view array -> demand -> int option
+end
+
+(** Fewest hosts: the fullest host (by used slots) that still fits. *)
+module Bin_pack : POLICY
+
+(** Lowest per-host load: the emptiest host (by used slots) that fits. *)
+module Spread : POLICY
+
+(** Lowest {!score}: avoids dirty-pressure, saturated links, and pools
+    already shedding load. *)
+module Contention_aware : POLICY
+
+val all : (module POLICY) list
+val of_label : string -> (module POLICY) option

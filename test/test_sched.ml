@@ -1,0 +1,366 @@
+(* Tests for the scheduler layer (danaus_sched): placement policies on
+   crafted views, fleet capacity conservation under strict invariants,
+   host drain, copy-migration rollback on an injected mid-copy crash,
+   autoscaler hysteresis, and byte-identity of the three sched
+   experiments under parallel [Registry.run_exps]. *)
+
+open Danaus_sim
+open Danaus_kernel
+open Danaus
+open Danaus_sched
+open Danaus_experiments
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let mib n = n * 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Placement policies on crafted views: pure functions, no simulation. *)
+
+let view ?(slots_total = 4) ?(slots_used = 0) ?(mem_total = mib 1024)
+    ?(mem_used = 0) ?(dirty = 0.0) ?(link = 0.0) ?(shed = 0.0) i =
+  {
+    Placement.hv_index = i;
+    hv_slots_total = slots_total;
+    hv_slots_used = slots_used;
+    hv_mem_total = mem_total;
+    hv_mem_used = mem_used;
+    hv_dirty_frac = dirty;
+    hv_link_util = link;
+    hv_shed_rate = shed;
+  }
+
+let d1 = { Placement.dm_slots = 1; dm_mem = mib 64 }
+
+let test_policy_choices () =
+  let views =
+    [| view ~slots_used:3 0; view ~slots_used:1 1; view ~slots_used:1 2 |]
+  in
+  check_bool "bin-pack picks the fullest host" true
+    (Placement.Bin_pack.choose views d1 = Some 0);
+  check_bool "spread picks the emptiest host, ties by lowest index" true
+    (Placement.Spread.choose views d1 = Some 1);
+  let contended =
+    [|
+      view ~dirty:0.5 0;
+      view ~link:0.9 ~shed:200.0 1;
+      view ~dirty:0.05 ~link:0.1 2;
+    |]
+  in
+  check_bool "contention-aware picks the lowest score" true
+    (Placement.Contention_aware.choose contended d1 = Some 2);
+  (* a full host never wins, whatever its signals *)
+  let one_slot =
+    [| view ~slots_total:1 ~slots_used:1 0; view ~dirty:0.9 ~link:0.9 1 |]
+  in
+  List.iter
+    (fun (module P : Placement.POLICY) ->
+      check_bool (P.name ^ " skips full hosts") true (P.choose one_slot d1 = Some 1);
+      check_bool (P.name ^ " answers None when nothing fits") true
+        (P.choose [| view ~slots_total:1 ~slots_used:1 0 |] d1 = None))
+    Placement.all;
+  (* memory is capacity too, not just slots *)
+  check_bool "memory-full host skipped" true
+    (Placement.Spread.choose
+       [| view ~mem_total:(mib 64) ~mem_used:(mib 32) 0; view 1 |]
+       d1
+    = Some 1)
+
+let test_policy_determinism () =
+  (* pure + deterministic: the same views give the same choice, every
+     call, for every policy *)
+  let views =
+    [|
+      view ~slots_used:2 ~dirty:0.3 ~link:0.4 0;
+      view ~slots_used:2 ~dirty:0.3 ~link:0.4 1;
+      view ~slots_used:1 ~shed:50.0 2;
+    |]
+  in
+  List.iter
+    (fun (module P : Placement.POLICY) ->
+      let first = P.choose views d1 in
+      for _ = 1 to 10 do
+        check_bool (P.name ^ " stable across calls") true (P.choose views d1 = first)
+      done)
+    Placement.all;
+  check_bool "exact ties break by lowest index" true
+    (Placement.Spread.choose [| view 0; view 1; view 2 |] d1 = Some 0)
+
+let test_of_label () =
+  List.iter
+    (fun (module P : Placement.POLICY) ->
+      match Placement.of_label P.name with
+      | Some (module Q : Placement.POLICY) -> check_string "label" P.name Q.name
+      | None -> Alcotest.fail ("of_label missed " ^ P.name))
+    Placement.all;
+  check_bool "unknown label" true (Placement.of_label "random" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Fleet capacity: the whole suite runs with invariants strict
+   (test_main.ml), so every [check_invariants] below raises on any
+   broken conservation law. *)
+
+let small_fleet ~seed ~slots =
+  let mh = Multihost.create ~hosts:2 ~seed () in
+  let fleet =
+    Fleet.create ~engine:mh.Multihost.engine
+      ~policy:(module Placement.Spread)
+  in
+  Array.iter
+    (fun h ->
+      Fleet.add_host fleet ~name:h.Multihost.h_name ~node:h.Multihost.h_node
+        ~kernel:h.Multihost.h_kernel ~containers:h.Multihost.h_containers
+        ~slots ~mem:(mib 1024) ~link_bandwidth:Params.net_bandwidth)
+    mh.Multihost.hosts;
+  (mh, fleet)
+
+let spec_n i =
+  Fleet.spec
+    ~pool:(Printf.sprintf "p%d" i)
+    ~id:"c0" ~slots:1 ~mem:(mib 128) ~config:Config.k ()
+
+let test_fleet_capacity () =
+  let _mh, fleet = small_fleet ~seed:3 ~slots:2 in
+  (* spread alternates hosts until both are full *)
+  let placed =
+    List.init 4 (fun i ->
+        match Fleet.place fleet (spec_n i) with
+        | Ok pl ->
+            Fleet.check_invariants fleet;
+            pl
+        | Error e -> Alcotest.fail ("placement " ^ string_of_int i ^ ": " ^ e))
+  in
+  check_int "four pools placed" 4 (List.length (Fleet.placements fleet));
+  (match List.map (fun pl -> pl.Fleet.pl_host) placed with
+  | [ 0; 1; 0; 1 ] -> ()
+  | hs ->
+      Alcotest.failf "spread placed on %s"
+        (String.concat "," (List.map string_of_int hs)));
+  (* a full fleet refuses the next pool *)
+  (match Fleet.place fleet (spec_n 4) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "placement on a full fleet must fail");
+  Fleet.check_invariants fleet;
+  (* removing a pool frees its slot for the next placement *)
+  Fleet.remove fleet (List.nth placed 3);
+  Fleet.check_invariants fleet;
+  (match Fleet.place fleet (spec_n 5) with
+  | Ok pl -> check_int "reuses the freed host" 1 pl.Fleet.pl_host
+  | Error e -> Alcotest.fail ("placement after remove: " ^ e));
+  Fleet.check_invariants fleet
+
+let test_fleet_drain () =
+  let _mh, fleet = small_fleet ~seed:4 ~slots:4 in
+  let pl0 =
+    Result.get_ok (Fleet.place_on fleet (spec_n 0) ~host:0)
+  in
+  let pl1 =
+    Result.get_ok (Fleet.place_on fleet (spec_n 1) ~host:0)
+  in
+  Fleet.check_invariants fleet;
+  (match Fleet.drain fleet ~host:0 () with
+  | Ok migs -> check_int "two migrations" 2 (List.length migs)
+  | Error e -> Alcotest.fail ("drain: " ^ e));
+  check_int "pool 0 moved" 1 pl0.Fleet.pl_host;
+  check_int "pool 1 moved" 1 pl1.Fleet.pl_host;
+  Fleet.check_invariants fleet;
+  (* the drained host is empty again: a new pool placed there fits *)
+  match Fleet.place_on fleet (spec_n 2) ~host:0 with
+  | Ok _ -> Fleet.check_invariants fleet
+  | Error e -> Alcotest.fail ("post-drain placement: " ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* Copy-migration rollback: crash the destination pool mid-copy with a
+   restart horizon far beyond the client retry budget (~6 s), so the
+   copy surfaces an error; the partial destination subtree must be
+   reclaimed and the source left intact. *)
+
+let test_copy_rollback () =
+  let open Danaus_workloads in
+  let state_mib = 64 in
+  let params = Startup.default_params in
+  let mh = Multihost.create ~hosts:2 ~seed:5 () in
+  let pool_a = Cgroup.create ~name:"tenant" ~cores:[| 0; 1 |] ~mem_limit:(mib 8192) in
+  let pool_b = Cgroup.create ~name:"tenant" ~cores:[| 0; 1 |] ~mem_limit:(mib 8192) in
+  let ca = (Multihost.host mh 0).Multihost.h_containers in
+  let cb = (Multihost.host mh 1).Multihost.h_containers in
+  Container_engine.install_image ca ~name:"lighttpd"
+    ~files:(Startup.image_files params);
+  let manifest =
+    Startup.image_files params @ [ ("/var/cache/state", mib state_mib) ]
+  in
+  let result = ref None in
+  Engine.spawn mh.Multihost.engine (fun () ->
+      let ct_a =
+        Container_engine.launch ca ~config:Config.d ~pool:pool_a ~id:"web"
+          ~image:"lighttpd" ()
+      in
+      let ctx = Multihost.ctx mh ~pool:pool_a ~seed:11 in
+      Startup.start_container ctx
+        ~view:(ct_a.Container_engine.view ~thread:1)
+        ~legacy:ct_a.Container_engine.legacy params;
+      let v = ct_a.Container_engine.view ~thread:1 in
+      let open Danaus_client in
+      let fd =
+        Workload.exn_on_error "state open"
+          (v.Client_intf.open_file ~pool:pool_a "/var/cache/state"
+             Client_intf.flags_wo)
+      in
+      Workload.chunked ~chunk:(mib 1) ~total:(mib state_mib)
+        (fun ~off ~len ->
+          Workload.exn_on_error "state write"
+            (v.Client_intf.write ~pool:pool_a fd ~off ~len));
+      Workload.exn_on_error "state fsync" (v.Client_intf.fsync ~pool:pool_a fd);
+      v.Client_intf.close ~pool:pool_a fd;
+      (* fell the destination stack shortly after the copy begins *)
+      Engine.spawn mh.Multihost.engine (fun () ->
+          Engine.sleep 0.01;
+          Container_engine.crash_pool_named cb ~pool_name:"tenant"
+            ~restart_after:30.0);
+      result :=
+        Some
+          (Container_engine.migrate_pool cb ~src:ct_a ~dst_pool:pool_b
+             ~dst_id:"web-copy" ~strategy:(`Copy manifest) ()));
+  Multihost.drive ~limit:500.0 mh ~stop:(fun () -> !result <> None);
+  (match Option.get !result with
+  | Ok _ -> Alcotest.fail "mid-copy crash must fail the migration"
+  | Error _ -> ());
+  let ns = Danaus_ceph.Cluster.namespace (Multihost.host mh 1).Multihost.h_cluster in
+  let lookup p = Danaus_ceph.Namespace.lookup ns (Danaus_ceph.Fspath.normalize p) in
+  (* rollback reclaimed every started destination file; unstarted files
+     were never created *)
+  List.iter
+    (fun (path, _) ->
+      check_bool ("no partial destination file " ^ path) true
+        (lookup ("/pools/tenant/web-copy" ^ path) = None))
+    manifest;
+  (* the source container's private state is untouched *)
+  match lookup "/pools/tenant/web/var/cache/state" with
+  | Some a ->
+      check_int "source state intact" (mib state_mib) a.Danaus_ceph.Namespace.size
+  | None -> Alcotest.fail "source state lost"
+
+(* ------------------------------------------------------------------ *)
+(* Autoscaler hysteresis on stub actions: a square-wave rate signal
+   must trigger one hysteresis-delayed scale-up, stay bounded by
+   [ac_max], and return to [ac_min] after the wave passes. *)
+
+let test_autoscaler_hysteresis () =
+  let e = Engine.create () in
+  let replicas = ref 1 in
+  let max_seen = ref 1 in
+  let cfg =
+    {
+      Autoscaler.ac_min = 1;
+      ac_max = 2;
+      ac_up_rate = 50.0;
+      ac_down_rate = 1.0;
+      ac_up_ticks = 2;
+      ac_down_ticks = 4;
+      ac_cooldown = 0.5;
+      ac_interval = 0.25;
+    }
+  in
+  (* high from t=1 to t=3, silent elsewhere *)
+  let rate ~now = if now >= 1.0 && now < 3.0 then 100.0 else 0.0 in
+  let sc =
+    Autoscaler.create e cfg ~key:"test" ~rate
+      ~replicas:(fun () -> !replicas)
+      ~scale_up:(fun () ->
+        incr replicas;
+        max_seen := max !max_seen !replicas;
+        true)
+      ~scale_down:(fun () ->
+        decr replicas;
+        true)
+  in
+  Engine.run_until e 8.0;
+  Autoscaler.stop sc;
+  let ds = Autoscaler.decisions sc in
+  let count dir = List.length (List.filter (fun (_, d) -> d = dir) ds) in
+  check_bool "scaled up during the wave" true (count "up" >= 1);
+  check_bool "scaled back down after it" true (count "down" >= 1);
+  check_int "replicas bounded by ac_max" 2 !max_seen;
+  check_int "returned to ac_min" 1 !replicas;
+  (* hysteresis: the first hot tick lands at t=1.0, so acting takes
+     until the up_ticks-th consecutive one *)
+  (match ds with
+  | (t, "up") :: _ ->
+      check_bool "up delayed by up_ticks" true
+        (t
+        >= 1.0
+           +. (float_of_int (cfg.Autoscaler.ac_up_ticks - 1)
+              *. cfg.Autoscaler.ac_interval)
+           -. 1e-9)
+  | _ -> Alcotest.fail "first decision must be a scale-up");
+  (* cooldown: no two actions closer than ac_cooldown *)
+  let rec gaps = function
+    | (t1, _) :: ((t2, _) :: _ as rest) ->
+        check_bool "cooldown respected" true
+          (t2 -. t1 >= cfg.Autoscaler.ac_cooldown -. 1e-9);
+        gaps rest
+    | _ -> ()
+  in
+  gaps ds
+
+(* ------------------------------------------------------------------ *)
+(* The three sched experiments must render byte-identically whether
+   [Registry.run_exps] runs them on one domain or four, and a rerun at
+   the same seed must reproduce exactly. *)
+
+let sched_exps () =
+  List.filter_map Registry.find [ "sched-policy"; "sched-drain"; "autoscale" ]
+
+let render_all results =
+  String.concat "\n"
+    (List.concat_map
+       (fun ((e : Registry.exp), reports) ->
+         e.Registry.id :: List.map Report.render reports)
+       results)
+
+let test_run_exps_parallel_identity () =
+  let exps = sched_exps () in
+  check_int "all three sched experiments registered" 3 (List.length exps);
+  let sequential =
+    render_all (Registry.run_exps ~jobs:1 ~seed:7 ~quick:true exps)
+  in
+  let parallel =
+    render_all (Registry.run_exps ~jobs:4 ~seed:7 ~quick:true exps)
+  in
+  check_string "-j1 and -j4 render byte-identically" sequential parallel
+
+let test_seed_reproducibility () =
+  let run () = render_all (Registry.run_exps ~jobs:1 ~seed:3 ~quick:true
+                             (List.filter_map Registry.find [ "autoscale" ])) in
+  let a = run () in
+  let b = run () in
+  check_string "same seed reproduces byte-identically" a b;
+  check_bool "report is non-trivial" true (String.length a > 100)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "sched.placement",
+      [
+        tc "policy choices on crafted views" `Quick test_policy_choices;
+        tc "policies are pure and deterministic" `Quick test_policy_determinism;
+        tc "of_label round-trips" `Quick test_of_label;
+      ] );
+    ( "sched.fleet",
+      [
+        tc "capacity conservation under strict invariants" `Quick
+          test_fleet_capacity;
+        tc "host drain migrates every pool" `Quick test_fleet_drain;
+        tc "copy migration rolls back on mid-copy crash" `Quick
+          test_copy_rollback;
+      ] );
+    ( "sched.autoscaler",
+      [ tc "hysteresis on a square-wave signal" `Quick test_autoscaler_hysteresis ] );
+    ( "sched.experiments",
+      [
+        tc "run_exps -j1 vs -j4 byte-identity" `Slow
+          test_run_exps_parallel_identity;
+        tc "seed reproducibility" `Slow test_seed_reproducibility;
+      ] );
+  ]

@@ -307,7 +307,7 @@ let fuzz_cmd =
      (testbed shape, workload mix, faults, QoS), run it with the invariant \
      layer armed, and judge it with metamorphic and analytic oracles \
      (repeat determinism, domain identity, duration monotonicity, writer \
-     conservation, cached re-read)."
+     conservation, cached re-read, recovery convergence)."
   in
   let seeds =
     let doc = "Seed range to fuzz, inclusive (e.g. 0-63), or one seed." in

@@ -17,16 +17,34 @@ type monitor = {
   heartbeat : float;
   grace : float;
   op_timeout : float;
+  (* [recovery = Some cfg] switches from the legacy instant re-sync to
+     the paced recovery engine (peering, degraded reads, backfill).
+     [None] keeps the original semantics bit-for-bit. *)
+  recovery : Recovery.config option;
+  pacer : Recovery.pacer option;
   map_up : bool array;
   last_seen : float array;
   down_at : float array;
   resyncing : bool array;
+  (* an OSD that was swapped for a blank device awaits a peering pass
+     that enumerates everything CRUSH places on it *)
+  replaced : bool array;
   degraded : (string, int) Hashtbl.t array;
+  backfilling : (string, int) Hashtbl.t array;
+  mutable degraded_live : int;
+  mutable draining : int;
   markdown_c : Obs.counter;
   failed_c : Obs.counter;
   degraded_c : Obs.counter;
   resync_c : Obs.counter;
   recovery_g : Obs.gauge array;
+  degraded_now_g : Obs.gauge;
+  recovery_active_g : Obs.gauge;
+  recovered_c : Obs.counter;
+  recovery_read_c : Obs.counter;
+  degraded_reads_c : Obs.counter;
+  backfill_c : Obs.counter;
+  unrecoverable_c : Obs.counter;
 }
 
 type t = {
@@ -112,12 +130,41 @@ let view_up t i =
   | None -> Osd.is_up t.cluster_osds.(i)
   | Some m -> m.map_up.(i)
 
+(* Live count of (object, OSD) pairs still awaiting repair, mirrored in
+   the [ceph/degraded_now] gauge; the [ceph/degraded_objects] counter
+   stays monotonic as before. *)
+let note_degraded m delta =
+  m.degraded_live <- m.degraded_live + delta;
+  Obs.set m.degraded_now_g (float_of_int m.degraded_live)
+
 (* Remember that [obj] missed a write on OSD [i]; replayed by re-sync
    when the OSD comes back. *)
 let record_degraded m i ~obj ~bytes =
-  let prev = Option.value ~default:0 (Hashtbl.find_opt m.degraded.(i) obj) in
-  Hashtbl.replace m.degraded.(i) obj (Stdlib.max prev bytes);
+  (match Hashtbl.find_opt m.degraded.(i) obj with
+  | Some prev -> Hashtbl.replace m.degraded.(i) obj (Stdlib.max prev bytes)
+  | None ->
+      Hashtbl.replace m.degraded.(i) obj bytes;
+      note_degraded m 1);
   Obs.incr m.degraded_c
+
+(* A write missed by OSD [i] lands in whichever repair queue already
+   tracks the object, so an object is never in both tables at once. *)
+let log_missed_write m i ~obj ~bytes =
+  match Hashtbl.find_opt m.backfilling.(i) obj with
+  | Some prev ->
+      Hashtbl.replace m.backfilling.(i) obj (Stdlib.max prev bytes);
+      Obs.incr m.degraded_c
+  | None -> record_degraded m i ~obj ~bytes
+
+(* [obj]'s copy on OSD [i] is not serviceable: it missed writes while
+   the OSD was down, or awaits backfill after a replacement. *)
+let dirty_on m i ~obj =
+  Hashtbl.mem m.degraded.(i) obj || Hashtbl.mem m.backfilling.(i) obj
+
+let recovery_monitor t =
+  match !(t.monitor) with
+  | Some ({ recovery = Some _; _ } as m) -> Some m
+  | _ -> None
 
 let fail_op t =
   match !(t.monitor) with
@@ -148,7 +195,7 @@ let write_object t ~obj ~bytes =
   | Some m ->
       (* replicas the map already knows are down miss this write *)
       List.iter
-        (fun i -> if not m.map_up.(i) then record_degraded m i ~obj ~bytes)
+        (fun i -> if not m.map_up.(i) then log_missed_write m i ~obj ~bytes)
         place);
   match List.filter (fun i -> view_up t i) place with
   | [] ->
@@ -168,31 +215,72 @@ let write_object t ~obj ~bytes =
           Error (No_replica obj)
       | monitor ->
           let wg = Waitgroup.create t.engine in
+          let committed = ref 0 in
           List.iter
             (fun i ->
-              if Osd.is_up t.cluster_osds.(i) then begin
+              (* under paced recovery a replica whose copy is still being
+                 repaired skips the write: the commit would race the
+                 backfill, so it is logged for re-sync instead *)
+              let repairing =
+                match monitor with
+                | Some ({ recovery = Some _; _ } as m) -> dirty_on m i ~obj
+                | _ -> false
+              in
+              if Osd.is_up t.cluster_osds.(i) && not repairing then begin
+                incr committed;
                 Waitgroup.add wg;
                 Engine.fork (fun () ->
                     Osd.write t.cluster_osds.(i) ~obj ~bytes;
                     Waitgroup.finish wg)
               end
               else
-                (* non-primary replica died under a stale map: commit on
-                   the live replicas, leave the object degraded *)
+                (* non-primary replica died under a stale map (or is mid
+                   repair): commit on the live replicas, leave the object
+                   degraded *)
                 Option.iter
-                  (fun m -> record_degraded m i ~obj ~bytes)
+                  (fun m -> log_missed_write m i ~obj ~bytes)
                   monitor)
             targets;
           Waitgroup.wait wg;
-          to_client t ~bytes:message_bytes;
-          Ok ())
+          if !committed = 0 then begin
+            (* every map-up replica is mid-repair: nothing durable took
+               the write (only reachable in recovery mode) *)
+            fail_op t;
+            Error (No_replica obj)
+          end
+          else begin
+            to_client t ~bytes:message_bytes;
+            Ok ()
+          end)
   end
 
 let read_object t ~obj ~bytes =
   if past_deadline t then deadline_reject t
   else
+  let place = placement t obj in
   (* primary first; fail over to the next up replica in CRUSH order *)
-  match List.find_opt (fun i -> view_up t i) (placement t obj) with
+  let legacy = List.find_opt (fun i -> view_up t i) place in
+  let choice =
+    match recovery_monitor t with
+    | None -> legacy
+    | Some m -> (
+        (* degraded-mode read: prefer a replica that is both actually
+           serving and holds a clean copy over the osdmap's stale
+           primary choice, instead of timing out into a retry *)
+        match
+          List.find_opt
+            (fun i ->
+              view_up t i
+              && Osd.is_up t.cluster_osds.(i)
+              && not (dirty_on m i ~obj))
+            place
+        with
+        | Some i ->
+            if legacy <> Some i then Obs.incr m.degraded_reads_c;
+            Some i
+        | None -> legacy)
+  in
+  match choice with
   | None ->
       fail_op t;
       Error (No_replica obj)
@@ -262,12 +350,175 @@ let resync t m i =
           Osd.write t.cluster_osds.(i) ~obj ~bytes;
           Obs.add m.resync_c (float_of_int bytes))
     objs;
+  note_degraded m (-(Hashtbl.length m.degraded.(i)));
   Hashtbl.reset m.degraded.(i);
+  m.replaced.(i) <- false;
   m.map_up.(i) <- true;
   if m.down_at.(i) > 0.0 then
     Obs.set m.recovery_g.(i) (Engine.now t.engine -. m.down_at.(i))
 
-let enable_monitor ?(heartbeat = 1.0) ?(grace = 3.0) ?(op_timeout = 0.25) t =
+(* ------------------------------------------------------------------ *)
+(* Paced recovery engine (enabled with [enable_monitor ~recovery]).
+
+   State machine per (object, OSD) pair:
+
+     Clean --missed write while down--> Degraded --drain--> Clean
+     Clean --OSD replaced (peering)---> Backfilling --drain--> Clean
+
+   A drain moves data in [cfg.chunk]-sized transfers, each charging the
+   survivor's disk, the server link (east-west, contending with client
+   traffic) and the target's disk, and each paced by the recovery token
+   bucket.  The osdmap shows the OSD up as soon as the drain starts:
+   reads redirect around dirty objects, writes to dirty objects are
+   logged instead of committed. *)
+
+(* One peering pass for OSD [i].  A returning OSD with intact data only
+   needs the writes it missed (already queued in [degraded]); a
+   replaced OSD lost everything, so walk the survivors' object tables
+   and queue every object CRUSH places on [i] for backfill. *)
+let peer t m i =
+  if m.replaced.(i) then begin
+    m.replaced.(i) <- false;
+    (* the missed-write log predates the wipe: superseded by backfill *)
+    note_degraded m (-(Hashtbl.length m.degraded.(i)));
+    Hashtbl.reset m.degraded.(i);
+    Array.iteri
+      (fun j osd ->
+        if j <> i && Osd.is_up osd then
+          Osd.iter_objects osd (fun obj bytes ->
+              if
+                (not (Hashtbl.mem m.backfilling.(i) obj))
+                && List.mem i (placement t obj)
+              then begin
+                Hashtbl.replace m.backfilling.(i) obj bytes;
+                Obs.incr m.backfill_c;
+                note_degraded m 1
+              end))
+      t.cluster_osds
+  end
+
+(* A clean, actually-up replica of [obj] other than [i] to read from. *)
+let repair_source t m i ~obj =
+  List.find_opt
+    (fun j -> j <> i && Osd.is_up t.cluster_osds.(j) && not (dirty_on m j ~obj))
+    (placement t obj)
+
+type repair_outcome = Repaired | Lost | Aborted
+
+(* Move one object onto [i] as paced, chunked simulated work.  The
+   wanted size is re-read from the repair queue every chunk, so writes
+   logged while the copy is in flight extend it instead of being lost.
+   [Aborted] leaves the queue entry in place for the next peering
+   round. *)
+let recover_object t m cfg i ~obj =
+  let table =
+    if Hashtbl.mem m.backfilling.(i) obj then m.backfilling.(i)
+    else m.degraded.(i)
+  in
+  let rec copy done_ =
+    let want = Option.value ~default:0 (Hashtbl.find_opt table obj) in
+    if done_ >= want then Repaired
+    else if (not m.active) || not (Osd.is_up t.cluster_osds.(i)) then Aborted
+    else
+      match repair_source t m i ~obj with
+      | None ->
+          (* no surviving clean replica: the bytes are gone; drop the
+             entry so the drain terminates, and count the loss *)
+          Obs.incr m.unrecoverable_c;
+          Lost
+      | Some j ->
+          let chunk = Stdlib.min cfg.Recovery.chunk (want - done_) in
+          Option.iter (fun p -> Recovery.pace p ~bytes:chunk) m.pacer;
+          Osd.read t.cluster_osds.(j) ~obj ~bytes:chunk;
+          Obs.add m.recovery_read_c (float_of_int chunk);
+          (* east-west hop: recovery traffic crosses the server's own
+             link and queues FIFO with the clients' data path *)
+          Net.transfer t.net ~src:t.server_node ~dst:t.server_node
+            ~bytes:(chunk + message_bytes);
+          Osd.write t.cluster_osds.(i) ~obj ~bytes:chunk;
+          Obs.add m.recovered_c (float_of_int chunk);
+          copy (done_ + chunk)
+  in
+  match copy 0 with
+  | Aborted -> false
+  | (Repaired | Lost) as outcome ->
+      Hashtbl.remove table obj;
+      note_degraded m (-1);
+      if outcome = Repaired then
+        Danaus_check.Check.invariant ~obs:(Engine.obs t.engine) ~layer:"ceph"
+          ~what:"repair_clean"
+          ~detail:(fun () -> Printf.sprintf "%s on osd %d" obj i)
+          (fun () ->
+            (not (Osd.is_up t.cluster_osds.(i)))
+            || (Osd.has_object t.cluster_osds.(i) ~obj
+               && not (dirty_on m i ~obj)));
+      true
+
+(* Drain OSD [i]'s repair queues to empty with [cfg.streams] concurrent
+   transfer streams sharing one pacer, then re-scan: writes logged while
+   draining may have queued more work.  On abort (target lost again, or
+   monitor shut down) the remaining entries stay queued — the rollback
+   path — and the next heartbeat that sees the OSD re-starts here. *)
+let rec drain t m cfg i =
+  peer t m i;
+  if not m.map_up.(i) then m.map_up.(i) <- true;
+  let work =
+    Hashtbl.fold
+      (fun o b acc -> (o, b) :: acc)
+      m.degraded.(i)
+      (Hashtbl.fold (fun o b acc -> (o, b) :: acc) m.backfilling.(i) [])
+    |> List.sort compare
+    |> Array.of_list
+  in
+  if Array.length work = 0 then begin
+    (* converged: every acting set that involves [i] is whole again *)
+    Danaus_check.Check.invariant ~obs:(Engine.obs t.engine) ~layer:"ceph"
+      ~what:"recovery_conservation"
+      ~detail:(fun () ->
+        Printf.sprintf "read %g vs written %g"
+          (Obs.counter_value m.recovery_read_c)
+          (Obs.counter_value m.recovered_c))
+      (fun () ->
+        Obs.counter_value m.recovery_read_c = Obs.counter_value m.recovered_c);
+    if m.down_at.(i) > 0.0 then begin
+      Obs.set m.recovery_g.(i) (Engine.now t.engine -. m.down_at.(i));
+      m.down_at.(i) <- 0.0
+    end
+  end
+  else begin
+    let cursor = ref 0 in
+    let aborted = ref false in
+    let wg = Waitgroup.create t.engine in
+    let streams = Stdlib.min cfg.Recovery.streams (Array.length work) in
+    for _ = 1 to streams do
+      Waitgroup.add wg;
+      Engine.fork ~name:("ceph:recover:" ^ Osd.name t.cluster_osds.(i))
+        (fun () ->
+          let continue = ref true in
+          while !continue do
+            if !aborted || !cursor >= Array.length work then continue := false
+            else begin
+              let obj, _ = work.(!cursor) in
+              incr cursor;
+              if not (recover_object t m cfg i ~obj) then aborted := true
+            end
+          done;
+          Waitgroup.finish wg)
+    done;
+    Waitgroup.wait wg;
+    if not !aborted then drain t m cfg i
+  end
+
+(* An OSD needs a recovery pass when it was replaced, the map still
+   shows it down, or repair work is queued against it. *)
+let needs_recovery m i =
+  m.replaced.(i)
+  || (not m.map_up.(i))
+  || Hashtbl.length m.degraded.(i) > 0
+  || Hashtbl.length m.backfilling.(i) > 0
+
+let enable_monitor ?(heartbeat = 1.0) ?(grace = 3.0) ?(op_timeout = 0.25)
+    ?recovery t =
   match !(t.monitor) with
   | Some _ -> ()
   | None ->
@@ -279,11 +530,17 @@ let enable_monitor ?(heartbeat = 1.0) ?(grace = 3.0) ?(op_timeout = 0.25) t =
           heartbeat;
           grace;
           op_timeout;
+          recovery;
+          pacer = Option.map (Recovery.pacer t.engine) recovery;
           map_up = Array.make n true;
           last_seen = Array.make n (Engine.now t.engine);
           down_at = Array.make n 0.0;
           resyncing = Array.make n false;
+          replaced = Array.make n false;
           degraded = Array.init n (fun _ -> Hashtbl.create 64);
+          backfilling = Array.init n (fun _ -> Hashtbl.create 64);
+          degraded_live = 0;
+          draining = 0;
           markdown_c =
             Obs.counter obs ~layer:"ceph" ~name:"osd_mark_down" ~key:"cluster";
           failed_c =
@@ -296,6 +553,23 @@ let enable_monitor ?(heartbeat = 1.0) ?(grace = 3.0) ?(op_timeout = 0.25) t =
             Array.init n (fun i ->
                 Obs.gauge obs ~layer:"ceph" ~name:"recovery_time"
                   ~key:(Osd.name t.cluster_osds.(i)));
+          degraded_now_g =
+            Obs.gauge obs ~layer:"ceph" ~name:"degraded_now" ~key:"cluster";
+          recovery_active_g =
+            Obs.gauge obs ~layer:"ceph" ~name:"recovery_active" ~key:"cluster";
+          recovered_c =
+            Obs.counter obs ~layer:"ceph" ~name:"recovered_bytes" ~key:"cluster";
+          recovery_read_c =
+            Obs.counter obs ~layer:"ceph" ~name:"recovery_read_bytes"
+              ~key:"cluster";
+          degraded_reads_c =
+            Obs.counter obs ~layer:"ceph" ~name:"degraded_reads" ~key:"cluster";
+          backfill_c =
+            Obs.counter obs ~layer:"ceph" ~name:"backfill_objects"
+              ~key:"cluster";
+          unrecoverable_c =
+            Obs.counter obs ~layer:"ceph" ~name:"unrecoverable_objects"
+              ~key:"cluster";
         }
       in
       t.monitor := Some m;
@@ -307,11 +581,25 @@ let enable_monitor ?(heartbeat = 1.0) ?(grace = 3.0) ?(op_timeout = 0.25) t =
               (fun i osd ->
                 if Osd.is_up osd then begin
                   m.last_seen.(i) <- now;
-                  if (not m.map_up.(i)) && not m.resyncing.(i) then begin
+                  let wants_pass =
+                    match m.recovery with
+                    | None -> not m.map_up.(i)
+                    | Some _ -> needs_recovery m i
+                  in
+                  if wants_pass && not m.resyncing.(i) then begin
                     m.resyncing.(i) <- true;
                     Engine.fork ~name:("ceph:resync:" ^ Osd.name osd)
                       (fun () ->
-                        resync t m i;
+                        (match m.recovery with
+                        | None -> resync t m i
+                        | Some cfg ->
+                            m.draining <- m.draining + 1;
+                            Obs.set m.recovery_active_g
+                              (float_of_int m.draining);
+                            drain t m cfg i;
+                            m.draining <- m.draining - 1;
+                            Obs.set m.recovery_active_g
+                              (float_of_int m.draining));
                         m.resyncing.(i) <- false)
                   end
                 end
@@ -335,6 +623,66 @@ let monitor_sees_up t i =
   match !(t.monitor) with
   | None -> Osd.is_up t.cluster_osds.(i)
   | Some m -> m.map_up.(i)
+
+(* Swap OSD [i] for a blank replacement device: all stored objects are
+   gone, the device itself is healthy.  The monitor flags it for a
+   peering pass; until the backfill drains, reads of its objects
+   redirect to the surviving replicas. *)
+let replace_osd t i =
+  let osd = t.cluster_osds.(i) in
+  Osd.wipe osd;
+  Osd.set_up osd true;
+  match !(t.monitor) with
+  | None -> ()
+  | Some m ->
+      m.replaced.(i) <- true;
+      if m.map_up.(i) then begin
+        m.map_up.(i) <- false;
+        m.down_at.(i) <- Engine.now t.engine;
+        Obs.incr m.markdown_c
+      end
+      else if m.down_at.(i) = 0.0 then m.down_at.(i) <- Engine.now t.engine
+
+(* Operator override: force the osdmap to show OSD [i] up without
+   waiting for the heartbeat, e.g. to start degraded serving the moment
+   a replacement is racked.  If the OSD was replaced, peering runs
+   first so reads know which objects are still dirty. *)
+let force_mark_up t i =
+  match !(t.monitor) with
+  | None -> ()
+  | Some m ->
+      if Osd.is_up t.cluster_osds.(i) then begin
+        if m.recovery <> None && m.replaced.(i) then peer t m i;
+        m.map_up.(i) <- true
+      end
+
+let degraded_now t =
+  match !(t.monitor) with None -> 0 | Some m -> m.degraded_live
+
+let recovering t i =
+  match !(t.monitor) with None -> false | Some m -> m.resyncing.(i)
+
+let object_state t i ~obj =
+  match !(t.monitor) with
+  | None -> Recovery.Clean
+  | Some m ->
+      if Hashtbl.mem m.backfilling.(i) obj then Recovery.Backfilling
+      else if Hashtbl.mem m.degraded.(i) obj then Recovery.Degraded
+      else Recovery.Clean
+
+(* Number of replicas of [obj] that are actually up with a clean copy:
+   the live width of its acting set.  Converges back to [replicas] once
+   recovery drains. *)
+let acting_width t ~obj =
+  List.length
+    (List.filter
+       (fun i ->
+         Osd.is_up t.cluster_osds.(i)
+         &&
+         match !(t.monitor) with
+         | Some ({ recovery = Some _; _ } as m) -> not (dirty_on m i ~obj)
+         | _ -> true)
+       (placement t obj))
 
 let delete_range t ~ino ~size =
   List.iter

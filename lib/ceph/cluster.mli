@@ -69,9 +69,26 @@ val read_range : t -> ino:int -> off:int -> len:int -> (unit, io_error) result
     surviving replicas (real disk/CPU traffic) before the map shows the
     OSD up again.  Emits [ceph/osd_mark_down], [ceph/failed_ops],
     [ceph/degraded_objects], [ceph/resync_bytes] counters and a
-    [ceph/recovery_time] gauge per OSD. *)
+    [ceph/recovery_time] gauge per OSD.
+
+    [?recovery] replaces the instant re-sync with the paced recovery
+    engine of {!Recovery}: per-object [clean]/[degraded]/[backfilling]
+    state, a peering pass after mark-up or replacement, chunked paced
+    transfers charging OSD disk and server-link time, degraded-mode
+    reads that redirect to a surviving clean replica instead of timing
+    out, writes to in-repair objects logged for re-sync, and full
+    backfill of a replaced OSD.  Adds [ceph/degraded_now] and
+    [ceph/recovery_active] gauges plus [ceph/recovered_bytes],
+    [ceph/recovery_read_bytes], [ceph/degraded_reads],
+    [ceph/backfill_objects] and [ceph/unrecoverable_objects] counters.
+    Without [?recovery] the legacy semantics are preserved exactly. *)
 val enable_monitor :
-  ?heartbeat:float -> ?grace:float -> ?op_timeout:float -> t -> unit
+  ?heartbeat:float ->
+  ?grace:float ->
+  ?op_timeout:float ->
+  ?recovery:Recovery.config ->
+  t ->
+  unit
 
 (** Stop the heartbeat process and revert to instant [is_up] checks. *)
 val disable_monitor : t -> unit
@@ -79,6 +96,32 @@ val disable_monitor : t -> unit
 (** The client-visible availability of OSD [i] (the osdmap when a
     monitor runs, the instant state otherwise). *)
 val monitor_sees_up : t -> int -> bool
+
+(** {1 Recovery (self-healing)} *)
+
+(** [replace_osd t i] swaps OSD [i] for a blank, healthy replacement:
+    stored objects are lost and the monitor schedules a peering pass
+    that queues everything CRUSH places on [i] for backfill. *)
+val replace_osd : t -> int -> unit
+
+(** [force_mark_up t i] forces the osdmap to show an actually-up OSD
+    without waiting for the heartbeat (running peering first if the OSD
+    was replaced), so degraded serving starts immediately. *)
+val force_mark_up : t -> int -> unit
+
+(** (object, OSD) pairs still awaiting repair; 0 once recovery has
+    drained (and always 0 without a monitor). *)
+val degraded_now : t -> int
+
+(** Whether a re-sync/recovery pass for OSD [i] is in flight. *)
+val recovering : t -> int -> bool
+
+(** Replica state of [obj] on OSD [i] as the monitor sees it. *)
+val object_state : t -> int -> obj:string -> Recovery.obj_state
+
+(** Live width of [obj]'s acting set: replicas actually up with a clean
+    copy.  Converges back to [replicas] when recovery completes. *)
+val acting_width : t -> obj:string -> int
 
 (** Drop all objects of inode [ino] up to [size] bytes. *)
 val delete_range : t -> ino:int -> size:int -> unit

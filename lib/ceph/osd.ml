@@ -74,6 +74,18 @@ let read t ~obj ~bytes =
       t.read_bytes <- t.read_bytes +. float_of_int bytes)
 
 let delete t ~obj = Hashtbl.remove t.objects obj
+let has_object t ~obj = Hashtbl.mem t.objects obj
+
+let iter_objects t f =
+  let objs =
+    List.sort compare (Hashtbl.fold (fun o b acc -> (o, b) :: acc) t.objects [])
+  in
+  List.iter (fun (o, b) -> f o b) objs
+
+let wipe t =
+  Hashtbl.reset t.objects;
+  t.written <- 0.0;
+  t.read_bytes <- 0.0
 
 let object_size t ~obj =
   Option.value ~default:0 (Hashtbl.find_opt t.objects obj)

@@ -42,6 +42,16 @@ val delete : t -> obj:string -> unit
 (** Highest byte written to the object so far (0 if absent). *)
 val object_size : t -> obj:string -> int
 
+val has_object : t -> obj:string -> bool
+
+(** Visit every stored object with its size, in sorted name order (so
+    iteration is deterministic regardless of hash-table history). *)
+val iter_objects : t -> (string -> int -> unit) -> unit
+
+(** Drop all objects and IO accounting: the device was swapped for a
+    blank replacement.  Availability is untouched. *)
+val wipe : t -> unit
+
 val objects_stored : t -> int
 val bytes_written : t -> float
 val bytes_read : t -> float

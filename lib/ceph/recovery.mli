@@ -1,0 +1,49 @@
+(** Recovery policy for the self-healing backend.
+
+    A degraded or replaced OSD is repaired by a paced drain: chunked
+    object transfers that charge real OSD disk time and server-link
+    time, throttled by a token bucket built on {!Danaus_qos}
+    primitives.  The configuration decides whose bandwidth wins while
+    the drain runs — the clients' ([Client_first]) or the repair's
+    ([Recovery_first]). *)
+
+(** Replica state of one object on one OSD, as seen by the monitor. *)
+type obj_state =
+  | Clean  (** the copy is current and serves reads *)
+  | Degraded  (** the OSD missed writes while down; delta re-sync queued *)
+  | Backfilling  (** the OSD was replaced empty; full copy queued *)
+
+val state_name : obj_state -> string
+
+type priority =
+  | Client_first  (** recovery yields: small paced chunks, one stream *)
+  | Recovery_first  (** recovery saturates: big chunks, many streams *)
+
+val priority_name : priority -> string
+
+type config = {
+  chunk : int;  (** bytes moved per paced transfer, [> 0] *)
+  rate : float;  (** aggregate recovery bandwidth cap, bytes/s *)
+  burst : float;  (** token-bucket depth, [>= chunk] *)
+  streams : int;  (** concurrent transfer streams per draining OSD *)
+  priority : priority;
+}
+
+val aggressive : config
+(** Recovery-first: 4 MiB chunks, 8 streams, rate above the link — the
+    drain finishes fast and client traffic visibly suffers. *)
+
+val throttled : ?rate:float -> ?chunk:int -> unit -> config
+(** Client-first: one stream of [?chunk] (default 256 KiB) chunks at
+    [?rate] (default 48 MB/s) — client goodput is preserved. *)
+
+(** {1 Pacing} *)
+
+type pacer
+(** A shared token bucket bounding aggregate recovery bandwidth. *)
+
+val pacer : Danaus_sim.Engine.t -> config -> pacer
+
+val pace : pacer -> bytes:int -> unit
+(** Block (in simulated time) until the bucket grants [bytes] tokens.
+    Deterministic: the wait is derived from the token deficit. *)

@@ -304,7 +304,12 @@ let read t ~pool fd ~off ~len =
                      in
                      match r with
                      | Ok () -> Page_cache.insert_clean file ~off ~len:(len + ra)
-                     | Error _ -> fetch_failed := true
+                     | Error e ->
+                         (match e with
+                         | Cluster.No_replica _ ->
+                             Retry.note_no_replica t.retry
+                         | _ -> ());
+                         fetch_failed := true
                    end)
              end);
             if !fetch_failed then Error Client_intf.Unavailable

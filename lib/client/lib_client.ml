@@ -432,7 +432,11 @@ let read t ~pool:_ fd ~off ~len =
             in
             match r with
             | Ok () -> Page_cache.insert_clean file ~off ~len:(len + ra)
-            | Error _ -> fetch_failed := true
+            | Error e ->
+                (match e with
+                | Cluster.No_replica _ -> Retry.note_no_replica t.retry
+                | _ -> ());
+                fetch_failed := true
           end;
           Mutex_sim.unlock fl;
           if not !fetch_failed && coarse then Mutex_sim.lock t.lock

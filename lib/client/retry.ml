@@ -39,6 +39,7 @@ type counters = {
   retries_c : Obs.counter;
   giveups_c : Obs.counter;
   deadline_giveups_c : Obs.counter;
+  no_replica_c : Obs.counter;
 }
 
 let counters obs ~key =
@@ -49,7 +50,13 @@ let counters obs ~key =
     giveups_c = Obs.counter obs ~layer:"client" ~name:"giveups" ~key;
     deadline_giveups_c =
       Obs.counter obs ~layer:"client" ~name:"deadline_giveups" ~key;
+    no_replica_c = Obs.counter obs ~layer:"client" ~name:"no_replica" ~key;
   }
+
+(* A [No_replica] that survived the whole retry budget: the acceptance
+   signal for degraded-mode serving (should stay 0 while a surviving
+   replica exists). *)
+let note_no_replica c = Obs.incr c.no_replica_c
 
 let with_retry ?(policy = default) ?deadline ~rng ~counters ~transient f =
   (* default to the ambient process deadline so every retry site becomes

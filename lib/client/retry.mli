@@ -30,12 +30,18 @@ type counters = {
   retries_c : Obs.counter;
   giveups_c : Obs.counter;
   deadline_giveups_c : Obs.counter;
+  no_replica_c : Obs.counter;
 }
 
-(** Intern the [client/retries], [client/giveups] and
-    [client/deadline_giveups] counters for [key] (conventionally the
-    pool name). *)
+(** Intern the [client/retries], [client/giveups],
+    [client/deadline_giveups] and [client/no_replica] counters for [key]
+    (conventionally the pool name). *)
 val counters : Obs.t -> key:string -> counters
+
+(** Count a [No_replica] failure that survived the retry budget under
+    [client/no_replica] — the per-pool acceptance signal for
+    degraded-mode reads (0 while any surviving replica can serve). *)
+val note_no_replica : counters -> unit
 
 (** [with_retry ~rng ~counters ~transient f] runs [f], retrying up to
     [policy.attempts] times while [f] returns [Error e] with

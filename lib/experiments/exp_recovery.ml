@@ -1,0 +1,462 @@
+open Danaus_sim
+open Danaus_ceph
+open Danaus
+open Danaus_faults
+open Danaus_workloads
+
+let mib n = n * 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* osd-recovery: kill one replica-holding OSD mid-run under the paced
+   recovery engine and compare recovery-first vs client-first pacing.
+   A read-only victim pool must keep serving throughout — reads of
+   objects on the dead/repairing OSD redirect to the surviving replica
+   instead of timing out, so the victim sees zero [No_replica] errors —
+   while a writer pool keeps producing degraded objects for the drain
+   to replay.  MTTR and the recovered volume quantify the pacing
+   trade-off. *)
+
+let victim_params ~quick =
+  {
+    Openload.default_params with
+    Openload.rate = 600.0;
+    duration = (if quick then 8.0 else 20.0);
+    op_bytes = 256 * 1024;
+    files = 128;
+    threads = 8;
+    dir = "/victim";
+    sla = 0.5;
+  }
+
+let writer_params ~quick =
+  {
+    Openload.rate = 200.0;
+    duration = (if quick then 8.0 else 20.0);
+    op_bytes = mib 1;
+    files = 256;
+    threads = 8;
+    dir = "/writer";
+    sla = 0.5;
+    write_frac = 1.0;
+  }
+
+type recovery_outcome = {
+  o_phases : (string * float) list;  (* victim goodput per phase *)
+  o_victim_failed : int;
+  o_victim_no_replica : float;
+  o_degraded_reads : float;
+  o_mttr : float;
+  o_recovered_mb : float;
+  o_metrics : Obs.sample list;
+  o_spans : Obs.cspan list;
+  o_points : Obs.Sampler.point list;
+}
+
+let recovery_cell ~seed ~quick ~recovery =
+  let vp = victim_params ~quick in
+  let wp = writer_params ~quick in
+  let duration = vp.Openload.duration in
+  let tb = Testbed.create ~seed ~replicas:2 ~activated:4 () in
+  Cluster.enable_monitor ~heartbeat:1.0 ~grace:3.0 ~op_timeout:0.25 ~recovery
+    tb.Testbed.cluster;
+  let victim_pool = Testbed.pool tb 0 in
+  let writer_pool = Testbed.pool tb 1 in
+  (* victim cache far smaller than its fileset: reads must refetch, so
+     the repairing OSD is actually addressed *)
+  let victim =
+    Container_engine.launch tb.Testbed.containers ~config:Config.d
+      ~pool:victim_pool ~id:"rcv-v" ~cache_bytes:(mib 8) ()
+  in
+  let writer =
+    Container_engine.launch tb.Testbed.containers ~config:Config.d
+      ~pool:writer_pool ~id:"rcv-w" ~cache_bytes:(mib 256) ()
+  in
+  let warmed = ref 0 in
+  Engine.spawn tb.Testbed.engine (fun () ->
+      let ctx = Testbed.ctx tb ~pool:victim_pool ~seed:6100 in
+      Openload.prepopulate ctx ~view:victim.Container_engine.view vp;
+      incr warmed);
+  Engine.spawn tb.Testbed.engine (fun () ->
+      let ctx = Testbed.ctx tb ~pool:writer_pool ~seed:6150 in
+      Openload.prepopulate ctx ~view:writer.Container_engine.view wp;
+      incr warmed);
+  Testbed.drive tb ~stop:(fun () -> !warmed = 2);
+  Testbed.reset_metrics tb;
+  let points = Testbed.start_sampler tb in
+  let t0 = Engine.now tb.Testbed.engine in
+  (* phase boundaries: healthy [t0, t0+d), outage [t0+d, t0+2d) with the
+     OSD dying 1 s in, rejoin [t0+2d, ...) with the OSD back 1 s in; the
+     paced drain overlaps the rejoin phase instead of blocking it *)
+  Testbed.inject tb
+    ~plan:
+      [
+        Fault_plan.at (t0 +. duration +. 1.0) (Fault_plan.Osd_down 0);
+        Fault_plan.at (t0 +. (2.0 *. duration) +. 1.0) (Fault_plan.Osd_up 0);
+      ];
+  let phases = [ "healthy"; "osd0 down"; "osd0 back" ] in
+  let vres = Array.make (List.length phases) None in
+  let done_ = ref false in
+  Engine.spawn tb.Testbed.engine (fun () ->
+      List.iteri
+        (fun i _ ->
+          (* victim and writer run in lockstep per phase so the fault
+             lands at a comparable point of each window *)
+          let wg = Waitgroup.create tb.Testbed.engine in
+          Waitgroup.add wg;
+          Engine.fork (fun () ->
+              let ctx = Testbed.ctx tb ~pool:victim_pool ~seed:(6200 + i) in
+              vres.(i) <- Some (Openload.run ctx ~view:victim.Container_engine.view vp);
+              Waitgroup.finish wg);
+          Waitgroup.add wg;
+          Engine.fork (fun () ->
+              let ctx = Testbed.ctx tb ~pool:writer_pool ~seed:(6250 + i) in
+              ignore (Openload.run ctx ~view:writer.Container_engine.view wp);
+              Waitgroup.finish wg);
+          Waitgroup.wait wg)
+        phases;
+      done_ := true);
+  Testbed.drive tb ~stop:(fun () -> !done_);
+  (* drain the paced recovery to convergence before reading MTTR *)
+  Testbed.drive tb ~stop:(fun () ->
+      Cluster.degraded_now tb.Testbed.cluster = 0
+      && Cluster.monitor_sees_up tb.Testbed.cluster 0
+      && not (Cluster.recovering tb.Testbed.cluster 0));
+  let obs = tb.Testbed.obs in
+  let ceph name = Obs.get obs ~layer:"ceph" ~name ~key:"cluster" in
+  let victim_failed =
+    List.fold_left
+      (fun acc r ->
+        acc + match r with Some r -> r.Openload.failed | None -> 0)
+      0 (Array.to_list vres)
+  in
+  let no_replica =
+    Obs.get obs ~layer:"client" ~name:"no_replica"
+      ~key:(Danaus_kernel.Cgroup.name victim_pool)
+  in
+  let outcome =
+    {
+      o_phases =
+        List.mapi
+          (fun i l ->
+            ( l,
+              match vres.(i) with
+              | Some r -> r.Openload.goodput_ops
+              | None -> 0.0 ))
+          phases;
+      o_victim_failed = victim_failed;
+      o_victim_no_replica = no_replica;
+      o_degraded_reads = ceph "degraded_reads";
+      o_mttr = Obs.get obs ~layer:"ceph" ~name:"recovery_time" ~key:"osd0";
+      o_recovered_mb = ceph "recovered_bytes" /. float_of_int (mib 1);
+      o_metrics = Obs.snapshot obs;
+      o_spans = Obs.cspans obs;
+      o_points = points ();
+    }
+  in
+  (* acceptance: the repair converged and moved as many bytes onto the
+     returned OSD as it read from the survivors; the victim pool never
+     saw an unserved read *)
+  Danaus_check.Check.require ~layer:"experiment" ~what:"recovery_converged"
+    ~detail:(fun () ->
+      Printf.sprintf "degraded_now %d, mttr %g"
+        (Cluster.degraded_now tb.Testbed.cluster)
+        outcome.o_mttr)
+    (Cluster.degraded_now tb.Testbed.cluster = 0 && outcome.o_mttr > 0.0);
+  Danaus_check.Check.require ~layer:"experiment" ~what:"recovery_conserved"
+    ~detail:(fun () ->
+      Printf.sprintf "read %g, recovered %g" (ceph "recovery_read_bytes")
+        (ceph "recovered_bytes"))
+    (ceph "recovery_read_bytes" = ceph "recovered_bytes");
+  Danaus_check.Check.require ~layer:"experiment" ~what:"victim_zero_errors"
+    ~detail:(fun () ->
+      Printf.sprintf "failed %d, no_replica %g" victim_failed no_replica)
+    (victim_failed = 0 && no_replica = 0.0);
+  Cluster.disable_monitor tb.Testbed.cluster;
+  outcome
+
+let osd_recovery ~seed ~quick =
+  let cells =
+    [
+      ("recovery-first", Recovery.aggressive);
+      ("client-first", Recovery.throttled ());
+    ]
+  in
+  let outcomes =
+    List.map
+      (fun (label, recovery) -> (label, recovery_cell ~seed ~quick ~recovery))
+      cells
+  in
+  let rows =
+    List.map
+      (fun (label, o) ->
+        label
+        :: (List.map (fun (_, g) -> Printf.sprintf "%.0f" g) o.o_phases
+           @ [
+               Printf.sprintf "%d" o.o_victim_failed;
+               Printf.sprintf "%.0f" o.o_degraded_reads;
+               Report.f1 o.o_mttr;
+               Printf.sprintf "%.0f" o.o_recovered_mb;
+             ]))
+      outcomes
+  in
+  let get l = List.assoc l outcomes in
+  let metrics =
+    List.concat_map
+      (fun (label, o) -> Obs.prefix_keys (label ^ ":") o.o_metrics)
+      outcomes
+  in
+  let spans =
+    Danaus_sim.Trace.merge
+      (List.map (fun (label, o) -> (label ^ ":", o.o_spans)) outcomes)
+  in
+  let timeseries =
+    List.concat_map
+      (fun (label, o) -> Obs.Sampler.prefix_keys (label ^ ":") o.o_points)
+      outcomes
+  in
+  [
+    Report.make ~id:"osd-recovery"
+      ~title:
+        "Paced OSD recovery: degraded reads keep the victim serving \
+         (goodput ops/s per phase)"
+      ~header:
+        [
+          "pacing";
+          "healthy";
+          "osd0 down";
+          "osd0 back";
+          "victim errs";
+          "degraded reads";
+          "MTTR s";
+          "recovered MB";
+        ]
+      ~notes:
+        [
+          Printf.sprintf
+            "victim errors stay 0 in both modes: reads redirect to the \
+             surviving replica during the outage and the drain \
+             (recovery-first %.0f redirects, client-first %.0f)"
+            (get "recovery-first").o_degraded_reads
+            (get "client-first").o_degraded_reads;
+          Printf.sprintf
+            "pacing trade-off: recovery-first MTTR %.1f s vs client-first \
+             %.1f s for the same recovered volume"
+            (get "recovery-first").o_mttr (get "client-first").o_mttr;
+        ]
+      ~metrics ~spans ~timeseries rows;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* backfill-qos: replace an OSD outright under a latency-sensitive
+   victim pool and arbitrate the backfill's bandwidth against the
+   victim's.  The replacement is re-replicated from the survivors over
+   the server's own link, so unthrottled recovery-first backfill queues
+   multi-MiB chunks ahead of every victim op on both link directions
+   and the victim's tight SLA collapses; the client-first token bucket
+   keeps the backfill a minor background flow at the price of a longer
+   drain.  A healthy cell (no fault) is the retention baseline. *)
+
+let bf_victim_params ~quick =
+  {
+    Openload.default_params with
+    Openload.rate = 1500.0;
+    duration = (if quick then 8.0 else 20.0);
+    op_bytes = 256 * 1024;
+    files = 160;
+    threads = 8;
+    dir = "/victim";
+    sla = 0.025;
+  }
+
+(* Synthetic cold dataset planted directly on the OSDs (no client or
+   cache involvement): enough that the recovery-first backfill spans the
+   whole victim window. *)
+let bf_objects ~quick = if quick then 18_000 else 40_000
+let bf_obj_bytes = mib 4
+
+type bf_outcome = {
+  b_goodput : float;
+  b_completed : int;
+  b_failed : int;
+  b_no_replica : float;
+  b_p99_ms : float;
+  b_mttr : float;
+  b_recovered_mb : float;
+  b_metrics : Obs.sample list;
+  b_spans : Obs.cspan list;
+  b_points : Obs.Sampler.point list;
+}
+
+let backfill_cell ~seed ~quick ~recovery ~fault =
+  let vp = bf_victim_params ~quick in
+  let tb = Testbed.create ~seed ~replicas:2 ~activated:4 () in
+  Cluster.enable_monitor ~heartbeat:1.0 ~grace:3.0 ~op_timeout:0.25 ~recovery
+    tb.Testbed.cluster;
+  let pool = Testbed.pool tb 0 in
+  let victim =
+    Container_engine.launch tb.Testbed.containers ~config:Config.d ~pool
+      ~id:"bfq" ~cache_bytes:(mib 8) ()
+  in
+  let osds = Cluster.osds tb.Testbed.cluster in
+  let warmed = ref 0 in
+  Engine.spawn tb.Testbed.engine (fun () ->
+      let ctx = Testbed.ctx tb ~pool ~seed:6300 in
+      Openload.prepopulate ctx ~view:victim.Container_engine.view vp;
+      incr warmed);
+  (* plant the cold dataset the backfill will have to re-replicate *)
+  Engine.spawn tb.Testbed.engine (fun () ->
+      for k = 0 to bf_objects ~quick - 1 do
+        let obj = Printf.sprintf "bf:%06d" k in
+        List.iter
+          (fun j -> Osd.write osds.(j) ~obj ~bytes:bf_obj_bytes)
+          (Crush.place ~osds:(Array.length osds) ~replicas:2 obj)
+      done;
+      incr warmed);
+  Testbed.drive tb ~stop:(fun () -> !warmed = 2);
+  Testbed.reset_metrics tb;
+  let points = Testbed.start_sampler tb in
+  let t0 = Engine.now tb.Testbed.engine in
+  if fault then
+    Testbed.inject tb
+      ~plan:
+        [
+          Fault_plan.at (t0 +. 1.0) (Fault_plan.Osd_replace 0);
+          (* the operator racks the blank device and forces it into the
+             map at once: degraded serving + backfill start immediately
+             instead of waiting out heartbeat + grace *)
+          Fault_plan.at (t0 +. 1.0) (Fault_plan.Mark_up 0);
+        ];
+  let result = ref None in
+  Engine.spawn tb.Testbed.engine (fun () ->
+      let ctx = Testbed.ctx tb ~pool ~seed:6400 in
+      result := Some (Openload.run ctx ~view:victim.Container_engine.view vp));
+  Testbed.drive tb ~stop:(fun () -> !result <> None);
+  (* measure the victim over its window only, then let the drain finish
+     for the MTTR and conservation numbers *)
+  Testbed.drive tb ~stop:(fun () ->
+      Cluster.degraded_now tb.Testbed.cluster = 0
+      && (not (Cluster.recovering tb.Testbed.cluster 0))
+      && Cluster.monitor_sees_up tb.Testbed.cluster 0);
+  let obs = tb.Testbed.obs in
+  let ceph name = Obs.get obs ~layer:"ceph" ~name ~key:"cluster" in
+  let r = Option.get !result in
+  let outcome =
+    {
+      b_goodput = r.Openload.goodput_ops;
+      b_completed = r.Openload.completed;
+      b_failed = r.Openload.failed;
+      b_no_replica =
+        Obs.get obs ~layer:"client" ~name:"no_replica"
+          ~key:(Danaus_kernel.Cgroup.name pool);
+      b_p99_ms =
+        (if Stats.count r.Openload.latency = 0 then 0.0
+         else 1000.0 *. Stats.percentile r.Openload.latency 99.0);
+      b_mttr = Obs.get obs ~layer:"ceph" ~name:"recovery_time" ~key:"osd0";
+      b_recovered_mb = ceph "recovered_bytes" /. float_of_int (mib 1);
+      b_metrics = Obs.snapshot obs;
+      b_spans = Obs.cspans obs;
+      b_points = points ();
+    }
+  in
+  Danaus_check.Check.require ~layer:"experiment" ~what:"backfill_converged"
+    ~detail:(fun () ->
+      Printf.sprintf "degraded_now %d after drain"
+        (Cluster.degraded_now tb.Testbed.cluster))
+    (Cluster.degraded_now tb.Testbed.cluster = 0);
+  Danaus_check.Check.require ~layer:"experiment" ~what:"backfill_conserved"
+    ~detail:(fun () ->
+      Printf.sprintf "read %g, recovered %g" (ceph "recovery_read_bytes")
+        (ceph "recovered_bytes"))
+    (ceph "recovery_read_bytes" = ceph "recovered_bytes");
+  Danaus_check.Check.require ~layer:"experiment" ~what:"victim_zero_errors"
+    ~detail:(fun () ->
+      Printf.sprintf "failed %d, no_replica %g" outcome.b_failed
+        outcome.b_no_replica)
+    (outcome.b_failed = 0 && outcome.b_no_replica = 0.0);
+  Cluster.disable_monitor tb.Testbed.cluster;
+  outcome
+
+let backfill_qos ~seed ~quick =
+  let cells =
+    [
+      ("healthy", Recovery.throttled (), false);
+      ("recovery-first", Recovery.aggressive, true);
+      ("client-first", Recovery.throttled (), true);
+    ]
+  in
+  let outcomes =
+    List.map
+      (fun (label, recovery, fault) ->
+        (label, backfill_cell ~seed ~quick ~recovery ~fault))
+      cells
+  in
+  let get l = List.assoc l outcomes in
+  let baseline = (get "healthy").b_goodput in
+  let retention o = if baseline > 0.0 then o.b_goodput /. baseline else 0.0 in
+  let rows =
+    List.map
+      (fun (label, o) ->
+        [
+          label;
+          Printf.sprintf "%.0f" o.b_goodput;
+          Printf.sprintf "%.0f%%" (100.0 *. retention o);
+          Printf.sprintf "%.1f" o.b_p99_ms;
+          Printf.sprintf "%d" o.b_failed;
+          Report.f1 o.b_mttr;
+          Printf.sprintf "%.0f" o.b_recovered_mb;
+        ])
+      outcomes
+  in
+  (* the acceptance claim: client-first pacing retains >= 90% of the
+     healthy goodput where recovery-first collapses it *)
+  Danaus_check.Check.require ~layer:"experiment" ~what:"throttled_retention"
+    ~detail:(fun () ->
+      Printf.sprintf "client-first retention %.2f (baseline %.0f ops/s)"
+        (retention (get "client-first"))
+        baseline)
+    (retention (get "client-first") >= 0.9);
+  let metrics =
+    List.concat_map
+      (fun (label, o) -> Obs.prefix_keys (label ^ ":") o.b_metrics)
+      outcomes
+  in
+  let spans =
+    Danaus_sim.Trace.merge
+      (List.map (fun (label, o) -> (label ^ ":", o.b_spans)) outcomes)
+  in
+  let timeseries =
+    List.concat_map
+      (fun (label, o) -> Obs.Sampler.prefix_keys (label ^ ":") o.b_points)
+      outcomes
+  in
+  [
+    Report.make ~id:"backfill-qos"
+      ~title:
+        "Backfill bandwidth arbitration: victim goodput under OSD \
+         replacement (SLA 25 ms)"
+      ~header:
+        [
+          "recovery";
+          "goodput ops/s";
+          "retention";
+          "p99 ms";
+          "victim errs";
+          "MTTR s";
+          "recovered MB";
+        ]
+      ~notes:
+        [
+          Printf.sprintf
+            "client-first backfill retains %.0f%% of healthy goodput; \
+             recovery-first retains %.0f%% (multi-MiB chunks queue ahead \
+             of every victim op on the server link)"
+            (100.0 *. retention (get "client-first"))
+            (100.0 *. retention (get "recovery-first"));
+          Printf.sprintf
+            "the price is MTTR: %.1f s recovery-first vs %.1f s \
+             client-first for ~%.0f MB re-replicated"
+            (get "recovery-first").b_mttr (get "client-first").b_mttr
+            (get "client-first").b_recovered_mb;
+        ]
+      ~metrics ~spans ~timeseries rows;
+  ]

@@ -12,8 +12,10 @@ module Check = Danaus_check.Check
    mode the caller armed (the CLI's [fuzz] command and CI run Strict).
    On top of the always-on conservation laws, every seed is judged by
    metamorphic oracles: repeat determinism, in-process vs spawned-domain
-   byte-identity, short-vs-long shape monotonicity, and analytic
-   closed-form totals for degenerate configurations. *)
+   byte-identity, short-vs-long shape monotonicity, analytic
+   closed-form totals for degenerate configurations, and eventual
+   convergence with byte conservation of the recovery engine after a
+   full OSD loss. *)
 
 let mib n = n * 1024 * 1024
 let kib n = n * 1024
@@ -59,7 +61,7 @@ let describe sc =
    finished. *)
 let gen_faults rng ~duration =
   let w lo hi a = Fault_plan.between (lo *. duration) (hi *. duration) a in
-  match Rng.int rng 4 with
+  match Rng.int rng 5 with
   | 0 ->
       let i = Rng.int rng Params.osd_count in
       [
@@ -74,6 +76,16 @@ let gen_faults rng ~duration =
       [
         w 0.2 0.4 (Fault_plan.Link_degrade { node = "client"; factor = 4.0 });
         w 0.6 0.8 (Fault_plan.Link_restore "client");
+      ]
+  | 3 ->
+      (* full OSD loss mid-run: kill, swap in a blank replacement, then
+         force the map up so degraded serving and backfill overlap the
+         tail of the measured window (runs on a replicas=2 testbed) *)
+      let i = Rng.int rng Params.osd_count in
+      [
+        w 0.15 0.25 (Fault_plan.Osd_down i);
+        w 0.4 0.5 (Fault_plan.Osd_replace i);
+        w 0.6 0.7 (Fault_plan.Mark_up i);
       ]
   | _ -> [ w 0.3 0.6 (Fault_plan.Host_crash { restart_after = 0.4 }) ]
 
@@ -150,7 +162,20 @@ let shift_timing t0 = function
    oracle compares 1x against 2x); everything else, warm-up included, is
    byte-identical between the two runs. *)
 let run_scenario ?(duration_scale = 1.0) sc =
-  let tb = Testbed.create ~seed:sc.sc_seed ~activated:sc.sc_activated () in
+  let fault_is p =
+    List.exists (fun e -> p e.Fault_plan.action) sc.sc_faults
+  in
+  (* a replaced OSD loses its objects: those plans run on a replicated
+     cluster so backfill has survivors to read from *)
+  let has_replace =
+    fault_is (function
+      | Fault_plan.Osd_replace _ | Fault_plan.Mark_up _ -> true
+      | _ -> false)
+  in
+  let replicas = if has_replace then 2 else Params.replicas in
+  let tb =
+    Testbed.create ~seed:sc.sc_seed ~activated:sc.sc_activated ~replicas ()
+  in
   let duration = sc.sc_duration *. duration_scale in
   let pools =
     List.mapi
@@ -173,13 +198,13 @@ let run_scenario ?(duration_scale = 1.0) sc =
         (i, load, pool, ct))
       sc.sc_loads
   in
-  if
-    List.exists
-      (fun e ->
-        match e.Fault_plan.action with
-        | Fault_plan.Osd_down _ | Fault_plan.Osd_up _ -> true
-        | _ -> false)
-      sc.sc_faults
+  if has_replace then
+    Cluster.enable_monitor ~recovery:(Recovery.throttled ())
+      tb.Testbed.cluster
+  else if
+    fault_is (function
+      | Fault_plan.Osd_down _ | Fault_plan.Osd_up _ -> true
+      | _ -> false)
   then Cluster.enable_monitor tb.Testbed.cluster;
   let warmed = ref 0 in
   let want = List.length pools in
@@ -381,6 +406,70 @@ let cached_reread ~seed =
        (expected 0)"
       file_bytes cold )
 
+(* Full OSD loss on a replicated mini-cluster: recovery must converge
+   (degraded gauge back to zero, osdmap up) with exact byte
+   conservation — every byte read from survivors is written to the
+   replacement, and the replacement's disk (wiped at swap time) holds
+   exactly the recovered bytes.  Eventual convergence is the liveness
+   half of the self-healing contract; conservation is the safety half. *)
+let recovery_convergence ~seed =
+  let rng = Rng.create (0x4EC0 + (seed * 613)) in
+  let len = mib (4 * (1 + Rng.int rng 3)) in
+  let tb = Testbed.create ~seed ~activated:2 ~replicas:2 () in
+  let cluster = tb.Testbed.cluster in
+  Cluster.enable_monitor ~heartbeat:0.1 ~grace:0.3 ~op_timeout:0.05
+    ~recovery:(Recovery.throttled ()) cluster;
+  let osds = Cluster.osds cluster in
+  let victim = ref 0 in
+  let converged = ref false in
+  let done_ = ref false in
+  Engine.spawn tb.Testbed.engine ~name:"law-recovery" (fun () ->
+      (match Cluster.write_range cluster ~ino:77 ~off:0 ~len with
+      | Ok () -> ()
+      | Error _ -> failwith "seed write failed");
+      let obj =
+        Striper.object_of ~object_size:Params.object_size ~ino:77 ~off:0
+      in
+      let v =
+        List.hd (Crush.place ~osds:(Array.length osds) ~replicas:2 obj)
+      in
+      victim := v;
+      Osd.set_up osds.(v) false;
+      Engine.sleep 0.6;
+      (* a write during the outage lands in the missed-write log; the
+         subsequent replacement supersedes it with a full backfill *)
+      (match Cluster.write_range cluster ~ino:77 ~off:0 ~len with
+      | Ok () -> ()
+      | Error _ -> failwith "degraded write failed");
+      Cluster.replace_osd cluster v;
+      let spins = ref 0 in
+      while
+        (Cluster.degraded_now cluster > 0
+        || Cluster.recovering cluster v
+        || not (Cluster.monitor_sees_up cluster v))
+        && !spins < 5000
+      do
+        incr spins;
+        Engine.sleep 0.1
+      done;
+      converged := !spins < 5000;
+      done_ := true);
+  Testbed.drive tb ~stop:(fun () -> !done_);
+  let v = !victim in
+  let sum name = Obs.sum tb.Testbed.obs ~layer:"ceph" ~name () in
+  let read_b = sum "recovery_read_bytes" in
+  let recov_b = sum "recovered_bytes" in
+  let on_disk = Osd.bytes_written osds.(v) in
+  ( !converged
+    && Cluster.degraded_now cluster = 0
+    && read_b = recov_b && on_disk = recov_b
+    && recov_b >= float_of_int Params.object_size,
+    Printf.sprintf
+      "recovery_convergence: lost osd%d under %d B, read %.0f / recovered \
+       %.0f / on replacement %.0f, degraded_now %d"
+      v len read_b recov_b on_disk
+      (Cluster.degraded_now cluster) )
+
 (* ------------------------------------------------------------------ *)
 (* Per-seed oracle harness *)
 
@@ -447,6 +536,7 @@ let run_seed ~quick seed =
     @ [
         guard "writer_conservation" (fun () -> writer_conservation ~seed);
         guard "cached_reread" (fun () -> cached_reread ~seed);
+        guard "recovery_convergence" (fun () -> recovery_convergence ~seed);
       ]
   in
   let vs = Check.violations () in

@@ -266,6 +266,48 @@ let sched_tick ticks () =
   Engine.run_until mh.Multihost.engine
     ((float_of_int ticks +. 1.0) *. interval)
 
+(* One recovery-drain cell: a replicated cluster loses OSD 0, absorbs a
+   backlog of missed writes while it is down, then heals with the
+   aggressive paced drain — peering, pacer token grants, chunked
+   survivor-read/target-write transfers and east-west network hops.
+   Pins the cost of the self-healing control and data path. *)
+let recovery_drain () =
+  let open Danaus_ceph in
+  let tb = Testbed.create ~seed:1 ~activated:4 ~replicas:2 () in
+  let cluster = tb.Testbed.cluster in
+  (* 256 KiB chunks (instead of the aggressive 4 MiB) so the drain is
+     dominated by per-chunk pace/read/transfer/write cycles, not setup *)
+  let recovery =
+    {
+      Recovery.chunk = 256 * 1024;
+      rate = 8e9;
+      burst = 16.0 *. 1024.0 *. 1024.0;
+      streams = 8;
+      priority = Recovery.Recovery_first;
+    }
+  in
+  Cluster.enable_monitor ~heartbeat:0.5 ~grace:1.0 ~op_timeout:0.25 ~recovery
+    cluster;
+  let osds = Cluster.osds cluster in
+  let healed = ref false in
+  Engine.spawn tb.Testbed.engine (fun () ->
+      Osd.set_up osds.(0) false;
+      (* let the monitor mark it down so the writes miss cleanly *)
+      Engine.sleep 1.6;
+      (match Cluster.write_range cluster ~ino:11 ~off:0 ~len:(256 * mib 4) with
+      | Ok () -> ()
+      | Error _ -> failwith "bench write failed");
+      Osd.set_up osds.(0) true;
+      while
+        Cluster.degraded_now cluster > 0
+        || Cluster.recovering cluster 0
+        || not (Cluster.monitor_sees_up cluster 0)
+      do
+        Engine.sleep 0.25
+      done;
+      healed := true);
+  Testbed.drive tb ~stop:(fun () -> !healed)
+
 (* ------------------------------------------------------------------ *)
 
 let run ?(label = "head") () =
@@ -283,6 +325,7 @@ let run ?(label = "head") () =
       measure "sched-tick" (sched_tick 5_000);
       measure "seqio" seqio_cell;
       measure "contention" contention_cell;
+      measure "recovery-drain" recovery_drain;
     ]
   in
   { r_label = label; r_calibration = calibration; r_entries = entries }

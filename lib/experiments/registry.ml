@@ -147,6 +147,16 @@ let all =
       title = "Scheduler: shed-rate autoscaling through a flash crowd";
       run = (fun ~quick ~seed -> Exp_sched.autoscale ~seed ~quick);
     };
+    {
+      id = "osd-recovery";
+      title = "Recovery: paced OSD re-sync with degraded reads (MTTR vs pacing)";
+      run = (fun ~quick ~seed -> Exp_recovery.osd_recovery ~seed ~quick);
+    };
+    {
+      id = "backfill-qos";
+      title = "Recovery: backfill bandwidth vs victim goodput arbitration";
+      run = (fun ~quick ~seed -> Exp_recovery.backfill_qos ~seed ~quick);
+    };
   ]
 
 let find id = List.find_opt (fun e -> String.equal e.id id) all

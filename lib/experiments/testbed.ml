@@ -175,6 +175,8 @@ let injector t =
         Container_engine.crash_host t.containers ~restart_after);
     inj_osd_down = (fun i -> if osd_ok i then Osd.set_up osds.(i) false);
     inj_osd_up = (fun i -> if osd_ok i then Osd.set_up osds.(i) true);
+    inj_osd_replace = (fun i -> if osd_ok i then Cluster.replace_osd t.cluster i);
+    inj_mark_up = (fun i -> if osd_ok i then Cluster.force_mark_up t.cluster i);
     inj_link_degrade =
       (fun ~node ~factor ->
         Option.iter (fun n -> Net.set_degraded n ~factor) (node_of node));

@@ -5,6 +5,8 @@ type action =
   | Host_crash of { restart_after : float }
   | Osd_down of int
   | Osd_up of int
+  | Osd_replace of int
+  | Mark_up of int
   | Link_degrade of { node : string; factor : float }
   | Link_partition of string
   | Link_restore of string
@@ -16,6 +18,8 @@ let action_name = function
   | Host_crash _ -> "host_crash"
   | Osd_down _ -> "osd_down"
   | Osd_up _ -> "osd_up"
+  | Osd_replace _ -> "osd_replace"
+  | Mark_up _ -> "mark_up"
   | Link_degrade _ -> "link_degrade"
   | Link_partition _ -> "link_partition"
   | Link_restore _ -> "link_restore"
@@ -34,6 +38,8 @@ type injector = {
   inj_crash_host : restart_after:float -> unit;
   inj_osd_down : int -> unit;
   inj_osd_up : int -> unit;
+  inj_osd_replace : int -> unit;
+  inj_mark_up : int -> unit;
   inj_link_degrade : node:string -> factor:float -> unit;
   inj_link_partition : node:string -> unit;
   inj_link_restore : node:string -> unit;
@@ -47,6 +53,8 @@ let null_injector =
     inj_crash_host = (fun ~restart_after:_ -> ());
     inj_osd_down = ignore;
     inj_osd_up = ignore;
+    inj_osd_replace = ignore;
+    inj_mark_up = ignore;
     inj_link_degrade = (fun ~node:_ ~factor:_ -> ());
     inj_link_partition = (fun ~node:_ -> ());
     inj_link_restore = (fun ~node:_ -> ());
@@ -72,6 +80,8 @@ let apply inj = function
   | Host_crash { restart_after } -> inj.inj_crash_host ~restart_after
   | Osd_down i -> inj.inj_osd_down i
   | Osd_up i -> inj.inj_osd_up i
+  | Osd_replace i -> inj.inj_osd_replace i
+  | Mark_up i -> inj.inj_mark_up i
   | Link_degrade { node; factor } -> inj.inj_link_degrade ~node ~factor
   | Link_partition node -> inj.inj_link_partition ~node
   | Link_restore node -> inj.inj_link_restore ~node

@@ -23,6 +23,12 @@ type action =
           wedged shared kernel client or a FUSE transport teardown. *)
   | Osd_down of int  (** Crash OSD [i] (stops heartbeating). *)
   | Osd_up of int  (** Revive OSD [i]; re-sync precedes map-up. *)
+  | Osd_replace of int
+      (** Swap OSD [i] for a blank replacement: its data is lost and the
+          monitor backfills it from the surviving replicas. *)
+  | Mark_up of int
+      (** Operator override: force the osdmap to show an actually-up
+          OSD without waiting for the heartbeat. *)
   | Link_degrade of { node : string; factor : float }
       (** Serialisation on [node]'s link slows by [factor]. *)
   | Link_partition of string
@@ -52,6 +58,8 @@ type injector = {
   inj_crash_host : restart_after:float -> unit;
   inj_osd_down : int -> unit;
   inj_osd_up : int -> unit;
+  inj_osd_replace : int -> unit;
+  inj_mark_up : int -> unit;
   inj_link_degrade : node:string -> factor:float -> unit;
   inj_link_partition : node:string -> unit;
   inj_link_restore : node:string -> unit;

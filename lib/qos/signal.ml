@@ -19,6 +19,23 @@ let breaker_state obs ~pool =
   else Breaker.Closed
 
 (* ------------------------------------------------------------------ *)
+(* Backend recovery signals: the ceph monitor publishes repair progress
+   under layer "ceph", key "cluster".  Control planes read them here so
+   e.g. an autoscaler can hold back while the backend is self-healing. *)
+
+let degraded_now obs =
+  Obs.get obs ~layer:"ceph" ~name:"degraded_now" ~key:"cluster"
+
+let recovery_active obs =
+  Obs.get obs ~layer:"ceph" ~name:"recovery_active" ~key:"cluster" > 0.0
+
+let recovered_bytes obs =
+  Obs.get obs ~layer:"ceph" ~name:"recovered_bytes" ~key:"cluster"
+
+let degraded_reads obs =
+  Obs.get obs ~layer:"ceph" ~name:"degraded_reads" ~key:"cluster"
+
+(* ------------------------------------------------------------------ *)
 (* Rate windows *)
 
 type window = {
@@ -32,6 +49,7 @@ let make_window read = { w_read = read; w_last_t = None; w_last_v = 0.0; w_rate 
 let shed_window obs ~pool = make_window (fun () -> shed obs ~pool)
 
 let admitted_window obs ~pool = make_window (fun () -> admitted obs ~pool)
+let recovery_window obs = make_window (fun () -> recovered_bytes obs)
 
 let sample w ~now =
   let v = w.w_read () in

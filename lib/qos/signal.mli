@@ -28,6 +28,25 @@ val shed_fraction : Obs.t -> pool:string -> float
     [Closed] when the pool has no breaker. *)
 val breaker_state : Obs.t -> pool:string -> Breaker.state
 
+(** {1 Backend recovery signals}
+
+    The ceph monitor's paced recovery engine publishes repair progress
+    under layer ["ceph"], key ["cluster"]; these accessors are the
+    read-only view control planes consume (all 0 / inactive when no
+    monitor runs). *)
+
+(** (object, OSD) pairs still awaiting repair right now. *)
+val degraded_now : Obs.t -> float
+
+(** Whether any OSD drain is currently in flight. *)
+val recovery_active : Obs.t -> bool
+
+(** Cumulative bytes re-replicated by paced recovery. *)
+val recovered_bytes : Obs.t -> float
+
+(** Cumulative reads redirected to a non-primary surviving replica. *)
+val degraded_reads : Obs.t -> float
+
 (** {1 Rate windows}
 
     A window turns a cumulative counter into a per-second rate between
@@ -42,6 +61,9 @@ val shed_window : Obs.t -> pool:string -> window
 
 (** Track the admitted counter of [pool]. *)
 val admitted_window : Obs.t -> pool:string -> window
+
+(** Track recovery throughput ({!recovered_bytes} per second). *)
+val recovery_window : Obs.t -> window
 
 (** [sample w ~now] returns the counter's increase per second since the
     previous sample (0 on the first call, and when time has not

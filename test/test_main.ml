@@ -7,4 +7,5 @@ let () =
     (Test_sim.suite @ Test_hw.suite @ Test_kernel.suite @ Test_ceph.suite
    @ Test_client.suite @ Test_union.suite @ Test_ipc.suite @ Test_core.suite
    @ Test_workloads.suite @ Test_faults.suite @ Test_qos.suite @ Test_trace.suite
-   @ Test_integration.suite @ Test_check.suite @ Test_sched.suite)
+   @ Test_integration.suite @ Test_check.suite @ Test_sched.suite
+   @ Test_recovery.suite)

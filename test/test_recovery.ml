@@ -1,0 +1,248 @@
+(* Tests for the self-healing backend (Cluster + Recovery): the
+   per-object peering state machine (clean/degraded/backfilling),
+   degraded-mode reads redirecting around in-repair replicas, backfill
+   rollback when the target fails again mid-drain, and byte-identity of
+   the two recovery experiments under parallel [Registry.run_exps]. *)
+
+open Danaus_sim
+open Danaus_hw
+open Danaus_ceph
+open Danaus_experiments
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let mib n = n * 1024 * 1024
+
+let io_ok = function
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "io error: %s" (Cluster.io_error_to_string e)
+
+(* A replicated mini-cluster with a fast monitor and a deliberately slow
+   recovery drain (512 KiB burst, 4 MB/s) so the tests can observe the
+   Backfilling state mid-flight instead of racing a near-instant copy. *)
+let slow_recovery =
+  {
+    Recovery.chunk = 256 * 1024;
+    rate = 4e6;
+    burst = 512.0 *. 1024.0;
+    streams = 1;
+    priority = Recovery.Client_first;
+  }
+
+let make_cluster ?(recovery = slow_recovery) () =
+  let e = Engine.create () in
+  let net = Net.create e in
+  let client_node = Net.add_node net ~name:"client" ~bandwidth:2.5e9 ~latency:20e-6 in
+  let server_node = Net.add_node net ~name:"server" ~bandwidth:2.5e9 ~latency:20e-6 in
+  let osds =
+    Array.init 6 (fun i ->
+        let data =
+          Disk.create e ~name:(Printf.sprintf "osd%d-data" i) ~bandwidth:2e9
+            ~latency:5e-6 ~seek:0.0
+        in
+        let journal =
+          Disk.create e ~name:(Printf.sprintf "osd%d-journal" i) ~bandwidth:2e9
+            ~latency:5e-6 ~seek:0.0
+        in
+        Osd.create e ~name:(Printf.sprintf "osd%d" i) ~data ~journal ~concurrency:8
+          ~op_cost:30e-6 ~cpu_per_byte:(1.0 /. 4e9))
+  in
+  let mds = Mds.create e ~concurrency:8 ~op_cost:50e-6 in
+  let cluster =
+    Cluster.create e ~net ~client_node ~server_node ~osds ~mds ~replicas:2
+      ~object_size:(mib 4)
+  in
+  Cluster.enable_monitor ~heartbeat:0.1 ~grace:0.3 ~op_timeout:0.05 ~recovery
+    cluster;
+  (e, cluster)
+
+let obj_of ~ino = Striper.object_of ~object_size:(mib 4) ~ino ~off:0
+
+let ceph_count e name =
+  int_of_float (Obs.sum (Engine.obs e) ~layer:"ceph" ~name ())
+
+(* Block (in simulated time) until recovery has fully drained. *)
+let await_convergence cluster osd =
+  let spins = ref 0 in
+  while
+    (Cluster.degraded_now cluster > 0
+    || Cluster.recovering cluster osd
+    || not (Cluster.monitor_sees_up cluster osd))
+    && !spins < 2000
+  do
+    incr spins;
+    Engine.sleep 0.1
+  done;
+  !spins < 2000
+
+(* ------------------------------------------------------------------ *)
+(* Peering state machine: Clean -> Degraded (missed write) ->
+   Backfilling (replacement peered) -> Clean (drain converged). *)
+
+let test_peering_states () =
+  let e, cluster = make_cluster () in
+  let osds = Cluster.osds cluster in
+  let finished = ref false in
+  Engine.spawn e (fun () ->
+      io_ok (Cluster.write_range cluster ~ino:1 ~off:0 ~len:(mib 4));
+      let obj = obj_of ~ino:1 in
+      let victim = List.hd (Crush.place ~osds:6 ~replicas:2 obj) in
+      check_string "fresh replica is clean" "clean"
+        (Recovery.state_name (Cluster.object_state cluster victim ~obj));
+      check_int "acting set whole" 2 (Cluster.acting_width cluster ~obj);
+      (* outage: the monitor marks the OSD down after [grace] *)
+      Osd.set_up osds.(victim) false;
+      Engine.sleep 0.6;
+      check_bool "osdmap shows the victim down" false
+        (Cluster.monitor_sees_up cluster victim);
+      (* a write during the outage is logged against the dead replica *)
+      io_ok (Cluster.write_range cluster ~ino:1 ~off:0 ~len:(mib 4));
+      check_string "missed write leaves the replica degraded" "degraded"
+        (Recovery.state_name (Cluster.object_state cluster victim ~obj));
+      check_bool "degraded gauge is live" true (Cluster.degraded_now cluster > 0);
+      check_int "acting set shrank" 1 (Cluster.acting_width cluster ~obj);
+      (* swap in a blank replacement: peering turns the missed-write log
+         into a full backfill of everything CRUSH places on the OSD *)
+      Cluster.replace_osd cluster victim;
+      Engine.sleep 0.3;
+      check_string "peering queues the object for backfill" "backfilling"
+        (Recovery.state_name (Cluster.object_state cluster victim ~obj));
+      check_bool "drain pass in flight" true (Cluster.recovering cluster victim);
+      check_bool "converged" true (await_convergence cluster victim);
+      check_string "repair returns the replica to clean" "clean"
+        (Recovery.state_name (Cluster.object_state cluster victim ~obj));
+      check_int "acting set whole again" 2 (Cluster.acting_width cluster ~obj);
+      check_bool "replacement holds the object" true
+        (Osd.has_object osds.(victim) ~obj);
+      check_int "nothing left degraded" 0 (Cluster.degraded_now cluster);
+      check_bool "bytes conserved: reads equal writes" true
+        (ceph_count e "recovery_read_bytes" = ceph_count e "recovered_bytes");
+      check_bool "a full object was re-replicated" true
+        (ceph_count e "recovered_bytes" >= mib 4);
+      finished := true);
+  Engine.run_until e 600.0;
+  check_bool "scenario ran to completion" true !finished
+
+(* ------------------------------------------------------------------ *)
+(* Degraded-mode reads: during a single-OSD outage every read succeeds
+   from the surviving replica (no [No_replica], no timeout), and while
+   the replacement backfills, reads redirect around the dirty copy. *)
+
+let test_degraded_read_redirect () =
+  let e, cluster = make_cluster () in
+  let osds = Cluster.osds cluster in
+  let finished = ref false in
+  Engine.spawn e (fun () ->
+      io_ok (Cluster.write_range cluster ~ino:2 ~off:0 ~len:(mib 4));
+      let obj = obj_of ~ino:2 in
+      let victim = List.hd (Crush.place ~osds:6 ~replicas:2 obj) in
+      Osd.set_up osds.(victim) false;
+      Engine.sleep 0.6;
+      (* outage reads fail over to the survivor, never error out *)
+      for _ = 1 to 4 do
+        io_ok (Cluster.read_range cluster ~ino:2 ~off:0 ~len:(mib 4))
+      done;
+      check_int "no failed ops during the outage" 0 (ceph_count e "failed_ops");
+      check_bool "victim served nothing while down" true
+        (Osd.bytes_read osds.(victim) = 0.0);
+      (* replacement: the osdmap flips up when the drain starts, but the
+         object is still dirty there -- reads must redirect around it *)
+      Cluster.replace_osd cluster victim;
+      Engine.sleep 0.25;
+      check_bool "map already shows the target up mid-drain" true
+        (Cluster.monitor_sees_up cluster victim);
+      io_ok (Cluster.read_range cluster ~ino:2 ~off:0 ~len:(mib 4));
+      check_bool "read redirected around the in-repair copy" true
+        (ceph_count e "degraded_reads" > 0);
+      check_int "still no failed ops" 0 (ceph_count e "failed_ops");
+      check_bool "converged" true (await_convergence cluster victim);
+      io_ok (Cluster.read_range cluster ~ino:2 ~off:0 ~len:(mib 4));
+      check_int "clean reads never fail" 0 (ceph_count e "failed_ops");
+      finished := true);
+  Engine.run_until e 600.0;
+  check_bool "scenario ran to completion" true !finished
+
+(* ------------------------------------------------------------------ *)
+(* Rollback: a second failure mid-backfill aborts the drain but leaves
+   the repair queue intact; reviving the OSD resumes and converges. *)
+
+let test_backfill_rollback () =
+  let e, cluster = make_cluster () in
+  let osds = Cluster.osds cluster in
+  let finished = ref false in
+  Engine.spawn e (fun () ->
+      io_ok (Cluster.write_range cluster ~ino:3 ~off:0 ~len:(mib 16));
+      let obj = obj_of ~ino:3 in
+      let victim = List.hd (Crush.place ~osds:6 ~replicas:2 obj) in
+      Osd.set_up osds.(victim) false;
+      Engine.sleep 0.6;
+      Cluster.replace_osd cluster victim;
+      Engine.sleep 0.3;
+      check_bool "backfill in flight" true (Cluster.recovering cluster victim);
+      let queued = Cluster.degraded_now cluster in
+      check_bool "objects queued for backfill" true (queued > 0);
+      (* second failure mid-drain: the pass aborts, nothing is lost *)
+      Osd.set_up osds.(victim) false;
+      Engine.sleep 1.0;
+      check_bool "aborted pass ended" false (Cluster.recovering cluster victim);
+      check_bool "repair queue survives the abort" true
+        (Cluster.degraded_now cluster > 0);
+      check_int "no object declared unrecoverable" 0
+        (ceph_count e "unrecoverable_objects");
+      (* revive: the next heartbeat resumes the drain where it left off *)
+      Osd.set_up osds.(victim) true;
+      check_bool "converged after revival" true
+        (await_convergence cluster victim);
+      check_string "object repaired" "clean"
+        (Recovery.state_name (Cluster.object_state cluster victim ~obj));
+      check_bool "replacement holds the object" true
+        (Osd.has_object osds.(victim) ~obj);
+      check_bool "bytes conserved across the abort/resume" true
+        (ceph_count e "recovery_read_bytes" = ceph_count e "recovered_bytes");
+      finished := true);
+  Engine.run_until e 1200.0;
+  check_bool "scenario ran to completion" true !finished
+
+(* ------------------------------------------------------------------ *)
+(* The two recovery experiments must render byte-identically whether
+   [Registry.run_exps] runs them on one domain or four. *)
+
+let recovery_exps () =
+  List.filter_map Registry.find [ "osd-recovery"; "backfill-qos" ]
+
+let render_all results =
+  String.concat "\n"
+    (List.concat_map
+       (fun ((e : Registry.exp), reports) ->
+         e.Registry.id :: List.map Report.render reports)
+       results)
+
+let test_run_exps_parallel_identity () =
+  let exps = recovery_exps () in
+  check_int "both recovery experiments registered" 2 (List.length exps);
+  let sequential =
+    render_all (Registry.run_exps ~jobs:1 ~seed:7 ~quick:true exps)
+  in
+  let parallel =
+    render_all (Registry.run_exps ~jobs:4 ~seed:7 ~quick:true exps)
+  in
+  check_string "-j1 and -j4 render byte-identically" sequential parallel
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "ceph.recovery",
+      [
+        tc "peering state machine" `Quick test_peering_states;
+        tc "degraded reads redirect around repairs" `Quick
+          test_degraded_read_redirect;
+        tc "backfill rolls back on a second failure" `Quick
+          test_backfill_rollback;
+      ] );
+    ( "recovery.experiments",
+      [
+        tc "run_exps -j1 vs -j4 byte-identity" `Slow
+          test_run_exps_parallel_identity;
+      ] );
+  ]
